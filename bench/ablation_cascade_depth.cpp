@@ -1,0 +1,61 @@
+// Ablation — cascade depth (§VII: "the cascaded modes offer unrivaled
+// quality, which could be adjusted by selecting a variable number of
+// stages"). Grows the chain one evolved stage at a time on a 4-array
+// platform and reports chain fitness and resource cost per depth — the
+// quality/area trade-off a mission planner would use, and the future-work
+// "dynamically scalable" scenario exercised through the bypass fabric.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "ehw/platform/adaptive_depth.hpp"
+#include "ehw/resources/model.hpp"
+
+using namespace ehw;
+using namespace ehw::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const BenchParams params = BenchParams::from_cli(cli, /*runs=*/2,
+                                                   /*generations=*/700);
+  const std::size_t size = static_cast<std::size_t>(cli.get_int("size", 48));
+  const std::size_t arrays =
+      static_cast<std::size_t>(cli.get_int("arrays", 4));
+  print_banner("Ablation: cascade depth vs quality vs area",
+               "chain grown one evolved stage at a time (bypass spares); "
+               "40% salt&pepper denoise",
+               params);
+
+  ThreadPool pool;
+  std::vector<RunningStats> per_depth(arrays);
+  for (std::size_t run = 0; run < params.runs; ++run) {
+    const Workload w = make_workload(size, 0.4, params.seed + 41 * run);
+    platform::EvolvablePlatform plat(platform_config(arrays, size, &pool));
+    platform::AdaptiveDepthConfig cfg;
+    cfg.target = 1;  // unreachable: grow to the full depth
+    cfg.es.generations = params.generations;
+    cfg.es.seed = params.seed * 17 + run;
+    std::vector<std::size_t> lanes(arrays);
+    for (std::size_t a = 0; a < arrays; ++a) lanes[a] = a;
+    const platform::AdaptiveDepthResult r = platform::grow_cascade_to_target(
+        plat, lanes, w.noisy, w.clean, cfg);
+    for (std::size_t d = 0; d < r.fitness_per_depth.size(); ++d) {
+      per_depth[d].add(static_cast<double>(r.fitness_per_depth[d]));
+    }
+  }
+
+  Table table({"stages", "avg chain MAE", "improvement vs 1 stage",
+               "platform slices (Fig. 10 model)"});
+  const double depth1 = per_depth[0].mean();
+  for (std::size_t d = 0; d < arrays; ++d) {
+    const resources::UtilizationReport usage = resources::utilization(d + 1);
+    table.add_row(
+        {std::to_string(d + 1), Table::num(per_depth[d].mean(), 0),
+         Table::num(100.0 * (depth1 - per_depth[d].mean()) / depth1, 1) + "%",
+         Table::integer(usage.total.slices)});
+  }
+  table.print(std::cout);
+  std::cout << "\nreading: each extra stage buys quality at a ~constant "
+               "slice cost — the scalable-footprint trade-off of §III.B.\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Ablation / future work — dependability assessment: combines the
+// platform's OWN measurements (SEU architectural vulnerability from the
+// sweep, imitation recovery time from a live run, scrub pass duration)
+// with environment upset rates to estimate availability and MTBF for
+// simplex vs TMR operation — the paper's deep-space motivation (§II)
+// turned into numbers.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "ehw/analysis/dependability.hpp"
+#include "ehw/analysis/seu_sweep.hpp"
+#include "ehw/platform/evolution_driver.hpp"
+#include "ehw/platform/imitation.hpp"
+
+using namespace ehw;
+using namespace ehw::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const BenchParams params = BenchParams::from_cli(cli, /*runs=*/1,
+                                                   /*generations=*/800);
+  const std::size_t size = static_cast<std::size_t>(cli.get_int("size", 48));
+  print_banner("Ablation: dependability estimate (simplex vs TMR)",
+               "AVF measured by SEU sweep + recovery time measured by a "
+               "live imitation run -> availability/MTBF per environment",
+               params);
+
+  ThreadPool pool;
+  const Workload w = make_workload(size, 0.25, params.seed);
+  platform::EvolvablePlatform plat(platform_config(3, size, &pool));
+  evo::EsConfig es;
+  es.generations = params.generations;
+  es.seed = params.seed;
+  const platform::IntrinsicResult evolved =
+      platform::evolve_on_platform(plat, {0, 1, 2}, w.noisy, w.clean, es);
+  sim::SimTime barrier = plat.now();
+  for (std::size_t a = 0; a < 3; ++a) {
+    barrier = plat.configure_array(a, evolved.es.best, barrier).end;
+  }
+
+  // Measured inputs.
+  analysis::SeuSweepConfig scfg;
+  scfg.bit_stride = params.full ? 4 : 32;
+  const analysis::SeuSweepResult sweep =
+      analysis::run_seu_sweep(plat, 0, w.noisy, scfg);
+
+  plat.inject_pe_fault(1, 0, 1);
+  platform::ImitationConfig icfg;
+  icfg.es.generations = params.generations;
+  icfg.es.seed = params.seed + 9;
+  const sim::SimTime t0 = plat.now();
+  const platform::ImitationResult recovery =
+      platform::evolve_by_imitation(plat, 1, 0, w.noisy, icfg);
+  const sim::SimTime recovery_time = plat.now() - t0;
+  plat.clear_pe_fault(1, 0, 1);
+
+  std::cout << "measured: AVF=" << Table::num(sweep.overall_avf(), 3)
+            << " over " << sweep.total_flips() << " flips; imitation "
+            << "recovery " << Table::num(sim::to_seconds(recovery_time), 3)
+            << " s (residual " << recovery.residual << ")\n\n";
+
+  struct Environment {
+    const char* name;
+    double upsets_per_bit_second;
+  };
+  const Environment envs[] = {
+      {"ground level", 1e-13},
+      {"LEO (quiet)", 1e-10},
+      {"GEO (quiet)", 1e-9},
+      {"solar flare", 1e-7},
+  };
+
+  Table table({"environment", "observable faults/s", "simplex MTBF [s]",
+               "simplex avail.", "TMR MTBF [s]", "TMR avail."});
+  for (const auto& env : envs) {
+    analysis::DependabilityInputs in;
+    in.upsets_per_bit_second = env.upsets_per_bit_second;
+    in.config_bits =
+        static_cast<double>(plat.geometry().total_words()) * 32.0;
+    in.avf = sweep.overall_avf();
+    in.scrub_period = sim::milliseconds(10.0);
+    in.recovery_time = recovery_time;
+    in.permanent_fraction = 0.01;
+    const analysis::DependabilityReport r =
+        analysis::estimate_dependability(in);
+    table.add_row({env.name, Table::num(r.observable_rate, 9),
+                   Table::num(r.simplex_mtbf, 1),
+                   Table::num(r.simplex_availability, 6),
+                   Table::num(r.tmr_mtbf, 1),
+                   Table::num(r.tmr_availability, 6)});
+  }
+  table.print(std::cout);
+  std::cout << "\nreading: the TMR mode's double-fault exposure window is "
+               "tiny, so its MTBF exceeds simplex by orders of magnitude — "
+               "the quantitative case for the paper's parallel mode in "
+               "§II's space scenarios.\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Ablation — noise-density sweep (the Fig. 18 workload family): evolved
+// single stage and evolved 3-stage cascade vs the conventional golden
+// filters (median, mean, Gaussian, open/close morphology) across salt &
+// pepper densities. Shows where evolution pays off: the crossover between
+// model-based filters and adapted cascades as noise grows.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "ehw/img/filters.hpp"
+#include "ehw/img/metrics.hpp"
+#include "ehw/img/morphology.hpp"
+#include "ehw/platform/cascade_evolution.hpp"
+
+using namespace ehw;
+using namespace ehw::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const BenchParams params = BenchParams::from_cli(cli, /*runs=*/1,
+                                                   /*generations=*/1500);
+  const std::size_t size = static_cast<std::size_t>(cli.get_int("size", 48));
+  print_banner("Ablation: noise-density sweep, evolved vs golden filters",
+               "aggregated MAE vs clean for salt&pepper densities "
+               "10%..50%",
+               params);
+
+  ThreadPool pool;
+  Table table({"density", "noisy", "evolved 1-stage", "evolved cascade(3)",
+               "median", "mean", "gaussian", "open/close"});
+  for (const double density : {0.10, 0.20, 0.30, 0.40, 0.50}) {
+    const Workload w = make_workload(size, density,
+                                     params.seed + static_cast<std::uint64_t>(
+                                                       density * 1000));
+    platform::EvolvablePlatform plat(platform_config(3, size, &pool));
+    platform::CascadeConfig cfg;
+    cfg.es.generations = params.generations;
+    cfg.es.seed = params.seed;
+    const platform::CascadeResult r =
+        platform::evolve_cascade(plat, {0, 1, 2}, w.noisy, w.clean, cfg);
+
+    const auto mae = [&](const img::Image& im) {
+      return Table::integer(img::aggregated_mae(im, w.clean));
+    };
+    const img::Image oc = img::close3x3(img::open3x3(w.noisy));
+    table.add_row({Table::num(density * 100, 0) + "%", mae(w.noisy),
+                   Table::integer(r.stages[0].stage_fitness),
+                   Table::integer(r.chain_fitness), mae(img::median3x3(w.noisy)),
+                   mae(img::mean3x3(w.noisy)), mae(img::gaussian3x3(w.noisy)),
+                   mae(oc)});
+  }
+  table.print(std::cout);
+  std::cout << "\nreading: linear filters (mean/gaussian) degrade fast with "
+               "density; the adapted cascade tracks (and at higher budgets "
+               "beats) the median across the sweep — the paper's Fig. 18 "
+               "claim generalized over noise levels.\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+#pragma once
+// Shared scaffolding for the figure-reproduction benches.
+//
+// Every bench accepts:
+//   --full            paper-scale parameters (50 runs x 100 000 generations
+//                     where applicable) — hours of runtime;
+//   --runs=N          repetitions to average over;
+//   --generations=N   generation budget (measured or per-stage);
+//   --seed=N          master seed.
+// Defaults are reduced configurations sized for minutes, documented on
+// stdout and in EXPERIMENTS.md. Evolution-time figures report simulated
+// time scaled to the paper's 100 000 generations: the per-generation DPR /
+// evaluation pipeline is stationary, so measured-mean x 100k is the
+// quantity the paper plots.
+
+#include <cstdio>
+#include <string>
+
+#include "ehw/common/cli.hpp"
+#include "ehw/common/rng.hpp"
+#include "ehw/common/stats.hpp"
+#include "ehw/common/table.hpp"
+#include "ehw/common/thread_pool.hpp"
+#include "ehw/img/noise.hpp"
+#include "ehw/img/synthetic.hpp"
+#include "ehw/platform/platform.hpp"
+
+namespace ehw::bench {
+
+struct BenchParams {
+  bool full = false;
+  std::size_t runs = 3;
+  Generation generations = 300;
+  std::uint64_t seed = 2013;  // year of the paper
+
+  static BenchParams from_cli(const Cli& cli, std::size_t default_runs,
+                              Generation default_generations) {
+    BenchParams p;
+    p.full = cli.has("full");
+    p.runs = static_cast<std::size_t>(
+        cli.get_int("runs", p.full ? 50 : static_cast<std::int64_t>(
+                                              default_runs)));
+    p.generations = static_cast<Generation>(cli.get_int(
+        "generations",
+        p.full ? 100000 : static_cast<std::int64_t>(default_generations)));
+    p.seed = static_cast<std::uint64_t>(cli.get_int("seed", 2013));
+    return p;
+  }
+};
+
+/// The paper's benchmark workload: a scene corrupted by salt & pepper
+/// noise; evolution maps noisy -> clean.
+struct Workload {
+  img::Image clean;
+  img::Image noisy;
+};
+
+inline Workload make_workload(std::size_t size, double noise_density,
+                              std::uint64_t seed) {
+  Workload w;
+  w.clean = img::make_scene(size, size, seed);
+  Rng rng(seed ^ 0x5A17AC1DULL);
+  w.noisy = img::add_salt_pepper(w.clean, noise_density, rng);
+  return w;
+}
+
+inline platform::PlatformConfig platform_config(std::size_t arrays,
+                                                std::size_t line_width,
+                                                ThreadPool* pool) {
+  platform::PlatformConfig cfg;
+  cfg.num_arrays = arrays;
+  cfg.shape = {4, 4};
+  cfg.line_width = line_width;
+  cfg.seed = 0xF16A2013;
+  cfg.pool = pool;
+  return cfg;
+}
+
+inline void print_banner(const char* figure, const char* description,
+                         const BenchParams& p) {
+  std::printf("=== %s ===\n%s\n", figure, description);
+  std::printf(
+      "config: %s | runs=%zu generations=%llu seed=%llu\n"
+      "(evolution-time figures are SIMULATED platform time; pass --full for "
+      "the paper's 50x100k-generation statistics)\n\n",
+      p.full ? "FULL (paper-scale)" : "reduced (default)", p.runs,
+      static_cast<unsigned long long>(p.generations),
+      static_cast<unsigned long long>(p.seed));
+}
+
+/// Scale a measured mean-per-generation simulated duration to the paper's
+/// 100 000-generation budget, in seconds.
+inline double scale_to_100k(sim::SimTime duration, Generation generations) {
+  if (generations == 0) return 0.0;
+  return sim::to_seconds(duration) /
+         static_cast<double>(generations) * 100000.0;
+}
+
+}  // namespace ehw::bench

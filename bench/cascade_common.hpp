@@ -1,0 +1,114 @@
+#pragma once
+// Shared harness for Figs. 16/17: per-stage fitness of a 3-stage cascade
+// under the three schemes the paper compares:
+//   "same filter"           — one evolved chromosome copied to all stages
+//                             (iterative application of the same circuit);
+//   "adapted (sequential)"  — collaborative cascaded evolution, stage i+1
+//                             evolved on stage i's output ("random" in the
+//                             paper: stages start from fresh genotypes);
+//   "adapted (interleaved)" — one generation per stage in rotation.
+// Per-stage fitness is the aggregated MAE of the cascade output AFTER that
+// stage vs the common (clean) reference.
+
+#include <array>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "ehw/evo/fitness.hpp"
+#include "ehw/img/metrics.hpp"
+#include "ehw/platform/cascade_evolution.hpp"
+#include "ehw/platform/evolution_driver.hpp"
+
+namespace ehw::bench {
+
+inline constexpr std::size_t kStages = 3;
+
+struct CascadeOutcome {
+  // fitness_after_stage[scheme][stage], one entry per run.
+  std::array<std::array<std::vector<double>, kStages>, 3> samples;
+  static constexpr const char* kSchemeNames[3] = {
+      "same filter", "adapted (sequential)", "adapted (interleaved)"};
+};
+
+/// Fitness after each stage for the currently configured platform chain.
+inline std::array<Fitness, kStages> stage_fitness(
+    platform::EvolvablePlatform& plat, const img::Image& noisy,
+    const img::Image& clean) {
+  std::vector<img::Image> stages;
+  plat.process_cascade(noisy, &stages);
+  std::array<Fitness, kStages> out{};
+  for (std::size_t s = 0; s < kStages; ++s) {
+    out[s] = img::aggregated_mae(stages[s], clean);
+  }
+  return out;
+}
+
+inline CascadeOutcome run_cascade_experiment(std::size_t size,
+                                             double noise_density,
+                                             const BenchParams& params,
+                                             ThreadPool* pool) {
+  CascadeOutcome outcome;
+  for (std::size_t run = 0; run < params.runs; ++run) {
+    const Workload w = make_workload(size, noise_density,
+                                     params.seed + 13 * run);
+
+    // Scheme 0: same evolved filter in every stage.
+    {
+      platform::EvolvablePlatform plat(platform_config(kStages, size, pool));
+      evo::EsConfig cfg;
+      cfg.generations = params.generations;
+      cfg.seed = params.seed + run * 997;
+      const platform::IntrinsicResult r = platform::evolve_on_platform(
+          plat, {0, 1, 2}, w.noisy, w.clean, cfg);
+      sim::SimTime barrier = plat.now();
+      for (std::size_t a = 0; a < kStages; ++a) {
+        barrier = plat.configure_array(a, r.es.best, barrier).end;
+      }
+      const auto fits = stage_fitness(plat, w.noisy, w.clean);
+      for (std::size_t s = 0; s < kStages; ++s) {
+        outcome.samples[0][s].push_back(static_cast<double>(fits[s]));
+      }
+    }
+
+    // Schemes 1/2: collaborative cascaded evolution.
+    for (const auto [scheme, schedule] :
+         {std::pair{std::size_t{1}, platform::CascadeSchedule::kSequential},
+          std::pair{std::size_t{2},
+                    platform::CascadeSchedule::kInterleaved}}) {
+      platform::EvolvablePlatform plat(platform_config(kStages, size, pool));
+      platform::CascadeConfig cfg;
+      cfg.es.generations = params.generations;
+      cfg.es.seed = params.seed + run * 997;
+      cfg.fitness = platform::CascadeFitness::kSeparate;
+      cfg.schedule = schedule;
+      platform::evolve_cascade(plat, {0, 1, 2}, w.noisy, w.clean, cfg);
+      const auto fits = stage_fitness(plat, w.noisy, w.clean);
+      for (std::size_t s = 0; s < kStages; ++s) {
+        outcome.samples[scheme][s].push_back(static_cast<double>(fits[s]));
+      }
+    }
+  }
+  return outcome;
+}
+
+/// Prints the figure's series; `reduce` maps a sample vector to the
+/// reported scalar (mean for Fig. 16, min for Fig. 17).
+template <typename Reduce>
+void print_cascade_table(const CascadeOutcome& outcome, Reduce reduce,
+                         const char* value_name) {
+  Table table({"stage", std::string(CascadeOutcome::kSchemeNames[0]),
+               std::string(CascadeOutcome::kSchemeNames[1]),
+               std::string(CascadeOutcome::kSchemeNames[2])});
+  for (std::size_t s = 0; s < kStages; ++s) {
+    table.add_row({"after stage " + std::to_string(s + 1),
+                   Table::num(reduce(outcome.samples[0][s]), 0),
+                   Table::num(reduce(outcome.samples[1][s]), 0),
+                   Table::num(reduce(outcome.samples[2][s]), 0)});
+  }
+  table.print(std::cout);
+  std::cout << "(" << value_name << " aggregated MAE vs the clean reference; "
+            << "lower is better)\n";
+}
+
+}  // namespace ehw::bench

@@ -1,0 +1,70 @@
+// Fig. 10 / §VI.A — Resource utilization and floorplan.
+//
+// Regenerates the paper's resource numbers: the floorplan of the 3-stage
+// platform on the Virtex-5 LX110T, the static-control and per-ACB
+// slice/FF/LUT costs, the PE / array CLB footprints, and the 67.53 us
+// per-PE reconfiguration time (cross-checked against the live engine).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "ehw/reconfig/engine.hpp"
+#include "ehw/resources/floorplan.hpp"
+#include "ehw/resources/model.hpp"
+
+using namespace ehw;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const std::size_t stages =
+      static_cast<std::size_t>(cli.get_int("stages", 3));
+
+  std::printf("=== Fig. 10 / §VI.A: resource utilization (%zu stages) ===\n\n",
+              stages);
+  resources::render_floorplan(std::cout, stages);
+
+  Table table({"module", "instances", "slices (each)", "FFs (each)",
+               "LUTs (each)", "slices (total)"});
+  const resources::UtilizationReport report = resources::utilization(stages);
+  for (const auto& m : report.modules) {
+    table.add_row({m.module, Table::integer(m.instances),
+                   Table::integer(m.each.slices), Table::integer(m.each.ffs),
+                   Table::integer(m.each.luts),
+                   Table::integer(m.total().slices)});
+  }
+  table.add_row({"TOTAL", "", "", "", "", Table::integer(report.total.slices)});
+  std::printf("\n");
+  table.print(std::cout);
+  std::printf("device occupancy (Virtex-5 LX110T slices): %.1f%%\n\n",
+              report.device_slice_percent);
+
+  // Reconfiguration costs, cross-checked against the simulated engine.
+  const resources::ReconfigCosts costs = resources::reconfig_costs(stages);
+  fpga::FabricGeometry geometry(stages, {4, 4});
+  fpga::ConfigMemory memory(geometry.total_words());
+  reconfig::PbsLibrary library(geometry.words_per_slot());
+  sim::Timeline timeline;
+  reconfig::ReconfigurationEngine engine(memory, geometry, library, timeline);
+  const sim::ResourceId array0 = timeline.add_resource("array0");
+  const sim::Interval one_pe = engine.write_pe({0, 0, 0}, 0, 0, array0);
+
+  Table rc({"quantity", "model", "measured on engine"});
+  rc.add_row({"per-PE reconfiguration", Table::num(costs.per_pe_us, 2) + " us",
+              Table::num(sim::to_microseconds(one_pe.duration()), 2) + " us"});
+  rc.add_row({"full 4x4 array rewrite", Table::num(costs.full_array_us, 1) + " us",
+              Table::num(sim::to_microseconds(one_pe.duration()) * 16, 1) +
+                  " us"});
+  rc.add_row({"full platform rewrite",
+              Table::num(costs.full_platform_us, 1) + " us",
+              Table::num(sim::to_microseconds(one_pe.duration()) * 16 *
+                             static_cast<double>(stages),
+                         1) +
+                  " us"});
+  rc.print(std::cout);
+  std::printf(
+      "\npaper: static control 733 slices / 1365 FF / 1817 LUT; ACB 754 "
+      "slices / 1642 FF / 1528 LUT;\n       PE = 2 CLB cols x 5 CLBs; array "
+      "= 160 CLBs; 67.53 us per PE at 100 MHz ICAP.\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Fig. 16 — AVERAGE per-stage fitness of the 3-stage cascade: same filter
+// in every stage vs adapted filters (sequential cascaded evolution) vs
+// adapted filters (interleaved cascaded evolution), on 40% salt & pepper.
+//
+// Expected shape (paper): the same-filter chain improves from stage 1 to 2
+// but DEGRADES at stage 3 (the filter is not specialized for its own
+// output's noise level); adapted filters keep improving at every stage and
+// end clearly lower; sequential vs interleaved differ very little.
+
+#include <iostream>
+
+#include "cascade_common.hpp"
+
+using namespace ehw;
+using namespace ehw::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const BenchParams params = BenchParams::from_cli(cli, /*runs=*/3,
+                                                   /*generations=*/700);
+  const std::size_t size = static_cast<std::size_t>(cli.get_int("size", 64));
+  const double noise = cli.get_double("noise", 0.4);
+  print_banner("Fig. 16: cascaded modes, AVERAGE fitness per stage",
+               "3-stage cascade on 40% salt&pepper; same filter vs "
+               "sequential vs interleaved cascaded evolution",
+               params);
+
+  ThreadPool pool;
+  const CascadeOutcome outcome =
+      run_cascade_experiment(size, noise, params, &pool);
+  print_cascade_table(
+      outcome, [](const std::vector<double>& xs) { return mean_of(xs); },
+      "average");
+  std::cout << "\npaper shape: same-filter worsens by stage 3; adapted "
+               "filters improve monotonically; sequential ~= interleaved.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Fig. 18 — The qualitative demo: a 128x128 image with 40% salt & pepper
+// noise filtered by a three-stage adapted cascade. The paper reports an
+// output MAE around 8000 (aggregated over the frame) and notes that the
+// conventional median filter is far worse ("more than twice the value
+// obtained for just one stage") and not cascadable.
+//
+// Writes PGMs next to the binary: fig18_clean.pgm, fig18_noisy.pgm,
+// fig18_stage{1,2,3}.pgm, fig18_median.pgm.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "ehw/img/filters.hpp"
+#include "ehw/img/metrics.hpp"
+#include "ehw/img/pgm_io.hpp"
+#include "ehw/platform/cascade_evolution.hpp"
+
+using namespace ehw;
+using namespace ehw::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const BenchParams params = BenchParams::from_cli(cli, /*runs=*/1,
+                                                   /*generations=*/5000);
+  const std::size_t size = static_cast<std::size_t>(cli.get_int("size", 64));
+  const double noise = cli.get_double("noise", 0.4);
+  print_banner("Fig. 18: three-stage adapted cascade on 40% salt&pepper",
+               "evolved collaborative cascade vs the golden median filter; "
+               "PGMs written alongside",
+               params);
+
+  ThreadPool pool;
+  const Workload w = make_workload(size, noise, params.seed);
+  platform::EvolvablePlatform plat(platform_config(3, size, &pool));
+  platform::CascadeConfig cfg;
+  cfg.es.generations = params.generations;
+  cfg.es.seed = params.seed;
+  cfg.schedule = platform::CascadeSchedule::kSequential;
+  const platform::CascadeResult r =
+      platform::evolve_cascade(plat, {0, 1, 2}, w.noisy, w.clean, cfg);
+
+  std::vector<img::Image> stages;
+  plat.process_cascade(w.noisy, &stages);
+
+  const img::Image median1 = img::median3x3(w.noisy);
+  const img::Image median3 =
+      img::apply_n(w.noisy, 3, [](const img::Image& x) {
+        return img::median3x3(x);
+      });
+
+  const Fitness noisy_mae = img::aggregated_mae(w.noisy, w.clean);
+  Table table({"image", "aggregated MAE vs clean", "per-pixel MAE", "PSNR [dB]"});
+  const auto row = [&](const std::string& name, const img::Image& im) {
+    table.add_row({name, Table::integer(img::aggregated_mae(im, w.clean)),
+                   Table::num(img::mean_absolute_error(im, w.clean), 2),
+                   Table::num(img::psnr(im, w.clean), 1)});
+  };
+  table.add_row({"noisy input", Table::integer(noisy_mae),
+                 Table::num(img::mean_absolute_error(w.noisy, w.clean), 2),
+                 Table::num(img::psnr(w.noisy, w.clean), 1)});
+  row("evolved stage 1", stages[0]);
+  row("evolved stage 2", stages[1]);
+  row("evolved cascade (3 stages)", stages[2]);
+  row("median 3x3 (golden)", median1);
+  row("median 3x3 applied 3x", median3);
+  table.print(std::cout);
+
+  img::write_pgm(w.clean, "fig18_clean.pgm");
+  img::write_pgm(w.noisy, "fig18_noisy.pgm");
+  img::write_pgm(stages[0], "fig18_stage1.pgm");
+  img::write_pgm(stages[1], "fig18_stage2.pgm");
+  img::write_pgm(stages[2], "fig18_stage3.pgm");
+  img::write_pgm(median1, "fig18_median.pgm");
+  std::cout << "\nwrote fig18_{clean,noisy,stage1,stage2,stage3,median}.pgm\n"
+            << "paper shape: cascade output MAE ~8000 at 128x128 (40% S&P); "
+               "median filter much worse and not cascadable (3x median "
+               "blurs without removing residual impulses).\n";
+  return 0;
+}

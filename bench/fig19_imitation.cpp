@@ -1,0 +1,95 @@
+// Fig. 19 — Evolution by imitation after a permanent PE fault: starting
+// the apprentice from the master's genotype vs from a random genotype.
+//
+// Expected shape (paper): the "imitated" (master-genotype) start reaches a
+// residual around/below the ~100-MAE "practically identical" threshold,
+// while the random start stays orders of magnitude above within the same
+// budget (random imitation fitness is ~3 orders above the threshold).
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "ehw/platform/evolution_driver.hpp"
+#include "ehw/platform/imitation.hpp"
+
+using namespace ehw;
+using namespace ehw::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const BenchParams params = BenchParams::from_cli(cli, /*runs=*/6,
+                                                   /*generations=*/3000);
+  const std::size_t size = static_cast<std::size_t>(cli.get_int("size", 48));
+  print_banner("Fig. 19: imitation recovery, master-genotype vs random start",
+               "apprentice array carries a permanent (dummy-PE) fault and "
+               "imitates a working neighbour; fitness = MAE(apprentice, "
+               "master)",
+               params);
+
+  ThreadPool pool;
+  // The paper's fault campaign is systematic over array positions; the
+  // reduced default cycles the injected PE across runs so the average is
+  // not dominated by one lucky/unlucky cell.
+  const std::pair<std::size_t, std::size_t> fault_cells[] = {
+      {0, 1}, {1, 1}, {0, 2}, {2, 0}, {1, 2}, {0, 3}, {3, 1}, {2, 2}};
+  RunningStats imitated, random_start, baseline_random;
+  for (std::size_t run = 0; run < params.runs; ++run) {
+    const Workload w = make_workload(size, 0.2, params.seed + 31 * run);
+    const auto [fr, fc] = fault_cells[run % std::size(fault_cells)];
+
+    for (const bool from_master : {true, false}) {
+      platform::EvolvablePlatform plat(platform_config(3, size, &pool));
+      // Evolve a working master first (reduced budget: any reasonable
+      // filter works as the imitation target).
+      evo::EsConfig master_cfg;
+      master_cfg.generations = std::min<Generation>(800, params.generations);
+      master_cfg.seed = params.seed + run * 71;
+      const platform::IntrinsicResult master = platform::evolve_on_platform(
+          plat, {1}, w.noisy, w.clean, master_cfg);
+      plat.configure_array(1, master.es.best, plat.now());
+
+      // Permanent fault on the apprentice.
+      plat.inject_pe_fault(0, fr, fc);
+
+      // Record the random-imitation level (what an unevolved apprentice
+      // scores): the paper's "3 orders of magnitude above threshold".
+      if (from_master) {
+        Rng rng(params.seed + run);
+        plat.configure_array(0, evo::Genotype::random({4, 4}, rng),
+                             plat.now());
+        const img::Image master_out = plat.filter_array(1, w.noisy);
+        const img::Image apprentice_out = plat.filter_array(0, w.noisy);
+        baseline_random.add(static_cast<double>(
+            img::aggregated_mae(apprentice_out, master_out)));
+      }
+
+      platform::ImitationConfig icfg;
+      icfg.es.generations = params.generations;
+      icfg.es.seed = params.seed * 13 + run;
+      icfg.es.mutation_rate = 3;
+      icfg.start_from_master = from_master;
+      const platform::ImitationResult r =
+          platform::evolve_by_imitation(plat, 0, 1, w.noisy, icfg);
+      (from_master ? imitated : random_start)
+          .add(static_cast<double>(r.es.best_fitness));
+    }
+  }
+
+  Table table({"evolution strategy", "avg residual MAE", "min", "max"});
+  table.add_row({"imitated start (master genotype)",
+                 Table::num(imitated.mean(), 0),
+                 Table::num(imitated.min(), 0),
+                 Table::num(imitated.max(), 0)});
+  table.add_row({"random start", Table::num(random_start.mean(), 0),
+                 Table::num(random_start.min(), 0),
+                 Table::num(random_start.max(), 0)});
+  table.add_row({"(unevolved apprentice level)",
+                 Table::num(baseline_random.mean(), 0),
+                 Table::num(baseline_random.min(), 0),
+                 Table::num(baseline_random.max(), 0)});
+  table.print(std::cout);
+  std::cout << "\npaper shape: imitated start far below random start; "
+               "threshold ~100 MAE counts as 'functionally identical', "
+               "random level ~3 orders of magnitude above.\n";
+  return 0;
+}

@@ -1,0 +1,129 @@
+// google-benchmark microbenches for the library's hot paths: window
+// evaluation, whole-frame filtering, hardware-model fitness, mutation,
+// offspring generation, configuration decode and DPR diffing.
+
+#include <benchmark/benchmark.h>
+
+#include "ehw/evo/fitness.hpp"
+#include "ehw/evo/mutation.hpp"
+#include "ehw/img/filters.hpp"
+#include "ehw/evo/offspring.hpp"
+#include "ehw/img/metrics.hpp"
+#include "ehw/img/noise.hpp"
+#include "ehw/img/synthetic.hpp"
+#include "ehw/pe/compiled.hpp"
+#include "ehw/platform/platform.hpp"
+
+namespace {
+
+using namespace ehw;
+
+evo::Genotype bench_genotype(std::uint64_t seed = 7) {
+  Rng rng(seed);
+  return evo::Genotype::random({4, 4}, rng);
+}
+
+void BM_WindowEvaluate(benchmark::State& state) {
+  const pe::CompiledArray compiled(bench_genotype().to_array());
+  const Pixel window[9] = {10, 20, 30, 40, 50, 60, 70, 80, 90};
+  std::size_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiled.evaluate(window, x++, 0));
+  }
+}
+BENCHMARK(BM_WindowEvaluate);
+
+void BM_FilterFrame(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const pe::CompiledArray compiled(bench_genotype().to_array());
+  const img::Image src = img::make_scene(size, size, 3);
+  img::Image dst(size, size);
+  for (auto _ : state) {
+    compiled.filter_into(src, dst, nullptr);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size * size));
+}
+BENCHMARK(BM_FilterFrame)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_FitnessAgainst(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const pe::CompiledArray compiled(bench_genotype().to_array());
+  const img::Image src = img::make_scene(size, size, 3);
+  const img::Image ref = img::make_scene(size, size, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiled.fitness_against(src, ref));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size * size));
+}
+BENCHMARK(BM_FitnessAgainst)->Arg(64)->Arg(128);
+
+void BM_AggregatedMae(benchmark::State& state) {
+  const img::Image a = img::make_scene(128, 128, 5);
+  const img::Image b = img::make_scene(128, 128, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(img::aggregated_mae(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          128 * 128);
+}
+BENCHMARK(BM_AggregatedMae);
+
+void BM_Mutation(benchmark::State& state) {
+  Rng rng(9);
+  evo::Genotype g = bench_genotype();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evo::mutate(g, 3, rng));
+  }
+}
+BENCHMARK(BM_Mutation);
+
+void BM_TwoLevelOffspring(benchmark::State& state) {
+  Rng rng(10);
+  const evo::Genotype parent = bench_genotype();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evo::two_level_offspring(parent, 9, 3, 3, rng));
+  }
+}
+BENCHMARK(BM_TwoLevelOffspring);
+
+void BM_PlatformConfigureDiff(benchmark::State& state) {
+  platform::PlatformConfig pc;
+  pc.num_arrays = 1;
+  pc.line_width = 64;
+  platform::EvolvablePlatform plat(pc);
+  Rng rng(11);
+  evo::Genotype g = bench_genotype();
+  plat.configure_array(0, g, 0);
+  for (auto _ : state) {
+    evo::mutate(g, 1, rng);
+    benchmark::DoNotOptimize(plat.configure_array(0, g, 0));
+  }
+}
+BENCHMARK(BM_PlatformConfigureDiff);
+
+void BM_DecodeArray(benchmark::State& state) {
+  platform::PlatformConfig pc;
+  pc.num_arrays = 1;
+  pc.line_width = 64;
+  platform::EvolvablePlatform plat(pc);
+  plat.configure_array(0, bench_genotype(), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plat.decode_array(0));
+  }
+}
+BENCHMARK(BM_DecodeArray);
+
+void BM_MedianGolden(benchmark::State& state) {
+  const img::Image src = img::make_scene(128, 128, 12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(img::median3x3(src));
+  }
+}
+BENCHMARK(BM_MedianGolden);
+
+}  // namespace
+
+BENCHMARK_MAIN();

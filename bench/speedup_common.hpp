@@ -1,0 +1,114 @@
+#pragma once
+// Shared harness for Figs. 12/13/14: average evolution time over repeated
+// runs, per mutation rate, for a chosen array count and EA variant. The
+// measured quantity is SIMULATED platform time per generation (the Fig. 11
+// pipeline), reported scaled to the paper's 100 000 generations.
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "ehw/platform/evolution_driver.hpp"
+
+namespace ehw::bench {
+
+struct SpeedupPoint {
+  std::size_t mutation_rate = 0;
+  double seconds_100k = 0.0;     // avg evolution time scaled to 100k gens
+  double stddev_100k = 0.0;
+  double avg_fitness = 0.0;      // avg best fitness at budget end
+  double pe_writes_per_gen = 0.0;
+};
+
+struct SpeedupSeries {
+  std::string label;
+  std::vector<SpeedupPoint> points;
+};
+
+/// Runs `params.runs` independent evolutions for every k in `rates` and
+/// returns the averaged series.
+inline SpeedupSeries measure_speedup(std::size_t image_size,
+                                     std::size_t num_arrays, bool two_level,
+                                     const std::vector<std::size_t>& rates,
+                                     const BenchParams& params,
+                                     ThreadPool* pool, std::string label) {
+  SpeedupSeries series;
+  series.label = std::move(label);
+  for (const std::size_t k : rates) {
+    RunningStats time_stats;
+    RunningStats fitness_stats;
+    RunningStats writes_stats;
+    for (std::size_t run = 0; run < params.runs; ++run) {
+      const Workload w =
+          make_workload(image_size, 0.2, params.seed + run * 1000 + k);
+      platform::EvolvablePlatform plat(
+          platform_config(num_arrays, image_size, pool));
+      std::vector<std::size_t> lanes(num_arrays);
+      for (std::size_t a = 0; a < num_arrays; ++a) lanes[a] = a;
+
+      evo::EsConfig cfg;
+      cfg.lambda = 9;  // nine chromosomes per generation (§VI.B)
+      cfg.mutation_rate = k;
+      cfg.two_level = two_level;
+      cfg.generations = params.generations;
+      cfg.seed = params.seed * 7919 + run * 131 + k;
+      cfg.record_history = false;
+
+      const platform::IntrinsicResult r =
+          platform::evolve_on_platform(plat, lanes, w.noisy, w.clean, cfg);
+      time_stats.add(scale_to_100k(r.duration, r.es.generations_run));
+      fitness_stats.add(static_cast<double>(r.es.best_fitness));
+      writes_stats.add(static_cast<double>(r.pe_writes) /
+                       static_cast<double>(r.es.generations_run));
+    }
+    series.points.push_back(SpeedupPoint{k, time_stats.mean(),
+                                         time_stats.stddev(),
+                                         fitness_stats.mean(),
+                                         writes_stats.mean()});
+  }
+  return series;
+}
+
+inline void print_speedup_table(const std::vector<SpeedupSeries>& series,
+                                const std::vector<std::size_t>& rates) {
+  std::vector<std::string> header{"mutation rate k"};
+  for (const auto& s : series) {
+    header.push_back(s.label + " [s/100k gens]");
+  }
+  header.push_back("saving [s]");
+  Table table(header);
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    std::vector<std::string> row{"k=" + std::to_string(rates[i])};
+    for (const auto& s : series) {
+      row.push_back(Table::num(s.points[i].seconds_100k, 1) + " +- " +
+                    Table::num(s.points[i].stddev_100k, 1));
+    }
+    row.push_back(Table::num(series.front().points[i].seconds_100k -
+                                 series.back().points[i].seconds_100k,
+                             1));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+}
+
+/// Renders one generation's Fig. 11-style pipeline diagram for 1 vs N
+/// arrays (R boxes on the icap lane, F boxes on the array lanes).
+inline void render_generation_trace(std::size_t image_size,
+                                    std::size_t num_arrays, ThreadPool* pool,
+                                    std::uint64_t seed) {
+  platform::PlatformConfig pc = platform_config(num_arrays, image_size, pool);
+  pc.enable_trace = true;
+  platform::EvolvablePlatform plat(pc);
+  const Workload w = make_workload(image_size, 0.2, seed);
+  std::vector<std::size_t> lanes(num_arrays);
+  for (std::size_t a = 0; a < num_arrays; ++a) lanes[a] = a;
+  evo::EsConfig cfg;
+  cfg.generations = 2;  // warm-up + one recorded steady generation
+  cfg.seed = seed;
+  platform::evolve_on_platform(plat, lanes, w.noisy, w.clean, cfg);
+  std::cout << "\nFig. 11 pipeline, " << num_arrays
+            << " array(s), one generation (R=reconfig, F=evaluate):\n";
+  plat.trace().render_gantt(std::cout, plat.timeline(), 100);
+}
+
+}  // namespace ehw::bench

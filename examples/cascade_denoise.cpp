@@ -1,0 +1,74 @@
+// Collaborative cascaded denoising (§IV.A / Fig. 18 workload): three
+// stages evolved in sequence, each specializing on the residual noise of
+// the previous one, against heavy (40%) salt & pepper noise.
+//
+//   $ ./cascade_denoise [--size=64] [--noise=0.4] [--generations=1200]
+//
+// Writes cascade_{clean,noisy,out1,out2,out3}.pgm for visual inspection.
+
+#include <cstdio>
+
+#include "ehw/common/cli.hpp"
+#include "ehw/img/filters.hpp"
+#include "ehw/img/metrics.hpp"
+#include "ehw/img/noise.hpp"
+#include "ehw/img/pgm_io.hpp"
+#include "ehw/img/synthetic.hpp"
+#include "ehw/platform/cascade_evolution.hpp"
+
+using namespace ehw;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto size = static_cast<std::size_t>(cli.get_int("size", 64));
+  const double noise = cli.get_double("noise", 0.4);
+  const auto generations =
+      static_cast<Generation>(cli.get_int("generations", 1200));
+
+  const img::Image clean = img::make_scene(size, size, 21);
+  Rng rng(4321);
+  const img::Image noisy = img::add_salt_pepper(clean, noise, rng);
+
+  ThreadPool pool;
+  platform::PlatformConfig pc;
+  pc.num_arrays = 3;
+  pc.line_width = size;
+  pc.pool = &pool;
+  platform::EvolvablePlatform platform(pc);
+
+  platform::CascadeConfig cfg;
+  cfg.es.generations = generations;
+  cfg.es.seed = 99;
+  cfg.fitness = platform::CascadeFitness::kSeparate;
+  cfg.schedule = platform::CascadeSchedule::kSequential;
+  const platform::CascadeResult result =
+      platform::evolve_cascade(platform, {0, 1, 2}, noisy, clean, cfg);
+
+  std::printf("noisy input MAE: %llu\n",
+              static_cast<unsigned long long>(
+                  img::aggregated_mae(noisy, clean)));
+  std::vector<img::Image> stages;
+  platform.process_cascade(noisy, &stages);
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    std::printf("after stage %zu:  MAE=%llu\n", s + 1,
+                static_cast<unsigned long long>(
+                    img::aggregated_mae(stages[s], clean)));
+  }
+  const img::Image median = img::median3x3(noisy);
+  std::printf("golden median:   MAE=%llu (the paper's conventional "
+              "baseline; not cascadable)\n",
+              static_cast<unsigned long long>(
+                  img::aggregated_mae(median, clean)));
+  std::printf("cascade latency: %llu cycles (FIFO fills + pipelines)\n",
+              static_cast<unsigned long long>(
+                  platform.cascade_latency_cycles()));
+
+  img::write_pgm(clean, "cascade_clean.pgm");
+  img::write_pgm(noisy, "cascade_noisy.pgm");
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    img::write_pgm(stages[s],
+                   "cascade_out" + std::to_string(s + 1) + ".pgm");
+  }
+  std::printf("wrote cascade_{clean,noisy,out1,out2,out3}.pgm\n");
+  return 0;
+}

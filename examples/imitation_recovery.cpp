@@ -1,0 +1,93 @@
+// Reference-free recovery (§V.A + Fig. 7): the training/reference images
+// are gone (flash worn out, memory hit by radiation) when a permanent
+// fault strikes a cascade stage. The damaged array is bypassed — the
+// stream keeps flowing — and LEARNS ITS OWN JOB BACK from the neighbouring
+// stage by evolution by imitation.
+//
+//   $ ./imitation_recovery [--size=48] [--generations=2500]
+
+#include <cstdio>
+
+#include "ehw/common/cli.hpp"
+#include "ehw/common/log.hpp"
+#include "ehw/img/metrics.hpp"
+#include "ehw/img/noise.hpp"
+#include "ehw/img/synthetic.hpp"
+#include "ehw/platform/evolution_driver.hpp"
+#include "ehw/platform/self_healing.hpp"
+
+using namespace ehw;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto size = static_cast<std::size_t>(cli.get_int("size", 48));
+  const auto generations =
+      static_cast<Generation>(cli.get_int("generations", 2500));
+  set_log_level(LogLevel::kInfo);
+
+  ThreadPool pool;
+  platform::PlatformConfig pc;
+  pc.num_arrays = 3;
+  pc.line_width = size;
+  pc.pool = &pool;
+  platform::EvolvablePlatform platform(pc);
+
+  // Mission setup: all three arrays evolved to the same denoising duty
+  // (parallel redundant configuration of §IV.A).
+  const img::Image clean = img::make_scene(size, size, 71);
+  Rng rng(3);
+  const img::Image noisy = img::add_salt_pepper(clean, 0.25, rng);
+  evo::EsConfig es;
+  es.generations = generations / 2;
+  es.seed = 13;
+  const platform::IntrinsicResult evolved =
+      platform::evolve_on_platform(platform, {0, 1, 2}, noisy, clean, es);
+  sim::SimTime barrier = platform.now();
+  for (std::size_t a = 0; a < 3; ++a) {
+    barrier = platform.configure_array(a, evolved.es.best, barrier).end;
+  }
+  std::printf("deployed circuit with fitness %llu on all arrays\n",
+              static_cast<unsigned long long>(evolved.es.best_fitness));
+
+  // The calibration-driven §V.A healing loop, with the reference marked
+  // UNAVAILABLE: recovery can only imitate.
+  platform::CascadeSelfHealing::Config hcfg;
+  hcfg.calibration_input = noisy;
+  hcfg.calibration_reference = platform.filter_array(0, noisy);
+  hcfg.tolerance = 0;
+  hcfg.recovery_es.generations = generations;
+  hcfg.recovery_es.seed = 17;
+  hcfg.reference_available = false;  // training images lost!
+  platform::CascadeSelfHealing healer(platform, {0, 1, 2}, hcfg);
+  healer.record_baseline();
+  std::printf("baselines recorded: {%llu, %llu, %llu}\n",
+              static_cast<unsigned long long>(healer.baseline(0)),
+              static_cast<unsigned long long>(healer.baseline(1)),
+              static_cast<unsigned long long>(healer.baseline(2)));
+
+  std::printf("\ncalibration check #1 (healthy)...\n");
+  healer.run_calibration_check();
+
+  std::printf("\n>>> permanent fault in array 1, cell (0,2); reference "
+              "images are NOT available\n");
+  platform.inject_pe_fault(1, 0, 2);
+  std::printf("calibration check #2 (detect -> scrub -> classify -> bypass "
+              "-> imitate)...\n");
+  healer.run_calibration_check();
+
+  std::printf("\ncalibration check #3 (recovered baseline)...\n");
+  const bool healthy = healer.run_calibration_check();
+  std::printf("\nfinal state: %s\n",
+              healthy ? "all arrays healthy against refreshed baselines"
+                      : "platform still degraded");
+
+  std::printf("\nevent log:\n");
+  for (const auto& e : healer.events()) {
+    std::printf("  t=%8.2f ms  array %zu  %-20s fitness=%llu %s\n",
+                sim::to_milliseconds(e.time), e.array,
+                std::string(platform::healing_event_name(e.kind)).c_str(),
+                static_cast<unsigned long long>(e.fitness),
+                e.detail.c_str());
+  }
+  return 0;
+}

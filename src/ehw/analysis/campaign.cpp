@@ -1,0 +1,69 @@
+#include "ehw/analysis/campaign.hpp"
+
+#include "ehw/img/metrics.hpp"
+#include "ehw/platform/evolution_driver.hpp"
+
+namespace ehw::analysis {
+
+std::size_t CampaignResult::masked_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& c : cells) n += c.masked() ? 1 : 0;
+  return n;
+}
+
+std::size_t CampaignResult::critical_count() const noexcept {
+  return cells.size() - masked_count();
+}
+
+CampaignResult run_pe_fault_campaign(platform::EvolvablePlatform& platform,
+                                     std::size_t array,
+                                     const img::Image& train,
+                                     const img::Image& reference,
+                                     const CampaignConfig& config) {
+  EHW_REQUIRE(platform.configured_genotype(array).has_value(),
+              "deploy a circuit before running the fault campaign");
+  const evo::Genotype deployed = *platform.configured_genotype(array);
+  const fpga::ArrayShape shape = platform.config().shape;
+
+  CampaignResult result;
+  result.array = array;
+  result.cells.reserve(shape.cell_count());
+
+  const img::Image healthy_out = platform.filter_array(array, train);
+  const Fitness healthy = img::aggregated_mae(healthy_out, reference);
+
+  for (std::size_t r = 0; r < shape.rows; ++r) {
+    for (std::size_t c = 0; c < shape.cols; ++c) {
+      CellFaultResult cell;
+      cell.row = r;
+      cell.col = c;
+      cell.healthy_fitness = healthy;
+
+      platform.inject_pe_fault(array, r, c);
+      const img::Image faulty_out = platform.filter_array(array, train);
+      cell.faulty_fitness = img::aggregated_mae(faulty_out, reference);
+
+      if (config.run_recovery && cell.faulty_fitness > healthy) {
+        evo::EsConfig es = config.recovery_es;
+        es.seed = config.recovery_es.seed + r * shape.cols + c;
+        // Start the recovery from the deployed circuit: the paper's §V
+        // re-evolution resumes from the mission chromosome.
+        const platform::IntrinsicResult rec = platform::evolve_on_platform(
+            platform, {array}, train, reference, es, &deployed);
+        cell.recovered_fitness = rec.es.best_fitness;
+        if (static_cast<double>(cell.recovered_fitness) <=
+            static_cast<double>(healthy) * config.supported_factor) {
+          ++result.supported_count;
+        }
+      }
+
+      // Restore: clear the fault, reconfigure the deployed circuit.
+      platform.clear_pe_fault(array, r, c);
+      platform.configure_array(array, deployed, platform.now());
+      result.cells.push_back(cell);
+    }
+  }
+  return result;
+}
+
+}  // namespace ehw::analysis

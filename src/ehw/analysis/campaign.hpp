@@ -1,0 +1,79 @@
+#pragma once
+// Systematic PE-level fault campaign (§VI.D: "Using a hardware based
+// fault analysis allows offering a systematic fault analysis, by injecting
+// faults in every position in every array of the architecture") and the
+// criticality assessment the paper lists as future work ("after analyzing
+// the criticality of all elements in the system, an overall fault
+// resistance assessment ... needs to be performed").
+//
+// For every PE position of a deployed circuit the campaign:
+//   1. injects the dummy-PE fault (the paper's PE-level model),
+//   2. measures the fitness degradation on a fixed workload,
+//   3. optionally runs a recovery evolution (re-evolution or imitation)
+//      and records the residual,
+//   4. removes the fault and restores the deployed circuit.
+// The result is a criticality map: which cells the current circuit can
+// lose silently, which degrade it, and which are mission-critical.
+
+#include <cstdint>
+#include <vector>
+
+#include "ehw/evo/es.hpp"
+#include "ehw/platform/platform.hpp"
+
+namespace ehw::analysis {
+
+struct CellFaultResult {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  /// Fitness of the deployed circuit before any fault.
+  Fitness healthy_fitness = 0;
+  /// Fitness with the dummy-PE fault in place.
+  Fitness faulty_fitness = 0;
+  /// Fitness after the recovery evolution (kInvalidFitness if disabled).
+  Fitness recovered_fitness = kInvalidFitness;
+  /// True when the fault did not change the output at all (dead cell for
+  /// this circuit: either structurally unobservable or logically masked).
+  [[nodiscard]] bool masked() const noexcept {
+    return faulty_fitness == healthy_fitness;
+  }
+  /// Relative degradation (0 = masked).
+  [[nodiscard]] double degradation() const noexcept {
+    if (faulty_fitness <= healthy_fitness) return 0.0;
+    return static_cast<double>(faulty_fitness - healthy_fitness);
+  }
+};
+
+struct CampaignConfig {
+  /// Run a recovery evolution per faulty cell and record the residual
+  /// (slower; enables the "supported faults" classification of §V).
+  bool run_recovery = false;
+  /// ES settings for recovery runs (seeded per cell from this seed).
+  evo::EsConfig recovery_es;
+  /// A recovered fitness within this factor of healthy counts as a
+  /// *supported* fault.
+  double supported_factor = 1.10;
+};
+
+struct CampaignResult {
+  std::size_t array = 0;
+  std::vector<CellFaultResult> cells;  // row-major
+  /// Cells whose fault never reached the output.
+  [[nodiscard]] std::size_t masked_count() const noexcept;
+  /// Cells that degraded the output (the complement of masked).
+  [[nodiscard]] std::size_t critical_count() const noexcept;
+  /// Of the critical cells, how many recovered within supported_factor
+  /// (only meaningful when run_recovery was set).
+  std::size_t supported_count = 0;
+};
+
+/// Runs the campaign on `array` of `platform`, which must already hold the
+/// deployed circuit. Fitness is measured as MAE(filter(train), reference).
+/// The platform is returned to its pre-campaign state (fault cleared and
+/// the deployed circuit reconfigured) after every cell.
+[[nodiscard]] CampaignResult run_pe_fault_campaign(
+    platform::EvolvablePlatform& platform, std::size_t array,
+    const img::Image& train, const img::Image& reference,
+    const CampaignConfig& config = {});
+
+}  // namespace ehw::analysis

@@ -1,0 +1,51 @@
+#include "ehw/analysis/dependability.hpp"
+
+#include <algorithm>
+
+#include "ehw/common/assert.hpp"
+
+namespace ehw::analysis {
+
+DependabilityReport estimate_dependability(const DependabilityInputs& in) {
+  EHW_REQUIRE(in.config_bits > 0, "config_bits must be positive");
+  EHW_REQUIRE(in.avf >= 0.0 && in.avf <= 1.0, "avf must be in [0,1]");
+  EHW_REQUIRE(in.permanent_fraction >= 0.0 && in.permanent_fraction <= 1.0,
+              "permanent_fraction must be in [0,1]");
+
+  DependabilityReport report;
+  const double lambda =
+      in.upsets_per_bit_second * in.config_bits * in.avf;  // per second
+  report.observable_rate = lambda;
+  if (lambda <= 0.0) {
+    report.simplex_mtbf = report.tmr_mtbf = 1e300;
+    report.simplex_availability = report.tmr_availability = 1.0;
+    return report;
+  }
+
+  const double scrub_s = sim::to_seconds(in.scrub_period);
+  const double recovery_s = sim::to_seconds(in.recovery_time);
+
+  // Simplex: every observable upset corrupts the output until healed —
+  // transient faults for half a scrub period on average, permanent faults
+  // for the full recovery evolution.
+  const double exposure =
+      (1.0 - in.permanent_fraction) * scrub_s / 2.0 +
+      in.permanent_fraction * recovery_s;
+  report.simplex_mtbf = 1.0 / lambda;
+  report.simplex_availability =
+      std::max(0.0, 1.0 - std::min(1.0, lambda * exposure));
+
+  // TMR: one faulty array is masked by the voter. The output only
+  // corrupts when a second array faults while the first is still exposed:
+  // rate ~ (3 lambda_a)(2 lambda_a x exposure_a) for per-array rates.
+  const double lambda_array = lambda / 3.0;
+  const double exposure_array = exposure;  // same healing machinery
+  const double double_fault_rate =
+      3.0 * lambda_array * (2.0 * lambda_array * exposure_array);
+  report.tmr_mtbf = double_fault_rate > 0 ? 1.0 / double_fault_rate : 1e300;
+  report.tmr_availability =
+      std::max(0.0, 1.0 - std::min(1.0, double_fault_rate * exposure_array));
+  return report;
+}
+
+}  // namespace ehw::analysis

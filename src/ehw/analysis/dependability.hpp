@@ -1,0 +1,53 @@
+#pragma once
+// Dependability estimator — the paper's motivation quantified: given an
+// SEU arrival rate (orbit-dependent), the measured architectural
+// vulnerability (SEU sweep), the scrub period and the measured recovery
+// times, estimate availability and mean time between *observable* output
+// corruptions for the §IV operating modes. A simple renewal-process model:
+//
+//   observable upset rate  = raw rate x device bits x AVF
+//   exposure (no TMR)      = scrub period / 2 on average per upset
+//   exposure (TMR)         = only during overlapping double faults within
+//                            a recovery window
+//
+// All rates are per simulated second; numbers come from the platform's
+// own measured constants, not from silicon.
+
+#include <cstddef>
+
+#include "ehw/sim/time.hpp"
+
+namespace ehw::analysis {
+
+struct DependabilityInputs {
+  /// Raw upsets per bit per second (e.g. LEO ~1e-10, GEO flare ~1e-7).
+  double upsets_per_bit_second = 1e-9;
+  /// Configuration bits exposed (geometry.total_words() * 32).
+  double config_bits = 0;
+  /// Fraction of flips that corrupt the output (from run_seu_sweep).
+  double avf = 0.5;
+  /// Blind/readback scrub period.
+  sim::SimTime scrub_period = sim::milliseconds(10.0);
+  /// Measured imitation/re-evolution recovery time for a permanent fault.
+  sim::SimTime recovery_time = sim::seconds(1.0);
+  /// Fraction of faults that are permanent (LPD) rather than transient.
+  double permanent_fraction = 0.01;
+};
+
+struct DependabilityReport {
+  /// Observable fault arrivals per second.
+  double observable_rate = 0;
+  /// Simplex (single array): mean seconds between corrupted output frames.
+  double simplex_mtbf = 0;
+  /// Simplex availability (fraction of time the output is trustworthy).
+  double simplex_availability = 0;
+  /// TMR: mean seconds between voted-output corruptions (needs a second
+  /// fault inside the first one's exposure window).
+  double tmr_mtbf = 0;
+  double tmr_availability = 0;
+};
+
+[[nodiscard]] DependabilityReport estimate_dependability(
+    const DependabilityInputs& inputs);
+
+}  // namespace ehw::analysis

@@ -1,0 +1,88 @@
+#include "ehw/analysis/report.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "ehw/common/table.hpp"
+
+namespace ehw::analysis {
+
+void render_criticality_map(std::ostream& os, const CampaignResult& result,
+                            const fpga::ArrayShape& shape) {
+  EHW_REQUIRE(result.cells.size() == shape.cell_count(),
+              "campaign result does not match the array shape");
+  os << "criticality map, array " << result.array
+     << "  ('.' masked, 'o' mild, 'X' critical):\n";
+  for (std::size_t r = 0; r < shape.rows; ++r) {
+    os << "  ";
+    for (std::size_t c = 0; c < shape.cols; ++c) {
+      const CellFaultResult& cell = result.cells[r * shape.cols + c];
+      char mark = 'X';
+      if (cell.masked()) {
+        mark = '.';
+      } else if (cell.degradation() <
+                 0.10 * static_cast<double>(cell.healthy_fitness + 1)) {
+        mark = 'o';
+      }
+      os << mark << ' ';
+    }
+    os << '\n';
+  }
+}
+
+std::string criticality_map_string(const CampaignResult& result,
+                                   const fpga::ArrayShape& shape) {
+  std::ostringstream os;
+  render_criticality_map(os, result, shape);
+  return os.str();
+}
+
+void render_campaign_table(std::ostream& os, const CampaignResult& result) {
+  Table table({"cell", "healthy MAE", "faulty MAE", "recovered MAE",
+               "classification"});
+  for (const auto& cell : result.cells) {
+    std::string cls;
+    if (cell.masked()) {
+      cls = "masked";
+    } else if (cell.recovered_fitness != kInvalidFitness) {
+      cls = cell.recovered_fitness <= cell.healthy_fitness * 11 / 10
+                ? "supported (recovered)"
+                : "degrading";
+    } else {
+      cls = "critical";
+    }
+    table.add_row({"(" + std::to_string(cell.row) + "," +
+                       std::to_string(cell.col) + ")",
+                   Table::integer(cell.healthy_fitness),
+                   Table::integer(cell.faulty_fitness),
+                   cell.recovered_fitness == kInvalidFitness
+                       ? "-"
+                       : Table::integer(cell.recovered_fitness),
+                   cls});
+  }
+  table.print(os);
+  os << "masked " << result.masked_count() << " / critical "
+     << result.critical_count();
+  if (result.supported_count > 0) {
+    os << " / supported-after-recovery " << result.supported_count;
+  }
+  os << '\n';
+}
+
+void render_seu_table(std::ostream& os, const SeuSweepResult& result) {
+  Table table({"slot", "flips", "corrupting", "AVF", "scrub-recovered"});
+  for (const auto& slot : result.slots) {
+    table.add_row({"(" + std::to_string(slot.row) + "," +
+                       std::to_string(slot.col) + ")",
+                   Table::integer(slot.flips),
+                   Table::integer(slot.corrupting),
+                   Table::num(slot.avf(), 3),
+                   Table::integer(slot.scrub_recovered)});
+  }
+  table.print(os);
+  os << "overall AVF " << Table::num(result.overall_avf(), 3) << " over "
+     << result.total_flips() << " flips; scrubbing healed "
+     << (result.all_scrub_recovered() ? "ALL" : "NOT all") << " flips\n";
+}
+
+}  // namespace ehw::analysis

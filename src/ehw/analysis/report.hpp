@@ -1,0 +1,27 @@
+#pragma once
+// Renderers for the analysis results: an ASCII criticality heat map per
+// array (which cells the deployed circuit can lose) and summary tables.
+
+#include <iosfwd>
+#include <string>
+
+#include "ehw/analysis/campaign.hpp"
+#include "ehw/analysis/seu_sweep.hpp"
+
+namespace ehw::analysis {
+
+/// Grid of cells marked by impact:
+///   '.' masked (fault invisible), 'o' mild (< 10% of the healthy-output
+///   dynamic), 'X' critical. Row-major like the array.
+void render_criticality_map(std::ostream& os, const CampaignResult& result,
+                            const fpga::ArrayShape& shape);
+[[nodiscard]] std::string criticality_map_string(
+    const CampaignResult& result, const fpga::ArrayShape& shape);
+
+/// Summary table: per cell healthy/faulty/recovered fitness.
+void render_campaign_table(std::ostream& os, const CampaignResult& result);
+
+/// Per-slot AVF table for the SEU sweep.
+void render_seu_table(std::ostream& os, const SeuSweepResult& result);
+
+}  // namespace ehw::analysis

@@ -1,0 +1,76 @@
+#include "ehw/analysis/seu_sweep.hpp"
+
+namespace ehw::analysis {
+
+std::size_t SeuSweepResult::total_flips() const noexcept {
+  std::size_t n = 0;
+  for (const auto& s : slots) n += s.flips;
+  return n;
+}
+
+std::size_t SeuSweepResult::total_corrupting() const noexcept {
+  std::size_t n = 0;
+  for (const auto& s : slots) n += s.corrupting;
+  return n;
+}
+
+double SeuSweepResult::overall_avf() const noexcept {
+  const std::size_t flips = total_flips();
+  return flips == 0 ? 0.0
+                    : static_cast<double>(total_corrupting()) /
+                          static_cast<double>(flips);
+}
+
+bool SeuSweepResult::all_scrub_recovered() const noexcept {
+  for (const auto& s : slots) {
+    if (s.scrub_recovered != s.flips) return false;
+  }
+  return true;
+}
+
+SeuSweepResult run_seu_sweep(platform::EvolvablePlatform& platform,
+                             std::size_t array, const img::Image& probe,
+                             const SeuSweepConfig& config) {
+  EHW_REQUIRE(config.bit_stride >= 1, "bit stride must be at least 1");
+  EHW_REQUIRE(platform.configured_genotype(array).has_value(),
+              "deploy a circuit before running the SEU sweep");
+  const fpga::ArrayShape shape = platform.config().shape;
+  const fpga::FabricGeometry& geometry = platform.geometry();
+  fpga::ConfigMemory& memory = platform.config_memory();
+
+  const img::Image golden = platform.filter_array(array, probe);
+
+  SeuSweepResult result;
+  result.array = array;
+  result.slots.reserve(shape.cell_count());
+  const std::size_t words = geometry.words_per_slot();
+
+  for (std::size_t r = 0; r < shape.rows; ++r) {
+    for (std::size_t c = 0; c < shape.cols; ++c) {
+      SlotSensitivity slot;
+      slot.row = r;
+      slot.col = c;
+      const std::size_t base = geometry.slot_word_base({array, r, c});
+      for (std::size_t bit_index = 0; bit_index < words * 32;
+           bit_index += config.bit_stride) {
+        const std::size_t word = base + bit_index / 32;
+        const auto bit = static_cast<unsigned>(bit_index % 32);
+        memory.flip_bit(word, bit);
+        ++slot.flips;
+        const img::Image out = platform.filter_array(array, probe);
+        if (!(out == golden)) ++slot.corrupting;
+        // Scrub the slot and verify full functional recovery.
+        std::size_t corrected = 0;
+        std::size_t uncorrectable = 0;
+        platform.scrub_array(array, platform.now(), &corrected,
+                             &uncorrectable);
+        const img::Image healed = platform.filter_array(array, probe);
+        if (healed == golden && uncorrectable == 0) ++slot.scrub_recovered;
+      }
+      result.slots.push_back(slot);
+    }
+  }
+  return result;
+}
+
+}  // namespace ehw::analysis

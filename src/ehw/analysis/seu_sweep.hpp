@@ -1,0 +1,59 @@
+#pragma once
+// SEU sensitivity sweep: the "realistic fault model" assessment the paper
+// defers to future work. Instead of the PE-level dummy model, this sweep
+// flips individual configuration bits (optionally every bit of an array's
+// footprint), classifies the effect, and verifies scrub recovery:
+//
+//   benign     - output unchanged (bit was don't-care for this circuit,
+//                e.g. in a dead row or masked logic);
+//   corrupting - output changed while the flip persisted;
+// and for every flip, whether a slot scrub restored the exact output.
+//
+// This quantifies the paper's claim that transient faults need scrubbing
+// only, and measures the circuit's architectural vulnerability factor
+// (AVF = corrupting flips / total flips) per PE slot.
+
+#include <cstdint>
+#include <vector>
+
+#include "ehw/platform/platform.hpp"
+
+namespace ehw::analysis {
+
+struct SeuSweepConfig {
+  /// Flip every `stride`-th bit of the slot footprint (1 = exhaustive).
+  std::size_t bit_stride = 1;
+};
+
+struct SlotSensitivity {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  std::size_t flips = 0;
+  std::size_t corrupting = 0;
+  std::size_t scrub_recovered = 0;  // flips fully healed by a slot scrub
+  [[nodiscard]] double avf() const noexcept {
+    return flips == 0 ? 0.0
+                      : static_cast<double>(corrupting) /
+                            static_cast<double>(flips);
+  }
+};
+
+struct SeuSweepResult {
+  std::size_t array = 0;
+  std::vector<SlotSensitivity> slots;  // row-major
+  [[nodiscard]] std::size_t total_flips() const noexcept;
+  [[nodiscard]] std::size_t total_corrupting() const noexcept;
+  [[nodiscard]] double overall_avf() const noexcept;
+  /// True when every injected flip was healed by scrubbing (the §V
+  /// transient-fault guarantee).
+  [[nodiscard]] bool all_scrub_recovered() const noexcept;
+};
+
+/// Sweeps the array's configuration bits. The platform must hold a
+/// deployed circuit; it is left exactly as found (every flip is scrubbed
+/// before moving on). Output equality is judged on `probe` frames.
+[[nodiscard]] SeuSweepResult run_seu_sweep(
+    platform::EvolvablePlatform& platform, std::size_t array,
+    const img::Image& probe, const SeuSweepConfig& config = {});
+
+}  // namespace ehw::analysis

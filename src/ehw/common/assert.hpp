@@ -1,0 +1,45 @@
+#pragma once
+// Lightweight contract checking used across the library.
+//
+// EHW_REQUIRE  - precondition check, always on (throws std::logic_error).
+// EHW_ASSERT   - internal invariant, compiled out in NDEBUG builds.
+//
+// We throw instead of aborting so that unit tests can assert on violations
+// and so that a misconfigured platform surfaces a catchable diagnostic.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ehw::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line,
+                                          const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " violated: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " - " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace ehw::detail
+
+#define EHW_REQUIRE(expr, msg)                                              \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::ehw::detail::contract_failure("precondition", #expr, __FILE__,      \
+                                      __LINE__, (msg));                     \
+  } while (false)
+
+#ifdef NDEBUG
+#define EHW_ASSERT(expr, msg) \
+  do {                        \
+  } while (false)
+#else
+#define EHW_ASSERT(expr, msg)                                             \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::ehw::detail::contract_failure("invariant", #expr, __FILE__,       \
+                                      __LINE__, (msg));                   \
+  } while (false)
+#endif

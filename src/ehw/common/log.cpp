@@ -1,0 +1,35 @@
+#include "ehw/common/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace ehw {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info ";
+    case LogLevel::kWarn: return "warn ";
+    case LogLevel::kError: return "error";
+    default: return "off  ";
+  }
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(); }
+
+void log_line(LogLevel level, const std::string& msg) {
+  if (level < log_level()) return;
+  std::lock_guard lock(g_mutex);
+  std::cerr << '[' << level_name(level) << "] " << msg << '\n';
+}
+
+}  // namespace ehw

@@ -1,0 +1,48 @@
+#pragma once
+// Tiny leveled logger. The self-healing controllers narrate their state
+// machines through this so that examples and benches can show the healing
+// sequence the paper describes (detect -> scrub -> classify -> recover).
+
+#include <sstream>
+#include <string>
+
+namespace ehw {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are discarded. Defaults to kWarn so
+/// tests stay quiet; examples raise it to kInfo.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emits one line ("[level] message") to stderr if enabled.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <typename... Ts>
+void log_fmt(LogLevel level, const Ts&... parts) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  (os << ... << parts);
+  log_line(level, os.str());
+}
+}  // namespace detail
+
+template <typename... Ts>
+void log_debug(const Ts&... parts) {
+  detail::log_fmt(LogLevel::kDebug, parts...);
+}
+template <typename... Ts>
+void log_info(const Ts&... parts) {
+  detail::log_fmt(LogLevel::kInfo, parts...);
+}
+template <typename... Ts>
+void log_warn(const Ts&... parts) {
+  detail::log_fmt(LogLevel::kWarn, parts...);
+}
+template <typename... Ts>
+void log_error(const Ts&... parts) {
+  detail::log_fmt(LogLevel::kError, parts...);
+}
+
+}  // namespace ehw

@@ -1,0 +1,18 @@
+#include "ehw/common/rng.hpp"
+
+namespace ehw {
+
+std::uint64_t hash_mix(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                       std::uint64_t c) {
+  std::uint64_t s = seed;
+  std::uint64_t h = splitmix64(s);
+  s ^= a + 0x9E3779B97F4A7C15ULL;
+  h ^= splitmix64(s);
+  s ^= b + 0xC2B2AE3D27D4EB4FULL;
+  h ^= splitmix64(s);
+  s ^= c + 0x165667B19E3779F9ULL;
+  h ^= splitmix64(s);
+  return h;
+}
+
+}  // namespace ehw

@@ -1,0 +1,115 @@
+#pragma once
+// Deterministic, splittable random number generation.
+//
+// Every stochastic component of the simulator (EA mutation, noise
+// injectors, fault injectors, dummy PEs) owns its own Rng stream derived
+// from a master seed, so that experiments are bit-reproducible regardless
+// of host threading. The generator is xoshiro256** seeded via SplitMix64,
+// which is both fast and statistically strong enough for evolutionary
+// search and fault sampling.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "ehw/common/assert.hpp"
+
+namespace ehw {
+
+/// SplitMix64 step; used for seeding and for cheap stateless hashing.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four words of state through SplitMix64 as recommended by
+  /// the xoshiro authors (never yields the all-zero state).
+  explicit Rng(std::uint64_t seed = 0x6D9A4C3B2E1F0857ULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& w : state_) w = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire reduction).
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept {
+    EHW_ASSERT(bound > 0, "below() needs a positive bound");
+    // 128-bit multiply-shift; rejection loop for exactness.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the closed interval [lo, hi].
+  [[nodiscard]] std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    EHW_ASSERT(lo <= hi, "range() needs lo <= hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability p.
+  [[nodiscard]] bool chance(double p) noexcept { return uniform() < p; }
+
+  /// One uniformly random 8-bit pixel; used by the dummy (faulty) PE.
+  [[nodiscard]] std::uint8_t byte() noexcept {
+    return static_cast<std::uint8_t>((*this)() >> 56);
+  }
+
+  /// Derives an independent child stream. Mixing the salt through
+  /// SplitMix64 keeps sibling streams decorrelated.
+  [[nodiscard]] Rng split(std::uint64_t salt) noexcept {
+    std::uint64_t sm = (*this)() ^ (salt * 0x9E3779B97F4A7C15ULL);
+    return Rng(splitmix64(sm));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t v, int k) noexcept {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Stateless hash of (seed, salt...); handy for content-derived seeds such
+/// as per-PE fault randomness that must not depend on call order.
+[[nodiscard]] std::uint64_t hash_mix(std::uint64_t seed,
+                                     std::uint64_t a = 0, std::uint64_t b = 0,
+                                     std::uint64_t c = 0);
+
+}  // namespace ehw

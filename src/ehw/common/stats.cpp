@@ -1,0 +1,80 @@
+#include "ehw/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ehw/common/assert.hpp"
+
+namespace ehw {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double nt = na + nb;
+  mean_ += delta * nb / nt;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double mean_of(const std::vector<double>& xs) {
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.mean();
+}
+
+double stddev_of(const std::vector<double>& xs) {
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.stddev();
+}
+
+double percentile_of(std::vector<double> xs, double p) {
+  EHW_REQUIRE(!xs.empty(), "percentile of empty sample");
+  EHW_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p out of range");
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs.front();
+  const double pos = (p / 100.0) * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+double min_of(const std::vector<double>& xs) {
+  EHW_REQUIRE(!xs.empty(), "min of empty sample");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(const std::vector<double>& xs) {
+  EHW_REQUIRE(!xs.empty(), "max of empty sample");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+}  // namespace ehw

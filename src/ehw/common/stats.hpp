@@ -1,0 +1,43 @@
+#pragma once
+// Streaming and batch statistics used to aggregate experiment repetitions
+// (the paper reports averages over 50 runs and best-of-run values).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ehw {
+
+/// Welford running mean/variance plus min/max; numerically stable, O(1)
+/// per sample, mergeable across threads.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  /// Merges another accumulator (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch helpers over a sample vector.
+[[nodiscard]] double mean_of(const std::vector<double>& xs);
+[[nodiscard]] double stddev_of(const std::vector<double>& xs);
+/// Linear-interpolated percentile, p in [0,100]. Sorts a copy.
+[[nodiscard]] double percentile_of(std::vector<double> xs, double p);
+[[nodiscard]] double min_of(const std::vector<double>& xs);
+[[nodiscard]] double max_of(const std::vector<double>& xs);
+
+}  // namespace ehw

@@ -1,0 +1,35 @@
+#pragma once
+// ASCII table printer. Every figure-reproduction bench prints its series as
+// a table whose rows mirror the paper's plot, so results are diffable and
+// greppable from bench_output.txt.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ehw {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+  static std::string integer(std::uint64_t v);
+
+  /// Renders with column alignment and +---+ rules.
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ehw

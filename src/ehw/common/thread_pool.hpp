@@ -1,0 +1,68 @@
+#pragma once
+// A small fixed-size thread pool with a blocking parallel_for.
+//
+// The simulator separates *simulated* time (ehw::sim::SimClock, which
+// models the FPGA) from *host* time. Host threads are only an accelerator
+// for the functional simulation: candidate circuits evaluated on different
+// simulated arrays are independent pixel pipelines, so we fan their
+// evaluation out across cores. Determinism is preserved because each unit
+// of work owns its own RNG stream and writes to disjoint outputs.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ehw {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task and returns its future.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Runs fn(i) for i in [begin, end), blocking until all complete.
+  /// Work is split into contiguous chunks (one per worker) so that image
+  /// rows stay cache-friendly. Executes inline when the range is tiny or
+  /// the pool has a single worker.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide pool, sized to the machine. Benches and drivers share it
+  /// so we never oversubscribe the host.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace ehw

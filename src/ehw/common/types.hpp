@@ -1,0 +1,24 @@
+#pragma once
+// Foundational scalar types shared by every MPA-EHW module.
+
+#include <cstdint>
+#include <cstddef>
+
+namespace ehw {
+
+/// 8-bit grayscale pixel, the only data type the processing arrays operate on.
+using Pixel = std::uint8_t;
+
+/// Aggregated Mean Absolute Error ("pixel aggregated MAE" in the paper):
+/// the sum over the image of |output - reference|. Lower is better; 0 means
+/// the two images are identical. For a 256x256 image the worst case is
+/// 256*256*255 < 2^25, so uint64 never overflows even for huge frames.
+using Fitness = std::uint64_t;
+
+/// Sentinel for "no fitness measured yet" / invalid candidate.
+inline constexpr Fitness kInvalidFitness = ~Fitness{0};
+
+/// A generation index inside an evolutionary run.
+using Generation = std::uint64_t;
+
+}  // namespace ehw

@@ -1,0 +1,66 @@
+#include "ehw/evo/es.hpp"
+
+#include "ehw/evo/fitness.hpp"
+#include "ehw/evo/offspring.hpp"
+
+namespace ehw::evo {
+
+EsResult evolve_extrinsic_from(const EsConfig& config, Genotype parent,
+                               const img::Image& train,
+                               const img::Image& reference, ThreadPool* pool) {
+  EHW_REQUIRE(train.same_shape(reference), "train/reference shape mismatch");
+  Rng rng(config.seed);
+
+  EsResult result;
+  result.best = parent;
+  result.best_fitness = evaluate_extrinsic(parent, train, reference, pool);
+  if (config.record_history) {
+    result.history.push_back({0, result.best_fitness});
+  }
+
+  Fitness parent_fitness = result.best_fitness;
+  for (Generation gen = 1; gen <= config.generations; ++gen) {
+    if (result.best_fitness <= config.target) break;
+    auto offspring =
+        config.two_level
+            ? two_level_offspring(parent, config.lambda, config.lanes,
+                                  config.mutation_rate, rng)
+            : classic_offspring(parent, config.lambda, config.lanes,
+                                config.mutation_rate, rng);
+    // Evaluate the wave; lanes are a timing concept, extrinsically we just
+    // evaluate everything (order does not affect the selected survivor).
+    std::size_t best_idx = 0;
+    Fitness best_fit = kInvalidFitness;
+    for (std::size_t i = 0; i < offspring.size(); ++i) {
+      const Fitness f =
+          evaluate_extrinsic(offspring[i].genotype, train, reference, pool);
+      if (f < best_fit) {
+        best_fit = f;
+        best_idx = i;
+      }
+    }
+    result.generations_run = gen;
+    // (1+lambda); with neutral drift a tie also replaces the parent.
+    if (best_fit < parent_fitness ||
+        (config.accept_equal_fitness && best_fit == parent_fitness)) {
+      parent = offspring[best_idx].genotype;
+      parent_fitness = best_fit;
+    }
+    if (best_fit < result.best_fitness) {
+      result.best = offspring[best_idx].genotype;
+      result.best_fitness = best_fit;
+      if (config.record_history) result.history.push_back({gen, best_fit});
+    }
+  }
+  return result;
+}
+
+EsResult evolve_extrinsic(const EsConfig& config, fpga::ArrayShape shape,
+                          const img::Image& train, const img::Image& reference,
+                          ThreadPool* pool) {
+  Rng seed_rng(config.seed ^ 0xA5A5A5A5A5A5A5A5ULL);
+  return evolve_extrinsic_from(config, Genotype::random(shape, seed_rng),
+                               train, reference, pool);
+}
+
+}  // namespace ehw::evo

@@ -1,0 +1,74 @@
+#pragma once
+// The (1 + lambda) Evolution Strategy (§III.A: "getting inspiration from
+// Cartesian Genetic Programming, a simple (1+k) Evolution Strategy with 1
+// parent and lambda offspring"). This header provides:
+//   * the configuration/result records shared by every evolution driver
+//     (extrinsic below, and the intrinsic platform drivers), and
+//   * an extrinsic implementation used for tests and algorithm studies.
+// Parent replacement follows the CGP convention: an offspring replaces the
+// parent when its fitness is LESS OR EQUAL (neutral drift is essential for
+// escaping plateaus with such compact genotypes).
+
+#include <cstdint>
+#include <vector>
+
+#include "ehw/common/thread_pool.hpp"
+#include "ehw/common/types.hpp"
+#include "ehw/evo/genotype.hpp"
+#include "ehw/img/image.hpp"
+
+namespace ehw::evo {
+
+struct EsConfig {
+  /// Offspring per generation ("nine chromosomes are generated in every
+  /// generation", §VI.B).
+  std::size_t lambda = 9;
+  /// Mutation rate k: genes changed per offspring (paper sweeps 1/3/5).
+  std::size_t mutation_rate = 3;
+  /// Use the paper's two-level mutation strategy instead of classic.
+  bool two_level = false;
+  /// Evaluation lanes (= number of arrays used); controls batch structure.
+  std::size_t lanes = 1;
+  /// Generation budget.
+  Generation generations = 1000;
+  /// Stop early once best fitness <= target (0 keeps running to budget
+  /// unless a perfect 0 fitness shows up).
+  Fitness target = 0;
+  /// Master seed for the run's RNG stream.
+  std::uint64_t seed = 1;
+  /// Record (generation, fitness) whenever the best improves.
+  bool record_history = true;
+  /// CGP neutral drift: accept an offspring whose fitness EQUALS the
+  /// parent's. Keeping this on is the published design; the ablation bench
+  /// switches it off to show why it matters on plateaued landscapes.
+  bool accept_equal_fitness = true;
+};
+
+struct HistoryPoint {
+  Generation generation = 0;
+  Fitness fitness = 0;
+};
+
+struct EsResult {
+  Genotype best;
+  Fitness best_fitness = kInvalidFitness;
+  Generation generations_run = 0;
+  std::vector<HistoryPoint> history;
+};
+
+/// Runs the ES fully extrinsically (host evaluation, no fabric, no timing):
+/// evolves a filter mapping `train` to `reference`.
+[[nodiscard]] EsResult evolve_extrinsic(const EsConfig& config,
+                                        fpga::ArrayShape shape,
+                                        const img::Image& train,
+                                        const img::Image& reference,
+                                        ThreadPool* pool = nullptr);
+
+/// Same, but starting from a given parent instead of a random genotype.
+[[nodiscard]] EsResult evolve_extrinsic_from(const EsConfig& config,
+                                             Genotype parent,
+                                             const img::Image& train,
+                                             const img::Image& reference,
+                                             ThreadPool* pool = nullptr);
+
+}  // namespace ehw::evo

@@ -1,0 +1,19 @@
+#include "ehw/evo/fitness.hpp"
+
+namespace ehw::evo {
+
+Fitness evaluate_extrinsic(const Genotype& genotype, const img::Image& train,
+                           const img::Image& reference, ThreadPool* pool) {
+  const pe::CompiledArray compiled(genotype.to_array());
+  return compiled.fitness_against(train, reference, pool);
+}
+
+img::Image apply_genotype(const Genotype& genotype, const img::Image& src,
+                          ThreadPool* pool) {
+  const pe::CompiledArray compiled(genotype.to_array());
+  img::Image out(src.width(), src.height());
+  compiled.filter_into(src, out, pool);
+  return out;
+}
+
+}  // namespace ehw::evo

@@ -1,0 +1,28 @@
+#pragma once
+// Extrinsic fitness evaluation: build the phenotype straight from the
+// genotype and measure aggregated MAE on the host, bypassing the fabric.
+// Used by unit tests, by the offline seeding of experiments, and as the
+// golden reference the intrinsic (through-the-fabric) path must agree with
+// when no faults are present.
+
+#include "ehw/common/thread_pool.hpp"
+#include "ehw/common/types.hpp"
+#include "ehw/evo/genotype.hpp"
+#include "ehw/img/image.hpp"
+#include "ehw/img/metrics.hpp"
+#include "ehw/pe/compiled.hpp"
+
+namespace ehw::evo {
+
+/// MAE of filtering `train` with `genotype` against `reference`.
+[[nodiscard]] Fitness evaluate_extrinsic(const Genotype& genotype,
+                                         const img::Image& train,
+                                         const img::Image& reference,
+                                         ThreadPool* pool = nullptr);
+
+/// Filters `src` with the genotype's phenotype.
+[[nodiscard]] img::Image apply_genotype(const Genotype& genotype,
+                                        const img::Image& src,
+                                        ThreadPool* pool = nullptr);
+
+}  // namespace ehw::evo

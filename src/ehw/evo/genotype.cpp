@@ -1,0 +1,139 @@
+#include "ehw/evo/genotype.hpp"
+
+#include <sstream>
+
+#include "ehw/pe/functions.hpp"
+#include "ehw/reconfig/pbs_library.hpp"
+
+namespace ehw::evo {
+
+Genotype::Genotype(fpga::ArrayShape shape)
+    : shape_(shape),
+      function_genes_(shape.cell_count(), 0),
+      tap_genes_(shape.rows + shape.cols, 0) {
+  EHW_REQUIRE(shape.rows > 0 && shape.cols > 0, "degenerate shape");
+}
+
+Genotype Genotype::random(fpga::ArrayShape shape, Rng& rng) {
+  Genotype g(shape);
+  for (auto& fg : g.function_genes_) {
+    fg = static_cast<std::uint8_t>(rng.below(reconfig::kFunctionCount));
+  }
+  for (auto& tg : g.tap_genes_) {
+    tg = static_cast<std::uint8_t>(rng.below(pe::kWindowTaps));
+  }
+  g.output_row_ = static_cast<std::uint8_t>(rng.below(shape.rows));
+  return g;
+}
+
+std::uint8_t Genotype::function_gene(std::size_t cell) const {
+  EHW_REQUIRE(cell < function_genes_.size(), "cell gene out of range");
+  return function_genes_[cell];
+}
+
+void Genotype::set_function_gene(std::size_t cell, std::uint8_t op) {
+  EHW_REQUIRE(cell < function_genes_.size(), "cell gene out of range");
+  EHW_REQUIRE(op < reconfig::kFunctionCount, "function gene out of range");
+  function_genes_[cell] = op;
+}
+
+std::uint8_t Genotype::tap_gene(std::size_t input) const {
+  EHW_REQUIRE(input < tap_genes_.size(), "tap gene out of range");
+  return tap_genes_[input];
+}
+
+void Genotype::set_tap_gene(std::size_t input, std::uint8_t tap) {
+  EHW_REQUIRE(input < tap_genes_.size(), "tap gene out of range");
+  EHW_REQUIRE(tap < pe::kWindowTaps, "tap value out of range");
+  tap_genes_[input] = tap;
+}
+
+void Genotype::set_output_row(std::uint8_t row) {
+  EHW_REQUIRE(row < shape_.rows, "output row out of range");
+  output_row_ = row;
+}
+
+std::size_t Genotype::gene_cardinality(std::size_t gene) const {
+  EHW_REQUIRE(gene < gene_count(), "gene index out of range");
+  if (gene < cell_count()) return reconfig::kFunctionCount;
+  if (gene < cell_count() + input_count()) return pe::kWindowTaps;
+  return shape_.rows;
+}
+
+std::uint8_t Genotype::gene_value(std::size_t gene) const {
+  EHW_REQUIRE(gene < gene_count(), "gene index out of range");
+  if (gene < cell_count()) return function_genes_[gene];
+  if (gene < cell_count() + input_count()) {
+    return tap_genes_[gene - cell_count()];
+  }
+  return output_row_;
+}
+
+void Genotype::set_gene_value(std::size_t gene, std::uint8_t value) {
+  EHW_REQUIRE(gene < gene_count(), "gene index out of range");
+  EHW_REQUIRE(value < gene_cardinality(gene), "gene value out of range");
+  if (gene < cell_count()) {
+    function_genes_[gene] = value;
+  } else if (gene < cell_count() + input_count()) {
+    tap_genes_[gene - cell_count()] = value;
+  } else {
+    output_row_ = value;
+  }
+}
+
+pe::SystolicArray Genotype::to_array() const {
+  pe::SystolicArray array(shape_);
+  for (std::size_t r = 0; r < shape_.rows; ++r) {
+    for (std::size_t c = 0; c < shape_.cols; ++c) {
+      pe::CellConfig cc;
+      cc.op = static_cast<pe::PeOp>(function_genes_[r * shape_.cols + c]);
+      array.set_cell(r, c, cc);
+    }
+  }
+  for (std::size_t i = 0; i < tap_genes_.size(); ++i) {
+    array.set_input_select(i, tap_genes_[i]);
+  }
+  array.set_output_row(output_row_);
+  return array;
+}
+
+std::vector<std::size_t> Genotype::function_diff(const Genotype& a,
+                                                 const Genotype& b) {
+  EHW_REQUIRE(a.shape_ == b.shape_, "shape mismatch");
+  std::vector<std::size_t> diff;
+  for (std::size_t i = 0; i < a.function_genes_.size(); ++i) {
+    if (a.function_genes_[i] != b.function_genes_[i]) diff.push_back(i);
+  }
+  return diff;
+}
+
+std::size_t Genotype::hamming_distance(const Genotype& a, const Genotype& b) {
+  EHW_REQUIRE(a.shape_ == b.shape_, "shape mismatch");
+  std::size_t d = 0;
+  for (std::size_t g = 0; g < a.gene_count(); ++g) {
+    if (a.gene_value(g) != b.gene_value(g)) ++d;
+  }
+  return d;
+}
+
+std::string Genotype::to_string() const {
+  std::ostringstream os;
+  os << "fn[";
+  for (std::size_t r = 0; r < shape_.rows; ++r) {
+    if (r) os << " | ";
+    for (std::size_t c = 0; c < shape_.cols; ++c) {
+      if (c) os << ' ';
+      os << pe::op_name(
+          static_cast<pe::PeOp>(function_genes_[r * shape_.cols + c]));
+    }
+  }
+  os << "] taps[";
+  for (std::size_t i = 0; i < tap_genes_.size(); ++i) {
+    if (i) os << ' ';
+    os << int{tap_genes_[i]};
+  }
+  os << "] out=" << int{output_row_};
+  return os.str();
+}
+
+}  // namespace ehw::evo

@@ -1,0 +1,93 @@
+#pragma once
+// Genotype encoding (§III.A): one candidate circuit is exactly described by
+//   * one 4-bit function gene per PE (16 library functions);
+//   * one window-tap gene per array input (rows + cols inputs, each a
+//     9-to-1 mux over the 3x3 window);
+//   * one output-mux gene selecting which east-side row drives the output.
+// Function genes live in the fabric (changing one costs a DPR write);
+// tap/output genes live in ACB control registers (cheap writes). The
+// mutation-cost asymmetry is what the paper's two-level EA exploits.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ehw/common/rng.hpp"
+#include "ehw/fpga/geometry.hpp"
+#include "ehw/pe/array.hpp"
+
+namespace ehw::evo {
+
+class Genotype {
+ public:
+  Genotype() = default;
+  explicit Genotype(fpga::ArrayShape shape);
+
+  /// Uniformly random genotype.
+  [[nodiscard]] static Genotype random(fpga::ArrayShape shape, Rng& rng);
+
+  [[nodiscard]] const fpga::ArrayShape& shape() const noexcept {
+    return shape_;
+  }
+
+  /// --- gene blocks -------------------------------------------------------
+  [[nodiscard]] std::size_t cell_count() const noexcept {
+    return shape_.cell_count();
+  }
+  [[nodiscard]] std::size_t input_count() const noexcept {
+    return shape_.rows + shape_.cols;
+  }
+  /// Total genes = cells + inputs + 1 (output row).
+  [[nodiscard]] std::size_t gene_count() const noexcept {
+    return cell_count() + input_count() + 1;
+  }
+
+  [[nodiscard]] std::uint8_t function_gene(std::size_t cell) const;
+  void set_function_gene(std::size_t cell, std::uint8_t op);
+
+  [[nodiscard]] std::uint8_t tap_gene(std::size_t input) const;
+  void set_tap_gene(std::size_t input, std::uint8_t tap);
+
+  [[nodiscard]] std::uint8_t output_row() const noexcept { return output_row_; }
+  void set_output_row(std::uint8_t row);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& function_genes()
+      const noexcept {
+    return function_genes_;
+  }
+  [[nodiscard]] const std::vector<std::uint8_t>& tap_genes() const noexcept {
+    return tap_genes_;
+  }
+
+  /// --- flat gene addressing (mutation operates on this space) ------------
+  /// Gene g: [0, cells) = function; [cells, cells+inputs) = tap; last =
+  /// output row. Returns the number of alternative values gene g can take.
+  [[nodiscard]] std::size_t gene_cardinality(std::size_t gene) const;
+  [[nodiscard]] std::uint8_t gene_value(std::size_t gene) const;
+  void set_gene_value(std::size_t gene, std::uint8_t value);
+
+  /// --- phenotype ----------------------------------------------------------
+  /// Builds the behavioural array directly (the extrinsic path used by
+  /// unit tests; intrinsic evaluation goes through the fabric instead).
+  [[nodiscard]] pe::SystolicArray to_array() const;
+
+  /// --- analysis ------------------------------------------------------------
+  /// Indices of cells whose function genes differ (the DPR diff).
+  [[nodiscard]] static std::vector<std::size_t> function_diff(
+      const Genotype& a, const Genotype& b);
+  /// Total differing genes across all blocks.
+  [[nodiscard]] static std::size_t hamming_distance(const Genotype& a,
+                                                    const Genotype& b);
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Genotype&, const Genotype&) = default;
+
+ private:
+  fpga::ArrayShape shape_{};
+  std::vector<std::uint8_t> function_genes_;
+  std::vector<std::uint8_t> tap_genes_;
+  std::uint8_t output_row_ = 0;
+};
+
+}  // namespace ehw::evo

@@ -1,0 +1,39 @@
+#include "ehw/evo/mutation.hpp"
+
+#include <algorithm>
+
+namespace ehw::evo {
+
+std::vector<std::size_t> mutate(Genotype& genotype, std::size_t k, Rng& rng) {
+  const std::size_t genes = genotype.gene_count();
+  k = std::min(k, genes);
+  // Partial Fisher-Yates over gene indices: k distinct positions, unbiased.
+  std::vector<std::size_t> order(genes);
+  for (std::size_t i = 0; i < genes; ++i) order[i] = i;
+  std::vector<std::size_t> picked;
+  picked.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + rng.below(genes - i);
+    std::swap(order[i], order[j]);
+    picked.push_back(order[i]);
+  }
+  for (const std::size_t g : picked) {
+    const std::size_t card = genotype.gene_cardinality(g);
+    if (card < 2) continue;  // cannot change a 1-valued gene
+    const std::uint8_t old = genotype.gene_value(g);
+    // Draw from the card-1 values != old.
+    auto fresh = static_cast<std::uint8_t>(rng.below(card - 1));
+    if (fresh >= old) ++fresh;
+    genotype.set_gene_value(g, fresh);
+  }
+  std::sort(picked.begin(), picked.end());
+  return picked;
+}
+
+Genotype mutated_copy(const Genotype& parent, std::size_t k, Rng& rng) {
+  Genotype child = parent;
+  mutate(child, k, rng);
+  return child;
+}
+
+}  // namespace ehw::evo

@@ -1,0 +1,23 @@
+#pragma once
+// Point mutation. The paper parameterizes evolution by a mutation rate
+// k in {1, 3, 5}: the number of genes changed per offspring. Mutating a
+// gene always assigns a *different* value (a silent self-assignment would
+// make k meaningless for the DPR-cost analysis of §VI.B).
+
+#include <cstddef>
+#include <vector>
+
+#include "ehw/common/rng.hpp"
+#include "ehw/evo/genotype.hpp"
+
+namespace ehw::evo {
+
+/// Mutates exactly `k` distinct genes of `genotype` in place (k is clamped
+/// to the gene count). Returns the indices of the mutated genes.
+std::vector<std::size_t> mutate(Genotype& genotype, std::size_t k, Rng& rng);
+
+/// Convenience: returns a mutated copy.
+[[nodiscard]] Genotype mutated_copy(const Genotype& parent, std::size_t k,
+                                    Rng& rng);
+
+}  // namespace ehw::evo

@@ -1,0 +1,51 @@
+#include "ehw/evo/offspring.hpp"
+
+#include "ehw/common/assert.hpp"
+#include "ehw/evo/mutation.hpp"
+
+namespace ehw::evo {
+
+std::vector<Candidate> classic_offspring(const Genotype& parent,
+                                         std::size_t lambda,
+                                         std::size_t lanes, std::size_t k,
+                                         Rng& rng) {
+  EHW_REQUIRE(lambda > 0 && lanes > 0, "lambda and lanes must be positive");
+  std::vector<Candidate> out;
+  out.reserve(lambda);
+  for (std::size_t i = 0; i < lambda; ++i) {
+    Candidate c;
+    c.genotype = mutated_copy(parent, k, rng);
+    c.lane = i % lanes;
+    c.batch = i / lanes;
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+std::vector<Candidate> two_level_offspring(const Genotype& parent,
+                                           std::size_t lambda,
+                                           std::size_t lanes, std::size_t k,
+                                           Rng& rng) {
+  EHW_REQUIRE(lambda > 0 && lanes > 0, "lambda and lanes must be positive");
+  std::vector<Candidate> out;
+  out.reserve(lambda);
+  // prev[lane] = chromosome that lane evaluated in the previous batch.
+  std::vector<const Genotype*> prev(lanes, &parent);
+  for (std::size_t i = 0; i < lambda; ++i) {
+    const std::size_t batch = i / lanes;
+    const std::size_t lane = i % lanes;
+    Candidate c;
+    if (batch == 0) {
+      c.genotype = mutated_copy(parent, k, rng);  // nominal rate
+    } else {
+      c.genotype = mutated_copy(*prev[lane], 1, rng);  // low rate chain
+    }
+    c.lane = lane;
+    c.batch = batch;
+    out.push_back(std::move(c));
+    prev[lane] = &out.back().genotype;  // stable: vector was reserved
+  }
+  return out;
+}
+
+}  // namespace ehw::evo

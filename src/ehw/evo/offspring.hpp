@@ -1,0 +1,44 @@
+#pragma once
+// Offspring generation for one (1 + lambda) generation, in the two shapes
+// compared by §VI.B:
+//
+//   CLASSIC: every one of the lambda offspring mutates the parent at the
+//   nominal rate k. Configured back-to-back on an array, consecutive
+//   circuits can differ in up to ~2k function genes (sibling-to-sibling),
+//   so the DPR bill grows with k.
+//
+//   TWO-LEVEL (the paper's new EA): offspring are organized in batches of
+//   `batch_size` (= number of arrays; candidates of one batch run
+//   simultaneously). The FIRST batch mutates the parent at rate k; each
+//   later batch mutates, per array lane, the chromosome the SAME lane
+//   evaluated in the previous batch — always at rate 1. Circuits
+//   configured consecutively on a lane thus differ in at most one gene,
+//   which slashes reconfiguration count per generation.
+
+#include <cstddef>
+#include <vector>
+
+#include "ehw/common/rng.hpp"
+#include "ehw/evo/genotype.hpp"
+
+namespace ehw::evo {
+
+struct Candidate {
+  Genotype genotype;
+  std::size_t batch = 0;  // evaluation wave
+  std::size_t lane = 0;   // which array evaluates it
+};
+
+/// Classic (1+lambda) offspring: lane = index % lanes, batch = index / lanes.
+[[nodiscard]] std::vector<Candidate> classic_offspring(const Genotype& parent,
+                                                       std::size_t lambda,
+                                                       std::size_t lanes,
+                                                       std::size_t k, Rng& rng);
+
+/// Two-level offspring per §VI.B. `lanes` candidates per batch; lambda
+/// need not be a multiple of lanes (the final batch is short).
+[[nodiscard]] std::vector<Candidate> two_level_offspring(
+    const Genotype& parent, std::size_t lambda, std::size_t lanes,
+    std::size_t k, Rng& rng);
+
+}  // namespace ehw::evo

@@ -1,0 +1,134 @@
+#include "ehw/evo/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "ehw/pe/array.hpp"
+#include "ehw/reconfig/pbs_library.hpp"
+
+namespace ehw::evo {
+namespace {
+
+constexpr const char* kMagic = "MPA1";
+
+void expect_bar(std::istream& is, const char* where) {
+  std::string tok;
+  if (!(is >> tok) || tok != "|") {
+    throw std::runtime_error(std::string("genotype parse: expected '|' ") +
+                             where);
+  }
+}
+
+unsigned read_value(std::istream& is, unsigned max_exclusive,
+                    const char* what) {
+  long v = -1;
+  if (!(is >> v) || v < 0 || v >= static_cast<long>(max_exclusive)) {
+    throw std::runtime_error(std::string("genotype parse: bad ") + what);
+  }
+  return static_cast<unsigned>(v);
+}
+
+}  // namespace
+
+std::string serialize_genotype(const Genotype& genotype) {
+  std::ostringstream os;
+  os << kMagic << ' ' << genotype.shape().rows << ' '
+     << genotype.shape().cols << " |";
+  for (std::size_t i = 0; i < genotype.cell_count(); ++i) {
+    os << ' ' << int{genotype.function_gene(i)};
+  }
+  os << " |";
+  for (std::size_t i = 0; i < genotype.input_count(); ++i) {
+    os << ' ' << int{genotype.tap_gene(i)};
+  }
+  os << " | " << int{genotype.output_row()};
+  return os.str();
+}
+
+Genotype deserialize_genotype(const std::string& line) {
+  std::istringstream is(line);
+  std::string magic;
+  if (!(is >> magic) || magic != kMagic) {
+    throw std::runtime_error("genotype parse: bad magic (want MPA1)");
+  }
+  long rows = 0, cols = 0;
+  if (!(is >> rows >> cols) || rows <= 0 || cols <= 0 || rows > 255 ||
+      cols > 255) {
+    throw std::runtime_error("genotype parse: bad shape");
+  }
+  Genotype g(fpga::ArrayShape{static_cast<std::size_t>(rows),
+                              static_cast<std::size_t>(cols)});
+  expect_bar(is, "before function genes");
+  for (std::size_t i = 0; i < g.cell_count(); ++i) {
+    g.set_function_gene(
+        i, static_cast<std::uint8_t>(
+               read_value(is, reconfig::kFunctionCount, "function gene")));
+  }
+  expect_bar(is, "before tap genes");
+  for (std::size_t i = 0; i < g.input_count(); ++i) {
+    g.set_tap_gene(i, static_cast<std::uint8_t>(
+                          read_value(is, pe::kWindowTaps, "tap gene")));
+  }
+  expect_bar(is, "before output row");
+  g.set_output_row(static_cast<std::uint8_t>(
+      read_value(is, static_cast<unsigned>(rows), "output row")));
+  std::string rest;
+  if (is >> rest) {
+    throw std::runtime_error("genotype parse: trailing tokens");
+  }
+  return g;
+}
+
+void GenotypeLibrary::put(const std::string& name, const Genotype& genotype) {
+  EHW_REQUIRE(!name.empty() && name.find(":=") == std::string::npos &&
+                  name.find('\n') == std::string::npos,
+              "library entry names must be single-line and ':='-free");
+  entries_.insert_or_assign(name, genotype);
+}
+
+bool GenotypeLibrary::contains(const std::string& name) const {
+  return entries_.count(name) > 0;
+}
+
+const Genotype& GenotypeLibrary::get(const std::string& name) const {
+  const auto it = entries_.find(name);
+  EHW_REQUIRE(it != entries_.end(), "unknown genotype library entry");
+  return it->second;
+}
+
+void GenotypeLibrary::save(std::ostream& os) const {
+  os << "# MPA-EHW genotype library (" << entries_.size() << " entries)\n";
+  for (const auto& [name, genotype] : entries_) {
+    os << name << " := " << serialize_genotype(genotype) << '\n';
+  }
+}
+
+void GenotypeLibrary::save_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for write: " + path);
+  save(os);
+}
+
+GenotypeLibrary GenotypeLibrary::load(std::istream& is) {
+  GenotypeLibrary lib;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto sep = line.find(" := ");
+    if (sep == std::string::npos) {
+      throw std::runtime_error("library parse: missing ' := ' in: " + line);
+    }
+    lib.entries_.insert_or_assign(line.substr(0, sep),
+                                  deserialize_genotype(line.substr(sep + 4)));
+  }
+  return lib;
+}
+
+GenotypeLibrary GenotypeLibrary::load_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  return load(is);
+}
+
+}  // namespace ehw::evo

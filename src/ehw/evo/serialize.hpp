@@ -1,0 +1,49 @@
+#pragma once
+// Genotype (de)serialization. On the paper's platform the selected
+// chromosome outlives the evolutionary run — it is stored so the system
+// can restore a mission configuration after power-up without re-evolving.
+// Two formats:
+//   * compact line format ("MPA1 rows cols | fn.. | taps.. | out") for
+//     logs and single-genotype files;
+//   * a small library file holding several named genotypes (the deployed
+//     "filter library" a mission controller would keep in flash).
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "ehw/evo/genotype.hpp"
+
+namespace ehw::evo {
+
+/// One line, fully reversible. Example for a 2x2 array:
+///   MPA1 2 2 | 4 6 1 11 | 0 4 8 2 | 1
+[[nodiscard]] std::string serialize_genotype(const Genotype& genotype);
+
+/// Parses the line format. Throws std::runtime_error on malformed input
+/// (wrong magic, gene counts, out-of-range values).
+[[nodiscard]] Genotype deserialize_genotype(const std::string& line);
+
+/// A named collection of genotypes with file round-trip. Line-oriented
+/// format: "<name> := <genotype line>"; '#' starts a comment.
+class GenotypeLibrary {
+ public:
+  void put(const std::string& name, const Genotype& genotype);
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] const Genotype& get(const std::string& name) const;
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] const std::map<std::string, Genotype>& entries()
+      const noexcept {
+    return entries_;
+  }
+
+  void save(std::ostream& os) const;
+  void save_file(const std::string& path) const;
+  [[nodiscard]] static GenotypeLibrary load(std::istream& is);
+  [[nodiscard]] static GenotypeLibrary load_file(const std::string& path);
+
+ private:
+  std::map<std::string, Genotype> entries_;
+};
+
+}  // namespace ehw::evo

@@ -1,0 +1,50 @@
+#pragma once
+// Partial bitstreams (PBS). A PBS is the slot-sized payload of
+// configuration words that implements one PE function; the reconfiguration
+// engine relocates the same payload to any slot (the paper stores one
+// pre-synthesized PBS per PE type in DDR and relocates it on the fly).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ehw/fpga/config_memory.hpp"
+
+namespace ehw::fpga {
+
+class PartialBitstream {
+ public:
+  PartialBitstream() = default;
+  PartialBitstream(std::string name, std::vector<ConfigWord> payload)
+      : name_(std::move(name)), payload_(std::move(payload)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<ConfigWord>& payload() const noexcept {
+    return payload_;
+  }
+  [[nodiscard]] std::size_t word_count() const noexcept {
+    return payload_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return payload_.empty(); }
+
+  friend bool operator==(const PartialBitstream& a,
+                         const PartialBitstream& b) noexcept {
+    return a.payload_ == b.payload_;
+  }
+
+ private:
+  std::string name_;
+  std::vector<ConfigWord> payload_;
+};
+
+/// Reads `words` configuration words starting at `base` back from the
+/// actual configuration plane (the engine's readback feature).
+[[nodiscard]] PartialBitstream readback(const ConfigMemory& memory,
+                                        std::size_t base, std::size_t words,
+                                        std::string name = "readback");
+
+/// Writes a PBS payload at `base` (the engine's write/relocate feature).
+void write_payload(ConfigMemory& memory, std::size_t base,
+                   const PartialBitstream& pbs);
+
+}  // namespace ehw::fpga

@@ -1,0 +1,89 @@
+#include "ehw/fpga/config_memory.hpp"
+
+#include <bit>
+
+namespace ehw::fpga {
+
+ConfigMemory::ConfigMemory(std::size_t words)
+    : actual_(words, 0),
+      intended_(words, 0),
+      stuck_mask_(words, 0),
+      stuck_value_(words, 0) {
+  EHW_REQUIRE(words > 0, "config memory must not be empty");
+}
+
+ConfigWord ConfigMemory::read(std::size_t addr) const {
+  check(addr);
+  return actual_[addr];
+}
+
+ConfigWord ConfigMemory::read_intended(std::size_t addr) const {
+  check(addr);
+  return intended_[addr];
+}
+
+void ConfigMemory::write(std::size_t addr, ConfigWord value) {
+  check(addr);
+  intended_[addr] = value;
+  actual_[addr] = apply_stuck(addr, value);
+}
+
+bool ConfigMemory::rewrite(std::size_t addr) {
+  check(addr);
+  const ConfigWord fresh = apply_stuck(addr, intended_[addr]);
+  const bool changed = fresh != actual_[addr];
+  actual_[addr] = fresh;
+  return changed;
+}
+
+void ConfigMemory::flip_bit(std::size_t addr, unsigned bit) {
+  check(addr);
+  EHW_REQUIRE(bit < 32, "bit index out of range");
+  actual_[addr] ^= (ConfigWord{1} << bit);
+}
+
+void ConfigMemory::set_stuck_bit(std::size_t addr, unsigned bit,
+                                 bool stuck_value) {
+  check(addr);
+  EHW_REQUIRE(bit < 32, "bit index out of range");
+  const ConfigWord m = ConfigWord{1} << bit;
+  stuck_mask_[addr] |= m;
+  if (stuck_value) {
+    stuck_value_[addr] |= m;
+  } else {
+    stuck_value_[addr] &= ~m;
+  }
+  // The damage takes effect immediately on the SRAM cell.
+  actual_[addr] = apply_stuck(addr, actual_[addr]);
+}
+
+void ConfigMemory::clear_stuck_bit(std::size_t addr, unsigned bit) {
+  check(addr);
+  EHW_REQUIRE(bit < 32, "bit index out of range");
+  const ConfigWord m = ConfigWord{1} << bit;
+  stuck_mask_[addr] &= ~m;
+  stuck_value_[addr] &= ~m;
+}
+
+ConfigWord ConfigMemory::stuck_mask(std::size_t addr) const {
+  check(addr);
+  return stuck_mask_[addr];
+}
+
+std::size_t ConfigMemory::upset_word_count() const noexcept {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < actual_.size(); ++i) {
+    // A word counts as upset when actual deviates from what a fresh write
+    // of the intended value would produce (stuck bits are not "upsets").
+    if (actual_[i] != apply_stuck(i, intended_[i])) ++n;
+  }
+  return n;
+}
+
+std::size_t ConfigMemory::stuck_bit_count() const noexcept {
+  std::size_t n = 0;
+  for (ConfigWord m : stuck_mask_) n += std::popcount(m);
+  return n;
+}
+
+}  // namespace ehw::fpga

@@ -1,0 +1,79 @@
+#pragma once
+// SRAM configuration memory model.
+//
+// Two planes are kept per word:
+//   * `actual`   - what the SRAM cells currently hold (what the hardware
+//                  decodes into circuit behaviour);
+//   * `intended` - what the last deliberate write wanted (the golden image
+//                  the scrubber compares against, exactly like scrubbing on
+//                  the real device compares against the stored bitstream).
+// Faults:
+//   * SEU  = a bit flip in `actual` only. A scrub rewrite restores it.
+//   * LPD  = stuck-at bits: a (mask, value) pair per word that every write
+//            forces, so neither scrubbing nor reconfiguration can clear it.
+// This is precisely the transient/permanent distinction of §II and §V.
+
+#include <cstdint>
+#include <vector>
+
+#include "ehw/common/assert.hpp"
+
+namespace ehw::fpga {
+
+using ConfigWord = std::uint32_t;
+
+class ConfigMemory {
+ public:
+  explicit ConfigMemory(std::size_t words);
+
+  [[nodiscard]] std::size_t size() const noexcept { return actual_.size(); }
+
+  /// The value hardware sees.
+  [[nodiscard]] ConfigWord read(std::size_t addr) const;
+  /// The value the last deliberate write intended (golden/scrub reference).
+  [[nodiscard]] ConfigWord read_intended(std::size_t addr) const;
+
+  /// Deliberate configuration write: records intent, then stores the value
+  /// with stuck-at bits forced.
+  void write(std::size_t addr, ConfigWord value);
+
+  /// Re-applies the already-intended value (a scrub rewrite): clears SEUs,
+  /// cannot clear stuck bits. Returns true if `actual` changed.
+  bool rewrite(std::size_t addr);
+
+  /// --- fault plane -------------------------------------------------------
+
+  /// Flips one actual bit (Single Event Upset).
+  void flip_bit(std::size_t addr, unsigned bit);
+
+  /// Declares a stuck-at bit (Local Permanent Damage): the bit reads as
+  /// `stuck_value` forever and writes cannot change it.
+  void set_stuck_bit(std::size_t addr, unsigned bit, bool stuck_value);
+
+  /// Removes a stuck-at bit (used by tests to model repair/replacement).
+  void clear_stuck_bit(std::size_t addr, unsigned bit);
+
+  [[nodiscard]] ConfigWord stuck_mask(std::size_t addr) const;
+
+  /// Number of words whose actual value differs from intent (upset words).
+  [[nodiscard]] std::size_t upset_word_count() const noexcept;
+
+  /// Number of declared stuck bits over the whole memory.
+  [[nodiscard]] std::size_t stuck_bit_count() const noexcept;
+
+ private:
+  void check(std::size_t addr) const {
+    EHW_REQUIRE(addr < actual_.size(), "config address out of range");
+  }
+  [[nodiscard]] ConfigWord apply_stuck(std::size_t addr,
+                                       ConfigWord v) const noexcept {
+    return (v & ~stuck_mask_[addr]) | (stuck_value_[addr] & stuck_mask_[addr]);
+  }
+
+  std::vector<ConfigWord> actual_;
+  std::vector<ConfigWord> intended_;
+  std::vector<ConfigWord> stuck_mask_;
+  std::vector<ConfigWord> stuck_value_;
+};
+
+}  // namespace ehw::fpga

@@ -1,0 +1,65 @@
+#include "ehw/fpga/fault.hpp"
+
+#include <sstream>
+
+namespace ehw::fpga {
+
+FaultInjector::FaultInjector(ConfigMemory& memory,
+                             const FabricGeometry& geometry,
+                             std::uint64_t seed)
+    : memory_(memory), geometry_(geometry), rng_(seed) {}
+
+FaultRecord FaultInjector::inject_seu_in_slot(const SlotAddress& slot) {
+  const std::size_t base = geometry_.slot_word_base(slot);
+  const std::size_t word =
+      base + rng_.below(geometry_.words_per_slot());
+  const auto bit = static_cast<unsigned>(rng_.below(32));
+  memory_.flip_bit(word, bit);
+  FaultRecord rec{FaultKind::kSeu, slot, word, bit, false};
+  journal_.push_back(rec);
+  return rec;
+}
+
+FaultRecord FaultInjector::inject_seu_anywhere() {
+  const std::size_t word = rng_.below(memory_.size());
+  const auto bit = static_cast<unsigned>(rng_.below(32));
+  memory_.flip_bit(word, bit);
+  FaultRecord rec{FaultKind::kSeu, geometry_.slot_of_word(word), word, bit,
+                  false};
+  journal_.push_back(rec);
+  return rec;
+}
+
+FaultRecord FaultInjector::inject_lpd_in_slot(const SlotAddress& slot) {
+  const std::size_t base = geometry_.slot_word_base(slot);
+  const std::size_t word = base + rng_.below(geometry_.words_per_slot());
+  const auto bit = static_cast<unsigned>(rng_.below(32));
+  // Stick the bit at the complement of its current value so the fault is
+  // guaranteed to corrupt the presently configured circuit.
+  const bool current = (memory_.read(word) >> bit) & 1u;
+  return inject_lpd(word, bit, !current);
+}
+
+FaultRecord FaultInjector::inject_lpd(std::size_t word, unsigned bit,
+                                      bool stuck_value) {
+  memory_.set_stuck_bit(word, bit, stuck_value);
+  FaultRecord rec{FaultKind::kLpd, geometry_.slot_of_word(word), word, bit,
+                  stuck_value};
+  journal_.push_back(rec);
+  return rec;
+}
+
+std::string FaultInjector::describe(const FaultRecord& record) {
+  std::ostringstream os;
+  switch (record.kind) {
+    case FaultKind::kSeu: os << "SEU"; break;
+    case FaultKind::kLpd: os << "LPD(stuck-" << (record.stuck_value ? 1 : 0)
+                             << ")"; break;
+    case FaultKind::kDummyPe: os << "DummyPE"; break;
+  }
+  os << " array=" << record.slot.array << " pe=(" << record.slot.row << ','
+     << record.slot.col << ") word=" << record.word << " bit=" << record.bit;
+  return os.str();
+}
+
+}  // namespace ehw::fpga

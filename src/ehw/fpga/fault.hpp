@@ -1,0 +1,67 @@
+#pragma once
+// Fault injection. Mirrors §VI.D: "faults are generated reconfiguring
+// dynamically the desired position of the array, with a modified bitstream
+// corresponding to a dummy PE, which generates a random value in its
+// output" (the PE-level model), plus raw configuration-plane SEUs and
+// stuck-at LPDs for the finer-grained campaigns.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ehw/common/rng.hpp"
+#include "ehw/fpga/config_memory.hpp"
+#include "ehw/fpga/geometry.hpp"
+
+namespace ehw::fpga {
+
+enum class FaultKind : std::uint8_t {
+  kSeu,       // transient bit flip; cleared by scrubbing
+  kLpd,       // permanent stuck-at bit; survives rewrites
+  kDummyPe,   // paper's PE-level model: slot overwritten with a dummy PBS
+};
+
+struct FaultRecord {
+  FaultKind kind = FaultKind::kSeu;
+  SlotAddress slot{};
+  std::size_t word = 0;   // absolute config word address (kSeu / kLpd)
+  unsigned bit = 0;       // bit within the word (kSeu / kLpd)
+  bool stuck_value = false;  // kLpd only
+};
+
+/// Injects faults and keeps a journal so experiments can report exactly
+/// what was injected where.
+class FaultInjector {
+ public:
+  FaultInjector(ConfigMemory& memory, const FabricGeometry& geometry,
+                std::uint64_t seed);
+
+  /// Flips a uniformly random bit within the given slot's footprint.
+  FaultRecord inject_seu_in_slot(const SlotAddress& slot);
+
+  /// Flips a uniformly random bit anywhere in configuration memory.
+  FaultRecord inject_seu_anywhere();
+
+  /// Declares a random stuck-at bit within the slot (value = current bit
+  /// complement, so the damage is observable immediately).
+  FaultRecord inject_lpd_in_slot(const SlotAddress& slot);
+
+  /// Declares a stuck-at bit at an explicit location.
+  FaultRecord inject_lpd(std::size_t word, unsigned bit, bool stuck_value);
+
+  [[nodiscard]] const std::vector<FaultRecord>& journal() const noexcept {
+    return journal_;
+  }
+  void clear_journal() noexcept { journal_.clear(); }
+
+  /// Human-readable one-liner for logs.
+  [[nodiscard]] static std::string describe(const FaultRecord& record);
+
+ private:
+  ConfigMemory& memory_;
+  const FabricGeometry& geometry_;
+  Rng rng_;
+  std::vector<FaultRecord> journal_;
+};
+
+}  // namespace ehw::fpga

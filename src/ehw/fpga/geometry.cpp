@@ -1,0 +1,32 @@
+#include "ehw/fpga/geometry.hpp"
+
+namespace ehw::fpga {
+
+FabricGeometry::FabricGeometry(std::size_t num_arrays, ArrayShape shape,
+                               GeometryLayout layout)
+    : num_arrays_(num_arrays), shape_(shape), layout_(layout) {
+  EHW_REQUIRE(num_arrays_ > 0, "fabric needs at least one array");
+  EHW_REQUIRE(shape_.rows > 0 && shape_.cols > 0, "array shape degenerate");
+  EHW_REQUIRE(layout_.words_per_frame > 0 && layout_.frames_per_slot > 0,
+              "layout degenerate");
+}
+
+std::size_t FabricGeometry::slot_index(const SlotAddress& a) const {
+  EHW_REQUIRE(a.array < num_arrays_, "array index out of range");
+  EHW_REQUIRE(a.row < shape_.rows && a.col < shape_.cols,
+              "slot coordinates out of range");
+  return (a.array * shape_.rows + a.row) * shape_.cols + a.col;
+}
+
+SlotAddress FabricGeometry::slot_of_word(std::size_t word_addr) const {
+  EHW_REQUIRE(word_addr < total_words(), "word address out of range");
+  const std::size_t slot = word_addr / words_per_slot();
+  SlotAddress a;
+  a.col = slot % shape_.cols;
+  const std::size_t t = slot / shape_.cols;
+  a.row = t % shape_.rows;
+  a.array = t / shape_.rows;
+  return a;
+}
+
+}  // namespace ehw::fpga

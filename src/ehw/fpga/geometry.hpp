@@ -1,0 +1,97 @@
+#pragma once
+// Virtual fabric geometry, modelled on the paper's Virtex-5 LX110T
+// floorplan (§VI.A):
+//   * a PE slot is 2 CLB columns wide by 1/4 clock region high (5 CLBs);
+//   * a 4x4 array occupies 8 CLB columns over one full clock region
+//     (20 CLB rows) = 160 CLBs;
+//   * arrays (with their ACBs) stack vertically, one clock region each.
+// Configuration memory addresses are expressed in frames of 32-bit words;
+// each PE slot owns an integral number of consecutive frames so that the
+// reconfiguration engine's readback/relocate/writeback works per-slot.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ehw/common/assert.hpp"
+
+namespace ehw::fpga {
+
+/// Grid shape of one processing array (paper: 4x4).
+struct ArrayShape {
+  std::size_t rows = 4;
+  std::size_t cols = 4;
+
+  [[nodiscard]] std::size_t cell_count() const noexcept { return rows * cols; }
+  friend bool operator==(const ArrayShape&, const ArrayShape&) = default;
+};
+
+/// Identifies one PE slot in the fabric: which array and which (row, col).
+struct SlotAddress {
+  std::size_t array = 0;
+  std::size_t row = 0;
+  std::size_t col = 0;
+  friend bool operator==(const SlotAddress&, const SlotAddress&) = default;
+};
+
+/// Fixed layout constants of the virtual device.
+struct GeometryLayout {
+  /// 32-bit words per configuration frame.
+  std::size_t words_per_frame = 8;
+  /// Frames per PE slot (2 CLB columns x 5 CLBs; 1 frame per half-column
+  /// chunk in this model -> 5 frames = 40 words of configuration per slot).
+  std::size_t frames_per_slot = 5;
+  /// CLBs per PE slot, used only by the resource model (paper: 2x5 = 10).
+  std::size_t clbs_per_slot = 10;
+};
+
+class FabricGeometry {
+ public:
+  FabricGeometry(std::size_t num_arrays, ArrayShape shape,
+                 GeometryLayout layout = {});
+
+  [[nodiscard]] std::size_t num_arrays() const noexcept { return num_arrays_; }
+  [[nodiscard]] const ArrayShape& shape() const noexcept { return shape_; }
+  [[nodiscard]] const GeometryLayout& layout() const noexcept {
+    return layout_;
+  }
+
+  [[nodiscard]] std::size_t words_per_slot() const noexcept {
+    return layout_.words_per_frame * layout_.frames_per_slot;
+  }
+  [[nodiscard]] std::size_t slots_per_array() const noexcept {
+    return shape_.cell_count();
+  }
+  [[nodiscard]] std::size_t total_slots() const noexcept {
+    return num_arrays_ * slots_per_array();
+  }
+  /// Total configuration memory size in 32-bit words.
+  [[nodiscard]] std::size_t total_words() const noexcept {
+    return total_slots() * words_per_slot();
+  }
+
+  /// Linear slot index; slots are laid out array-major, then row-major
+  /// inside the array (matching the vertical ACB stacking of Fig. 10).
+  [[nodiscard]] std::size_t slot_index(const SlotAddress& a) const;
+
+  /// First configuration-word address of a slot.
+  [[nodiscard]] std::size_t slot_word_base(const SlotAddress& a) const {
+    return slot_index(a) * words_per_slot();
+  }
+
+  /// Reverse mapping from a configuration word address to its slot.
+  [[nodiscard]] SlotAddress slot_of_word(std::size_t word_addr) const;
+
+  /// CLBs occupied by one array (paper: 160 for a 4x4 with 2x5-CLB PEs;
+  /// the full clock region including routing overhead).
+  [[nodiscard]] std::size_t clbs_per_array() const noexcept {
+    return slots_per_array() * layout_.clbs_per_slot +
+           shape_.rows * shape_.cols;  // interconnect margin per cell
+  }
+
+ private:
+  std::size_t num_arrays_;
+  ArrayShape shape_;
+  GeometryLayout layout_;
+};
+
+}  // namespace ehw::fpga

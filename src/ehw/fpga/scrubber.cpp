@@ -1,0 +1,58 @@
+#include "ehw/fpga/scrubber.hpp"
+
+namespace ehw::fpga {
+
+Scrubber::Scrubber(ConfigMemory& memory, const FabricGeometry& geometry,
+                   sim::SimTime word_time)
+    : memory_(memory), geometry_(geometry), word_time_(word_time) {}
+
+ScrubReport Scrubber::scrub_range(std::size_t base, std::size_t words) {
+  ScrubReport report;
+  report.words_checked = words;
+  for (std::size_t i = 0; i < words; ++i) {
+    const std::size_t addr = base + i;
+    if (memory_.read(addr) != memory_.read_intended(addr)) {
+      memory_.rewrite(addr);
+      if (memory_.read(addr) == memory_.read_intended(addr)) {
+        ++report.words_corrected;
+      } else {
+        ++report.words_uncorrectable;  // stuck-at damage
+      }
+    }
+  }
+  report.duration = static_cast<sim::SimTime>(words) * word_time_;
+  return report;
+}
+
+ScrubReport Scrubber::scrub_slot(const SlotAddress& slot) {
+  return scrub_range(geometry_.slot_word_base(slot),
+                     geometry_.words_per_slot());
+}
+
+ScrubReport Scrubber::scrub_array(std::size_t array_index) {
+  ScrubReport total;
+  for (std::size_t r = 0; r < geometry_.shape().rows; ++r) {
+    for (std::size_t c = 0; c < geometry_.shape().cols; ++c) {
+      const ScrubReport part = scrub_slot({array_index, r, c});
+      total.words_checked += part.words_checked;
+      total.words_corrected += part.words_corrected;
+      total.words_uncorrectable += part.words_uncorrectable;
+      total.duration += part.duration;
+    }
+  }
+  return total;
+}
+
+ScrubReport Scrubber::scrub_all() {
+  ScrubReport total;
+  for (std::size_t a = 0; a < geometry_.num_arrays(); ++a) {
+    const ScrubReport part = scrub_array(a);
+    total.words_checked += part.words_checked;
+    total.words_corrected += part.words_corrected;
+    total.words_uncorrectable += part.words_uncorrectable;
+    total.duration += part.duration;
+  }
+  return total;
+}
+
+}  // namespace ehw::fpga

@@ -1,0 +1,52 @@
+#pragma once
+// Configuration scrubbing: "reading the configuration memory to check for
+// faults, and re-writing it in case that any fault is found" (§II). The
+// scrubber compares the actual plane against the intended plane and
+// rewrites deviating words. SEUs disappear; stuck-at (LPD) bits survive —
+// which is exactly how the self-healing controllers classify a fault as
+// transient or permanent (§V.A steps f-i, §V.B steps d-g).
+
+#include <cstddef>
+
+#include "ehw/fpga/config_memory.hpp"
+#include "ehw/fpga/geometry.hpp"
+#include "ehw/sim/time.hpp"
+
+namespace ehw::fpga {
+
+struct ScrubReport {
+  std::size_t words_checked = 0;
+  std::size_t words_corrected = 0;   // deviations rewritten
+  std::size_t words_uncorrectable = 0;  // still deviating after rewrite (LPD)
+  sim::SimTime duration = 0;
+  [[nodiscard]] bool found_fault() const noexcept {
+    return words_corrected + words_uncorrectable > 0;
+  }
+};
+
+class Scrubber {
+ public:
+  /// `word_time` is the simulated cost of readback+verify+conditional
+  /// rewrite per configuration word (default: 4 ICAP cycles @ 100 MHz).
+  Scrubber(ConfigMemory& memory, const FabricGeometry& geometry,
+           sim::SimTime word_time = sim::cycles_at_mhz(4, 100.0));
+
+  /// Scrubs one PE slot.
+  ScrubReport scrub_slot(const SlotAddress& slot);
+
+  /// Scrubs every slot of one array ("rewrite last reconfiguration in the
+  /// damaged array").
+  ScrubReport scrub_array(std::size_t array_index);
+
+  /// Full-device scrub (blind scrubbing pass).
+  ScrubReport scrub_all();
+
+ private:
+  ScrubReport scrub_range(std::size_t base, std::size_t words);
+
+  ConfigMemory& memory_;
+  const FabricGeometry& geometry_;
+  sim::SimTime word_time_;
+};
+
+}  // namespace ehw::fpga

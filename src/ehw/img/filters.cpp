@@ -1,0 +1,70 @@
+#include "ehw/img/filters.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+
+namespace ehw::img {
+
+Image median3x3(const Image& src) {
+  Image out(src.width(), src.height());
+  Pixel win[9];
+  for (std::size_t y = 0; y < src.height(); ++y) {
+    for (std::size_t x = 0; x < src.width(); ++x) {
+      gather_window3x3(src, x, y, win);
+      std::array<Pixel, 9> sorted;
+      std::copy(win, win + 9, sorted.begin());
+      std::nth_element(sorted.begin(), sorted.begin() + 4, sorted.end());
+      out.set(x, y, sorted[4]);
+    }
+  }
+  return out;
+}
+
+Image mean3x3(const Image& src) {
+  static constexpr int kKernel[9] = {1, 1, 1, 1, 1, 1, 1, 1, 1};
+  return convolve3x3(src, kKernel, 9);
+}
+
+Image gaussian3x3(const Image& src) {
+  static constexpr int kKernel[9] = {1, 2, 1, 2, 4, 2, 1, 2, 1};
+  return convolve3x3(src, kKernel, 16);
+}
+
+Image sobel_magnitude(const Image& src) {
+  Image out(src.width(), src.height());
+  Pixel win[9];
+  for (std::size_t y = 0; y < src.height(); ++y) {
+    for (std::size_t x = 0; x < src.width(); ++x) {
+      gather_window3x3(src, x, y, win);
+      const int gx = -win[0] + win[2] - 2 * win[3] + 2 * win[5] - win[6] +
+                     win[8];
+      const int gy = -win[0] - 2 * win[1] - win[2] + win[6] + 2 * win[7] +
+                     win[8];
+      const int mag = std::abs(gx) + std::abs(gy);
+      out.set(x, y, static_cast<Pixel>(std::min(mag, 255)));
+    }
+  }
+  return out;
+}
+
+Image convolve3x3(const Image& src, const int kernel[9], int divisor,
+                  int offset) {
+  EHW_REQUIRE(divisor != 0, "divisor must be non-zero");
+  Image out(src.width(), src.height());
+  Pixel win[9];
+  for (std::size_t y = 0; y < src.height(); ++y) {
+    for (std::size_t x = 0; x < src.width(); ++x) {
+      gather_window3x3(src, x, y, win);
+      int acc = 0;
+      for (int k = 0; k < 9; ++k) acc += kernel[k] * win[k];
+      // Round-to-nearest for positive divisors keeps mean filters unbiased.
+      const int v = offset + (acc + (acc >= 0 ? divisor / 2 : -divisor / 2)) /
+                                 divisor;
+      out.set(x, y, static_cast<Pixel>(std::clamp(v, 0, 255)));
+    }
+  }
+  return out;
+}
+
+}  // namespace ehw::img

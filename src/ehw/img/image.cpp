@@ -1,0 +1,5 @@
+#include "ehw/img/image.hpp"
+
+// Image is header-only except for this translation unit, which exists so
+// the module has a stable archive even if the header inlines everything.
+namespace ehw::img {}

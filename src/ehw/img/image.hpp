@@ -1,0 +1,104 @@
+#pragma once
+// 8-bit grayscale image container. This is the only data format the
+// evolvable arrays process: the paper's system streams 8-bit pixels from
+// flash/camera through 3x3 sliding windows into the arrays.
+
+#include <cstddef>
+#include <vector>
+
+#include "ehw/common/assert.hpp"
+#include "ehw/common/types.hpp"
+
+namespace ehw::img {
+
+class Image {
+ public:
+  Image() = default;
+
+  /// Creates a width x height image filled with `fill`.
+  Image(std::size_t width, std::size_t height, Pixel fill = 0)
+      : width_(width), height_(height), data_(width * height, fill) {
+    EHW_REQUIRE(width > 0 && height > 0, "image dimensions must be positive");
+  }
+
+  [[nodiscard]] std::size_t width() const noexcept { return width_; }
+  [[nodiscard]] std::size_t height() const noexcept { return height_; }
+  [[nodiscard]] std::size_t pixel_count() const noexcept {
+    return width_ * height_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] Pixel at(std::size_t x, std::size_t y) const {
+    EHW_ASSERT(x < width_ && y < height_, "pixel out of bounds");
+    return data_[y * width_ + x];
+  }
+  void set(std::size_t x, std::size_t y, Pixel v) {
+    EHW_ASSERT(x < width_ && y < height_, "pixel out of bounds");
+    data_[y * width_ + x] = v;
+  }
+
+  /// Border-replicated ("clamp to edge") access; how the window FIFOs in
+  /// the platform extend the image beyond its edges.
+  [[nodiscard]] Pixel at_clamped(std::ptrdiff_t x, std::ptrdiff_t y) const {
+    const auto cx = clamp_index(x, width_);
+    const auto cy = clamp_index(y, height_);
+    return data_[cy * width_ + cx];
+  }
+
+  /// Row-major backing store (for fast kernels and I/O).
+  [[nodiscard]] const Pixel* data() const noexcept { return data_.data(); }
+  [[nodiscard]] Pixel* data() noexcept { return data_.data(); }
+  [[nodiscard]] const Pixel* row(std::size_t y) const {
+    EHW_ASSERT(y < height_, "row out of bounds");
+    return data_.data() + y * width_;
+  }
+  [[nodiscard]] Pixel* row(std::size_t y) {
+    EHW_ASSERT(y < height_, "row out of bounds");
+    return data_.data() + y * width_;
+  }
+
+  void fill(Pixel v) noexcept {
+    for (auto& p : data_) p = v;
+  }
+
+  [[nodiscard]] bool same_shape(const Image& other) const noexcept {
+    return width_ == other.width_ && height_ == other.height_;
+  }
+
+  friend bool operator==(const Image& a, const Image& b) noexcept {
+    return a.width_ == b.width_ && a.height_ == b.height_ &&
+           a.data_ == b.data_;
+  }
+
+ private:
+  static std::size_t clamp_index(std::ptrdiff_t i, std::size_t n) noexcept {
+    if (i < 0) return 0;
+    if (static_cast<std::size_t>(i) >= n) return n - 1;
+    return static_cast<std::size_t>(i);
+  }
+
+  std::size_t width_ = 0;
+  std::size_t height_ = 0;
+  std::vector<Pixel> data_;
+};
+
+/// Gathers the 3x3 border-replicated window centred on (x, y) into `out`
+/// in row-major order:
+///   out[0] out[1] out[2]
+///   out[3] out[4] out[5]     (out[4] is the centre pixel)
+///   out[6] out[7] out[8]
+/// This indexing is the contract between the platform's line FIFOs and the
+/// array input muxes (each of the 8 array inputs selects one of these 9).
+inline void gather_window3x3(const Image& src, std::size_t x, std::size_t y,
+                             Pixel out[9]) {
+  const auto ix = static_cast<std::ptrdiff_t>(x);
+  const auto iy = static_cast<std::ptrdiff_t>(y);
+  int k = 0;
+  for (std::ptrdiff_t dy = -1; dy <= 1; ++dy) {
+    for (std::ptrdiff_t dx = -1; dx <= 1; ++dx) {
+      out[k++] = src.at_clamped(ix + dx, iy + dy);
+    }
+  }
+}
+
+}  // namespace ehw::img

@@ -1,0 +1,48 @@
+#include "ehw/img/metrics.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+namespace ehw::img {
+
+Fitness aggregated_mae(const Image& a, const Image& b) {
+  EHW_REQUIRE(a.same_shape(b), "images must have the same shape");
+  Fitness acc = 0;
+  const Pixel* pa = a.data();
+  const Pixel* pb = b.data();
+  const std::size_t n = a.pixel_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += static_cast<Fitness>(std::abs(int{pa[i]} - int{pb[i]}));
+  }
+  return acc;
+}
+
+double mean_absolute_error(const Image& a, const Image& b) {
+  return static_cast<double>(aggregated_mae(a, b)) /
+         static_cast<double>(a.pixel_count());
+}
+
+double psnr(const Image& a, const Image& b) {
+  EHW_REQUIRE(a.same_shape(b), "images must have the same shape");
+  double mse = 0.0;
+  const std::size_t n = a.pixel_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = double{a.data()[i]} - double{b.data()[i]};
+    mse += d * d;
+  }
+  mse /= static_cast<double>(n);
+  if (mse == 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+int max_abs_difference(const Image& a, const Image& b) {
+  EHW_REQUIRE(a.same_shape(b), "images must have the same shape");
+  int worst = 0;
+  for (std::size_t i = 0; i < a.pixel_count(); ++i) {
+    worst = std::max(worst, std::abs(int{a.data()[i]} - int{b.data()[i]}));
+  }
+  return worst;
+}
+
+}  // namespace ehw::img

@@ -1,0 +1,25 @@
+#pragma once
+// Image quality metrics. The platform's fitness unit computes the
+// "pixel-aggregated MAE" — the sum over all pixels of |a - b| — which is
+// the Fitness the evolutionary loop minimizes (0 = identical images).
+
+#include "ehw/common/types.hpp"
+#include "ehw/img/image.hpp"
+
+namespace ehw::img {
+
+/// Pixel-aggregated MAE (sum of absolute differences). This matches the
+/// paper's magnitudes: ~8000 for a good 128x128 denoiser, ~100 as the
+/// imitation "practically identical" threshold.
+[[nodiscard]] Fitness aggregated_mae(const Image& a, const Image& b);
+
+/// Per-pixel mean absolute error (aggregated MAE / pixel count).
+[[nodiscard]] double mean_absolute_error(const Image& a, const Image& b);
+
+/// Peak signal-to-noise ratio in dB; +inf for identical images.
+[[nodiscard]] double psnr(const Image& a, const Image& b);
+
+/// Largest single-pixel absolute difference.
+[[nodiscard]] int max_abs_difference(const Image& a, const Image& b);
+
+}  // namespace ehw::img

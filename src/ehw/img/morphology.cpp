@@ -1,0 +1,47 @@
+#include "ehw/img/morphology.hpp"
+
+#include <algorithm>
+
+namespace ehw::img {
+namespace {
+
+template <typename Select>
+Image window_reduce(const Image& src, Select select) {
+  Image out(src.width(), src.height());
+  Pixel win[9];
+  for (std::size_t y = 0; y < src.height(); ++y) {
+    for (std::size_t x = 0; x < src.width(); ++x) {
+      gather_window3x3(src, x, y, win);
+      Pixel v = win[0];
+      for (int k = 1; k < 9; ++k) v = select(v, win[k]);
+      out.set(x, y, v);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Image erode3x3(const Image& src) {
+  return window_reduce(src, [](Pixel a, Pixel b) { return std::min(a, b); });
+}
+
+Image dilate3x3(const Image& src) {
+  return window_reduce(src, [](Pixel a, Pixel b) { return std::max(a, b); });
+}
+
+Image open3x3(const Image& src) { return dilate3x3(erode3x3(src)); }
+
+Image close3x3(const Image& src) { return erode3x3(dilate3x3(src)); }
+
+Image morph_gradient3x3(const Image& src) {
+  const Image lo = erode3x3(src);
+  const Image hi = dilate3x3(src);
+  Image out(src.width(), src.height());
+  for (std::size_t i = 0; i < out.pixel_count(); ++i) {
+    out.data()[i] = static_cast<Pixel>(hi.data()[i] - lo.data()[i]);
+  }
+  return out;
+}
+
+}  // namespace ehw::img

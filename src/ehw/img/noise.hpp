@@ -1,0 +1,25 @@
+#pragma once
+// Noise injectors. The paper's headline workload is salt & pepper noise at
+// up to 40% density (Fig. 18); Gaussian and impulse noise are provided for
+// the wider "window-based image filter" application family of §I.
+
+#include "ehw/common/rng.hpp"
+#include "ehw/img/image.hpp"
+
+namespace ehw::img {
+
+/// Replaces each pixel, with probability `density`, by 0 or 255 (fair coin).
+[[nodiscard]] Image add_salt_pepper(const Image& src, double density,
+                                    Rng& rng);
+
+/// Adds zero-mean Gaussian noise with standard deviation `sigma` (clamped).
+[[nodiscard]] Image add_gaussian(const Image& src, double sigma, Rng& rng);
+
+/// Replaces each pixel, with probability `density`, by a uniform random
+/// value (uniform impulse / "random-valued" noise).
+[[nodiscard]] Image add_impulse(const Image& src, double density, Rng& rng);
+
+/// Fraction of pixels differing between two same-shape images.
+[[nodiscard]] double differing_fraction(const Image& a, const Image& b);
+
+}  // namespace ehw::img

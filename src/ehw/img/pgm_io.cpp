@@ -1,0 +1,88 @@
+#include "ehw/img/pgm_io.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ehw::img {
+namespace {
+
+/// Skips whitespace and '#' comment lines in a PGM header.
+void skip_pgm_separators(std::istream& is) {
+  for (;;) {
+    const int c = is.peek();
+    if (c == '#') {
+      std::string line;
+      std::getline(is, line);
+    } else if (c != EOF && std::isspace(c)) {
+      is.get();
+    } else {
+      return;
+    }
+  }
+}
+
+std::size_t read_header_number(std::istream& is) {
+  skip_pgm_separators(is);
+  std::size_t v = 0;
+  if (!(is >> v)) throw std::runtime_error("pgm: malformed header number");
+  return v;
+}
+
+}  // namespace
+
+void write_pgm(const Image& image, std::ostream& os) {
+  os << "P5\n"
+     << image.width() << ' ' << image.height() << "\n255\n";
+  os.write(reinterpret_cast<const char*>(image.data()),
+           static_cast<std::streamsize>(image.pixel_count()));
+  if (!os) throw std::runtime_error("pgm: write failed");
+}
+
+void write_pgm(const Image& image, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("pgm: cannot open for write: " + path);
+  write_pgm(image, os);
+}
+
+Image read_pgm(std::istream& is) {
+  std::string magic;
+  is >> magic;
+  if (magic != "P5" && magic != "P2") {
+    throw std::runtime_error("pgm: unsupported magic '" + magic + "'");
+  }
+  const std::size_t w = read_header_number(is);
+  const std::size_t h = read_header_number(is);
+  const std::size_t maxval = read_header_number(is);
+  if (w == 0 || h == 0) throw std::runtime_error("pgm: zero dimension");
+  if (maxval == 0 || maxval > 255) {
+    throw std::runtime_error("pgm: only 8-bit images supported");
+  }
+  Image image(w, h);
+  if (magic == "P5") {
+    is.get();  // single whitespace after maxval
+    is.read(reinterpret_cast<char*>(image.data()),
+            static_cast<std::streamsize>(image.pixel_count()));
+    if (is.gcount() != static_cast<std::streamsize>(image.pixel_count())) {
+      throw std::runtime_error("pgm: truncated pixel data");
+    }
+  } else {
+    for (std::size_t i = 0; i < image.pixel_count(); ++i) {
+      unsigned v = 0;
+      if (!(is >> v) || v > maxval) {
+        throw std::runtime_error("pgm: malformed ascii pixel");
+      }
+      image.data()[i] = static_cast<Pixel>(v);
+    }
+  }
+  return image;
+}
+
+Image read_pgm(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("pgm: cannot open for read: " + path);
+  return read_pgm(is);
+}
+
+}  // namespace ehw::img

@@ -1,0 +1,22 @@
+#pragma once
+// Minimal binary PGM (P5) reader/writer so examples and the Fig. 18 bench
+// can emit inspectable images without external dependencies.
+
+#include <iosfwd>
+#include <string>
+
+#include "ehw/img/image.hpp"
+
+namespace ehw::img {
+
+/// Writes `image` as binary PGM (P5, maxval 255). Throws std::runtime_error
+/// on I/O failure.
+void write_pgm(const Image& image, const std::string& path);
+void write_pgm(const Image& image, std::ostream& os);
+
+/// Reads a binary (P5) or ASCII (P2) PGM with maxval <= 255.
+/// Throws std::runtime_error on malformed input.
+[[nodiscard]] Image read_pgm(const std::string& path);
+[[nodiscard]] Image read_pgm(std::istream& is);
+
+}  // namespace ehw::img

@@ -1,0 +1,134 @@
+#include "ehw/img/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "ehw/common/rng.hpp"
+
+namespace ehw::img {
+namespace {
+
+Pixel to_pixel(double v) noexcept {
+  return static_cast<Pixel>(std::clamp(v, 0.0, 255.0));
+}
+
+struct Blob {
+  double cx, cy, radius, amplitude;
+};
+
+struct Box {
+  double x0, y0, x1, y1, value;
+};
+
+}  // namespace
+
+Image make_scene(std::size_t width, std::size_t height, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto w = static_cast<double>(width);
+  const auto h = static_cast<double>(height);
+
+  // 4-7 soft blobs, 3-5 hard boxes, one diagonal line.
+  std::vector<Blob> blobs;
+  const auto n_blobs = 4 + rng.below(4);
+  for (std::uint64_t i = 0; i < n_blobs; ++i) {
+    blobs.push_back(Blob{rng.uniform() * w, rng.uniform() * h,
+                         (0.08 + 0.22 * rng.uniform()) * std::min(w, h),
+                         40.0 + 70.0 * rng.uniform()});
+  }
+  std::vector<Box> boxes;
+  const auto n_boxes = 3 + rng.below(3);
+  for (std::uint64_t i = 0; i < n_boxes; ++i) {
+    const double x0 = rng.uniform() * 0.8 * w;
+    const double y0 = rng.uniform() * 0.8 * h;
+    boxes.push_back(Box{x0, y0, x0 + (0.08 + 0.25 * rng.uniform()) * w,
+                        y0 + (0.08 + 0.25 * rng.uniform()) * h,
+                        rng.uniform() * 255.0});
+  }
+  const double grad_angle = rng.uniform() * 6.28318530717958647692;
+  const double gx = std::cos(grad_angle), gy = std::sin(grad_angle);
+  const double line_off = rng.uniform() * w;
+  const std::uint64_t texture_salt = rng();
+
+  Image image(width, height);
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      const auto fx = static_cast<double>(x);
+      const auto fy = static_cast<double>(y);
+      // Background gradient 60..160.
+      double v = 110.0 + 50.0 * ((fx * gx + fy * gy) / (w + h) * 2.0 - 0.5);
+      // Boxes overwrite (hard edges).
+      for (const auto& b : boxes) {
+        if (fx >= b.x0 && fx <= b.x1 && fy >= b.y0 && fy <= b.y1) {
+          v = 0.35 * v + 0.65 * b.value;
+        }
+      }
+      // Soft blobs add (smooth regions).
+      for (const auto& b : blobs) {
+        const double dx = fx - b.cx, dy = fy - b.cy;
+        const double d2 = (dx * dx + dy * dy) / (b.radius * b.radius);
+        if (d2 < 9.0) v += b.amplitude * std::exp(-d2);
+      }
+      // One thin bright diagonal line (stress for window muxes).
+      if (std::abs(std::fmod(fx + fy + line_off, w) - w / 2.0) < 1.0) {
+        v = 235.0;
+      }
+      // Deterministic +-6 texture derived from coordinates, not call order.
+      const std::uint64_t hsh = hash_mix(texture_salt, x, y);
+      v += static_cast<double>(hsh % 13) - 6.0;
+      image.set(x, y, to_pixel(v));
+    }
+  }
+  return image;
+}
+
+Image make_gradient(std::size_t width, std::size_t height, Pixel from,
+                    Pixel to) {
+  Image image(width, height);
+  const double step =
+      width > 1 ? (static_cast<double>(to) - from) / static_cast<double>(width - 1)
+                : 0.0;
+  for (std::size_t x = 0; x < width; ++x) {
+    const Pixel v = to_pixel(from + step * static_cast<double>(x));
+    for (std::size_t y = 0; y < height; ++y) image.set(x, y, v);
+  }
+  return image;
+}
+
+Image make_checkerboard(std::size_t width, std::size_t height,
+                        std::size_t tile, Pixel dark, Pixel bright) {
+  EHW_REQUIRE(tile > 0, "tile size must be positive");
+  Image image(width, height);
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      const bool on = ((x / tile) + (y / tile)) % 2 == 0;
+      image.set(x, y, on ? bright : dark);
+    }
+  }
+  return image;
+}
+
+Image make_constant(std::size_t width, std::size_t height, Pixel value) {
+  return Image(width, height, value);
+}
+
+Image make_calibration_pattern(std::size_t width, std::size_t height) {
+  // Left half: horizontal ramp (exercises smooth propagation).
+  // Right half: tile-4 checkerboard (exercises min/max/threshold paths).
+  Image image(width, height);
+  const std::size_t half = width / 2;
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      Pixel v;
+      if (x < half || half == 0) {
+        v = static_cast<Pixel>((x * 255) / std::max<std::size_t>(1, width - 1));
+      } else {
+        v = (((x / 4) + (y / 4)) % 2 == 0) ? Pixel{224} : Pixel{32};
+      }
+      image.set(x, y, v);
+    }
+  }
+  return image;
+}
+
+}  // namespace ehw::img

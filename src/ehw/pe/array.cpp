@@ -1,0 +1,88 @@
+#include "ehw/pe/array.hpp"
+
+namespace ehw::pe {
+
+SystolicArray::SystolicArray(fpga::ArrayShape shape)
+    : shape_(shape),
+      cells_(shape.cell_count()),
+      input_sel_(shape.rows + shape.cols, 0) {
+  EHW_REQUIRE(shape_.rows > 0 && shape_.cols > 0, "degenerate array shape");
+  EHW_REQUIRE(shape_.rows <= 255, "output mux gene is 8-bit");
+}
+
+const CellConfig& SystolicArray::cell(std::size_t row, std::size_t col) const {
+  EHW_REQUIRE(row < shape_.rows && col < shape_.cols, "cell out of range");
+  return cells_[row * shape_.cols + col];
+}
+
+void SystolicArray::set_cell(std::size_t row, std::size_t col,
+                             CellConfig config) {
+  EHW_REQUIRE(row < shape_.rows && col < shape_.cols, "cell out of range");
+  cells_[row * shape_.cols + col] = config;
+}
+
+std::uint8_t SystolicArray::input_select(std::size_t input) const {
+  EHW_REQUIRE(input < input_sel_.size(), "input index out of range");
+  return input_sel_[input];
+}
+
+void SystolicArray::set_input_select(std::size_t input, std::uint8_t tap) {
+  EHW_REQUIRE(input < input_sel_.size(), "input index out of range");
+  EHW_REQUIRE(tap < kWindowTaps, "window tap out of range");
+  input_sel_[input] = tap;
+}
+
+void SystolicArray::set_output_row(std::uint8_t row) {
+  EHW_REQUIRE(row < shape_.rows, "output row out of range");
+  output_row_ = row;
+}
+
+Pixel SystolicArray::evaluate(const Pixel window[kWindowTaps], std::size_t x,
+                              std::size_t y) const {
+  // Outputs of the previous column (W sources) and the running-north
+  // values per column. Row-major sweep keeps each dependency ready.
+  // Max practical shape is small, so a stack buffer would work; a vector
+  // keeps the shape fully dynamic.
+  std::vector<Pixel> north(shape_.cols);
+  for (std::size_t c = 0; c < shape_.cols; ++c) {
+    north[c] = window[input_sel_[shape_.rows + c]];
+  }
+  Pixel out = 0;
+  for (std::size_t r = 0; r < shape_.rows; ++r) {
+    Pixel west = window[input_sel_[r]];
+    for (std::size_t c = 0; c < shape_.cols; ++c) {
+      const CellConfig& cc = cells_[r * shape_.cols + c];
+      const Pixel n = north[c];
+      const Pixel v = cc.defective
+                          ? defective_output(cc.defect_seed, x, y, west, n)
+                          : apply_op(cc.op, west, n);
+      // The registered output drives both East (next west) and South
+      // (next north).
+      west = v;
+      north[c] = v;
+      if (c + 1 == shape_.cols && r == output_row_) out = v;
+    }
+  }
+  return out;
+}
+
+img::Image SystolicArray::filter(const img::Image& src) const {
+  img::Image out(src.width(), src.height());
+  Pixel win[kWindowTaps];
+  for (std::size_t y = 0; y < src.height(); ++y) {
+    for (std::size_t x = 0; x < src.width(); ++x) {
+      img::gather_window3x3(src, x, y, win);
+      out.set(x, y, evaluate(win, x, y));
+    }
+  }
+  return out;
+}
+
+bool SystolicArray::any_defective() const noexcept {
+  for (const auto& c : cells_) {
+    if (c.defective) return true;
+  }
+  return false;
+}
+
+}  // namespace ehw::pe

@@ -1,0 +1,109 @@
+#pragma once
+// Functional model of one systolic processing array (§III.A).
+//
+// Topology (rows x cols, paper: 4x4):
+//   * PE(r,c) reads W from PE(r,c-1)'s output, or from west edge input r
+//     when c == 0; reads N from PE(r-1,c)'s output, or from north edge
+//     input c when r == 0.
+//   * Every PE registers its output and drives it to BOTH South and East —
+//     so the value seen on the E and S fan-outs is identical.
+//   * The array has rows west inputs + cols north inputs (4+4 = 8). Each
+//     is fed by a 9-to-1 mux over the current 3x3 sliding window.
+//   * The output is one of the `rows` east-side outputs of the last
+//     column, chosen by an output mux.
+// Pipelining: registers make execution systolic; the *value* computed for
+// a window equals the combinational evaluation, so the model computes
+// combinationally and exposes the pipeline depth as latency() for the
+// ACB's latency-compensation logic.
+//
+// Fault semantics: a cell whose configuration is not an intact library
+// function is `defective`: its output is a deterministic pseudo-random
+// byte derived from (defect_seed, window position, inputs). This is the
+// paper's dummy-PE model ("generates a random value in its output").
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "ehw/common/rng.hpp"
+#include "ehw/fpga/geometry.hpp"
+#include "ehw/img/image.hpp"
+#include "ehw/pe/functions.hpp"
+
+namespace ehw::pe {
+
+/// Behavioural configuration of one cell after decoding its slot.
+struct CellConfig {
+  PeOp op = PeOp::kIdentityW;
+  bool defective = false;
+  std::uint64_t defect_seed = 0;  // differentiates distinct faulty cells
+
+  friend bool operator==(const CellConfig&, const CellConfig&) = default;
+};
+
+/// Number of window taps each input mux can select from (3x3 window).
+inline constexpr std::size_t kWindowTaps = 9;
+
+class SystolicArray {
+ public:
+  explicit SystolicArray(fpga::ArrayShape shape);
+
+  [[nodiscard]] const fpga::ArrayShape& shape() const noexcept {
+    return shape_;
+  }
+  [[nodiscard]] std::size_t input_count() const noexcept {
+    return shape_.rows + shape_.cols;
+  }
+
+  /// Cell access (row-major).
+  [[nodiscard]] const CellConfig& cell(std::size_t row, std::size_t col) const;
+  void set_cell(std::size_t row, std::size_t col, CellConfig config);
+
+  /// Input mux i selects window tap input_select(i) in [0, 9).
+  /// Muxes [0, rows) feed the west edge; [rows, rows+cols) the north edge.
+  [[nodiscard]] std::uint8_t input_select(std::size_t input) const;
+  void set_input_select(std::size_t input, std::uint8_t tap);
+
+  /// Which east-side row drives the array output.
+  [[nodiscard]] std::uint8_t output_row() const noexcept { return output_row_; }
+  void set_output_row(std::uint8_t row);
+
+  /// Evaluates the array over one 3x3 window (row-major taps).
+  /// (x, y) locate the window in the image; they only seed defective-cell
+  /// randomness so that faulty outputs vary across the frame.
+  [[nodiscard]] Pixel evaluate(const Pixel window[kWindowTaps], std::size_t x,
+                               std::size_t y) const;
+
+  /// Filters a whole image (border-replicated windows).
+  [[nodiscard]] img::Image filter(const img::Image& src) const;
+
+  /// Pipeline latency in clock cycles: one register per PE along the
+  /// longest W-path to the selected output row, plus the input register.
+  [[nodiscard]] std::size_t latency() const noexcept {
+    return shape_.cols + output_row_ + 1;
+  }
+
+  /// True if any cell is defective (used by health monitors in tests).
+  [[nodiscard]] bool any_defective() const noexcept;
+
+  friend bool operator==(const SystolicArray&, const SystolicArray&) = default;
+
+ private:
+  fpga::ArrayShape shape_;
+  std::vector<CellConfig> cells_;          // rows * cols
+  std::vector<std::uint8_t> input_sel_;    // rows + cols entries in [0,9)
+  std::uint8_t output_row_ = 0;
+};
+
+/// Deterministic "random output" of a defective cell. Stateless so that
+/// repeated evaluation of the same frame is reproducible, but varies with
+/// position and data like a metastable/damaged LUT would.
+[[nodiscard]] inline Pixel defective_output(std::uint64_t defect_seed,
+                                            std::size_t x, std::size_t y,
+                                            Pixel w, Pixel n) noexcept {
+  std::uint64_t s = defect_seed ^ (static_cast<std::uint64_t>(x) << 32) ^ y;
+  s ^= (static_cast<std::uint64_t>(w) << 8) | n;
+  return static_cast<Pixel>(splitmix64(s) >> 56);
+}
+
+}  // namespace ehw::pe

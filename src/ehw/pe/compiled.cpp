@@ -1,0 +1,113 @@
+#include "ehw/pe/compiled.hpp"
+
+#include <cstdlib>
+
+namespace ehw::pe {
+
+CompiledArray::CompiledArray(const SystolicArray& array) {
+  const auto& shape = array.shape();
+  const std::size_t rows = shape.rows;
+  const std::size_t cols = shape.cols;
+  buffer_size_ = kWindowTaps + rows * cols;
+
+  const auto cell_slot = [&](std::size_t r, std::size_t c) {
+    return static_cast<std::uint16_t>(kWindowTaps + r * cols + c);
+  };
+
+  // Rows strictly below the output row are dead: a cell's value flows only
+  // east (same row) and south (greater row), so nothing from row > out
+  // can ever come back up to the output row.
+  const std::size_t active_rows = array.output_row() + std::size_t{1};
+  steps_.reserve(active_rows * cols);
+  for (std::size_t r = 0; r < active_rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const CellConfig& cc = array.cell(r, c);
+      Step step;
+      step.op = static_cast<std::uint8_t>(cc.op);
+      step.defective = cc.defective;
+      step.defect_seed = cc.defect_seed;
+      step.w_index = c == 0 ? array.input_select(r) : cell_slot(r, c - 1);
+      step.n_index = r == 0 ? static_cast<std::uint16_t>(
+                                  array.input_select(rows + c))
+                            : cell_slot(r - 1, c);
+      step.out_index = cell_slot(r, c);
+      steps_.push_back(step);
+    }
+  }
+  output_index_ = cell_slot(array.output_row(), cols - 1);
+}
+
+Pixel CompiledArray::evaluate(const Pixel window[kWindowTaps], std::size_t x,
+                              std::size_t y) const noexcept {
+  // Value buffer on the stack; 16x16 arrays (265 slots) fit comfortably.
+  Pixel buf[512];
+  for (std::size_t i = 0; i < kWindowTaps; ++i) buf[i] = window[i];
+  for (const Step& s : steps_) {
+    const Pixel w = buf[s.w_index];
+    const Pixel n = buf[s.n_index];
+    buf[s.out_index] = s.defective
+                           ? defective_output(s.defect_seed, x, y, w, n)
+                           : apply_op(static_cast<PeOp>(s.op), w, n);
+  }
+  return buf[output_index_];
+}
+
+img::Image CompiledArray::filter(const img::Image& src) const {
+  img::Image out(src.width(), src.height());
+  filter_into(src, out, nullptr);
+  return out;
+}
+
+void CompiledArray::filter_into(const img::Image& src, img::Image& dst,
+                                ThreadPool* pool) const {
+  EHW_REQUIRE(src.same_shape(dst), "destination shape mismatch");
+  const auto process_row = [&](std::size_t y) {
+    Pixel win[kWindowTaps];
+    for (std::size_t x = 0; x < src.width(); ++x) {
+      img::gather_window3x3(src, x, y, win);
+      dst.set(x, y, evaluate(win, x, y));
+    }
+  };
+  if (pool != nullptr && src.height() >= 32) {
+    pool->parallel_for(0, src.height(), process_row);
+  } else {
+    for (std::size_t y = 0; y < src.height(); ++y) process_row(y);
+  }
+}
+
+Fitness CompiledArray::fitness_against(const img::Image& src,
+                                       const img::Image& reference,
+                                       ThreadPool* pool) const {
+  EHW_REQUIRE(src.same_shape(reference), "reference shape mismatch");
+  const std::size_t h = src.height();
+  const auto row_error = [&](std::size_t y) {
+    Pixel win[kWindowTaps];
+    Fitness acc = 0;
+    for (std::size_t x = 0; x < src.width(); ++x) {
+      img::gather_window3x3(src, x, y, win);
+      const int out = evaluate(win, x, y);
+      const int ref = reference.at(x, y);
+      acc += static_cast<Fitness>(std::abs(out - ref));
+    }
+    return acc;
+  };
+  if (pool != nullptr && h >= 64) {
+    std::vector<Fitness> partial(h, 0);
+    pool->parallel_for(0, h, [&](std::size_t y) { partial[y] = row_error(y); });
+    Fitness total = 0;
+    for (Fitness f : partial) total += f;
+    return total;
+  }
+  Fitness total = 0;
+  for (std::size_t y = 0; y < h; ++y) total += row_error(y);
+  return total;
+}
+
+bool CompiledArray::any_defective_active() const noexcept {
+  for (const Step& s : steps_) {
+    if (s.defective) return true;
+  }
+  return false;
+}
+
+}  // namespace ehw::pe

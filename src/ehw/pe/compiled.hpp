@@ -1,0 +1,64 @@
+#pragma once
+// Flattened, allocation-free evaluator for a SystolicArray.
+//
+// The evolutionary loop evaluates millions of 3x3 windows per run, so the
+// mesh is "compiled" once per candidate into a linear program over a value
+// buffer:
+//   slots [0, 9)            = window taps;
+//   slot  9 + r*cols + c    = output of cell (r, c).
+// Cells strictly below the selected output row can never reach the output
+// (dependencies only point west and north), so compilation drops them —
+// the same dead logic the physical array simply doesn't observe.
+
+#include <cstdint>
+#include <vector>
+
+#include "ehw/common/thread_pool.hpp"
+#include "ehw/img/image.hpp"
+#include "ehw/pe/array.hpp"
+
+namespace ehw::pe {
+
+class CompiledArray {
+ public:
+  explicit CompiledArray(const SystolicArray& array);
+
+  /// Evaluates one window; (x, y) seed defective-cell randomness only.
+  [[nodiscard]] Pixel evaluate(const Pixel window[kWindowTaps], std::size_t x,
+                               std::size_t y) const noexcept;
+
+  /// Filters a whole image sequentially.
+  [[nodiscard]] img::Image filter(const img::Image& src) const;
+
+  /// Filters into a pre-allocated destination; rows are distributed over
+  /// `pool` when given (deterministic: disjoint row ranges).
+  void filter_into(const img::Image& src, img::Image& dst,
+                   ThreadPool* pool = nullptr) const;
+
+  /// Aggregated MAE against `reference` of filtering `src`, without
+  /// materializing the output image (the fitness-unit fast path).
+  [[nodiscard]] Fitness fitness_against(const img::Image& src,
+                                        const img::Image& reference,
+                                        ThreadPool* pool = nullptr) const;
+
+  [[nodiscard]] std::size_t active_cell_count() const noexcept {
+    return steps_.size();
+  }
+  [[nodiscard]] bool any_defective_active() const noexcept;
+
+ private:
+  struct Step {
+    std::uint8_t op;         // PeOp, valid when !defective
+    bool defective;
+    std::uint16_t w_index;   // operand slots in the value buffer
+    std::uint16_t n_index;
+    std::uint16_t out_index;
+    std::uint64_t defect_seed;
+  };
+
+  std::vector<Step> steps_;
+  std::uint16_t output_index_ = 0;
+  std::size_t buffer_size_ = 0;
+};
+
+}  // namespace ehw::pe

@@ -1,0 +1,36 @@
+#pragma once
+// Configuration decoder: turns the *actual* configuration-memory contents
+// of an array's PE slots into cell behaviour. This is the point where the
+// phenotype is read FROM THE FABRIC rather than from the genotype, so that
+// faults (SEU/LPD/dummy-PE) perturb behaviour exactly as on the device:
+//
+//   * slot bits == an intact library PBS      -> that library function;
+//   * anything else (flipped bit, stuck bit,
+//     dummy payload, garbled opcode)          -> defective cell emitting
+//                                                seeded random values.
+//
+// The window muxes and output mux are NOT in the fabric: the paper keeps
+// them as EA-controlled registers in the ACB, so the decoder receives them
+// separately.
+
+#include "ehw/fpga/config_memory.hpp"
+#include "ehw/fpga/geometry.hpp"
+#include "ehw/pe/array.hpp"
+#include "ehw/reconfig/pbs_library.hpp"
+
+namespace ehw::pe {
+
+/// Decodes one slot into cell behaviour.
+[[nodiscard]] CellConfig decode_slot(const fpga::ConfigMemory& memory,
+                                     const fpga::FabricGeometry& geometry,
+                                     const reconfig::PbsLibrary& library,
+                                     const fpga::SlotAddress& slot);
+
+/// Decodes the whole array `array_index`. Mux settings are applied from
+/// the caller's register values (`input_taps` has rows+cols entries).
+[[nodiscard]] SystolicArray decode_array(
+    const fpga::ConfigMemory& memory, const fpga::FabricGeometry& geometry,
+    const reconfig::PbsLibrary& library, std::size_t array_index,
+    const std::vector<std::uint8_t>& input_taps, std::uint8_t output_row);
+
+}  // namespace ehw::pe

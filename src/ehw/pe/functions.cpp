@@ -1,0 +1,69 @@
+#include "ehw/pe/functions.hpp"
+
+#include <algorithm>
+
+#include "ehw/common/assert.hpp"
+
+namespace ehw::pe {
+
+Pixel apply_op(PeOp op, Pixel w, Pixel n) noexcept {
+  const int iw = w;
+  const int in = n;
+  switch (op) {
+    case PeOp::kConst255: return Pixel{255};
+    case PeOp::kIdentityW: return w;
+    case PeOp::kIdentityN: return n;
+    case PeOp::kInvertW: return static_cast<Pixel>(255 - iw);
+    case PeOp::kMax: return static_cast<Pixel>(std::max(iw, in));
+    case PeOp::kMin: return static_cast<Pixel>(std::min(iw, in));
+    case PeOp::kAddSat: return static_cast<Pixel>(std::min(255, iw + in));
+    case PeOp::kSubSat: return static_cast<Pixel>(std::max(0, iw - in));
+    case PeOp::kAverage: return static_cast<Pixel>((iw + in + 1) / 2);
+    case PeOp::kShiftR1: return static_cast<Pixel>(iw >> 1);
+    case PeOp::kShiftR2: return static_cast<Pixel>(iw >> 2);
+    case PeOp::kAddMod: return static_cast<Pixel>((iw + in) & 0xFF);
+    case PeOp::kAbsDiff: return static_cast<Pixel>(iw > in ? iw - in : in - iw);
+    case PeOp::kThreshold: return iw > in ? Pixel{255} : Pixel{0};
+    case PeOp::kOr: return static_cast<Pixel>(iw | in);
+    case PeOp::kAnd: return static_cast<Pixel>(iw & in);
+  }
+  return 0;  // unreachable for valid ops
+}
+
+std::string_view op_name(PeOp op) noexcept {
+  switch (op) {
+    case PeOp::kConst255: return "C255";
+    case PeOp::kIdentityW: return "W";
+    case PeOp::kIdentityN: return "N";
+    case PeOp::kInvertW: return "INVW";
+    case PeOp::kMax: return "MAX";
+    case PeOp::kMin: return "MIN";
+    case PeOp::kAddSat: return "ADDS";
+    case PeOp::kSubSat: return "SUBS";
+    case PeOp::kAverage: return "AVG";
+    case PeOp::kShiftR1: return "SHR1";
+    case PeOp::kShiftR2: return "SHR2";
+    case PeOp::kAddMod: return "ADDM";
+    case PeOp::kAbsDiff: return "ADIF";
+    case PeOp::kThreshold: return "THR";
+    case PeOp::kOr: return "OR";
+    case PeOp::kAnd: return "AND";
+  }
+  return "?";
+}
+
+bool op_uses_only_w(PeOp op) noexcept {
+  switch (op) {
+    case PeOp::kIdentityW:
+    case PeOp::kInvertW:
+    case PeOp::kShiftR1:
+    case PeOp::kShiftR2:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool op_is_constant(PeOp op) noexcept { return op == PeOp::kConst255; }
+
+}  // namespace ehw::pe

@@ -1,0 +1,50 @@
+#pragma once
+// The 16-entry PE function library (§III.A): each PE computes one
+// operation over its West (W) and/or North (N) inputs; redundancies and
+// symmetries were eliminated to fit a 4-bit gene. This is the standard
+// CGP-for-image-filters function set (constants, identities, inversion,
+// min/max, saturating arithmetic, averaging, shifts, logic ops,
+// thresholding) that the single-array ancestor system [4] uses.
+
+#include <cstdint>
+#include <string_view>
+
+#include "ehw/common/types.hpp"
+
+namespace ehw::pe {
+
+enum class PeOp : std::uint8_t {
+  kConst255 = 0,   // 255
+  kIdentityW = 1,  // W
+  kIdentityN = 2,  // N
+  kInvertW = 3,    // 255 - W
+  kMax = 4,        // max(W, N)
+  kMin = 5,        // min(W, N)
+  kAddSat = 6,     // min(255, W + N)
+  kSubSat = 7,     // max(0, W - N)
+  kAverage = 8,    // (W + N + 1) / 2
+  kShiftR1 = 9,    // W >> 1
+  kShiftR2 = 10,   // W >> 2
+  kAddMod = 11,    // (W + N) mod 256
+  kAbsDiff = 12,   // |W - N|
+  kThreshold = 13, // W > N ? 255 : 0
+  kOr = 14,        // W | N
+  kAnd = 15,       // W & N
+};
+
+inline constexpr std::size_t kOpCount = 16;
+
+/// Applies a library function to the two 8-bit inputs.
+[[nodiscard]] Pixel apply_op(PeOp op, Pixel w, Pixel n) noexcept;
+
+/// Short mnemonic ("MAX", "ADDSAT", ...) for logs and genotype dumps.
+[[nodiscard]] std::string_view op_name(PeOp op) noexcept;
+
+/// True if the op reads only W (the N input is don't-care). Used by the
+/// structural analysis in tests and by the criticality reports.
+[[nodiscard]] bool op_uses_only_w(PeOp op) noexcept;
+
+/// True if the op's output is constant (ignores both inputs).
+[[nodiscard]] bool op_is_constant(PeOp op) noexcept;
+
+}  // namespace ehw::pe

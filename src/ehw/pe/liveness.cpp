@@ -1,0 +1,104 @@
+#include "ehw/pe/liveness.hpp"
+
+#include <sstream>
+#include <vector>
+
+namespace ehw::pe {
+
+LivenessInfo analyze_liveness(const SystolicArray& array) {
+  const auto& shape = array.shape();
+  const std::size_t rows = shape.rows;
+  const std::size_t cols = shape.cols;
+
+  LivenessInfo info;
+  info.live_cells.assign(rows * cols, false);
+  info.live_taps.assign(kWindowTaps, false);
+
+  // Which of a cell's inputs are consumed by its op.
+  const auto uses_w = [&](const CellConfig& cc) {
+    // A defective cell's output depends on both inputs (they seed the
+    // pseudo-random hash), so treat both as used.
+    if (cc.defective) return true;
+    return !op_is_constant(cc.op);
+  };
+  const auto uses_n = [&](const CellConfig& cc) {
+    if (cc.defective) return true;
+    return !op_is_constant(cc.op) && !op_uses_only_w(cc.op);
+  };
+
+  // Backward BFS from the output cell along used edges.
+  std::vector<std::pair<std::size_t, std::size_t>> work;
+  const std::size_t out_row = array.output_row();
+  info.live_cells[out_row * cols + (cols - 1)] = true;
+  work.emplace_back(out_row, cols - 1);
+  while (!work.empty()) {
+    const auto [r, c] = work.back();
+    work.pop_back();
+    const CellConfig& cc = array.cell(r, c);
+    // W source: (r, c-1) or west edge input r.
+    if (uses_w(cc)) {
+      if (c > 0) {
+        if (!info.live_cells[r * cols + (c - 1)]) {
+          info.live_cells[r * cols + (c - 1)] = true;
+          work.emplace_back(r, c - 1);
+        }
+      } else {
+        info.live_taps[array.input_select(r)] = true;
+      }
+    }
+    // N source: (r-1, c) or north edge input c.
+    if (uses_n(cc)) {
+      if (r > 0) {
+        if (!info.live_cells[(r - 1) * cols + c]) {
+          info.live_cells[(r - 1) * cols + c] = true;
+          work.emplace_back(r - 1, c);
+        }
+      } else {
+        info.live_taps[array.input_select(shape.rows + c)] = true;
+      }
+    }
+  }
+  for (const bool b : info.live_cells) info.live_cell_count += b ? 1 : 0;
+  return info;
+}
+
+std::string render_schematic(const SystolicArray& array) {
+  const auto& shape = array.shape();
+  const LivenessInfo live = analyze_liveness(array);
+  std::ostringstream os;
+  // Header: north tap assignments.
+  os << "north taps:";
+  for (std::size_t c = 0; c < shape.cols; ++c) {
+    os << " w" << int{array.input_select(shape.rows + c)};
+  }
+  os << "\n";
+  for (std::size_t r = 0; r < shape.rows; ++r) {
+    os << "w" << int{array.input_select(r)} << " ->";
+    for (std::size_t c = 0; c < shape.cols; ++c) {
+      const CellConfig& cc = array.cell(r, c);
+      std::string label;
+      if (cc.defective) {
+        label = "XXXX";
+      } else if (live.cell(r, c, shape.cols)) {
+        label = std::string(op_name(cc.op));
+      } else {
+        label = "..";
+      }
+      os << " [" << label << std::string(label.size() < 4 ? 4 - label.size()
+                                                          : 0,
+                                         ' ')
+         << "]";
+    }
+    if (r == array.output_row()) os << " ==> out";
+    os << "\n";
+  }
+  os << "live cells: " << live.live_cell_count << "/" << shape.cell_count()
+     << ", live window taps:";
+  for (std::size_t t = 0; t < kWindowTaps; ++t) {
+    if (live.live_taps[t]) os << ' ' << t;
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace ehw::pe

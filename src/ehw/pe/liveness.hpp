@@ -1,0 +1,45 @@
+#pragma once
+// Structural circuit analysis: which cells, window taps and edges of a
+// configured array can actually influence the output.
+//
+// Dataflow facts used (see array.hpp):
+//   * cell (r,c) feeds East -> (r,c+1).W and South -> (r+1,c).N;
+//   * the output is the East port of (output_row, cols-1);
+//   * an op that ignores an input (op_uses_only_w / constants) cuts the
+//     corresponding edge.
+// Backward reachability over live edges yields the live cell set — a
+// SUPERSET of the behaviourally relevant cells (a live cell can still be
+// logically masked, e.g. ANDed with a constant 0 path), which the fault
+// campaign's observed masking can be checked against. Used by the
+// criticality reports and by circuit pretty-printing.
+
+#include <string>
+#include <vector>
+
+#include "ehw/pe/array.hpp"
+
+namespace ehw::pe {
+
+struct LivenessInfo {
+  /// live[r * cols + c]: the cell's output can structurally reach the
+  /// array output.
+  std::vector<bool> live_cells;
+  /// live_taps[i]: window tap index i (0..8) feeds some live input mux.
+  std::vector<bool> live_taps;
+  /// Number of live cells.
+  std::size_t live_cell_count = 0;
+
+  [[nodiscard]] bool cell(std::size_t row, std::size_t col,
+                          std::size_t cols) const {
+    return live_cells[row * cols + col];
+  }
+};
+
+/// Computes structural liveness for the array as configured.
+[[nodiscard]] LivenessInfo analyze_liveness(const SystolicArray& array);
+
+/// ASCII schematic of the array: one box per cell with its op mnemonic,
+/// dead cells dimmed to '..', the output port marked. For logs/reports.
+[[nodiscard]] std::string render_schematic(const SystolicArray& array);
+
+}  // namespace ehw::pe

@@ -1,0 +1,106 @@
+#include "ehw/platform/acb.hpp"
+
+namespace ehw::platform {
+
+ArrayControlBlock::ArrayControlBlock(RegisterFile& regs, std::size_t index,
+                                     std::size_t array_inputs,
+                                     std::size_t rows, std::size_t line_width,
+                                     double clock_mhz)
+    : regs_(regs),
+      index_(index),
+      array_inputs_(array_inputs),
+      rows_(rows),
+      fitness_unit_(clock_mhz),
+      fifo_(line_width, clock_mhz) {
+  EHW_REQUIRE(array_inputs_ <= 8, "register map holds 8 input-tap registers");
+  EHW_REQUIRE(rows_ > 0, "array needs at least one row");
+}
+
+bool ArrayControlBlock::bypass() const {
+  return (regs_.read(reg(kRegCtrl)) & kCtrlBypassBit) != 0;
+}
+
+void ArrayControlBlock::set_bypass(bool on) {
+  RegValue ctrl = regs_.read(reg(kRegCtrl));
+  ctrl = on ? (ctrl | kCtrlBypassBit) : (ctrl & ~kCtrlBypassBit);
+  regs_.write(reg(kRegCtrl), ctrl);
+}
+
+InputSource ArrayControlBlock::input_source() const {
+  const RegValue v =
+      (regs_.read(reg(kRegCtrl)) & kCtrlInputSrcMask) >> kCtrlInputSrcShift;
+  return v == 0 ? InputSource::kPrimary : InputSource::kPrevious;
+}
+
+void ArrayControlBlock::set_input_source(InputSource src) {
+  RegValue ctrl = regs_.read(reg(kRegCtrl)) & ~kCtrlInputSrcMask;
+  ctrl |= (static_cast<RegValue>(src) << kCtrlInputSrcShift) &
+          kCtrlInputSrcMask;
+  regs_.write(reg(kRegCtrl), ctrl);
+}
+
+FitnessSource ArrayControlBlock::fitness_source() const {
+  const RegValue v =
+      (regs_.read(reg(kRegCtrl)) & kCtrlFitnessSrcMask) >> kCtrlFitnessSrcShift;
+  return v >= 3 ? FitnessSource::kRefVsOut : static_cast<FitnessSource>(v);
+}
+
+void ArrayControlBlock::set_fitness_source(FitnessSource src) {
+  RegValue ctrl = regs_.read(reg(kRegCtrl)) & ~kCtrlFitnessSrcMask;
+  ctrl |= (static_cast<RegValue>(src) << kCtrlFitnessSrcShift) &
+          kCtrlFitnessSrcMask;
+  regs_.write(reg(kRegCtrl), ctrl);
+}
+
+std::vector<std::uint8_t> ArrayControlBlock::input_taps() const {
+  std::vector<std::uint8_t> taps(array_inputs_);
+  for (std::size_t i = 0; i < array_inputs_; ++i) {
+    const RegValue v = regs_.read(reg(kRegInputTap0 + static_cast<RegAddr>(i)));
+    // A 9-to-1 mux ignores select values above 8: hardware wraps them.
+    taps[i] = static_cast<std::uint8_t>(v % 9);
+  }
+  return taps;
+}
+
+void ArrayControlBlock::set_input_taps(const std::vector<std::uint8_t>& taps) {
+  EHW_REQUIRE(taps.size() == array_inputs_, "one tap per array input");
+  for (std::size_t i = 0; i < taps.size(); ++i) {
+    regs_.write(reg(kRegInputTap0 + static_cast<RegAddr>(i)), taps[i]);
+  }
+}
+
+std::uint8_t ArrayControlBlock::output_row() const {
+  return static_cast<std::uint8_t>(regs_.read(reg(kRegOutputRow)) % rows_);
+}
+
+void ArrayControlBlock::set_output_row(std::uint8_t row) {
+  regs_.write(reg(kRegOutputRow), row);
+}
+
+void ArrayControlBlock::publish_fitness(Fitness f) {
+  regs_.publish(reg(kRegFitnessLo), static_cast<RegValue>(f & 0xFFFFFFFFu));
+  regs_.publish(reg(kRegFitnessHi), static_cast<RegValue>(f >> 32));
+  regs_.publish(reg(kRegStatus),
+                regs_.read(reg(kRegStatus)) | kStatusFitnessValid);
+}
+
+void ArrayControlBlock::publish_latency(std::uint32_t cycles) {
+  regs_.publish(reg(kRegLatency), cycles);
+}
+
+void ArrayControlBlock::invalidate_fitness() {
+  regs_.publish(reg(kRegStatus),
+                regs_.read(reg(kRegStatus)) & ~kStatusFitnessValid);
+}
+
+Fitness ArrayControlBlock::read_fitness_registers() const {
+  const auto lo = static_cast<Fitness>(regs_.read(reg(kRegFitnessLo)));
+  const auto hi = static_cast<Fitness>(regs_.read(reg(kRegFitnessHi)));
+  return (hi << 32) | lo;
+}
+
+bool ArrayControlBlock::fitness_valid() const {
+  return (regs_.read(reg(kRegStatus)) & kStatusFitnessValid) != 0;
+}
+
+}  // namespace ehw::platform

@@ -1,0 +1,75 @@
+#pragma once
+// Array Control Block (§III.B, Fig. 3): the modular unit the platform
+// stacks vertically — one per processing array — containing the array's
+// controller, the input-source selection, the 3-line window FIFO, the
+// latency-compensation bookkeeping and the fitness unit. All its control
+// state lives in the self-addressed register file; this class is the
+// hardware-side interpreter of those registers.
+
+#include <cstdint>
+#include <vector>
+
+#include "ehw/platform/fitness_unit.hpp"
+#include "ehw/platform/line_fifo.hpp"
+#include "ehw/platform/registers.hpp"
+
+namespace ehw::platform {
+
+enum class InputSource : std::uint8_t {
+  kPrimary = 0,   // the platform's common input stream
+  kPrevious = 1,  // the previous ACB's output (cascade)
+};
+
+class ArrayControlBlock {
+ public:
+  ArrayControlBlock(RegisterFile& regs, std::size_t index,
+                    std::size_t array_inputs, std::size_t rows,
+                    std::size_t line_width, double clock_mhz);
+
+  [[nodiscard]] std::size_t index() const noexcept { return index_; }
+
+  /// --- control register interpretation -----------------------------------
+  [[nodiscard]] bool bypass() const;
+  void set_bypass(bool on);
+
+  [[nodiscard]] InputSource input_source() const;
+  void set_input_source(InputSource src);
+
+  [[nodiscard]] FitnessSource fitness_source() const;
+  void set_fitness_source(FitnessSource src);
+
+  /// Window taps for each array input, masked into [0, 9) the way the
+  /// hardware mux would truncate an oversized register value.
+  [[nodiscard]] std::vector<std::uint8_t> input_taps() const;
+  void set_input_taps(const std::vector<std::uint8_t>& taps);
+
+  [[nodiscard]] std::uint8_t output_row() const;
+  void set_output_row(std::uint8_t row);
+
+  /// --- hardware-side publication ------------------------------------------
+  /// Latches a fitness measurement into the RO registers.
+  void publish_fitness(Fitness f);
+  void publish_latency(std::uint32_t cycles);
+  void invalidate_fitness();
+
+  /// RO register views (what the EA software reads back over the bus).
+  [[nodiscard]] Fitness read_fitness_registers() const;
+  [[nodiscard]] bool fitness_valid() const;
+
+  [[nodiscard]] FitnessUnit& fitness_unit() noexcept { return fitness_unit_; }
+  [[nodiscard]] const LineFifo& line_fifo() const noexcept { return fifo_; }
+
+ private:
+  [[nodiscard]] RegAddr reg(RegAddr offset) const {
+    return RegisterFile::acb_reg(index_, offset);
+  }
+
+  RegisterFile& regs_;
+  std::size_t index_;
+  std::size_t array_inputs_;
+  std::size_t rows_;
+  FitnessUnit fitness_unit_;
+  LineFifo fifo_;
+};
+
+}  // namespace ehw::platform

@@ -1,0 +1,46 @@
+#include "ehw/platform/adaptive_depth.hpp"
+
+#include "ehw/common/log.hpp"
+#include "ehw/img/metrics.hpp"
+#include "ehw/platform/evolution_driver.hpp"
+
+namespace ehw::platform {
+
+AdaptiveDepthResult grow_cascade_to_target(
+    EvolvablePlatform& platform, const std::vector<std::size_t>& arrays,
+    const img::Image& train, const img::Image& reference,
+    const AdaptiveDepthConfig& config) {
+  EHW_REQUIRE(!arrays.empty(), "need at least one array");
+  const sim::SimTime t_start = platform.now();
+
+  // Start with every candidate stage bypassed.
+  for (const std::size_t a : arrays) platform.acb(a).set_bypass(true);
+
+  AdaptiveDepthResult result;
+  img::Image stream = train;
+  for (std::size_t s = 0; s < arrays.size(); ++s) {
+    evo::EsConfig es = config.es;
+    es.seed = config.es.seed + 6151 * s;
+    // The new stage specializes on the current chain output, aiming at
+    // the common reference (collaborative cascade semantics).
+    const IntrinsicResult r = evolve_on_platform(
+        platform, {arrays[s]}, stream, reference, es);
+    platform.configure_array(arrays[s], r.es.best, platform.now());
+    platform.acb(arrays[s]).set_bypass(false);  // activate the stage
+
+    stream = platform.filter_array(arrays[s], stream);
+    const Fitness chain = img::aggregated_mae(stream, reference);
+    result.fitness_per_depth.push_back(chain);
+    result.depth = s + 1;
+    log_info("adaptive-depth: stage ", s + 1, " active, chain fitness ",
+             chain, " (target ", config.target, ")");
+    if (chain <= config.target) {
+      result.target_met = true;
+      break;
+    }
+  }
+  result.duration = platform.now() - t_start;
+  return result;
+}
+
+}  // namespace ehw::platform

@@ -1,0 +1,44 @@
+#pragma once
+// Adaptive cascade depth — §VII: "the cascaded modes offer unrivaled
+// quality, which could be adjusted by selecting a variable number of
+// stages", and the future-work plan of scaling the architecture to demand.
+//
+// The controller grows the active chain one stage at a time (evolving the
+// new stage on the current chain output, exactly like sequential
+// collaborative cascade evolution) and stops as soon as the chain fitness
+// reaches the quality target — unused arrays stay in BYPASS, available as
+// spares for the self-healing strategies.
+
+#include <vector>
+
+#include "ehw/evo/es.hpp"
+#include "ehw/platform/platform.hpp"
+
+namespace ehw::platform {
+
+struct AdaptiveDepthConfig {
+  /// Stop growing once the chain fitness is at or below this target.
+  Fitness target = 0;
+  /// Per-stage evolution budget.
+  evo::EsConfig es;
+};
+
+struct AdaptiveDepthResult {
+  /// Stages actually activated (1..num arrays).
+  std::size_t depth = 0;
+  /// Chain fitness after each activated stage (size == depth).
+  std::vector<Fitness> fitness_per_depth;
+  /// True when the target was met within the available arrays.
+  bool target_met = false;
+  sim::SimTime duration = 0;
+};
+
+/// Grows the cascade over `arrays` (in order) until `config.target` is met
+/// or every array is active. On return the platform has the first
+/// `result.depth` arrays configured and active, the rest bypassed.
+AdaptiveDepthResult grow_cascade_to_target(
+    EvolvablePlatform& platform, const std::vector<std::size_t>& arrays,
+    const img::Image& train, const img::Image& reference,
+    const AdaptiveDepthConfig& config);
+
+}  // namespace ehw::platform

@@ -1,0 +1,182 @@
+#include "ehw/platform/cascade_evolution.hpp"
+
+#include <algorithm>
+
+#include "ehw/evo/offspring.hpp"
+#include "ehw/img/metrics.hpp"
+
+namespace ehw::platform {
+namespace {
+
+/// Filters `input` through the chain stages [from, arrays.size()) as they
+/// are currently configured on the fabric.
+img::Image chain_filter(const EvolvablePlatform& platform,
+                        const std::vector<std::size_t>& arrays,
+                        std::size_t from, const img::Image& input) {
+  img::Image stream = input;
+  for (std::size_t s = from; s < arrays.size(); ++s) {
+    stream = platform.filter_array(arrays[s], stream);
+  }
+  return stream;
+}
+
+/// One stage's evolving chromosome.
+struct Stage {
+  evo::Genotype parent;
+  Fitness parent_fitness = kInvalidFitness;
+  Rng rng{0};
+};
+
+}  // namespace
+
+CascadeResult evolve_cascade(EvolvablePlatform& platform,
+                             const std::vector<std::size_t>& arrays,
+                             const img::Image& train,
+                             const img::Image& reference,
+                             const CascadeConfig& config) {
+  EHW_REQUIRE(!arrays.empty(), "cascade needs at least one stage");
+  EHW_REQUIRE(train.same_shape(reference), "train/reference shape mismatch");
+  const std::size_t n = arrays.size();
+  const sim::SimTime t_start = platform.now();
+
+  // Initialize one chromosome per stage and configure it.
+  Rng master_rng(config.es.seed);
+  std::vector<Stage> stages(n);
+  sim::SimTime barrier = t_start;
+  for (std::size_t s = 0; s < n; ++s) {
+    stages[s].rng = master_rng.split(s + 1);
+    stages[s].parent =
+        evo::Genotype::random(platform.config().shape, stages[s].rng);
+    const sim::Interval conf =
+        platform.configure_array(arrays[s], stages[s].parent, barrier);
+    barrier = std::max(barrier, conf.end);
+  }
+
+  // Stage inputs under the current parents; inputs[0] is the train image.
+  // When an upstream parent changes, downstream inputs move and the
+  // affected stages' parent fitness becomes stale: `dirty` forces a
+  // re-measure before the next acceptance decision.
+  std::vector<img::Image> inputs(n);
+  std::vector<bool> dirty(n, true);
+  const auto refresh_inputs_from = [&](std::size_t from) {
+    img::Image stream;
+    if (from > 0) {
+      stream = platform.filter_array(arrays[from - 1], inputs[from - 1]);
+    } else {
+      stream = train;
+    }
+    for (std::size_t s = from; s < n; ++s) {
+      inputs[s] = stream;
+      dirty[s] = true;
+      if (s + 1 < n) stream = platform.filter_array(arrays[s], stream);
+    }
+  };
+  refresh_inputs_from(0);
+
+  // Seeds parent fitness for every stage under the current chain state.
+  const auto measure_parent = [&](std::size_t s) {
+    if (config.fitness == CascadeFitness::kSeparate) {
+      const EvaluationResult ev = platform.evaluate_array(
+          arrays[s], inputs[s], reference, barrier, "Fp");
+      barrier = std::max(barrier, ev.span.end);
+      stages[s].parent_fitness = ev.fitness;
+    } else {
+      const img::Image chain_out = chain_filter(platform, arrays, 0, train);
+      stages[s].parent_fitness = img::aggregated_mae(chain_out, reference);
+      barrier += platform.frame_time(train.width(), train.height());
+    }
+  };
+
+  /// Runs one (1+lambda) generation on stage `s`; returns true if the
+  /// stage's parent chromosome changed.
+  const auto one_generation = [&](std::size_t s) -> bool {
+    Stage& stage = stages[s];
+    if (dirty[s]) {
+      // The stage input moved (upstream change or first generation):
+      // the acceptance baseline must be measured on the CURRENT input.
+      measure_parent(s);
+      dirty[s] = false;
+    }
+    auto offspring =
+        config.es.two_level
+            ? evo::two_level_offspring(stage.parent, config.es.lambda, 1,
+                                       config.es.mutation_rate, stage.rng)
+            : evo::classic_offspring(stage.parent, config.es.lambda, 1,
+                                     config.es.mutation_rate, stage.rng);
+    std::size_t best_idx = 0;
+    Fitness best_fit = kInvalidFitness;
+    sim::SimTime gen_end = barrier;
+    for (std::size_t i = 0; i < offspring.size(); ++i) {
+      const sim::Interval conf = platform.configure_array(
+          arrays[s], offspring[i].genotype, barrier);
+      Fitness f;
+      if (config.fitness == CascadeFitness::kSeparate) {
+        const EvaluationResult ev = platform.evaluate_array(
+            arrays[s], inputs[s], reference, conf.end, "F");
+        f = ev.fitness;
+        gen_end = std::max(gen_end, ev.span.end);
+      } else {
+        // Merged: judge at the chain end through the downstream parents.
+        const img::Image out =
+            platform.filter_array(arrays[s], inputs[s]);
+        const img::Image chain_out =
+            s + 1 < n ? chain_filter(platform, arrays, s + 1, out) : out;
+        f = img::aggregated_mae(chain_out, reference);
+        // The chain streams once; each remaining stage adds a frame pass.
+        const auto frames = static_cast<sim::SimTime>(n - s);
+        gen_end = std::max(
+            gen_end, conf.end + frames * platform.frame_time(
+                                             train.width(), train.height()));
+      }
+      if (f < best_fit) {
+        best_fit = f;
+        best_idx = i;
+      }
+    }
+    barrier = gen_end;
+    bool changed = false;
+    if (best_fit <= stage.parent_fitness) {
+      changed = stage.parent != offspring[best_idx].genotype;
+      stage.parent = offspring[best_idx].genotype;
+      stage.parent_fitness = best_fit;
+    }
+    // Leave the parent configured so downstream refreshes see it.
+    const sim::Interval conf =
+        platform.configure_array(arrays[s], stage.parent, barrier);
+    barrier = std::max(barrier, conf.end);
+    return changed;
+  };
+
+  if (config.schedule == CascadeSchedule::kSequential) {
+    for (std::size_t s = 0; s < n; ++s) {
+      for (Generation g = 0; g < config.es.generations; ++g) {
+        if (stages[s].parent_fitness <= config.es.target) break;
+        one_generation(s);
+      }
+      if (s + 1 < n) refresh_inputs_from(s + 1);
+    }
+  } else {
+    for (Generation g = 0; g < config.es.generations; ++g) {
+      for (std::size_t s = 0; s < n; ++s) {
+        const bool changed = one_generation(s);
+        if (changed && s + 1 < n) refresh_inputs_from(s + 1);
+      }
+    }
+  }
+
+  // Final pass: leave every parent configured, record per-stage outcomes.
+  CascadeResult result;
+  result.stages.resize(n);
+  refresh_inputs_from(0);
+  for (std::size_t s = 0; s < n; ++s) {
+    result.stages[s].best = stages[s].parent;
+    const img::Image out = platform.filter_array(arrays[s], inputs[s]);
+    result.stages[s].stage_fitness = img::aggregated_mae(out, reference);
+  }
+  const img::Image chain_out = chain_filter(platform, arrays, 0, train);
+  result.chain_fitness = img::aggregated_mae(chain_out, reference);
+  result.duration = platform.now() - t_start;
+  return result;
+}
+
+}  // namespace ehw::platform

@@ -1,0 +1,63 @@
+#pragma once
+// Cascaded evolution modes (§IV.B, Fig. 6): every stage of the chain is
+// evolved taking the rest of the chain into account.
+//
+//   Fitness computation:
+//     kSeparate - each stage has its own fitness unit, but all stages use
+//                 the SAME reference image; stage i+1 trains on stage i's
+//                 output (Fig. 6-a).
+//     kMerged   - a single fitness unit at the chain end judges the whole
+//                 chain; candidates are accepted or rejected jointly
+//                 (Fig. 6-b).
+//   Scheduling:
+//     kSequential  - stage i+1 starts evolving once stage i has finished.
+//     kInterleaved - one generation per stage in rotation ("moving forward
+//                    a single generation in each array sequentially"), all
+//                    stages adapting together. A separate chromosome is
+//                    kept per stage in both cases.
+//
+// These drive the Collaborative Cascaded operation mode evaluated in
+// Figs. 16/17.
+
+#include <vector>
+
+#include "ehw/evo/es.hpp"
+#include "ehw/platform/platform.hpp"
+
+namespace ehw::platform {
+
+enum class CascadeFitness { kSeparate, kMerged };
+enum class CascadeSchedule { kSequential, kInterleaved };
+
+struct CascadeConfig {
+  /// Per-stage ES parameters; `generations` is the per-stage budget.
+  evo::EsConfig es;
+  CascadeFitness fitness = CascadeFitness::kSeparate;
+  CascadeSchedule schedule = CascadeSchedule::kSequential;
+};
+
+struct CascadeStageOutcome {
+  /// Best chromosome evolved for this stage.
+  evo::Genotype best;
+  /// That chromosome's own fitness (its output vs the common reference,
+  /// measured on its stage input) — the per-stage series of Figs. 16/17.
+  Fitness stage_fitness = kInvalidFitness;
+};
+
+struct CascadeResult {
+  std::vector<CascadeStageOutcome> stages;
+  /// MAE of the full chain output against the reference.
+  Fitness chain_fitness = kInvalidFitness;
+  sim::SimTime duration = 0;
+};
+
+/// Evolves the chain formed by `arrays` (in order) to map `train` onto
+/// `reference`. The best chromosome of every stage is left configured, so
+/// the platform is ready for cascaded mission mode on return.
+CascadeResult evolve_cascade(EvolvablePlatform& platform,
+                             const std::vector<std::size_t>& arrays,
+                             const img::Image& train,
+                             const img::Image& reference,
+                             const CascadeConfig& config);
+
+}  // namespace ehw::platform

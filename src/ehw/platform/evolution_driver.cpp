@@ -1,0 +1,99 @@
+#include "ehw/platform/evolution_driver.hpp"
+
+#include <algorithm>
+
+#include "ehw/evo/offspring.hpp"
+
+namespace ehw::platform {
+
+IntrinsicResult evolve_on_platform(EvolvablePlatform& platform,
+                                   const std::vector<std::size_t>& arrays,
+                                   const img::Image& train,
+                                   const img::Image& reference,
+                                   const evo::EsConfig& config,
+                                   const evo::Genotype* initial) {
+  EHW_REQUIRE(!arrays.empty(), "need at least one evaluation lane");
+  EHW_REQUIRE(train.same_shape(reference), "train/reference shape mismatch");
+  for (const std::size_t a : arrays) {
+    EHW_REQUIRE(a < platform.num_arrays(), "lane array out of range");
+  }
+
+  const sim::SimTime t_start = platform.now();
+  const std::uint64_t writes_start = platform.engine_stats().pe_writes;
+  Rng rng(config.seed);
+
+  evo::Genotype parent =
+      initial != nullptr
+          ? *initial
+          : evo::Genotype::random(platform.config().shape, rng);
+
+  IntrinsicResult result;
+
+  // Generation 0: configure and evaluate the initial parent on lane 0.
+  {
+    const sim::Interval conf =
+        platform.configure_array(arrays[0], parent, t_start);
+    const EvaluationResult ev =
+        platform.evaluate_array(arrays[0], train, reference, conf.end, "F0");
+    result.es.best = parent;
+    result.es.best_fitness = ev.fitness;
+    if (config.record_history) result.es.history.push_back({0, ev.fitness});
+  }
+  Fitness parent_fitness = result.es.best_fitness;
+
+  const std::size_t lanes = arrays.size();
+  sim::SimTime barrier = platform.now();
+
+  for (Generation gen = 1; gen <= config.generations; ++gen) {
+    if (result.es.best_fitness <= config.target) break;
+
+    // Mutation happens in software while the previous wave evaluates:
+    // it costs nothing on the hardware timeline.
+    auto offspring = config.two_level
+                         ? evo::two_level_offspring(parent, config.lambda,
+                                                    lanes,
+                                                    config.mutation_rate, rng)
+                         : evo::classic_offspring(parent, config.lambda, lanes,
+                                                  config.mutation_rate, rng);
+
+    sim::SimTime gen_end = barrier;
+    std::size_t best_idx = 0;
+    Fitness best_fit = kInvalidFitness;
+    for (std::size_t i = 0; i < offspring.size(); ++i) {
+      const std::size_t lane_array = arrays[offspring[i].lane];
+      // R: engine + lane array; no earlier than the generation barrier.
+      const sim::Interval conf =
+          platform.configure_array(lane_array, offspring[i].genotype, barrier);
+      // F: lane array only, after its reconfiguration.
+      const EvaluationResult ev = platform.evaluate_array(
+          lane_array, train, reference, conf.end, "F");
+      gen_end = std::max(gen_end, ev.span.end);
+      if (ev.fitness < best_fit) {
+        best_fit = ev.fitness;
+        best_idx = i;
+      }
+    }
+
+    result.es.generations_run = gen;
+    barrier = gen_end;  // selection: next wave waits for every fitness
+
+    if (best_fit < parent_fitness ||
+        (config.accept_equal_fitness && best_fit == parent_fitness)) {
+      parent = offspring[best_idx].genotype;
+      parent_fitness = best_fit;
+    }
+    if (best_fit < result.es.best_fitness) {
+      result.es.best = offspring[best_idx].genotype;
+      result.es.best_fitness = best_fit;
+      if (config.record_history) {
+        result.es.history.push_back({gen, best_fit});
+      }
+    }
+  }
+
+  result.duration = platform.now() - t_start;
+  result.pe_writes = platform.engine_stats().pe_writes - writes_start;
+  return result;
+}
+
+}  // namespace ehw::platform

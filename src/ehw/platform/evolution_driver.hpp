@@ -1,0 +1,54 @@
+#pragma once
+// Intrinsic evolution drivers (§IV.B Independent & Parallel modes).
+//
+// Time model — exactly the Fig. 11 pipeline:
+//   * chromosome MUTATION happens in software, overlapped with the
+//     previous candidates' evaluation, so it never appears on the
+//     hardware timeline;
+//   * RECONFIGURATION (R) books the single engine AND the target array;
+//   * FITNESS EVALUATION (F) books the target array only — so with one
+//     array every candidate is strictly R then F (9(R+F) per generation),
+//     while with three arrays the engine reconfigures array B while array
+//     A evaluates, and evaluations overlap each other;
+//   * parent SELECTION closes the generation: no next-generation R may
+//     start before every fitness of the current generation is known.
+//
+// Offspring generation is either CLASSIC (all lambda mutate the parent at
+// rate k) or the paper's TWO-LEVEL strategy (§VI.B) — see evo/offspring.hpp.
+
+#include <cstdint>
+#include <vector>
+
+#include "ehw/evo/es.hpp"
+#include "ehw/platform/platform.hpp"
+
+namespace ehw::platform {
+
+struct IntrinsicResult {
+  evo::EsResult es;
+  /// Simulated duration of the run (timeline makespan delta).
+  sim::SimTime duration = 0;
+  /// DPR writes performed during the run.
+  std::uint64_t pe_writes = 0;
+  /// Average simulated time per generation (duration / generations).
+  [[nodiscard]] double seconds_per_generation() const {
+    return es.generations_run == 0
+               ? 0.0
+               : sim::to_seconds(duration) /
+                     static_cast<double>(es.generations_run);
+  }
+};
+
+/// Runs (1+lambda) evolution using the given arrays as evaluation lanes
+/// (one array = Independent evolution; several = Parallel evolution with
+/// offspring distributed across the arrays). The filter evolves to map
+/// `train` onto `reference`. The run starts from a random parent drawn
+/// from config.seed, or from `initial` when given.
+IntrinsicResult evolve_on_platform(EvolvablePlatform& platform,
+                                   const std::vector<std::size_t>& arrays,
+                                   const img::Image& train,
+                                   const img::Image& reference,
+                                   const evo::EsConfig& config,
+                                   const evo::Genotype* initial = nullptr);
+
+}  // namespace ehw::platform

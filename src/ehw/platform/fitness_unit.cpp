@@ -1,0 +1,11 @@
+#include "ehw/platform/fitness_unit.hpp"
+
+namespace ehw::platform {
+
+Fitness FitnessUnit::measure(const img::Image& a, const img::Image& b) {
+  last_ = img::aggregated_mae(a, b);
+  valid_ = true;
+  return last_;
+}
+
+}  // namespace ehw::platform

@@ -1,0 +1,53 @@
+#pragma once
+// Hardware fitness unit model (§III.B): each ACB embeds a unit that
+// accumulates the pixel-aggregated MAE between two streams. The paper's
+// three selectable sources:
+//   kRefVsOut      - reference image vs array output (normal evolution);
+//   kInVsOut       - array input vs array output (activity/identity check);
+//   kNeighborVsOut - adjacent array's output vs own output (evolution by
+//                    imitation and the TMR fitness voter feed).
+
+#include <cstdint>
+
+#include "ehw/common/types.hpp"
+#include "ehw/img/image.hpp"
+#include "ehw/img/metrics.hpp"
+#include "ehw/sim/time.hpp"
+
+namespace ehw::platform {
+
+enum class FitnessSource : std::uint8_t {
+  kRefVsOut = 0,
+  kInVsOut = 1,
+  kNeighborVsOut = 2,
+};
+
+class FitnessUnit {
+ public:
+  /// `clock_mhz` is the pixel-stream clock; the unit consumes one pixel
+  /// pair per cycle plus a small drain latency.
+  explicit FitnessUnit(double clock_mhz = 100.0) : clock_mhz_(clock_mhz) {}
+
+  /// Accumulates |a-b| over both images and latches the result.
+  Fitness measure(const img::Image& a, const img::Image& b);
+
+  [[nodiscard]] Fitness last_value() const noexcept { return last_; }
+  [[nodiscard]] bool valid() const noexcept { return valid_; }
+  void invalidate() noexcept { valid_ = false; }
+
+  /// Simulated duration of measuring a w x h frame (pipelined with the
+  /// array output stream: pixels + accumulator drain).
+  [[nodiscard]] sim::SimTime measure_duration(std::size_t width,
+                                              std::size_t height) const {
+    return sim::cycles_at_mhz(width * height + kDrainCycles, clock_mhz_);
+  }
+
+ private:
+  static constexpr std::uint64_t kDrainCycles = 4;
+
+  double clock_mhz_;
+  Fitness last_ = kInvalidFitness;
+  bool valid_ = false;
+};
+
+}  // namespace ehw::platform

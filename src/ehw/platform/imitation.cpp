@@ -1,0 +1,99 @@
+#include "ehw/platform/imitation.hpp"
+
+#include <algorithm>
+
+#include "ehw/evo/offspring.hpp"
+
+namespace ehw::platform {
+
+ImitationResult evolve_by_imitation(EvolvablePlatform& platform,
+                                    std::size_t apprentice,
+                                    std::size_t master,
+                                    const img::Image& stream,
+                                    const ImitationConfig& config) {
+  EHW_REQUIRE(apprentice != master, "apprentice must differ from master");
+  EHW_REQUIRE(apprentice < platform.num_arrays() &&
+                  master < platform.num_arrays(),
+              "array index out of range");
+
+  const sim::SimTime t_start = platform.now();
+  ArrayControlBlock& acb = platform.acb(apprentice);
+  const bool was_bypassed = acb.bypass();
+  acb.set_bypass(true);  // keep the mission stream flowing downstream
+  acb.set_fitness_source(FitnessSource::kNeighborVsOut);
+
+  // The master keeps filtering online; its output over this stream is the
+  // imitation target.
+  const img::Image target = platform.filter_array(master, stream);
+
+  Rng rng(config.es.seed);
+  evo::Genotype parent;
+  if (config.start_from_master &&
+      platform.configured_genotype(master).has_value()) {
+    parent = *platform.configured_genotype(master);
+  } else {
+    parent = evo::Genotype::random(platform.config().shape, rng);
+  }
+
+  ImitationResult result;
+  sim::SimTime barrier = t_start;
+  {
+    const sim::Interval conf =
+        platform.configure_array(apprentice, parent, barrier);
+    const EvaluationResult ev = platform.evaluate_array(
+        apprentice, stream, target, conf.end, "I0");
+    barrier = ev.span.end;
+    result.es.best = parent;
+    result.es.best_fitness = ev.fitness;
+    if (config.es.record_history) {
+      result.es.history.push_back({0, ev.fitness});
+    }
+  }
+  Fitness parent_fitness = result.es.best_fitness;
+
+  for (Generation gen = 1; gen <= config.es.generations; ++gen) {
+    if (result.es.best_fitness <= config.es.target) break;
+    auto offspring =
+        config.es.two_level
+            ? evo::two_level_offspring(parent, config.es.lambda, 1,
+                                       config.es.mutation_rate, rng)
+            : evo::classic_offspring(parent, config.es.lambda, 1,
+                                     config.es.mutation_rate, rng);
+    std::size_t best_idx = 0;
+    Fitness best_fit = kInvalidFitness;
+    sim::SimTime gen_end = barrier;
+    for (std::size_t i = 0; i < offspring.size(); ++i) {
+      const sim::Interval conf = platform.configure_array(
+          apprentice, offspring[i].genotype, barrier);
+      const EvaluationResult ev = platform.evaluate_array(
+          apprentice, stream, target, conf.end, "I");
+      gen_end = std::max(gen_end, ev.span.end);
+      if (ev.fitness < best_fit) {
+        best_fit = ev.fitness;
+        best_idx = i;
+      }
+    }
+    barrier = gen_end;
+    result.es.generations_run = gen;
+    if (best_fit <= parent_fitness) {
+      parent = offspring[best_idx].genotype;
+      parent_fitness = best_fit;
+    }
+    if (best_fit < result.es.best_fitness) {
+      result.es.best = offspring[best_idx].genotype;
+      result.es.best_fitness = best_fit;
+      if (config.es.record_history) {
+        result.es.history.push_back({gen, best_fit});
+      }
+    }
+  }
+
+  // Leave the best chromosome configured on the apprentice.
+  platform.configure_array(apprentice, result.es.best, barrier);
+  acb.set_bypass(was_bypassed);
+  result.residual = result.es.best_fitness;
+  result.duration = platform.now() - t_start;
+  return result;
+}
+
+}  // namespace ehw::platform

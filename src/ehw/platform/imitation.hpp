@@ -1,0 +1,40 @@
+#pragma once
+// Evolution by Imitation (§IV.B, Fig. 7) — the paper's headline proposal:
+// a (typically faulty) array is placed in BYPASS so the mission stream
+// keeps flowing, while its chromosome evolves to minimize the MAE between
+// ITS OWN output and a neighbouring working array's output. No reference
+// image is needed — the apprentice learns the master's transfer function
+// from live data, which is what makes recovery possible after the
+// training/reference images are lost (§V.A).
+
+#include "ehw/evo/es.hpp"
+#include "ehw/platform/platform.hpp"
+
+namespace ehw::platform {
+
+struct ImitationConfig {
+  evo::EsConfig es;
+  /// Fig. 19 compares starting the apprentice from the master's genotype
+  /// ("imitation performs better if the starting genotype is the same as
+  /// the non-faulty one") against a random restart.
+  bool start_from_master = true;
+};
+
+struct ImitationResult {
+  evo::EsResult es;  // fitness = MAE(apprentice output, master output)
+  sim::SimTime duration = 0;
+  /// Fitness of the final best chromosome, re-measured on the stream
+  /// (equals es.best_fitness; kept for clarity in reports).
+  Fitness residual = kInvalidFitness;
+};
+
+/// Evolves array `apprentice` to imitate array `master` on `stream`.
+/// Leaves the best chromosome configured on the apprentice and restores
+/// its bypass flag to its pre-call value.
+ImitationResult evolve_by_imitation(EvolvablePlatform& platform,
+                                    std::size_t apprentice,
+                                    std::size_t master,
+                                    const img::Image& stream,
+                                    const ImitationConfig& config);
+
+}  // namespace ehw::platform

@@ -1,0 +1,40 @@
+#include "ehw/platform/independent_cascade.hpp"
+
+#include "ehw/platform/evolution_driver.hpp"
+
+namespace ehw::platform {
+
+IndependentCascadeResult evolve_independent_cascade(
+    EvolvablePlatform& platform, const std::vector<std::size_t>& arrays,
+    const img::Image& input,
+    const std::vector<img::Image>& stage_references,
+    const IndependentCascadeConfig& config) {
+  EHW_REQUIRE(!arrays.empty(), "need at least one stage");
+  EHW_REQUIRE(arrays.size() == stage_references.size(),
+              "one reference image per stage");
+  for (const auto& ref : stage_references) {
+    EHW_REQUIRE(ref.same_shape(input), "reference shape mismatch");
+  }
+
+  const sim::SimTime t_start = platform.now();
+  IndependentCascadeResult result;
+  result.stages.reserve(arrays.size());
+
+  img::Image stream = input;
+  for (std::size_t s = 0; s < arrays.size(); ++s) {
+    evo::EsConfig es = config.es;
+    es.seed = config.es.seed + 7919 * s;
+    const IntrinsicResult r = evolve_on_platform(
+        platform, {arrays[s]}, stream, stage_references[s], es);
+    platform.configure_array(arrays[s], r.es.best, platform.now());
+    IndependentCascadeStage stage;
+    stage.best = r.es.best;
+    stage.fitness = r.es.best_fitness;
+    result.stages.push_back(std::move(stage));
+    stream = platform.filter_array(arrays[s], stream);
+  }
+  result.duration = platform.now() - t_start;
+  return result;
+}
+
+}  // namespace ehw::platform

@@ -1,0 +1,44 @@
+#pragma once
+// Independent Cascaded mode (§IV.A): "different filters are also used in
+// each stage, but in this case, each one is in charge of a different task,
+// such as noise removal, followed by a smoothing filter, and then edge
+// detection. ... each stage is specialized in a different task, and it
+// will be obtained by evolving against different reference images."
+//
+// Stage i trains on the output of stage i-1 and evolves toward its OWN
+// reference image; the deployed chain then executes the whole multi-task
+// pipeline in one streaming pass.
+
+#include <vector>
+
+#include "ehw/evo/es.hpp"
+#include "ehw/platform/platform.hpp"
+
+namespace ehw::platform {
+
+struct IndependentCascadeConfig {
+  /// Per-stage ES parameters (`generations` is the per-stage budget).
+  evo::EsConfig es;
+};
+
+struct IndependentCascadeStage {
+  evo::Genotype best;
+  /// Fitness of the stage against ITS OWN reference, on its actual input.
+  Fitness fitness = kInvalidFitness;
+};
+
+struct IndependentCascadeResult {
+  std::vector<IndependentCascadeStage> stages;
+  sim::SimTime duration = 0;
+};
+
+/// Evolves stage s (on arrays[s]) to map the chain stream onto
+/// `stage_references[s]`. Leaves every stage's best chromosome configured,
+/// so `platform.process_cascade` afterwards runs the full pipeline.
+IndependentCascadeResult evolve_independent_cascade(
+    EvolvablePlatform& platform, const std::vector<std::size_t>& arrays,
+    const img::Image& input,
+    const std::vector<img::Image>& stage_references,
+    const IndependentCascadeConfig& config);
+
+}  // namespace ehw::platform

@@ -1,0 +1,4 @@
+#include "ehw/platform/line_fifo.hpp"
+
+// Header-only component; this TU anchors the module archive.
+namespace ehw::platform {}

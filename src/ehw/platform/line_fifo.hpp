@@ -1,0 +1,43 @@
+#pragma once
+// The 3-image-line FIFO between cascaded stages (§IV.A: "the output of an
+// array is taken through a 3 image lines FIFO to rebuild the 3x3 window,
+// and fed to the next processing array"). Functionally the downstream
+// stage just sees the upstream image through border-replicated windows;
+// what the FIFO adds is timing: the next stage cannot start until 3 lines
+// (plus a couple of pixels of skew) have been buffered, and it adds that
+// much latency to the chain.
+
+#include <cstddef>
+
+#include "ehw/sim/time.hpp"
+
+namespace ehw::platform {
+
+class LineFifo {
+ public:
+  explicit LineFifo(std::size_t line_width, double clock_mhz = 100.0)
+      : line_width_(line_width), clock_mhz_(clock_mhz) {}
+
+  [[nodiscard]] std::size_t line_width() const noexcept { return line_width_; }
+
+  /// Cycles before the first full 3x3 window is available downstream:
+  /// two full lines plus two pixels of the third.
+  [[nodiscard]] std::uint64_t fill_cycles() const noexcept {
+    return 2 * line_width_ + 2;
+  }
+
+  [[nodiscard]] sim::SimTime fill_time() const noexcept {
+    return sim::cycles_at_mhz(fill_cycles(), clock_mhz_);
+  }
+
+  /// Storage footprint in pixels (three whole lines).
+  [[nodiscard]] std::size_t capacity_pixels() const noexcept {
+    return 3 * line_width_;
+  }
+
+ private:
+  std::size_t line_width_;
+  double clock_mhz_;
+};
+
+}  // namespace ehw::platform

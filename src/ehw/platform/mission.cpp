@@ -1,0 +1,158 @@
+#include "ehw/platform/mission.hpp"
+
+#include "ehw/common/log.hpp"
+
+namespace ehw::platform {
+
+MissionController::MissionController(EvolvablePlatform& platform,
+                                     MissionConfig config)
+    : platform_(platform),
+      config_(std::move(config)),
+      ecc_(platform.geometry()) {
+  switch (config_.mode) {
+    case MissionMode::kParallelTmr: {
+      EHW_REQUIRE(platform_.num_arrays() >= 3, "TMR mission needs 3 arrays");
+      TmrSelfHealing::Config hc;
+      hc.voter_threshold = config_.voter_threshold;
+      hc.recovery_es = config_.recovery_es;
+      tmr_ = std::make_unique<TmrSelfHealing>(platform_,
+                                              std::array<std::size_t, 3>{0, 1,
+                                                                         2},
+                                              hc);
+      break;
+    }
+    case MissionMode::kCascaded: {
+      EHW_REQUIRE(!config_.calibration_input.empty() &&
+                      config_.calibration_input.same_shape(
+                          config_.calibration_reference),
+                  "cascaded mission needs a calibration image pair");
+      CascadeSelfHealing::Config hc;
+      hc.calibration_input = config_.calibration_input;
+      hc.calibration_reference = config_.calibration_reference;
+      hc.recovery_es = config_.recovery_es;
+      hc.reference_available = config_.reference_available;
+      std::vector<std::size_t> stages(platform_.num_arrays());
+      for (std::size_t a = 0; a < stages.size(); ++a) stages[a] = a;
+      cascade_ = std::make_unique<CascadeSelfHealing>(platform_,
+                                                      std::move(stages), hc);
+      break;
+    }
+    case MissionMode::kIndependent:
+      break;
+  }
+}
+
+void MissionController::deploy(const evo::Genotype& circuit) {
+  switch (config_.mode) {
+    case MissionMode::kParallelTmr:
+      tmr_->deploy(circuit);
+      break;
+    case MissionMode::kCascaded: {
+      sim::SimTime barrier = platform_.now();
+      for (std::size_t a = 0; a < platform_.num_arrays(); ++a) {
+        barrier = platform_.configure_array(a, circuit, barrier).end;
+      }
+      cascade_->record_baseline();
+      break;
+    }
+    case MissionMode::kIndependent:
+      platform_.configure_array(0, circuit, platform_.now());
+      break;
+  }
+  // ECC syndromes follow the deployed configuration.
+  ecc_.resync_all(platform_.config_memory());
+}
+
+void MissionController::run_ecc_scrub() {
+  const fpga::FrameEcc::SweepReport report =
+      ecc_.blind_scrub(platform_.config_memory());
+  ++stats_.ecc_scrubs;
+  stats_.ecc_corrected_bits += report.corrected();
+  stats_.mission_time += report.duration;
+  if (report.corrected() > 0) {
+    log_info("mission: ECC blind scrub corrected ", report.corrected(),
+             " bit(s)");
+  }
+  if (report.uncorrectable() > 0) {
+    log_warn("mission: ECC found ", report.uncorrectable(),
+             " uncorrectable frame(s); readback scrubbing will handle them");
+  }
+}
+
+void MissionController::run_calibration() {
+  ++stats_.calibration_checks;
+  const std::size_t faults_before = cascade_->events().size();
+  cascade_->run_calibration_check();
+  for (std::size_t i = faults_before; i < cascade_->events().size(); ++i) {
+    const HealingEvent& e = cascade_->events()[i];
+    if (e.kind == HealingEventKind::kDivergenceDetected) {
+      ++stats_.faults_detected;
+    }
+    if (e.kind == HealingEventKind::kTransientRecovered) {
+      ++stats_.transient_recoveries;
+    }
+    if (e.kind == HealingEventKind::kReEvolved ||
+        e.kind == HealingEventKind::kImitationRecovered) {
+      ++stats_.permanent_recoveries;
+    }
+  }
+}
+
+img::Image MissionController::process_frame(const img::Image& frame) {
+  ++stats_.frames;
+  stats_.mission_time +=
+      platform_.frame_time(frame.width(), frame.height());
+
+  img::Image out;
+  switch (config_.mode) {
+    case MissionMode::kParallelTmr: {
+      const std::size_t events_before = tmr_->events().size();
+      TmrSelfHealing::FrameResult r = tmr_->process_frame(frame);
+      for (std::size_t i = events_before; i < tmr_->events().size(); ++i) {
+        const HealingEvent& e = tmr_->events()[i];
+        if (e.kind == HealingEventKind::kDivergenceDetected) {
+          ++stats_.faults_detected;
+        }
+        if (e.kind == HealingEventKind::kTransientRecovered) {
+          ++stats_.transient_recoveries;
+        }
+        if (e.kind == HealingEventKind::kImitationRecovered) {
+          ++stats_.permanent_recoveries;
+        }
+      }
+      if (r.recovered_this_frame) {
+        // Recovery reconfigured the fabric; re-arm the ECC reference.
+        ecc_.resync_all(platform_.config_memory());
+      }
+      out = std::move(r.voted);
+      break;
+    }
+    case MissionMode::kCascaded:
+      out = platform_.process_cascade(frame);
+      break;
+    case MissionMode::kIndependent:
+      out = platform_.process_independent(0, frame);
+      break;
+  }
+
+  if (config_.ecc_scrub_period != 0 &&
+      stats_.frames % config_.ecc_scrub_period == 0) {
+    run_ecc_scrub();
+  }
+  if (config_.mode == MissionMode::kCascaded &&
+      config_.calibration_period != 0 &&
+      stats_.frames % config_.calibration_period == 0) {
+    run_calibration();
+    // Calibration may have re-evolved a stage.
+    ecc_.resync_all(platform_.config_memory());
+  }
+  return out;
+}
+
+const std::vector<HealingEvent>& MissionController::healing_events() const {
+  if (tmr_ != nullptr) return tmr_->events();
+  if (cascade_ != nullptr) return cascade_->events();
+  return no_events_;
+}
+
+}  // namespace ehw::platform

@@ -1,0 +1,88 @@
+#pragma once
+// MissionController — the deployment-level wrapper a downstream user runs:
+// it owns an operating mode, streams frames through the platform, applies
+// the configured dependability policy (periodic blind ECC scrubbing,
+// calibration checks, TMR voting) and keeps mission statistics. This is
+// the glue the paper describes verbally in §IV/§V — pick the processing
+// mode from the mission goal, pick the self-healing strategy from the
+// mode — packaged behind one API.
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ehw/fpga/ecc.hpp"
+#include "ehw/platform/self_healing.hpp"
+
+namespace ehw::platform {
+
+/// The §IV.A processing modes at mission granularity.
+enum class MissionMode : std::uint8_t {
+  kIndependent,  // each frame through one array
+  kParallelTmr,  // three arrays + voters + §V.B healing
+  kCascaded,     // the ACB chain, §V.A healing
+};
+
+struct MissionConfig {
+  MissionMode mode = MissionMode::kParallelTmr;
+  /// Blind ECC scrub every N frames (0 disables). Clears accumulating
+  /// SEUs before they ever become observable.
+  std::size_t ecc_scrub_period = 4;
+  /// Calibration check every N frames (0 disables; cascaded mode only).
+  std::size_t calibration_period = 8;
+  /// Voter threshold / §V.B similarity margin (TMR mode).
+  Fitness voter_threshold = 100;
+  /// Recovery evolution settings shared by both healing strategies.
+  evo::EsConfig recovery_es;
+  /// Calibration images (cascaded mode).
+  img::Image calibration_input;
+  img::Image calibration_reference;
+  /// Whether reference imagery survives at mission time (§V.A step i).
+  bool reference_available = false;
+};
+
+struct MissionStats {
+  std::uint64_t frames = 0;
+  std::uint64_t ecc_scrubs = 0;
+  std::uint64_t ecc_corrected_bits = 0;
+  std::uint64_t calibration_checks = 0;
+  std::uint64_t faults_detected = 0;
+  std::uint64_t transient_recoveries = 0;
+  std::uint64_t permanent_recoveries = 0;
+  sim::SimTime mission_time = 0;
+};
+
+class MissionController {
+ public:
+  /// The platform must already hold evolved circuits (deploy() helps).
+  MissionController(EvolvablePlatform& platform, MissionConfig config);
+
+  /// Configures `circuit` according to the mode: every TMR array, every
+  /// cascade stage, or array 0 for independent mode.
+  void deploy(const evo::Genotype& circuit);
+
+  /// Streams one frame and returns the mission output, running whatever
+  /// periodic maintenance is due. Never blocks the output: healing uses
+  /// bypass/voting per the §V strategies.
+  [[nodiscard]] img::Image process_frame(const img::Image& frame);
+
+  [[nodiscard]] const MissionStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const std::vector<HealingEvent>& healing_events() const;
+
+  /// Direct access for scenario scripting (fault injection etc.).
+  [[nodiscard]] EvolvablePlatform& platform() noexcept { return platform_; }
+
+ private:
+  void run_ecc_scrub();
+  void run_calibration();
+
+  EvolvablePlatform& platform_;
+  MissionConfig config_;
+  MissionStats stats_;
+  fpga::FrameEcc ecc_;
+  std::unique_ptr<TmrSelfHealing> tmr_;
+  std::unique_ptr<CascadeSelfHealing> cascade_;
+  std::vector<HealingEvent> no_events_;
+};
+
+}  // namespace ehw::platform

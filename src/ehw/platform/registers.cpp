@@ -1,0 +1,77 @@
+#include "ehw/platform/registers.hpp"
+
+namespace ehw::platform {
+
+RegisterFile::RegisterFile(std::size_t num_acbs)
+    : num_acbs_(num_acbs),
+      global_(2, 0),
+      acb_(num_acbs * kAcbRegCount, 0) {
+  EHW_REQUIRE(num_acbs_ > 0, "platform needs at least one ACB");
+  global_[kRegPlatformId] =
+      kPlatformMagic | static_cast<RegValue>(num_acbs_ & 0xFF);
+  global_[kRegNumAcbs] = static_cast<RegValue>(num_acbs_);
+}
+
+bool RegisterFile::decode(RegAddr addr, std::size_t* acb,
+                          RegAddr* offset) const {
+  if (addr < kAcbBase) return false;
+  const RegAddr rel = addr - kAcbBase;
+  const std::size_t block = rel / kAcbStride;
+  const RegAddr off = rel % kAcbStride;
+  if (block >= num_acbs_ || off >= kAcbRegCount) return false;
+  if (acb != nullptr) *acb = block;
+  if (offset != nullptr) *offset = off;
+  return true;
+}
+
+std::size_t RegisterFile::index_of(RegAddr addr) const {
+  std::size_t acb = 0;
+  RegAddr off = 0;
+  EHW_REQUIRE(decode(addr, &acb, &off), "unmapped ACB register address");
+  return acb * kAcbRegCount + off;
+}
+
+RegValue RegisterFile::read(RegAddr addr) const {
+  if (addr < kAcbBase) {
+    EHW_REQUIRE(addr < global_.size(), "unmapped global register");
+    return global_[addr];
+  }
+  return acb_[index_of(addr)];
+}
+
+void RegisterFile::write(RegAddr addr, RegValue value) {
+  if (addr < kAcbBase) {
+    // Whole global block is read-only; bus writes are ignored like a
+    // well-behaved slave.
+    return;
+  }
+  std::size_t acb = 0;
+  RegAddr off = 0;
+  EHW_REQUIRE(decode(addr, &acb, &off), "unmapped ACB register address");
+  if (is_read_only(off, /*is_global=*/false)) return;
+  acb_[acb * kAcbRegCount + off] = value;
+}
+
+void RegisterFile::publish(RegAddr addr, RegValue value) {
+  if (addr < kAcbBase) {
+    EHW_REQUIRE(addr < global_.size(), "unmapped global register");
+    global_[addr] = value;
+    return;
+  }
+  acb_[index_of(addr)] = value;
+}
+
+bool RegisterFile::is_read_only(RegAddr offset_or_global, bool is_global) {
+  if (is_global) return true;
+  switch (offset_or_global) {
+    case kRegFitnessLo:
+    case kRegFitnessHi:
+    case kRegLatency:
+    case kRegStatus:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace ehw::platform

@@ -1,0 +1,101 @@
+#pragma once
+// The self-addressing register map (§III.B: "A self-addressing scheme was
+// designed so that every control register in any ACB can be easily
+// addressed by the EA in the MicroBlaze. The control registers allow
+// different modes of operation of every individual array, as well as
+// reading fitness and latency values.").
+//
+// Address layout (word addresses, 32-bit registers):
+//   global block at 0x000:
+//     0x000 PLATFORM_ID      (RO)  magic 0x0EH0ACB0 | num ACBs in low byte
+//     0x001 NUM_ACBS         (RO)
+//   ACB n block at kAcbBase + n * kAcbStride:
+//     +0x00 CTRL       bit0 BYPASS; bits[2:1] INPUT_SRC (0 primary,
+//                      1 previous ACB); bits[5:4] FITNESS_SRC
+//                      (0 ref-vs-out, 1 in-vs-out, 2 neighbor-vs-out)
+//     +0x01..0x08 INPUT_TAP[0..7]   window tap per array input
+//     +0x09 OUTPUT_ROW
+//     +0x0A FITNESS_LO (RO)   +0x0B FITNESS_HI (RO)
+//     +0x0C LATENCY    (RO)
+//     +0x0D STATUS     (RO)  bit0 FITNESS_VALID
+//
+// The EA software drives the platform exclusively through reg_read /
+// reg_write on the EvolvablePlatform, exactly as the MicroBlaze would.
+
+#include <cstdint>
+#include <vector>
+
+#include "ehw/common/assert.hpp"
+
+namespace ehw::platform {
+
+using RegAddr = std::uint32_t;
+using RegValue = std::uint32_t;
+
+inline constexpr RegAddr kGlobalBase = 0x000;
+inline constexpr RegAddr kAcbBase = 0x100;
+inline constexpr RegAddr kAcbStride = 0x40;
+
+// Global register offsets.
+inline constexpr RegAddr kRegPlatformId = 0x000;
+inline constexpr RegAddr kRegNumAcbs = 0x001;
+
+// Per-ACB register offsets.
+inline constexpr RegAddr kRegCtrl = 0x00;
+inline constexpr RegAddr kRegInputTap0 = 0x01;  // ..kRegInputTap0+7
+inline constexpr RegAddr kRegOutputRow = 0x09;
+inline constexpr RegAddr kRegFitnessLo = 0x0A;
+inline constexpr RegAddr kRegFitnessHi = 0x0B;
+inline constexpr RegAddr kRegLatency = 0x0C;
+inline constexpr RegAddr kRegStatus = 0x0D;
+inline constexpr RegAddr kAcbRegCount = 0x0E;
+
+// CTRL bit fields.
+inline constexpr RegValue kCtrlBypassBit = 1u << 0;
+inline constexpr unsigned kCtrlInputSrcShift = 1;   // bits [2:1]
+inline constexpr RegValue kCtrlInputSrcMask = 0x3u << kCtrlInputSrcShift;
+inline constexpr unsigned kCtrlFitnessSrcShift = 4;  // bits [5:4]
+inline constexpr RegValue kCtrlFitnessSrcMask = 0x3u << kCtrlFitnessSrcShift;
+
+// STATUS bits.
+inline constexpr RegValue kStatusFitnessValid = 1u << 0;
+
+inline constexpr RegValue kPlatformMagic = 0x0E400000;
+
+/// Raw register backing store for one platform: global block + one block
+/// per ACB. Read-only enforcement lives in the platform front-end (the bus
+/// slave would simply ignore writes to RO addresses, which we replicate).
+class RegisterFile {
+ public:
+  explicit RegisterFile(std::size_t num_acbs);
+
+  [[nodiscard]] std::size_t num_acbs() const noexcept { return num_acbs_; }
+
+  /// Absolute address of register `offset` in ACB `acb`.
+  [[nodiscard]] static RegAddr acb_reg(std::size_t acb, RegAddr offset) {
+    return kAcbBase + static_cast<RegAddr>(acb) * kAcbStride + offset;
+  }
+
+  /// True if `addr` decodes to some ACB register; outputs which.
+  [[nodiscard]] bool decode(RegAddr addr, std::size_t* acb,
+                            RegAddr* offset) const;
+
+  [[nodiscard]] RegValue read(RegAddr addr) const;
+  void write(RegAddr addr, RegValue value);
+
+  /// Backdoor used by the hardware side (ACBs) to publish RO values.
+  void publish(RegAddr addr, RegValue value);
+
+  /// True if the address is a read-only register (bus writes ignored).
+  [[nodiscard]] static bool is_read_only(RegAddr offset_or_global,
+                                         bool is_global);
+
+ private:
+  [[nodiscard]] std::size_t index_of(RegAddr addr) const;
+
+  std::size_t num_acbs_;
+  std::vector<RegValue> global_;
+  std::vector<RegValue> acb_;  // num_acbs * kAcbRegCount
+};
+
+}  // namespace ehw::platform

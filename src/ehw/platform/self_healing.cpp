@@ -1,0 +1,277 @@
+#include "ehw/platform/self_healing.hpp"
+
+#include "ehw/common/log.hpp"
+#include "ehw/platform/evolution_driver.hpp"
+
+namespace ehw::platform {
+
+std::string_view healing_event_name(HealingEventKind kind) {
+  switch (kind) {
+    case HealingEventKind::kBaselineRecorded: return "baseline-recorded";
+    case HealingEventKind::kCheckPassed: return "check-passed";
+    case HealingEventKind::kDivergenceDetected: return "divergence-detected";
+    case HealingEventKind::kScrubbed: return "scrubbed";
+    case HealingEventKind::kTransientRecovered: return "transient-recovered";
+    case HealingEventKind::kPermanentDeclared: return "permanent-declared";
+    case HealingEventKind::kBypassEngaged: return "bypass-engaged";
+    case HealingEventKind::kImitationRecovered: return "imitation-recovered";
+    case HealingEventKind::kReEvolved: return "re-evolved";
+    case HealingEventKind::kGenotypePasted: return "genotype-pasted";
+  }
+  return "?";
+}
+
+/// --------------------------------------------------------------------------
+CascadeSelfHealing::CascadeSelfHealing(EvolvablePlatform& platform,
+                                       std::vector<std::size_t> arrays,
+                                       Config config)
+    : platform_(platform), arrays_(std::move(arrays)), config_(std::move(config)) {
+  EHW_REQUIRE(!arrays_.empty(), "cascade healing needs at least one stage");
+  EHW_REQUIRE(config_.calibration_input.same_shape(
+                  config_.calibration_reference),
+              "calibration image pair must share a shape");
+  baseline_.assign(arrays_.size(), kInvalidFitness);
+}
+
+void CascadeSelfHealing::log(std::size_t array, HealingEventKind kind,
+                             Fitness fitness, std::string detail) {
+  events_.push_back(
+      HealingEvent{platform_.now(), array, kind, fitness, std::move(detail)});
+  log_info("self-heal[cascade] array=", array, ' ',
+           healing_event_name(kind), " fitness=", fitness,
+           detail.empty() ? "" : " ", detail);
+}
+
+Fitness CascadeSelfHealing::measure(std::size_t stage) {
+  // Each stage is checked against the calibration pair in isolation: the
+  // calibration input is fed to the array directly (§V.A uses a pattern
+  // image with a known per-array fitness).
+  const EvaluationResult ev = platform_.evaluate_array(
+      arrays_[stage], config_.calibration_input,
+      config_.calibration_reference, platform_.now(), "C");
+  return ev.fitness;
+}
+
+Fitness CascadeSelfHealing::baseline(std::size_t stage) const {
+  EHW_REQUIRE(stage < baseline_.size(), "stage out of range");
+  return baseline_[stage];
+}
+
+void CascadeSelfHealing::record_baseline() {
+  for (std::size_t s = 0; s < arrays_.size(); ++s) {
+    baseline_[s] = measure(s);
+    log(arrays_[s], HealingEventKind::kBaselineRecorded, baseline_[s]);
+  }
+}
+
+bool CascadeSelfHealing::run_calibration_check() {
+  bool all_healthy = true;
+  for (std::size_t s = 0; s < arrays_.size(); ++s) {
+    EHW_REQUIRE(baseline_[s] != kInvalidFitness,
+                "record_baseline() must run before checks");
+    const Fitness measured = measure(s);  // step d
+    const Fitness delta = measured > baseline_[s] ? measured - baseline_[s]
+                                                  : baseline_[s] - measured;
+    if (delta <= config_.tolerance) {  // step e
+      log(arrays_[s], HealingEventKind::kCheckPassed, measured);
+      continue;
+    }
+    log(arrays_[s], HealingEventKind::kDivergenceDetected, measured);
+    all_healthy &= heal(s, measured);
+  }
+  return all_healthy;
+}
+
+bool CascadeSelfHealing::heal(std::size_t stage, Fitness /*measured*/) {
+  const std::size_t array = arrays_[stage];
+  // Step f: scrub (rewrite last reconfiguration) of the damaged array.
+  std::size_t corrected = 0;
+  std::size_t uncorrectable = 0;
+  platform_.scrub_array(array, platform_.now(), &corrected, &uncorrectable);
+  log(array, HealingEventKind::kScrubbed, 0,
+      "corrected=" + std::to_string(corrected) +
+          " uncorrectable=" + std::to_string(uncorrectable));
+
+  // Step g: re-evaluate with the pattern image.
+  const Fitness after = measure(stage);
+  const Fitness delta = after > baseline_[stage] ? after - baseline_[stage]
+                                                 : baseline_[stage] - after;
+  if (delta <= config_.tolerance) {  // step h: transient
+    log(array, HealingEventKind::kTransientRecovered, after);
+    return true;
+  }
+
+  // Step i: permanent. Bypass the stage so the stream keeps flowing.
+  log(array, HealingEventKind::kPermanentDeclared, after);
+  platform_.acb(array).set_bypass(true);
+  log(array, HealingEventKind::kBypassEngaged, after);
+
+  if (config_.reference_available) {
+    // Re-evolve against the still-available reference.
+    IntrinsicResult r = evolve_on_platform(
+        platform_, {array}, config_.calibration_input,
+        config_.calibration_reference, config_.recovery_es,
+        platform_.configured_genotype(array).has_value()
+            ? &*platform_.configured_genotype(array)
+            : nullptr);
+    platform_.configure_array(array, r.es.best, platform_.now());
+    baseline_[stage] = measure(stage);
+    log(array, HealingEventKind::kReEvolved, r.es.best_fitness);
+  } else {
+    // Reference lost: learn from the closest working neighbour.
+    const std::size_t master =
+        stage > 0 ? arrays_[stage - 1] : arrays_[(stage + 1) % arrays_.size()];
+    ImitationConfig ic;
+    ic.es = config_.recovery_es;
+    ic.start_from_master = true;
+    const ImitationResult r = evolve_by_imitation(
+        platform_, array, master, config_.calibration_input, ic);
+    baseline_[stage] = measure(stage);
+    log(array, HealingEventKind::kImitationRecovered, r.residual,
+        "master=" + std::to_string(master));
+  }
+  platform_.acb(array).set_bypass(false);
+  return false;  // a permanent fault was found (and mitigated)
+}
+
+/// --------------------------------------------------------------------------
+TmrSelfHealing::TmrSelfHealing(EvolvablePlatform& platform,
+                               std::array<std::size_t, 3> arrays,
+                               Config config)
+    : platform_(platform),
+      arrays_(arrays),
+      config_(std::move(config)),
+      voter_(config_.voter_threshold) {
+  EHW_REQUIRE(platform_.num_arrays() >= 3, "TMR needs three arrays");
+}
+
+void TmrSelfHealing::log(std::size_t array, HealingEventKind kind,
+                         Fitness fitness, std::string detail) {
+  events_.push_back(
+      HealingEvent{platform_.now(), array, kind, fitness, std::move(detail)});
+  log_info("self-heal[tmr] array=", array, ' ', healing_event_name(kind),
+           " fitness=", fitness, detail.empty() ? "" : " ", detail);
+}
+
+void TmrSelfHealing::deploy(const evo::Genotype& circuit) {
+  sim::SimTime barrier = platform_.now();
+  for (const std::size_t a : arrays_) {
+    const sim::Interval conf = platform_.configure_array(a, circuit, barrier);
+    barrier = conf.end;
+    platform_.acb(a).set_fitness_source(FitnessSource::kNeighborVsOut);
+  }
+  allowance_ = {0, 0, 0};
+}
+
+TmrSelfHealing::FrameResult TmrSelfHealing::process_frame(
+    const img::Image& input) {
+  FrameResult result;
+  // Parallel mode: the three arrays filter the same frame; the pixel voter
+  // merges them so a valid output flows regardless of a single fault.
+  const img::Image out0 = platform_.filter_array(arrays_[0], input);
+  const img::Image out1 = platform_.filter_array(arrays_[1], input);
+  const img::Image out2 = platform_.filter_array(arrays_[2], input);
+  PixelVoteResult voted = PixelVoter::vote(out0, out1, out2);
+
+  // Fitness voter feed: each ACB fitness unit measures its array's output
+  // against the voted stream (out-vs-neighbour mode).
+  const sim::SimTime t = platform_.now();
+  result.fitness[0] =
+      platform_.evaluate_array(arrays_[0], input, voted.majority, t, "V").fitness;
+  result.fitness[1] =
+      platform_.evaluate_array(arrays_[1], input, voted.majority, t, "V").fitness;
+  result.fitness[2] =
+      platform_.evaluate_array(arrays_[2], input, voted.majority, t, "V").fitness;
+  // Discount each array's known post-recovery residual before voting, so
+  // an already-mitigated fault is not re-flagged while new faults are.
+  std::array<Fitness, 3> adjusted{};
+  for (std::size_t i = 0; i < 3; ++i) {
+    adjusted[i] = result.fitness[i] > allowance_[i]
+                      ? result.fitness[i] - allowance_[i]
+                      : 0;
+  }
+  result.vote = voter_.vote(adjusted);
+
+  // The voted stream that flowed out during THIS frame: the pixel voter
+  // already masked the fault, so this is valid even when healing runs.
+  result.voted = std::move(voted.majority);
+
+  if (result.vote.faulty.has_value()) {
+    const std::size_t faulty = *result.vote.faulty;
+    log(arrays_[faulty], HealingEventKind::kDivergenceDetected,
+        result.fitness[faulty]);
+    heal(faulty, input);  // takes effect from the next frame on
+    result.recovered_this_frame = true;
+  }
+  return result;
+}
+
+void TmrSelfHealing::heal(std::size_t faulty, const img::Image& input) {
+  const std::size_t array = arrays_[faulty];
+  // Step d: scrub the damaged array.
+  std::size_t corrected = 0;
+  std::size_t uncorrectable = 0;
+  platform_.scrub_array(array, platform_.now(), &corrected, &uncorrectable);
+  log(array, HealingEventKind::kScrubbed, 0,
+      "corrected=" + std::to_string(corrected) +
+          " uncorrectable=" + std::to_string(uncorrectable));
+
+  // Step e/f: re-measure against the healthy pair's voted output.
+  const std::size_t m0 = arrays_[(faulty + 1) % 3];
+  const std::size_t m1 = arrays_[(faulty + 2) % 3];
+  const img::Image healthy0 = platform_.filter_array(m0, input);
+  const img::Image healthy1 = platform_.filter_array(m1, input);
+  const PixelVoteResult healthy_vote =
+      PixelVoter::vote(healthy0, healthy1, healthy0);
+  const Fitness after = platform_
+                            .evaluate_array(array, input,
+                                            healthy_vote.majority,
+                                            platform_.now(), "V")
+                            .fitness;
+  if (after <= config_.voter_threshold) {
+    log(array, HealingEventKind::kTransientRecovered, after);
+    return;
+  }
+
+  // Step g: permanent -> evolution by imitation from a healthy neighbour.
+  log(array, HealingEventKind::kPermanentDeclared, after);
+  ImitationConfig ic;
+  ic.es = config_.recovery_es;
+  ic.start_from_master = true;
+  const ImitationResult r =
+      evolve_by_imitation(platform_, array, m0, input, ic);
+  log(array, HealingEventKind::kImitationRecovered, r.residual,
+      "master=" + std::to_string(m0) +
+          " generations=" + std::to_string(r.es.generations_run));
+
+  // Step h: non-zero residual -> paste the recovered chromosome everywhere
+  // so the voter sees three identical circuits again, and record the
+  // residual as this array's similarity allowance (the damaged fabric
+  // still deviates by about that much even under the same chromosome).
+  if (r.residual > 0 && config_.paste_on_partial_recovery) {
+    sim::SimTime barrier = platform_.now();
+    for (const std::size_t a : arrays_) {
+      const sim::Interval conf =
+          platform_.configure_array(a, r.es.best, barrier);
+      barrier = conf.end;
+    }
+    log(array, HealingEventKind::kGenotypePasted, r.residual);
+  }
+  if (r.residual > 0) {
+    // Measure the ACTUAL post-recovery divergence of the damaged array
+    // against the refreshed voted output (the quantity the voter will see
+    // from now on) and discount it with a 50% margin.
+    const img::Image o0 = platform_.filter_array(arrays_[0], input);
+    const img::Image o1 = platform_.filter_array(arrays_[1], input);
+    const img::Image o2 = platform_.filter_array(arrays_[2], input);
+    const PixelVoteResult fresh = PixelVoter::vote(o0, o1, o2);
+    const Fitness measured =
+        platform_
+            .evaluate_array(array, input, fresh.majority, platform_.now(),
+                            "V")
+            .fitness;
+    allowance_[faulty] = measured + measured / 2 + config_.voter_threshold;
+  }
+}
+
+}  // namespace ehw::platform

@@ -1,0 +1,171 @@
+#pragma once
+// Self-healing controllers implementing the two strategies of §V.
+//
+// CascadeSelfHealing (§V.A, steps a-i):
+//   a) initial evolution selects a working circuit per array;
+//   b) the baseline fitness of every array on a CALIBRATION image is
+//      recorded;
+//   c-d) mission runs until the next calibration check re-measures;
+//   e) equal fitness -> healthy, keep running;
+//   f) deviation -> scrub the damaged array;
+//   g-h) re-measure: back to baseline -> fault was TRANSIENT (SEU);
+//   i) still deviating -> PERMANENT: set the array to BYPASS (stream keeps
+//      flowing) and recover by re-evolution against a reference if one is
+//      still available, else by EVOLUTION BY IMITATION from a neighbour.
+//
+// TmrSelfHealing (§V.B, steps a-h):
+//   a) one evolved circuit is configured into all three arrays (parallel
+//      mode);
+//   b-c) each frame, the hardware FITNESS VOTER compares the three
+//      per-array fitness readings (vs the pixel-voted output) within a
+//      similarity threshold; the PIXEL VOTER keeps a valid output flowing;
+//   d-f) divergence -> scrub the suspect; recovered -> transient;
+//   g) still diverging -> permanent -> evolution by imitation from a
+//      healthy neighbour;
+//   h) if imitation does not reach fitness 0, the recovered chromosome can
+//      be pasted into every array to re-align the TMR voter.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ehw/platform/imitation.hpp"
+#include "ehw/platform/platform.hpp"
+#include "ehw/platform/voter.hpp"
+
+namespace ehw::platform {
+
+enum class HealingEventKind : std::uint8_t {
+  kBaselineRecorded,
+  kCheckPassed,
+  kDivergenceDetected,
+  kScrubbed,
+  kTransientRecovered,
+  kPermanentDeclared,
+  kBypassEngaged,
+  kImitationRecovered,
+  kReEvolved,
+  kGenotypePasted,
+};
+
+struct HealingEvent {
+  sim::SimTime time = 0;
+  std::size_t array = 0;
+  HealingEventKind kind = HealingEventKind::kCheckPassed;
+  Fitness fitness = 0;
+  std::string detail;
+};
+
+[[nodiscard]] std::string_view healing_event_name(HealingEventKind kind);
+
+/// ---------------------------------------------------------------------------
+class CascadeSelfHealing {
+ public:
+  struct Config {
+    /// Calibration input and the expected (reference) output used to
+    /// obtain a *known* fitness value per §V.A step b.
+    img::Image calibration_input;
+    img::Image calibration_reference;
+    /// Tolerance when comparing baseline and re-measured fitness (the
+    /// stream is deterministic here, so 0 is exact equality).
+    Fitness tolerance = 0;
+    /// ES settings for recovery runs (imitation / re-evolution).
+    evo::EsConfig recovery_es;
+    /// When false, the reference image is treated as LOST after baseline
+    /// recording: recovery can only use evolution by imitation.
+    bool reference_available = true;
+  };
+
+  CascadeSelfHealing(EvolvablePlatform& platform,
+                     std::vector<std::size_t> arrays, Config config);
+
+  /// Step b: record per-array baseline fitness on the calibration image.
+  void record_baseline();
+
+  /// Steps c-i for one calibration period. Returns true when every array
+  /// checks healthy (possibly after recovery).
+  bool run_calibration_check();
+
+  [[nodiscard]] const std::vector<HealingEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] Fitness baseline(std::size_t stage) const;
+
+ private:
+  /// Steps f-i for one damaged array; returns final healthy/recovered flag.
+  bool heal(std::size_t stage, Fitness measured);
+  Fitness measure(std::size_t stage);
+  void log(std::size_t array, HealingEventKind kind, Fitness fitness,
+           std::string detail = "");
+
+  EvolvablePlatform& platform_;
+  std::vector<std::size_t> arrays_;
+  Config config_;
+  std::vector<Fitness> baseline_;
+  std::vector<HealingEvent> events_;
+};
+
+/// ---------------------------------------------------------------------------
+class TmrSelfHealing {
+ public:
+  struct Config {
+    /// Similarity threshold of the fitness voter (§V.B: tolerates the
+    /// residual divergence of an imitation-recovered array).
+    Fitness voter_threshold = 0;
+    /// ES settings for the imitation recovery.
+    evo::EsConfig recovery_es;
+    /// Step h: paste the recovered chromosome into every array when the
+    /// imitation residual is non-zero.
+    bool paste_on_partial_recovery = true;
+  };
+
+  struct FrameResult {
+    img::Image voted;                 // pixel-voter output (always valid)
+    std::array<Fitness, 3> fitness{};  // per-array fitness vs voted output
+    FitnessVote vote;                 // fitness-voter verdict
+    bool recovered_this_frame = false;
+  };
+
+  /// `arrays` must name exactly three platform arrays (§V.B: "only three
+  /// parallel arrays are considered").
+  TmrSelfHealing(EvolvablePlatform& platform, std::array<std::size_t, 3> arrays,
+                 Config config);
+
+  /// Step a: configure `circuit` into all three arrays.
+  void deploy(const evo::Genotype& circuit);
+
+  /// Steps b-h for one frame: vote, detect, and — when a divergence is
+  /// found — scrub, classify and recover without dropping the frame
+  /// (the pixel-voted output remains valid throughout).
+  FrameResult process_frame(const img::Image& input);
+
+  [[nodiscard]] const std::vector<HealingEvent>& events() const noexcept {
+    return events_;
+  }
+
+  /// Per-array residual allowance. §V.B: "expected fitness from the
+  /// damaged filter may be different to the undamaged counterparts. To
+  /// cope with this situation, a similarity threshold can be defined in
+  /// the voter." After a partial recovery the recovering array's known
+  /// residual is discounted before voting, so the same (already mitigated)
+  /// fault is not re-flagged every frame while NEW faults still are.
+  [[nodiscard]] Fitness allowance(std::size_t position) const {
+    EHW_REQUIRE(position < 3, "TMR position out of range");
+    return allowance_[position];
+  }
+
+ private:
+  void log(std::size_t array, HealingEventKind kind, Fitness fitness,
+           std::string detail = "");
+  /// Steps d-h once the voter blames `faulty`.
+  void heal(std::size_t faulty, const img::Image& input);
+
+  EvolvablePlatform& platform_;
+  std::array<std::size_t, 3> arrays_;
+  Config config_;
+  FitnessVoter voter_;
+  std::array<Fitness, 3> allowance_{0, 0, 0};
+  std::vector<HealingEvent> events_;
+};
+
+}  // namespace ehw::platform

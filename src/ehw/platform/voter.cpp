@@ -1,0 +1,62 @@
+#include "ehw/platform/voter.hpp"
+
+#include <algorithm>
+
+#include "ehw/common/assert.hpp"
+
+namespace ehw::platform {
+
+FitnessVote FitnessVoter::vote(const std::array<Fitness, 3>& f) const {
+  const bool ab = close(f[0], f[1]);
+  const bool ac = close(f[0], f[2]);
+  const bool bc = close(f[1], f[2]);
+  FitnessVote v;
+  if (ab && ac && bc) return v;  // unanimous
+  if (ab && !ac && !bc) {
+    v.faulty = 2;
+  } else if (ac && !ab && !bc) {
+    v.faulty = 1;
+  } else if (bc && !ab && !ac) {
+    v.faulty = 0;
+  } else if (ab && ac && !bc) {
+    // 0 agrees with both 1 and 2 but they disagree with each other: the
+    // threshold chain is ambiguous; report inconclusive.
+    v.inconclusive = true;
+  } else if ((ab && bc && !ac) || (ac && bc && !ab)) {
+    v.inconclusive = true;
+  } else {
+    v.inconclusive = true;  // no two agree
+  }
+  return v;
+}
+
+PixelVoteResult PixelVoter::vote(const img::Image& a, const img::Image& b,
+                                 const img::Image& c) {
+  EHW_REQUIRE(a.same_shape(b) && b.same_shape(c),
+              "voter inputs must share a shape");
+  PixelVoteResult result;
+  result.majority = img::Image(a.width(), a.height());
+  const std::size_t n = a.pixel_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Pixel pa = a.data()[i];
+    const Pixel pb = b.data()[i];
+    const Pixel pc = c.data()[i];
+    Pixel out;
+    if (pa == pb || pa == pc) {
+      out = pa;
+    } else if (pb == pc) {
+      out = pb;
+    } else {
+      // No exact majority: emit the median of the three values.
+      out = std::max(std::min(pa, pb), std::min(std::max(pa, pb), pc));
+      ++result.no_majority;
+    }
+    result.majority.data()[i] = out;
+    if (pa != out) ++result.outvoted[0];
+    if (pb != out) ++result.outvoted[1];
+    if (pc != out) ++result.outvoted[2];
+  }
+  return result;
+}
+
+}  // namespace ehw::platform

@@ -1,0 +1,67 @@
+#pragma once
+// The two voter modules of §V.B:
+//   * FitnessVoter — compares the per-frame fitness of the three parallel
+//     arrays; a similarity threshold tolerates the residual divergence an
+//     imitation-recovered array keeps. Detects (and localizes) the
+//     misbehaving array after each frame.
+//   * PixelVoter — per-pixel majority over three output streams, keeping a
+//     valid output flowing while one array misbehaves; also counts, per
+//     array, how often that array was outvoted (a localization signal).
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "ehw/common/types.hpp"
+#include "ehw/img/image.hpp"
+
+namespace ehw::platform {
+
+struct FitnessVote {
+  /// Index (0..2) of the array whose fitness deviates from the other two;
+  /// empty when all three agree within the threshold.
+  std::optional<std::size_t> faulty;
+  /// True when no two arrays agree (vote inconclusive — more than one
+  /// fault, or threshold too tight).
+  bool inconclusive = false;
+};
+
+class FitnessVoter {
+ public:
+  /// `threshold` is the similarity margin (in aggregated-MAE units) within
+  /// which two fitness readings count as "equal" (§V.B: "a similarity
+  /// threshold can be defined in the voter").
+  explicit FitnessVoter(Fitness threshold = 0) : threshold_(threshold) {}
+
+  [[nodiscard]] Fitness threshold() const noexcept { return threshold_; }
+  void set_threshold(Fitness t) noexcept { threshold_ = t; }
+
+  [[nodiscard]] FitnessVote vote(const std::array<Fitness, 3>& fitness) const;
+
+ private:
+  [[nodiscard]] bool close(Fitness a, Fitness b) const noexcept {
+    return (a > b ? a - b : b - a) <= threshold_;
+  }
+
+  Fitness threshold_;
+};
+
+struct PixelVoteResult {
+  img::Image majority;
+  /// Per-array count of pixels where that array disagreed with the voted
+  /// output.
+  std::array<std::uint64_t, 3> outvoted{};
+  /// Pixels where all three disagreed pairwise (voter emits the median).
+  std::uint64_t no_majority = 0;
+};
+
+class PixelVoter {
+ public:
+  /// Majority-of-three per pixel; with no exact majority the median value
+  /// is emitted (the standard TMR-with-median fallback for data words).
+  [[nodiscard]] static PixelVoteResult vote(const img::Image& a,
+                                            const img::Image& b,
+                                            const img::Image& c);
+};
+
+}  // namespace ehw::platform

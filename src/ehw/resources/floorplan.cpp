@@ -1,0 +1,53 @@
+#include "ehw/resources/floorplan.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace ehw::resources {
+
+void render_floorplan(std::ostream& os, std::size_t num_arrays,
+                      fpga::ArrayShape shape) {
+  const std::string static_col = "  STATIC REGION   ";
+  os << "+------------------+--------------------------------------+\n";
+  os << "|" << static_col << "|  reconfigurable EHW region (stacked) |\n";
+  os << "+------------------+--------------------------------------+\n";
+  for (std::size_t a = 0; a < num_arrays; ++a) {
+    // ACB strip.
+    os << "| ";
+    if (a == 0) {
+      os << "MicroBlaze       ";
+    } else if (a == 1) {
+      os << "Reconf. engine   ";
+    } else if (a == 2) {
+      os << "DDR2 / PLB bus   ";
+    } else {
+      os << "                 ";
+    }
+    os << "|  ACB" << a << "  ctrl | FIFOs | fitness unit   |\n";
+    // Array rows: each PE cell drawn as [fn].
+    for (std::size_t r = 0; r < shape.rows; ++r) {
+      os << "|                  |  ";
+      for (std::size_t c = 0; c < shape.cols; ++c) {
+        os << "[PE" << r << c << "]";
+      }
+      // Pad to the box edge for the common 4x4 case.
+      if (shape.cols == 4) os << "  <- clock region " << a;
+      os << '\n';
+    }
+    os << "+------------------+--------------------------------------+\n";
+  }
+  os << "  each PE: 2 CLB columns x 5 CLBs (1/4 clock region height)\n";
+  os << "  each array: " << shape.rows << 'x' << shape.cols
+     << " PEs = " << (shape.rows == 4 && shape.cols == 4
+                          ? 160
+                          : shape.cell_count() * 10)
+     << " CLBs across one clock region\n";
+}
+
+std::string floorplan_string(std::size_t num_arrays, fpga::ArrayShape shape) {
+  std::ostringstream os;
+  render_floorplan(os, num_arrays, shape);
+  return os.str();
+}
+
+}  // namespace ehw::resources

@@ -1,0 +1,21 @@
+#pragma once
+// ASCII floorplan renderer for Fig. 10: the vertical stack of ACB+array
+// modules next to the static region (MicroBlaze, reconfiguration engine,
+// memory controllers), with each array showing its 2-CLB-column-wide PE
+// slots across a clock region.
+
+#include <iosfwd>
+#include <string>
+
+#include "ehw/fpga/geometry.hpp"
+
+namespace ehw::resources {
+
+/// Renders the floorplan of `num_arrays` stacked stages.
+void render_floorplan(std::ostream& os, std::size_t num_arrays,
+                      fpga::ArrayShape shape = {4, 4});
+
+[[nodiscard]] std::string floorplan_string(std::size_t num_arrays,
+                                           fpga::ArrayShape shape = {4, 4});
+
+}  // namespace ehw::resources

@@ -1,0 +1,44 @@
+#include "ehw/resources/model.hpp"
+
+namespace ehw::resources {
+
+UtilizationReport utilization(std::size_t num_arrays, fpga::ArrayShape shape) {
+  UtilizationReport report;
+
+  report.modules.push_back(
+      ModuleUsage{"static control (ACB addressing)", 1, kStaticControl});
+  report.modules.push_back(ModuleUsage{"ACB (ctrl+FIFOs+fitness)",
+                                       num_arrays, kPerAcb});
+
+  // Array fabric: CLB footprint converted to slices. A 4x4 array occupies
+  // 160 CLBs (paper); other shapes scale by PE footprint.
+  const std::size_t clbs_per_array =
+      shape.rows == 4 && shape.cols == 4
+          ? kClbsPerArray
+          : shape.cell_count() * kClbsPerPe;
+  const ResourceVector array_each{
+      clbs_per_array * kSlicesPerClb,
+      clbs_per_array * kSlicesPerClb * 4,  // 4 FFs per slice
+      clbs_per_array * kSlicesPerClb * 4,  // 4 LUTs per slice
+  };
+  report.modules.push_back(
+      ModuleUsage{"processing array (reconfigurable region)", num_arrays,
+                  array_each});
+
+  for (const auto& m : report.modules) report.total += m.total();
+  report.device_slice_percent =
+      100.0 * static_cast<double>(report.total.slices) /
+      static_cast<double>(kDeviceSlices);
+  return report;
+}
+
+ReconfigCosts reconfig_costs(std::size_t num_arrays, fpga::ArrayShape shape) {
+  ReconfigCosts costs;
+  costs.full_array_us =
+      kPeReconfigMicros * static_cast<double>(shape.cell_count());
+  costs.full_platform_us =
+      costs.full_array_us * static_cast<double>(num_arrays);
+  return costs;
+}
+
+}  // namespace ehw::resources

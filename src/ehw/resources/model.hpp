@@ -1,0 +1,82 @@
+#pragma once
+// Resource-utilization model, carrying the paper's measured numbers
+// (§VI.A) so the Fig. 10 bench can regenerate the utilization table:
+//   * static control (ACB addressing/management): 733 slices,
+//     1365 FFs, 1817 LUTs;
+//   * each ACB: 754 slices, 1642 FFs, 1528 LUTs;
+//   * each PE: 2 CLB columns x 5 CLBs (a quarter clock region);
+//   * each 4x4 array: 8 CLB columns of one clock region = 160 CLBs;
+//   * per-PE reconfiguration time: 67.53 us at 100 MHz ICAP.
+// A Virtex-5 CLB holds 2 slices; each slice 4 LUTs + 4 FFs — used to
+// translate CLB footprints into slice budgets for the totals.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ehw/fpga/geometry.hpp"
+
+namespace ehw::resources {
+
+struct ResourceVector {
+  std::uint64_t slices = 0;
+  std::uint64_t ffs = 0;
+  std::uint64_t luts = 0;
+
+  ResourceVector& operator+=(const ResourceVector& o) noexcept {
+    slices += o.slices;
+    ffs += o.ffs;
+    luts += o.luts;
+    return *this;
+  }
+  friend ResourceVector operator+(ResourceVector a,
+                                  const ResourceVector& b) noexcept {
+    return a += b;
+  }
+  friend ResourceVector operator*(ResourceVector v, std::uint64_t n) noexcept {
+    v.slices *= n;
+    v.ffs *= n;
+    v.luts *= n;
+    return v;
+  }
+};
+
+/// Paper-measured constants (§VI.A).
+inline constexpr ResourceVector kStaticControl{733, 1365, 1817};
+inline constexpr ResourceVector kPerAcb{754, 1642, 1528};
+inline constexpr std::size_t kClbsPerPe = 10;      // 2 cols x 5 CLBs
+inline constexpr std::size_t kClbsPerArray = 160;  // 8 CLB cols x 20 rows
+inline constexpr std::size_t kSlicesPerClb = 2;    // Virtex-5
+inline constexpr double kPeReconfigMicros = 67.53;
+
+/// Device envelope of the paper's part (Virtex-5 LX110T).
+inline constexpr std::uint64_t kDeviceSlices = 17280;
+
+struct ModuleUsage {
+  std::string module;
+  std::size_t instances = 1;
+  ResourceVector each;
+  [[nodiscard]] ResourceVector total() const { return each * instances; }
+};
+
+struct UtilizationReport {
+  std::vector<ModuleUsage> modules;
+  ResourceVector total;
+  double device_slice_percent = 0.0;
+};
+
+/// Builds the utilization report for a platform with `num_arrays` stacked
+/// ACB+array modules of the given shape.
+[[nodiscard]] UtilizationReport utilization(std::size_t num_arrays,
+                                            fpga::ArrayShape shape = {4, 4});
+
+/// Reconfiguration-cost summary for the report.
+struct ReconfigCosts {
+  double per_pe_us = kPeReconfigMicros;
+  double full_array_us = 0.0;  // rewriting every PE of one array
+  double full_platform_us = 0.0;
+};
+[[nodiscard]] ReconfigCosts reconfig_costs(std::size_t num_arrays,
+                                           fpga::ArrayShape shape = {4, 4});
+
+}  // namespace ehw::resources

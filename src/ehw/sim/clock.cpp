@@ -1,0 +1,18 @@
+#include "ehw/sim/clock.hpp"
+
+#include "ehw/common/assert.hpp"
+
+namespace ehw::sim {
+
+SimTime SimClock::advance(SimTime by) {
+  EHW_REQUIRE(by >= 0, "cannot advance the simulated clock backwards");
+  now_ += by;
+  return now_;
+}
+
+SimTime SimClock::advance_to(SimTime t) noexcept {
+  if (t > now_) now_ = t;
+  return now_;
+}
+
+}  // namespace ehw::sim

@@ -1,0 +1,29 @@
+#pragma once
+// The platform-wide simulated clock. Components charge their latencies by
+// advancing it; experiment harnesses read it to report "evolution time" the
+// way the paper's Figures 12-14 do.
+
+#include "ehw/sim/time.hpp"
+
+namespace ehw::sim {
+
+class SimClock {
+ public:
+  SimClock() = default;
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Advances by a non-negative duration and returns the new time.
+  SimTime advance(SimTime by);
+
+  /// Moves the clock forward to `t` if `t` is later; never goes backwards.
+  SimTime advance_to(SimTime t) noexcept;
+
+  /// Resets to t=0 (used between experiment repetitions).
+  void reset() noexcept { now_ = 0; }
+
+ private:
+  SimTime now_ = 0;
+};
+
+}  // namespace ehw::sim

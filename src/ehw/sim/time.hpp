@@ -1,0 +1,47 @@
+#pragma once
+// Simulated time. All FPGA-side costs (DPR, pixel streaming, FIFO fill,
+// register access) are expressed in SimTime, fully decoupled from host
+// wall-clock. Unit: nanoseconds, signed 64-bit (≈292 years of headroom).
+
+#include <cstdint>
+
+namespace ehw::sim {
+
+/// Nanoseconds of simulated time.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+[[nodiscard]] constexpr SimTime nanoseconds(std::int64_t n) noexcept {
+  return n * kNanosecond;
+}
+[[nodiscard]] constexpr SimTime microseconds(double us) noexcept {
+  return static_cast<SimTime>(us * static_cast<double>(kMicrosecond));
+}
+[[nodiscard]] constexpr SimTime milliseconds(double ms) noexcept {
+  return static_cast<SimTime>(ms * static_cast<double>(kMillisecond));
+}
+[[nodiscard]] constexpr SimTime seconds(double s) noexcept {
+  return static_cast<SimTime>(s * static_cast<double>(kSecond));
+}
+
+[[nodiscard]] constexpr double to_seconds(SimTime t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+[[nodiscard]] constexpr double to_milliseconds(SimTime t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+[[nodiscard]] constexpr double to_microseconds(SimTime t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kMicrosecond);
+}
+
+/// Duration of `cycles` clock cycles at `mhz` megahertz.
+[[nodiscard]] constexpr SimTime cycles_at_mhz(std::uint64_t cycles,
+                                              double mhz) noexcept {
+  return static_cast<SimTime>(static_cast<double>(cycles) * 1000.0 / mhz);
+}
+
+}  // namespace ehw::sim

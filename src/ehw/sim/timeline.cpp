@@ -1,0 +1,57 @@
+#include "ehw/sim/timeline.hpp"
+
+#include <algorithm>
+
+#include "ehw/common/assert.hpp"
+
+namespace ehw::sim {
+
+ResourceId Timeline::add_resource(std::string name) {
+  names_.push_back(std::move(name));
+  free_at_.push_back(0);
+  return free_at_.size() - 1;
+}
+
+const std::string& Timeline::resource_name(ResourceId id) const {
+  EHW_REQUIRE(id < names_.size(), "unknown timeline resource");
+  return names_[id];
+}
+
+SimTime Timeline::free_at(ResourceId id) const {
+  EHW_REQUIRE(id < free_at_.size(), "unknown timeline resource");
+  return free_at_[id];
+}
+
+Interval Timeline::reserve(ResourceId id, SimTime earliest, SimTime duration) {
+  EHW_REQUIRE(id < free_at_.size(), "unknown timeline resource");
+  EHW_REQUIRE(duration >= 0, "negative duration");
+  const SimTime start = std::max(earliest, free_at_[id]);
+  const SimTime end = start + duration;
+  free_at_[id] = end;
+  return {start, end};
+}
+
+Interval Timeline::reserve_pair(ResourceId a, ResourceId b, SimTime earliest,
+                                SimTime duration) {
+  EHW_REQUIRE(a < free_at_.size() && b < free_at_.size(),
+              "unknown timeline resource");
+  EHW_REQUIRE(duration >= 0, "negative duration");
+  const SimTime start =
+      std::max(earliest, std::max(free_at_[a], free_at_[b]));
+  const SimTime end = start + duration;
+  free_at_[a] = end;
+  free_at_[b] = end;
+  return {start, end};
+}
+
+SimTime Timeline::makespan() const noexcept {
+  SimTime m = 0;
+  for (SimTime t : free_at_) m = std::max(m, t);
+  return m;
+}
+
+void Timeline::reset() noexcept {
+  std::fill(free_at_.begin(), free_at_.end(), SimTime{0});
+}
+
+}  // namespace ehw::sim

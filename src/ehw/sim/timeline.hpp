@@ -1,0 +1,63 @@
+#pragma once
+// Busy-time bookkeeping for exclusive hardware resources.
+//
+// The paper's Figure 11 schedule has exactly two resource classes:
+//   * ONE reconfiguration engine shared by every array (DPR serializes), and
+//   * one evaluation datapath per array (evaluations overlap each other and
+//     overlap DPR targeting *other* arrays, but an array cannot be
+//     reconfigured while it is evaluating, nor evaluate while being
+//     reconfigured).
+// Timeline models this with a "free-at" horizon per resource: an operation
+// asks for a start no earlier than `earliest` and no earlier than the
+// resource's horizon, then occupies it for `duration`.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ehw/sim/time.hpp"
+
+namespace ehw::sim {
+
+/// Identifies a resource registered with the Timeline.
+using ResourceId = std::size_t;
+
+struct Interval {
+  SimTime start = 0;
+  SimTime end = 0;
+  [[nodiscard]] SimTime duration() const noexcept { return end - start; }
+};
+
+class Timeline {
+ public:
+  /// Registers a named exclusive resource starting free at t=0.
+  ResourceId add_resource(std::string name);
+
+  [[nodiscard]] std::size_t resource_count() const noexcept {
+    return free_at_.size();
+  }
+  [[nodiscard]] const std::string& resource_name(ResourceId id) const;
+
+  /// First instant at or after `earliest` when the resource is free.
+  [[nodiscard]] SimTime free_at(ResourceId id) const;
+
+  /// Occupies `id` for `duration`, starting at max(earliest, free_at(id)).
+  Interval reserve(ResourceId id, SimTime earliest, SimTime duration);
+
+  /// Occupies *two* resources simultaneously (e.g. the engine and the array
+  /// being rewritten): the start honours both horizons.
+  Interval reserve_pair(ResourceId a, ResourceId b, SimTime earliest,
+                        SimTime duration);
+
+  /// Latest horizon over all resources — the makespan so far.
+  [[nodiscard]] SimTime makespan() const noexcept;
+
+  /// Clears occupancy but keeps the registered resources.
+  void reset() noexcept;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<SimTime> free_at_;
+};
+
+}  // namespace ehw::sim

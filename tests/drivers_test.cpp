@@ -1,0 +1,256 @@
+// Tests for the intrinsic evolution drivers: Fig. 11 timing properties
+// (independent vs parallel), two-level DPR savings, imitation mode and
+// cascaded evolution.
+
+#include <gtest/gtest.h>
+
+#include "ehw/evo/fitness.hpp"
+#include "ehw/img/metrics.hpp"
+#include "ehw/img/noise.hpp"
+#include "ehw/img/synthetic.hpp"
+#include "ehw/platform/cascade_evolution.hpp"
+#include "ehw/platform/evolution_driver.hpp"
+#include "ehw/platform/imitation.hpp"
+#include "test_util.hpp"
+
+namespace ehw::platform {
+namespace {
+
+evo::EsConfig quick_es(Generation generations, std::uint64_t seed,
+                       std::size_t k = 3, bool two_level = false) {
+  evo::EsConfig cfg;
+  cfg.lambda = 9;
+  cfg.mutation_rate = k;
+  cfg.two_level = two_level;
+  cfg.generations = generations;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(EvolutionDriver, ImprovesFitnessOnDenoiseTask) {
+  EvolvablePlatform plat(test::small_platform_config(1));
+  const auto w = test::make_denoise_workload(32, 0.2, 21);
+  const Fitness noisy_level = img::aggregated_mae(w.noisy, w.clean);
+  const IntrinsicResult r = evolve_on_platform(
+      plat, {0}, w.noisy, w.clean, quick_es(120, 1));
+  EXPECT_LT(r.es.best_fitness, noisy_level);
+  EXPECT_EQ(r.es.generations_run, 120u);
+  EXPECT_GT(r.pe_writes, 0u);
+  EXPECT_GT(r.duration, 0);
+}
+
+TEST(EvolutionDriver, SingleArrayGenerationIsSerial) {
+  // With one array and one engine, simulated time per generation must be
+  // at least lambda * (min R + F): candidates cannot overlap at all.
+  EvolvablePlatform plat(test::small_platform_config(1));
+  const img::Image scene = img::make_scene(32, 32, 22);
+  const IntrinsicResult r =
+      evolve_on_platform(plat, {0}, scene, scene, quick_es(30, 2));
+  const sim::SimTime frame = plat.frame_time(32, 32);
+  // Every candidate evaluates (F) serially on the single array:
+  const sim::SimTime lower_bound = 30 * 9 * frame;
+  EXPECT_GE(r.duration, lower_bound);
+}
+
+TEST(EvolutionDriver, ParallelEvolutionIsFaster) {
+  // The paper's Fig. 12 headline: same EA, same candidate count, three
+  // arrays evaluate in parallel -> less simulated time per generation.
+  // The gain is the overlapped evaluation time, so it only outweighs the
+  // extra per-lane DPR chains when frames are realistically large relative
+  // to the 67.53 us PE write — exactly the paper's own Fig. 12-vs-13
+  // observation. 64x64 frames at k=1 give a comfortable margin.
+  const auto w = test::make_denoise_workload(64, 0.2, 23);
+
+  EvolvablePlatform single(test::small_platform_config(1, 64));
+  const IntrinsicResult r1 =
+      evolve_on_platform(single, {0}, w.noisy, w.clean, quick_es(40, 3, 1));
+
+  EvolvablePlatform triple(test::small_platform_config(3, 64));
+  const IntrinsicResult r3 = evolve_on_platform(
+      triple, {0, 1, 2}, w.noisy, w.clean, quick_es(40, 3, 1));
+
+  EXPECT_LT(r3.duration, r1.duration);
+}
+
+TEST(EvolutionDriver, TwoLevelCutsDprTraffic) {
+  // §VI.B: the two-level strategy configures near-identical circuits
+  // back-to-back on each lane, so PE writes per generation drop sharply
+  // for k > 1.
+  // A denoising task keeps fitness > 0 so neither run stops early.
+  const auto w = test::make_denoise_workload(32, 0.3, 24);
+  EvolvablePlatform classic(test::small_platform_config(3));
+  const IntrinsicResult rc = evolve_on_platform(
+      classic, {0, 1, 2}, w.noisy, w.clean, quick_es(40, 4, /*k=*/5, false));
+  EvolvablePlatform two_level(test::small_platform_config(3));
+  const IntrinsicResult rt = evolve_on_platform(
+      two_level, {0, 1, 2}, w.noisy, w.clean, quick_es(40, 4, /*k=*/5, true));
+  ASSERT_EQ(rc.es.generations_run, 40u);
+  ASSERT_EQ(rt.es.generations_run, 40u);
+  EXPECT_LT(rt.pe_writes, rc.pe_writes);
+  EXPECT_LT(rt.duration, rc.duration);
+}
+
+TEST(EvolutionDriver, HigherMutationRateCostsMoreTime) {
+  // Fig. 12: evolution time grows with the mutation rate (more function
+  // genes change -> more DPR writes per generation).
+  const auto w = test::make_denoise_workload(32, 0.3, 25);
+  std::vector<double> seconds;
+  for (const std::size_t k : {1, 3, 5}) {
+    EvolvablePlatform plat(test::small_platform_config(1));
+    const IntrinsicResult r =
+        evolve_on_platform(plat, {0}, w.noisy, w.clean, quick_es(30, 5, k));
+    seconds.push_back(sim::to_seconds(r.duration));
+  }
+  EXPECT_LT(seconds[0], seconds[1]);
+  EXPECT_LT(seconds[1], seconds[2]);
+}
+
+TEST(EvolutionDriver, DeterministicAcrossRuns) {
+  const auto w = test::make_denoise_workload(24, 0.15, 26);
+  EvolvablePlatform a(test::small_platform_config(3));
+  EvolvablePlatform b(test::small_platform_config(3));
+  const IntrinsicResult ra =
+      evolve_on_platform(a, {0, 1, 2}, w.noisy, w.clean, quick_es(50, 6));
+  const IntrinsicResult rb =
+      evolve_on_platform(b, {0, 1, 2}, w.noisy, w.clean, quick_es(50, 6));
+  EXPECT_EQ(ra.es.best_fitness, rb.es.best_fitness);
+  EXPECT_EQ(ra.duration, rb.duration);
+  EXPECT_EQ(ra.pe_writes, rb.pe_writes);
+}
+
+TEST(EvolutionDriver, InitialParentRespected) {
+  EvolvablePlatform plat(test::small_platform_config(1));
+  const img::Image scene = img::make_scene(24, 24, 27);
+  const evo::Genotype identity = test::identity_genotype();
+  evo::EsConfig cfg = quick_es(5, 7);
+  const IntrinsicResult r =
+      evolve_on_platform(plat, {0}, scene, scene, cfg, &identity);
+  EXPECT_EQ(r.es.best_fitness, 0u);  // identity already solves train==ref
+}
+
+TEST(EvolutionDriver, EvolvesAroundInjectedFault) {
+  // Self-healing property of the base EHW (§V): after a permanent PE
+  // fault, a fresh evolution run finds a circuit avoiding the dead cell.
+  EvolvablePlatform plat(test::small_platform_config(1));
+  const img::Image scene = img::make_scene(32, 32, 28);
+  plat.inject_pe_fault(0, 0, 1);
+  const IntrinsicResult r = evolve_on_platform(
+      plat, {0}, scene, scene, quick_es(200, 8));
+  // A random circuit on a faulty array is far from 0; evolution must get
+  // well below half of the noisy baseline.
+  Rng rng(1);
+  const Fitness random_level = evo::evaluate_extrinsic(
+      evo::Genotype::random({4, 4}, rng), scene, scene);
+  EXPECT_LT(r.es.best_fitness, random_level / 2);
+}
+
+TEST(Imitation, PerfectCopyWithoutFault) {
+  // With no fault, imitation must reach fitness 0 immediately when
+  // starting from the master's genotype (copying the chromosome).
+  EvolvablePlatform plat(test::small_platform_config(3));
+  Rng rng(31);
+  const evo::Genotype master_circuit = evo::Genotype::random({4, 4}, rng);
+  plat.configure_array(1, master_circuit, 0);
+  const img::Image stream = img::make_scene(32, 32, 31);
+  ImitationConfig cfg;
+  cfg.es = quick_es(20, 9);
+  cfg.es.target = 0;
+  cfg.start_from_master = true;
+  const ImitationResult r = evolve_by_imitation(plat, 0, 1, stream, cfg);
+  EXPECT_EQ(r.es.best_fitness, 0u);
+  EXPECT_EQ(r.es.generations_run, 0u);  // parent already perfect
+}
+
+TEST(Imitation, MasterStartBeatsRandomStartUnderFault) {
+  // Fig. 19: with a permanent fault on the apprentice, starting from the
+  // master genotype converges to a (much) lower residual than a random
+  // start within the same budget.
+  const img::Image stream = img::make_scene(32, 32, 32);
+  Rng rng(33);
+  const evo::Genotype master_circuit = evo::Genotype::random({4, 4}, rng);
+
+  const auto run = [&](bool from_master) {
+    EvolvablePlatform plat(test::small_platform_config(3));
+    plat.configure_array(1, master_circuit, 0);
+    plat.inject_pe_fault(0, 1, 1);
+    ImitationConfig cfg;
+    cfg.es = quick_es(60, 10);
+    cfg.start_from_master = from_master;
+    return evolve_by_imitation(plat, 0, 1, stream, cfg);
+  };
+  const ImitationResult master_start = run(true);
+  const ImitationResult random_start = run(false);
+  EXPECT_LE(master_start.es.best_fitness, random_start.es.best_fitness);
+}
+
+TEST(Imitation, RestoresBypassFlag) {
+  EvolvablePlatform plat(test::small_platform_config(2));
+  Rng rng(34);
+  plat.configure_array(1, evo::Genotype::random({4, 4}, rng), 0);
+  const img::Image stream = img::make_scene(24, 24, 34);
+  ImitationConfig cfg;
+  cfg.es = quick_es(3, 11);
+  EXPECT_FALSE(plat.acb(0).bypass());
+  evolve_by_imitation(plat, 0, 1, stream, cfg);
+  EXPECT_FALSE(plat.acb(0).bypass());
+  plat.acb(0).set_bypass(true);
+  evolve_by_imitation(plat, 0, 1, stream, cfg);
+  EXPECT_TRUE(plat.acb(0).bypass());
+}
+
+TEST(CascadeEvolution, SequentialImprovesDownTheChain) {
+  EvolvablePlatform plat(test::small_platform_config(3));
+  const auto w = test::make_denoise_workload(32, 0.3, 35);
+  CascadeConfig cfg;
+  cfg.es = quick_es(80, 12);
+  cfg.fitness = CascadeFitness::kSeparate;
+  cfg.schedule = CascadeSchedule::kSequential;
+  const CascadeResult r =
+      evolve_cascade(plat, {0, 1, 2}, w.noisy, w.clean, cfg);
+  ASSERT_EQ(r.stages.size(), 3u);
+  // Later stages refine earlier ones: chain fitness <= stage-0 fitness.
+  EXPECT_LE(r.stages[1].stage_fitness, r.stages[0].stage_fitness);
+  EXPECT_LE(r.chain_fitness, r.stages[0].stage_fitness);
+  EXPECT_EQ(r.chain_fitness, r.stages[2].stage_fitness);
+}
+
+TEST(CascadeEvolution, InterleavedAlsoConverges) {
+  EvolvablePlatform plat(test::small_platform_config(3));
+  const auto w = test::make_denoise_workload(32, 0.3, 36);
+  CascadeConfig cfg;
+  cfg.es = quick_es(40, 13);
+  cfg.schedule = CascadeSchedule::kInterleaved;
+  const CascadeResult r =
+      evolve_cascade(plat, {0, 1, 2}, w.noisy, w.clean, cfg);
+  const Fitness noisy_level = img::aggregated_mae(w.noisy, w.clean);
+  EXPECT_LT(r.chain_fitness, noisy_level);
+}
+
+TEST(CascadeEvolution, MergedFitnessJudgesChainEnd) {
+  EvolvablePlatform plat(test::small_platform_config(2));
+  const auto w = test::make_denoise_workload(24, 0.2, 37);
+  CascadeConfig cfg;
+  cfg.es = quick_es(30, 14);
+  cfg.fitness = CascadeFitness::kMerged;
+  cfg.schedule = CascadeSchedule::kInterleaved;
+  const CascadeResult r = evolve_cascade(plat, {0, 1}, w.noisy, w.clean, cfg);
+  // The chain the driver reports matches re-filtering through the fabric.
+  std::vector<img::Image> stages;
+  const img::Image out = plat.process_cascade(w.noisy, &stages);
+  EXPECT_EQ(r.chain_fitness, img::aggregated_mae(out, w.clean));
+}
+
+TEST(CascadeEvolution, LeavesBestConfigured) {
+  EvolvablePlatform plat(test::small_platform_config(2));
+  const auto w = test::make_denoise_workload(24, 0.2, 38);
+  CascadeConfig cfg;
+  cfg.es = quick_es(20, 15);
+  const CascadeResult r = evolve_cascade(plat, {0, 1}, w.noisy, w.clean, cfg);
+  ASSERT_TRUE(plat.configured_genotype(0).has_value());
+  EXPECT_EQ(*plat.configured_genotype(0), r.stages[0].best);
+  ASSERT_TRUE(plat.configured_genotype(1).has_value());
+  EXPECT_EQ(*plat.configured_genotype(1), r.stages[1].best);
+}
+
+}  // namespace
+}  // namespace ehw::platform

@@ -1,0 +1,110 @@
+// Tests for the frame-level SECDED ECC and blind scrubbing.
+
+#include <gtest/gtest.h>
+
+#include "ehw/fpga/ecc.hpp"
+#include "ehw/common/rng.hpp"
+
+namespace ehw::fpga {
+namespace {
+
+struct EccFixture : ::testing::Test {
+  EccFixture()
+      : geometry(2, ArrayShape{4, 4}),
+        memory(geometry.total_words()),
+        ecc(geometry) {
+    // Configuration-like content everywhere.
+    Rng rng(42);
+    for (std::size_t i = 0; i < memory.size(); ++i) {
+      memory.write(i, static_cast<ConfigWord>(rng()));
+    }
+    ecc.resync_all(memory);
+  }
+
+  FabricGeometry geometry;
+  ConfigMemory memory;
+  FrameEcc ecc;
+};
+
+TEST_F(EccFixture, CleanFabricChecksClean) {
+  for (std::size_t f = 0; f < ecc.frame_count(); ++f) {
+    EXPECT_EQ(ecc.check_and_correct_frame(memory, f).status,
+              EccStatus::kClean);
+  }
+  const FrameEcc::SweepReport report = ecc.blind_scrub(memory);
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_GT(report.duration, 0);
+}
+
+TEST_F(EccFixture, SingleFlipLocatedAndRepaired) {
+  Rng rng(7);
+  for (int rep = 0; rep < 40; ++rep) {
+    const std::size_t word = rng.below(memory.size());
+    const auto bit = static_cast<unsigned>(rng.below(32));
+    const ConfigWord before = memory.read(word);
+    memory.flip_bit(word, bit);
+    const std::size_t frame =
+        word / geometry.layout().words_per_frame;
+    const EccFrameCheck check = ecc.check_and_correct_frame(memory, frame);
+    ASSERT_EQ(check.status, EccStatus::kCorrectedSingle);
+    EXPECT_EQ(check.corrected_word, word);
+    EXPECT_EQ(check.corrected_bit, bit);
+    EXPECT_EQ(memory.read(word), before);  // repaired in place
+  }
+}
+
+TEST_F(EccFixture, BlindScrubHealsScatteredUpsets) {
+  Rng rng(9);
+  // One upset per frame at most (SECDED's domain).
+  std::size_t injected = 0;
+  for (std::size_t f = 0; f < ecc.frame_count(); f += 3) {
+    const std::size_t word =
+        f * geometry.layout().words_per_frame + rng.below(8);
+    memory.flip_bit(word, static_cast<unsigned>(rng.below(32)));
+    ++injected;
+  }
+  EXPECT_EQ(memory.upset_word_count(), injected);
+  const FrameEcc::SweepReport report = ecc.blind_scrub(memory);
+  EXPECT_EQ(report.corrected(), injected);
+  EXPECT_EQ(report.uncorrectable(), 0u);
+  EXPECT_EQ(memory.upset_word_count(), 0u);
+}
+
+TEST_F(EccFixture, DoubleFlipDetectedNotCorrected) {
+  // Two flips in the same frame: parity is even again, syndrome nonzero.
+  const std::size_t base = 0;
+  memory.flip_bit(base + 1, 3);
+  memory.flip_bit(base + 4, 17);
+  const EccFrameCheck check = ecc.check_and_correct_frame(memory, 0);
+  EXPECT_EQ(check.status, EccStatus::kDetectedDouble);
+  // Contents untouched (no mis-correction).
+  EXPECT_EQ(memory.upset_word_count(), 2u);
+}
+
+TEST_F(EccFixture, ResyncSlotFollowsReconfiguration) {
+  // A deliberate write changes the content; after resync the frame is
+  // clean again, and a subsequent upset is still caught.
+  const SlotAddress slot{1, 2, 3};
+  const std::size_t base = geometry.slot_word_base(slot);
+  memory.write(base + 2, 0xCAFEBABE);
+  ecc.resync_slot(memory, slot);
+  const std::size_t frame = (base + 2) / geometry.layout().words_per_frame;
+  EXPECT_EQ(ecc.check_and_correct_frame(memory, frame).status,
+            EccStatus::kClean);
+  memory.flip_bit(base + 2, 30);
+  EXPECT_EQ(ecc.check_and_correct_frame(memory, frame).status,
+            EccStatus::kCorrectedSingle);
+}
+
+TEST_F(EccFixture, SyndromePositionEncodesBit) {
+  const FrameEcc::Syndrome before = ecc.compute_syndrome(memory, 5);
+  const std::size_t word = 5 * geometry.layout().words_per_frame + 3;
+  memory.flip_bit(word, 9);
+  const FrameEcc::Syndrome after = ecc.compute_syndrome(memory, 5);
+  // XOR difference = 1-based in-frame position of the flipped bit.
+  EXPECT_EQ(after.position ^ before.position, 3u * 32u + 9u + 1u);
+  EXPECT_NE(after.parity, before.parity);
+}
+
+}  // namespace
+}  // namespace ehw::fpga

@@ -1,0 +1,264 @@
+// Tests for ehw/evo: genotype encoding, exact-k mutation, classic vs
+// two-level offspring structure, extrinsic fitness and the (1+lambda) ES.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ehw/evo/es.hpp"
+#include "ehw/evo/fitness.hpp"
+#include "ehw/evo/genotype.hpp"
+#include "ehw/evo/mutation.hpp"
+#include "ehw/evo/offspring.hpp"
+#include "ehw/img/metrics.hpp"
+#include "ehw/img/noise.hpp"
+#include "ehw/img/synthetic.hpp"
+#include "test_util.hpp"
+
+namespace ehw::evo {
+namespace {
+
+TEST(Genotype, GeneCountsFor4x4) {
+  const Genotype g(fpga::ArrayShape{4, 4});
+  EXPECT_EQ(g.cell_count(), 16u);
+  EXPECT_EQ(g.input_count(), 8u);
+  EXPECT_EQ(g.gene_count(), 25u);
+}
+
+TEST(Genotype, RandomIsValidAndSeedStable) {
+  Rng a(3), b(3);
+  const Genotype ga = Genotype::random({4, 4}, a);
+  const Genotype gb = Genotype::random({4, 4}, b);
+  EXPECT_EQ(ga, gb);
+  for (std::size_t i = 0; i < ga.cell_count(); ++i) {
+    EXPECT_LT(ga.function_gene(i), 16);
+  }
+  for (std::size_t i = 0; i < ga.input_count(); ++i) {
+    EXPECT_LT(ga.tap_gene(i), 9);
+  }
+  EXPECT_LT(ga.output_row(), 4);
+}
+
+TEST(Genotype, FlatGeneAddressingRoundTrips) {
+  Rng rng(4);
+  Genotype g = Genotype::random({4, 4}, rng);
+  for (std::size_t i = 0; i < g.gene_count(); ++i) {
+    const std::uint8_t v = g.gene_value(i);
+    EXPECT_LT(v, g.gene_cardinality(i));
+    g.set_gene_value(i, v);  // idempotent
+    EXPECT_EQ(g.gene_value(i), v);
+  }
+  // Cardinalities per block.
+  EXPECT_EQ(g.gene_cardinality(0), 16u);
+  EXPECT_EQ(g.gene_cardinality(16), 9u);
+  EXPECT_EQ(g.gene_cardinality(24), 4u);
+}
+
+TEST(Genotype, FunctionDiffAndHamming) {
+  Rng rng(5);
+  const Genotype a = Genotype::random({4, 4}, rng);
+  Genotype b = a;
+  EXPECT_TRUE(Genotype::function_diff(a, b).empty());
+  EXPECT_EQ(Genotype::hamming_distance(a, b), 0u);
+  b.set_function_gene(3, (b.function_gene(3) + 1) % 16);
+  b.set_tap_gene(2, (b.tap_gene(2) + 1) % 9);
+  EXPECT_EQ(Genotype::function_diff(a, b), std::vector<std::size_t>{3});
+  EXPECT_EQ(Genotype::hamming_distance(a, b), 2u);
+}
+
+TEST(Genotype, ToStringMentionsOps) {
+  const Genotype g = test::identity_genotype();
+  const std::string s = g.to_string();
+  EXPECT_NE(s.find("W"), std::string::npos);
+  EXPECT_NE(s.find("out=0"), std::string::npos);
+}
+
+/// Exact-k mutation property across rates.
+class MutationRate : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MutationRate, ChangesExactlyKGenes) {
+  const std::size_t k = GetParam();
+  Rng rng(17 + k);
+  for (int rep = 0; rep < 50; ++rep) {
+    const Genotype parent = Genotype::random({4, 4}, rng);
+    Genotype child = parent;
+    const auto positions = mutate(child, k, rng);
+    EXPECT_EQ(positions.size(), k);
+    EXPECT_EQ(Genotype::hamming_distance(parent, child), k);
+    // Positions are distinct and sorted.
+    std::set<std::size_t> unique(positions.begin(), positions.end());
+    EXPECT_EQ(unique.size(), k);
+    // Every touched gene actually changed.
+    for (const std::size_t p : positions) {
+      EXPECT_NE(parent.gene_value(p), child.gene_value(p));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, MutationRate, ::testing::Values(1, 3, 5, 10));
+
+TEST(Mutation, KClampsToGeneCount) {
+  Rng rng(8);
+  Genotype g = Genotype::random({4, 4}, rng);
+  const auto positions = mutate(g, 1000, rng);
+  EXPECT_EQ(positions.size(), g.gene_count());
+}
+
+TEST(Mutation, MutatedCopyLeavesParentIntact) {
+  Rng rng(9);
+  const Genotype parent = Genotype::random({4, 4}, rng);
+  const Genotype before = parent;
+  const Genotype child = mutated_copy(parent, 3, rng);
+  EXPECT_EQ(parent, before);
+  EXPECT_EQ(Genotype::hamming_distance(parent, child), 3u);
+}
+
+TEST(Offspring, ClassicStructure) {
+  Rng rng(10);
+  const Genotype parent = Genotype::random({4, 4}, rng);
+  const auto kids = classic_offspring(parent, 9, 3, 3, rng);
+  ASSERT_EQ(kids.size(), 9u);
+  for (std::size_t i = 0; i < kids.size(); ++i) {
+    EXPECT_EQ(kids[i].lane, i % 3);
+    EXPECT_EQ(kids[i].batch, i / 3);
+    EXPECT_EQ(Genotype::hamming_distance(parent, kids[i].genotype), 3u);
+  }
+}
+
+TEST(Offspring, TwoLevelFirstBatchNominalRate) {
+  Rng rng(11);
+  const Genotype parent = Genotype::random({4, 4}, rng);
+  const auto kids = two_level_offspring(parent, 9, 3, 5, rng);
+  ASSERT_EQ(kids.size(), 9u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(Genotype::hamming_distance(parent, kids[i].genotype), 5u);
+  }
+}
+
+TEST(Offspring, TwoLevelLaneChainsDistanceOne) {
+  Rng rng(12);
+  const Genotype parent = Genotype::random({4, 4}, rng);
+  const auto kids = two_level_offspring(parent, 9, 3, 5, rng);
+  // Candidate in batch b>0 on lane l is one mutation away from the lane's
+  // previous-batch candidate (the key DPR-traffic property).
+  for (std::size_t i = 3; i < 9; ++i) {
+    const auto& prev = kids[i - 3].genotype;
+    EXPECT_EQ(Genotype::hamming_distance(prev, kids[i].genotype), 1u);
+  }
+}
+
+TEST(Offspring, TwoLevelShortFinalBatch) {
+  Rng rng(13);
+  const Genotype parent = Genotype::random({4, 4}, rng);
+  const auto kids = two_level_offspring(parent, 7, 3, 3, rng);
+  ASSERT_EQ(kids.size(), 7u);
+  EXPECT_EQ(kids.back().batch, 2u);
+  EXPECT_EQ(kids.back().lane, 0u);
+}
+
+TEST(Offspring, SingleLaneTwoLevelIsAChain) {
+  Rng rng(14);
+  const Genotype parent = Genotype::random({4, 4}, rng);
+  const auto kids = two_level_offspring(parent, 5, 1, 4, rng);
+  EXPECT_EQ(Genotype::hamming_distance(parent, kids[0].genotype), 4u);
+  for (std::size_t i = 1; i < kids.size(); ++i) {
+    EXPECT_EQ(Genotype::hamming_distance(kids[i - 1].genotype,
+                                         kids[i].genotype),
+              1u);
+  }
+}
+
+TEST(ExtrinsicFitness, IdentityGenotypeIsPerfectOnSelf) {
+  const img::Image scene = img::make_scene(24, 24, 3);
+  const Genotype identity = test::identity_genotype();
+  EXPECT_EQ(evaluate_extrinsic(identity, scene, scene), 0u);
+  EXPECT_EQ(apply_genotype(identity, scene), scene);
+}
+
+TEST(ExtrinsicFitness, MatchesManualPipeline) {
+  Rng rng(19);
+  const Genotype g = Genotype::random({4, 4}, rng);
+  const img::Image train = img::make_scene(20, 20, 1);
+  const img::Image ref = img::make_scene(20, 20, 2);
+  const img::Image out = apply_genotype(g, train);
+  EXPECT_EQ(evaluate_extrinsic(g, train, ref), img::aggregated_mae(out, ref));
+}
+
+TEST(EvolutionStrategy, SolvesIdentityTaskQuickly) {
+  // train == reference: the identity filter is a perfect solution and the
+  // ES must reach fitness far below a random start within a small budget.
+  const img::Image scene = img::make_scene(24, 24, 30);
+  EsConfig cfg;
+  cfg.lambda = 9;
+  cfg.mutation_rate = 3;
+  cfg.generations = 400;
+  cfg.seed = 77;
+  const EsResult r = evolve_extrinsic(cfg, {4, 4}, scene, scene);
+  Rng rng(123);
+  const Fitness random_level =
+      evaluate_extrinsic(Genotype::random({4, 4}, rng), scene, scene);
+  EXPECT_LT(r.best_fitness, random_level / 4);
+}
+
+TEST(EvolutionStrategy, HistoryIsMonotoneDecreasing) {
+  const auto w = test::make_denoise_workload(24, 0.15, 5);
+  EsConfig cfg;
+  cfg.generations = 150;
+  cfg.seed = 5;
+  const EsResult r = evolve_extrinsic(cfg, {4, 4}, w.noisy, w.clean);
+  ASSERT_FALSE(r.history.empty());
+  for (std::size_t i = 1; i < r.history.size(); ++i) {
+    EXPECT_LT(r.history[i].fitness, r.history[i - 1].fitness);
+    EXPECT_GT(r.history[i].generation, r.history[i - 1].generation);
+  }
+  EXPECT_EQ(r.history.front().generation, 0u);
+}
+
+TEST(EvolutionStrategy, TargetStopsEarly) {
+  const img::Image scene = img::make_scene(16, 16, 40);
+  EsConfig cfg;
+  cfg.generations = 100000;  // would run long without the target
+  cfg.target = 200000;       // trivially reachable
+  cfg.seed = 6;
+  const EsResult r = evolve_extrinsic(cfg, {4, 4}, scene, scene);
+  EXPECT_LT(r.generations_run, 1000u);
+  EXPECT_LE(r.best_fitness, 200000u);
+}
+
+TEST(EvolutionStrategy, SeedReproducible) {
+  const auto w = test::make_denoise_workload(16, 0.2, 9);
+  EsConfig cfg;
+  cfg.generations = 60;
+  cfg.seed = 99;
+  const EsResult a = evolve_extrinsic(cfg, {4, 4}, w.noisy, w.clean);
+  const EsResult b = evolve_extrinsic(cfg, {4, 4}, w.noisy, w.clean);
+  EXPECT_EQ(a.best_fitness, b.best_fitness);
+  EXPECT_EQ(a.best, b.best);
+}
+
+TEST(EvolutionStrategy, TwoLevelAlsoImproves) {
+  const auto w = test::make_denoise_workload(24, 0.2, 11);
+  EsConfig cfg;
+  cfg.generations = 150;
+  cfg.two_level = true;
+  cfg.lanes = 3;
+  cfg.seed = 11;
+  const EsResult r = evolve_extrinsic(cfg, {4, 4}, w.noisy, w.clean);
+  const Fitness start = img::aggregated_mae(w.noisy, w.clean);
+  EXPECT_LT(r.best_fitness, start);
+}
+
+TEST(EvolutionStrategy, FromExplicitParent) {
+  const img::Image scene = img::make_scene(16, 16, 50);
+  EsConfig cfg;
+  cfg.generations = 10;
+  cfg.seed = 3;
+  const Genotype identity = test::identity_genotype();
+  const EsResult r =
+      evolve_extrinsic_from(cfg, identity, scene, scene);
+  EXPECT_EQ(r.best_fitness, 0u);   // parent is already perfect
+  EXPECT_EQ(r.generations_run, 0u);  // target 0 reached immediately
+}
+
+}  // namespace
+}  // namespace ehw::evo

@@ -1,0 +1,179 @@
+// Tests for the extension drivers (independent cascade, adaptive depth),
+// morphology golden filters and the neutral-drift ablation switch.
+
+#include <gtest/gtest.h>
+
+#include "ehw/evo/fitness.hpp"
+#include "ehw/img/filters.hpp"
+#include "ehw/img/metrics.hpp"
+#include "ehw/img/morphology.hpp"
+#include "ehw/img/noise.hpp"
+#include "ehw/img/synthetic.hpp"
+#include "ehw/platform/adaptive_depth.hpp"
+#include "ehw/platform/independent_cascade.hpp"
+#include "test_util.hpp"
+
+namespace ehw {
+namespace {
+
+TEST(Morphology, ErodeDilateOrdering) {
+  const img::Image src = img::make_scene(24, 24, 1);
+  const img::Image lo = img::erode3x3(src);
+  const img::Image hi = img::dilate3x3(src);
+  for (std::size_t i = 0; i < src.pixel_count(); ++i) {
+    EXPECT_LE(lo.data()[i], src.data()[i]);
+    EXPECT_GE(hi.data()[i], src.data()[i]);
+  }
+}
+
+TEST(Morphology, ConstantImageIsFixedPoint) {
+  const img::Image c = img::make_constant(12, 12, 77);
+  EXPECT_EQ(img::erode3x3(c), c);
+  EXPECT_EQ(img::dilate3x3(c), c);
+  EXPECT_EQ(img::open3x3(c), c);
+  EXPECT_EQ(img::close3x3(c), c);
+}
+
+TEST(Morphology, OpeningRemovesBrightImpulse) {
+  img::Image im = img::make_constant(9, 9, 50);
+  im.set(4, 4, 255);  // isolated bright impulse
+  const img::Image opened = img::open3x3(im);
+  EXPECT_EQ(opened.at(4, 4), 50);
+}
+
+TEST(Morphology, ClosingRemovesDarkImpulse) {
+  img::Image im = img::make_constant(9, 9, 200);
+  im.set(4, 4, 0);
+  const img::Image closed = img::close3x3(im);
+  EXPECT_EQ(closed.at(4, 4), 200);
+}
+
+TEST(Morphology, GradientZeroOnFlatPositiveOnEdge) {
+  const img::Image flat = img::make_constant(8, 8, 90);
+  const img::Image g1 = img::morph_gradient3x3(flat);
+  for (std::size_t i = 0; i < g1.pixel_count(); ++i) {
+    EXPECT_EQ(g1.data()[i], 0);
+  }
+  const img::Image board = img::make_checkerboard(8, 8, 4, 0, 255);
+  const img::Image g2 = img::morph_gradient3x3(board);
+  EXPECT_EQ(g2.at(3, 1), 255);  // tile boundary
+}
+
+TEST(Morphology, DualityErodeDilate) {
+  // dilate(x) == 255 - erode(255 - x): the classic duality.
+  const img::Image src = img::make_scene(16, 16, 2);
+  img::Image inverted(src.width(), src.height());
+  for (std::size_t i = 0; i < src.pixel_count(); ++i) {
+    inverted.data()[i] = static_cast<Pixel>(255 - src.data()[i]);
+  }
+  const img::Image lhs = img::dilate3x3(src);
+  const img::Image rhs_inner = img::erode3x3(inverted);
+  for (std::size_t i = 0; i < src.pixel_count(); ++i) {
+    EXPECT_EQ(lhs.data()[i], 255 - rhs_inner.data()[i]);
+  }
+}
+
+TEST(IndependentCascade, EvolvesDistinctTasksPerStage) {
+  // Stage 1: denoise toward the clean scene; stage 2: edge-detect toward
+  // the Sobel map. The deployed chain runs both tasks in one pass.
+  platform::EvolvablePlatform plat(test::small_platform_config(2));
+  const auto w = test::make_denoise_workload(32, 0.15, 91);
+  const img::Image edges = img::sobel_magnitude(w.clean);
+
+  platform::IndependentCascadeConfig cfg;
+  cfg.es.generations = 200;
+  cfg.es.seed = 91;
+  const platform::IndependentCascadeResult r = evolve_independent_cascade(
+      plat, {0, 1}, w.noisy, {w.clean, edges}, cfg);
+  ASSERT_EQ(r.stages.size(), 2u);
+  // Each stage beats the do-nothing baseline for its own task.
+  EXPECT_LT(r.stages[0].fitness, img::aggregated_mae(w.noisy, w.clean));
+  const img::Image stage1_out = plat.filter_array(0, w.noisy);
+  EXPECT_LT(r.stages[1].fitness, img::aggregated_mae(stage1_out, edges));
+  // The deployed chain equals stage-by-stage filtering.
+  std::vector<img::Image> stages;
+  const img::Image chain = plat.process_cascade(w.noisy, &stages);
+  EXPECT_EQ(chain, plat.filter_array(1, stage1_out));
+}
+
+TEST(IndependentCascade, ValidatesArguments) {
+  platform::EvolvablePlatform plat(test::small_platform_config(2));
+  const img::Image scene = img::make_scene(16, 16, 92);
+  platform::IndependentCascadeConfig cfg;
+  EXPECT_THROW(evolve_independent_cascade(plat, {0, 1}, scene, {scene}, cfg),
+               std::logic_error);
+  const img::Image wrong_shape(8, 8);
+  EXPECT_THROW(evolve_independent_cascade(plat, {0}, scene, {wrong_shape},
+                                          cfg),
+               std::logic_error);
+}
+
+TEST(AdaptiveDepth, StopsWhenTargetMet) {
+  platform::EvolvablePlatform plat(test::small_platform_config(3));
+  const auto w = test::make_denoise_workload(32, 0.2, 93);
+  platform::AdaptiveDepthConfig cfg;
+  // Generous target: one stage should be enough.
+  cfg.target = img::aggregated_mae(w.noisy, w.clean);
+  cfg.es.generations = 120;
+  cfg.es.seed = 93;
+  const platform::AdaptiveDepthResult r =
+      platform::grow_cascade_to_target(plat, {0, 1, 2}, w.noisy, w.clean, cfg);
+  EXPECT_TRUE(r.target_met);
+  EXPECT_EQ(r.depth, 1u);
+  // Unused stages remain bypassed spares.
+  EXPECT_FALSE(plat.acb(0).bypass());
+  EXPECT_TRUE(plat.acb(1).bypass());
+  EXPECT_TRUE(plat.acb(2).bypass());
+}
+
+TEST(AdaptiveDepth, GrowsForAmbitiousTargets) {
+  platform::EvolvablePlatform plat(test::small_platform_config(3));
+  const auto w = test::make_denoise_workload(32, 0.35, 94);
+  platform::AdaptiveDepthConfig cfg;
+  cfg.target = 1;  // unreachable: use every stage
+  cfg.es.generations = 100;
+  cfg.es.seed = 94;
+  const platform::AdaptiveDepthResult r =
+      platform::grow_cascade_to_target(plat, {0, 1, 2}, w.noisy, w.clean, cfg);
+  EXPECT_FALSE(r.target_met);
+  EXPECT_EQ(r.depth, 3u);
+  ASSERT_EQ(r.fitness_per_depth.size(), 3u);
+  // Each added stage refines the chain (monotone non-increasing).
+  EXPECT_LE(r.fitness_per_depth[1], r.fitness_per_depth[0]);
+  EXPECT_LE(r.fitness_per_depth[2], r.fitness_per_depth[1]);
+  // All three stages active.
+  EXPECT_FALSE(plat.acb(0).bypass());
+  EXPECT_FALSE(plat.acb(1).bypass());
+  EXPECT_FALSE(plat.acb(2).bypass());
+  // Reported chain fitness matches the deployed platform.
+  std::vector<img::Image> stages;
+  plat.process_cascade(w.noisy, &stages);
+  EXPECT_EQ(r.fitness_per_depth[2],
+            img::aggregated_mae(stages[2], w.clean));
+}
+
+TEST(NeutralDrift, SwitchChangesSearchTrajectory) {
+  // Mechanism check for the ablation switch: with identical seeds the two
+  // settings produce the SAME candidate stream until the first fitness
+  // tie, after which the drifting run walks the plateau and the strict run
+  // stays put — the final parents must diverge. (Whether drift pays off is
+  // budget-dependent and measured by the ablation bench, not asserted
+  // here.)
+  const auto w = test::make_denoise_workload(24, 0.25, 95);
+  evo::EsConfig cfg;
+  cfg.generations = 250;
+  cfg.seed = 3;
+  cfg.accept_equal_fitness = true;
+  const evo::EsResult drift =
+      evo::evolve_extrinsic(cfg, {4, 4}, w.noisy, w.clean);
+  cfg.accept_equal_fitness = false;
+  const evo::EsResult strict =
+      evo::evolve_extrinsic(cfg, {4, 4}, w.noisy, w.clean);
+  EXPECT_FALSE(drift.best == strict.best);
+  // Neither run may ever end worse than where it started.
+  EXPECT_LE(drift.best_fitness, drift.history.front().fitness);
+  EXPECT_LE(strict.best_fitness, strict.history.front().fitness);
+}
+
+}  // namespace
+}  // namespace ehw

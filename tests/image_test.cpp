@@ -1,0 +1,257 @@
+// Tests for ehw/img: container semantics, window gathering, PGM I/O,
+// synthetic scenes, noise injectors, golden filters and metrics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "ehw/common/rng.hpp"
+#include "ehw/img/filters.hpp"
+#include "ehw/img/image.hpp"
+#include "ehw/img/metrics.hpp"
+#include "ehw/img/noise.hpp"
+#include "ehw/img/pgm_io.hpp"
+#include "ehw/img/synthetic.hpp"
+
+namespace ehw::img {
+namespace {
+
+TEST(Image, BasicAccessors) {
+  Image im(4, 3, 7);
+  EXPECT_EQ(im.width(), 4u);
+  EXPECT_EQ(im.height(), 3u);
+  EXPECT_EQ(im.pixel_count(), 12u);
+  EXPECT_EQ(im.at(0, 0), 7);
+  im.set(2, 1, 99);
+  EXPECT_EQ(im.at(2, 1), 99);
+  EXPECT_EQ(im.row(1)[2], 99);
+}
+
+TEST(Image, ClampedAccessReplicatesBorder) {
+  Image im(3, 3);
+  for (std::size_t y = 0; y < 3; ++y) {
+    for (std::size_t x = 0; x < 3; ++x) {
+      im.set(x, y, static_cast<Pixel>(10 * y + x));
+    }
+  }
+  EXPECT_EQ(im.at_clamped(-1, -1), im.at(0, 0));
+  EXPECT_EQ(im.at_clamped(3, 1), im.at(2, 1));
+  EXPECT_EQ(im.at_clamped(1, 5), im.at(1, 2));
+  EXPECT_EQ(im.at_clamped(1, 1), im.at(1, 1));
+}
+
+TEST(Image, WindowGatherOrderAndBorders) {
+  Image im(3, 3);
+  for (std::size_t i = 0; i < 9; ++i) {
+    im.set(i % 3, i / 3, static_cast<Pixel>(i));
+  }
+  Pixel win[9];
+  gather_window3x3(im, 1, 1, win);
+  for (int i = 0; i < 9; ++i) EXPECT_EQ(win[i], i);
+  // Corner window replicates.
+  gather_window3x3(im, 0, 0, win);
+  EXPECT_EQ(win[0], im.at(0, 0));
+  EXPECT_EQ(win[4], im.at(0, 0));
+  EXPECT_EQ(win[8], im.at(1, 1));
+}
+
+TEST(Image, EqualityIsDeep) {
+  Image a(2, 2, 1), b(2, 2, 1);
+  EXPECT_EQ(a, b);
+  b.set(0, 0, 2);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(PgmIo, BinaryRoundTrip) {
+  Image im = make_scene(17, 11, 5);
+  std::stringstream ss;
+  write_pgm(im, ss);
+  const Image back = read_pgm(ss);
+  EXPECT_EQ(im, back);
+}
+
+TEST(PgmIo, ReadsAsciiVariant) {
+  std::stringstream ss("P2\n# comment\n2 2\n255\n0 128\n255 64\n");
+  const Image im = read_pgm(ss);
+  EXPECT_EQ(im.at(0, 0), 0);
+  EXPECT_EQ(im.at(1, 0), 128);
+  EXPECT_EQ(im.at(0, 1), 255);
+  EXPECT_EQ(im.at(1, 1), 64);
+}
+
+TEST(PgmIo, RejectsMalformed) {
+  std::stringstream bad_magic("P7\n2 2\n255\n");
+  EXPECT_THROW(read_pgm(bad_magic), std::runtime_error);
+  std::stringstream truncated("P5\n4 4\n255\nab");
+  EXPECT_THROW(read_pgm(truncated), std::runtime_error);
+}
+
+TEST(Synthetic, SceneIsDeterministicInSeed) {
+  EXPECT_EQ(make_scene(32, 32, 9), make_scene(32, 32, 9));
+  EXPECT_NE(make_scene(32, 32, 9), make_scene(32, 32, 10));
+}
+
+TEST(Synthetic, SceneHasDynamicRange) {
+  const Image s = make_scene(64, 64, 3);
+  Pixel lo = 255, hi = 0;
+  for (std::size_t i = 0; i < s.pixel_count(); ++i) {
+    lo = std::min(lo, s.data()[i]);
+    hi = std::max(hi, s.data()[i]);
+  }
+  EXPECT_GT(hi - lo, 80);  // edges + blobs guarantee real contrast
+}
+
+TEST(Synthetic, GradientMonotone) {
+  const Image g = make_gradient(16, 4, 0, 255);
+  for (std::size_t x = 1; x < 16; ++x) {
+    EXPECT_GE(g.at(x, 2), g.at(x - 1, 2));
+  }
+  EXPECT_EQ(g.at(0, 0), 0);
+  EXPECT_EQ(g.at(15, 0), 255);
+}
+
+TEST(Synthetic, CheckerboardAlternates) {
+  const Image c = make_checkerboard(8, 8, 2, 10, 200);
+  EXPECT_EQ(c.at(0, 0), 200);
+  EXPECT_EQ(c.at(2, 0), 10);
+  EXPECT_EQ(c.at(0, 2), 10);
+  EXPECT_EQ(c.at(2, 2), 200);
+}
+
+TEST(Synthetic, CalibrationPatternDeterministic) {
+  EXPECT_EQ(make_calibration_pattern(32, 32), make_calibration_pattern(32, 32));
+}
+
+TEST(Noise, SaltPepperDensity) {
+  const Image clean = make_constant(100, 100, 128);
+  Rng rng(1);
+  const Image noisy = add_salt_pepper(clean, 0.3, rng);
+  const double frac = differing_fraction(clean, noisy);
+  EXPECT_NEAR(frac, 0.3, 0.03);
+  // Corrupted pixels are exactly 0 or 255.
+  for (std::size_t i = 0; i < noisy.pixel_count(); ++i) {
+    const Pixel p = noisy.data()[i];
+    EXPECT_TRUE(p == 128 || p == 0 || p == 255);
+  }
+}
+
+TEST(Noise, ZeroDensityIsIdentity) {
+  const Image clean = make_scene(20, 20, 2);
+  Rng rng(1);
+  EXPECT_EQ(add_salt_pepper(clean, 0.0, rng), clean);
+  EXPECT_EQ(add_impulse(clean, 0.0, rng), clean);
+}
+
+TEST(Noise, GaussianSigmaZeroIsIdentity) {
+  const Image clean = make_scene(20, 20, 2);
+  Rng rng(1);
+  EXPECT_EQ(add_gaussian(clean, 0.0, rng), clean);
+}
+
+TEST(Noise, GaussianPerturbsMildly) {
+  const Image clean = make_constant(64, 64, 128);
+  Rng rng(1);
+  const Image noisy = add_gaussian(clean, 10.0, rng);
+  const double mae = mean_absolute_error(clean, noisy);
+  // E|N(0,10)| ~ 8.0
+  EXPECT_NEAR(mae, 8.0, 1.5);
+}
+
+TEST(Filters, MedianRemovesIsolatedImpulse) {
+  Image im = make_constant(9, 9, 100);
+  im.set(4, 4, 255);
+  const Image out = median3x3(im);
+  EXPECT_EQ(out.at(4, 4), 100);
+}
+
+TEST(Filters, MedianOfKnownWindow) {
+  Image im(3, 3);
+  const Pixel vals[9] = {9, 1, 8, 2, 7, 3, 6, 4, 5};
+  for (std::size_t i = 0; i < 9; ++i) im.set(i % 3, i / 3, vals[i]);
+  EXPECT_EQ(median3x3(im).at(1, 1), 5);
+}
+
+TEST(Filters, MeanOnConstantIsConstant) {
+  const Image im = make_constant(8, 8, 57);
+  EXPECT_EQ(mean3x3(im), im);
+}
+
+TEST(Filters, GaussianPreservesConstant) {
+  const Image im = make_constant(8, 8, 200);
+  EXPECT_EQ(gaussian3x3(im), im);
+}
+
+TEST(Filters, SobelZeroOnFlat) {
+  const Image im = make_constant(8, 8, 91);
+  const Image e = sobel_magnitude(im);
+  for (std::size_t i = 0; i < e.pixel_count(); ++i) EXPECT_EQ(e.data()[i], 0);
+}
+
+TEST(Filters, SobelRespondsToEdge) {
+  Image im(8, 8, 0);
+  for (std::size_t y = 0; y < 8; ++y) {
+    for (std::size_t x = 4; x < 8; ++x) im.set(x, y, 255);
+  }
+  const Image e = sobel_magnitude(im);
+  EXPECT_EQ(e.at(1, 4), 0);    // far from edge
+  EXPECT_GT(e.at(4, 4), 200);  // on the edge
+}
+
+TEST(Filters, ConvolveIdentityKernel) {
+  const Image im = make_scene(16, 16, 8);
+  const int kernel[9] = {0, 0, 0, 0, 1, 0, 0, 0, 0};
+  EXPECT_EQ(convolve3x3(im, kernel, 1), im);
+}
+
+TEST(Filters, ApplyNChainsFilter) {
+  const Image im = make_scene(16, 16, 8);
+  const Image twice = apply_n(im, 2, [](const Image& x) { return mean3x3(x); });
+  EXPECT_EQ(twice, mean3x3(mean3x3(im)));
+}
+
+TEST(Metrics, AggregatedMaeBasics) {
+  const Image a = make_constant(4, 4, 10);
+  const Image b = make_constant(4, 4, 13);
+  EXPECT_EQ(aggregated_mae(a, a), 0u);
+  EXPECT_EQ(aggregated_mae(a, b), 16u * 3u);
+  EXPECT_EQ(aggregated_mae(b, a), 16u * 3u);  // symmetric
+  EXPECT_DOUBLE_EQ(mean_absolute_error(a, b), 3.0);
+}
+
+TEST(Metrics, TriangleInequalityHolds) {
+  const Image a = make_scene(16, 16, 1);
+  const Image b = make_scene(16, 16, 2);
+  const Image c = make_scene(16, 16, 3);
+  EXPECT_LE(aggregated_mae(a, c),
+            aggregated_mae(a, b) + aggregated_mae(b, c));
+}
+
+TEST(Metrics, PsnrIdenticalIsInfinite) {
+  const Image a = make_scene(8, 8, 4);
+  EXPECT_TRUE(std::isinf(psnr(a, a)));
+}
+
+TEST(Metrics, PsnrOrdersNoiseLevels) {
+  const Image clean = make_scene(64, 64, 4);
+  Rng r1(1), r2(2);
+  const Image mild = add_salt_pepper(clean, 0.05, r1);
+  const Image heavy = add_salt_pepper(clean, 0.4, r2);
+  EXPECT_GT(psnr(clean, mild), psnr(clean, heavy));
+}
+
+TEST(Metrics, MaxAbsDifference) {
+  Image a = make_constant(4, 4, 100);
+  Image b = a;
+  b.set(2, 2, 250);
+  EXPECT_EQ(max_abs_difference(a, b), 150);
+  EXPECT_EQ(max_abs_difference(a, a), 0);
+}
+
+TEST(Metrics, ShapeMismatchThrows) {
+  const Image a(4, 4), b(4, 5);
+  EXPECT_THROW((void)aggregated_mae(a, b), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ehw::img

@@ -1,0 +1,180 @@
+// End-to-end integration tests: full evolve -> deploy -> mission -> fault
+// -> heal cycles across every subsystem, exactly as the examples use the
+// public API.
+
+#include <gtest/gtest.h>
+
+#include "ehw/evo/fitness.hpp"
+#include "ehw/img/filters.hpp"
+#include "ehw/img/metrics.hpp"
+#include "ehw/img/noise.hpp"
+#include "ehw/img/synthetic.hpp"
+#include "ehw/platform/cascade_evolution.hpp"
+#include "ehw/platform/evolution_driver.hpp"
+#include "ehw/platform/self_healing.hpp"
+#include "test_util.hpp"
+
+namespace ehw {
+namespace {
+
+TEST(Integration, EvolveDeployAndFilterUnseenImage) {
+  // Evolve a denoiser on one scene, then apply it to a DIFFERENT scene
+  // with the same noise process: quality must transfer.
+  platform::EvolvablePlatform plat(test::small_platform_config(3));
+  const auto train = test::make_denoise_workload(32, 0.2, 61);
+  const platform::IntrinsicResult r = platform::evolve_on_platform(
+      plat, {0, 1, 2}, train.noisy, train.clean, [] {
+        evo::EsConfig cfg;
+        cfg.generations = 250;
+        cfg.seed = 61;
+        return cfg;
+      }());
+  plat.configure_array(0, r.es.best, plat.now());
+
+  const auto fresh = test::make_denoise_workload(32, 0.2, 62);
+  const img::Image filtered = plat.process_independent(0, fresh.noisy);
+  const Fitness before = img::aggregated_mae(fresh.noisy, fresh.clean);
+  const Fitness after = img::aggregated_mae(filtered, fresh.clean);
+  EXPECT_LT(after, before);
+}
+
+TEST(Integration, ParallelEvolutionMatchesFitnessQualityOfIndependent) {
+  // Parallel evolution is a scheduling change, not an algorithm change:
+  // for the same seed and parameters it must reach identical fitness.
+  // (Timing benefits are covered in drivers_test with realistic frame
+  // sizes; at tiny test frames DPR dominates and the saving vanishes —
+  // the paper's own Fig. 12-vs-13 observation.)
+  const auto w = test::make_denoise_workload(32, 0.25, 63);
+  evo::EsConfig cfg;
+  cfg.generations = 150;
+  cfg.seed = 63;
+
+  platform::EvolvablePlatform single(test::small_platform_config(1));
+  const auto r1 =
+      platform::evolve_on_platform(single, {0}, w.noisy, w.clean, cfg);
+  platform::EvolvablePlatform triple(test::small_platform_config(3));
+  const auto r3 = platform::evolve_on_platform(triple, {0, 1, 2}, w.noisy,
+                                               w.clean, cfg);
+  // Identical candidate streams -> identical best fitness.
+  EXPECT_EQ(r1.es.best_fitness, r3.es.best_fitness);
+}
+
+TEST(Integration, CascadeBeatsSingleStageOnHeavyNoise) {
+  // The Fig. 16/17 story end-to-end: a 3-stage adapted cascade reaches
+  // lower fitness than its own first stage alone on 40% salt & pepper.
+  platform::EvolvablePlatform plat(test::small_platform_config(3));
+  const auto w = test::make_denoise_workload(32, 0.4, 64);
+  platform::CascadeConfig cfg;
+  cfg.es.generations = 150;
+  cfg.es.seed = 64;
+  const platform::CascadeResult r =
+      platform::evolve_cascade(plat, {0, 1, 2}, w.noisy, w.clean, cfg);
+  EXPECT_LT(r.chain_fitness, r.stages[0].stage_fitness);
+}
+
+TEST(Integration, MissionWithTmrSurvivesFaultSequence) {
+  // Full §V.B mission: deploy TMR, stream frames, inject a permanent
+  // fault mid-mission, keep streaming. The voted stream must track the
+  // golden output on every frame.
+  platform::EvolvablePlatform plat(test::small_platform_config(3));
+  const auto w = test::make_denoise_workload(32, 0.2, 65);
+  const platform::IntrinsicResult evolved = platform::evolve_on_platform(
+      plat, {0, 1, 2}, w.noisy, w.clean, [] {
+        evo::EsConfig cfg;
+        cfg.generations = 120;
+        cfg.seed = 65;
+        return cfg;
+      }());
+
+  platform::TmrSelfHealing::Config hcfg;
+  hcfg.voter_threshold = 50;
+  hcfg.recovery_es.generations = 150;
+  hcfg.recovery_es.seed = 66;
+  platform::TmrSelfHealing tmr(plat, {0, 1, 2}, hcfg);
+  tmr.deploy(evolved.es.best);
+
+  Rng rng(66);
+  for (int frame = 0; frame < 6; ++frame) {
+    const img::Image clean = img::make_scene(32, 32, 100 + frame);
+    const img::Image noisy = img::add_salt_pepper(clean, 0.2, rng);
+    // Golden = what a healthy majority produces this frame (array 0 stays
+    // healthy throughout; after a paste it holds the recovered circuit).
+    const img::Image golden = plat.filter_array(0, noisy);
+    if (frame == 3) plat.inject_pe_fault(2, 0, 1);
+    const auto r = tmr.process_frame(noisy);
+    if (frame < 3) {
+      EXPECT_FALSE(r.vote.faulty.has_value());
+    }
+    // TMR guarantee: the voted stream of every frame tracks the healthy
+    // majority — including the frame where the fault strikes.
+    EXPECT_EQ(r.voted, golden);
+  }
+  // The healing log contains the whole §V.B sequence.
+  bool scrubbed = false, imitated = false;
+  for (const auto& e : tmr.events()) {
+    scrubbed |= e.kind == platform::HealingEventKind::kScrubbed;
+    imitated |= e.kind == platform::HealingEventKind::kImitationRecovered;
+  }
+  EXPECT_TRUE(scrubbed);
+  EXPECT_TRUE(imitated);
+}
+
+TEST(Integration, EvolvedFilterBeatsMedianBaselineEventually) {
+  // Fig. 18's comparison point: on salt & pepper the evolved cascade is
+  // competitive with (and with enough budget better than) the golden
+  // median filter. With a reduced test budget we assert the weaker,
+  // budget-independent property: the cascade beats a single median pass
+  // cascaded the same number of times OR comes within 2x of the single
+  // median (shape check, not absolute).
+  platform::EvolvablePlatform plat(test::small_platform_config(3));
+  const auto w = test::make_denoise_workload(32, 0.4, 67);
+  platform::CascadeConfig cfg;
+  cfg.es.generations = 200;
+  cfg.es.seed = 67;
+  const platform::CascadeResult r =
+      platform::evolve_cascade(plat, {0, 1, 2}, w.noisy, w.clean, cfg);
+
+  const img::Image median1 = img::median3x3(w.noisy);
+  const Fitness median_fit = img::aggregated_mae(median1, w.clean);
+  EXPECT_LT(r.chain_fitness, 2 * median_fit);
+}
+
+TEST(Integration, RegisterBusViewConsistentAfterEvolution) {
+  // After an intrinsic run, the RO registers expose the platform state the
+  // paper's MicroBlaze software would read.
+  platform::EvolvablePlatform plat(test::small_platform_config(2));
+  const auto w = test::make_denoise_workload(24, 0.2, 68);
+  evo::EsConfig cfg;
+  cfg.generations = 40;
+  cfg.seed = 68;
+  platform::evolve_on_platform(plat, {0, 1}, w.noisy, w.clean, cfg);
+  EXPECT_EQ(plat.reg_read(platform::kRegNumAcbs), 2u);
+  for (std::size_t a = 0; a < 2; ++a) {
+    EXPECT_TRUE(plat.acb(a).fitness_valid());
+    const platform::RegValue lat = plat.reg_read(
+        platform::RegisterFile::acb_reg(a, platform::kRegLatency));
+    EXPECT_GE(lat, 5u);
+    EXPECT_LE(lat, 8u);
+  }
+}
+
+TEST(Integration, ExtrinsicAndIntrinsicEvolutionAgreeWithoutFaults) {
+  // The intrinsic path (through fabric, engine, decode) must produce the
+  // same evolutionary trajectory as the extrinsic path for equal seeds —
+  // the fabric is transparent when healthy.
+  const auto w = test::make_denoise_workload(24, 0.2, 69);
+  evo::EsConfig cfg;
+  cfg.generations = 60;
+  cfg.seed = 69;
+  const evo::EsResult ext = evo::evolve_extrinsic(cfg, {4, 4}, w.noisy, w.clean);
+
+  platform::EvolvablePlatform plat(test::small_platform_config(1));
+  Rng seed_rng(cfg.seed ^ 0xA5A5A5A5A5A5A5A5ULL);
+  const evo::Genotype parent = evo::Genotype::random({4, 4}, seed_rng);
+  const platform::IntrinsicResult intr =
+      platform::evolve_on_platform(plat, {0}, w.noisy, w.clean, cfg, &parent);
+  EXPECT_EQ(ext.best_fitness, intr.es.best_fitness);
+}
+
+}  // namespace
+}  // namespace ehw

@@ -1,0 +1,109 @@
+// Tests for the structural liveness analysis and its relation to the
+// observed (behavioural) masking measured by the fault campaign.
+
+#include <gtest/gtest.h>
+
+#include "ehw/analysis/campaign.hpp"
+#include "ehw/img/synthetic.hpp"
+#include "ehw/pe/liveness.hpp"
+#include "test_util.hpp"
+
+namespace ehw::pe {
+namespace {
+
+TEST(Liveness, IdentityRowCircuit) {
+  const SystolicArray array = test::identity_genotype().to_array();
+  const LivenessInfo live = analyze_liveness(array);
+  // Output row 0, IdentityW chain: exactly row 0 is live; only the centre
+  // tap (4) feeds it (IdentityW ignores N, so north taps are dead).
+  EXPECT_EQ(live.live_cell_count, 4u);
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_TRUE(live.cell(0, c, 4));
+    EXPECT_FALSE(live.cell(2, c, 4));
+  }
+  for (std::size_t t = 0; t < kWindowTaps; ++t) {
+    EXPECT_EQ(live.live_taps[t], t == 4);
+  }
+}
+
+TEST(Liveness, ConstantCellCutsUpstream) {
+  evo::Genotype g = test::identity_genotype();
+  // Make (0,2) constant: cells (0,0) and (0,1) become dead, the west tap
+  // no longer matters; (0,3) still live.
+  g.set_function_gene(2, static_cast<std::uint8_t>(PeOp::kConst255));
+  const LivenessInfo live = analyze_liveness(g.to_array());
+  EXPECT_TRUE(live.cell(0, 3, 4));
+  EXPECT_TRUE(live.cell(0, 2, 4));
+  EXPECT_FALSE(live.cell(0, 1, 4));
+  EXPECT_FALSE(live.cell(0, 0, 4));
+  for (std::size_t t = 0; t < kWindowTaps; ++t) {
+    EXPECT_FALSE(live.live_taps[t]);
+  }
+}
+
+TEST(Liveness, FullMeshWithTwoInputOps) {
+  // All cells MAX, output row 3: every cell reaches the output.
+  evo::Genotype g(fpga::ArrayShape{4, 4});
+  for (std::size_t i = 0; i < g.cell_count(); ++i) {
+    g.set_function_gene(i, static_cast<std::uint8_t>(PeOp::kMax));
+  }
+  g.set_output_row(3);
+  const LivenessInfo live = analyze_liveness(g.to_array());
+  EXPECT_EQ(live.live_cell_count, 16u);
+}
+
+TEST(Liveness, RowsBelowOutputAreDead) {
+  Rng rng(8);
+  for (int rep = 0; rep < 20; ++rep) {
+    evo::Genotype g = evo::Genotype::random({4, 4}, rng);
+    const SystolicArray array = g.to_array();
+    const LivenessInfo live = analyze_liveness(array);
+    for (std::size_t r = array.output_row() + 1u; r < 4; ++r) {
+      for (std::size_t c = 0; c < 4; ++c) {
+        EXPECT_FALSE(live.cell(r, c, 4));
+      }
+    }
+  }
+}
+
+TEST(Liveness, StructurallyDeadImpliesBehaviourallyMasked) {
+  // Soundness against the fault campaign: a structurally dead cell's
+  // fault can never change the output. (The converse does not hold:
+  // live cells may be logically masked.)
+  platform::EvolvablePlatform plat(test::small_platform_config(1));
+  Rng rng(9);
+  const img::Image scene = img::make_scene(24, 24, 5);
+  for (int rep = 0; rep < 5; ++rep) {
+    const evo::Genotype g = evo::Genotype::random({4, 4}, rng);
+    plat.configure_array(0, g, 0);
+    const LivenessInfo live = analyze_liveness(g.to_array());
+    const analysis::CampaignResult campaign =
+        analysis::run_pe_fault_campaign(plat, 0, scene, scene, {});
+    for (const auto& cell : campaign.cells) {
+      if (!live.cell(cell.row, cell.col, 4)) {
+        EXPECT_TRUE(cell.masked())
+            << "dead cell (" << cell.row << "," << cell.col
+            << ") changed the output";
+      }
+    }
+  }
+}
+
+TEST(Schematic, MarksOpsOutputAndDeadCells) {
+  const std::string s = render_schematic(test::identity_genotype().to_array());
+  EXPECT_NE(s.find("==> out"), std::string::npos);
+  EXPECT_NE(s.find("[W   ]"), std::string::npos);  // live identity cells
+  EXPECT_NE(s.find("[..  ]"), std::string::npos);  // dead rows
+  EXPECT_NE(s.find("live cells: 4/16"), std::string::npos);
+  EXPECT_NE(s.find("live window taps: 4"), std::string::npos);
+}
+
+TEST(Schematic, MarksDefectiveCells) {
+  SystolicArray array = test::identity_genotype().to_array();
+  array.set_cell(0, 1, {PeOp::kIdentityW, true, 7});
+  const std::string s = render_schematic(array);
+  EXPECT_NE(s.find("XXXX"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ehw::pe

@@ -1,0 +1,188 @@
+// Tests for the MissionController and the dependability estimator.
+
+#include <gtest/gtest.h>
+
+#include "ehw/analysis/dependability.hpp"
+#include "ehw/img/metrics.hpp"
+#include "ehw/img/noise.hpp"
+#include "ehw/img/synthetic.hpp"
+#include "ehw/platform/evolution_driver.hpp"
+#include "ehw/platform/mission.hpp"
+#include "test_util.hpp"
+
+namespace ehw::platform {
+namespace {
+
+evo::Genotype evolve_mission_circuit(EvolvablePlatform& plat,
+                                     const img::Image& noisy,
+                                     const img::Image& clean) {
+  evo::EsConfig es;
+  es.generations = 120;
+  es.seed = 777;
+  return evolve_on_platform(plat, {0, 1, 2}, noisy, clean, es).es.best;
+}
+
+struct MissionFixture : ::testing::Test {
+  MissionFixture() : plat(test::small_platform_config(3)) {}
+
+  MissionConfig tmr_config() {
+    MissionConfig cfg;
+    cfg.mode = MissionMode::kParallelTmr;
+    cfg.ecc_scrub_period = 2;
+    cfg.voter_threshold = 100;
+    cfg.recovery_es.generations = 100;
+    cfg.recovery_es.seed = 5;
+    return cfg;
+  }
+
+  EvolvablePlatform plat;
+};
+
+TEST_F(MissionFixture, TmrMissionStreamsFrames) {
+  const auto w = test::make_denoise_workload(32, 0.2, 201);
+  const evo::Genotype circuit = evolve_mission_circuit(plat, w.noisy, w.clean);
+  MissionController mission(plat, tmr_config());
+  mission.deploy(circuit);
+
+  Rng rng(3);
+  for (int f = 0; f < 4; ++f) {
+    const img::Image clean = img::make_scene(32, 32, 300 + f);
+    const img::Image noisy = img::add_salt_pepper(clean, 0.2, rng);
+    const img::Image out = mission.process_frame(noisy);
+    EXPECT_TRUE(out.same_shape(noisy));
+  }
+  EXPECT_EQ(mission.stats().frames, 4u);
+  EXPECT_EQ(mission.stats().ecc_scrubs, 2u);  // period 2
+  EXPECT_EQ(mission.stats().faults_detected, 0u);
+  EXPECT_GT(mission.stats().mission_time, 0);
+}
+
+TEST_F(MissionFixture, EccScrubCleansSeusBeforeTheyBite) {
+  const auto w = test::make_denoise_workload(32, 0.2, 202);
+  const evo::Genotype circuit = evolve_mission_circuit(plat, w.noisy, w.clean);
+  MissionController mission(plat, tmr_config());
+  mission.deploy(circuit);
+
+  plat.inject_seu(0);
+  plat.inject_seu(1);
+  EXPECT_EQ(plat.config_memory().upset_word_count(), 2u);
+  // Frame 1: no scrub yet (period 2). Frame 2 runs the blind scrub.
+  Rng rng(4);
+  const img::Image noisy =
+      img::add_salt_pepper(img::make_scene(32, 32, 400), 0.2, rng);
+  (void)mission.process_frame(noisy);
+  (void)mission.process_frame(noisy);
+  EXPECT_EQ(plat.config_memory().upset_word_count(), 0u);
+  EXPECT_EQ(mission.stats().ecc_corrected_bits, 2u);
+}
+
+TEST_F(MissionFixture, TmrMissionHealsPermanentFault) {
+  const auto w = test::make_denoise_workload(32, 0.2, 203);
+  const evo::Genotype circuit = evolve_mission_circuit(plat, w.noisy, w.clean);
+  MissionController mission(plat, tmr_config());
+  mission.deploy(circuit);
+
+  plat.inject_pe_fault(1, 0, 1);
+  Rng rng(5);
+  const img::Image noisy =
+      img::add_salt_pepper(img::make_scene(32, 32, 500), 0.2, rng);
+  (void)mission.process_frame(noisy);
+  EXPECT_EQ(mission.stats().faults_detected, 1u);
+  EXPECT_EQ(mission.stats().permanent_recoveries, 1u);
+  // Steady state afterwards.
+  (void)mission.process_frame(noisy);
+  EXPECT_EQ(mission.stats().faults_detected, 1u);
+}
+
+TEST_F(MissionFixture, CascadedMissionRunsCalibration) {
+  const auto w = test::make_denoise_workload(32, 0.2, 204);
+  MissionConfig cfg;
+  cfg.mode = MissionMode::kCascaded;
+  cfg.ecc_scrub_period = 0;
+  cfg.calibration_period = 2;
+  cfg.recovery_es.generations = 60;
+  cfg.recovery_es.seed = 6;
+  cfg.calibration_input = img::make_calibration_pattern(32, 32);
+  // Identity circuit passes the calibration input through unchanged.
+  cfg.calibration_reference = cfg.calibration_input;
+  EvolvablePlatform plat2(test::small_platform_config(3));
+  MissionController mission(plat2, cfg);
+  mission.deploy(test::identity_genotype());
+
+  Rng rng(7);
+  const img::Image frame =
+      img::add_salt_pepper(img::make_scene(32, 32, 600), 0.1, rng);
+  (void)mission.process_frame(frame);
+  (void)mission.process_frame(frame);
+  EXPECT_EQ(mission.stats().calibration_checks, 1u);
+  EXPECT_EQ(mission.stats().faults_detected, 0u);
+}
+
+TEST_F(MissionFixture, IndependentModeIsPlainFiltering) {
+  const auto w = test::make_denoise_workload(24, 0.2, 205);
+  MissionConfig cfg;
+  cfg.mode = MissionMode::kIndependent;
+  cfg.ecc_scrub_period = 0;
+  MissionController mission(plat, cfg);
+  mission.deploy(test::identity_genotype());
+  const img::Image out = mission.process_frame(w.noisy);
+  EXPECT_EQ(out, w.noisy);  // identity circuit
+  EXPECT_TRUE(mission.healing_events().empty());
+}
+
+TEST(Dependability, RatesScaleWithInputs) {
+  analysis::DependabilityInputs in;
+  in.config_bits = 48 * 40 * 32;  // 3-array fabric
+  in.upsets_per_bit_second = 1e-8;
+  in.avf = 0.4;
+  const analysis::DependabilityReport base =
+      analysis::estimate_dependability(in);
+  EXPECT_GT(base.observable_rate, 0.0);
+  EXPECT_GT(base.simplex_mtbf, 0.0);
+  // TMR masks single faults: availability and MTBF strictly better.
+  EXPECT_GT(base.tmr_mtbf, base.simplex_mtbf);
+  EXPECT_GE(base.tmr_availability, base.simplex_availability);
+
+  // Tripling the raw rate triples the observable rate.
+  in.upsets_per_bit_second *= 3.0;
+  const analysis::DependabilityReport hot =
+      analysis::estimate_dependability(in);
+  EXPECT_NEAR(hot.observable_rate, 3.0 * base.observable_rate, 1e-12);
+  EXPECT_LT(hot.simplex_availability, base.simplex_availability);
+}
+
+TEST(Dependability, FasterScrubBuysAvailability) {
+  analysis::DependabilityInputs in;
+  in.config_bits = 48 * 40 * 32;
+  in.upsets_per_bit_second = 1e-6;  // harsh environment
+  in.scrub_period = sim::milliseconds(100.0);
+  const double slow =
+      analysis::estimate_dependability(in).simplex_availability;
+  in.scrub_period = sim::milliseconds(1.0);
+  const double fast =
+      analysis::estimate_dependability(in).simplex_availability;
+  EXPECT_GT(fast, slow);
+}
+
+TEST(Dependability, ZeroAvfMeansPerfect) {
+  analysis::DependabilityInputs in;
+  in.config_bits = 1000;
+  in.avf = 0.0;
+  const analysis::DependabilityReport r =
+      analysis::estimate_dependability(in);
+  EXPECT_EQ(r.observable_rate, 0.0);
+  EXPECT_EQ(r.simplex_availability, 1.0);
+  EXPECT_EQ(r.tmr_availability, 1.0);
+}
+
+TEST(Dependability, ValidatesInputs) {
+  analysis::DependabilityInputs in;
+  in.config_bits = 0;
+  EXPECT_THROW((void)analysis::estimate_dependability(in), std::logic_error);
+  in.config_bits = 10;
+  in.avf = 1.5;
+  EXPECT_THROW((void)analysis::estimate_dependability(in), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ehw::platform

@@ -1,0 +1,171 @@
+// Cross-mode scenario tests: the remaining combinations of evolution
+// schedule x fitness mode, mixed bypass patterns, SEU-under-imitation,
+// multi-fault accumulation, and 4-array platforms.
+
+#include <gtest/gtest.h>
+
+#include "ehw/evo/fitness.hpp"
+#include "ehw/img/metrics.hpp"
+#include "ehw/img/noise.hpp"
+#include "ehw/img/synthetic.hpp"
+#include "ehw/platform/cascade_evolution.hpp"
+#include "ehw/platform/evolution_driver.hpp"
+#include "ehw/platform/imitation.hpp"
+#include "test_util.hpp"
+
+namespace ehw::platform {
+namespace {
+
+TEST(CascadeModes, AllFourCombinationsConverge) {
+  const auto w = test::make_denoise_workload(24, 0.25, 401);
+  const Fitness baseline = img::aggregated_mae(w.noisy, w.clean);
+  for (const CascadeFitness fit :
+       {CascadeFitness::kSeparate, CascadeFitness::kMerged}) {
+    for (const CascadeSchedule sched :
+         {CascadeSchedule::kSequential, CascadeSchedule::kInterleaved}) {
+      EvolvablePlatform plat(test::small_platform_config(2, 24));
+      CascadeConfig cfg;
+      cfg.es.generations = 60;
+      cfg.es.seed = 401;
+      cfg.fitness = fit;
+      cfg.schedule = sched;
+      const CascadeResult r =
+          evolve_cascade(plat, {0, 1}, w.noisy, w.clean, cfg);
+      EXPECT_LT(r.chain_fitness, baseline)
+          << "fitness mode " << int(fit) << " schedule " << int(sched);
+      // The reported chain fitness always matches the deployed fabric.
+      std::vector<img::Image> stages;
+      plat.process_cascade(w.noisy, &stages);
+      EXPECT_EQ(r.chain_fitness,
+                img::aggregated_mae(stages.back(), w.clean));
+    }
+  }
+}
+
+TEST(CascadeModes, SingleStageCascadeEqualsIndependent) {
+  const auto w = test::make_denoise_workload(24, 0.2, 402);
+  EvolvablePlatform plat(test::small_platform_config(1, 24));
+  CascadeConfig cfg;
+  cfg.es.generations = 50;
+  cfg.es.seed = 402;
+  const CascadeResult r = evolve_cascade(plat, {0}, w.noisy, w.clean, cfg);
+  ASSERT_EQ(r.stages.size(), 1u);
+  EXPECT_EQ(r.chain_fitness, r.stages[0].stage_fitness);
+}
+
+TEST(BypassPatterns, AnySubsetOfStagesCanBeBypassed) {
+  EvolvablePlatform plat(test::small_platform_config(3, 24));
+  Rng rng(403);
+  std::array<evo::Genotype, 3> genos{evo::Genotype::random({4, 4}, rng),
+                                     evo::Genotype::random({4, 4}, rng),
+                                     evo::Genotype::random({4, 4}, rng)};
+  for (std::size_t a = 0; a < 3; ++a) plat.configure_array(a, genos[a], 0);
+  const img::Image src = img::make_scene(24, 24, 403);
+
+  for (unsigned mask = 0; mask < 8; ++mask) {
+    for (std::size_t a = 0; a < 3; ++a) {
+      plat.acb(a).set_bypass((mask >> a) & 1u);
+    }
+    img::Image expected = src;
+    for (std::size_t a = 0; a < 3; ++a) {
+      if (!((mask >> a) & 1u)) {
+        expected = evo::apply_genotype(genos[a], expected);
+      }
+    }
+    EXPECT_EQ(plat.process_cascade(src), expected) << "mask " << mask;
+  }
+  // All bypassed: the chain is the identity.
+  for (std::size_t a = 0; a < 3; ++a) plat.acb(a).set_bypass(true);
+  EXPECT_EQ(plat.process_cascade(src), src);
+}
+
+TEST(ImitationUnderSeu, ScrubMidRecoveryDoesNotDerail) {
+  // An SEU lands on the apprentice during imitation; scrubbing between
+  // generations clears it and the recovery continues.
+  EvolvablePlatform plat(test::small_platform_config(2, 24));
+  Rng rng(404);
+  const evo::Genotype master = evo::Genotype::random({4, 4}, rng);
+  plat.configure_array(1, master, 0);
+  const img::Image stream = img::make_scene(24, 24, 404);
+
+  ImitationConfig cfg;
+  cfg.es.generations = 30;
+  cfg.es.seed = 404;
+  cfg.start_from_master = true;
+  const ImitationResult first = evolve_by_imitation(plat, 0, 1, stream, cfg);
+  EXPECT_EQ(first.es.best_fitness, 0u);  // healthy copy is exact
+
+  plat.inject_seu(0);
+  plat.scrub_array(0, plat.now());
+  // Post-scrub the apprentice still matches the master exactly.
+  EXPECT_EQ(img::aggregated_mae(plat.filter_array(0, stream),
+                                plat.filter_array(1, stream)),
+            0u);
+}
+
+TEST(MultiFault, AccumulatedPermanentFaultsDegradeGracefully) {
+  // §VI.D: "With two permanent fault injections, or even more, a fitness
+  // reduction is still achieved, but the limitations imposed by the
+  // accumulated faults avoid the apprentice to work as well as the
+  // master." Residuals grow with the number of locked cells, but recovery
+  // keeps reducing the damage below the unrepaired level.
+  const img::Image stream = img::make_scene(32, 32, 405);
+  Rng rng(405);
+  const evo::Genotype master = evo::Genotype::random({4, 4}, rng);
+
+  for (const std::size_t faults : {1u, 3u}) {
+    EvolvablePlatform plat(test::small_platform_config(2, 32));
+    plat.configure_array(1, master, 0);
+    const std::pair<std::size_t, std::size_t> cells[] = {
+        {0, 1}, {1, 2}, {0, 3}};
+    for (std::size_t f = 0; f < faults; ++f) {
+      plat.inject_pe_fault(0, cells[f].first, cells[f].second);
+    }
+    // Unrepaired level: apprentice configured with the master genotype.
+    plat.configure_array(0, master, plat.now());
+    const Fitness unrepaired = img::aggregated_mae(
+        plat.filter_array(0, stream), plat.filter_array(1, stream));
+
+    ImitationConfig cfg;
+    cfg.es.generations = 150;
+    cfg.es.seed = 405;
+    const ImitationResult r = evolve_by_imitation(plat, 0, 1, stream, cfg);
+    // "a fitness reduction is still achieved" — recovery never ends worse
+    // than the unrepaired configuration, for any accumulated fault count.
+    EXPECT_LE(r.es.best_fitness, unrepaired) << faults << " faults";
+  }
+}
+
+TEST(FourArrays, ParallelEvolutionUsesAllLanes) {
+  EvolvablePlatform plat(test::small_platform_config(4, 24));
+  const auto w = test::make_denoise_workload(24, 0.2, 406);
+  evo::EsConfig cfg;
+  cfg.lambda = 8;  // two full waves of four
+  cfg.generations = 20;
+  cfg.seed = 406;
+  const IntrinsicResult r =
+      evolve_on_platform(plat, {0, 1, 2, 3}, w.noisy, w.clean, cfg);
+  EXPECT_GT(r.pe_writes, 0u);
+  // All four arrays ended up configured.
+  for (std::size_t a = 0; a < 4; ++a) {
+    EXPECT_TRUE(plat.configured_genotype(a).has_value());
+  }
+}
+
+TEST(LaneSubsets, EvolutionMayUseAnyArraySubset) {
+  // Lanes need not start at array 0 nor be contiguous.
+  EvolvablePlatform plat(test::small_platform_config(3, 24));
+  const auto w = test::make_denoise_workload(24, 0.2, 407);
+  evo::EsConfig cfg;
+  cfg.generations = 15;
+  cfg.seed = 407;
+  const IntrinsicResult r =
+      evolve_on_platform(plat, {2, 0}, w.noisy, w.clean, cfg);
+  EXPECT_TRUE(plat.configured_genotype(0).has_value());
+  EXPECT_TRUE(plat.configured_genotype(2).has_value());
+  EXPECT_FALSE(plat.configured_genotype(1).has_value());
+  EXPECT_LE(r.es.best_fitness, img::aggregated_mae(w.noisy, w.clean));
+}
+
+}  // namespace
+}  // namespace ehw::platform

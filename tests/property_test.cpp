@@ -1,0 +1,229 @@
+// Randomized property tests: each component is driven with thousands of
+// random operations and checked against a simple reference model or an
+// algebraic invariant.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "ehw/common/rng.hpp"
+#include "ehw/evo/mutation.hpp"
+#include "ehw/fpga/config_memory.hpp"
+#include "ehw/platform/registers.hpp"
+#include "ehw/platform/voter.hpp"
+#include "ehw/sim/timeline.hpp"
+
+namespace ehw {
+namespace {
+
+/// ConfigMemory vs a naive reference model under a random op stream.
+TEST(ConfigMemoryFuzz, MatchesReferenceModel) {
+  constexpr std::size_t kWords = 64;
+  fpga::ConfigMemory mem(kWords);
+
+  struct RefWord {
+    std::uint32_t intended = 0;
+    std::uint32_t actual = 0;
+    std::uint32_t stuck_mask = 0;
+    std::uint32_t stuck_value = 0;
+    void apply_stuck() {
+      actual = (actual & ~stuck_mask) | (stuck_value & stuck_mask);
+    }
+  };
+  std::vector<RefWord> ref(kWords);
+
+  Rng rng(2024);
+  for (int op = 0; op < 5000; ++op) {
+    const std::size_t addr = rng.below(kWords);
+    const auto bit = static_cast<unsigned>(rng.below(32));
+    switch (rng.below(5)) {
+      case 0: {  // write
+        const auto v = static_cast<std::uint32_t>(rng());
+        mem.write(addr, v);
+        ref[addr].intended = v;
+        ref[addr].actual = v;
+        ref[addr].apply_stuck();
+        break;
+      }
+      case 1: {  // SEU
+        mem.flip_bit(addr, bit);
+        ref[addr].actual ^= 1u << bit;
+        break;
+      }
+      case 2: {  // stuck-at
+        const bool val = rng.chance(0.5);
+        mem.set_stuck_bit(addr, bit, val);
+        ref[addr].stuck_mask |= 1u << bit;
+        if (val) {
+          ref[addr].stuck_value |= 1u << bit;
+        } else {
+          ref[addr].stuck_value &= ~(1u << bit);
+        }
+        ref[addr].apply_stuck();
+        break;
+      }
+      case 3: {  // scrub rewrite
+        mem.rewrite(addr);
+        ref[addr].actual = ref[addr].intended;
+        ref[addr].apply_stuck();
+        break;
+      }
+      case 4: {  // repair (clear stuck bit)
+        mem.clear_stuck_bit(addr, bit);
+        ref[addr].stuck_mask &= ~(1u << bit);
+        ref[addr].stuck_value &= ~(1u << bit);
+        break;
+      }
+    }
+    ASSERT_EQ(mem.read(addr), ref[addr].actual) << "op " << op;
+    ASSERT_EQ(mem.read_intended(addr), ref[addr].intended) << "op " << op;
+  }
+}
+
+/// Timeline invariants under random reservations: per-resource intervals
+/// never overlap and never start before `earliest`.
+TEST(TimelineFuzz, NoOverlapsMonotoneHorizons) {
+  sim::Timeline tl;
+  std::vector<sim::ResourceId> resources;
+  for (int r = 0; r < 5; ++r) {
+    resources.push_back(tl.add_resource("r" + std::to_string(r)));
+  }
+  std::map<sim::ResourceId, sim::SimTime> last_end;
+  Rng rng(77);
+  for (int op = 0; op < 3000; ++op) {
+    const sim::ResourceId r = resources[rng.below(resources.size())];
+    const auto earliest = static_cast<sim::SimTime>(rng.below(1000000));
+    const auto duration = static_cast<sim::SimTime>(rng.below(10000));
+    if (rng.chance(0.2)) {
+      const sim::ResourceId r2 = resources[rng.below(resources.size())];
+      const sim::Interval iv = tl.reserve_pair(r, r2, earliest, duration);
+      ASSERT_GE(iv.start, earliest);
+      ASSERT_GE(iv.start, last_end[r]);
+      if (r2 != r) ASSERT_GE(iv.start, last_end[r2]);
+      last_end[r] = iv.end;
+      last_end[r2] = iv.end;
+    } else {
+      const sim::Interval iv = tl.reserve(r, earliest, duration);
+      ASSERT_GE(iv.start, earliest);
+      ASSERT_GE(iv.start, last_end[r]);  // no overlap with previous booking
+      ASSERT_EQ(iv.duration(), duration);
+      last_end[r] = iv.end;
+    }
+  }
+  sim::SimTime horizon_max = 0;
+  for (const auto& [r, t] : last_end) horizon_max = std::max(horizon_max, t);
+  ASSERT_EQ(tl.makespan(), horizon_max);
+}
+
+/// Register file under random bus traffic: RO registers never change from
+/// bus writes; RW registers hold the last value; decode is total on the
+/// mapped range.
+TEST(RegisterFileFuzz, BusContract) {
+  platform::RegisterFile regs(4);
+  std::map<platform::RegAddr, platform::RegValue> shadow;
+  Rng rng(99);
+  for (int op = 0; op < 4000; ++op) {
+    const auto acb = rng.below(4);
+    const auto off = static_cast<platform::RegAddr>(
+        rng.below(platform::kAcbRegCount));
+    const platform::RegAddr addr = platform::RegisterFile::acb_reg(acb, off);
+    const auto value = static_cast<platform::RegValue>(rng());
+    if (rng.chance(0.7)) {
+      regs.write(addr, value);
+      if (!platform::RegisterFile::is_read_only(off, false)) {
+        shadow[addr] = value;
+      }
+    } else {
+      regs.publish(addr, value);
+      shadow[addr] = value;
+    }
+    ASSERT_EQ(regs.read(addr), shadow.count(addr) ? shadow[addr] : 0u);
+  }
+}
+
+/// Pixel voter: exhaustive over a coarse value lattice — the voted pixel
+/// is always the median, and two-agree always wins.
+TEST(PixelVoterProperty, ExhaustiveLattice) {
+  const std::vector<Pixel> lattice{0, 1, 64, 128, 200, 254, 255};
+  for (const Pixel a : lattice) {
+    for (const Pixel b : lattice) {
+      for (const Pixel c : lattice) {
+        img::Image ia(1, 1, a), ib(1, 1, b), ic(1, 1, c);
+        const platform::PixelVoteResult r =
+            platform::PixelVoter::vote(ia, ib, ic);
+        const Pixel out = r.majority.at(0, 0);
+        const Pixel median =
+            std::max(std::min(a, b), std::min(std::max(a, b), c));
+        EXPECT_EQ(out, median);
+        if (a == b || a == c) EXPECT_EQ(out, a);
+        if (b == c) EXPECT_EQ(out, b);
+      }
+    }
+  }
+}
+
+/// Fitness voter is order-insensitive in its localization (relabeling the
+/// arrays relabels the verdict).
+TEST(FitnessVoterProperty, PermutationConsistency) {
+  platform::FitnessVoter voter(10);
+  Rng rng(5);
+  for (int rep = 0; rep < 500; ++rep) {
+    const Fitness good = rng.below(50);
+    const Fitness bad = 500 + rng.below(100000);
+    const std::array<Fitness, 3> base{good, good + rng.below(10), bad};
+    for (std::size_t faulty_pos = 0; faulty_pos < 3; ++faulty_pos) {
+      std::array<Fitness, 3> f{};
+      std::size_t j = 0;
+      for (std::size_t i = 0; i < 3; ++i) {
+        f[i] = (i == faulty_pos) ? base[2] : base[j++];
+      }
+      const platform::FitnessVote v = voter.vote(f);
+      ASSERT_TRUE(v.faulty.has_value());
+      EXPECT_EQ(*v.faulty, faulty_pos);
+    }
+  }
+}
+
+/// Mutation positions are (approximately) uniform over the gene space.
+TEST(MutationProperty, PositionsRoughlyUniform) {
+  Rng rng(123);
+  evo::Genotype g = evo::Genotype::random({4, 4}, rng);
+  const std::size_t genes = g.gene_count();
+  std::vector<std::size_t> hits(genes, 0);
+  constexpr int kTrials = 20000;
+  for (int t = 0; t < kTrials; ++t) {
+    evo::Genotype child = g;
+    for (const std::size_t p : evo::mutate(child, 1, rng)) ++hits[p];
+  }
+  const double expected = static_cast<double>(kTrials) / genes;
+  for (std::size_t p = 0; p < genes; ++p) {
+    EXPECT_GT(hits[p], expected * 0.75) << "gene " << p;
+    EXPECT_LT(hits[p], expected * 1.25) << "gene " << p;
+  }
+}
+
+/// Mutated values are uniform over the alternatives (never the old value).
+TEST(MutationProperty, NewValuesUniformOverAlternatives) {
+  Rng rng(321);
+  evo::Genotype g = evo::Genotype::random({4, 4}, rng);
+  const std::size_t gene = 3;  // a function gene: 16 values
+  const std::uint8_t old = g.gene_value(gene);
+  std::map<std::uint8_t, int> counts;
+  constexpr int kTrials = 15000;
+  for (int t = 0; t < kTrials; ++t) {
+    evo::Genotype child = g;
+    // Mutate until the chosen gene is hit (cheap: k = gene_count hits all).
+    evo::mutate(child, child.gene_count(), rng);
+    counts[child.gene_value(gene)]++;
+  }
+  EXPECT_EQ(counts.count(old), 0u);
+  const double expected = static_cast<double>(kTrials) / 15.0;
+  for (const auto& [value, n] : counts) {
+    EXPECT_GT(n, expected * 0.75) << int{value};
+    EXPECT_LT(n, expected * 1.25) << int{value};
+  }
+}
+
+}  // namespace
+}  // namespace ehw

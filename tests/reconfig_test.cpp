@@ -1,0 +1,165 @@
+// Tests for ehw/reconfig: the PBS library and the shared reconfiguration
+// engine (functional effect, timing constants, serialization).
+
+#include <gtest/gtest.h>
+
+#include "ehw/fpga/config_memory.hpp"
+#include "ehw/fpga/geometry.hpp"
+#include "ehw/reconfig/engine.hpp"
+#include "ehw/reconfig/pbs_library.hpp"
+#include "ehw/sim/timeline.hpp"
+
+namespace ehw::reconfig {
+namespace {
+
+struct EngineFixture : ::testing::Test {
+  EngineFixture()
+      : geometry(3, fpga::ArrayShape{4, 4}),
+        memory(geometry.total_words()),
+        library(geometry.words_per_slot()),
+        engine(memory, geometry, library, timeline) {
+    for (std::size_t a = 0; a < 3; ++a) {
+      arrays[a] = timeline.add_resource("array" + std::to_string(a));
+    }
+  }
+
+  fpga::FabricGeometry geometry;
+  fpga::ConfigMemory memory;
+  PbsLibrary library;
+  sim::Timeline timeline;
+  ReconfigurationEngine engine;
+  sim::ResourceId arrays[3]{};
+};
+
+TEST(PbsLibrary, SixteenDistinctFunctions) {
+  PbsLibrary lib(40);
+  for (std::size_t i = 0; i < kFunctionCount; ++i) {
+    for (std::size_t j = i + 1; j < kFunctionCount; ++j) {
+      EXPECT_FALSE(lib.function(static_cast<std::uint8_t>(i)) ==
+                   lib.function(static_cast<std::uint8_t>(j)));
+    }
+  }
+}
+
+TEST(PbsLibrary, OpcodeFieldEncodesFunction) {
+  PbsLibrary lib(40);
+  for (std::size_t i = 0; i < kFunctionCount; ++i) {
+    const auto& pbs = lib.function(static_cast<std::uint8_t>(i));
+    EXPECT_EQ(PbsLibrary::opcode_of_word0(pbs.payload()[0]), i);
+    EXPECT_EQ(pbs.word_count(), 40u);
+    EXPECT_TRUE(lib.is_intact(pbs.payload()));
+  }
+}
+
+TEST(PbsLibrary, DummyNeverIntact) {
+  PbsLibrary lib(40);
+  EXPECT_EQ(PbsLibrary::opcode_of_word0(lib.dummy().payload()[0]),
+            kDummyOpcode);
+  EXPECT_FALSE(lib.is_intact(lib.dummy().payload()));
+}
+
+TEST(PbsLibrary, CorruptedPayloadDetected) {
+  PbsLibrary lib(40);
+  auto payload = lib.function(7).payload();
+  payload[13] ^= 0x400;  // one flipped bit
+  EXPECT_FALSE(lib.is_intact(payload));
+  // Wrong length is rejected too.
+  payload.pop_back();
+  EXPECT_FALSE(lib.is_intact(payload));
+}
+
+TEST(PbsLibrary, InvalidOpcodeRejected) {
+  PbsLibrary lib(40);
+  EXPECT_THROW(lib.function(16), std::logic_error);
+}
+
+TEST_F(EngineFixture, WritePlacesIntactFunction) {
+  engine.write_pe({1, 2, 3}, 9, 0, arrays[1]);
+  std::uint8_t opcode = 0;
+  EXPECT_TRUE(engine.slot_intact({1, 2, 3}, &opcode));
+  EXPECT_EQ(opcode, 9);
+  EXPECT_EQ(engine.stats().pe_writes, 1u);
+}
+
+TEST_F(EngineFixture, WriteTakesPaperLatency) {
+  const sim::Interval span = engine.write_pe({0, 0, 0}, 3, 0, arrays[0]);
+  EXPECT_EQ(span.duration(), kPeReconfigTime);
+  EXPECT_DOUBLE_EQ(sim::to_microseconds(span.duration()), 67.53);
+}
+
+TEST_F(EngineFixture, WritesSerializeOnEngine) {
+  // Two writes to two DIFFERENT arrays still serialize: one engine.
+  const sim::Interval a = engine.write_pe({0, 0, 0}, 1, 0, arrays[0]);
+  const sim::Interval b = engine.write_pe({1, 0, 0}, 1, 0, arrays[1]);
+  EXPECT_EQ(a.end, b.start);
+}
+
+TEST_F(EngineFixture, WriteWaitsForBusyArray) {
+  // Array 0 evaluating until t = 1 ms.
+  timeline.reserve(arrays[0], 0, sim::milliseconds(1.0));
+  const sim::Interval w = engine.write_pe({0, 1, 1}, 2, 0, arrays[0]);
+  EXPECT_EQ(w.start, sim::milliseconds(1.0));
+}
+
+TEST_F(EngineFixture, ReadbackReturnsActualContent) {
+  engine.write_pe({2, 1, 0}, 12, 0, arrays[2]);
+  const fpga::PartialBitstream rb = engine.readback_slot({2, 1, 0}, 0);
+  EXPECT_EQ(rb.payload(), library.function(12).payload());
+  EXPECT_EQ(engine.stats().readbacks, 1u);
+}
+
+TEST_F(EngineFixture, RelocationSamePayloadDifferentSlots) {
+  engine.write_pe({0, 0, 0}, 5, 0, arrays[0]);
+  engine.write_pe({2, 3, 3}, 5, 0, arrays[2]);
+  const auto a = engine.readback_slot({0, 0, 0}, 0);
+  const auto b = engine.readback_slot({2, 3, 3}, 0);
+  EXPECT_EQ(a.payload(), b.payload());  // relocated identical content
+}
+
+TEST_F(EngineFixture, ScrubRestoresSeu) {
+  engine.write_pe({0, 2, 2}, 4, 0, arrays[0]);
+  memory.flip_bit(geometry.slot_word_base({0, 2, 2}) + 7, 11);
+  EXPECT_FALSE(engine.slot_intact({0, 2, 2}));
+  std::size_t corrected = 0, uncorrectable = 0;
+  engine.scrub_slot({0, 2, 2}, 0, arrays[0], &corrected, &uncorrectable);
+  EXPECT_EQ(corrected, 1u);
+  EXPECT_EQ(uncorrectable, 0u);
+  EXPECT_TRUE(engine.slot_intact({0, 2, 2}));
+}
+
+TEST_F(EngineFixture, ScrubCannotClearStuckBit) {
+  engine.write_pe({0, 1, 2}, 4, 0, arrays[0]);
+  const std::size_t word = geometry.slot_word_base({0, 1, 2}) + 3;
+  const bool current = (memory.read(word) >> 9) & 1u;
+  memory.set_stuck_bit(word, 9, !current);
+  std::size_t corrected = 0, uncorrectable = 0;
+  engine.scrub_slot({0, 1, 2}, 0, arrays[0], &corrected, &uncorrectable);
+  EXPECT_EQ(uncorrectable, 1u);
+  EXPECT_FALSE(engine.slot_intact({0, 1, 2}));
+}
+
+TEST_F(EngineFixture, DummyWriteCorruptsSlot) {
+  engine.write_pe({1, 1, 1}, kDummyOpcode, 0, arrays[1]);
+  std::uint8_t opcode = 0;
+  EXPECT_FALSE(engine.slot_intact({1, 1, 1}, &opcode));
+  EXPECT_EQ(opcode, kDummyOpcode);
+}
+
+TEST_F(EngineFixture, StatsAccumulateBusyTime) {
+  engine.write_pe({0, 0, 0}, 1, 0, arrays[0]);
+  engine.write_pe({0, 0, 1}, 2, 0, arrays[0]);
+  EXPECT_EQ(engine.stats().pe_writes, 2u);
+  EXPECT_EQ(engine.stats().busy_time, 2 * kPeReconfigTime);
+  engine.reset_stats();
+  EXPECT_EQ(engine.stats().pe_writes, 0u);
+}
+
+TEST_F(EngineFixture, LibraryFootprintMustMatchFabric) {
+  PbsLibrary wrong(geometry.words_per_slot() + 1);
+  sim::Timeline tl2;
+  EXPECT_THROW(ReconfigurationEngine(memory, geometry, wrong, tl2),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace ehw::reconfig

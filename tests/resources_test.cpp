@@ -1,0 +1,77 @@
+// Tests for the Fig. 10 resource model and floorplan renderer.
+
+#include <gtest/gtest.h>
+
+#include "ehw/resources/floorplan.hpp"
+#include "ehw/resources/model.hpp"
+
+namespace ehw::resources {
+namespace {
+
+TEST(ResourceModel, PaperConstants) {
+  EXPECT_EQ(kStaticControl.slices, 733u);
+  EXPECT_EQ(kStaticControl.ffs, 1365u);
+  EXPECT_EQ(kStaticControl.luts, 1817u);
+  EXPECT_EQ(kPerAcb.slices, 754u);
+  EXPECT_EQ(kPerAcb.ffs, 1642u);
+  EXPECT_EQ(kPerAcb.luts, 1528u);
+  EXPECT_EQ(kClbsPerArray, 160u);
+  EXPECT_DOUBLE_EQ(kPeReconfigMicros, 67.53);
+}
+
+TEST(ResourceModel, ThreeStageTotals) {
+  const UtilizationReport r = utilization(3);
+  ASSERT_EQ(r.modules.size(), 3u);
+  // static + 3*ACB + 3*array(160 CLB * 2 slices).
+  const std::uint64_t expected_slices = 733 + 3 * 754 + 3 * 160 * 2;
+  EXPECT_EQ(r.total.slices, expected_slices);
+  EXPECT_GT(r.device_slice_percent, 0.0);
+  EXPECT_LT(r.device_slice_percent, 100.0);
+}
+
+TEST(ResourceModel, ScalesLinearlyInArrays) {
+  const UtilizationReport r1 = utilization(1);
+  const UtilizationReport r2 = utilization(2);
+  const UtilizationReport r3 = utilization(3);
+  const auto delta21 = r2.total.slices - r1.total.slices;
+  const auto delta32 = r3.total.slices - r2.total.slices;
+  EXPECT_EQ(delta21, delta32);  // each extra stage costs the same
+  EXPECT_EQ(delta21, 754u + 160u * 2u);
+}
+
+TEST(ResourceModel, VectorArithmetic) {
+  const ResourceVector a{1, 2, 3};
+  const ResourceVector b{10, 20, 30};
+  const ResourceVector s = a + b;
+  EXPECT_EQ(s.slices, 11u);
+  EXPECT_EQ(s.ffs, 22u);
+  EXPECT_EQ(s.luts, 33u);
+  const ResourceVector m = a * 4;
+  EXPECT_EQ(m.slices, 4u);
+  EXPECT_EQ(m.luts, 12u);
+}
+
+TEST(ResourceModel, ReconfigCosts) {
+  const ReconfigCosts c = reconfig_costs(3);
+  EXPECT_DOUBLE_EQ(c.per_pe_us, 67.53);
+  EXPECT_DOUBLE_EQ(c.full_array_us, 67.53 * 16);
+  EXPECT_DOUBLE_EQ(c.full_platform_us, 67.53 * 48);
+}
+
+TEST(Floorplan, MentionsEveryStage) {
+  const std::string s = floorplan_string(3);
+  EXPECT_NE(s.find("ACB0"), std::string::npos);
+  EXPECT_NE(s.find("ACB1"), std::string::npos);
+  EXPECT_NE(s.find("ACB2"), std::string::npos);
+  EXPECT_NE(s.find("STATIC REGION"), std::string::npos);
+  EXPECT_NE(s.find("160 CLBs"), std::string::npos);
+}
+
+TEST(Floorplan, NonDefaultShapeReported) {
+  const std::string s = floorplan_string(1, {2, 2});
+  EXPECT_NE(s.find("2x2"), std::string::npos);
+  EXPECT_NE(s.find("40 CLBs"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ehw::resources

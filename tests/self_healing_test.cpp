@@ -1,0 +1,229 @@
+// Tests for the §V self-healing controllers: calibration-based detection,
+// scrubbing classification (transient vs permanent), bypass + imitation
+// recovery, and the TMR voter strategy.
+
+#include <gtest/gtest.h>
+
+#include "ehw/img/metrics.hpp"
+#include "ehw/img/synthetic.hpp"
+#include "ehw/platform/evolution_driver.hpp"
+#include "ehw/platform/self_healing.hpp"
+#include "test_util.hpp"
+
+namespace ehw::platform {
+namespace {
+
+evo::EsConfig recovery_es(Generation generations = 80) {
+  evo::EsConfig cfg;
+  cfg.lambda = 9;
+  cfg.mutation_rate = 3;
+  cfg.generations = generations;
+  cfg.seed = 404;
+  return cfg;
+}
+
+bool has_event(const std::vector<HealingEvent>& events,
+               HealingEventKind kind) {
+  for (const auto& e : events) {
+    if (e.kind == kind) return true;
+  }
+  return false;
+}
+
+struct CascadeHealFixture : ::testing::Test {
+  CascadeHealFixture() : plat(test::small_platform_config(3)) {
+    // Deploy evolved-ish circuits: identity works for the calibration
+    // input==reference pairing, giving baseline fitness 0.
+    for (std::size_t a = 0; a < 3; ++a) {
+      plat.configure_array(a, test::identity_genotype(), 0);
+    }
+  }
+
+  CascadeSelfHealing::Config make_config(bool reference_available = true) {
+    CascadeSelfHealing::Config cfg;
+    cfg.calibration_input = img::make_calibration_pattern(32, 32);
+    cfg.calibration_reference = cfg.calibration_input;  // identity target
+    cfg.tolerance = 0;
+    cfg.recovery_es = recovery_es();
+    cfg.reference_available = reference_available;
+    return cfg;
+  }
+
+  EvolvablePlatform plat;
+};
+
+TEST_F(CascadeHealFixture, HealthyChecksPass) {
+  CascadeSelfHealing healer(plat, {0, 1, 2}, make_config());
+  healer.record_baseline();
+  EXPECT_EQ(healer.baseline(0), 0u);
+  EXPECT_TRUE(healer.run_calibration_check());
+  EXPECT_TRUE(has_event(healer.events(), HealingEventKind::kCheckPassed));
+  EXPECT_FALSE(
+      has_event(healer.events(), HealingEventKind::kDivergenceDetected));
+}
+
+TEST_F(CascadeHealFixture, RequiresBaselineBeforeCheck) {
+  CascadeSelfHealing healer(plat, {0, 1, 2}, make_config());
+  EXPECT_THROW(healer.run_calibration_check(), std::logic_error);
+}
+
+TEST_F(CascadeHealFixture, SeuClassifiedTransientAndScrubbedAway) {
+  CascadeSelfHealing healer(plat, {0, 1, 2}, make_config());
+  healer.record_baseline();
+  plat.inject_seu(1);
+  // The SEU may or may not hit logic that the selected output row can
+  // observe (§V: the number of supported faults depends on the problem).
+  const bool healthy = healer.run_calibration_check();
+  EXPECT_TRUE(healthy);  // transient faults never end a check unhealthy
+  if (has_event(healer.events(), HealingEventKind::kDivergenceDetected)) {
+    // Observable: it must have been scrubbed away and classified
+    // transient, and the fabric must be clean again.
+    EXPECT_TRUE(has_event(healer.events(), HealingEventKind::kScrubbed));
+    EXPECT_TRUE(
+        has_event(healer.events(), HealingEventKind::kTransientRecovered));
+    EXPECT_FALSE(
+        has_event(healer.events(), HealingEventKind::kPermanentDeclared));
+    EXPECT_EQ(plat.config_memory().upset_word_count(), 0u);
+  } else {
+    // Invisible at the output: the upset word lingers until a blind scrub.
+    EXPECT_EQ(plat.config_memory().upset_word_count(), 1u);
+    std::size_t corrected = 0;
+    plat.scrub_array(1, plat.now(), &corrected, nullptr);
+    EXPECT_EQ(corrected, 1u);
+    EXPECT_EQ(plat.config_memory().upset_word_count(), 0u);
+  }
+}
+
+TEST_F(CascadeHealFixture, PermanentFaultRecoveredByReEvolution) {
+  CascadeSelfHealing healer(plat, {0, 1, 2}, make_config(true));
+  healer.record_baseline();
+  plat.inject_pe_fault(1, 0, 2);  // output row -> observable
+  const bool healthy = healer.run_calibration_check();
+  EXPECT_FALSE(healthy);  // a permanent fault was found
+  EXPECT_TRUE(has_event(healer.events(), HealingEventKind::kScrubbed));
+  EXPECT_TRUE(
+      has_event(healer.events(), HealingEventKind::kPermanentDeclared));
+  EXPECT_TRUE(has_event(healer.events(), HealingEventKind::kBypassEngaged));
+  EXPECT_TRUE(has_event(healer.events(), HealingEventKind::kReEvolved));
+  // Follow-up check passes against the refreshed baseline.
+  EXPECT_TRUE(healer.run_calibration_check());
+}
+
+TEST_F(CascadeHealFixture, ReferenceLostRecoversByImitation) {
+  CascadeSelfHealing healer(plat, {0, 1, 2}, make_config(false));
+  healer.record_baseline();
+  plat.inject_pe_fault(1, 0, 1);
+  const bool healthy = healer.run_calibration_check();
+  EXPECT_FALSE(healthy);
+  EXPECT_TRUE(
+      has_event(healer.events(), HealingEventKind::kImitationRecovered));
+  EXPECT_FALSE(has_event(healer.events(), HealingEventKind::kReEvolved));
+  // Recovery learned from the neighbour: follow-up checks pass.
+  EXPECT_TRUE(healer.run_calibration_check());
+}
+
+/// ---------------------------------------------------------------------------
+struct TmrFixture : ::testing::Test {
+  TmrFixture() : plat(test::small_platform_config(3)) {}
+
+  TmrSelfHealing::Config make_config() {
+    TmrSelfHealing::Config cfg;
+    cfg.voter_threshold = 50;  // similarity threshold (§V.B)
+    cfg.recovery_es = recovery_es(120);
+    cfg.paste_on_partial_recovery = true;
+    return cfg;
+  }
+
+  EvolvablePlatform plat;
+};
+
+TEST_F(TmrFixture, HealthyFramesUnanimous) {
+  TmrSelfHealing tmr(plat, {0, 1, 2}, make_config());
+  Rng rng(51);
+  tmr.deploy(evo::Genotype::random({4, 4}, rng));
+  const img::Image frame = img::make_scene(32, 32, 51);
+  const auto r = tmr.process_frame(frame);
+  EXPECT_FALSE(r.vote.faulty.has_value());
+  EXPECT_FALSE(r.vote.inconclusive);
+  EXPECT_EQ(r.fitness[0], 0u);
+  EXPECT_EQ(r.fitness[1], 0u);
+  EXPECT_EQ(r.fitness[2], 0u);
+  // Voted output equals each healthy array's output.
+  EXPECT_EQ(r.voted, plat.filter_array(0, frame));
+}
+
+TEST_F(TmrFixture, VotedOutputMasksSingleFault) {
+  TmrSelfHealing tmr(plat, {0, 1, 2}, make_config());
+  Rng rng(52);
+  const evo::Genotype circuit = evo::Genotype::random({4, 4}, rng);
+  tmr.deploy(circuit);
+  const img::Image frame = img::make_scene(32, 32, 52);
+  const img::Image golden = plat.filter_array(0, frame);
+  plat.inject_pe_fault(2, 0, 1);
+  const auto r = tmr.process_frame(frame);
+  // Even while healing ran, the voted output never deviated from golden.
+  EXPECT_EQ(r.voted, golden);
+}
+
+TEST_F(TmrFixture, FaultDetectedLocalizedAndRecovered) {
+  TmrSelfHealing tmr(plat, {0, 1, 2}, make_config());
+  // Identity circuit: the output rides row 0, so a fault in (0, 2) is on
+  // the live path and guaranteed observable.
+  tmr.deploy(test::identity_genotype());
+  const img::Image frame = img::make_scene(32, 32, 53);
+  plat.inject_pe_fault(1, 0, 2);
+  const auto r = tmr.process_frame(frame);
+  ASSERT_TRUE(r.vote.faulty.has_value());
+  EXPECT_EQ(*r.vote.faulty, 1u);
+  EXPECT_TRUE(r.recovered_this_frame);
+  EXPECT_TRUE(has_event(tmr.events(), HealingEventKind::kScrubbed));
+  EXPECT_TRUE(
+      has_event(tmr.events(), HealingEventKind::kPermanentDeclared));
+  EXPECT_TRUE(
+      has_event(tmr.events(), HealingEventKind::kImitationRecovered));
+  // Next frame: the platform is consistent again (within the threshold).
+  const auto r2 = tmr.process_frame(frame);
+  EXPECT_FALSE(r2.vote.faulty.has_value());
+}
+
+TEST_F(TmrFixture, SeuHealsAsTransient) {
+  TmrSelfHealing tmr(plat, {0, 1, 2}, make_config());
+  Rng rng(54);
+  tmr.deploy(evo::Genotype::random({4, 4}, rng));
+  const img::Image frame = img::make_scene(32, 32, 54);
+  plat.inject_seu(0);
+  const auto r = tmr.process_frame(frame);
+  if (r.vote.faulty.has_value()) {
+    // When the flip was observable, it must have healed as transient: no
+    // permanent event, no imitation — and the scrub cleaned the fabric.
+    EXPECT_TRUE(
+        has_event(tmr.events(), HealingEventKind::kTransientRecovered));
+    EXPECT_FALSE(
+        has_event(tmr.events(), HealingEventKind::kPermanentDeclared));
+    EXPECT_EQ(plat.config_memory().upset_word_count(), 0u);
+  } else {
+    // Invisible flip: nothing scrubbed it yet.
+    EXPECT_EQ(plat.config_memory().upset_word_count(), 1u);
+  }
+}
+
+TEST_F(TmrFixture, PasteRealignsAllArraysAfterPartialRecovery) {
+  TmrSelfHealing tmr(plat, {0, 1, 2}, make_config());
+  Rng rng(55);
+  tmr.deploy(evo::Genotype::random({4, 4}, rng));
+  const img::Image frame = img::make_scene(32, 32, 55);
+  plat.inject_pe_fault(1, 0, 3);
+  tmr.process_frame(frame);
+  if (has_event(tmr.events(), HealingEventKind::kGenotypePasted)) {
+    // All three arrays hold the recovered chromosome now.
+    const auto& g0 = plat.configured_genotype(0);
+    const auto& g1 = plat.configured_genotype(1);
+    const auto& g2 = plat.configured_genotype(2);
+    ASSERT_TRUE(g0 && g1 && g2);
+    EXPECT_EQ(*g0, *g1);
+    EXPECT_EQ(*g1, *g2);
+  }
+}
+
+}  // namespace
+}  // namespace ehw::platform

@@ -1,0 +1,135 @@
+// Tests for genotype serialization and the genotype library file format.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ehw/evo/serialize.hpp"
+#include "test_util.hpp"
+
+namespace ehw::evo {
+namespace {
+
+TEST(Serialize, RoundTripsRandomGenotypes) {
+  Rng rng(101);
+  for (int rep = 0; rep < 30; ++rep) {
+    const Genotype g = Genotype::random({4, 4}, rng);
+    const Genotype back = deserialize_genotype(serialize_genotype(g));
+    EXPECT_EQ(g, back);
+  }
+}
+
+TEST(Serialize, RoundTripsNonSquareShapes) {
+  Rng rng(102);
+  for (const fpga::ArrayShape shape :
+       {fpga::ArrayShape{2, 2}, fpga::ArrayShape{3, 5},
+        fpga::ArrayShape{6, 2}, fpga::ArrayShape{8, 8}}) {
+    const Genotype g = Genotype::random(shape, rng);
+    const Genotype back = deserialize_genotype(serialize_genotype(g));
+    EXPECT_EQ(g, back);
+  }
+}
+
+TEST(Serialize, FormatIsStable) {
+  const Genotype g = test::identity_genotype();
+  const std::string s = serialize_genotype(g);
+  EXPECT_EQ(s.rfind("MPA1 4 4 | 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 | "
+                    "4 4 4 4 4 4 4 4 | 0",
+                    0),
+            0u)
+      << s;
+}
+
+TEST(Serialize, RejectsMalformedInput) {
+  EXPECT_THROW(deserialize_genotype(""), std::runtime_error);
+  EXPECT_THROW(deserialize_genotype("NOPE 4 4 | 1 | 1 | 0"),
+               std::runtime_error);
+  // Wrong gene count.
+  EXPECT_THROW(deserialize_genotype("MPA1 2 2 | 1 2 3 | 0 0 0 0 | 0"),
+               std::runtime_error);
+  // Function gene out of range.
+  EXPECT_THROW(
+      deserialize_genotype("MPA1 2 2 | 16 0 0 0 | 0 0 0 0 | 0"),
+      std::runtime_error);
+  // Tap out of range.
+  EXPECT_THROW(deserialize_genotype("MPA1 2 2 | 1 2 3 4 | 9 0 0 0 | 0"),
+               std::runtime_error);
+  // Output row out of range.
+  EXPECT_THROW(deserialize_genotype("MPA1 2 2 | 1 2 3 4 | 0 0 0 0 | 2"),
+               std::runtime_error);
+  // Trailing garbage.
+  EXPECT_THROW(
+      deserialize_genotype("MPA1 2 2 | 1 2 3 4 | 0 0 0 0 | 0 junk"),
+      std::runtime_error);
+}
+
+TEST(Serialize, PhenotypePreservedThroughRoundTrip) {
+  Rng rng(103);
+  const Genotype g = Genotype::random({4, 4}, rng);
+  const Genotype back = deserialize_genotype(serialize_genotype(g));
+  const img::Image scene = img::make_scene(24, 24, 9);
+  EXPECT_EQ(g.to_array().filter(scene), back.to_array().filter(scene));
+}
+
+TEST(GenotypeLibraryFile, PutGetContains) {
+  Rng rng(104);
+  GenotypeLibrary lib;
+  EXPECT_FALSE(lib.contains("denoise"));
+  lib.put("denoise", Genotype::random({4, 4}, rng));
+  EXPECT_TRUE(lib.contains("denoise"));
+  EXPECT_EQ(lib.size(), 1u);
+  EXPECT_THROW((void)lib.get("absent"), std::logic_error);
+}
+
+TEST(GenotypeLibraryFile, StreamRoundTrip) {
+  Rng rng(105);
+  GenotypeLibrary lib;
+  lib.put("denoise", Genotype::random({4, 4}, rng));
+  lib.put("edges", Genotype::random({4, 4}, rng));
+  lib.put("smooth", Genotype::random({2, 3}, rng));
+  std::stringstream ss;
+  lib.save(ss);
+  const GenotypeLibrary back = GenotypeLibrary::load(ss);
+  EXPECT_EQ(back.size(), 3u);
+  EXPECT_EQ(back.get("denoise"), lib.get("denoise"));
+  EXPECT_EQ(back.get("edges"), lib.get("edges"));
+  EXPECT_EQ(back.get("smooth"), lib.get("smooth"));
+}
+
+TEST(GenotypeLibraryFile, OverwriteReplaces) {
+  Rng rng(106);
+  GenotypeLibrary lib;
+  const Genotype a = Genotype::random({4, 4}, rng);
+  const Genotype b = Genotype::random({4, 4}, rng);
+  lib.put("x", a);
+  lib.put("x", b);
+  EXPECT_EQ(lib.size(), 1u);
+  EXPECT_EQ(lib.get("x"), b);
+}
+
+TEST(GenotypeLibraryFile, CommentsAndBlanksIgnored) {
+  std::stringstream ss(
+      "# header comment\n\nf := " +
+      serialize_genotype(test::identity_genotype()) + "\n# trailing\n");
+  const GenotypeLibrary lib = GenotypeLibrary::load(ss);
+  EXPECT_EQ(lib.size(), 1u);
+  EXPECT_EQ(lib.get("f"), test::identity_genotype());
+}
+
+TEST(GenotypeLibraryFile, MalformedLineRejected) {
+  std::stringstream ss("name-without-separator MPA1 ...\n");
+  EXPECT_THROW(GenotypeLibrary::load(ss), std::runtime_error);
+}
+
+TEST(GenotypeLibraryFile, FileRoundTrip) {
+  Rng rng(107);
+  GenotypeLibrary lib;
+  lib.put("mission", Genotype::random({4, 4}, rng));
+  const std::string path = "/tmp/ehw_genolib_test.txt";
+  lib.save_file(path);
+  const GenotypeLibrary back = GenotypeLibrary::load_file(path);
+  EXPECT_EQ(back.get("mission"), lib.get("mission"));
+}
+
+}  // namespace
+}  // namespace ehw::evo

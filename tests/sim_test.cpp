@@ -1,0 +1,156 @@
+// Tests for ehw/sim: time units, the clock, and the Timeline resource
+// model that realizes the Fig. 11 engine/array pipeline.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ehw/sim/clock.hpp"
+#include "ehw/sim/time.hpp"
+#include "ehw/sim/timeline.hpp"
+#include "ehw/sim/trace.hpp"
+
+namespace ehw::sim {
+namespace {
+
+TEST(SimTimeUnits, Conversions) {
+  EXPECT_EQ(microseconds(1.0), 1000);
+  EXPECT_EQ(milliseconds(1.0), 1000000);
+  EXPECT_EQ(seconds(1.0), 1000000000);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(to_microseconds(microseconds(67.53)), 67.53);
+}
+
+TEST(SimTimeUnits, CyclesAtMhz) {
+  // 100 cycles at 100 MHz = 1 us.
+  EXPECT_EQ(cycles_at_mhz(100, 100.0), microseconds(1.0));
+  // One 128x128 frame at 100 MHz = 163.84 us.
+  EXPECT_EQ(cycles_at_mhz(128 * 128, 100.0), microseconds(163.84));
+}
+
+TEST(SimClock, AdvancesMonotonically) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0);
+  clock.advance(100);
+  EXPECT_EQ(clock.now(), 100);
+  clock.advance_to(50);  // never backwards
+  EXPECT_EQ(clock.now(), 100);
+  clock.advance_to(400);
+  EXPECT_EQ(clock.now(), 400);
+  EXPECT_THROW(clock.advance(-1), std::logic_error);
+}
+
+TEST(Timeline, SerializesOneResource) {
+  Timeline tl;
+  const ResourceId r = tl.add_resource("engine");
+  const Interval a = tl.reserve(r, 0, 10);
+  const Interval b = tl.reserve(r, 0, 5);
+  EXPECT_EQ(a.start, 0);
+  EXPECT_EQ(a.end, 10);
+  EXPECT_EQ(b.start, 10);  // waits for the engine
+  EXPECT_EQ(b.end, 15);
+}
+
+TEST(Timeline, HonoursEarliest) {
+  Timeline tl;
+  const ResourceId r = tl.add_resource("r");
+  const Interval a = tl.reserve(r, 100, 10);
+  EXPECT_EQ(a.start, 100);
+  const Interval b = tl.reserve(r, 50, 10);  // resource is the later bound
+  EXPECT_EQ(b.start, 110);
+}
+
+TEST(Timeline, IndependentResourcesOverlap) {
+  Timeline tl;
+  const ResourceId a = tl.add_resource("array0");
+  const ResourceId b = tl.add_resource("array1");
+  const Interval ia = tl.reserve(a, 0, 100);
+  const Interval ib = tl.reserve(b, 0, 100);
+  EXPECT_EQ(ia.start, 0);
+  EXPECT_EQ(ib.start, 0);  // true parallelism
+  EXPECT_EQ(tl.makespan(), 100);
+}
+
+TEST(Timeline, ReservePairBlocksBoth) {
+  Timeline tl;
+  const ResourceId engine = tl.add_resource("engine");
+  const ResourceId array = tl.add_resource("array");
+  // Array busy evaluating until t=50.
+  tl.reserve(array, 0, 50);
+  // A reconfiguration needs engine AND array: must wait for the array.
+  const Interval r = tl.reserve_pair(engine, array, 0, 10);
+  EXPECT_EQ(r.start, 50);
+  EXPECT_EQ(r.end, 60);
+  // Both horizons moved.
+  EXPECT_EQ(tl.free_at(engine), 60);
+  EXPECT_EQ(tl.free_at(array), 60);
+}
+
+TEST(Timeline, Fig11PipelineShape) {
+  // One engine, three arrays; R=10, F=7. Nine candidates, three per array.
+  // Reconfigurations serialize on the engine; evaluations overlap.
+  Timeline tl;
+  const ResourceId engine = tl.add_resource("engine");
+  const ResourceId arrays[3] = {tl.add_resource("a0"), tl.add_resource("a1"),
+                                tl.add_resource("a2")};
+  SimTime last_eval_end = 0;
+  for (int i = 0; i < 9; ++i) {
+    const ResourceId arr = arrays[i % 3];
+    const Interval r = tl.reserve_pair(engine, arr, 0, 10);
+    const Interval f = tl.reserve(arr, r.end, 7);
+    last_eval_end = std::max(last_eval_end, f.end);
+  }
+  // Serial engine: 9 x 10 = 90; last evaluation drains after it.
+  EXPECT_EQ(tl.free_at(engine), 90);
+  EXPECT_EQ(last_eval_end, 97);
+  // The single-array equivalent is strictly 9 x (10 + 7) = 153.
+  Timeline single;
+  const ResourceId e1 = single.add_resource("engine");
+  const ResourceId a1 = single.add_resource("a0");
+  SimTime end1 = 0;
+  for (int i = 0; i < 9; ++i) {
+    const Interval r = single.reserve_pair(e1, a1, 0, 10);
+    const Interval f = single.reserve(a1, r.end, 7);
+    end1 = f.end;
+  }
+  EXPECT_EQ(end1, 153);
+  EXPECT_LT(last_eval_end, end1);  // parallel evaluation wins
+}
+
+TEST(Timeline, ResetKeepsResources) {
+  Timeline tl;
+  const ResourceId r = tl.add_resource("r");
+  tl.reserve(r, 0, 42);
+  tl.reset();
+  EXPECT_EQ(tl.resource_count(), 1u);
+  EXPECT_EQ(tl.free_at(r), 0);
+  EXPECT_EQ(tl.resource_name(r), "r");
+}
+
+TEST(Trace, RecordsOnlyWhenEnabled) {
+  Trace trace;
+  trace.record(0, "R", {0, 10});
+  EXPECT_TRUE(trace.events().empty());
+  trace.enable(true);
+  trace.record(0, "R", {0, 10});
+  EXPECT_EQ(trace.events().size(), 1u);
+}
+
+TEST(Trace, GanttRendersLanes) {
+  Timeline tl;
+  const ResourceId engine = tl.add_resource("icap");
+  const ResourceId array = tl.add_resource("array0");
+  Trace trace;
+  trace.enable(true);
+  trace.record(engine, "R1", tl.reserve(engine, 0, 50));
+  trace.record(array, "F1", tl.reserve(array, 50, 50));
+  std::ostringstream os;
+  trace.render_gantt(os, tl, 40);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("icap"), std::string::npos);
+  EXPECT_NE(s.find("array0"), std::string::npos);
+  EXPECT_NE(s.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ehw::sim

@@ -1,0 +1,55 @@
+#pragma once
+// Shared helpers for the test suite: small deterministic workloads and
+// platform factories sized so that the whole suite stays fast.
+
+#include <cstdint>
+
+#include "ehw/common/rng.hpp"
+#include "ehw/img/image.hpp"
+#include "ehw/img/noise.hpp"
+#include "ehw/img/synthetic.hpp"
+#include "ehw/platform/platform.hpp"
+
+namespace ehw::test {
+
+/// Small scene + salt&pepper pair for evolution smoke tests.
+struct DenoiseWorkload {
+  img::Image clean;
+  img::Image noisy;
+};
+
+inline DenoiseWorkload make_denoise_workload(std::size_t size = 32,
+                                             double density = 0.2,
+                                             std::uint64_t seed = 42) {
+  DenoiseWorkload w;
+  w.clean = img::make_scene(size, size, seed);
+  Rng rng(seed ^ 0xBEEF);
+  w.noisy = img::add_salt_pepper(w.clean, density, rng);
+  return w;
+}
+
+inline platform::PlatformConfig small_platform_config(
+    std::size_t arrays = 3, std::size_t line_width = 32) {
+  platform::PlatformConfig cfg;
+  cfg.num_arrays = arrays;
+  cfg.shape = {4, 4};
+  cfg.line_width = line_width;
+  cfg.seed = 0x5117E57;
+  return cfg;
+}
+
+/// A genotype that behaves as the identity filter: every function gene is
+/// IdentityW, the first west tap is the window centre (tap 4) and output
+/// row 0 — so the centre pixel rides straight across row 0.
+inline evo::Genotype identity_genotype(fpga::ArrayShape shape = {4, 4}) {
+  evo::Genotype g(shape);
+  for (std::size_t cell = 0; cell < g.cell_count(); ++cell) {
+    g.set_function_gene(cell,
+                        static_cast<std::uint8_t>(pe::PeOp::kIdentityW));
+  }
+  for (std::size_t i = 0; i < g.input_count(); ++i) g.set_tap_gene(i, 4);
+  g.set_output_row(0);
+  return g;
+}
+
+}  // namespace ehw::test

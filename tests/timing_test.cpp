@@ -1,0 +1,129 @@
+// Exact accounting tests for the simulated-time model: the Fig. 11
+// pipeline admits closed forms that the drivers must reproduce to the
+// nanosecond.
+
+#include <gtest/gtest.h>
+
+#include "ehw/img/metrics.hpp"
+#include "ehw/platform/evolution_driver.hpp"
+#include "ehw/reconfig/engine.hpp"
+#include "test_util.hpp"
+
+namespace ehw::platform {
+namespace {
+
+TEST(TimingModel, SingleArrayRunIsExactlySerial) {
+  // With ONE array, every DPR write and every evaluation serializes on the
+  // array resource, so:
+  //   duration == pe_writes * kPeReconfigTime
+  //             + (lambda * generations + 1) * frame_time.
+  EvolvablePlatform plat(test::small_platform_config(1));
+  const auto w = test::make_denoise_workload(32, 0.2, 301);
+  evo::EsConfig cfg;
+  cfg.lambda = 9;
+  cfg.mutation_rate = 3;
+  cfg.generations = 12;
+  cfg.seed = 301;
+  const IntrinsicResult r =
+      evolve_on_platform(plat, {0}, w.noisy, w.clean, cfg);
+  const sim::SimTime frame = plat.frame_time(32, 32);
+  const sim::SimTime expected =
+      static_cast<sim::SimTime>(r.pe_writes) * reconfig::kPeReconfigTime +
+      static_cast<sim::SimTime>(9 * 12 + 1) * frame;
+  EXPECT_EQ(r.duration, expected);
+}
+
+TEST(TimingModel, FrameTimeFormula) {
+  EvolvablePlatform plat(test::small_platform_config(1));
+  // width*height + rows + cols + 4 drain cycles at 100 MHz.
+  const std::uint64_t cycles = 128 * 128 + 4 + 4 + 4;
+  EXPECT_EQ(plat.frame_time(128, 128), sim::cycles_at_mhz(cycles, 100.0));
+  // 128x128 ~ 163.96 us: the paper's one-pixel-per-cycle stream.
+  EXPECT_NEAR(sim::to_microseconds(plat.frame_time(128, 128)), 163.96, 0.01);
+}
+
+TEST(TimingModel, ParallelSavingIsBoundedByOverlappedEvaluations) {
+  // The 3-array schedule can save at most (lambda - 1) evaluations per
+  // generation plus pipeline drain vs the serial single-array schedule,
+  // and must never save more.
+  const auto w = test::make_denoise_workload(64, 0.2, 302);
+  evo::EsConfig cfg;
+  cfg.lambda = 9;
+  cfg.mutation_rate = 1;
+  cfg.generations = 20;
+  cfg.seed = 302;
+  EvolvablePlatform single(test::small_platform_config(1, 64));
+  const IntrinsicResult r1 =
+      evolve_on_platform(single, {0}, w.noisy, w.clean, cfg);
+  EvolvablePlatform triple(test::small_platform_config(3, 64));
+  const IntrinsicResult r3 =
+      evolve_on_platform(triple, {0, 1, 2}, w.noisy, w.clean, cfg);
+  // Identical candidate streams: same number of evaluations; the triple
+  // run wrote the two extra initial array fills.
+  const sim::SimTime frame = single.frame_time(64, 64);
+  const sim::SimTime max_saving =
+      static_cast<sim::SimTime>(cfg.generations) * 8 * frame;
+  EXPECT_LT(r3.duration, r1.duration);  // it does save at this frame size
+  const sim::SimTime extra_writes =
+      static_cast<sim::SimTime>(r3.pe_writes - r1.pe_writes) *
+      reconfig::kPeReconfigTime;
+  EXPECT_LE(r1.duration - r3.duration + extra_writes, max_saving + frame);
+}
+
+TEST(TimingModel, ReconfigurationDiffCostIsPerChangedCell) {
+  EvolvablePlatform plat(test::small_platform_config(1));
+  Rng rng(303);
+  const evo::Genotype a = evo::Genotype::random({4, 4}, rng);
+  plat.configure_array(0, a, 0);
+  const sim::SimTime t0 = plat.now();
+  // Change exactly three function genes.
+  evo::Genotype b = a;
+  for (std::size_t cell : {std::size_t{1}, std::size_t{6}, std::size_t{11}}) {
+    b.set_function_gene(cell, (b.function_gene(cell) + 1) % 16);
+  }
+  const sim::Interval span = plat.configure_array(0, b, t0);
+  EXPECT_EQ(span.duration(), 3 * reconfig::kPeReconfigTime);
+}
+
+TEST(TimingModel, ScrubChargesPerSlot) {
+  EvolvablePlatform plat(test::small_platform_config(1));
+  plat.configure_array(0, test::identity_genotype(), 0);
+  const sim::SimTime t0 = plat.now();
+  const sim::Interval span = plat.scrub_array(0, t0);
+  // 16 slots, each a full engine pass.
+  EXPECT_EQ(span.end - span.start, 16 * reconfig::kPeReconfigTime);
+}
+
+TEST(TimingModel, EvolutionTimeScalesWithImageArea) {
+  // Fig. 12 vs Fig. 13: 4x the pixels -> the evaluation share of the
+  // generation grows 4x while the DPR share stays fixed.
+  evo::EsConfig cfg;
+  cfg.lambda = 9;
+  cfg.mutation_rate = 3;
+  cfg.generations = 8;
+  cfg.seed = 304;
+  sim::SimTime eval_share[2];
+  std::size_t i = 0;
+  for (const std::size_t size : {64, 128}) {
+    EvolvablePlatform plat(test::small_platform_config(1, size));
+    const auto w = test::make_denoise_workload(size, 0.2, 304);
+    const IntrinsicResult r =
+        evolve_on_platform(plat, {0}, w.noisy, w.clean, cfg);
+    // Serial identity: whatever is not DPR is evaluation, exactly.
+    eval_share[i] =
+        r.duration -
+        static_cast<sim::SimTime>(r.pe_writes) * reconfig::kPeReconfigTime;
+    EXPECT_EQ(eval_share[i],
+              static_cast<sim::SimTime>(9 * 8 + 1) * plat.frame_time(size,
+                                                                     size));
+    ++i;
+  }
+  // The evaluation share quadruples with 4x pixels (up to the few fixed
+  // pipeline-latency cycles per frame).
+  const double eval_ratio = static_cast<double>(eval_share[1]) /
+                            static_cast<double>(eval_share[0]);
+  EXPECT_NEAR(eval_ratio, 4.0, 0.05);
+}
+
+}  // namespace
+}  // namespace ehw::platform

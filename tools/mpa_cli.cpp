@@ -1,0 +1,221 @@
+// mpa — the command-line front end to the MPA-EHW library.
+//
+// Subcommands:
+//   info      [--stages N]                       resource model + floorplan
+//   evolve    --train in.pgm --ref ref.pgm       evolve a filter on the
+//             [--arrays N] [--generations N]     platform and append it to
+//             [--two-level] [--seed N]           a genotype library file
+//             --lib filters.txt --name NAME
+//   filter    --lib filters.txt --name NAME      apply a saved filter
+//             --in x.pgm --out y.pgm
+//   schematic --lib filters.txt --name NAME      ASCII circuit + liveness
+//   campaign  --lib filters.txt --name NAME      systematic PE fault
+//             --train in.pgm --ref ref.pgm       campaign + criticality map
+//   demo      [--size N] [--noise D]             end-to-end synthetic demo
+//
+// Every run is deterministic for a given --seed.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include <fstream>
+
+#include "ehw/analysis/campaign.hpp"
+#include "ehw/analysis/report.hpp"
+#include "ehw/common/cli.hpp"
+#include "ehw/common/table.hpp"
+#include "ehw/evo/serialize.hpp"
+#include "ehw/img/metrics.hpp"
+#include "ehw/img/noise.hpp"
+#include "ehw/img/pgm_io.hpp"
+#include "ehw/img/synthetic.hpp"
+#include "ehw/pe/liveness.hpp"
+#include "ehw/platform/evolution_driver.hpp"
+#include "ehw/resources/floorplan.hpp"
+#include "ehw/resources/model.hpp"
+
+namespace {
+
+using namespace ehw;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: mpa <info|evolve|filter|schematic|campaign|demo> "
+               "[options]\n"
+               "run 'mpa <cmd>' with missing options to see what it needs\n");
+  return 2;
+}
+
+[[noreturn]] void fail(const std::string& message) {
+  std::fprintf(stderr, "mpa: %s\n", message.c_str());
+  std::exit(1);
+}
+
+std::string require(const Cli& cli, const std::string& key) {
+  const std::string v = cli.get(key, "");
+  if (v.empty()) fail("missing required option --" + key);
+  return v;
+}
+
+int cmd_info(const Cli& cli) {
+  const auto stages = static_cast<std::size_t>(cli.get_int("stages", 3));
+  resources::render_floorplan(std::cout, stages);
+  const resources::UtilizationReport report = resources::utilization(stages);
+  Table table({"module", "instances", "slices (total)"});
+  for (const auto& m : report.modules) {
+    table.add_row({m.module, Table::integer(m.instances),
+                   Table::integer(m.total().slices)});
+  }
+  table.add_row({"TOTAL", "", Table::integer(report.total.slices)});
+  table.print(std::cout);
+  std::printf("device occupancy: %.1f%% of a Virtex-5 LX110T\n",
+              report.device_slice_percent);
+  return 0;
+}
+
+platform::PlatformConfig make_platform_config(const Cli& cli,
+                                              std::size_t line_width,
+                                              ThreadPool* pool) {
+  platform::PlatformConfig pc;
+  pc.num_arrays = static_cast<std::size_t>(cli.get_int("arrays", 3));
+  pc.line_width = line_width;
+  pc.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  pc.pool = pool;
+  return pc;
+}
+
+int cmd_evolve(const Cli& cli) {
+  const img::Image train = img::read_pgm(require(cli, "train"));
+  const img::Image ref = img::read_pgm(require(cli, "ref"));
+  if (!train.same_shape(ref)) fail("train/ref images differ in shape");
+  const std::string lib_path = require(cli, "lib");
+  const std::string name = require(cli, "name");
+
+  ThreadPool pool;
+  platform::EvolvablePlatform plat(
+      make_platform_config(cli, train.width(), &pool));
+  std::vector<std::size_t> lanes(plat.num_arrays());
+  for (std::size_t a = 0; a < lanes.size(); ++a) lanes[a] = a;
+
+  evo::EsConfig es;
+  es.generations =
+      static_cast<Generation>(cli.get_int("generations", 2000));
+  es.mutation_rate = static_cast<std::size_t>(cli.get_int("rate", 3));
+  es.two_level = cli.has("two-level");
+  es.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const platform::IntrinsicResult r =
+      platform::evolve_on_platform(plat, lanes, train, ref, es);
+
+  std::printf("evolved %llu generations, fitness %llu, %.2f s simulated, "
+              "%llu DPR writes\n",
+              static_cast<unsigned long long>(r.es.generations_run),
+              static_cast<unsigned long long>(r.es.best_fitness),
+              sim::to_seconds(r.duration),
+              static_cast<unsigned long long>(r.pe_writes));
+
+  evo::GenotypeLibrary lib;
+  std::ifstream existing(lib_path);
+  if (existing) lib = evo::GenotypeLibrary::load(existing);
+  lib.put(name, r.es.best);
+  lib.save_file(lib_path);
+  std::printf("saved '%s' to %s (%zu entries)\n", name.c_str(),
+              lib_path.c_str(), lib.size());
+  return 0;
+}
+
+int cmd_filter(const Cli& cli) {
+  const evo::GenotypeLibrary lib =
+      evo::GenotypeLibrary::load_file(require(cli, "lib"));
+  const std::string name = require(cli, "name");
+  if (!lib.contains(name)) fail("library has no entry '" + name + "'");
+  const img::Image in = img::read_pgm(require(cli, "in"));
+  const std::string out_path = require(cli, "out");
+
+  ThreadPool pool;
+  platform::EvolvablePlatform plat(
+      make_platform_config(cli, in.width(), &pool));
+  plat.configure_array(0, lib.get(name), 0);
+  const img::Image out = plat.process_independent(0, in);
+  img::write_pgm(out, out_path);
+  std::printf("filtered %zux%zu image with '%s' -> %s\n", in.width(),
+              in.height(), name.c_str(), out_path.c_str());
+  return 0;
+}
+
+int cmd_schematic(const Cli& cli) {
+  const evo::GenotypeLibrary lib =
+      evo::GenotypeLibrary::load_file(require(cli, "lib"));
+  const std::string name = require(cli, "name");
+  if (!lib.contains(name)) fail("library has no entry '" + name + "'");
+  const evo::Genotype& g = lib.get(name);
+  std::printf("%s\n%s", g.to_string().c_str(),
+              pe::render_schematic(g.to_array()).c_str());
+  return 0;
+}
+
+int cmd_campaign(const Cli& cli) {
+  const evo::GenotypeLibrary lib =
+      evo::GenotypeLibrary::load_file(require(cli, "lib"));
+  const std::string name = require(cli, "name");
+  if (!lib.contains(name)) fail("library has no entry '" + name + "'");
+  const img::Image train = img::read_pgm(require(cli, "train"));
+  const img::Image ref = img::read_pgm(require(cli, "ref"));
+
+  ThreadPool pool;
+  platform::EvolvablePlatform plat(
+      make_platform_config(cli, train.width(), &pool));
+  plat.configure_array(0, lib.get(name), 0);
+
+  analysis::CampaignConfig ccfg;
+  ccfg.run_recovery = cli.has("recover");
+  ccfg.recovery_es.generations =
+      static_cast<Generation>(cli.get_int("generations", 500));
+  const analysis::CampaignResult result =
+      analysis::run_pe_fault_campaign(plat, 0, train, ref, ccfg);
+  analysis::render_criticality_map(std::cout, result, plat.config().shape);
+  analysis::render_campaign_table(std::cout, result);
+  return 0;
+}
+
+int cmd_demo(const Cli& cli) {
+  const auto size = static_cast<std::size_t>(cli.get_int("size", 64));
+  const double noise = cli.get_double("noise", 0.3);
+  const img::Image clean = img::make_scene(size, size, 7);
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
+  const img::Image noisy = img::add_salt_pepper(clean, noise, rng);
+  img::write_pgm(clean, "demo_ref.pgm");
+  img::write_pgm(noisy, "demo_train.pgm");
+  std::printf(
+      "wrote demo_train.pgm / demo_ref.pgm (%zux%zu, %.0f%% salt&pepper)\n"
+      "try:\n"
+      "  mpa evolve --train demo_train.pgm --ref demo_ref.pgm "
+      "--lib demo_lib.txt --name denoise --generations 2000\n"
+      "  mpa filter --lib demo_lib.txt --name denoise --in demo_train.pgm "
+      "--out demo_out.pgm\n"
+      "  mpa schematic --lib demo_lib.txt --name denoise\n"
+      "  mpa campaign --lib demo_lib.txt --name denoise --train "
+      "demo_train.pgm --ref demo_ref.pgm --recover\n",
+      size, size, noise * 100);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const Cli cli(argc - 1, argv + 1);
+  try {
+    if (cmd == "info") return cmd_info(cli);
+    if (cmd == "evolve") return cmd_evolve(cli);
+    if (cmd == "filter") return cmd_filter(cli);
+    if (cmd == "schematic") return cmd_schematic(cli);
+    if (cmd == "campaign") return cmd_campaign(cli);
+    if (cmd == "demo") return cmd_demo(cli);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mpa %s: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
+  return usage();
+}
