@@ -36,7 +36,7 @@ inline std::array<Fitness, kStages> stage_fitness(
     platform::EvolvablePlatform& plat, const img::Image& noisy,
     const img::Image& clean) {
   std::vector<img::Image> stages;
-  plat.process_cascade(noisy, &stages);
+  plat.process_cascade_into(noisy, stages);
   std::array<Fitness, kStages> out{};
   for (std::size_t s = 0; s < kStages; ++s) {
     out[s] = img::aggregated_mae(stages[s], clean);
@@ -72,7 +72,7 @@ inline CascadeOutcome run_cascade_experiment(std::size_t size,
     }
 
     // Schemes 1/2: collaborative cascaded evolution.
-    for (const auto [scheme, schedule] :
+    for (const auto& [scheme, schedule] :
          {std::pair{std::size_t{1}, platform::CascadeSchedule::kSequential},
           std::pair{std::size_t{2},
                     platform::CascadeSchedule::kInterleaved}}) {

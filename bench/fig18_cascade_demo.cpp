@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
       platform::evolve_cascade(plat, {0, 1, 2}, w.noisy, w.clean, cfg);
 
   std::vector<img::Image> stages;
-  plat.process_cascade(w.noisy, &stages);
+  plat.process_cascade_into(w.noisy, stages);
 
   const img::Image median1 = img::median3x3(w.noisy);
   const img::Image median3 =

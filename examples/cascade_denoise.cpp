@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(
                   img::aggregated_mae(noisy, clean)));
   std::vector<img::Image> stages;
-  platform.process_cascade(noisy, &stages);
+  platform.process_cascade_into(noisy, stages);
   for (std::size_t s = 0; s < stages.size(); ++s) {
     std::printf("after stage %zu:  MAE=%llu\n", s + 1,
                 static_cast<unsigned long long>(

@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
 
   // Mission pass: the whole pipeline in one streaming run.
   std::vector<img::Image> stages;
-  platform.process_cascade(noisy, &stages);
+  platform.process_cascade_into(noisy, stages);
   std::printf("\npipeline output vs edge target: MAE=%llu (identity "
               "baseline %llu)\n",
               static_cast<unsigned long long>(

@@ -7,6 +7,21 @@
 
 namespace ehw::analysis {
 
+namespace {
+
+// Built with appends rather than a chained operator+ expression: GCC 12
+// flags the chained form with a spurious -Wrestrict at -O3 (PR105329).
+std::string cell_label(std::size_t row, std::size_t col) {
+  std::string label = "(";
+  label += std::to_string(row);
+  label += ",";
+  label += std::to_string(col);
+  label += ")";
+  return label;
+}
+
+}  // namespace
+
 void render_criticality_map(std::ostream& os, const CampaignResult& result,
                             const fpga::ArrayShape& shape) {
   EHW_REQUIRE(result.cells.size() == shape.cell_count(),
@@ -51,8 +66,7 @@ void render_campaign_table(std::ostream& os, const CampaignResult& result) {
     } else {
       cls = "critical";
     }
-    table.add_row({"(" + std::to_string(cell.row) + "," +
-                       std::to_string(cell.col) + ")",
+    table.add_row({cell_label(cell.row, cell.col),
                    Table::integer(cell.healthy_fitness),
                    Table::integer(cell.faulty_fitness),
                    cell.recovered_fitness == kInvalidFitness
@@ -72,8 +86,7 @@ void render_campaign_table(std::ostream& os, const CampaignResult& result) {
 void render_seu_table(std::ostream& os, const SeuSweepResult& result) {
   Table table({"slot", "flips", "corrupting", "AVF", "scrub-recovered"});
   for (const auto& slot : result.slots) {
-    table.add_row({"(" + std::to_string(slot.row) + "," +
-                       std::to_string(slot.col) + ")",
+    table.add_row({cell_label(slot.row, slot.col),
                    Table::integer(slot.flips),
                    Table::integer(slot.corrupting),
                    Table::num(slot.avf(), 3),

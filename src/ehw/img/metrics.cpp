@@ -28,7 +28,8 @@ double psnr(const Image& a, const Image& b) {
   double mse = 0.0;
   const std::size_t n = a.pixel_count();
   for (std::size_t i = 0; i < n; ++i) {
-    const double d = double{a.data()[i]} - double{b.data()[i]};
+    const double d =
+        static_cast<double>(a.data()[i]) - static_cast<double>(b.data()[i]);
     mse += d * d;
   }
   mse /= static_cast<double>(n);

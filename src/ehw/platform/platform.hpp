@@ -132,6 +132,13 @@ class EvolvablePlatform {
       const img::Image& input,
       std::vector<img::Image>* stage_outputs = nullptr) const;
 
+  /// Cascade variant for callers that only need the per-stage outputs
+  /// (the chain output is always stage_outputs.back()).
+  void process_cascade_into(const img::Image& input,
+                            std::vector<img::Image>& stage_outputs) const {
+    static_cast<void>(process_cascade(input, &stage_outputs));
+  }
+
   /// Total cascade latency in cycles (array latencies + FIFO fills) for
   /// the latency-compensation report.
   [[nodiscard]] std::uint64_t cascade_latency_cycles() const;

@@ -147,7 +147,7 @@ TEST(AdaptiveDepth, GrowsForAmbitiousTargets) {
   EXPECT_FALSE(plat.acb(2).bypass());
   // Reported chain fitness matches the deployed platform.
   std::vector<img::Image> stages;
-  plat.process_cascade(w.noisy, &stages);
+  plat.process_cascade_into(w.noisy, stages);
   EXPECT_EQ(r.fitness_per_depth[2],
             img::aggregated_mae(stages[2], w.clean));
 }

@@ -37,9 +37,10 @@ TEST(Geometry, SlotIndexingRoundTrips) {
 
 TEST(Geometry, RejectsOutOfRange) {
   const FabricGeometry g = make_geometry();
-  EXPECT_THROW(g.slot_index({3, 0, 0}), std::logic_error);
-  EXPECT_THROW(g.slot_index({0, 4, 0}), std::logic_error);
-  EXPECT_THROW(g.slot_of_word(g.total_words()), std::logic_error);
+  EXPECT_THROW(static_cast<void>(g.slot_index({3, 0, 0})), std::logic_error);
+  EXPECT_THROW(static_cast<void>(g.slot_index({0, 4, 0})), std::logic_error);
+  EXPECT_THROW(static_cast<void>(g.slot_of_word(g.total_words())),
+               std::logic_error);
 }
 
 TEST(Geometry, ClbFootprintMatchesPaper) {
@@ -100,7 +101,7 @@ TEST(ConfigMemory, StuckAtZeroForcesZero) {
 
 TEST(ConfigMemory, BoundsChecked) {
   ConfigMemory mem(4);
-  EXPECT_THROW(mem.read(4), std::logic_error);
+  EXPECT_THROW(static_cast<void>(mem.read(4)), std::logic_error);
   EXPECT_THROW(mem.write(9, 0), std::logic_error);
   EXPECT_THROW(mem.flip_bit(0, 32), std::logic_error);
 }

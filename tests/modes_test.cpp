@@ -35,7 +35,7 @@ TEST(CascadeModes, AllFourCombinationsConverge) {
           << "fitness mode " << int(fit) << " schedule " << int(sched);
       // The reported chain fitness always matches the deployed fabric.
       std::vector<img::Image> stages;
-      plat.process_cascade(w.noisy, &stages);
+      plat.process_cascade_into(w.noisy, stages);
       EXPECT_EQ(r.chain_fitness,
                 img::aggregated_mae(stages.back(), w.clean));
     }

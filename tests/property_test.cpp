@@ -87,7 +87,11 @@ TEST(TimelineFuzz, NoOverlapsMonotoneHorizons) {
   sim::Timeline tl;
   std::vector<sim::ResourceId> resources;
   for (int r = 0; r < 5; ++r) {
-    resources.push_back(tl.add_resource("r" + std::to_string(r)));
+    // Appends instead of `"r" + std::to_string(r)`: GCC 12 flags the
+    // chained operator+ form with a spurious -Wrestrict at -O3 (PR105329).
+    std::string name = "r";
+    name += std::to_string(r);
+    resources.push_back(tl.add_resource(name));
   }
   std::map<sim::ResourceId, sim::SimTime> last_end;
   Rng rng(77);
@@ -100,7 +104,9 @@ TEST(TimelineFuzz, NoOverlapsMonotoneHorizons) {
       const sim::Interval iv = tl.reserve_pair(r, r2, earliest, duration);
       ASSERT_GE(iv.start, earliest);
       ASSERT_GE(iv.start, last_end[r]);
-      if (r2 != r) ASSERT_GE(iv.start, last_end[r2]);
+      if (r2 != r) {
+        ASSERT_GE(iv.start, last_end[r2]);
+      }
       last_end[r] = iv.end;
       last_end[r2] = iv.end;
     } else {
@@ -156,8 +162,12 @@ TEST(PixelVoterProperty, ExhaustiveLattice) {
         const Pixel median =
             std::max(std::min(a, b), std::min(std::max(a, b), c));
         EXPECT_EQ(out, median);
-        if (a == b || a == c) EXPECT_EQ(out, a);
-        if (b == c) EXPECT_EQ(out, b);
+        if (a == b || a == c) {
+          EXPECT_EQ(out, a);
+        }
+        if (b == c) {
+          EXPECT_EQ(out, b);
+        }
       }
     }
   }

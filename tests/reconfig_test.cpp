@@ -70,7 +70,7 @@ TEST(PbsLibrary, CorruptedPayloadDetected) {
 
 TEST(PbsLibrary, InvalidOpcodeRejected) {
   PbsLibrary lib(40);
-  EXPECT_THROW(lib.function(16), std::logic_error);
+  EXPECT_THROW(static_cast<void>(lib.function(16)), std::logic_error);
 }
 
 TEST_F(EngineFixture, WritePlacesIntactFunction) {

@@ -39,11 +39,15 @@ namespace {
 
 using namespace ehw;
 
-int usage() {
-  std::fprintf(stderr,
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
                "usage: mpa <info|evolve|filter|schematic|campaign|demo> "
                "[options]\n"
                "run 'mpa <cmd>' with missing options to see what it needs\n");
+}
+
+int usage() {
+  print_usage(stderr);
   return 2;
 }
 
@@ -205,6 +209,10 @@ int cmd_demo(const Cli& cli) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+    print_usage(stdout);
+    return 0;
+  }
   const Cli cli(argc - 1, argv + 1);
   try {
     if (cmd == "info") return cmd_info(cli);
