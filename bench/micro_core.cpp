@@ -1,9 +1,15 @@
 // google-benchmark microbenches for the library's hot paths: window
-// evaluation, whole-frame filtering, hardware-model fitness, mutation,
-// offspring generation, configuration decode and DPR diffing.
+// evaluation, whole-frame filtering (row kernel vs scalar), hardware-model
+// fitness, population batch evaluation, mutation, offspring generation,
+// configuration decode and DPR diffing. Emitted as BENCH_core.json by
+// bench/run_bench so the perf trajectory is tracked across PRs.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <vector>
+
+#include "ehw/evo/batch.hpp"
 #include "ehw/evo/fitness.hpp"
 #include "ehw/evo/mutation.hpp"
 #include "ehw/img/filters.hpp"
@@ -23,6 +29,16 @@ evo::Genotype bench_genotype(std::uint64_t seed = 7) {
   return evo::Genotype::random({4, 4}, rng);
 }
 
+std::vector<evo::Genotype> bench_population(std::size_t count) {
+  Rng rng(1234);
+  std::vector<evo::Genotype> population;
+  population.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    population.push_back(evo::Genotype::random({4, 4}, rng));
+  }
+  return population;
+}
+
 void BM_WindowEvaluate(benchmark::State& state) {
   const pe::CompiledArray compiled(bench_genotype().to_array());
   const Pixel window[9] = {10, 20, 30, 40, 50, 60, 70, 80, 90};
@@ -32,6 +48,17 @@ void BM_WindowEvaluate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WindowEvaluate);
+
+void BM_MeshWindowEvaluate(benchmark::State& state) {
+  // Reference mesh model (used by equivalence sweeps): must not allocate.
+  const pe::SystolicArray mesh = bench_genotype().to_array();
+  const Pixel window[9] = {10, 20, 30, 40, 50, 60, 70, 80, 90};
+  std::size_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mesh.evaluate(window, x++, 0));
+  }
+}
+BENCHMARK(BM_MeshWindowEvaluate);
 
 void BM_FilterFrame(benchmark::State& state) {
   const auto size = static_cast<std::size_t>(state.range(0));
@@ -58,7 +85,68 @@ void BM_FitnessAgainst(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(size * size));
 }
-BENCHMARK(BM_FitnessAgainst)->Arg(64)->Arg(128);
+BENCHMARK(BM_FitnessAgainst)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_FitnessScalarPath(benchmark::State& state) {
+  // The pre-row-kernel per-window path (gather + step-interpret every
+  // pixel), kept as the baseline the row kernel is compared against.
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const pe::CompiledArray compiled(bench_genotype().to_array());
+  const img::Image src = img::make_scene(size, size, 3);
+  const img::Image ref = img::make_scene(size, size, 4);
+  for (auto _ : state) {
+    Pixel win[pe::kWindowTaps];
+    Fitness acc = 0;
+    for (std::size_t y = 0; y < size; ++y) {
+      for (std::size_t x = 0; x < size; ++x) {
+        img::gather_window3x3(src, x, y, win);
+        const int out = compiled.evaluate(win, x, y);
+        acc += static_cast<Fitness>(
+            std::abs(out - static_cast<int>(ref.at(x, y))));
+      }
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size * size));
+}
+BENCHMARK(BM_FitnessScalarPath)->Arg(64)->Arg(256);
+
+void BM_BatchEvaluate(benchmark::State& state) {
+  // Population-level parallelism: one whole candidate per worker (the
+  // software analogue of one candidate per physical array).
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const std::vector<evo::Genotype> population = bench_population(count);
+  const img::Image src = img::make_scene(128, 128, 3);
+  const img::Image ref = img::make_scene(128, 128, 4);
+  const evo::BatchEvaluator evaluator(src, ref, &ThreadPool::global());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.evaluate_genotypes(population));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count * 128 * 128));
+}
+BENCHMARK(BM_BatchEvaluate)->Arg(9)->Arg(16);
+
+void BM_InnerRowParallel(benchmark::State& state) {
+  // The pre-batch approach: candidates sequential, rows parallel inside
+  // each candidate — one fork/join barrier per candidate.
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const std::vector<evo::Genotype> population = bench_population(count);
+  const img::Image src = img::make_scene(128, 128, 3);
+  const img::Image ref = img::make_scene(128, 128, 4);
+  for (auto _ : state) {
+    Fitness acc = 0;
+    for (const evo::Genotype& g : population) {
+      const pe::CompiledArray compiled(g.to_array());
+      acc += compiled.fitness_against(src, ref, &ThreadPool::global());
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count * 128 * 128));
+}
+BENCHMARK(BM_InnerRowParallel)->Arg(9)->Arg(16);
 
 void BM_AggregatedMae(benchmark::State& state) {
   const img::Image a = img::make_scene(128, 128, 5);

@@ -25,7 +25,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -33,31 +33,17 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    if (task.bulk != nullptr) {
+      try {
+        task.bulk(task.ctx, task.lo, task.hi);
+      } catch (...) {
+        task.state->record_error();
+      }
+      task.state->done.count_down();
+    } else {
+      task.generic();
+    }
   }
-}
-
-void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
-                              const std::function<void(std::size_t)>& fn) {
-  if (begin >= end) return;
-  const std::size_t n = end - begin;
-  const std::size_t chunks = std::min(n, std::max<std::size_t>(1, size()));
-  if (chunks <= 1 || n < 2) {
-    for (std::size_t i = begin; i < end; ++i) fn(i);
-    return;
-  }
-  std::vector<std::future<void>> futs;
-  futs.reserve(chunks);
-  const std::size_t per = (n + chunks - 1) / chunks;
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t lo = begin + c * per;
-    const std::size_t hi = std::min(end, lo + per);
-    if (lo >= hi) break;
-    futs.push_back(submit([lo, hi, &fn] {
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
-    }));
-  }
-  for (auto& f : futs) f.get();
 }
 
 ThreadPool& ThreadPool::global() {

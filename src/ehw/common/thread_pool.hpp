@@ -1,5 +1,5 @@
 #pragma once
-// A small fixed-size thread pool with a blocking parallel_for.
+// A small fixed-size thread pool with blocking chunked fan-out.
 //
 // The simulator separates *simulated* time (ehw::sim::SimClock, which
 // models the FPGA) from *host* time. Host threads are only an accelerator
@@ -7,14 +7,24 @@
 // simulated arrays are independent pixel pipelines, so we fan their
 // evaluation out across cores. Determinism is preserved because each unit
 // of work owns its own RNG stream and writes to disjoint outputs.
+//
+// The hot entry point is parallel_chunks: the range is split into one
+// contiguous chunk per worker, chunks are enqueued as plain
+// {function-pointer, context} records (no std::function or packaged_task
+// allocation per task), the caller runs the first chunk inline, and a
+// std::latch collects completion. submit() remains for the rare generic
+// one-off task.
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <future>
+#include <latch>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace ehw {
@@ -30,7 +40,7 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
-  /// Enqueues a task and returns its future.
+  /// Enqueues a generic task and returns its future.
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -38,28 +48,103 @@ class ThreadPool {
     std::future<R> fut = task->get_future();
     {
       std::lock_guard lock(mutex_);
-      queue_.emplace([task] { (*task)(); });
+      queue_.push(Task{nullptr, nullptr, 0, 0, nullptr,
+                       [task] { (*task)(); }});
     }
     cv_.notify_one();
     return fut;
+  }
+
+  /// Runs body(lo, hi) over disjoint contiguous chunks covering
+  /// [begin, end), one chunk per worker, blocking until all complete.
+  /// The calling thread executes the first chunk itself. `body` must be
+  /// safe to invoke concurrently on disjoint ranges. The first exception
+  /// thrown by any chunk is rethrown here once every chunk has finished.
+  template <typename F>
+  void parallel_chunks(std::size_t begin, std::size_t end, F&& body) {
+    if (begin >= end) return;
+    const std::size_t n = end - begin;
+    const std::size_t chunks =
+        std::min(n, std::max<std::size_t>(1, size()));
+    if (chunks <= 1) {
+      body(begin, end);
+      return;
+    }
+    using Body = std::remove_reference_t<F>;
+    Body& ref = body;
+    const std::size_t per = (n + chunks - 1) / chunks;
+    const std::size_t used = (n + per - 1) / per;  // non-empty chunks
+    FanoutState state(static_cast<std::ptrdiff_t>(used - 1));
+    {
+      std::lock_guard lock(mutex_);
+      for (std::size_t c = 1; c < used; ++c) {
+        const std::size_t lo = begin + c * per;
+        const std::size_t hi = std::min(end, lo + per);
+        queue_.push(Task{
+            [](void* ctx, std::size_t l, std::size_t h) {
+              (*static_cast<Body*>(ctx))(l, h);
+            },
+            const_cast<void*>(static_cast<const void*>(&ref)), lo, hi,
+            &state, nullptr});
+      }
+    }
+    cv_.notify_all();
+    try {
+      body(begin, std::min(end, begin + per));
+    } catch (...) {
+      state.record_error();
+    }
+    state.done.wait();
+    if (state.error) std::rethrow_exception(state.error);
   }
 
   /// Runs fn(i) for i in [begin, end), blocking until all complete.
   /// Work is split into contiguous chunks (one per worker) so that image
   /// rows stay cache-friendly. Executes inline when the range is tiny or
   /// the pool has a single worker.
-  void parallel_for(std::size_t begin, std::size_t end,
-                    const std::function<void(std::size_t)>& fn);
+  template <typename F>
+  void parallel_for(std::size_t begin, std::size_t end, F&& fn) {
+    parallel_chunks(begin, end, [&fn](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    });
+  }
 
   /// Process-wide pool, sized to the machine. Benches and drivers share it
   /// so we never oversubscribe the host.
   static ThreadPool& global();
 
  private:
+  /// Caller-stack completion record for one parallel_chunks fan-out:
+  /// counts worker chunks down and carries the first exception any chunk
+  /// threw back to the caller.
+  struct FanoutState {
+    explicit FanoutState(std::ptrdiff_t worker_chunks)
+        : done(worker_chunks) {}
+    void record_error() noexcept {
+      std::lock_guard lock(mutex);
+      if (!error) error = std::current_exception();
+    }
+    std::latch done;
+    std::mutex mutex;
+    std::exception_ptr error;
+  };
+
+  /// One queued unit of work: either a chunk of a parallel_chunks fan-out
+  /// (bulk != nullptr; a plain function pointer plus caller-stack context,
+  /// completion signalled through `state`) or a generic submit() closure.
+  struct Task {
+    void (*bulk)(void*, std::size_t, std::size_t);
+    void* ctx;
+    std::size_t lo;
+    std::size_t hi;
+    FanoutState* state;
+    std::function<void()> generic;
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<Task> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;

@@ -1,0 +1,74 @@
+#include "ehw/evo/batch.hpp"
+
+namespace ehw::evo {
+namespace {
+
+/// Shared fan-out: fitness_of(i) runs single-threaded inside a worker
+/// chunk (for genotype waves it also compiles the phenotype there, so
+/// construction overlaps across candidates too).
+template <typename FitnessOf>
+std::vector<Fitness> run_wave(std::size_t count, ThreadPool* pool,
+                              const FitnessOf& fitness_of) {
+  std::vector<Fitness> fits(count, kInvalidFitness);
+  const auto chunk = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) fits[i] = fitness_of(i);
+  };
+  if (pool != nullptr && count > 1) {
+    pool->parallel_chunks(0, count, chunk);
+  } else {
+    chunk(0, count);
+  }
+  return fits;
+}
+
+/// fitness_of(i) for a wave of genotypes produced by genotype_at(i).
+template <typename GenotypeAt>
+std::vector<Fitness> run_genotype_wave(std::size_t count,
+                                       const img::Image& input,
+                                       const img::Image& reference,
+                                       ThreadPool* pool,
+                                       const GenotypeAt& genotype_at) {
+  return run_wave(count, pool, [&](std::size_t i) {
+    const pe::CompiledArray compiled(genotype_at(i).to_array());
+    return compiled.fitness_against(input, reference, nullptr);
+  });
+}
+
+}  // namespace
+
+std::vector<Fitness> batch_fitness(
+    const std::vector<pe::CompiledArray>& compiled, const img::Image& input,
+    const img::Image& reference, ThreadPool* pool) {
+  return run_wave(compiled.size(), pool, [&](std::size_t i) {
+    return compiled[i].fitness_against(input, reference, nullptr);
+  });
+}
+
+BatchEvaluator::BatchEvaluator(const img::Image& train,
+                               const img::Image& reference, ThreadPool* pool)
+    : train_(&train), reference_(&reference), pool_(pool) {
+  EHW_REQUIRE(train.same_shape(reference), "train/reference shape mismatch");
+}
+
+Fitness BatchEvaluator::evaluate_one(const Genotype& genotype) const {
+  const pe::CompiledArray compiled(genotype.to_array());
+  return compiled.fitness_against(*train_, *reference_, pool_);
+}
+
+std::vector<Fitness> BatchEvaluator::evaluate(
+    const std::vector<Candidate>& offspring) const {
+  return run_genotype_wave(offspring.size(), *train_, *reference_, pool_,
+                           [&](std::size_t i) -> const Genotype& {
+                             return offspring[i].genotype;
+                           });
+}
+
+std::vector<Fitness> BatchEvaluator::evaluate_genotypes(
+    const std::vector<Genotype>& population) const {
+  return run_genotype_wave(population.size(), *train_, *reference_, pool_,
+                           [&](std::size_t i) -> const Genotype& {
+                             return population[i];
+                           });
+}
+
+}  // namespace ehw::evo

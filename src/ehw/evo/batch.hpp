@@ -1,0 +1,56 @@
+#pragma once
+// Population-level parallel evaluation: the host analogue of the paper's
+// multiple processing arrays. Instead of forking/joining worker threads on
+// every image row *inside* each candidate (one barrier per candidate,
+// lambda barriers per generation), a whole wave of candidates is fanned
+// out with one candidate per worker — like one candidate per physical
+// array — and each candidate streams its frame single-threaded through
+// the row-vectorized kernel. One fan-out and one join per generation.
+
+#include <vector>
+
+#include "ehw/common/thread_pool.hpp"
+#include "ehw/common/types.hpp"
+#include "ehw/evo/genotype.hpp"
+#include "ehw/evo/offspring.hpp"
+#include "ehw/img/image.hpp"
+#include "ehw/pe/compiled.hpp"
+
+namespace ehw::evo {
+
+/// Fitness of every candidate in `compiled` against streaming `input`
+/// through it and comparing to `reference`, dispatched whole-candidates-
+/// per-worker over `pool` (sequential when null). Results are in input
+/// order and bit-identical to evaluating each candidate alone.
+[[nodiscard]] std::vector<Fitness> batch_fitness(
+    const std::vector<pe::CompiledArray>& compiled, const img::Image& input,
+    const img::Image& reference, ThreadPool* pool = nullptr);
+
+/// Extrinsic evaluation engine for a fixed train/reference pair. Holds no
+/// image copies — both images must outlive the evaluator.
+class BatchEvaluator {
+ public:
+  BatchEvaluator(const img::Image& train, const img::Image& reference,
+                 ThreadPool* pool = nullptr);
+
+  /// Single candidate (e.g. the initial parent): row-parallel inside the
+  /// candidate, since there is no population to spread.
+  [[nodiscard]] Fitness evaluate_one(const Genotype& genotype) const;
+
+  /// One (1+lambda) offspring wave, candidate-per-worker.
+  [[nodiscard]] std::vector<Fitness> evaluate(
+      const std::vector<Candidate>& offspring) const;
+
+  /// An arbitrary population of genotypes, candidate-per-worker.
+  [[nodiscard]] std::vector<Fitness> evaluate_genotypes(
+      const std::vector<Genotype>& population) const;
+
+  [[nodiscard]] ThreadPool* pool() const noexcept { return pool_; }
+
+ private:
+  const img::Image* train_;
+  const img::Image* reference_;
+  ThreadPool* pool_;
+};
+
+}  // namespace ehw::evo

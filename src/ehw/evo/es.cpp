@@ -1,6 +1,6 @@
 #include "ehw/evo/es.hpp"
 
-#include "ehw/evo/fitness.hpp"
+#include "ehw/evo/batch.hpp"
 #include "ehw/evo/offspring.hpp"
 
 namespace ehw::evo {
@@ -10,10 +10,11 @@ EsResult evolve_extrinsic_from(const EsConfig& config, Genotype parent,
                                const img::Image& reference, ThreadPool* pool) {
   EHW_REQUIRE(train.same_shape(reference), "train/reference shape mismatch");
   Rng rng(config.seed);
+  const BatchEvaluator evaluator(train, reference, pool);
 
   EsResult result;
   result.best = parent;
-  result.best_fitness = evaluate_extrinsic(parent, train, reference, pool);
+  result.best_fitness = evaluator.evaluate_one(parent);
   if (config.record_history) {
     result.history.push_back({0, result.best_fitness});
   }
@@ -27,15 +28,15 @@ EsResult evolve_extrinsic_from(const EsConfig& config, Genotype parent,
                                   config.mutation_rate, rng)
             : classic_offspring(parent, config.lambda, config.lanes,
                                 config.mutation_rate, rng);
-    // Evaluate the wave; lanes are a timing concept, extrinsically we just
-    // evaluate everything (order does not affect the selected survivor).
+    // Evaluate the wave whole-candidates-per-worker; lanes are a timing
+    // concept, extrinsically we just evaluate everything (order does not
+    // affect the selected survivor).
+    const std::vector<Fitness> fits = evaluator.evaluate(offspring);
     std::size_t best_idx = 0;
     Fitness best_fit = kInvalidFitness;
     for (std::size_t i = 0; i < offspring.size(); ++i) {
-      const Fitness f =
-          evaluate_extrinsic(offspring[i].genotype, train, reference, pool);
-      if (f < best_fit) {
-        best_fit = f;
+      if (fits[i] < best_fit) {
+        best_fit = fits[i];
         best_idx = i;
       }
     }

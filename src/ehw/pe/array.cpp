@@ -8,6 +8,7 @@ SystolicArray::SystolicArray(fpga::ArrayShape shape)
       input_sel_(shape.rows + shape.cols, 0) {
   EHW_REQUIRE(shape_.rows > 0 && shape_.cols > 0, "degenerate array shape");
   EHW_REQUIRE(shape_.rows <= 255, "output mux gene is 8-bit");
+  EHW_REQUIRE(shape_.cols <= kMaxMeshCols, "mesh wider than evaluator buffer");
 }
 
 const CellConfig& SystolicArray::cell(std::size_t row, std::size_t col) const {
@@ -41,9 +42,10 @@ Pixel SystolicArray::evaluate(const Pixel window[kWindowTaps], std::size_t x,
                               std::size_t y) const {
   // Outputs of the previous column (W sources) and the running-north
   // values per column. Row-major sweep keeps each dependency ready.
-  // Max practical shape is small, so a stack buffer would work; a vector
-  // keeps the shape fully dynamic.
-  std::vector<Pixel> north(shape_.cols);
+  // The width bound enforced at construction keeps this on the stack —
+  // this reference path runs under equivalence sweeps, so a per-pixel
+  // heap allocation here is pure overhead.
+  Pixel north[kMaxMeshCols];
   for (std::size_t c = 0; c < shape_.cols; ++c) {
     north[c] = window[input_sel_[shape_.rows + c]];
   }

@@ -44,6 +44,11 @@ struct CellConfig {
 /// Number of window taps each input mux can select from (3x3 window).
 inline constexpr std::size_t kWindowTaps = 9;
 
+/// Widest mesh the evaluators support; lets the per-window reference
+/// evaluator keep its column state on the stack. Far above any practical
+/// shape (the paper uses 4x4) and enforced at construction.
+inline constexpr std::size_t kMaxMeshCols = 256;
+
 class SystolicArray {
  public:
   explicit SystolicArray(fpga::ArrayShape shape);

@@ -1,14 +1,117 @@
 #include "ehw/pe/compiled.hpp"
 
+#include <atomic>
 #include <cstdlib>
+#include <cstring>
+#include <numeric>
 
 namespace ehw::pe {
+namespace {
+
+/// Applies one library function across a row span. The per-op dispatch is
+/// hoisted out of the pixel loop, so every case body is a tight byte loop
+/// the compiler auto-vectorizes. Each form reproduces apply_op() exactly.
+void apply_op_row(PeOp op, const Pixel* w, const Pixel* n, Pixel* out,
+                  std::size_t len) noexcept {
+  switch (op) {
+    case PeOp::kConst255:
+      std::memset(out, 255, len);
+      break;
+    case PeOp::kIdentityW:
+      std::memcpy(out, w, len);
+      break;
+    case PeOp::kIdentityN:
+      std::memcpy(out, n, len);
+      break;
+    case PeOp::kInvertW:
+      for (std::size_t i = 0; i < len; ++i) {
+        out[i] = static_cast<Pixel>(255 - w[i]);
+      }
+      break;
+    case PeOp::kMax:
+      for (std::size_t i = 0; i < len; ++i) {
+        out[i] = w[i] > n[i] ? w[i] : n[i];
+      }
+      break;
+    case PeOp::kMin:
+      for (std::size_t i = 0; i < len; ++i) {
+        out[i] = w[i] < n[i] ? w[i] : n[i];
+      }
+      break;
+    case PeOp::kAddSat:
+      for (std::size_t i = 0; i < len; ++i) {
+        const int t = w[i] + n[i];
+        out[i] = static_cast<Pixel>(t > 255 ? 255 : t);
+      }
+      break;
+    case PeOp::kSubSat:
+      for (std::size_t i = 0; i < len; ++i) {
+        out[i] = static_cast<Pixel>(w[i] > n[i] ? w[i] - n[i] : 0);
+      }
+      break;
+    case PeOp::kAverage:
+      for (std::size_t i = 0; i < len; ++i) {
+        out[i] = static_cast<Pixel>((w[i] + n[i] + 1) >> 1);
+      }
+      break;
+    case PeOp::kShiftR1:
+      for (std::size_t i = 0; i < len; ++i) {
+        out[i] = static_cast<Pixel>(w[i] >> 1);
+      }
+      break;
+    case PeOp::kShiftR2:
+      for (std::size_t i = 0; i < len; ++i) {
+        out[i] = static_cast<Pixel>(w[i] >> 2);
+      }
+      break;
+    case PeOp::kAddMod:
+      for (std::size_t i = 0; i < len; ++i) {
+        out[i] = static_cast<Pixel>((w[i] + n[i]) & 0xFF);
+      }
+      break;
+    case PeOp::kAbsDiff:
+      for (std::size_t i = 0; i < len; ++i) {
+        out[i] = static_cast<Pixel>(w[i] > n[i] ? w[i] - n[i] : n[i] - w[i]);
+      }
+      break;
+    case PeOp::kThreshold:
+      for (std::size_t i = 0; i < len; ++i) {
+        out[i] = w[i] > n[i] ? Pixel{255} : Pixel{0};
+      }
+      break;
+    case PeOp::kOr:
+      for (std::size_t i = 0; i < len; ++i) {
+        out[i] = static_cast<Pixel>(w[i] | n[i]);
+      }
+      break;
+    case PeOp::kAnd:
+      for (std::size_t i = 0; i < len; ++i) {
+        out[i] = static_cast<Pixel>(w[i] & n[i]);
+      }
+      break;
+  }
+}
+
+/// Sum of |a[i] - b[i]| over a row span.
+Fitness row_abs_error(const Pixel* a, const Pixel* b,
+                      std::size_t len) noexcept {
+  Fitness acc = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    const int d = static_cast<int>(a[i]) - static_cast<int>(b[i]);
+    acc += static_cast<Fitness>(d < 0 ? -d : d);
+  }
+  return acc;
+}
+
+}  // namespace
 
 CompiledArray::CompiledArray(const SystolicArray& array) {
   const auto& shape = array.shape();
   const std::size_t rows = shape.rows;
   const std::size_t cols = shape.cols;
   buffer_size_ = kWindowTaps + rows * cols;
+  EHW_REQUIRE(buffer_size_ <= kEvalBufferSlots,
+              "mesh too large for the scalar evaluator's value buffer");
 
   const auto cell_slot = [&](std::size_t r, std::size_t c) {
     return static_cast<std::uint16_t>(kWindowTaps + r * cols + c);
@@ -18,30 +121,80 @@ CompiledArray::CompiledArray(const SystolicArray& array) {
   // east (same row) and south (greater row), so nothing from row > out
   // can ever come back up to the output row.
   const std::size_t active_rows = array.output_row() + std::size_t{1};
-  steps_.reserve(active_rows * cols);
+  active_cells_ = active_rows * cols;
+
+  // Compile-time folding state. A slot is either computed by an emitted
+  // step, aliased to an earlier slot (identity cells), or a known constant.
+  // The mesh is walked in dependency order, so inputs resolve fully in one
+  // hop: aliases always point at canonical (non-aliased) slots.
+  std::vector<std::uint16_t> alias(buffer_size_);
+  std::iota(alias.begin(), alias.end(), std::uint16_t{0});
+  std::vector<std::int16_t> cval(buffer_size_, -1);  // -1 = not constant
+
+  steps_.reserve(active_cells_);
   for (std::size_t r = 0; r < active_rows; ++r) {
     for (std::size_t c = 0; c < cols; ++c) {
       const CellConfig& cc = array.cell(r, c);
-      Step step;
-      step.op = static_cast<std::uint8_t>(cc.op);
-      step.defective = cc.defective;
-      step.defect_seed = cc.defect_seed;
-      step.w_index = c == 0 ? array.input_select(r) : cell_slot(r, c - 1);
-      step.n_index = r == 0 ? static_cast<std::uint16_t>(
-                                  array.input_select(rows + c))
-                            : cell_slot(r - 1, c);
-      step.out_index = cell_slot(r, c);
-      steps_.push_back(step);
+      const std::uint16_t w =
+          alias[c == 0 ? array.input_select(r) : cell_slot(r, c - 1)];
+      const std::uint16_t n =
+          alias[r == 0
+                    ? static_cast<std::uint16_t>(array.input_select(rows + c))
+                    : cell_slot(r - 1, c)];
+      const std::uint16_t out = cell_slot(r, c);
+      if (cc.defective) {
+        // Never folded: the output depends on position and input data.
+        steps_.push_back({0, true, w, n, out, cc.defect_seed});
+        continue;
+      }
+      const std::int16_t cw = cval[w];
+      const std::int16_t cn = cval[n];
+      if (cc.op == PeOp::kIdentityW) {
+        alias[out] = w;
+        cval[out] = cw;
+        continue;
+      }
+      if (cc.op == PeOp::kIdentityN) {
+        alias[out] = n;
+        cval[out] = cn;
+        continue;
+      }
+      if (op_is_constant(cc.op) ||
+          (cw >= 0 && (cn >= 0 || op_uses_only_w(cc.op)))) {
+        cval[out] = apply_op(cc.op, static_cast<Pixel>(cw >= 0 ? cw : 0),
+                             static_cast<Pixel>(cn >= 0 ? cn : 0));
+        continue;
+      }
+      steps_.push_back(
+          {static_cast<std::uint8_t>(cc.op), false, w, n, out, 0});
     }
   }
-  output_index_ = cell_slot(array.output_row(), cols - 1);
+
+  const std::uint16_t out_slot = cell_slot(array.output_row(), cols - 1);
+  output_index_ = alias[out_slot];
+  output_const_ = cval[out_slot];
+
+  // Materialize only the folded constants a surviving step still reads
+  // (a constant output is handled via output_const_ directly).
+  std::vector<bool> needed(buffer_size_, false);
+  for (const Step& s : steps_) {
+    if (cval[s.w_index] >= 0) needed[s.w_index] = true;
+    if (cval[s.n_index] >= 0) needed[s.n_index] = true;
+  }
+  for (std::size_t slot = 0; slot < buffer_size_; ++slot) {
+    if (needed[slot]) {
+      consts_.push_back({static_cast<std::uint16_t>(slot),
+                         static_cast<Pixel>(cval[slot])});
+    }
+  }
 }
 
 Pixel CompiledArray::evaluate(const Pixel window[kWindowTaps], std::size_t x,
                               std::size_t y) const noexcept {
   // Value buffer on the stack; 16x16 arrays (265 slots) fit comfortably.
-  Pixel buf[512];
+  Pixel buf[kEvalBufferSlots];
   for (std::size_t i = 0; i < kWindowTaps; ++i) buf[i] = window[i];
+  for (const SlotConst& sc : consts_) buf[sc.slot] = sc.value;
   for (const Step& s : steps_) {
     const Pixel w = buf[s.w_index];
     const Pixel n = buf[s.n_index];
@@ -49,7 +202,101 @@ Pixel CompiledArray::evaluate(const Pixel window[kWindowTaps], std::size_t x,
                            ? defective_output(s.defect_seed, x, y, w, n)
                            : apply_op(static_cast<PeOp>(s.op), w, n);
   }
-  return buf[output_index_];
+  return output_const_ >= 0 ? static_cast<Pixel>(output_const_)
+                            : buf[output_index_];
+}
+
+Fitness CompiledArray::process_rows(const img::Image& src, img::Image* dst,
+                                    const img::Image* reference,
+                                    std::size_t y0, std::size_t y1) const {
+  const std::size_t w = src.width();
+  const std::size_t h = src.height();
+  Fitness total = 0;
+  Pixel win[kWindowTaps];
+  const auto scalar_span = [&](std::size_t y, std::size_t x_lo,
+                               std::size_t x_hi) {
+    for (std::size_t x = x_lo; x < x_hi; ++x) {
+      img::gather_window3x3(src, x, y, win);
+      const Pixel out = evaluate(win, x, y);
+      if (dst != nullptr) dst->set(x, y, out);
+      if (reference != nullptr) {
+        total += static_cast<Fitness>(
+            std::abs(static_cast<int>(out) -
+                     static_cast<int>(reference->at(x, y))));
+      }
+    }
+  };
+
+  if (w < 3) {  // no interior columns: everything is border
+    for (std::size_t y = y0; y < y1; ++y) scalar_span(y, 0, w);
+    return total;
+  }
+
+  // Row workspace. Slot read pointers rp[] cover the whole value buffer:
+  // tap slots [0, 9) point straight into the three source rows around y
+  // (re-aimed every row, like the platform's line FIFOs sliding down the
+  // frame); cell slots point at backing rows in `storage`, written by the
+  // steps. The interior span covers x in [1, w-2].
+  const std::size_t span = w - 2;
+  const std::size_t cell_slots = buffer_size_ - kWindowTaps;
+  std::vector<Pixel> storage(cell_slots * span);
+  std::vector<const Pixel*> rp(buffer_size_, nullptr);
+  for (std::size_t s = 0; s < cell_slots; ++s) {
+    rp[kWindowTaps + s] = storage.data() + s * span;
+  }
+  for (const SlotConst& sc : consts_) {
+    if (sc.slot >= kWindowTaps) {
+      std::memset(storage.data() + (sc.slot - kWindowTaps) * span, sc.value,
+                  span);
+    }
+  }
+
+  for (std::size_t y = y0; y < y1; ++y) {
+    if (y == 0 || y + 1 >= h) {  // boundary rows replicate: scalar path
+      scalar_span(y, 0, w);
+      continue;
+    }
+    scalar_span(y, 0, 1);  // west border pixel
+    for (std::size_t t = 0; t < kWindowTaps; ++t) {
+      rp[t] = src.row(y + t / 3 - 1) + t % 3;
+    }
+    for (const Step& s : steps_) {
+      Pixel* out =
+          storage.data() + (s.out_index - kWindowTaps) * span;
+      if (s.defective) {
+        const Pixel* ws = rp[s.w_index];
+        const Pixel* ns = rp[s.n_index];
+        for (std::size_t i = 0; i < span; ++i) {
+          out[i] = defective_output(s.defect_seed, i + 1, y, ws[i], ns[i]);
+        }
+      } else {
+        apply_op_row(static_cast<PeOp>(s.op), rp[s.w_index], rp[s.n_index],
+                     out, span);
+      }
+    }
+    if (dst != nullptr) {
+      Pixel* drow = dst->row(y) + 1;
+      if (output_const_ >= 0) {
+        std::memset(drow, static_cast<Pixel>(output_const_), span);
+      } else {
+        std::memcpy(drow, rp[output_index_], span);
+      }
+    }
+    if (reference != nullptr) {
+      const Pixel* rrow = reference->row(y) + 1;
+      if (output_const_ >= 0) {
+        const auto cv = static_cast<Pixel>(output_const_);
+        for (std::size_t i = 0; i < span; ++i) {
+          const int d = static_cast<int>(cv) - static_cast<int>(rrow[i]);
+          total += static_cast<Fitness>(d < 0 ? -d : d);
+        }
+      } else {
+        total += row_abs_error(rp[output_index_], rrow, span);
+      }
+    }
+    scalar_span(y, w - 1, w);  // east border pixel
+  }
+  return total;
 }
 
 img::Image CompiledArray::filter(const img::Image& src) const {
@@ -61,17 +308,13 @@ img::Image CompiledArray::filter(const img::Image& src) const {
 void CompiledArray::filter_into(const img::Image& src, img::Image& dst,
                                 ThreadPool* pool) const {
   EHW_REQUIRE(src.same_shape(dst), "destination shape mismatch");
-  const auto process_row = [&](std::size_t y) {
-    Pixel win[kWindowTaps];
-    for (std::size_t x = 0; x < src.width(); ++x) {
-      img::gather_window3x3(src, x, y, win);
-      dst.set(x, y, evaluate(win, x, y));
-    }
-  };
-  if (pool != nullptr && src.height() >= 32) {
-    pool->parallel_for(0, src.height(), process_row);
+  const std::size_t h = src.height();
+  if (pool != nullptr && h >= 32) {
+    pool->parallel_chunks(0, h, [&](std::size_t lo, std::size_t hi) {
+      process_rows(src, &dst, nullptr, lo, hi);
+    });
   } else {
-    for (std::size_t y = 0; y < src.height(); ++y) process_row(y);
+    process_rows(src, &dst, nullptr, 0, h);
   }
 }
 
@@ -80,27 +323,17 @@ Fitness CompiledArray::fitness_against(const img::Image& src,
                                        ThreadPool* pool) const {
   EHW_REQUIRE(src.same_shape(reference), "reference shape mismatch");
   const std::size_t h = src.height();
-  const auto row_error = [&](std::size_t y) {
-    Pixel win[kWindowTaps];
-    Fitness acc = 0;
-    for (std::size_t x = 0; x < src.width(); ++x) {
-      img::gather_window3x3(src, x, y, win);
-      const int out = evaluate(win, x, y);
-      const int ref = reference.at(x, y);
-      acc += static_cast<Fitness>(std::abs(out - ref));
-    }
-    return acc;
-  };
   if (pool != nullptr && h >= 64) {
-    std::vector<Fitness> partial(h, 0);
-    pool->parallel_for(0, h, [&](std::size_t y) { partial[y] = row_error(y); });
-    Fitness total = 0;
-    for (Fitness f : partial) total += f;
-    return total;
+    // Each chunk accumulates privately; one atomic add per chunk keeps
+    // worker cache lines disjoint (no per-row shared partial array).
+    std::atomic<Fitness> total{0};
+    pool->parallel_chunks(0, h, [&](std::size_t lo, std::size_t hi) {
+      total.fetch_add(process_rows(src, nullptr, &reference, lo, hi),
+                      std::memory_order_relaxed);
+    });
+    return total.load(std::memory_order_relaxed);
   }
-  Fitness total = 0;
-  for (std::size_t y = 0; y < h; ++y) total += row_error(y);
-  return total;
+  return process_rows(src, nullptr, &reference, 0, h);
 }
 
 bool CompiledArray::any_defective_active() const noexcept {

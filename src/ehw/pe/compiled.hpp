@@ -9,6 +9,22 @@
 // Cells strictly below the selected output row can never reach the output
 // (dependencies only point west and north), so compilation drops them —
 // the same dead logic the physical array simply doesn't observe.
+//
+// Compilation additionally folds trivial steps exactly:
+//   * identity cells (W / N pass-throughs) become slot aliases,
+//   * constant cells — and cells whose live inputs are already known
+//     constants — become precomputed slot constants,
+// so the emitted program contains only steps that do real work. Folding is
+// bit-exact and never touches defective cells (their pseudo-random output
+// depends on position and inputs).
+//
+// Whole-frame evaluation runs a ROW-VECTORIZED kernel: the step loop is
+// hoisted outside the pixel loop and every step is applied across a whole
+// row of window slots at once. Interior pixels read the 9 window taps
+// straight from three source-image rows (the software analogue of the
+// platform's 3-line FIFOs, cf. platform/line_fifo.hpp); border pixels fall
+// back to the per-window scalar path. Outputs are bit-identical to the
+// scalar evaluator in all cases, including defective cells.
 
 #include <cstdint>
 #include <vector>
@@ -21,6 +37,10 @@ namespace ehw::pe {
 
 class CompiledArray {
  public:
+  /// Scalar-path value-buffer capacity: window taps + every cell of the
+  /// largest supported mesh. Enforced at construction.
+  static constexpr std::size_t kEvalBufferSlots = 512;
+
   explicit CompiledArray(const SystolicArray& array);
 
   /// Evaluates one window; (x, y) seed defective-cell randomness only.
@@ -30,8 +50,8 @@ class CompiledArray {
   /// Filters a whole image sequentially.
   [[nodiscard]] img::Image filter(const img::Image& src) const;
 
-  /// Filters into a pre-allocated destination; rows are distributed over
-  /// `pool` when given (deterministic: disjoint row ranges).
+  /// Filters into a pre-allocated destination; row chunks are distributed
+  /// over `pool` when given (deterministic: disjoint row ranges).
   void filter_into(const img::Image& src, img::Image& dst,
                    ThreadPool* pool = nullptr) const;
 
@@ -41,7 +61,13 @@ class CompiledArray {
                                         const img::Image& reference,
                                         ThreadPool* pool = nullptr) const;
 
+  /// Cells in rows reachable from the output mux (compile-folded steps
+  /// still count: folding is an evaluator optimization, not dead logic).
   [[nodiscard]] std::size_t active_cell_count() const noexcept {
+    return active_cells_;
+  }
+  /// Steps surviving constant/identity folding (evaluator work per pixel).
+  [[nodiscard]] std::size_t step_count() const noexcept {
     return steps_.size();
   }
   [[nodiscard]] bool any_defective_active() const noexcept;
@@ -55,10 +81,26 @@ class CompiledArray {
     std::uint16_t out_index;
     std::uint64_t defect_seed;
   };
+  /// A slot whose value folded to a compile-time constant and is still
+  /// read by a surviving step.
+  struct SlotConst {
+    std::uint16_t slot;
+    Pixel value;
+  };
+
+  /// Row-vectorized kernel over rows [y0, y1); `dst` may be null when only
+  /// the error sum against `reference` is wanted (then `reference` must be
+  /// non-null, and vice versa).
+  Fitness process_rows(const img::Image& src, img::Image* dst,
+                       const img::Image* reference, std::size_t y0,
+                       std::size_t y1) const;
 
   std::vector<Step> steps_;
+  std::vector<SlotConst> consts_;
   std::uint16_t output_index_ = 0;
+  std::int16_t output_const_ = -1;  // >= 0: the output folded to a constant
   std::size_t buffer_size_ = 0;
+  std::size_t active_cells_ = 0;
 };
 
 }  // namespace ehw::pe

@@ -4,6 +4,7 @@
 
 #include "ehw/evo/offspring.hpp"
 #include "ehw/img/metrics.hpp"
+#include "ehw/platform/wave.hpp"
 
 namespace ehw::platform {
 namespace {
@@ -106,31 +107,34 @@ CascadeResult evolve_cascade(EvolvablePlatform& platform,
     std::size_t best_idx = 0;
     Fitness best_fit = kInvalidFitness;
     sim::SimTime gen_end = barrier;
-    for (std::size_t i = 0; i < offspring.size(); ++i) {
-      const sim::Interval conf = platform.configure_array(
-          arrays[s], offspring[i].genotype, barrier);
-      Fitness f;
-      if (config.fitness == CascadeFitness::kSeparate) {
-        const EvaluationResult ev = platform.evaluate_array(
-            arrays[s], inputs[s], reference, conf.end, "F");
-        f = ev.fitness;
-        gen_end = std::max(gen_end, ev.span.end);
-      } else {
+    if (config.fitness == CascadeFitness::kSeparate) {
+      // Separate fitness judges each candidate on the stage input alone,
+      // so the whole wave runs the shared configure/compile/book +
+      // batch-fitness protocol on this stage's single lane.
+      const std::vector<std::size_t> wave_lanes(offspring.size(), arrays[s]);
+      const WaveOutcome wave = evaluate_offspring_wave(
+          platform, offspring, wave_lanes, inputs[s], reference, barrier);
+      gen_end = std::max(gen_end, wave.end);
+      best_idx = wave.best_index;
+      best_fit = wave.best_fitness;
+    } else {
+      for (std::size_t i = 0; i < offspring.size(); ++i) {
+        const sim::Interval conf = platform.configure_array(
+            arrays[s], offspring[i].genotype, barrier);
         // Merged: judge at the chain end through the downstream parents.
-        const img::Image out =
-            platform.filter_array(arrays[s], inputs[s]);
+        const img::Image out = platform.filter_array(arrays[s], inputs[s]);
         const img::Image chain_out =
             s + 1 < n ? chain_filter(platform, arrays, s + 1, out) : out;
-        f = img::aggregated_mae(chain_out, reference);
+        const Fitness f = img::aggregated_mae(chain_out, reference);
         // The chain streams once; each remaining stage adds a frame pass.
         const auto frames = static_cast<sim::SimTime>(n - s);
         gen_end = std::max(
             gen_end, conf.end + frames * platform.frame_time(
                                              train.width(), train.height()));
-      }
-      if (f < best_fit) {
-        best_fit = f;
-        best_idx = i;
+        if (f < best_fit) {
+          best_fit = f;
+          best_idx = i;
+        }
       }
     }
     barrier = gen_end;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ehw/evo/offspring.hpp"
+#include "ehw/platform/wave.hpp"
 
 namespace ehw::platform {
 
@@ -56,26 +57,18 @@ IntrinsicResult evolve_on_platform(EvolvablePlatform& platform,
                          : evo::classic_offspring(parent, config.lambda, lanes,
                                                   config.mutation_rate, rng);
 
-    sim::SimTime gen_end = barrier;
-    std::size_t best_idx = 0;
-    Fitness best_fit = kInvalidFitness;
+    // Candidate i evaluates on the array backing its lane.
+    std::vector<std::size_t> wave_lanes(offspring.size());
     for (std::size_t i = 0; i < offspring.size(); ++i) {
-      const std::size_t lane_array = arrays[offspring[i].lane];
-      // R: engine + lane array; no earlier than the generation barrier.
-      const sim::Interval conf =
-          platform.configure_array(lane_array, offspring[i].genotype, barrier);
-      // F: lane array only, after its reconfiguration.
-      const EvaluationResult ev = platform.evaluate_array(
-          lane_array, train, reference, conf.end, "F");
-      gen_end = std::max(gen_end, ev.span.end);
-      if (ev.fitness < best_fit) {
-        best_fit = ev.fitness;
-        best_idx = i;
-      }
+      wave_lanes[i] = arrays[offspring[i].lane];
     }
+    const WaveOutcome wave = evaluate_offspring_wave(
+        platform, offspring, wave_lanes, train, reference, barrier);
+    const std::size_t best_idx = wave.best_index;
+    const Fitness best_fit = wave.best_fitness;
 
     result.es.generations_run = gen;
-    barrier = gen_end;  // selection: next wave waits for every fitness
+    barrier = wave.end;  // selection: next wave waits for every fitness
 
     if (best_fit < parent_fitness ||
         (config.accept_equal_fitness && best_fit == parent_fitness)) {

@@ -132,21 +132,37 @@ sim::SimTime EvolvablePlatform::frame_time(std::size_t width,
   return sim::cycles_at_mhz(cycles, config_.clock_mhz);
 }
 
+pe::CompiledArray EvolvablePlatform::compile_array(std::size_t array) const {
+  return pe::CompiledArray(decode_array(array));
+}
+
+sim::Interval EvolvablePlatform::book_evaluation(
+    std::size_t array, std::size_t width, std::size_t height,
+    sim::SimTime earliest, const std::string& trace_label) {
+  check_array(array);
+  const sim::Interval span = timeline_.reserve(
+      array_resources_[array], earliest, frame_time(width, height));
+  trace_.record(array_resources_[array], trace_label, span);
+  return span;
+}
+
+void EvolvablePlatform::publish_fitness(std::size_t array, Fitness fitness) {
+  check_array(array);
+  acbs_[array].publish_fitness(fitness);
+}
+
 EvaluationResult EvolvablePlatform::evaluate_array(
     std::size_t array, const img::Image& input, const img::Image& compare,
     sim::SimTime earliest, const std::string& trace_label) {
   check_array(array);
   EHW_REQUIRE(input.same_shape(compare),
               "fitness streams must share a shape");
-  const pe::CompiledArray compiled(decode_array(array));
+  const pe::CompiledArray compiled = compile_array(array);
   const Fitness fitness =
       compiled.fitness_against(input, compare, config_.pool);
-  acbs_[array].publish_fitness(fitness);
-
-  const sim::Interval span = timeline_.reserve(
-      array_resources_[array], earliest,
-      frame_time(input.width(), input.height()));
-  trace_.record(array_resources_[array], trace_label, span);
+  publish_fitness(array, fitness);
+  const sim::Interval span = book_evaluation(
+      array, input.width(), input.height(), earliest, trace_label);
   return EvaluationResult{fitness, span};
 }
 

@@ -112,6 +112,23 @@ class EvolvablePlatform {
                                   sim::SimTime earliest = 0,
                                   const std::string& trace_label = "F");
 
+  /// The three phases of evaluate_array split out so evolution drivers can
+  /// overlap the host-side fitness computation of a whole candidate wave
+  /// (evo::batch_fitness) while keeping the per-candidate simulated-time
+  /// bookkeeping byte-identical to sequential evaluate_array calls:
+  ///   compile_array    — host-compiled view of the array as currently
+  ///                      configured (decoded from configuration memory,
+  ///                      faults included);
+  ///   book_evaluation  — charges the frame-streaming span on the array's
+  ///                      timeline resource and records the trace box;
+  ///   publish_fitness  — latches a fitness value into the ACB's RO
+  ///                      registers (what the MicroBlaze would read back).
+  [[nodiscard]] pe::CompiledArray compile_array(std::size_t array) const;
+  sim::Interval book_evaluation(std::size_t array, std::size_t width,
+                                std::size_t height, sim::SimTime earliest,
+                                const std::string& trace_label = "F");
+  void publish_fitness(std::size_t array, Fitness fitness);
+
   /// --- mission-time processing modes (§IV.A) -------------------------------
   /// Independent: each array processes its own input.
   [[nodiscard]] img::Image process_independent(std::size_t array,

@@ -1,0 +1,54 @@
+#include "ehw/platform/wave.hpp"
+
+#include <algorithm>
+
+#include "ehw/evo/batch.hpp"
+
+namespace ehw::platform {
+
+WaveOutcome evaluate_offspring_wave(EvolvablePlatform& platform,
+                                    const std::vector<evo::Candidate>& offspring,
+                                    const std::vector<std::size_t>& lanes,
+                                    const img::Image& input,
+                                    const img::Image& compare,
+                                    sim::SimTime barrier) {
+  EHW_REQUIRE(lanes.size() == offspring.size(),
+              "one evaluation lane per offspring");
+
+  // Phase 1 (sequential): configure each candidate, decode its compiled
+  // view before the next configuration overwrites the lane, and book the
+  // R/F spans — identical timeline bookkeeping to evaluating in place.
+  std::vector<pe::CompiledArray> compiled;
+  compiled.reserve(offspring.size());
+  std::vector<sim::Interval> spans(offspring.size());
+  for (std::size_t i = 0; i < offspring.size(); ++i) {
+    // R: engine + lane array; no earlier than the generation barrier.
+    const sim::Interval conf =
+        platform.configure_array(lanes[i], offspring[i].genotype, barrier);
+    compiled.push_back(platform.compile_array(lanes[i]));
+    // F: lane array only, after its reconfiguration.
+    spans[i] = platform.book_evaluation(lanes[i], input.width(),
+                                        input.height(), conf.end, "F");
+  }
+
+  // Phase 2 (parallel): whole candidates fan out across the host pool —
+  // one candidate per worker, like one per physical array.
+  WaveOutcome outcome;
+  outcome.fitness =
+      evo::batch_fitness(compiled, input, compare, platform.pool());
+
+  // Phase 3 (sequential): publish fitnesses in evaluation order and
+  // select the survivor.
+  outcome.end = barrier;
+  for (std::size_t i = 0; i < offspring.size(); ++i) {
+    platform.publish_fitness(lanes[i], outcome.fitness[i]);
+    outcome.end = std::max(outcome.end, spans[i].end);
+    if (outcome.fitness[i] < outcome.best_fitness) {
+      outcome.best_fitness = outcome.fitness[i];
+      outcome.best_index = i;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace ehw::platform

@@ -1,0 +1,35 @@
+#pragma once
+// Shared wave-evaluation protocol for the intrinsic evolution drivers:
+// one (1+lambda) offspring wave is configured/compiled/booked candidate
+// by candidate (simulated-time bookkeeping identical to evaluating each
+// candidate in place), then every fitness is computed host-parallel with
+// whole-candidate granularity (evo::batch_fitness), then published to the
+// ACBs in evaluation order. evolution_driver and cascade_evolution both
+// run exactly this protocol and differ only in how a candidate maps to an
+// evaluation lane.
+
+#include <vector>
+
+#include "ehw/evo/offspring.hpp"
+#include "ehw/platform/platform.hpp"
+
+namespace ehw::platform {
+
+struct WaveOutcome {
+  /// Per-candidate fitness, in offspring order.
+  std::vector<Fitness> fitness;
+  /// When every fitness of the wave is known (>= the barrier passed in).
+  sim::SimTime end = 0;
+  /// Argmin over `fitness` (first on ties, matching sequential selection).
+  std::size_t best_index = 0;
+  Fitness best_fitness = kInvalidFitness;
+};
+
+/// Evaluates one offspring wave on the platform. `lanes[i]` is the array
+/// that evaluates offspring[i]; every R starts no earlier than `barrier`.
+[[nodiscard]] WaveOutcome evaluate_offspring_wave(
+    EvolvablePlatform& platform, const std::vector<evo::Candidate>& offspring,
+    const std::vector<std::size_t>& lanes, const img::Image& input,
+    const img::Image& compare, sim::SimTime barrier);
+
+}  // namespace ehw::platform

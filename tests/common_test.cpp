@@ -7,6 +7,7 @@
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 #include <vector>
 
 #include "ehw/common/cli.hpp"
@@ -195,6 +196,32 @@ TEST(ThreadPool, SubmitReturnsValue) {
   ThreadPool pool(2);
   auto fut = pool.submit([] { return 41 + 1; });
   EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, ParallelChunksCoverDisjointly) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(997);  // prime: uneven last chunk
+  pool.parallel_chunks(0, hits.size(), [&](std::size_t lo, std::size_t hi) {
+    ASSERT_LT(lo, hi);
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelChunksPropagatesExceptions) {
+  ThreadPool pool(4);
+  const auto run = [&] {
+    pool.parallel_chunks(0, 400, [](std::size_t lo, std::size_t) {
+      if (lo >= 100) throw std::runtime_error("chunk failed");
+    });
+  };
+  EXPECT_THROW(run(), std::runtime_error);
+  // The pool must stay usable after a failed fan-out.
+  std::atomic<int> sum{0};
+  pool.parallel_for(0, 10, [&](std::size_t i) {
+    sum.fetch_add(static_cast<int>(i));
+  });
+  EXPECT_EQ(sum.load(), 45);
 }
 
 TEST(ThreadPool, ManyTasksComplete) {
