@@ -44,6 +44,14 @@ std::vector<Fitness> batch_fitness(
   });
 }
 
+std::vector<Fitness> batch_fitness(
+    const std::vector<const pe::CompiledArray*>& compiled,
+    const img::Image& input, const img::Image& reference, ThreadPool* pool) {
+  return run_wave(compiled.size(), pool, [&](std::size_t i) {
+    return compiled[i]->fitness_against(input, reference, nullptr);
+  });
+}
+
 BatchEvaluator::BatchEvaluator(const img::Image& train,
                                const img::Image& reference, ThreadPool* pool)
     : train_(&train), reference_(&reference), pool_(pool) {

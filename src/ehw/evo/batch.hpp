@@ -26,6 +26,14 @@ namespace ehw::evo {
     const std::vector<pe::CompiledArray>& compiled, const img::Image& input,
     const img::Image& reference, ThreadPool* pool = nullptr);
 
+/// Same wave over non-owning pointers — the form the scheduler's
+/// compiled-array cache feeds (cached candidates are shared across
+/// missions, so the wave must not copy or own them).
+[[nodiscard]] std::vector<Fitness> batch_fitness(
+    const std::vector<const pe::CompiledArray*>& compiled,
+    const img::Image& input, const img::Image& reference,
+    ThreadPool* pool = nullptr);
+
 /// Extrinsic evaluation engine for a fixed train/reference pair. Holds no
 /// image copies — both images must outlive the evaluator.
 class BatchEvaluator {

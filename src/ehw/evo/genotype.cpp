@@ -116,6 +116,23 @@ std::size_t Genotype::hamming_distance(const Genotype& a, const Genotype& b) {
   return d;
 }
 
+std::uint64_t Genotype::hash() const noexcept {
+  // SplitMix64 chaining over every gene block. Bytes are mixed one at a
+  // time — a genotype has ~2*cells + rows + cols + 1 genes, so this stays
+  // far off any hot path while giving full avalanche per gene.
+  std::uint64_t h = 0x243F6A8885A308D3ULL;  // pi fraction, arbitrary tag
+  const auto mix = [&h](std::uint64_t v) noexcept {
+    std::uint64_t s = h ^ (v * 0x9E3779B97F4A7C15ULL);
+    h = splitmix64(s);
+  };
+  mix(shape_.rows);
+  mix(shape_.cols);
+  for (const std::uint8_t f : function_genes_) mix(f);
+  for (const std::uint8_t t : tap_genes_) mix(t);
+  mix(output_row_);
+  return h;
+}
+
 std::string Genotype::to_string() const {
   std::ostringstream os;
   os << "fn[";

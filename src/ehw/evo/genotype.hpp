@@ -81,6 +81,14 @@ class Genotype {
 
   [[nodiscard]] std::string to_string() const;
 
+  /// Stable 64-bit content hash over the shape and every gene block
+  /// (SplitMix64-chained, host- and build-independent). Equal genotypes
+  /// hash equally; distinct genotypes collide with ~2^-64 probability.
+  /// Mixed into the scheduler's compiled-array cache key (alongside the
+  /// platform's configuration fingerprint); also useful standalone for
+  /// population dedup statistics.
+  [[nodiscard]] std::uint64_t hash() const noexcept;
+
   friend bool operator==(const Genotype&, const Genotype&) = default;
 
  private:
@@ -88,6 +96,14 @@ class Genotype {
   std::vector<std::uint8_t> function_genes_;
   std::vector<std::uint8_t> tap_genes_;
   std::uint8_t output_row_ = 0;
+};
+
+/// Hash functor so genotypes can key unordered containers (dedup sets,
+/// fitness memo tables): std::unordered_set<Genotype, GenotypeHash>.
+struct GenotypeHash {
+  [[nodiscard]] std::size_t operator()(const Genotype& g) const noexcept {
+    return static_cast<std::size_t>(g.hash());
+  }
 };
 
 }  // namespace ehw::evo

@@ -4,7 +4,6 @@
 
 #include "ehw/evo/offspring.hpp"
 #include "ehw/img/metrics.hpp"
-#include "ehw/platform/wave.hpp"
 
 namespace ehw::platform {
 namespace {
@@ -30,11 +29,12 @@ struct Stage {
 
 }  // namespace
 
-CascadeResult evolve_cascade(EvolvablePlatform& platform,
-                             const std::vector<std::size_t>& arrays,
-                             const img::Image& train,
-                             const img::Image& reference,
-                             const CascadeConfig& config) {
+CascadeResult evolve_cascade_mission(WaveExecutor& executor,
+                                     const img::Image& train,
+                                     const img::Image& reference,
+                                     const CascadeConfig& config) {
+  EvolvablePlatform& platform = executor.platform();
+  const std::vector<std::size_t>& arrays = executor.lanes();
   EHW_REQUIRE(!arrays.empty(), "cascade needs at least one stage");
   EHW_REQUIRE(train.same_shape(reference), "train/reference shape mismatch");
   const std::size_t n = arrays.size();
@@ -112,8 +112,8 @@ CascadeResult evolve_cascade(EvolvablePlatform& platform,
       // so the whole wave runs the shared configure/compile/book +
       // batch-fitness protocol on this stage's single lane.
       const std::vector<std::size_t> wave_lanes(offspring.size(), arrays[s]);
-      const WaveOutcome wave = evaluate_offspring_wave(
-          platform, offspring, wave_lanes, inputs[s], reference, barrier);
+      const WaveOutcome wave = executor.run_wave(offspring, wave_lanes,
+                                                 inputs[s], reference, barrier);
       gen_end = std::max(gen_end, wave.end);
       best_idx = wave.best_index;
       best_fit = wave.best_fitness;
@@ -181,6 +181,15 @@ CascadeResult evolve_cascade(EvolvablePlatform& platform,
   result.chain_fitness = img::aggregated_mae(chain_out, reference);
   result.duration = platform.now() - t_start;
   return result;
+}
+
+CascadeResult evolve_cascade(EvolvablePlatform& platform,
+                             const std::vector<std::size_t>& arrays,
+                             const img::Image& train,
+                             const img::Image& reference,
+                             const CascadeConfig& config) {
+  DirectWaveExecutor executor(platform, arrays);
+  return evolve_cascade_mission(executor, train, reference, config);
 }
 
 }  // namespace ehw::platform

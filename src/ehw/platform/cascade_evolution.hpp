@@ -22,7 +22,7 @@
 #include <vector>
 
 #include "ehw/evo/es.hpp"
-#include "ehw/platform/platform.hpp"
+#include "ehw/platform/wave.hpp"
 
 namespace ehw::platform {
 
@@ -51,9 +51,17 @@ struct CascadeResult {
   sim::SimTime duration = 0;
 };
 
-/// Evolves the chain formed by `arrays` (in order) to map `train` onto
-/// `reference`. The best chromosome of every stage is left configured, so
-/// the platform is ready for cascaded mission mode on return.
+/// Evolves the chain formed by the executor's lanes (in order) to map
+/// `train` onto `reference`, submitting every per-stage offspring wave to
+/// the executor. The best chromosome of every stage is left configured,
+/// so the platform is ready for cascaded mission mode on return.
+CascadeResult evolve_cascade_mission(WaveExecutor& executor,
+                                     const img::Image& train,
+                                     const img::Image& reference,
+                                     const CascadeConfig& config);
+
+/// Standalone entry point: runs evolve_cascade_mission through a
+/// DirectWaveExecutor over the given arrays of a caller-owned platform.
 CascadeResult evolve_cascade(EvolvablePlatform& platform,
                              const std::vector<std::size_t>& arrays,
                              const img::Image& train,

@@ -3,16 +3,15 @@
 #include <algorithm>
 
 #include "ehw/evo/offspring.hpp"
-#include "ehw/platform/wave.hpp"
 
 namespace ehw::platform {
 
-IntrinsicResult evolve_on_platform(EvolvablePlatform& platform,
-                                   const std::vector<std::size_t>& arrays,
-                                   const img::Image& train,
-                                   const img::Image& reference,
-                                   const evo::EsConfig& config,
-                                   const evo::Genotype* initial) {
+IntrinsicResult evolve_mission(WaveExecutor& executor, const img::Image& train,
+                               const img::Image& reference,
+                               const evo::EsConfig& config,
+                               const evo::Genotype* initial) {
+  EvolvablePlatform& platform = executor.platform();
+  const std::vector<std::size_t>& arrays = executor.lanes();
   EHW_REQUIRE(!arrays.empty(), "need at least one evaluation lane");
   EHW_REQUIRE(train.same_shape(reference), "train/reference shape mismatch");
   for (const std::size_t a : arrays) {
@@ -62,8 +61,8 @@ IntrinsicResult evolve_on_platform(EvolvablePlatform& platform,
     for (std::size_t i = 0; i < offspring.size(); ++i) {
       wave_lanes[i] = arrays[offspring[i].lane];
     }
-    const WaveOutcome wave = evaluate_offspring_wave(
-        platform, offspring, wave_lanes, train, reference, barrier);
+    const WaveOutcome wave = executor.run_wave(offspring, wave_lanes, train,
+                                               reference, barrier);
     const std::size_t best_idx = wave.best_index;
     const Fitness best_fit = wave.best_fitness;
 
@@ -87,6 +86,16 @@ IntrinsicResult evolve_on_platform(EvolvablePlatform& platform,
   result.duration = platform.now() - t_start;
   result.pe_writes = platform.engine_stats().pe_writes - writes_start;
   return result;
+}
+
+IntrinsicResult evolve_on_platform(EvolvablePlatform& platform,
+                                   const std::vector<std::size_t>& arrays,
+                                   const img::Image& train,
+                                   const img::Image& reference,
+                                   const evo::EsConfig& config,
+                                   const evo::Genotype* initial) {
+  DirectWaveExecutor executor(platform, arrays);
+  return evolve_mission(executor, train, reference, config, initial);
 }
 
 }  // namespace ehw::platform

@@ -20,7 +20,7 @@
 #include <vector>
 
 #include "ehw/evo/es.hpp"
-#include "ehw/platform/platform.hpp"
+#include "ehw/platform/wave.hpp"
 
 namespace ehw::platform {
 
@@ -39,11 +39,21 @@ struct IntrinsicResult {
   }
 };
 
-/// Runs (1+lambda) evolution using the given arrays as evaluation lanes
+/// Runs (1+lambda) evolution as a client of `executor`: every offspring
+/// wave is submitted to it (lanes/arrays are whatever the executor
+/// granted), so the same loop runs standalone or multiplexed on a
+/// scheduler pool. The filter evolves to map `train` onto `reference`,
+/// starting from a random parent drawn from config.seed, or from
+/// `initial` when given.
+IntrinsicResult evolve_mission(WaveExecutor& executor, const img::Image& train,
+                               const img::Image& reference,
+                               const evo::EsConfig& config,
+                               const evo::Genotype* initial = nullptr);
+
+/// Standalone entry point: runs evolve_mission through a
+/// DirectWaveExecutor over the given arrays of a caller-owned platform
 /// (one array = Independent evolution; several = Parallel evolution with
-/// offspring distributed across the arrays). The filter evolves to map
-/// `train` onto `reference`. The run starts from a random parent drawn
-/// from config.seed, or from `initial` when given.
+/// offspring distributed across the arrays).
 IntrinsicResult evolve_on_platform(EvolvablePlatform& platform,
                                    const std::vector<std::size_t>& arrays,
                                    const img::Image& train,

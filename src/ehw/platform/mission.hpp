@@ -13,6 +13,7 @@
 
 #include "ehw/fpga/ecc.hpp"
 #include "ehw/platform/self_healing.hpp"
+#include "ehw/platform/wave.hpp"
 
 namespace ehw::platform {
 
@@ -50,12 +51,31 @@ struct MissionStats {
   std::uint64_t transient_recoveries = 0;
   std::uint64_t permanent_recoveries = 0;
   sim::SimTime mission_time = 0;
+  /// Compiled-array cache traffic of this mission's evaluation waves
+  /// (filled by the scheduler when the mission runs on an ArrayPool;
+  /// both stay 0 on the direct, uncached path). Unlike every field above,
+  /// these depend on what OTHER missions warmed the shared cache with, so
+  /// they are execution statistics — not part of the bit-reproducible
+  /// mission result.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  [[nodiscard]] double cache_hit_rate() const {
+    const std::uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(cache_hits) /
+                            static_cast<double>(total);
+  }
 };
 
 class MissionController {
  public:
   /// The platform must already hold evolved circuits (deploy() helps).
   MissionController(EvolvablePlatform& platform, MissionConfig config);
+
+  /// Pool-client form: runs the mission on the arrays a scheduler lease
+  /// granted (executor.platform()), e.g. inside an ArrayPool job body.
+  MissionController(WaveExecutor& executor, MissionConfig config)
+      : MissionController(executor.platform(), std::move(config)) {}
 
   /// Configures `circuit` according to the mode: every TMR array, every
   /// cascade stage, or array 0 for independent mode.

@@ -136,6 +136,26 @@ pe::CompiledArray EvolvablePlatform::compile_array(std::size_t array) const {
   return pe::CompiledArray(decode_array(array));
 }
 
+std::uint64_t EvolvablePlatform::configuration_fingerprint(
+    std::size_t array) const {
+  check_array(array);
+  std::uint64_t h = hash_mix(0x5C4DF00DULL, array, config_.shape.rows,
+                             config_.shape.cols);
+  const std::size_t words = geometry_.words_per_slot();
+  for (std::size_t r = 0; r < config_.shape.rows; ++r) {
+    for (std::size_t c = 0; c < config_.shape.cols; ++c) {
+      const std::size_t base = geometry_.slot_word_base({array, r, c});
+      for (std::size_t i = 0; i < words; ++i) {
+        h = hash_mix(h, memory_.read(base + i), i);
+      }
+    }
+  }
+  for (const std::uint8_t tap : acbs_[array].input_taps()) {
+    h = hash_mix(h, tap);
+  }
+  return hash_mix(h, acbs_[array].output_row());
+}
+
 sim::Interval EvolvablePlatform::book_evaluation(
     std::size_t array, std::size_t width, std::size_t height,
     sim::SimTime earliest, const std::string& trace_label) {

@@ -124,6 +124,17 @@ class EvolvablePlatform {
   ///   publish_fitness  — latches a fitness value into the ACB's RO
   ///                      registers (what the MicroBlaze would read back).
   [[nodiscard]] pe::CompiledArray compile_array(std::size_t array) const;
+
+  /// Stable content hash of everything compile_array(array) observes: the
+  /// array's *actual* configuration-memory words (the genotype as
+  /// materialized through the engine, plus any SEU/LPD/dummy-PE damage —
+  /// the defect map), the ACB tap/output registers, the fabric shape and
+  /// the array index (defective-cell seeds are position-dependent). Equal
+  /// fingerprints — on this platform or any platform with the same shape
+  /// and layout — decode to behaviourally identical circuits, which makes
+  /// this the scheduler's compiled-array cache key.
+  [[nodiscard]] std::uint64_t configuration_fingerprint(
+      std::size_t array) const;
   sim::Interval book_evaluation(std::size_t array, std::size_t width,
                                 std::size_t height, sim::SimTime earliest,
                                 const std::string& trace_label = "F");

@@ -11,21 +11,22 @@ WaveOutcome evaluate_offspring_wave(EvolvablePlatform& platform,
                                     const std::vector<std::size_t>& lanes,
                                     const img::Image& input,
                                     const img::Image& compare,
-                                    sim::SimTime barrier) {
+                                    sim::SimTime barrier,
+                                    const WaveCompileFn& compile) {
   EHW_REQUIRE(lanes.size() == offspring.size(),
               "one evaluation lane per offspring");
 
-  // Phase 1 (sequential): configure each candidate, decode its compiled
+  // Phase 1 (sequential): configure each candidate, compile its decoded
   // view before the next configuration overwrites the lane, and book the
   // R/F spans — identical timeline bookkeeping to evaluating in place.
-  std::vector<pe::CompiledArray> compiled;
+  std::vector<std::shared_ptr<const pe::CompiledArray>> compiled;
   compiled.reserve(offspring.size());
   std::vector<sim::Interval> spans(offspring.size());
   for (std::size_t i = 0; i < offspring.size(); ++i) {
     // R: engine + lane array; no earlier than the generation barrier.
     const sim::Interval conf =
         platform.configure_array(lanes[i], offspring[i].genotype, barrier);
-    compiled.push_back(platform.compile_array(lanes[i]));
+    compiled.push_back(compile(lanes[i]));
     // F: lane array only, after its reconfiguration.
     spans[i] = platform.book_evaluation(lanes[i], input.width(),
                                         input.height(), conf.end, "F");
@@ -33,9 +34,12 @@ WaveOutcome evaluate_offspring_wave(EvolvablePlatform& platform,
 
   // Phase 2 (parallel): whole candidates fan out across the host pool —
   // one candidate per worker, like one per physical array.
+  std::vector<const pe::CompiledArray*> views;
+  views.reserve(compiled.size());
+  for (const auto& c : compiled) views.push_back(c.get());
   WaveOutcome outcome;
   outcome.fitness =
-      evo::batch_fitness(compiled, input, compare, platform.pool());
+      evo::batch_fitness(views, input, compare, platform.pool());
 
   // Phase 3 (sequential): publish fitnesses in evaluation order and
   // select the survivor.
@@ -49,6 +53,20 @@ WaveOutcome evaluate_offspring_wave(EvolvablePlatform& platform,
     }
   }
   return outcome;
+}
+
+WaveOutcome evaluate_offspring_wave(EvolvablePlatform& platform,
+                                    const std::vector<evo::Candidate>& offspring,
+                                    const std::vector<std::size_t>& lanes,
+                                    const img::Image& input,
+                                    const img::Image& compare,
+                                    sim::SimTime barrier) {
+  return evaluate_offspring_wave(
+      platform, offspring, lanes, input, compare, barrier,
+      [&platform](std::size_t lane) {
+        return std::make_shared<const pe::CompiledArray>(
+            platform.compile_array(lane));
+      });
 }
 
 }  // namespace ehw::platform

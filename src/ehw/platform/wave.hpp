@@ -7,7 +7,15 @@
 // ACBs in evaluation order. evolution_driver and cascade_evolution both
 // run exactly this protocol and differ only in how a candidate maps to an
 // evaluation lane.
+//
+// The wave is also the scheduler's unit of work: drivers do not own
+// arrays any more — they hold a WaveExecutor and submit waves to it. The
+// DirectWaveExecutor below runs them in place on a caller-owned platform
+// (the standalone path); sched::MissionContext routes them through an
+// ArrayPool lease with a shared compiled-array cache.
 
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "ehw/evo/offspring.hpp"
@@ -25,11 +33,80 @@ struct WaveOutcome {
   Fitness best_fitness = kInvalidFitness;
 };
 
+/// Compiles the candidate currently configured on `lane`. Returning a
+/// shared pointer lets implementations serve cached instances (the
+/// scheduler's genotype-keyed LRU) instead of recompiling.
+using WaveCompileFn =
+    std::function<std::shared_ptr<const pe::CompiledArray>(std::size_t lane)>;
+
 /// Evaluates one offspring wave on the platform. `lanes[i]` is the array
 /// that evaluates offspring[i]; every R starts no earlier than `barrier`.
 [[nodiscard]] WaveOutcome evaluate_offspring_wave(
     EvolvablePlatform& platform, const std::vector<evo::Candidate>& offspring,
     const std::vector<std::size_t>& lanes, const img::Image& input,
     const img::Image& compare, sim::SimTime barrier);
+
+/// As above, with candidate compilation delegated to `compile` (the
+/// scheduler's cache hook). Configuration and R/F span bookkeeping are
+/// unchanged, so outcomes are bit-identical as long as `compile` returns
+/// an array behaviourally equal to platform.compile_array(lane).
+[[nodiscard]] WaveOutcome evaluate_offspring_wave(
+    EvolvablePlatform& platform, const std::vector<evo::Candidate>& offspring,
+    const std::vector<std::size_t>& lanes, const img::Image& input,
+    const img::Image& compare, sim::SimTime barrier,
+    const WaveCompileFn& compile);
+
+/// What an evolution driver needs from whoever owns the arrays: a platform
+/// to configure/measure on, the set of evaluation lanes it was granted,
+/// and a wave submission point. Drivers are written against this interface
+/// so the same loop runs standalone (DirectWaveExecutor) or multiplexed on
+/// a scheduler pool (sched::MissionContext).
+class WaveExecutor {
+ public:
+  virtual ~WaveExecutor() = default;
+
+  /// The platform the mission's lanes live on. Simulated state behind it
+  /// is exclusive to this mission for the executor's lifetime.
+  [[nodiscard]] virtual EvolvablePlatform& platform() noexcept = 0;
+
+  /// Array indices (on platform()) this mission may evaluate on.
+  [[nodiscard]] virtual const std::vector<std::size_t>& lanes()
+      const noexcept = 0;
+
+  /// Runs one offspring wave; wave_lanes[i] must be one of lanes().
+  virtual WaveOutcome run_wave(const std::vector<evo::Candidate>& offspring,
+                               const std::vector<std::size_t>& wave_lanes,
+                               const img::Image& input,
+                               const img::Image& compare,
+                               sim::SimTime barrier) = 0;
+};
+
+/// Runs waves in place on a caller-owned platform — the standalone
+/// behaviour of the platform+arrays driver entry points.
+class DirectWaveExecutor final : public WaveExecutor {
+ public:
+  DirectWaveExecutor(EvolvablePlatform& platform,
+                     std::vector<std::size_t> lanes)
+      : platform_(platform), lanes_(std::move(lanes)) {}
+
+  [[nodiscard]] EvolvablePlatform& platform() noexcept override {
+    return platform_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& lanes()
+      const noexcept override {
+    return lanes_;
+  }
+  WaveOutcome run_wave(const std::vector<evo::Candidate>& offspring,
+                       const std::vector<std::size_t>& wave_lanes,
+                       const img::Image& input, const img::Image& compare,
+                       sim::SimTime barrier) override {
+    return evaluate_offspring_wave(platform_, offspring, wave_lanes, input,
+                                   compare, barrier);
+  }
+
+ private:
+  EvolvablePlatform& platform_;
+  std::vector<std::size_t> lanes_;
+};
 
 }  // namespace ehw::platform

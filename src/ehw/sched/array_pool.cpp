@@ -1,0 +1,281 @@
+#include "ehw/sched/array_pool.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+
+namespace ehw::sched {
+
+// --- MissionRunner ----------------------------------------------------------
+
+JobStatus MissionRunner::status() const {
+  std::lock_guard lock(mutex_);
+  return status_;
+}
+
+void MissionRunner::wait() const {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [this] {
+    return status_ != JobStatus::kQueued && status_ != JobStatus::kRunning;
+  });
+}
+
+const JobOutcome& MissionRunner::result() const {
+  wait();
+  // Finished state is immutable; the wait() above synchronizes with
+  // finish(), so reading without the lock is race-free.
+  return outcome_;
+}
+
+sim::SimTime MissionRunner::sim_duration() const {
+  wait();
+  return sim_duration_;
+}
+
+void MissionRunner::finish(JobStatus status, JobOutcome outcome,
+                           sim::SimTime duration) {
+  {
+    std::lock_guard lock(mutex_);
+    status_ = status;
+    outcome_ = std::move(outcome);
+    sim_duration_ = duration;
+  }
+  cv_.notify_all();
+}
+
+// --- MissionContext ---------------------------------------------------------
+
+MissionContext::MissionContext(JobConfig job, const PoolConfig& pool_config,
+                               CompiledArrayCache* cache,
+                               MissionRunner* runner)
+    : job_(std::move(job)), cache_(cache), runner_(runner) {
+  platform::PlatformConfig pc;
+  pc.num_arrays = job_.lanes;
+  pc.shape = pool_config.shape;
+  pc.clock_mhz = pool_config.clock_mhz;
+  pc.line_width = pool_config.line_width;
+  pc.seed = job_.platform_seed;
+  pc.enable_trace = job_.enable_trace;
+  pc.pool = pool_config.host_pool;
+  platform_ = std::make_unique<platform::EvolvablePlatform>(pc);
+  lanes_.resize(job_.lanes);
+  for (std::size_t i = 0; i < job_.lanes; ++i) lanes_[i] = i;
+}
+
+void MissionContext::check_cancelled() const {
+  if (runner_ != nullptr && runner_->cancel_requested()) {
+    throw MissionCancelled();
+  }
+}
+
+std::shared_ptr<const pe::CompiledArray> MissionContext::compile_cached(
+    std::size_t lane) {
+  if (cache_ == nullptr) {
+    ++misses_;
+    return std::make_shared<const pe::CompiledArray>(
+        platform_->compile_array(lane));
+  }
+  // Key = genotype content hash x fabric fingerprint: the fingerprint
+  // already covers the genotype as materialized (plus the defect map and
+  // ACB registers); mixing the genotype's own hash keeps the key robust
+  // even for hypothetical fabrics whose memory image underdetermines the
+  // written genes.
+  const std::optional<evo::Genotype>& configured =
+      platform_->configured_genotype(lane);
+  const std::uint64_t key =
+      hash_mix(platform_->configuration_fingerprint(lane),
+               configured.has_value() ? configured->hash() : 0);
+  bool hit = false;
+  auto compiled = cache_->get_or_compile(
+      key, [this, lane] { return platform_->compile_array(lane); }, &hit);
+  if (hit) {
+    ++hits_;
+  } else {
+    ++misses_;
+  }
+  return compiled;
+}
+
+platform::WaveOutcome MissionContext::run_wave(
+    const std::vector<evo::Candidate>& offspring,
+    const std::vector<std::size_t>& wave_lanes, const img::Image& input,
+    const img::Image& compare, sim::SimTime barrier) {
+  check_cancelled();
+  platform::WaveOutcome outcome = platform::evaluate_offspring_wave(
+      *platform_, offspring, wave_lanes, input, compare, barrier,
+      [this](std::size_t lane) { return compile_cached(lane); });
+  if (runner_ != nullptr) {
+    runner_->waves_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return outcome;
+}
+
+// --- ArrayPool --------------------------------------------------------------
+
+ArrayPool::ArrayPool(PoolConfig config)
+    : config_(config),
+      cache_(config.cache_capacity),
+      free_arrays_(config.num_arrays) {
+  EHW_REQUIRE(config_.num_arrays > 0, "pool needs at least one array");
+}
+
+ArrayPool::~ArrayPool() { wait_all(); }
+
+std::shared_ptr<MissionRunner> ArrayPool::submit(JobConfig job, JobBody body) {
+  EHW_REQUIRE(job.lanes >= 1 && job.lanes <= config_.num_arrays,
+              "job lane demand must fit the pool");
+  EHW_REQUIRE(body != nullptr, "job body required");
+  auto runner = std::shared_ptr<MissionRunner>(new MissionRunner(job.name));
+  {
+    std::lock_guard lock(mutex_);
+    auto rec = std::make_unique<Job>();
+    rec->id = jobs_.size();
+    rec->config = std::move(job);
+    rec->body = std::move(body);
+    rec->runner = runner;
+    queue_.push(JobTicket{rec->id, rec->config.name, rec->config.lanes,
+                          rec->config.priority});
+    jobs_.push_back(std::move(rec));
+    admit_locked();
+  }
+  return runner;
+}
+
+void ArrayPool::admit_locked() {
+  while (config_.max_concurrent_jobs == 0 ||
+         running_ < config_.max_concurrent_jobs) {
+    std::optional<JobTicket> ticket = queue_.pop_admissible(free_arrays_);
+    if (!ticket.has_value()) break;
+    Job* job = jobs_[ticket->id].get();
+    free_arrays_ -= job->config.lanes;
+    ++running_;
+    {
+      std::lock_guard rlock(job->runner->mutex_);
+      job->runner->status_ = JobStatus::kRunning;
+    }
+    try {
+      job->thread = std::thread([this, job] { run_job(job); });
+    } catch (const std::system_error& e) {
+      // Thread exhaustion must not strand the lease (hanging wait_all)
+      // or escape into std::terminate: roll back and fail the job.
+      free_arrays_ += job->config.lanes;
+      --running_;
+      job->finished = true;
+      JobOutcome outcome;
+      outcome.error = std::string("failed to start job thread: ") + e.what();
+      job->runner->finish(JobStatus::kFailed, std::move(outcome), 0);
+      cv_.notify_all();
+    }
+  }
+}
+
+void ArrayPool::run_job(Job* job) {
+  MissionContext context(job->config, config_,
+                         config_.cache_capacity > 0 ? &cache_ : nullptr,
+                         job->runner.get());
+  JobOutcome outcome;
+  JobStatus status = JobStatus::kDone;
+  try {
+    job->body(context, outcome);
+  } catch (const MissionCancelled&) {
+    status = JobStatus::kCancelled;
+  } catch (const std::exception& e) {
+    status = JobStatus::kFailed;
+    outcome.error = e.what();
+  } catch (...) {
+    status = JobStatus::kFailed;
+    outcome.error = "unknown job error";
+  }
+  // Cache traffic is an execution statistic (depends on what other
+  // missions warmed the cache with), layered onto the bit-reproducible
+  // mission results.
+  outcome.stats.cache_hits = context.cache_hits();
+  outcome.stats.cache_misses = context.cache_misses();
+  const sim::SimTime duration = context.platform().now();
+  job->runner->finish(status, std::move(outcome), duration);
+  {
+    std::lock_guard lock(mutex_);
+    job->sim_duration = duration;
+    job->finished = true;
+    free_arrays_ += job->config.lanes;
+    --running_;
+    admit_locked();
+    cv_.notify_all();  // under the lock: wait_all may destroy the pool next
+  }
+}
+
+void ArrayPool::wait_all() {
+  std::vector<std::thread> to_join;
+  {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+    for (const auto& job : jobs_) {
+      if (job->thread.joinable()) to_join.push_back(std::move(job->thread));
+    }
+  }
+  for (std::thread& t : to_join) t.join();
+}
+
+std::size_t ArrayPool::jobs_in_flight() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size() + running_;
+}
+
+ArrayPool::ScheduleReport ArrayPool::simulated_schedule() {
+  wait_all();
+
+  // Replay the admission policy in simulated time over the recorded job
+  // durations: a deterministic event-driven list schedule (events ordered
+  // by end time, ties by submission id) on num_arrays arrays.
+  ScheduleReport report;
+  JobQueue queue;  // fresh aging state, default policy parameters
+  std::vector<const Job*> jobs;
+  {
+    std::lock_guard lock(mutex_);
+    for (const auto& job : jobs_) jobs.push_back(job.get());
+  }
+  report.jobs.resize(jobs.size());
+  for (const Job* job : jobs) {
+    queue.push(JobTicket{job->id, job->config.name, job->config.lanes,
+                         job->config.priority});
+    report.serialized += job->sim_duration;
+  }
+
+  using Event = std::tuple<sim::SimTime, std::uint64_t, std::size_t>;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> running;
+  std::size_t free = config_.num_arrays;
+  sim::SimTime now = 0;
+  std::size_t active = 0;
+  while (!queue.empty() || !running.empty()) {
+    while (config_.max_concurrent_jobs == 0 ||
+           active < config_.max_concurrent_jobs) {
+      std::optional<JobTicket> ticket = queue.pop_admissible(free);
+      if (!ticket.has_value()) break;
+      const Job* job = jobs[ticket->id];
+      ScheduleEntry& entry = report.jobs[ticket->id];
+      entry.name = job->config.name;
+      entry.lanes = job->config.lanes;
+      entry.start = now;
+      entry.end = now + job->sim_duration;
+      free -= job->config.lanes;
+      ++active;
+      running.emplace(entry.end, ticket->id, job->config.lanes);
+      report.makespan = std::max(report.makespan, entry.end);
+    }
+    if (running.empty()) {
+      // Nothing running and nothing admissible: only possible when the
+      // queue is empty too (every job fits an idle pool by construction).
+      EHW_ASSERT(queue.empty(), "scheduler replay stalled");
+      break;
+    }
+    const auto [end, id, lanes] = running.top();
+    running.pop();
+    static_cast<void>(id);
+    now = std::max(now, end);
+    free += lanes;
+    --active;
+  }
+  return report;
+}
+
+}  // namespace ehw::sched

@@ -1,0 +1,305 @@
+#pragma once
+// ArrayPool — the multi-mission scheduler: one pool of N simulated
+// processing arrays (with their reconfiguration engines) serving a stream
+// of concurrent evolution/mission jobs.
+//
+// Placement model. Arrays are allocated to a job for its whole run, at
+// job granularity: an admitted job leases `lanes` arrays, built as a
+// dedicated EvolvablePlatform slice (own timeline, own engine, own
+// configuration memory), and returns them on completion. This mirrors how
+// a real MPA fabric would be shared — evolving candidates are *resident
+// state* in the fabric, so time-multiplexing one array between two
+// missions would cost a full array reconfiguration per swap
+// (cells x kPeReconfigTime through the single engine) and destroy the
+// Fig. 11 R/F overlap; statically partitioning array modules between
+// concurrent jobs is the multiplexing a scheduler can actually win with
+// (cf. FPGA-cluster EHW, arXiv:1412.5384). It is also what makes mission
+// results BIT-IDENTICAL to standalone runs regardless of host
+// interleaving: no simulated state is shared between jobs.
+//
+// What IS shared: the host worker threads (each job body runs on its own
+// thread; pixel kernels may additionally fan out over PoolConfig
+// .host_pool), and the compiled-array cache — keyed by configuration
+// fingerprint (genotype + defect map), so identical candidates across
+// missions and generations never recompile. Cache warmth affects host
+// speed only, never simulated results.
+//
+// Unit of work: the PR-2 wave protocol. Drivers hold a
+// platform::WaveExecutor; the pool's MissionContext implements it by
+// running evaluate_offspring_wave with the cache's compile hook, checking
+// cancellation at wave boundaries and counting progress.
+//
+// Pool-level simulated time: each job's internal timeline starts at 0
+// (exactly like a standalone run); the pool separately replays its own
+// admission policy over the finished jobs' simulated durations to report
+// a deterministic cluster schedule (who ran when on the shared arrays,
+// makespan, missions per simulated second) that is independent of host
+// thread interleaving. See simulated_schedule().
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ehw/common/thread_pool.hpp"
+#include "ehw/platform/cascade_evolution.hpp"
+#include "ehw/platform/evolution_driver.hpp"
+#include "ehw/platform/mission.hpp"
+#include "ehw/platform/wave.hpp"
+#include "ehw/sched/compiled_cache.hpp"
+#include "ehw/sched/job_queue.hpp"
+
+namespace ehw::sched {
+
+struct PoolConfig {
+  /// Arrays in the pool (the schedulable capacity).
+  std::size_t num_arrays = 8;
+  /// Fabric parameters every leased platform slice is built with.
+  fpga::ArrayShape shape{4, 4};
+  double clock_mhz = 100.0;
+  std::size_t line_width = 128;
+  /// Compiled-array cache entries shared by every mission (0 disables).
+  std::size_t cache_capacity = 512;
+  /// Host thread pool handed to each mission's platform for intra-wave
+  /// candidate fan-out. nullptr keeps candidate evaluation
+  /// single-threaded inside each mission — mission-level concurrency
+  /// still comes from the pool's per-job threads. Must NOT be a pool any
+  /// job body itself runs on (its workers would deadlock waiting on
+  /// their own fan-out).
+  ThreadPool* host_pool = nullptr;
+  /// Cap on simultaneously running jobs; 0 = bounded by arrays only.
+  std::size_t max_concurrent_jobs = 0;
+};
+
+struct JobConfig {
+  std::string name = "job";
+  /// Arrays to lease (evaluation lanes); must be in [1, pool arrays].
+  std::size_t lanes = 1;
+  /// Higher admits earlier (see JobQueue for the fairness rules).
+  int priority = 0;
+  /// Seed of the leased fabric (fault-injection streams etc.); matches
+  /// the standalone PlatformConfig default so pooled and standalone runs
+  /// of the same mission see identical hardware.
+  std::uint64_t platform_seed = 0x13572468ACE02468ULL;
+  bool enable_trace = false;
+};
+
+enum class JobStatus : std::uint8_t {
+  kQueued,
+  kRunning,
+  kDone,
+  kFailed,
+  kCancelled,
+};
+
+/// Everything a finished job hands back. Which members are meaningful
+/// depends on the job body (evolution jobs fill `intrinsic`, cascade jobs
+/// `cascade`, mission-mode jobs `stats`); the pool itself fills the cache
+/// counters in `stats` and `error` on failure.
+struct JobOutcome {
+  platform::IntrinsicResult intrinsic;
+  platform::CascadeResult cascade;
+  platform::MissionStats stats;
+  std::string error;
+};
+
+/// Thrown out of MissionContext wave/cancellation points after
+/// MissionRunner::cancel(); the pool catches it and marks the job
+/// kCancelled. Job bodies should let it propagate.
+class MissionCancelled : public std::runtime_error {
+ public:
+  MissionCancelled() : std::runtime_error("mission cancelled") {}
+};
+
+class ArrayPool;
+
+/// Async handle to a submitted job: progress, cooperative cancellation
+/// and the result future. Thread-safe; outlives the pool's job record.
+class MissionRunner {
+ public:
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] JobStatus status() const;
+
+  /// Requests cooperative cancellation: the job stops at its next wave
+  /// boundary (or MissionContext::check_cancelled call). No-op once the
+  /// job finished.
+  void cancel() noexcept { cancel_.store(true, std::memory_order_relaxed); }
+
+  /// Blocks until the job left the running set (done/failed/cancelled).
+  void wait() const;
+
+  /// Waits, then returns the outcome (cache counters already merged).
+  [[nodiscard]] const JobOutcome& result() const;
+
+  /// Offspring waves completed so far (live progress).
+  [[nodiscard]] std::uint64_t waves_completed() const noexcept {
+    return waves_.load(std::memory_order_relaxed);
+  }
+
+  /// Simulated duration of the finished job (its platform's makespan).
+  [[nodiscard]] sim::SimTime sim_duration() const;
+
+ private:
+  friend class ArrayPool;
+  friend class MissionContext;
+
+  explicit MissionRunner(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] bool cancel_requested() const noexcept {
+    return cancel_.load(std::memory_order_relaxed);
+  }
+  void finish(JobStatus status, JobOutcome outcome, sim::SimTime duration);
+
+  std::string name_;
+  std::atomic<bool> cancel_{false};
+  std::atomic<std::uint64_t> waves_{0};
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  JobStatus status_ = JobStatus::kQueued;  // guarded by mutex_
+  JobOutcome outcome_;                     // guarded until finished
+  sim::SimTime sim_duration_ = 0;
+};
+
+/// The lease a running job body works through: implements WaveExecutor
+/// over the job's platform slice, routing candidate compilation through
+/// the pool's shared cache and honouring cancellation at wave boundaries.
+class MissionContext final : public platform::WaveExecutor {
+ public:
+  [[nodiscard]] platform::EvolvablePlatform& platform() noexcept override {
+    return *platform_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& lanes()
+      const noexcept override {
+    return lanes_;
+  }
+  platform::WaveOutcome run_wave(const std::vector<evo::Candidate>& offspring,
+                                 const std::vector<std::size_t>& wave_lanes,
+                                 const img::Image& input,
+                                 const img::Image& compare,
+                                 sim::SimTime barrier) override;
+
+  /// Cooperative cancellation point for job bodies with long phases
+  /// between waves. Throws MissionCancelled when cancel() was requested.
+  void check_cancelled() const;
+
+  [[nodiscard]] const JobConfig& job() const noexcept { return job_; }
+  [[nodiscard]] std::uint64_t cache_hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t cache_misses() const noexcept {
+    return misses_;
+  }
+
+ private:
+  friend class ArrayPool;
+  MissionContext(JobConfig job, const PoolConfig& pool_config,
+                 CompiledArrayCache* cache, MissionRunner* runner);
+
+  [[nodiscard]] std::shared_ptr<const pe::CompiledArray> compile_cached(
+      std::size_t lane);
+
+  JobConfig job_;
+  std::unique_ptr<platform::EvolvablePlatform> platform_;
+  std::vector<std::size_t> lanes_;
+  CompiledArrayCache* cache_;  // nullptr-safe (uncached)
+  MissionRunner* runner_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+class ArrayPool {
+ public:
+  /// A job body: drive the mission through the context (the wave
+  /// executor) and record results into the outcome.
+  using JobBody = std::function<void(MissionContext&, JobOutcome&)>;
+
+  explicit ArrayPool(PoolConfig config);
+  ~ArrayPool();
+
+  ArrayPool(const ArrayPool&) = delete;
+  ArrayPool& operator=(const ArrayPool&) = delete;
+
+  [[nodiscard]] const PoolConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t num_arrays() const noexcept {
+    return config_.num_arrays;
+  }
+
+  /// Enqueues a job; it starts as soon as the admission policy grants it
+  /// `job.lanes` arrays. Requires 1 <= lanes <= num_arrays.
+  std::shared_ptr<MissionRunner> submit(JobConfig job, JobBody body);
+
+  /// Blocks until every job submitted so far has finished.
+  void wait_all();
+
+  /// Shared compiled-array cache traffic (all missions).
+  [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
+
+  /// Currently running + queued job counts (snapshot).
+  [[nodiscard]] std::size_t jobs_in_flight() const;
+
+  // --- pool-level simulated schedule -------------------------------------
+  struct ScheduleEntry {
+    std::string name;
+    std::size_t lanes = 1;
+    sim::SimTime start = 0;  // pool simulated time the job's arrays engage
+    sim::SimTime end = 0;
+  };
+  struct ScheduleReport {
+    std::vector<ScheduleEntry> jobs;  // submission order
+    /// Pool makespan: when the last job's arrays free up.
+    sim::SimTime makespan = 0;
+    /// Sum of job durations = makespan of a one-job-at-a-time pool.
+    sim::SimTime serialized = 0;
+    [[nodiscard]] double speedup() const {
+      return makespan == 0 ? 0.0
+                           : static_cast<double>(serialized) /
+                                 static_cast<double>(makespan);
+    }
+    [[nodiscard]] double missions_per_sim_second() const {
+      return makespan == 0
+                 ? 0.0
+                 : static_cast<double>(jobs.size()) / sim::to_seconds(makespan);
+    }
+  };
+
+  /// Waits for every submitted job, then deterministically replays the
+  /// admission policy over their simulated durations: the cluster
+  /// schedule the paper's fabric would execute on the whole batch,
+  /// independent of host thread interleaving. This is the
+  /// scheduler-throughput metric (missions per simulated second) tracked
+  /// in the bench suite. Note it is the policy's *plan* with every job
+  /// known up front; live host admission can order differently when jobs
+  /// are submitted over time (results never depend on that order, only
+  /// cache warmth does).
+  [[nodiscard]] ScheduleReport simulated_schedule();
+
+ private:
+  struct Job {
+    JobConfig config;
+    JobBody body;
+    std::shared_ptr<MissionRunner> runner;
+    std::uint64_t id = 0;
+    std::thread thread;          // set at admission; joined by wait_all
+    bool finished = false;       // guarded by pool mutex
+    sim::SimTime sim_duration = 0;
+  };
+
+  /// Admits queued jobs while capacity allows. Caller holds mutex_.
+  void admit_locked();
+  void run_job(Job* job);
+
+  PoolConfig config_;
+  CompiledArrayCache cache_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  JobQueue queue_;
+  std::vector<std::unique_ptr<Job>> jobs_;  // submission order, stable addrs
+  std::size_t free_arrays_;
+  std::size_t running_ = 0;
+};
+
+}  // namespace ehw::sched

@@ -1,0 +1,233 @@
+#include "ehw/sched/missions.hpp"
+
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+
+#include "ehw/img/filters.hpp"
+#include "ehw/img/morphology.hpp"
+#include "ehw/img/noise.hpp"
+#include "ehw/img/synthetic.hpp"
+
+namespace ehw::sched {
+namespace {
+
+evo::EsConfig es_config(const MissionSpec& spec) {
+  evo::EsConfig es;
+  es.lambda = spec.lambda;
+  es.mutation_rate = spec.mutation_rate;
+  es.two_level = spec.two_level;
+  es.lanes = spec.lanes;
+  es.generations = spec.generations;
+  es.seed = spec.seed;
+  return es;
+}
+
+[[noreturn]] void manifest_error(std::size_t line, const std::string& what) {
+  throw std::runtime_error("manifest line " + std::to_string(line) + ": " +
+                           what);
+}
+
+/// Strict unsigned parse: std::stoul would silently accept "-1" (it wraps
+/// to 2^64-1, sailing past every range check), so digits only.
+std::uint64_t parse_u64(std::size_t line, const std::string& key,
+                        const std::string& value) {
+  if (value.find_first_not_of("0123456789") != std::string::npos) {
+    manifest_error(line, "bad value for '" + key + "': " + value);
+  }
+  try {
+    return std::stoull(value);
+  } catch (const std::exception&) {
+    manifest_error(line, "value out of range for '" + key + "'");
+  }
+}
+
+bool parse_kind(const std::string& word, MissionKind& kind) {
+  if (word == "denoise") {
+    kind = MissionKind::kDenoise;
+  } else if (word == "edge") {
+    kind = MissionKind::kEdge;
+  } else if (word == "morphology") {
+    kind = MissionKind::kMorphology;
+  } else if (word == "cascade") {
+    kind = MissionKind::kCascade;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* kind_name(MissionKind kind) noexcept {
+  switch (kind) {
+    case MissionKind::kDenoise: return "denoise";
+    case MissionKind::kEdge: return "edge";
+    case MissionKind::kMorphology: return "morphology";
+    case MissionKind::kCascade: return "cascade";
+  }
+  return "?";
+}
+
+std::vector<MissionSpec> parse_manifest(std::istream& in) {
+  std::vector<MissionSpec> specs;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream words(line);
+    std::string kind_word;
+    if (!(words >> kind_word)) continue;  // blank / comment-only line
+
+    MissionSpec spec;
+    if (!parse_kind(kind_word, spec.kind)) {
+      manifest_error(line_no, "unknown mission kind '" + kind_word + "'");
+    }
+    if (!(words >> spec.name)) {
+      manifest_error(line_no, "missing mission name");
+    }
+    std::string option;
+    while (words >> option) {
+      const std::size_t eq = option.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == option.size()) {
+        manifest_error(line_no, "expected key=value, got '" + option + "'");
+      }
+      const std::string key = option.substr(0, eq);
+      const std::string value = option.substr(eq + 1);
+      if (key == "lanes") {
+        spec.lanes =
+            static_cast<std::size_t>(parse_u64(line_no, key, value));
+      } else if (key == "priority") {
+        try {
+          std::size_t used = 0;
+          spec.priority = std::stoi(value, &used);
+          if (used != value.size()) throw std::invalid_argument(value);
+        } catch (const std::exception&) {
+          manifest_error(line_no, "bad value for '" + key + "': " + value);
+        }
+      } else if (key == "generations") {
+        spec.generations =
+            static_cast<Generation>(parse_u64(line_no, key, value));
+      } else if (key == "size") {
+        spec.size = static_cast<std::size_t>(parse_u64(line_no, key, value));
+      } else if (key == "noise") {
+        try {
+          std::size_t used = 0;
+          spec.noise = std::stod(value, &used);
+          if (used != value.size()) throw std::invalid_argument(value);
+        } catch (const std::exception&) {
+          manifest_error(line_no, "bad value for '" + key + "': " + value);
+        }
+        if (!(spec.noise >= 0.0 && spec.noise <= 1.0)) {
+          manifest_error(line_no, "noise must be in [0, 1]");
+        }
+      } else if (key == "rate") {
+        spec.mutation_rate =
+            static_cast<std::size_t>(parse_u64(line_no, key, value));
+      } else if (key == "lambda") {
+        spec.lambda =
+            static_cast<std::size_t>(parse_u64(line_no, key, value));
+      } else if (key == "seed") {
+        spec.seed = parse_u64(line_no, key, value);
+      } else if (key == "scene-seed") {
+        spec.scene_seed = parse_u64(line_no, key, value);
+      } else if (key == "two-level") {
+        spec.two_level = value != "0";
+      } else if (key == "merged") {
+        spec.merged_fitness = value != "0";
+      } else if (key == "interleaved") {
+        spec.interleaved = value != "0";
+      } else {
+        manifest_error(line_no, "unknown key '" + key + "'");
+      }
+    }
+    if (spec.lanes == 0) manifest_error(line_no, "lanes must be >= 1");
+    if (spec.size < 4 || spec.size > 4096) {
+      manifest_error(line_no, "size must be in [4, 4096]");
+    }
+    if (spec.lambda == 0) manifest_error(line_no, "lambda must be >= 1");
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+MissionImages make_mission_images(const MissionSpec& spec) {
+  const img::Image scene =
+      img::make_scene(spec.size, spec.size, spec.scene_seed);
+  MissionImages images;
+  switch (spec.kind) {
+    case MissionKind::kDenoise:
+    case MissionKind::kCascade: {
+      Rng rng(hash_mix(spec.seed, 0xA11CE, spec.scene_seed));
+      images.train = img::add_salt_pepper(scene, spec.noise, rng);
+      images.reference = scene;
+      break;
+    }
+    case MissionKind::kEdge:
+      images.train = scene;
+      images.reference = img::sobel_magnitude(scene);
+      break;
+    case MissionKind::kMorphology:
+      images.train = scene;
+      images.reference = img::dilate3x3(scene);
+      break;
+  }
+  return images;
+}
+
+JobConfig make_job_config(const MissionSpec& spec) {
+  JobConfig job;
+  job.name = spec.name;
+  job.lanes = spec.lanes;
+  job.priority = spec.priority;
+  return job;
+}
+
+void run_spec(platform::WaveExecutor& executor, const MissionSpec& spec,
+              JobOutcome& outcome) {
+  const MissionImages images = make_mission_images(spec);
+  if (spec.kind == MissionKind::kCascade) {
+    platform::CascadeConfig config;
+    config.es = es_config(spec);
+    config.fitness = spec.merged_fitness ? platform::CascadeFitness::kMerged
+                                         : platform::CascadeFitness::kSeparate;
+    config.schedule = spec.interleaved
+                          ? platform::CascadeSchedule::kInterleaved
+                          : platform::CascadeSchedule::kSequential;
+    outcome.cascade = platform::evolve_cascade_mission(
+        executor, images.train, images.reference, config);
+    outcome.stats.mission_time = outcome.cascade.duration;
+  } else {
+    outcome.intrinsic = platform::evolve_mission(
+        executor, images.train, images.reference, es_config(spec));
+    outcome.stats.mission_time = outcome.intrinsic.duration;
+  }
+}
+
+ArrayPool::JobBody make_job_body(MissionSpec spec) {
+  return [spec = std::move(spec)](MissionContext& context,
+                                  JobOutcome& outcome) {
+    run_spec(context, spec, outcome);
+  };
+}
+
+JobOutcome run_spec_standalone(const MissionSpec& spec,
+                               ThreadPool* host_pool) {
+  platform::PlatformConfig pc;
+  pc.num_arrays = spec.lanes;
+  // Leave shape/clock/line_width/seed at their defaults — the same values
+  // PoolConfig/JobConfig default to, so this run is bit-comparable to the
+  // pooled one.
+  pc.pool = host_pool;
+  platform::EvolvablePlatform platform(pc);
+  std::vector<std::size_t> lanes(spec.lanes);
+  for (std::size_t i = 0; i < lanes.size(); ++i) lanes[i] = i;
+  platform::DirectWaveExecutor executor(platform, lanes);
+  JobOutcome outcome;
+  run_spec(executor, spec, outcome);
+  return outcome;
+}
+
+}  // namespace ehw::sched

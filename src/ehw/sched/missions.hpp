@@ -1,0 +1,87 @@
+#pragma once
+// Standard mission kinds and the batch job manifest.
+//
+// A MissionSpec describes one self-contained workload over deterministic
+// synthetic imagery (pure in its parameters, so pooled and standalone
+// runs see identical inputs):
+//   denoise     evolve a salt&pepper denoiser   (train: noisy, ref: clean)
+//   edge        evolve an edge detector         (ref: Sobel magnitude)
+//   morphology  evolve a dilation filter        (ref: 3x3 max / dilate)
+//   cascade     collaborative cascaded evolution over `lanes` stages
+//
+// Manifest format (one job per line; '#' starts a comment):
+//   <kind> <name> [key=value ...]
+// keys: lanes, priority, generations, size, noise, rate, lambda, seed,
+//       scene-seed, two-level, merged, interleaved
+// e.g.
+//   denoise dn0 lanes=3 generations=300 noise=0.3 seed=5
+//   cascade ca0 lanes=3 generations=80 interleaved=1
+//
+// The same spec runs as an ArrayPool job (make_job_body) or standalone on
+// a dedicated platform (run_spec_standalone) — the determinism suite
+// asserts the two produce bit-identical results.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ehw/sched/array_pool.hpp"
+
+namespace ehw::sched {
+
+enum class MissionKind : std::uint8_t {
+  kDenoise,
+  kEdge,
+  kMorphology,
+  kCascade,
+};
+
+[[nodiscard]] const char* kind_name(MissionKind kind) noexcept;
+
+struct MissionSpec {
+  MissionKind kind = MissionKind::kDenoise;
+  std::string name = "mission";
+  std::size_t lanes = 1;
+  int priority = 0;
+  /// Synthetic scene side length (images are size x size).
+  std::size_t size = 32;
+  std::uint64_t scene_seed = 7;
+  /// Salt&pepper density for the noisy kinds.
+  double noise = 0.3;
+  Generation generations = 200;
+  std::size_t lambda = 9;
+  std::size_t mutation_rate = 3;
+  bool two_level = false;
+  std::uint64_t seed = 1;
+  /// Cascade options (ignored by the other kinds).
+  bool merged_fitness = false;
+  bool interleaved = false;
+};
+
+/// Parses a manifest; throws std::runtime_error naming the offending line
+/// on malformed input.
+[[nodiscard]] std::vector<MissionSpec> parse_manifest(std::istream& in);
+
+/// The spec's train/reference image pair (deterministic).
+struct MissionImages {
+  img::Image train;
+  img::Image reference;
+};
+[[nodiscard]] MissionImages make_mission_images(const MissionSpec& spec);
+
+/// Pool submission helpers.
+[[nodiscard]] JobConfig make_job_config(const MissionSpec& spec);
+[[nodiscard]] ArrayPool::JobBody make_job_body(MissionSpec spec);
+
+/// Drives the spec through any wave executor (a pool lease or a direct
+/// one); fills the outcome like the pool job body does (minus the cache
+/// counters, which belong to the pool).
+void run_spec(platform::WaveExecutor& executor, const MissionSpec& spec,
+              JobOutcome& outcome);
+
+/// Reference run on a dedicated standalone platform (the pre-scheduler
+/// behaviour): the bit-identical baseline for multiplexed runs.
+[[nodiscard]] JobOutcome run_spec_standalone(const MissionSpec& spec,
+                                             ThreadPool* host_pool = nullptr);
+
+}  // namespace ehw::sched

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <unordered_set>
 
 #include "ehw/evo/es.hpp"
 #include "ehw/evo/fitness.hpp"
@@ -64,6 +65,42 @@ TEST(Genotype, FunctionDiffAndHamming) {
   b.set_tap_gene(2, (b.tap_gene(2) + 1) % 9);
   EXPECT_EQ(Genotype::function_diff(a, b), std::vector<std::size_t>{3});
   EXPECT_EQ(Genotype::hamming_distance(a, b), 2u);
+}
+
+TEST(Genotype, HashStableEqualAndSensitiveToEveryGeneBlock) {
+  Rng rng(6);
+  const Genotype a = Genotype::random({4, 4}, rng);
+  const Genotype copy = a;
+  EXPECT_EQ(a.hash(), copy.hash());  // content hash: copies agree
+
+  // Flipping any single gene block member moves the hash.
+  Genotype f = a;
+  f.set_function_gene(0, static_cast<std::uint8_t>((f.function_gene(0) + 1) %
+                                                   16));
+  EXPECT_NE(f.hash(), a.hash());
+  Genotype t = a;
+  t.set_tap_gene(1, static_cast<std::uint8_t>((t.tap_gene(1) + 1) % 9));
+  EXPECT_NE(t.hash(), a.hash());
+  Genotype o = a;
+  o.set_output_row((o.output_row() + 1) % 4);
+  EXPECT_NE(o.hash(), a.hash());
+
+  // Shape participates too: a 3x3 and a 4x4 all-zero genotype differ.
+  EXPECT_NE(Genotype(fpga::ArrayShape{3, 3}).hash(),
+            Genotype(fpga::ArrayShape{4, 4}).hash());
+}
+
+TEST(Genotype, HashDedupsPopulations) {
+  // The standalone use of the hash: duplicate-candidate statistics.
+  Rng rng(7);
+  const Genotype parent = Genotype::random({4, 4}, rng);
+  std::unordered_set<Genotype, GenotypeHash> seen;
+  seen.insert(parent);
+  seen.insert(parent);                 // duplicate collapses
+  Genotype child = parent;
+  child.set_output_row((child.output_row() + 1) % 4);
+  seen.insert(child);
+  EXPECT_EQ(seen.size(), 2u);
 }
 
 TEST(Genotype, ToStringMentionsOps) {

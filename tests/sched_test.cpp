@@ -1,0 +1,363 @@
+// Tests for the multi-mission scheduler: compiled-array cache behaviour,
+// job-queue priority/fairness/admission, and the ArrayPool — above all
+// that K missions multiplexed on one pool produce BIT-IDENTICAL results
+// to the same missions run standalone or one-at-a-time (simulated state
+// is never shared between jobs; only host threads and the compiled-array
+// cache are, and cache warmth must never leak into results).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "ehw/sched/array_pool.hpp"
+#include "ehw/sched/missions.hpp"
+#include "test_util.hpp"
+
+namespace ehw::sched {
+namespace {
+
+pe::CompiledArray make_compiled(std::uint64_t seed) {
+  Rng rng(seed);
+  return pe::CompiledArray(
+      evo::Genotype::random(fpga::ArrayShape{4, 4}, rng).to_array());
+}
+
+// --- CompiledArrayCache -----------------------------------------------------
+
+TEST(CompiledCache, HitsMissesAndLruEviction) {
+  CompiledArrayCache cache(2);
+  std::size_t compiles = 0;
+  const auto compile = [&compiles] {
+    ++compiles;
+    return make_compiled(1);
+  };
+
+  EXPECT_NE(cache.get_or_compile(10, compile), nullptr);  // miss
+  EXPECT_NE(cache.get_or_compile(10, compile), nullptr);  // hit
+  EXPECT_EQ(compiles, 1u);
+
+  bool hit = false;
+  static_cast<void>(cache.get_or_compile(20, compile, &hit));  // miss
+  EXPECT_FALSE(hit);
+  static_cast<void>(cache.get_or_compile(10, compile, &hit));  // hit: 10 MRU
+  EXPECT_TRUE(hit);
+  static_cast<void>(cache.get_or_compile(30, compile, &hit));  // evicts 20
+  EXPECT_FALSE(hit);
+  static_cast<void>(cache.get_or_compile(20, compile, &hit));  // miss again
+  EXPECT_FALSE(hit);
+  static_cast<void>(cache.get_or_compile(10, compile, &hit));  // 10 survived?
+  EXPECT_FALSE(hit);  // no: 20's reinsert evicted LRU 10 (cap 2: {30, 20})
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 5u);
+  EXPECT_EQ(stats.evictions, 3u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_GT(stats.hit_rate(), 0.0);
+}
+
+TEST(CompiledCache, SharedInstanceAndCapacityZeroDisables) {
+  CompiledArrayCache cache(4);
+  const auto a = cache.get_or_compile(7, [] { return make_compiled(2); });
+  const auto b = cache.get_or_compile(7, [] { return make_compiled(2); });
+  EXPECT_EQ(a.get(), b.get());  // one shared instance
+
+  CompiledArrayCache off(0);
+  const auto c = off.get_or_compile(7, [] { return make_compiled(2); });
+  const auto d = off.get_or_compile(7, [] { return make_compiled(2); });
+  EXPECT_NE(c.get(), d.get());
+  EXPECT_EQ(off.stats().hits, 0u);
+  EXPECT_EQ(off.stats().misses, 2u);
+}
+
+// --- JobQueue ---------------------------------------------------------------
+
+JobTicket ticket(std::uint64_t id, std::size_t lanes, int priority) {
+  // Plain to_string: gcc 12 -O3 has a -Wrestrict false positive on
+  // operator+(const char*, std::string&&).
+  return JobTicket{id, std::to_string(id), lanes, priority};
+}
+
+TEST(JobQueue, PriorityThenFifo) {
+  JobQueue q;
+  q.push(ticket(0, 1, 0));
+  q.push(ticket(1, 1, 5));
+  q.push(ticket(2, 1, 5));
+  EXPECT_EQ(q.pop_admissible(8)->id, 1u);  // highest priority, earliest
+  EXPECT_EQ(q.pop_admissible(8)->id, 2u);
+  EXPECT_EQ(q.pop_admissible(8)->id, 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(JobQueue, RespectsCapacity) {
+  JobQueue q;
+  q.push(ticket(0, 3, 1));
+  EXPECT_FALSE(q.pop_admissible(2).has_value());
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.pop_admissible(3)->id, 0u);
+}
+
+TEST(JobQueue, AgingPromotesStarvedJobOverFreshArrivals) {
+  // A waiting ticket gains one effective priority per aging_rounds
+  // admissions, so a continuous stream of FRESH high-priority arrivals
+  // cannot starve it: once aged, it ties them and FIFO wins the tie.
+  JobQueue q(/*aging_rounds=*/4);
+  q.push(ticket(0, 1, 0));  // the starved low-priority job
+  q.push(ticket(1, 1, 1));
+  EXPECT_EQ(q.pop_admissible(8)->id, 1u);
+  q.push(ticket(2, 1, 1));
+  EXPECT_EQ(q.pop_admissible(8)->id, 2u);
+  q.push(ticket(3, 1, 1));
+  EXPECT_EQ(q.pop_admissible(8)->id, 3u);
+  q.push(ticket(4, 1, 1));
+  EXPECT_EQ(q.pop_admissible(8)->id, 4u);
+  q.push(ticket(5, 1, 1));
+  // Ticket 0 waited through 4 admissions: effective 0 + 4/4 = 1, and the
+  // smaller id beats the fresh priority-1 arrival.
+  EXPECT_EQ(q.pop_admissible(8)->id, 0u);
+  EXPECT_EQ(q.pop_admissible(8)->id, 5u);
+}
+
+TEST(JobQueue, HeadOfLineProtectionForWideJobs) {
+  // Small jobs may backfill around a wide job that doesn't fit — but only
+  // starvation_age times; then the queue refuses to admit anything until
+  // the wide job fits.
+  JobQueue q(/*aging_rounds=*/4, /*starvation_age=*/16);
+  q.push(ticket(0, 4, 0));  // wide, head of line
+  for (std::uint64_t id = 1; id <= 20; ++id) q.push(ticket(id, 1, 0));
+  for (std::uint64_t round = 0; round < 16; ++round) {
+    const auto t = q.pop_admissible(1);  // wide job never fits one array
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->id, round + 1);
+  }
+  EXPECT_FALSE(q.pop_admissible(1).has_value());  // drain mode
+  EXPECT_EQ(q.pop_admissible(4)->id, 0u);         // wide job finally fits
+  EXPECT_EQ(q.pop_admissible(1)->id, 17u);        // backfill resumes
+}
+
+// --- ArrayPool --------------------------------------------------------------
+
+std::vector<MissionSpec> heterogeneous_specs() {
+  // Four different workloads: parallel denoise (3 lanes), edge detection
+  // (2 lanes), single-lane morphology, collaborative cascade (2 stages).
+  std::istringstream manifest(R"(
+# batch determinism workload
+denoise    dn0 lanes=3 generations=30 size=24 noise=0.3 seed=5
+edge       ed0 lanes=2 generations=25 size=24 seed=7
+morphology mo0 lanes=1 generations=20 size=24 seed=9 two-level=1
+cascade    ca0 lanes=2 generations=8 size=24 noise=0.2 seed=11
+)");
+  return parse_manifest(manifest);
+}
+
+void expect_same_outcome(const JobOutcome& a, const JobOutcome& b) {
+  EXPECT_EQ(a.intrinsic.es.best, b.intrinsic.es.best);
+  EXPECT_EQ(a.intrinsic.es.best_fitness, b.intrinsic.es.best_fitness);
+  EXPECT_EQ(a.intrinsic.es.generations_run, b.intrinsic.es.generations_run);
+  ASSERT_EQ(a.intrinsic.es.history.size(), b.intrinsic.es.history.size());
+  for (std::size_t i = 0; i < a.intrinsic.es.history.size(); ++i) {
+    EXPECT_EQ(a.intrinsic.es.history[i].generation,
+              b.intrinsic.es.history[i].generation);
+    EXPECT_EQ(a.intrinsic.es.history[i].fitness,
+              b.intrinsic.es.history[i].fitness);
+  }
+  EXPECT_EQ(a.intrinsic.duration, b.intrinsic.duration);
+  EXPECT_EQ(a.intrinsic.pe_writes, b.intrinsic.pe_writes);
+  ASSERT_EQ(a.cascade.stages.size(), b.cascade.stages.size());
+  for (std::size_t s = 0; s < a.cascade.stages.size(); ++s) {
+    EXPECT_EQ(a.cascade.stages[s].best, b.cascade.stages[s].best);
+    EXPECT_EQ(a.cascade.stages[s].stage_fitness,
+              b.cascade.stages[s].stage_fitness);
+  }
+  EXPECT_EQ(a.cascade.chain_fitness, b.cascade.chain_fitness);
+  EXPECT_EQ(a.cascade.duration, b.cascade.duration);
+  // Simulated mission time is part of the reproducible result; cache
+  // hits/misses intentionally are NOT (they depend on what other
+  // missions warmed the shared cache with).
+  EXPECT_EQ(a.stats.mission_time, b.stats.mission_time);
+}
+
+TEST(ArrayPool, MultiplexedMissionsBitIdenticalToSequentialAndStandalone) {
+  const std::vector<MissionSpec> specs = heterogeneous_specs();
+  ASSERT_EQ(specs.size(), 4u);
+
+  // Concurrently multiplexed: 4 heterogeneous jobs on 8 arrays.
+  PoolConfig concurrent;
+  concurrent.num_arrays = 8;
+  ArrayPool pool(concurrent);
+  std::vector<std::shared_ptr<MissionRunner>> runners;
+  for (const MissionSpec& spec : specs) {
+    runners.push_back(pool.submit(make_job_config(spec),
+                                  make_job_body(spec)));
+  }
+  pool.wait_all();
+
+  // One-at-a-time on a fresh pool (shared cache, zero concurrency).
+  PoolConfig serial = concurrent;
+  serial.max_concurrent_jobs = 1;
+  ArrayPool serial_pool(serial);
+  std::vector<std::shared_ptr<MissionRunner>> serial_runners;
+  for (const MissionSpec& spec : specs) {
+    serial_runners.push_back(
+        serial_pool.submit(make_job_config(spec), make_job_body(spec)));
+  }
+  serial_pool.wait_all();
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    ASSERT_EQ(runners[i]->status(), JobStatus::kDone) << specs[i].name;
+    ASSERT_EQ(serial_runners[i]->status(), JobStatus::kDone);
+    // Multiplexed == one-at-a-time on the pool...
+    expect_same_outcome(runners[i]->result(), serial_runners[i]->result());
+    // ...== the pre-scheduler standalone driver run.
+    expect_same_outcome(runners[i]->result(), run_spec_standalone(specs[i]));
+  }
+
+  // Progress accounting: evolution jobs run one wave per generation.
+  EXPECT_EQ(runners[0]->waves_completed(),
+            runners[0]->result().intrinsic.es.generations_run);
+}
+
+TEST(ArrayPool, CacheHitRateAboveZeroOnRepeatedGenotypeWorkload) {
+  MissionSpec spec;
+  spec.kind = MissionKind::kDenoise;
+  spec.name = "repeat";
+  spec.lanes = 2;
+  spec.size = 24;
+  spec.generations = 20;
+  spec.seed = 33;
+
+  PoolConfig config;
+  config.num_arrays = 2;
+  config.max_concurrent_jobs = 1;  // deterministic cache interleaving
+  ArrayPool pool(config);
+  const auto first = pool.submit(make_job_config(spec), make_job_body(spec));
+  const auto second = pool.submit(make_job_config(spec), make_job_body(spec));
+  pool.wait_all();
+
+  ASSERT_EQ(first->status(), JobStatus::kDone);
+  ASSERT_EQ(second->status(), JobStatus::kDone);
+  // Identical mission replayed against a warm cache: every candidate the
+  // first run compiled is served from the cache in the second.
+  const platform::MissionStats& warm = second->result().stats;
+  EXPECT_GT(warm.cache_hits, 0u);
+  EXPECT_GT(warm.cache_hit_rate(), 0.5);
+  EXPECT_GT(pool.cache_stats().hits, 0u);
+  // And the warm run's mission results are still bit-identical.
+  expect_same_outcome(first->result(), second->result());
+}
+
+TEST(ArrayPool, CancelStopsMissionAtWaveBoundary) {
+  PoolConfig config;
+  config.num_arrays = 1;
+  ArrayPool pool(config);
+  std::atomic<bool> started{false};
+  const auto runner = pool.submit(
+      JobConfig{"cancellee", 1},
+      [&started](MissionContext& context, JobOutcome&) {
+        started.store(true);
+        for (;;) {
+          context.check_cancelled();
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      });
+  while (!started.load()) std::this_thread::yield();
+  runner->cancel();
+  runner->wait();
+  EXPECT_EQ(runner->status(), JobStatus::kCancelled);
+}
+
+TEST(ArrayPool, FailedJobReportsError) {
+  ArrayPool pool(PoolConfig{});
+  const auto runner =
+      pool.submit(JobConfig{"thrower", 1},
+                  [](MissionContext&, JobOutcome&) {
+                    throw std::runtime_error("boom");
+                  });
+  runner->wait();
+  EXPECT_EQ(runner->status(), JobStatus::kFailed);
+  EXPECT_EQ(runner->result().error, "boom");
+}
+
+TEST(ArrayPool, SimulatedScheduleOverlapsMissionsOnFreeArrays) {
+  // Four identical 2-lane jobs on 8 arrays all engage at pool time 0, so
+  // the pool's simulated makespan is one job duration and multiplexed
+  // throughput is 4x the one-at-a-time pool — the scheduler's win.
+  MissionSpec spec;
+  spec.kind = MissionKind::kDenoise;
+  spec.lanes = 2;
+  spec.size = 16;
+  spec.generations = 10;
+
+  PoolConfig config;
+  config.num_arrays = 8;
+  ArrayPool pool(config);
+  for (int j = 0; j < 4; ++j) {
+    spec.name = std::to_string(j);
+    pool.submit(make_job_config(spec), make_job_body(spec));
+  }
+  const ArrayPool::ScheduleReport report = pool.simulated_schedule();
+  ASSERT_EQ(report.jobs.size(), 4u);
+  for (const ArrayPool::ScheduleEntry& entry : report.jobs) {
+    EXPECT_EQ(entry.start, 0);  // all four admitted at pool time zero
+    EXPECT_EQ(entry.end, report.makespan);
+  }
+  EXPECT_EQ(report.serialized, 4 * report.makespan);
+  EXPECT_DOUBLE_EQ(report.speedup(), 4.0);
+  EXPECT_GT(report.missions_per_sim_second(), 0.0);
+
+  // The same workload on a one-job pool serializes completely.
+  PoolConfig narrow = config;
+  narrow.max_concurrent_jobs = 1;
+  ArrayPool narrow_pool(narrow);
+  for (int j = 0; j < 4; ++j) {
+    spec.name = std::to_string(j);
+    narrow_pool.submit(make_job_config(spec), make_job_body(spec));
+  }
+  const ArrayPool::ScheduleReport serial = narrow_pool.simulated_schedule();
+  EXPECT_EQ(serial.makespan, serial.serialized);
+  EXPECT_DOUBLE_EQ(serial.speedup(), 1.0);
+}
+
+TEST(ArrayPool, RejectsOversizedLaneDemand) {
+  PoolConfig config;
+  config.num_arrays = 2;
+  ArrayPool pool(config);
+  EXPECT_THROW(pool.submit(JobConfig{"too-wide", 3},
+                           [](MissionContext&, JobOutcome&) {}),
+               std::exception);
+}
+
+TEST(Manifest, ParsesKindsAndRejectsMalformedLines) {
+  std::istringstream good(R"(
+denoise a lanes=2 generations=5
+edge b size=16        # trailing comment
+)");
+  const std::vector<MissionSpec> specs = parse_manifest(good);
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].kind, MissionKind::kDenoise);
+  EXPECT_EQ(specs[0].lanes, 2u);
+  EXPECT_EQ(specs[1].name, "b");
+  EXPECT_EQ(specs[1].size, 16u);
+
+  std::istringstream bad_kind("transmogrify x lanes=1");
+  EXPECT_THROW(parse_manifest(bad_kind), std::runtime_error);
+  std::istringstream bad_kv("denoise x lanes");
+  EXPECT_THROW(parse_manifest(bad_kv), std::runtime_error);
+  std::istringstream bad_value("denoise x lanes=purple");
+  EXPECT_THROW(parse_manifest(bad_value), std::runtime_error);
+  std::istringstream no_name("denoise");
+  EXPECT_THROW(parse_manifest(no_name), std::runtime_error);
+  // Negative values must be rejected, not wrapped to 2^64-1 by stoul.
+  std::istringstream negative_size("denoise x size=-1");
+  EXPECT_THROW(parse_manifest(negative_size), std::runtime_error);
+  std::istringstream negative_gens("denoise x generations=-5");
+  EXPECT_THROW(parse_manifest(negative_gens), std::runtime_error);
+  std::istringstream noise_range("denoise x noise=1.5");
+  EXPECT_THROW(parse_manifest(noise_range), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ehw::sched

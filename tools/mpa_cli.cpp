@@ -11,15 +11,20 @@
 //   schematic --lib filters.txt --name NAME      ASCII circuit + liveness
 //   campaign  --lib filters.txt --name NAME      systematic PE fault
 //             --train in.pgm --ref ref.pgm       campaign + criticality map
+//   batch     --manifest jobs.txt [--arrays N]   run a manifest of
+//             [--cache N] [--sequential]         heterogeneous missions
+//                                                concurrently on one
+//                                                scheduler ArrayPool
 //   demo      [--size N] [--noise D]             end-to-end synthetic demo
 //
-// Every run is deterministic for a given --seed.
+// Every run is deterministic for a given --seed; batch results are
+// bit-identical whether jobs are multiplexed or run --sequential.
 
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
-
-#include <fstream>
 
 #include "ehw/analysis/campaign.hpp"
 #include "ehw/analysis/report.hpp"
@@ -34,16 +39,36 @@
 #include "ehw/platform/evolution_driver.hpp"
 #include "ehw/resources/floorplan.hpp"
 #include "ehw/resources/model.hpp"
+#include "ehw/sched/array_pool.hpp"
+#include "ehw/sched/missions.hpp"
 
 namespace {
 
 using namespace ehw;
 
+constexpr const char* kInfoUsage = "mpa info [--stages N]";
+constexpr const char* kEvolveUsage =
+    "mpa evolve --train in.pgm --ref ref.pgm --lib filters.txt --name NAME "
+    "[--arrays N] [--generations N] [--rate K] [--two-level] [--seed N]";
+constexpr const char* kFilterUsage =
+    "mpa filter --lib filters.txt --name NAME --in x.pgm --out y.pgm";
+constexpr const char* kSchematicUsage =
+    "mpa schematic --lib filters.txt --name NAME";
+constexpr const char* kCampaignUsage =
+    "mpa campaign --lib filters.txt --name NAME --train in.pgm --ref ref.pgm "
+    "[--recover] [--generations N]";
+constexpr const char* kBatchUsage =
+    "mpa batch --manifest jobs.txt [--arrays N] [--cache N] [--max-jobs N] "
+    "[--sequential]";
+constexpr const char* kDemoUsage = "mpa demo [--size N] [--noise D] [--seed N]";
+
 void print_usage(std::FILE* out) {
   std::fprintf(out,
-               "usage: mpa <info|evolve|filter|schematic|campaign|demo> "
+               "usage: mpa <info|evolve|filter|schematic|campaign|batch|demo> "
                "[options]\n"
-               "run 'mpa <cmd>' with missing options to see what it needs\n");
+               "  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n",
+               kInfoUsage, kEvolveUsage, kFilterUsage, kSchematicUsage,
+               kCampaignUsage, kBatchUsage, kDemoUsage);
 }
 
 int usage() {
@@ -51,14 +76,19 @@ int usage() {
   return 2;
 }
 
-[[noreturn]] void fail(const std::string& message) {
+[[noreturn]] void fail(const std::string& message,
+                       const char* cmd_usage = nullptr) {
   std::fprintf(stderr, "mpa: %s\n", message.c_str());
+  if (cmd_usage != nullptr) std::fprintf(stderr, "usage: %s\n", cmd_usage);
   std::exit(1);
 }
 
-std::string require(const Cli& cli, const std::string& key) {
+/// Required-option lookup: a missing or valueless option prints the
+/// subcommand's usage and exits non-zero instead of running ahead.
+std::string require(const Cli& cli, const std::string& key,
+                    const char* cmd_usage) {
   const std::string v = cli.get(key, "");
-  if (v.empty()) fail("missing required option --" + key);
+  if (v.empty()) fail("missing required option --" + key, cmd_usage);
   return v;
 }
 
@@ -90,11 +120,11 @@ platform::PlatformConfig make_platform_config(const Cli& cli,
 }
 
 int cmd_evolve(const Cli& cli) {
-  const img::Image train = img::read_pgm(require(cli, "train"));
-  const img::Image ref = img::read_pgm(require(cli, "ref"));
+  const img::Image train = img::read_pgm(require(cli, "train", kEvolveUsage));
+  const img::Image ref = img::read_pgm(require(cli, "ref", kEvolveUsage));
   if (!train.same_shape(ref)) fail("train/ref images differ in shape");
-  const std::string lib_path = require(cli, "lib");
-  const std::string name = require(cli, "name");
+  const std::string lib_path = require(cli, "lib", kEvolveUsage);
+  const std::string name = require(cli, "name", kEvolveUsage);
 
   ThreadPool pool;
   platform::EvolvablePlatform plat(
@@ -130,11 +160,11 @@ int cmd_evolve(const Cli& cli) {
 
 int cmd_filter(const Cli& cli) {
   const evo::GenotypeLibrary lib =
-      evo::GenotypeLibrary::load_file(require(cli, "lib"));
-  const std::string name = require(cli, "name");
+      evo::GenotypeLibrary::load_file(require(cli, "lib", kFilterUsage));
+  const std::string name = require(cli, "name", kFilterUsage);
   if (!lib.contains(name)) fail("library has no entry '" + name + "'");
-  const img::Image in = img::read_pgm(require(cli, "in"));
-  const std::string out_path = require(cli, "out");
+  const img::Image in = img::read_pgm(require(cli, "in", kFilterUsage));
+  const std::string out_path = require(cli, "out", kFilterUsage);
 
   ThreadPool pool;
   platform::EvolvablePlatform plat(
@@ -149,8 +179,8 @@ int cmd_filter(const Cli& cli) {
 
 int cmd_schematic(const Cli& cli) {
   const evo::GenotypeLibrary lib =
-      evo::GenotypeLibrary::load_file(require(cli, "lib"));
-  const std::string name = require(cli, "name");
+      evo::GenotypeLibrary::load_file(require(cli, "lib", kSchematicUsage));
+  const std::string name = require(cli, "name", kSchematicUsage);
   if (!lib.contains(name)) fail("library has no entry '" + name + "'");
   const evo::Genotype& g = lib.get(name);
   std::printf("%s\n%s", g.to_string().c_str(),
@@ -160,11 +190,11 @@ int cmd_schematic(const Cli& cli) {
 
 int cmd_campaign(const Cli& cli) {
   const evo::GenotypeLibrary lib =
-      evo::GenotypeLibrary::load_file(require(cli, "lib"));
-  const std::string name = require(cli, "name");
+      evo::GenotypeLibrary::load_file(require(cli, "lib", kCampaignUsage));
+  const std::string name = require(cli, "name", kCampaignUsage);
   if (!lib.contains(name)) fail("library has no entry '" + name + "'");
-  const img::Image train = img::read_pgm(require(cli, "train"));
-  const img::Image ref = img::read_pgm(require(cli, "ref"));
+  const img::Image train = img::read_pgm(require(cli, "train", kCampaignUsage));
+  const img::Image ref = img::read_pgm(require(cli, "ref", kCampaignUsage));
 
   ThreadPool pool;
   platform::EvolvablePlatform plat(
@@ -179,6 +209,98 @@ int cmd_campaign(const Cli& cli) {
       analysis::run_pe_fault_campaign(plat, 0, train, ref, ccfg);
   analysis::render_criticality_map(std::cout, result, plat.config().shape);
   analysis::render_campaign_table(std::cout, result);
+  return 0;
+}
+
+const char* status_name(sched::JobStatus status) {
+  switch (status) {
+    case sched::JobStatus::kQueued: return "queued";
+    case sched::JobStatus::kRunning: return "running";
+    case sched::JobStatus::kDone: return "done";
+    case sched::JobStatus::kFailed: return "FAILED";
+    case sched::JobStatus::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+int cmd_batch(const Cli& cli) {
+  const std::string manifest_path = require(cli, "manifest", kBatchUsage);
+  std::ifstream manifest(manifest_path);
+  if (!manifest) fail("cannot open manifest " + manifest_path, kBatchUsage);
+  const std::vector<sched::MissionSpec> specs =
+      sched::parse_manifest(manifest);
+  if (specs.empty()) fail("manifest has no jobs: " + manifest_path);
+
+  sched::PoolConfig pool_config;
+  pool_config.num_arrays =
+      static_cast<std::size_t>(cli.get_int("arrays", 8));
+  pool_config.cache_capacity =
+      static_cast<std::size_t>(cli.get_int("cache", 512));
+  pool_config.max_concurrent_jobs =
+      static_cast<std::size_t>(cli.get_int("max-jobs", 0));
+  if (cli.has("sequential")) pool_config.max_concurrent_jobs = 1;
+  ThreadPool host_pool;
+  pool_config.host_pool = &host_pool;
+
+  sched::ArrayPool pool(pool_config);
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::shared_ptr<sched::MissionRunner>> runners;
+  runners.reserve(specs.size());
+  for (const sched::MissionSpec& spec : specs) {
+    runners.push_back(pool.submit(sched::make_job_config(spec),
+                                  sched::make_job_body(spec)));
+  }
+  pool.wait_all();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
+  const sched::ArrayPool::ScheduleReport schedule = pool.simulated_schedule();
+
+  Table table({"job", "kind", "lanes", "status", "gens", "fitness", "sim s",
+               "pool window s", "cache hit%"});
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const sched::MissionSpec& spec = specs[i];
+    const sched::JobOutcome& outcome = runners[i]->result();
+    const bool cascade = spec.kind == sched::MissionKind::kCascade;
+    const Fitness fitness = cascade ? outcome.cascade.chain_fitness
+                                    : outcome.intrinsic.es.best_fitness;
+    const auto generations =
+        cascade ? static_cast<std::uint64_t>(spec.generations)
+                : static_cast<std::uint64_t>(
+                      outcome.intrinsic.es.generations_run);
+    const sched::ArrayPool::ScheduleEntry& window = schedule.jobs[i];
+    table.add_row(
+        {spec.name, sched::kind_name(spec.kind), Table::integer(spec.lanes),
+         status_name(runners[i]->status()), Table::integer(generations),
+         Table::integer(fitness),
+         Table::num(sim::to_seconds(outcome.stats.mission_time), 3),
+         Table::num(sim::to_seconds(window.start), 3) + "-" +
+             Table::num(sim::to_seconds(window.end), 3),
+         Table::num(100.0 * outcome.stats.cache_hit_rate(), 1)});
+    if (runners[i]->status() == sched::JobStatus::kFailed) {
+      std::fprintf(stderr, "mpa batch: job '%s' failed: %s\n",
+                   spec.name.c_str(), outcome.error.c_str());
+    }
+  }
+  table.print(std::cout);
+
+  const sched::CacheStats cache = pool.cache_stats();
+  std::printf(
+      "pool: %zu arrays, %zu jobs | simulated makespan %.3f s "
+      "(serialized %.3f s, speedup %.2fx, %.2f missions/sim-s)\n"
+      "compiled-array cache: %llu hits / %llu misses (%.1f%% hit rate, "
+      "%llu evictions) | host wall %.0f ms\n",
+      pool.num_arrays(), specs.size(), sim::to_seconds(schedule.makespan),
+      sim::to_seconds(schedule.serialized), schedule.speedup(),
+      schedule.missions_per_sim_second(),
+      static_cast<unsigned long long>(cache.hits),
+      static_cast<unsigned long long>(cache.misses), 100.0 * cache.hit_rate(),
+      static_cast<unsigned long long>(cache.evictions), wall_ms);
+
+  for (const auto& runner : runners) {
+    if (runner->status() != sched::JobStatus::kDone) return 1;
+  }
   return 0;
 }
 
@@ -220,10 +342,12 @@ int main(int argc, char** argv) {
     if (cmd == "filter") return cmd_filter(cli);
     if (cmd == "schematic") return cmd_schematic(cli);
     if (cmd == "campaign") return cmd_campaign(cli);
+    if (cmd == "batch") return cmd_batch(cli);
     if (cmd == "demo") return cmd_demo(cli);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mpa %s: %s\n", cmd.c_str(), e.what());
     return 1;
   }
+  std::fprintf(stderr, "mpa: unknown subcommand '%s'\n", cmd.c_str());
   return usage();
 }
