@@ -1,0 +1,145 @@
+// Mission service round trip, all in one process: start an svc::Server
+// on an ephemeral loopback port, drive it with concurrent svc::Clients
+// submitting heterogeneous missions, stream progress events, and verify
+// the determinism contract across the wire — every result (best fitness
+// + genotype hash) must be bit-identical to running the same spec
+// standalone, because the daemon is just a network front-end over the
+// same ArrayPool job path.
+//
+//   $ ./service_roundtrip [--arrays=8] [--generations=150] [--size=32]
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "ehw/common/cli.hpp"
+#include "ehw/sched/missions.hpp"
+#include "ehw/svc/client.hpp"
+#include "ehw/svc/server.hpp"
+
+using namespace ehw;
+
+namespace {
+
+/// What the standalone run would answer over the wire (fitness + hash),
+/// for comparison against the service's result payload.
+void standalone_reference(const sched::MissionSpec& spec,
+                          ThreadPool* host_pool, Fitness& fitness,
+                          std::string& genotype_hash) {
+  const sched::JobOutcome alone =
+      sched::run_spec_standalone(spec, host_pool);
+  if (spec.kind == sched::MissionKind::kCascade) {
+    fitness = alone.cascade.chain_fitness;
+    std::uint64_t chain_hash = 0;
+    for (const platform::CascadeStageOutcome& stage : alone.cascade.stages) {
+      chain_hash = hash_mix(chain_hash, stage.best.hash());
+    }
+    genotype_hash = svc::hash_hex(chain_hash);
+  } else {
+    fitness = alone.intrinsic.es.best_fitness;
+    genotype_hash = svc::hash_hex(alone.intrinsic.es.best.hash());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const Cli cli(argc, argv);
+  const auto arrays = static_cast<std::size_t>(cli.get_int("arrays", 8));
+  const auto generations =
+      static_cast<Generation>(cli.get_int("generations", 150));
+  const auto size = static_cast<std::size_t>(cli.get_int("size", 32));
+
+  std::vector<sched::MissionSpec> specs(4);
+  specs[0].kind = sched::MissionKind::kDenoise;
+  specs[0].name = "denoise";
+  specs[0].lanes = 3;
+  specs[0].seed = 5;
+  specs[1].kind = sched::MissionKind::kEdge;
+  specs[1].name = "edges";
+  specs[1].lanes = 2;
+  specs[1].seed = 7;
+  specs[2].kind = sched::MissionKind::kMorphology;
+  specs[2].name = "dilate";
+  specs[2].lanes = 1;
+  specs[2].seed = 9;
+  specs[3].kind = sched::MissionKind::kCascade;
+  specs[3].name = "cascade";
+  specs[3].lanes = 2;
+  specs[3].noise = 0.2;
+  specs[3].seed = 11;
+  for (sched::MissionSpec& spec : specs) {
+    spec.generations = generations;
+    spec.size = size;
+  }
+  specs[3].generations = generations / 4;  // cascade budget is per stage
+
+  ThreadPool host_pool;
+  svc::ServerConfig config;
+  config.pool.num_arrays = arrays;
+  config.pool.host_pool = &host_pool;
+  svc::Server server(config);
+  std::printf("service on 127.0.0.1:%u (%zu arrays)\n",
+              static_cast<unsigned>(server.port()), arrays);
+
+  // One client thread per mission, like separate operator terminals.
+  std::vector<Fitness> fitness(specs.size(), 0);
+  std::vector<std::string> hashes(specs.size());
+  std::vector<std::string> statuses(specs.size());
+  std::vector<std::uint64_t> progress_events(specs.size(), 0);
+  std::atomic<bool> client_failed{false};
+  std::vector<std::thread> clients;
+  clients.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    clients.emplace_back([&, i] {
+      try {
+        svc::Client client(server.port());
+        const svc::Client::Submitted submitted = client.submit(specs[i]);
+        if (!submitted.ok) throw std::runtime_error(submitted.error);
+        std::uint64_t events = 0;
+        statuses[i] = client.watch(submitted.job,
+                                   [&events](std::uint64_t) { ++events; });
+        progress_events[i] = events;
+        const Json result = client.result(submitted.job);
+        fitness[i] =
+            static_cast<Fitness>(result.get_number("best_fitness", 0));
+        hashes[i] = result.get_string("genotype_hash", "?");
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "client %zu: %s\n", i, e.what());
+        client_failed.store(true);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  if (client_failed.load()) return 1;
+
+  std::printf("%-8s %-10s %5s %12s %18s %9s %s\n", "job", "kind", "lanes",
+              "fitness", "genotype", "events", "= standalone?");
+  bool all_identical = true;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    Fitness alone_fitness = 0;
+    std::string alone_hash;
+    standalone_reference(specs[i], &host_pool, alone_fitness, alone_hash);
+    const bool identical = statuses[i] == "done" &&
+                           fitness[i] == alone_fitness &&
+                           hashes[i] == alone_hash;
+    all_identical = all_identical && identical;
+    std::printf("%-8s %-10s %5zu %12llu %18s %9llu %s\n",
+                specs[i].name.c_str(), sched::kind_name(specs[i].kind),
+                specs[i].lanes, static_cast<unsigned long long>(fitness[i]),
+                hashes[i].c_str(),
+                static_cast<unsigned long long>(progress_events[i]),
+                identical ? "yes" : "NO");
+  }
+
+  server.drain();
+  server.wait_drained();
+  server.stop();
+  std::printf("\nservice results bit-identical to standalone runs: %s\n",
+              all_identical ? "yes" : "NO");
+  return all_identical ? 0 : 1;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "service_roundtrip: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,138 @@
+#pragma once
+// Minimal JSON value + parser + compact emitter, shared by the mission
+// service protocol (newline-delimited JSON frames) and any tool that
+// needs structured metadata without an external dependency.
+//
+// Scope: the full JSON grammar (objects, arrays, strings with \uXXXX
+// escapes incl. surrogate pairs, numbers, booleans, null) with two
+// deliberate simplifications:
+//   * numbers are stored as double — exact for integers up to 2^53,
+//     which covers every count the protocol ships; values that must be
+//     bit-exact at 64 bits (genotype hashes, simulated durations) travel
+//     as strings;
+//   * objects preserve insertion order and allow duplicate keys on parse
+//     (last one wins on lookup), matching what a streaming peer emits.
+//
+// Parsing throws JsonError (a std::runtime_error naming the byte offset)
+// instead of asserting: this code faces untrusted network input.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace ehw {
+
+class JsonError : public std::runtime_error {
+ public:
+  JsonError(const std::string& what, std::size_t offset)
+      : std::runtime_error(what + " at offset " + std::to_string(offset)),
+        offset_(offset) {}
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+class Json {
+ public:
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+  using Array = std::vector<Json>;
+  /// Order-preserving key/value list (not a map: emit order matters for
+  /// readable frames, and parse must not silently merge duplicates).
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}  // NOLINT(google-explicit-*)
+  Json(bool b) : value_(b) {}                // NOLINT
+  Json(double n) : value_(n) {}              // NOLINT
+  Json(int n) : value_(static_cast<double>(n)) {}            // NOLINT
+  Json(std::int64_t n) : value_(static_cast<double>(n)) {}   // NOLINT
+  Json(std::uint64_t n) : value_(static_cast<double>(n)) {}  // NOLINT
+  Json(const char* s) : value_(std::string(s)) {}            // NOLINT
+  Json(std::string s) : value_(std::move(s)) {}              // NOLINT
+  Json(Array a) : value_(std::move(a)) {}                    // NOLINT
+  Json(Object o) : value_(std::move(o)) {}                   // NOLINT
+
+  [[nodiscard]] static Json array() { return Json(Array{}); }
+  [[nodiscard]] static Json object() { return Json(Object{}); }
+
+  /// Parses exactly one JSON document (trailing whitespace allowed,
+  /// trailing garbage is an error). Throws JsonError on malformed input
+  /// or nesting deeper than 64 levels.
+  [[nodiscard]] static Json parse(std::string_view text);
+
+  /// Compact single-line serialization (never contains a raw newline:
+  /// control characters are escaped, so a dumped value is a valid
+  /// newline-delimited frame).
+  [[nodiscard]] std::string dump() const;
+
+  [[nodiscard]] Type type() const noexcept {
+    return static_cast<Type>(value_.index());
+  }
+  [[nodiscard]] bool is_null() const noexcept { return type() == Type::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return type() == Type::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type() == Type::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type() == Type::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept {
+    return type() == Type::kArray;
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type() == Type::kObject;
+  }
+
+  /// Checked accessors: throw JsonError (offset 0) on a type mismatch so
+  /// protocol handlers surface one catchable error kind for "malformed
+  /// request" regardless of where the shape went wrong.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+  [[nodiscard]] Array& as_array();
+  [[nodiscard]] Object& as_object();
+
+  /// Object lookup; nullptr when `this` is not an object or has no such
+  /// key. Duplicate keys resolve to the LAST occurrence (parse order).
+  [[nodiscard]] const Json* get(std::string_view key) const noexcept;
+
+  /// Typed convenience lookups with fallbacks (object use only).
+  [[nodiscard]] std::string get_string(std::string_view key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] double get_number(std::string_view key,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(std::string_view key, bool fallback) const;
+
+  /// Appends (object) / replaces the last occurrence of `key`. `this`
+  /// must already be an object.
+  Json& set(std::string key, Json value);
+  /// Appends to an array value.
+  Json& push_back(Json value);
+
+  friend bool operator==(const Json&, const Json&) = default;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+      value_;
+};
+
+/// Exact-integer check used by the emitter and by protocol fields that
+/// want a u64 out of a JSON number: true when `n` is integral and
+/// representable without loss (|n| < 2^53).
+[[nodiscard]] bool json_number_is_exact_int(double n) noexcept;
+
+}  // namespace ehw

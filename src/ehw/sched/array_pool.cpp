@@ -34,13 +34,54 @@ sim::SimTime MissionRunner::sim_duration() const {
 
 void MissionRunner::finish(JobStatus status, JobOutcome outcome,
                            sim::SimTime duration) {
+  std::vector<EventCallback> observers;
   {
     std::lock_guard lock(mutex_);
     status_ = status;
     outcome_ = std::move(outcome);
     sim_duration_ = duration;
+    observers = std::move(observers_);
+    observers_.clear();  // no further events after kFinished
   }
   cv_.notify_all();
+  MissionEvent event;
+  event.kind = MissionEvent::Kind::kFinished;
+  event.waves = waves_.load(std::memory_order_relaxed);
+  event.status = status;
+  for (const EventCallback& observer : observers) observer(event);
+}
+
+void MissionRunner::subscribe(EventCallback callback) {
+  MissionEvent finished;
+  {
+    std::lock_guard lock(mutex_);
+    if (status_ == JobStatus::kQueued || status_ == JobStatus::kRunning) {
+      observers_.push_back(std::move(callback));
+      return;
+    }
+    finished.kind = MissionEvent::Kind::kFinished;
+    finished.waves = waves_.load(std::memory_order_relaxed);
+    finished.status = status_;
+  }
+  // Already finished: fire immediately on the subscriber's thread, outside
+  // the lock (the callback may call into this runner).
+  callback(finished);
+}
+
+void MissionRunner::notify_wave() {
+  const std::uint64_t waves =
+      waves_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::vector<EventCallback> observers;
+  {
+    std::lock_guard lock(mutex_);
+    if (observers_.empty()) return;
+    observers = observers_;  // copy: callbacks run outside the lock
+  }
+  MissionEvent event;
+  event.kind = MissionEvent::Kind::kProgress;
+  event.waves = waves;
+  event.status = JobStatus::kRunning;
+  for (const EventCallback& observer : observers) observer(event);
 }
 
 // --- MissionContext ---------------------------------------------------------
@@ -104,9 +145,7 @@ platform::WaveOutcome MissionContext::run_wave(
   platform::WaveOutcome outcome = platform::evaluate_offspring_wave(
       *platform_, offspring, wave_lanes, input, compare, barrier,
       [this](std::size_t lane) { return compile_cached(lane); });
-  if (runner_ != nullptr) {
-    runner_->waves_.fetch_add(1, std::memory_order_relaxed);
-  }
+  if (runner_ != nullptr) runner_->notify_wave();
   return outcome;
 }
 
@@ -126,27 +165,30 @@ std::shared_ptr<MissionRunner> ArrayPool::submit(JobConfig job, JobBody body) {
               "job lane demand must fit the pool");
   EHW_REQUIRE(body != nullptr, "job body required");
   auto runner = std::shared_ptr<MissionRunner>(new MissionRunner(job.name));
+  std::vector<FailedStart> failures;
   {
     std::lock_guard lock(mutex_);
     auto rec = std::make_unique<Job>();
-    rec->id = jobs_.size();
+    rec->id = next_job_id_++;
+    ++submitted_;
     rec->config = std::move(job);
     rec->body = std::move(body);
     rec->runner = runner;
     queue_.push(JobTicket{rec->id, rec->config.name, rec->config.lanes,
                           rec->config.priority});
-    jobs_.push_back(std::move(rec));
-    admit_locked();
+    jobs_.emplace(rec->id, std::move(rec));
+    admit_locked(failures);
   }
+  finish_failed(failures);
   return runner;
 }
 
-void ArrayPool::admit_locked() {
+void ArrayPool::admit_locked(std::vector<FailedStart>& failures) {
   while (config_.max_concurrent_jobs == 0 ||
          running_ < config_.max_concurrent_jobs) {
     std::optional<JobTicket> ticket = queue_.pop_admissible(free_arrays_);
     if (!ticket.has_value()) break;
-    Job* job = jobs_[ticket->id].get();
+    Job* job = jobs_.at(ticket->id).get();
     free_arrays_ -= job->config.lanes;
     ++running_;
     {
@@ -157,16 +199,28 @@ void ArrayPool::admit_locked() {
       job->thread = std::thread([this, job] { run_job(job); });
     } catch (const std::system_error& e) {
       // Thread exhaustion must not strand the lease (hanging wait_all)
-      // or escape into std::terminate: roll back and fail the job.
+      // or escape into std::terminate: roll back and fail the job. The
+      // runner's finish() — and with it any subscribed observers — is
+      // deferred to the caller, outside the pool lock.
       free_arrays_ += job->config.lanes;
       --running_;
       job->finished = true;
-      JobOutcome outcome;
-      outcome.error = std::string("failed to start job thread: ") + e.what();
-      job->runner->finish(JobStatus::kFailed, std::move(outcome), 0);
+      ++failed_;
+      failures.push_back(FailedStart{
+          job->runner,
+          std::string("failed to start job thread: ") + e.what()});
       cv_.notify_all();
     }
   }
+}
+
+void ArrayPool::finish_failed(std::vector<FailedStart>& failures) {
+  for (FailedStart& failure : failures) {
+    JobOutcome outcome;
+    outcome.error = std::move(failure.error);
+    failure.runner->finish(JobStatus::kFailed, std::move(outcome), 0);
+  }
+  failures.clear();
 }
 
 void ArrayPool::run_job(Job* job) {
@@ -193,15 +247,24 @@ void ArrayPool::run_job(Job* job) {
   outcome.stats.cache_misses = context.cache_misses();
   const sim::SimTime duration = context.platform().now();
   job->runner->finish(status, std::move(outcome), duration);
+  std::vector<FailedStart> failures;
   {
     std::lock_guard lock(mutex_);
     job->sim_duration = duration;
     job->finished = true;
+    switch (status) {
+      case JobStatus::kDone: ++done_; break;
+      case JobStatus::kFailed: ++failed_; break;
+      case JobStatus::kCancelled: ++cancelled_; break;
+      case JobStatus::kQueued:
+      case JobStatus::kRunning: break;  // unreachable terminal states
+    }
     free_arrays_ += job->config.lanes;
     --running_;
-    admit_locked();
+    admit_locked(failures);
     cv_.notify_all();  // under the lock: wait_all may destroy the pool next
   }
+  finish_failed(failures);
 }
 
 void ArrayPool::wait_all() {
@@ -209,16 +272,51 @@ void ArrayPool::wait_all() {
   {
     std::unique_lock lock(mutex_);
     cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
-    for (const auto& job : jobs_) {
+    for (const auto& [id, job] : jobs_) {
       if (job->thread.joinable()) to_join.push_back(std::move(job->thread));
     }
   }
   for (std::thread& t : to_join) t.join();
 }
 
+std::size_t ArrayPool::reap_finished() {
+  std::vector<std::unique_ptr<Job>> reaped;
+  {
+    std::lock_guard lock(mutex_);
+    for (auto it = jobs_.begin(); it != jobs_.end();) {
+      if (it->second->finished) {
+        reaped.push_back(std::move(it->second));
+        it = jobs_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Joining happens outside the lock; a `finished` job's thread is past
+  // its final critical section and exits promptly.
+  for (const auto& job : reaped) {
+    if (job->thread.joinable()) job->thread.join();
+  }
+  return reaped.size();
+}
+
 std::size_t ArrayPool::jobs_in_flight() const {
   std::lock_guard lock(mutex_);
   return queue_.size() + running_;
+}
+
+ArrayPool::PoolStats ArrayPool::pool_stats() const {
+  std::lock_guard lock(mutex_);
+  PoolStats stats;
+  stats.num_arrays = config_.num_arrays;
+  stats.free_arrays = free_arrays_;
+  stats.running = running_;
+  stats.queued = queue_.size();
+  stats.submitted = submitted_;
+  stats.done = done_;
+  stats.failed = failed_;
+  stats.cancelled = cancelled_;
+  return stats;
 }
 
 ArrayPool::ScheduleReport ArrayPool::simulated_schedule() {
@@ -229,13 +327,17 @@ ArrayPool::ScheduleReport ArrayPool::simulated_schedule() {
   // by end time, ties by submission id) on num_arrays arrays.
   ScheduleReport report;
   JobQueue queue;  // fresh aging state, default policy parameters
-  std::vector<const Job*> jobs;
+  std::vector<const Job*> jobs;  // ascending id == submission order
   {
     std::lock_guard lock(mutex_);
-    for (const auto& job : jobs_) jobs.push_back(job.get());
+    for (const auto& [id, job] : jobs_) jobs.push_back(job.get());
   }
   report.jobs.resize(jobs.size());
-  for (const Job* job : jobs) {
+  // Ids are sparse once jobs have been reaped; map them to report slots.
+  std::map<std::uint64_t, std::size_t> slot_of;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const Job* job = jobs[i];
+    slot_of[job->id] = i;
     queue.push(JobTicket{job->id, job->config.name, job->config.lanes,
                          job->config.priority});
     report.serialized += job->sim_duration;
@@ -251,8 +353,9 @@ ArrayPool::ScheduleReport ArrayPool::simulated_schedule() {
            active < config_.max_concurrent_jobs) {
       std::optional<JobTicket> ticket = queue.pop_admissible(free);
       if (!ticket.has_value()) break;
-      const Job* job = jobs[ticket->id];
-      ScheduleEntry& entry = report.jobs[ticket->id];
+      const std::size_t slot = slot_of.at(ticket->id);
+      const Job* job = jobs[slot];
+      ScheduleEntry& entry = report.jobs[slot];
       entry.name = job->config.name;
       entry.lanes = job->config.lanes;
       entry.start = now;

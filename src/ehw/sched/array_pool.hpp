@@ -40,6 +40,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -119,6 +120,19 @@ class MissionCancelled : public std::runtime_error {
 
 class ArrayPool;
 
+/// One observation of a job's life, delivered to MissionRunner
+/// subscribers: a wave completed (kProgress) or the job left the running
+/// set (kFinished, with the final status). Fired from the job's own
+/// thread — subscribers must be thread-safe and cheap.
+struct MissionEvent {
+  enum class Kind : std::uint8_t { kProgress, kFinished };
+  Kind kind = Kind::kProgress;
+  /// Waves completed at the time of the event.
+  std::uint64_t waves = 0;
+  /// kRunning for progress events; the final status for kFinished.
+  JobStatus status = JobStatus::kRunning;
+};
+
 /// Async handle to a submitted job: progress, cooperative cancellation
 /// and the result future. Thread-safe; outlives the pool's job record.
 class MissionRunner {
@@ -142,6 +156,15 @@ class MissionRunner {
     return waves_.load(std::memory_order_relaxed);
   }
 
+  /// Registers an event observer: called on every completed wave and once
+  /// with kFinished when the job leaves the running set. If the job
+  /// already finished, the callback fires kFinished immediately on the
+  /// calling thread (so late subscribers never miss completion). Progress
+  /// callbacks run on the job's thread; they must not block it for long
+  /// and must not call back into blocking MissionRunner methods.
+  using EventCallback = std::function<void(const MissionEvent&)>;
+  void subscribe(EventCallback callback);
+
   /// Simulated duration of the finished job (its platform's makespan).
   [[nodiscard]] sim::SimTime sim_duration() const;
 
@@ -155,6 +178,8 @@ class MissionRunner {
     return cancel_.load(std::memory_order_relaxed);
   }
   void finish(JobStatus status, JobOutcome outcome, sim::SimTime duration);
+  /// Counts one completed wave and fires progress observers.
+  void notify_wave();
 
   std::string name_;
   std::atomic<bool> cancel_{false};
@@ -164,6 +189,8 @@ class MissionRunner {
   JobStatus status_ = JobStatus::kQueued;  // guarded by mutex_
   JobOutcome outcome_;                     // guarded until finished
   sim::SimTime sim_duration_ = 0;
+  std::vector<EventCallback> observers_;  // guarded by mutex_; invoked
+                                          // outside it (copied first)
 };
 
 /// The lease a running job body works through: implements WaveExecutor
@@ -235,11 +262,36 @@ class ArrayPool {
   /// Blocks until every job submitted so far has finished.
   void wait_all();
 
+  /// Releases the pool-side records of FINISHED jobs — thread handles,
+  /// job-body closures and the pool's reference to runner/outcome —
+  /// so a long-running service that submits forever stays bounded
+  /// (callers keep results alive through their own MissionRunner
+  /// handles). Reaped jobs no longer appear in simulated_schedule().
+  /// Returns the number of records released.
+  std::size_t reap_finished();
+
   /// Shared compiled-array cache traffic (all missions).
   [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
 
   /// Currently running + queued job counts (snapshot).
   [[nodiscard]] std::size_t jobs_in_flight() const;
+
+  /// Consistent point-in-time view of the pool, for service /stats
+  /// endpoints and operator tooling.
+  struct PoolStats {
+    std::size_t num_arrays = 0;
+    std::size_t free_arrays = 0;
+    std::size_t running = 0;
+    std::size_t queued = 0;
+    std::uint64_t submitted = 0;
+    std::uint64_t done = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t cancelled = 0;
+    [[nodiscard]] std::uint64_t finished() const noexcept {
+      return done + failed + cancelled;
+    }
+  };
+  [[nodiscard]] PoolStats pool_stats() const;
 
   // --- pool-level simulated schedule -------------------------------------
   struct ScheduleEntry {
@@ -287,9 +339,19 @@ class ArrayPool {
     bool finished = false;       // guarded by pool mutex
     sim::SimTime sim_duration = 0;
   };
+  /// A job whose thread could not start: its finish() must be fired
+  /// AFTER mutex_ is released (observers may lock arbitrary caller
+  /// state; never invoke them under the pool lock).
+  struct FailedStart {
+    std::shared_ptr<MissionRunner> runner;
+    std::string error;
+  };
 
-  /// Admits queued jobs while capacity allows. Caller holds mutex_.
-  void admit_locked();
+  /// Admits queued jobs while capacity allows, appending thread-start
+  /// failures for the caller to finish outside the lock. Caller holds
+  /// mutex_.
+  void admit_locked(std::vector<FailedStart>& failures);
+  static void finish_failed(std::vector<FailedStart>& failures);
   void run_job(Job* job);
 
   PoolConfig config_;
@@ -297,9 +359,16 @@ class ArrayPool {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   JobQueue queue_;
-  std::vector<std::unique_ptr<Job>> jobs_;  // submission order, stable addrs
+  /// Live + unreaped records, keyed (and iterated) by submission id.
+  std::map<std::uint64_t, std::unique_ptr<Job>> jobs_;
+  std::uint64_t next_job_id_ = 0;
+  std::uint64_t submitted_ = 0;  // survives reaping, unlike jobs_.size()
   std::size_t free_arrays_;
   std::size_t running_ = 0;
+  // Terminal-status tallies (guarded by mutex_).
+  std::uint64_t done_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t cancelled_ = 0;
 };
 
 }  // namespace ehw::sched

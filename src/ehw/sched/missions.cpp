@@ -1,6 +1,7 @@
 #include "ehw/sched/missions.hpp"
 
 #include <istream>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 
@@ -30,29 +31,15 @@ evo::EsConfig es_config(const MissionSpec& spec) {
 
 /// Strict unsigned parse: std::stoul would silently accept "-1" (it wraps
 /// to 2^64-1, sailing past every range check), so digits only.
-std::uint64_t parse_u64(std::size_t line, const std::string& key,
-                        const std::string& value) {
-  if (value.find_first_not_of("0123456789") != std::string::npos) {
-    manifest_error(line, "bad value for '" + key + "': " + value);
+bool parse_u64(const std::string& value, std::uint64_t& out) {
+  if (value.empty() ||
+      value.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
   }
   try {
-    return std::stoull(value);
+    out = std::stoull(value);
   } catch (const std::exception&) {
-    manifest_error(line, "value out of range for '" + key + "'");
-  }
-}
-
-bool parse_kind(const std::string& word, MissionKind& kind) {
-  if (word == "denoise") {
-    kind = MissionKind::kDenoise;
-  } else if (word == "edge") {
-    kind = MissionKind::kEdge;
-  } else if (word == "morphology") {
-    kind = MissionKind::kMorphology;
-  } else if (word == "cascade") {
-    kind = MissionKind::kCascade;
-  } else {
-    return false;
+    return false;  // out of range
   }
   return true;
 }
@@ -69,8 +56,90 @@ const char* kind_name(MissionKind kind) noexcept {
   return "?";
 }
 
+bool parse_kind(const std::string& word, MissionKind& kind) noexcept {
+  if (word == "denoise") {
+    kind = MissionKind::kDenoise;
+  } else if (word == "edge") {
+    kind = MissionKind::kEdge;
+  } else if (word == "morphology") {
+    kind = MissionKind::kMorphology;
+  } else if (word == "cascade") {
+    kind = MissionKind::kCascade;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string apply_spec_option(MissionSpec& spec, const std::string& key,
+                              const std::string& value) {
+  const auto bad_value = [&key, &value] {
+    return "bad value for '" + key + "': '" + value + "'";
+  };
+  std::uint64_t u64 = 0;
+  if (key == "lanes") {
+    if (!parse_u64(value, u64)) return bad_value();
+    spec.lanes = static_cast<std::size_t>(u64);
+  } else if (key == "priority") {
+    try {
+      std::size_t used = 0;
+      spec.priority = std::stoi(value, &used);
+      if (used != value.size()) throw std::invalid_argument(value);
+    } catch (const std::exception&) {
+      return bad_value();
+    }
+  } else if (key == "generations") {
+    if (!parse_u64(value, u64)) return bad_value();
+    spec.generations = static_cast<Generation>(u64);
+  } else if (key == "size") {
+    if (!parse_u64(value, u64)) return bad_value();
+    spec.size = static_cast<std::size_t>(u64);
+  } else if (key == "noise") {
+    try {
+      std::size_t used = 0;
+      spec.noise = std::stod(value, &used);
+      if (used != value.size()) throw std::invalid_argument(value);
+    } catch (const std::exception&) {
+      return bad_value();
+    }
+    if (!(spec.noise >= 0.0 && spec.noise <= 1.0)) {
+      return "noise must be in [0, 1]";
+    }
+  } else if (key == "rate") {
+    if (!parse_u64(value, u64)) return bad_value();
+    spec.mutation_rate = static_cast<std::size_t>(u64);
+  } else if (key == "lambda") {
+    if (!parse_u64(value, u64)) return bad_value();
+    spec.lambda = static_cast<std::size_t>(u64);
+  } else if (key == "seed") {
+    if (!parse_u64(value, u64)) return bad_value();
+    spec.seed = u64;
+  } else if (key == "scene-seed") {
+    if (!parse_u64(value, u64)) return bad_value();
+    spec.scene_seed = u64;
+  } else if (key == "two-level") {
+    spec.two_level = value != "0";
+  } else if (key == "merged") {
+    spec.merged_fitness = value != "0";
+  } else if (key == "interleaved") {
+    spec.interleaved = value != "0";
+  } else {
+    return "unknown key '" + key + "'";
+  }
+  return {};
+}
+
+std::string validate_spec(const MissionSpec& spec) {
+  if (spec.name.empty()) return "mission name required";
+  if (spec.lanes == 0) return "lanes must be >= 1";
+  if (spec.size < 4 || spec.size > 4096) return "size must be in [4, 4096]";
+  if (spec.lambda == 0) return "lambda must be >= 1";
+  return {};
+}
+
 std::vector<MissionSpec> parse_manifest(std::istream& in) {
   std::vector<MissionSpec> specs;
+  std::map<std::string, std::size_t> name_lines;  // name -> defining line
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
@@ -88,66 +157,24 @@ std::vector<MissionSpec> parse_manifest(std::istream& in) {
     if (!(words >> spec.name)) {
       manifest_error(line_no, "missing mission name");
     }
+    const auto [where, inserted] = name_lines.emplace(spec.name, line_no);
+    if (!inserted) {
+      manifest_error(line_no, "duplicate mission name '" + spec.name +
+                                  "' (first used on line " +
+                                  std::to_string(where->second) + ")");
+    }
     std::string option;
     while (words >> option) {
       const std::size_t eq = option.find('=');
       if (eq == std::string::npos || eq == 0 || eq + 1 == option.size()) {
         manifest_error(line_no, "expected key=value, got '" + option + "'");
       }
-      const std::string key = option.substr(0, eq);
-      const std::string value = option.substr(eq + 1);
-      if (key == "lanes") {
-        spec.lanes =
-            static_cast<std::size_t>(parse_u64(line_no, key, value));
-      } else if (key == "priority") {
-        try {
-          std::size_t used = 0;
-          spec.priority = std::stoi(value, &used);
-          if (used != value.size()) throw std::invalid_argument(value);
-        } catch (const std::exception&) {
-          manifest_error(line_no, "bad value for '" + key + "': " + value);
-        }
-      } else if (key == "generations") {
-        spec.generations =
-            static_cast<Generation>(parse_u64(line_no, key, value));
-      } else if (key == "size") {
-        spec.size = static_cast<std::size_t>(parse_u64(line_no, key, value));
-      } else if (key == "noise") {
-        try {
-          std::size_t used = 0;
-          spec.noise = std::stod(value, &used);
-          if (used != value.size()) throw std::invalid_argument(value);
-        } catch (const std::exception&) {
-          manifest_error(line_no, "bad value for '" + key + "': " + value);
-        }
-        if (!(spec.noise >= 0.0 && spec.noise <= 1.0)) {
-          manifest_error(line_no, "noise must be in [0, 1]");
-        }
-      } else if (key == "rate") {
-        spec.mutation_rate =
-            static_cast<std::size_t>(parse_u64(line_no, key, value));
-      } else if (key == "lambda") {
-        spec.lambda =
-            static_cast<std::size_t>(parse_u64(line_no, key, value));
-      } else if (key == "seed") {
-        spec.seed = parse_u64(line_no, key, value);
-      } else if (key == "scene-seed") {
-        spec.scene_seed = parse_u64(line_no, key, value);
-      } else if (key == "two-level") {
-        spec.two_level = value != "0";
-      } else if (key == "merged") {
-        spec.merged_fitness = value != "0";
-      } else if (key == "interleaved") {
-        spec.interleaved = value != "0";
-      } else {
-        manifest_error(line_no, "unknown key '" + key + "'");
-      }
+      const std::string error =
+          apply_spec_option(spec, option.substr(0, eq), option.substr(eq + 1));
+      if (!error.empty()) manifest_error(line_no, error);
     }
-    if (spec.lanes == 0) manifest_error(line_no, "lanes must be >= 1");
-    if (spec.size < 4 || spec.size > 4096) {
-      manifest_error(line_no, "size must be in [4, 4096]");
-    }
-    if (spec.lambda == 0) manifest_error(line_no, "lambda must be >= 1");
+    const std::string invalid = validate_spec(spec);
+    if (!invalid.empty()) manifest_error(line_no, invalid);
     specs.push_back(std::move(spec));
   }
   return specs;

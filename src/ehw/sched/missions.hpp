@@ -58,8 +58,27 @@ struct MissionSpec {
   bool interleaved = false;
 };
 
+/// True when `word` names a mission kind (and sets `kind`).
+[[nodiscard]] bool parse_kind(const std::string& word,
+                              MissionKind& kind) noexcept;
+
+/// Applies one option from the manifest key vocabulary (lanes, priority,
+/// generations, size, noise, rate, lambda, seed, scene-seed, two-level,
+/// merged, interleaved) to the spec. Returns "" on success, otherwise an
+/// error message (unknown key, unparsable or out-of-range value). Shared
+/// by the manifest parser and the svc submit payload so every entry point
+/// speaks the same vocabulary with the same validation.
+[[nodiscard]] std::string apply_spec_option(MissionSpec& spec,
+                                            const std::string& key,
+                                            const std::string& value);
+
+/// Range-checks a fully built spec; "" when valid.
+[[nodiscard]] std::string validate_spec(const MissionSpec& spec);
+
 /// Parses a manifest; throws std::runtime_error naming the offending line
-/// on malformed input.
+/// number on malformed input (unknown kinds/keys, bad or out-of-range
+/// values, missing names, duplicate mission names) — nothing is ever
+/// silently skipped.
 [[nodiscard]] std::vector<MissionSpec> parse_manifest(std::istream& in);
 
 /// The spec's train/reference image pair (deterministic).

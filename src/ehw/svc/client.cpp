@@ -1,0 +1,153 @@
+#include "ehw/svc/client.hpp"
+
+#include <stdexcept>
+
+namespace ehw::svc {
+namespace {
+
+[[noreturn]] void connection_lost() {
+  throw std::runtime_error("mission service connection lost");
+}
+
+Json parse_frame(const std::string& line) {
+  Json frame = Json::parse(line);
+  if (!frame.is_object()) {
+    throw std::runtime_error("mission service sent a non-object frame");
+  }
+  return frame;
+}
+
+}  // namespace
+
+Client::Client(std::uint16_t port, const std::string& address)
+    : channel_(Socket::connect_to(address, port)) {
+  std::string line;
+  if (!channel_.read_line(line)) connection_lost();
+  const Json greeting = parse_frame(line);
+  if (greeting.get_string("event", "") != "hello" ||
+      greeting.get_string("service", "") != kServiceName) {
+    throw std::runtime_error("peer is not a mission service");
+  }
+  const double protocol = greeting.get_number("protocol", -1);
+  if (protocol != static_cast<double>(kProtocolVersion)) {
+    throw std::runtime_error(
+        "mission service speaks protocol " + std::to_string(protocol) +
+        ", this client speaks " + std::to_string(kProtocolVersion));
+  }
+  server_version_ = greeting.get_string("version", "?");
+
+  Json hello = Json::object();
+  hello.set("op", "hello");
+  hello.set("protocol", kProtocolVersion);
+  const Json response = roundtrip(hello);
+  if (!response.get_bool("ok", false)) {
+    throw std::runtime_error("mission service rejected handshake: " +
+                             response.get_string("error", "unknown error"));
+  }
+}
+
+Json Client::roundtrip(const Json& request) {
+  if (!channel_.write_line(request.dump())) connection_lost();
+  std::string line;
+  while (channel_.read_line(line)) {
+    Json frame = parse_frame(line);
+    if (frame.get("event") != nullptr) continue;  // stray event frame
+    return frame;
+  }
+  connection_lost();
+}
+
+Json Client::request(const Json& request) { return roundtrip(request); }
+
+Client::Submitted Client::submit(const sched::MissionSpec& spec) {
+  Json request = Json::object();
+  request.set("op", "submit");
+  request.set("spec", spec_to_json(spec));
+  const Json response = roundtrip(request);
+  Submitted submitted;
+  submitted.ok = response.get_bool("ok", false);
+  if (submitted.ok) {
+    submitted.job =
+        static_cast<std::uint64_t>(response.get_number("job", 0));
+  } else {
+    submitted.error = response.get_string("error", "unknown error");
+    submitted.code = response.get_string("code", "");
+  }
+  return submitted;
+}
+
+Json Client::job_op(const char* op, std::uint64_t job) {
+  Json request = Json::object();
+  request.set("op", op);
+  request.set("job", job);
+  return roundtrip(request);
+}
+
+Json Client::status(std::uint64_t job) { return job_op("status", job); }
+
+Json Client::result(std::uint64_t job) { return job_op("result", job); }
+
+bool Client::cancel(std::uint64_t job) {
+  return job_op("cancel", job).get_bool("ok", false);
+}
+
+Json Client::list() {
+  Json request = Json::object();
+  request.set("op", "list");
+  return roundtrip(request);
+}
+
+Json Client::stats() {
+  Json request = Json::object();
+  request.set("op", "stats");
+  return roundtrip(request);
+}
+
+Json Client::drain(bool wait) {
+  Json request = Json::object();
+  request.set("op", "drain");
+  request.set("wait", wait);
+  return roundtrip(request);
+}
+
+std::string Client::watch(
+    std::uint64_t job,
+    const std::function<void(std::uint64_t waves)>& on_progress,
+    std::uint64_t every, const std::function<void()>& on_subscribed) {
+  Json request = Json::object();
+  request.set("op", "watch");
+  request.set("job", job);
+  request.set("every", every);
+  if (!channel_.write_line(request.dump())) connection_lost();
+  // The server subscribes before acking, so event frames may arrive
+  // ahead of the ok-response; handle both in any order.
+  bool acked = false;
+  bool finished = false;
+  std::string final_status;
+  std::string line;
+  while (channel_.read_line(line)) {
+    const Json frame = parse_frame(line);
+    if (frame.get("event") != nullptr) {
+      const std::string event = frame.get_string("event", "");
+      if (event == "progress" && on_progress) {
+        on_progress(
+            static_cast<std::uint64_t>(frame.get_number("waves", 0)));
+      } else if (event == "done") {
+        final_status = frame.get_string("status", "?");
+        finished = true;
+        if (acked) return final_status;
+      }
+      continue;
+    }
+    if (!frame.get_bool("ok", false)) {
+      throw std::runtime_error("watch rejected: " +
+                               frame.get_string("error", "unknown error"));
+    }
+    acked = true;
+    if (on_subscribed) on_subscribed();
+    if (finished) return final_status;
+  }
+  connection_lost();
+}
+
+}  // namespace ehw::svc

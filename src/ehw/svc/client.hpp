@@ -1,0 +1,75 @@
+#pragma once
+// svc::Client — small blocking client for the mission service. Used by
+// the `mpa submit` / `mpa ps` / `mpa cancel` / `mpa drain` subcommands,
+// the service tests and the throughput bench.
+//
+// One Client == one connection == one thread of use (the request loop is
+// strictly request/response; `watch` turns the connection into an event
+// stream until its job finishes). Connection or handshake failures throw
+// std::runtime_error; per-request rejections (queue_full, draining,
+// unknown job) come back as data so callers can react without
+// exception-driven control flow.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "ehw/svc/protocol.hpp"
+#include "ehw/svc/socket.hpp"
+
+namespace ehw::svc {
+
+class Client {
+ public:
+  /// Connects and performs the versioned handshake. Throws
+  /// std::runtime_error on connection failure, a non-service peer, or a
+  /// protocol version mismatch.
+  explicit Client(std::uint16_t port,
+                  const std::string& address = "127.0.0.1");
+
+  /// Server build version reported in the handshake.
+  [[nodiscard]] const std::string& server_version() const noexcept {
+    return server_version_;
+  }
+
+  struct Submitted {
+    bool ok = false;
+    std::uint64_t job = 0;
+    std::string error;  // server message when !ok
+    std::string code;   // machine tag: queue_full, draining, bad_spec...
+  };
+  [[nodiscard]] Submitted submit(const sched::MissionSpec& spec);
+
+  /// Raw request/response round trip (adds nothing to `request`).
+  [[nodiscard]] Json request(const Json& request);
+
+  [[nodiscard]] Json status(std::uint64_t job);
+  /// Blocks until the job finishes server-side; returns the full result
+  /// payload (status, best_fitness, genotype_hash, sim_ns, ...).
+  [[nodiscard]] Json result(std::uint64_t job);
+  [[nodiscard]] bool cancel(std::uint64_t job);
+  [[nodiscard]] Json list();
+  [[nodiscard]] Json stats();
+  [[nodiscard]] Json drain(bool wait);
+
+  /// Subscribes to the job's progress stream and blocks until it
+  /// finishes; `on_progress` (optional) sees each waves count. The
+  /// server registers the subscription before acking, so every wave
+  /// after `on_subscribed` fires (optional; e.g. a test barrier) is
+  /// observed. Returns the final status name ("done", "failed",
+  /// "cancelled").
+  [[nodiscard]] std::string watch(
+      std::uint64_t job,
+      const std::function<void(std::uint64_t waves)>& on_progress = {},
+      std::uint64_t every = 1,
+      const std::function<void()>& on_subscribed = {});
+
+ private:
+  [[nodiscard]] Json roundtrip(const Json& request);
+  [[nodiscard]] Json job_op(const char* op, std::uint64_t job);
+
+  LineChannel channel_;
+  std::string server_version_;
+};
+
+}  // namespace ehw::svc

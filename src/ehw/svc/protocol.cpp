@@ -1,0 +1,155 @@
+#include "ehw/svc/protocol.hpp"
+
+#include <cstdio>
+
+#include "ehw/common/rng.hpp"
+
+namespace ehw::svc {
+namespace {
+
+/// Stringifies a JSON scalar into the manifest value vocabulary so the
+/// shared sched::apply_spec_option performs ALL interpretation (one
+/// validation path for manifest lines and submit payloads).
+std::string scalar_to_option_value(const Json& value, bool& ok) {
+  ok = true;
+  if (value.is_string()) return value.as_string();
+  if (value.is_bool()) return value.as_bool() ? "1" : "0";
+  if (value.is_number()) {
+    char buf[32];
+    const double n = value.as_number();
+    if (json_number_is_exact_int(n) && n >= 0) {
+      std::snprintf(buf, sizeof buf, "%llu",
+                    static_cast<unsigned long long>(n));
+    } else {
+      std::snprintf(buf, sizeof buf, "%.17g", n);
+    }
+    return buf;
+  }
+  ok = false;
+  return {};
+}
+
+}  // namespace
+
+const char* status_name(sched::JobStatus status) noexcept {
+  switch (status) {
+    case sched::JobStatus::kQueued: return "queued";
+    case sched::JobStatus::kRunning: return "running";
+    case sched::JobStatus::kDone: return "done";
+    case sched::JobStatus::kFailed: return "failed";
+    case sched::JobStatus::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+std::string hash_hex(std::uint64_t value) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+Json spec_to_json(const sched::MissionSpec& spec) {
+  Json payload = Json::object();
+  payload.set("kind", sched::kind_name(spec.kind));
+  payload.set("name", spec.name);
+  payload.set("lanes", static_cast<std::uint64_t>(spec.lanes));
+  payload.set("priority", spec.priority);
+  payload.set("generations", static_cast<std::uint64_t>(spec.generations));
+  payload.set("size", static_cast<std::uint64_t>(spec.size));
+  payload.set("noise", spec.noise);
+  payload.set("rate", static_cast<std::uint64_t>(spec.mutation_rate));
+  payload.set("lambda", static_cast<std::uint64_t>(spec.lambda));
+  // Seeds are full 64-bit values; as JSON numbers they would round at
+  // 2^53 and silently change the mission. Strings keep them bit-exact
+  // (apply_spec_option parses decimal strings natively).
+  payload.set("seed", std::to_string(spec.seed));
+  payload.set("scene-seed", std::to_string(spec.scene_seed));
+  payload.set("two-level", spec.two_level);
+  payload.set("merged", spec.merged_fitness);
+  payload.set("interleaved", spec.interleaved);
+  return payload;
+}
+
+std::string spec_from_json(const Json& payload, sched::MissionSpec& spec) {
+  if (!payload.is_object()) return "spec must be a JSON object";
+  bool saw_kind = false;
+  for (const auto& [key, value] : payload.as_object()) {
+    if (key == "kind") {
+      if (!value.is_string() || !sched::parse_kind(value.as_string(),
+                                                   spec.kind)) {
+        return "unknown mission kind '" +
+               (value.is_string() ? value.as_string() : value.dump()) + "'";
+      }
+      saw_kind = true;
+      continue;
+    }
+    if (key == "name") {
+      if (!value.is_string()) return "mission name must be a string";
+      spec.name = value.as_string();
+      continue;
+    }
+    bool scalar = false;
+    const std::string text = scalar_to_option_value(value, scalar);
+    if (!scalar) return "value for '" + key + "' must be a scalar";
+    const std::string error = sched::apply_spec_option(spec, key, text);
+    if (!error.empty()) return error;
+  }
+  if (!saw_kind) return "spec is missing 'kind'";
+  return sched::validate_spec(spec);
+}
+
+Json outcome_to_json(sched::MissionKind kind, sched::JobStatus status,
+                     const sched::JobOutcome& outcome) {
+  Json result = Json::object();
+  result.set("status", status_name(status));
+  if (!outcome.error.empty()) result.set("error", outcome.error);
+  result.set("cache_hits", outcome.stats.cache_hits);
+  result.set("cache_misses", outcome.stats.cache_misses);
+  if (status != sched::JobStatus::kDone) return result;
+
+  result.set("sim_ns",
+             std::to_string(outcome.stats.mission_time));  // bit-exact
+  result.set("sim_s", sim::to_seconds(outcome.stats.mission_time));
+  if (kind == sched::MissionKind::kCascade) {
+    result.set("best_fitness",
+               static_cast<std::uint64_t>(outcome.cascade.chain_fitness));
+    std::uint64_t chain_hash = 0;
+    Json stages = Json::array();
+    for (const platform::CascadeStageOutcome& stage :
+         outcome.cascade.stages) {
+      const std::uint64_t stage_hash = stage.best.hash();
+      chain_hash = hash_mix(chain_hash, stage_hash);
+      Json entry = Json::object();
+      entry.set("fitness", static_cast<std::uint64_t>(stage.stage_fitness));
+      entry.set("genotype_hash", hash_hex(stage_hash));
+      stages.push_back(std::move(entry));
+    }
+    result.set("genotype_hash", hash_hex(chain_hash));
+    result.set("stages", std::move(stages));
+  } else {
+    result.set("generations",
+               static_cast<std::uint64_t>(outcome.intrinsic.es.generations_run));
+    result.set("best_fitness",
+               static_cast<std::uint64_t>(outcome.intrinsic.es.best_fitness));
+    result.set("genotype_hash", hash_hex(outcome.intrinsic.es.best.hash()));
+    result.set("pe_writes", outcome.intrinsic.pe_writes);
+  }
+  return result;
+}
+
+Json make_ok() {
+  Json response = Json::object();
+  response.set("ok", true);
+  return response;
+}
+
+Json make_error(const std::string& message, const std::string& code) {
+  Json response = Json::object();
+  response.set("ok", false);
+  response.set("error", message);
+  if (!code.empty()) response.set("code", code);
+  return response;
+}
+
+}  // namespace ehw::svc

@@ -1,0 +1,70 @@
+#pragma once
+// Wire protocol of the mission service: newline-delimited JSON frames
+// over a loopback TCP connection.
+//
+// Handshake (versioned): on connect the server sends one greeting event
+//   {"event":"hello","service":...,"protocol":1,"version":"x.y.z"}
+// and the client must answer {"op":"hello","protocol":1} before any
+// other op; a protocol mismatch is rejected and the connection closed.
+//
+// Requests are objects {"op": <name>, ...}; an optional "id" member is
+// echoed verbatim into the matching response for client-side request
+// correlation. Responses are {"ok":true,...} or
+// {"ok":false,"error":<message>,"code":<machine tag>}. Codes the client
+// can dispatch on: "queue_full" (admission control), "draining" (drain
+// was requested), "bad_spec", "unknown_job", "bad_request",
+// "unsupported_protocol".
+//
+// Ops: hello, submit, status, result (blocks until the job finishes),
+// cancel, list, stats, watch (streams {"event":"progress"|"done"} frames
+// after its ok-response), drain.
+//
+// Submit payloads reuse the batch-manifest vocabulary: {"op":"submit",
+// "spec":{"kind":"denoise","name":"dn0","lanes":2,"generations":300,...}}
+// — every spec key is the manifest key, applied through the same
+// sched::apply_spec_option/validate_spec used by `mpa batch`, so the
+// service accepts exactly the manifest job kinds with identical
+// validation. Values that must be bit-exact at 64 bits travel as
+// strings: genotype hashes as 16-digit hex, simulated durations as
+// decimal nanoseconds ("sim_ns"), seeds as decimal strings in submit
+// payloads (JSON numbers round at 2^53).
+
+#include <string>
+
+#include "ehw/common/json.hpp"
+#include "ehw/sched/array_pool.hpp"
+#include "ehw/sched/missions.hpp"
+
+namespace ehw::svc {
+
+inline constexpr int kProtocolVersion = 1;
+inline constexpr const char* kServiceName = "mpa-ehw-mission-service";
+
+[[nodiscard]] const char* status_name(sched::JobStatus status) noexcept;
+
+/// 16-hex-digit rendering of a 64-bit hash (exact over the wire, where a
+/// JSON number would round at 2^53).
+[[nodiscard]] std::string hash_hex(std::uint64_t value);
+
+/// Full spec as a submit payload object (every manifest key emitted).
+[[nodiscard]] Json spec_to_json(const sched::MissionSpec& spec);
+
+/// Builds a spec from a submit payload object; returns "" on success or
+/// an error message (unknown key, bad value, failed validation).
+[[nodiscard]] std::string spec_from_json(const Json& payload,
+                                         sched::MissionSpec& spec);
+
+/// Result payload for a finished job. Carries status + error always;
+/// fitness/genotype-hash/duration fields only when the job completed
+/// (kDone). For cascades, "genotype_hash" covers the whole chain
+/// (hash-mix over the stage hashes) and "stages" lists each stage's own
+/// fitness and hash.
+[[nodiscard]] Json outcome_to_json(sched::MissionKind kind,
+                                   sched::JobStatus status,
+                                   const sched::JobOutcome& outcome);
+
+[[nodiscard]] Json make_ok();
+[[nodiscard]] Json make_error(const std::string& message,
+                              const std::string& code);
+
+}  // namespace ehw::svc

@@ -1,0 +1,473 @@
+#include "ehw/svc/server.hpp"
+
+#include <algorithm>
+
+#include "ehw/common/version.hpp"
+
+namespace ehw::svc {
+namespace {
+
+Json greeting_frame() {
+  Json frame = Json::object();
+  frame.set("event", "hello");
+  frame.set("service", kServiceName);
+  frame.set("protocol", kProtocolVersion);
+  frame.set("version", kVersion);
+  return frame;
+}
+
+}  // namespace
+
+Server::Server(ServerConfig config) : config_(std::move(config)) {
+  max_inflight_ = config_.max_inflight != 0 ? config_.max_inflight
+                                            : 2 * config_.pool.num_arrays;
+  pool_ = std::make_unique<sched::ArrayPool>(config_.pool);
+  listener_ = std::make_unique<Listener>(config_.address, config_.port);
+  port_ = listener_->port();
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+Server::~Server() { stop(); }
+
+void Server::drain() {
+  {
+    std::lock_guard lock(state_mutex_);
+    draining_.store(true, std::memory_order_relaxed);
+  }
+  state_cv_.notify_all();
+}
+
+void Server::wait_drained() {
+  std::unique_lock lock(state_mutex_);
+  state_cv_.wait(lock, [this] {
+    return draining_.load(std::memory_order_relaxed) && inflight_ == 0;
+  });
+}
+
+void Server::stop() {
+  if (stopped_) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  // The acceptor polls with a short timeout and re-checks stopping_, so
+  // join it FIRST and only then close the listener fd — closing while
+  // the acceptor is inside poll/accept would race on the descriptor.
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listener_ != nullptr) listener_->close();
+  // Take the sessions out under the lock but JOIN them outside it: a
+  // session thread may be inside the "stats" handler, which locks
+  // sessions_mutex_ via service_stats() — joining while holding it
+  // would deadlock. The acceptor is already joined, so nothing else
+  // appends to sessions_.
+  std::vector<std::unique_ptr<Session>> to_join;
+  {
+    std::lock_guard lock(sessions_mutex_);
+    to_join.swap(sessions_);
+  }
+  for (const auto& session : to_join) session->channel->shutdown();
+  // Let in-flight jobs finish first: sessions blocked in a "result" op
+  // only unblock when their job does.
+  pool_->wait_all();
+  for (const auto& session : to_join) {
+    if (session->thread.joinable()) session->thread.join();
+  }
+  // A session may have submitted between the first wait and its join.
+  pool_->wait_all();
+  stopped_ = true;
+}
+
+ServiceStats Server::service_stats() const {
+  ServiceStats stats;
+  {
+    std::lock_guard lock(sessions_mutex_);
+    for (const auto& session : sessions_) {
+      if (!session->done.load(std::memory_order_relaxed)) {
+        ++stats.sessions_open;
+      }
+    }
+  }
+  std::lock_guard lock(state_mutex_);
+  stats.connections = connections_;
+  stats.inflight = inflight_;
+  stats.max_inflight = max_inflight_;
+  stats.draining = draining_.load(std::memory_order_relaxed);
+  stats.submitted = submitted_;
+  stats.rejected = rejected_;
+  return stats;
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    std::optional<Socket> socket = listener_->accept_one(/*timeout_ms=*/100);
+    if (!socket.has_value()) continue;
+    // A client that stops reading must not wedge the job thread writing
+    // its progress events (or a session reply) forever: bound the stall,
+    // then the channel poisons itself and the subscription goes quiet.
+    socket->set_send_timeout(/*timeout_ms=*/10000);
+    auto session = std::make_unique<Session>(std::move(*socket));
+    Session* raw = session.get();
+    {
+      std::lock_guard lock(sessions_mutex_);
+      // Reap sessions whose threads already finished.
+      auto alive = sessions_.begin();
+      for (auto& existing : sessions_) {
+        if (existing->done.load(std::memory_order_acquire) &&
+            existing->thread.joinable()) {
+          existing->thread.join();
+          continue;
+        }
+        *alive++ = std::move(existing);
+      }
+      sessions_.erase(alive, sessions_.end());
+      sessions_.push_back(std::move(session));
+    }
+    {
+      std::lock_guard lock(state_mutex_);
+      ++connections_;
+    }
+    raw->thread = std::thread([this, raw] { session_loop(raw); });
+  }
+}
+
+void Server::session_loop(Session* session) {
+  LineChannel& channel = *session->channel;
+  if (channel.write_line(greeting_frame().dump())) {
+    std::string line;
+    while (channel.read_line(line)) {
+      Json request;
+      try {
+        request = Json::parse(line);
+        if (!request.is_object()) {
+          throw JsonError("request must be a JSON object", 0);
+        }
+      } catch (const JsonError& e) {
+        const Json response = make_error(
+            std::string("malformed request: ") + e.what(), "bad_request");
+        if (!channel.write_line(response.dump())) break;
+        continue;
+      }
+      std::optional<Json> response = handle_request(*session, request);
+      if (response.has_value()) {
+        if (const Json* id = request.get("id")) response->set("id", *id);
+        if (!channel.write_line(response->dump())) break;
+      }
+      if (session->close_after_reply) break;
+    }
+  }
+  channel.shutdown();
+  session->done.store(true, std::memory_order_release);
+}
+
+std::optional<Json> Server::handle_request(Session& session,
+                                           const Json& request) {
+  const Json* op_field = request.get("op");
+  if (op_field == nullptr || !op_field->is_string()) {
+    return make_error("request is missing string member 'op'", "bad_request");
+  }
+  const std::string& op = op_field->as_string();
+  if (op == "hello") {
+    const double protocol = request.get_number("protocol", -1);
+    if (protocol != static_cast<double>(kProtocolVersion)) {
+      session.close_after_reply = true;
+      return make_error("unsupported protocol version (server speaks " +
+                            std::to_string(kProtocolVersion) + ")",
+                        "unsupported_protocol");
+    }
+    session.greeted = true;
+    Json response = make_ok();
+    response.set("service", kServiceName);
+    response.set("protocol", kProtocolVersion);
+    response.set("version", kVersion);
+    return response;
+  }
+  if (!session.greeted) {
+    return make_error("handshake required: send {\"op\":\"hello\","
+                      "\"protocol\":" +
+                          std::to_string(kProtocolVersion) + "} first",
+                      "bad_request");
+  }
+  if (op == "submit") return handle_submit(request);
+  if (op == "status") return handle_status(request);
+  if (op == "result") return handle_result(request);
+  if (op == "cancel") return handle_cancel(request);
+  if (op == "list") return handle_list();
+  if (op == "stats") return handle_stats();
+  if (op == "watch") return handle_watch(session, request);
+  if (op == "drain") return handle_drain(request);
+  return make_error("unknown op '" + op + "'", "bad_request");
+}
+
+Json Server::handle_submit(const Json& request) {
+  const Json* spec_field = request.get("spec");
+  if (spec_field == nullptr) {
+    return make_error("submit needs a 'spec' object", "bad_request");
+  }
+  sched::MissionSpec spec;
+  const std::string spec_error = spec_from_json(*spec_field, spec);
+  if (!spec_error.empty()) return make_error(spec_error, "bad_spec");
+  if (spec.lanes > pool_->num_arrays()) {
+    return make_error("lanes=" + std::to_string(spec.lanes) +
+                          " exceeds the pool's " +
+                          std::to_string(pool_->num_arrays()) + " arrays",
+                      "bad_spec");
+  }
+  auto record = std::make_shared<JobRecord>();
+  record->spec = spec;
+  {
+    std::lock_guard lock(state_mutex_);
+    if (draining_.load(std::memory_order_relaxed)) {
+      ++rejected_;
+      return make_error("service is draining; not accepting new missions",
+                        "draining");
+    }
+    if (inflight_ >= max_inflight_) {
+      ++rejected_;
+      Json response = make_error(
+          "rejected: " + std::to_string(inflight_) +
+              " missions in flight (cap " + std::to_string(max_inflight_) +
+              ")",
+          "queue_full");
+      response.set("rejected", "queue_full");
+      return response;
+    }
+    ++inflight_;
+    ++submitted_;
+    record->id = next_job_id_++;
+  }
+  // Pool submission happens OUTSIDE state_mutex_: admit_locked's
+  // thread-exhaustion path synchronously fires a queued job's kFinished
+  // observer, which locks state_mutex_ on this thread.
+  record->runner =
+      pool_->submit(sched::make_job_config(spec), sched::make_job_body(spec));
+  {
+    std::lock_guard lock(state_mutex_);
+    jobs_.emplace(record->id, record);
+    prune_finished_locked();
+  }
+  // The pool's own record of finished jobs (thread handle, body,
+  // outcome reference) is redundant once the service holds the runner —
+  // reap it so daemon memory stays bounded over long uptimes.
+  static_cast<void>(pool_->reap_finished());
+  // Also outside state_mutex_: an already-finished job fires the
+  // callback immediately on THIS thread.
+  record->runner->subscribe([this](const sched::MissionEvent& event) {
+    if (event.kind != sched::MissionEvent::Kind::kFinished) return;
+    {
+      std::lock_guard lock(state_mutex_);
+      --inflight_;
+    }
+    state_cv_.notify_all();
+  });
+  Json response = make_ok();
+  response.set("job", record->id);
+  response.set("name", spec.name);
+  return response;
+}
+
+void Server::prune_finished_locked() {
+  if (config_.max_job_records == 0) return;
+  auto it = jobs_.begin();
+  while (jobs_.size() > config_.max_job_records && it != jobs_.end()) {
+    const sched::JobStatus status = it->second->runner->status();
+    if (status == sched::JobStatus::kQueued ||
+        status == sched::JobStatus::kRunning) {
+      ++it;  // never evict live jobs, whatever their age
+      continue;
+    }
+    it = jobs_.erase(it);
+  }
+}
+
+std::shared_ptr<Server::JobRecord> Server::find_job(
+    const Json& request, std::string& error) const {
+  const Json* job_field = request.get("job");
+  if (job_field == nullptr) {
+    error = "request is missing 'job' (id or name)";
+    return nullptr;
+  }
+  std::lock_guard lock(state_mutex_);
+  if (job_field->is_number()) {
+    const double id = job_field->as_number();
+    const auto it = json_number_is_exact_int(id) && id >= 0
+                        ? jobs_.find(static_cast<std::uint64_t>(id))
+                        : jobs_.end();
+    if (it == jobs_.end()) {
+      error = "no such job id " + job_field->dump();
+      return nullptr;
+    }
+    return it->second;
+  }
+  if (job_field->is_string()) {
+    const std::string& name = job_field->as_string();
+    // Latest submission with that name wins (names may repeat over time).
+    for (auto it = jobs_.rbegin(); it != jobs_.rend(); ++it) {
+      if (it->second->spec.name == name) return it->second;
+    }
+    error = "no job named '" + name + "'";
+    return nullptr;
+  }
+  error = "'job' must be an id number or a name string";
+  return nullptr;
+}
+
+Json Server::handle_status(const Json& request) {
+  std::string error;
+  const std::shared_ptr<JobRecord> record = find_job(request, error);
+  if (record == nullptr) return make_error(error, "unknown_job");
+  Json response = make_ok();
+  response.set("job", record->id);
+  response.set("name", record->spec.name);
+  response.set("kind", sched::kind_name(record->spec.kind));
+  response.set("lanes", static_cast<std::uint64_t>(record->spec.lanes));
+  const sched::JobStatus status = record->runner->status();
+  response.set("status", status_name(status));
+  response.set("waves", record->runner->waves_completed());
+  if (status != sched::JobStatus::kQueued &&
+      status != sched::JobStatus::kRunning) {
+    response.set("sim_ns", std::to_string(record->runner->sim_duration()));
+  }
+  return response;
+}
+
+Json Server::handle_result(const Json& request) {
+  std::string error;
+  const std::shared_ptr<JobRecord> record = find_job(request, error);
+  if (record == nullptr) return make_error(error, "unknown_job");
+  // Blocks this session thread until the job leaves the running set; the
+  // connection is dedicated to the wait (use another for control ops).
+  const sched::JobOutcome& outcome = record->runner->result();
+  Json response =
+      outcome_to_json(record->spec.kind, record->runner->status(), outcome);
+  response.set("ok", true);
+  response.set("job", record->id);
+  response.set("name", record->spec.name);
+  response.set("kind", sched::kind_name(record->spec.kind));
+  response.set("waves", record->runner->waves_completed());
+  return response;
+}
+
+Json Server::handle_cancel(const Json& request) {
+  std::string error;
+  const std::shared_ptr<JobRecord> record = find_job(request, error);
+  if (record == nullptr) return make_error(error, "unknown_job");
+  record->runner->cancel();
+  Json response = make_ok();
+  response.set("job", record->id);
+  response.set("status", status_name(record->runner->status()));
+  return response;
+}
+
+Json Server::handle_list() {
+  Json jobs = Json::array();
+  {
+    std::lock_guard lock(state_mutex_);
+    for (const auto& [id, record] : jobs_) {
+      Json entry = Json::object();
+      entry.set("job", id);
+      entry.set("name", record->spec.name);
+      entry.set("kind", sched::kind_name(record->spec.kind));
+      entry.set("lanes", static_cast<std::uint64_t>(record->spec.lanes));
+      entry.set("status", status_name(record->runner->status()));
+      entry.set("waves", record->runner->waves_completed());
+      jobs.push_back(std::move(entry));
+    }
+  }
+  Json response = make_ok();
+  response.set("jobs", std::move(jobs));
+  return response;
+}
+
+Json Server::handle_stats() {
+  const sched::ArrayPool::PoolStats pool_stats = pool_->pool_stats();
+  const sched::CacheStats cache_stats = pool_->cache_stats();
+  const ServiceStats service = service_stats();
+
+  Json pool = Json::object();
+  pool.set("arrays", static_cast<std::uint64_t>(pool_stats.num_arrays));
+  pool.set("free_arrays", static_cast<std::uint64_t>(pool_stats.free_arrays));
+  pool.set("running", static_cast<std::uint64_t>(pool_stats.running));
+  pool.set("queued", static_cast<std::uint64_t>(pool_stats.queued));
+  pool.set("submitted", pool_stats.submitted);
+  pool.set("done", pool_stats.done);
+  pool.set("failed", pool_stats.failed);
+  pool.set("cancelled", pool_stats.cancelled);
+
+  Json cache = Json::object();
+  cache.set("hits", cache_stats.hits);
+  cache.set("misses", cache_stats.misses);
+  cache.set("evictions", cache_stats.evictions);
+  cache.set("hit_rate", cache_stats.hit_rate());
+
+  Json svc = Json::object();
+  svc.set("protocol", kProtocolVersion);
+  svc.set("version", kVersion);
+  svc.set("connections", service.connections);
+  svc.set("sessions_open", static_cast<std::uint64_t>(service.sessions_open));
+  svc.set("inflight", static_cast<std::uint64_t>(service.inflight));
+  svc.set("max_inflight", static_cast<std::uint64_t>(service.max_inflight));
+  svc.set("draining", service.draining);
+  svc.set("submitted", service.submitted);
+  svc.set("rejected", service.rejected);
+
+  Json response = make_ok();
+  response.set("pool", std::move(pool));
+  response.set("cache", std::move(cache));
+  response.set("service", std::move(svc));
+  return response;
+}
+
+std::optional<Json> Server::handle_watch(Session& session,
+                                         const Json& request) {
+  std::string error;
+  const std::shared_ptr<JobRecord> record = find_job(request, error);
+  if (record == nullptr) return make_error(error, "unknown_job");
+  const double every_field = request.get_number("every", 1);
+  const std::uint64_t every =
+      json_number_is_exact_int(every_field) && every_field >= 1
+          ? static_cast<std::uint64_t>(every_field)
+          : 1;
+  Json ack = make_ok();
+  ack.set("job", record->id);
+  ack.set("watching", record->spec.name);
+  if (const Json* id = request.get("id")) ack.set("id", *id);
+  const std::shared_ptr<LineChannel> channel = session.channel;
+  const std::uint64_t job_id = record->id;
+  // Subscribe BEFORE writing the ack: once the client has the ack it
+  // must be guaranteed to observe every subsequent wave (the client
+  // handles events that land ahead of the ack). The write lock keeps
+  // the frames themselves from interleaving.
+  record->runner->subscribe(
+      [channel, job_id, every](const sched::MissionEvent& event) {
+        Json frame = Json::object();
+        if (event.kind == sched::MissionEvent::Kind::kProgress) {
+          if (event.waves % every != 0) return;
+          frame.set("event", "progress");
+          frame.set("job", job_id);
+          frame.set("waves", event.waves);
+        } else {
+          frame.set("event", "done");
+          frame.set("job", job_id);
+          frame.set("status", status_name(event.status));
+          frame.set("waves", event.waves);
+        }
+        // Dead channels fail silently; the subscription just goes quiet.
+        static_cast<void>(channel->write_line(frame.dump()));
+      });
+  static_cast<void>(session.channel->write_line(ack.dump()));
+  return std::nullopt;
+}
+
+Json Server::handle_drain(const Json& request) {
+  drain();
+  if (request.get_bool("wait", false)) {
+    std::unique_lock lock(state_mutex_);
+    state_cv_.wait(lock, [this] { return inflight_ == 0; });
+  }
+  Json response = make_ok();
+  response.set("draining", true);
+  {
+    std::lock_guard lock(state_mutex_);
+    response.set("inflight", static_cast<std::uint64_t>(inflight_));
+  }
+  return response;
+}
+
+}  // namespace ehw::svc

@@ -1,0 +1,167 @@
+#pragma once
+// svc::Server — the mission service daemon: a loopback TCP front-end
+// over one sched::ArrayPool.
+//
+// Threading model: one acceptor thread polls the listener; each
+// connection gets a session thread running the request loop. Progress
+// events for watched jobs are written from the JOB's thread (via
+// MissionRunner::subscribe) through the session's LineChannel, whose
+// write lock keeps frames from interleaving with responses.
+//
+// Admission control: at most `max_inflight` jobs may be submitted but
+// not yet finished (queued in the pool counts); beyond that, submits are
+// rejected with code "queue_full" so clients get explicit backpressure
+// instead of an ever-growing queue. Lane demand is validated against the
+// pool before submission.
+//
+// Drain/shutdown: drain() (or the "drain" op) makes every subsequent
+// submit fail with code "draining" while running/queued jobs finish
+// normally; wait_drained() blocks until the service is drained and is
+// what `mpa serve` sits on. stop() closes the listener and sessions,
+// waits for the pool, and joins every thread — it never aborts a running
+// job (cancel first for a fast exit).
+//
+// Results delivered through the service are computed by the exact same
+// pool/job-body path as `mpa batch`, so they inherit the scheduler's
+// guarantee: bit-identical to a standalone run of the same spec.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ehw/svc/protocol.hpp"
+#include "ehw/svc/socket.hpp"
+
+namespace ehw::svc {
+
+struct ServerConfig {
+  /// Bind address; loopback by default (the service is an operator-local
+  /// daemon — remote backends are a future layer).
+  std::string address = "127.0.0.1";
+  /// 0 = ephemeral; the chosen port is readable via Server::port().
+  std::uint16_t port = 0;
+  /// The scheduler pool the daemon fronts.
+  sched::PoolConfig pool;
+  /// Submitted-but-unfinished job cap; 0 = 2x pool arrays.
+  std::size_t max_inflight = 0;
+  /// Finished-job retention: when the registry exceeds this many
+  /// records, the oldest FINISHED jobs are evicted (their ids stop
+  /// resolving for status/result). Bounds daemon memory and the `list`
+  /// frame over long uptimes; live jobs are never evicted. 0 = keep
+  /// everything.
+  std::size_t max_job_records = 4096;
+};
+
+/// Point-in-time service counters (the "stats" op's service section).
+struct ServiceStats {
+  std::uint64_t connections = 0;  // accepted since start
+  std::size_t sessions_open = 0;
+  std::size_t inflight = 0;
+  std::size_t max_inflight = 0;
+  bool draining = false;
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;  // queue_full + draining rejections
+};
+
+class Server {
+ public:
+  /// Binds, listens and starts serving. Throws std::runtime_error when
+  /// the endpoint cannot be bound.
+  explicit Server(ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] const ServerConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] sched::ArrayPool& pool() noexcept { return *pool_; }
+
+  /// Stops admitting new jobs (running/queued ones finish normally).
+  void drain();
+  [[nodiscard]] bool draining() const noexcept {
+    return draining_.load(std::memory_order_relaxed);
+  }
+  /// Blocks until drain() was requested (by any path) and every admitted
+  /// job has finished.
+  void wait_drained();
+
+  /// Graceful shutdown: refuse new connections, unblock sessions, finish
+  /// in-flight jobs, join all threads. Idempotent; also run by ~Server.
+  void stop();
+
+  [[nodiscard]] ServiceStats service_stats() const;
+
+ private:
+  struct JobRecord {
+    std::uint64_t id = 0;
+    sched::MissionSpec spec;
+    std::shared_ptr<sched::MissionRunner> runner;
+  };
+  struct Session {
+    explicit Session(Socket socket)
+        : channel(std::make_shared<LineChannel>(std::move(socket))) {}
+    /// Shared so watch subscriptions can outlive the session thread (the
+    /// channel just starts failing writes once the peer is gone).
+    std::shared_ptr<LineChannel> channel;
+    std::thread thread;
+    std::atomic<bool> done{false};
+    bool greeted = false;           // session-thread only
+    bool close_after_reply = false;  // session-thread only
+  };
+
+  void accept_loop();
+  void session_loop(Session* session);
+  /// nullopt when the handler already wrote its own frames (watch).
+  [[nodiscard]] std::optional<Json> handle_request(Session& session,
+                                                   const Json& request);
+  [[nodiscard]] Json handle_submit(const Json& request);
+  [[nodiscard]] Json handle_status(const Json& request);
+  [[nodiscard]] Json handle_result(const Json& request);
+  [[nodiscard]] Json handle_cancel(const Json& request);
+  [[nodiscard]] Json handle_list();
+  [[nodiscard]] Json handle_stats();
+  [[nodiscard]] std::optional<Json> handle_watch(Session& session,
+                                                 const Json& request);
+  [[nodiscard]] Json handle_drain(const Json& request);
+  [[nodiscard]] std::shared_ptr<JobRecord> find_job(const Json& request,
+                                                    std::string& error) const;
+  /// Evicts the oldest finished jobs beyond max_job_records. Caller
+  /// holds state_mutex_.
+  void prune_finished_locked();
+
+  ServerConfig config_;
+  std::size_t max_inflight_ = 0;
+  std::uint16_t port_ = 0;
+
+  // Service state. Declared before the pool/listener/threads so it is
+  // destroyed last (job-finished callbacks lock state_mutex_).
+  mutable std::mutex state_mutex_;
+  std::condition_variable state_cv_;
+  std::map<std::uint64_t, std::shared_ptr<JobRecord>> jobs_;  // by id
+  std::uint64_t next_job_id_ = 1;
+  std::size_t inflight_ = 0;      // submitted, not yet finished
+  std::uint64_t submitted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t connections_ = 0;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopping_{false};
+  bool stopped_ = false;  // stop() ran to completion (main thread only)
+
+  std::unique_ptr<sched::ArrayPool> pool_;
+  std::unique_ptr<Listener> listener_;
+  std::thread acceptor_;
+  mutable std::mutex sessions_mutex_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+};
+
+}  // namespace ehw::svc

@@ -1,5 +1,5 @@
 // Tests for ehw/common: RNG determinism and distribution sanity, running
-// statistics, tables, CLI parsing, thread pool.
+// statistics, tables, CLI parsing, JSON, thread pool, build version.
 
 #include <gtest/gtest.h>
 
@@ -11,13 +11,104 @@
 #include <vector>
 
 #include "ehw/common/cli.hpp"
+#include "ehw/common/json.hpp"
 #include "ehw/common/rng.hpp"
 #include "ehw/common/stats.hpp"
 #include "ehw/common/table.hpp"
 #include "ehw/common/thread_pool.hpp"
+#include "ehw/common/version.hpp"
 
 namespace ehw {
 namespace {
+
+// --- Json -------------------------------------------------------------------
+
+TEST(Json, BuildsAndDumpsCompactFrames) {
+  Json frame = Json::object();
+  frame.set("op", "submit");
+  frame.set("ok", true);
+  frame.set("count", 42);
+  frame.set("rate", 0.25);
+  frame.set("note", nullptr);
+  Json jobs = Json::array();
+  jobs.push_back(std::uint64_t{1});
+  jobs.push_back("two");
+  frame.set("jobs", std::move(jobs));
+  EXPECT_EQ(frame.dump(),
+            R"({"op":"submit","ok":true,"count":42,"rate":0.25,)"
+            R"("note":null,"jobs":[1,"two"]})");
+  // set() replaces in place rather than appending a duplicate.
+  frame.set("count", 43);
+  EXPECT_EQ(frame.get_number("count", 0), 43.0);
+}
+
+TEST(Json, ParseRoundTripsEveryValueKind) {
+  const std::string wire =
+      R"({"s":"a\"b\\c\nAé","n":-12.5,"i":9007199254740992,)"
+      R"("b":false,"z":null,"a":[1,[2,{"k":3}]],"o":{}})";
+  const Json parsed = Json::parse(wire);
+  EXPECT_EQ(parsed.get_string("s", ""), "a\"b\\c\nA\xC3\xA9");
+  EXPECT_EQ(parsed.get_number("n", 0), -12.5);
+  EXPECT_EQ(parsed.get_number("i", 0), 9007199254740992.0);
+  EXPECT_FALSE(parsed.get_bool("b", true));
+  ASSERT_NE(parsed.get("z"), nullptr);
+  EXPECT_TRUE(parsed.get("z")->is_null());
+  EXPECT_EQ(parsed.get("a")->as_array()[1].as_array()[1].get_number("k", 0),
+            3.0);
+  // dump() -> parse() is a fixed point.
+  EXPECT_EQ(Json::parse(parsed.dump()), parsed);
+}
+
+TEST(Json, ParseHandlesSurrogatePairsAndEscapedOutput) {
+  const Json parsed = Json::parse(R"("😀")");  // 😀 U+1F600
+  EXPECT_EQ(parsed.as_string(), "\xF0\x9F\x98\x80");
+  // Control characters are escaped on output, so frames stay one line.
+  const Json newline(std::string("a\nb\x01"));
+  EXPECT_EQ(newline.dump(), "\"a\\nb\\u0001\"");
+  EXPECT_EQ(Json::parse(newline.dump()), newline);
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_THROW(Json::parse(""), JsonError);
+  EXPECT_THROW(Json::parse("{"), JsonError);
+  EXPECT_THROW(Json::parse("{\"a\":1,}"), JsonError);
+  EXPECT_THROW(Json::parse("[1 2]"), JsonError);
+  EXPECT_THROW(Json::parse("042"), JsonError);
+  EXPECT_THROW(Json::parse("1.2.3"), JsonError);
+  EXPECT_THROW(Json::parse("\"unterminated"), JsonError);
+  EXPECT_THROW(Json::parse("\"bad \\x escape\""), JsonError);
+  EXPECT_THROW(Json::parse("\"lone \\ud800 surrogate\""), JsonError);
+  EXPECT_THROW(Json::parse("nul"), JsonError);
+  EXPECT_THROW(Json::parse("{} trailing"), JsonError);
+  EXPECT_THROW(Json::parse("\"raw\ncontrol\""), JsonError);
+  // Overflow to inf must be rejected, not silently dumped as null.
+  EXPECT_THROW(Json::parse("1e400"), JsonError);
+  EXPECT_THROW(Json::parse("-1e400"), JsonError);
+  // Nesting bomb: bounded depth instead of a stack overflow.
+  EXPECT_THROW(Json::parse(std::string(1000, '[')), JsonError);
+  // Type errors on accessors are JsonError too.
+  EXPECT_THROW(static_cast<void>(Json(1.0).as_string()), JsonError);
+  EXPECT_THROW(static_cast<void>(Json("x").as_array()), JsonError);
+}
+
+TEST(Json, NumberEmissionIsExactForIntegersAndRoundTripsDoubles) {
+  EXPECT_EQ(Json(std::uint64_t{9007199254740992ULL}).dump(),
+            "9007199254740992");  // 2^53, the exactness edge
+  EXPECT_EQ(Json(-7).dump(), "-7");
+  EXPECT_EQ(Json(0.1).dump(), "0.1");
+  const double tricky = 1.0 / 3.0;
+  EXPECT_EQ(Json::parse(Json(tricky).dump()).as_number(), tricky);
+  EXPECT_TRUE(json_number_is_exact_int(42.0));
+  EXPECT_FALSE(json_number_is_exact_int(0.5));
+  EXPECT_FALSE(json_number_is_exact_int(1e300));
+}
+
+TEST(Version, IsNonEmptyAndMatchesComponents) {
+  const std::string version = kVersion;
+  EXPECT_EQ(version, std::to_string(kVersionMajor) + "." +
+                         std::to_string(kVersionMinor) + "." +
+                         std::to_string(kVersionPatch));
+}
 
 TEST(Rng, SameSeedSameStream) {
   Rng a(123), b(123);

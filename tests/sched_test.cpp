@@ -121,6 +121,34 @@ TEST(JobQueue, AgingPromotesStarvedJobOverFreshArrivals) {
   EXPECT_EQ(q.pop_admissible(8)->id, 5u);
 }
 
+TEST(JobQueue, StarvationBoundedUnderContinuousHighPriorityStream) {
+  // Adversarial arrival pattern: every admission is immediately followed
+  // by a FRESH job with a large static priority advantage. Aging must
+  // still dispatch the old low-priority job within a bounded number of
+  // pops: it gains one effective priority per aging_rounds admissions,
+  // so after gap * aging_rounds pops it ties the fresh arrivals and FIFO
+  // wins. Without aging this loop would never pop ticket 0.
+  constexpr std::uint64_t kAgingRounds = 4;
+  constexpr int kPriorityGap = 9;
+  JobQueue q(kAgingRounds);
+  q.push(ticket(0, 1, 0));  // the victim
+  const std::uint64_t bound = kPriorityGap * kAgingRounds + 1;
+  std::uint64_t pops = 0;
+  bool victim_dispatched = false;
+  for (std::uint64_t id = 1; pops < 2 * bound; ++id) {
+    q.push(ticket(id, 1, kPriorityGap));
+    const auto admitted = q.pop_admissible(8);
+    ASSERT_TRUE(admitted.has_value());
+    ++pops;
+    if (admitted->id == 0) {
+      victim_dispatched = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(victim_dispatched);
+  EXPECT_LE(pops, bound);
+}
+
 TEST(JobQueue, HeadOfLineProtectionForWideJobs) {
   // Small jobs may backfill around a wide job that doesn't fit — but only
   // starvation_age times; then the queue refuses to admit anything until
@@ -357,6 +385,50 @@ edge b size=16        # trailing comment
   EXPECT_THROW(parse_manifest(negative_gens), std::runtime_error);
   std::istringstream noise_range("denoise x noise=1.5");
   EXPECT_THROW(parse_manifest(noise_range), std::runtime_error);
+}
+
+std::string manifest_error_message(const std::string& text) {
+  std::istringstream in(text);
+  try {
+    static_cast<void>(parse_manifest(in));
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(Manifest, ErrorsNameTheOffendingLineNumber) {
+  // Malformed input is never silently skipped, and the diagnostic names
+  // the exact line (comments and blank lines still count).
+  const std::string unknown_key = R"(# header comment
+denoise ok lanes=1
+
+edge bad lanes=1 frobnicate=7
+)";
+  EXPECT_NE(manifest_error_message(unknown_key).find("line 4"),
+            std::string::npos)
+      << manifest_error_message(unknown_key);
+  EXPECT_NE(manifest_error_message(unknown_key).find("frobnicate"),
+            std::string::npos);
+
+  const std::string bad_kind = "\n\ntransmogrify x\n";
+  EXPECT_NE(manifest_error_message(bad_kind).find("line 3"),
+            std::string::npos);
+
+  const std::string bad_value = "denoise a size=purple";
+  EXPECT_NE(manifest_error_message(bad_value).find("line 1"),
+            std::string::npos);
+}
+
+TEST(Manifest, RejectsDuplicateMissionNamesNamingBothLines) {
+  const std::string duplicate = R"(denoise job0 lanes=1
+edge    job1 lanes=1
+cascade job0 lanes=2
+)";
+  const std::string message = manifest_error_message(duplicate);
+  EXPECT_NE(message.find("line 3"), std::string::npos) << message;
+  EXPECT_NE(message.find("duplicate mission name 'job0'"), std::string::npos);
+  EXPECT_NE(message.find("line 1"), std::string::npos);
 }
 
 }  // namespace

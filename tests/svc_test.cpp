@@ -1,0 +1,471 @@
+// Tests for the mission service: protocol payload round trips, the
+// versioned handshake, request validation, admission control
+// (queue_full backpressure), drain semantics, progress streaming — and
+// above all that results delivered through the socket are BIT-IDENTICAL
+// to standalone runs of the same spec (the scheduler's determinism
+// guarantee extended across the wire).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ehw/common/version.hpp"
+#include "ehw/sched/missions.hpp"
+#include "ehw/svc/client.hpp"
+#include "ehw/svc/server.hpp"
+#include "ehw/svc/socket.hpp"
+
+namespace ehw::svc {
+namespace {
+
+sched::MissionSpec quick_spec(sched::MissionKind kind, std::string name,
+                              std::size_t lanes, Generation generations,
+                              std::uint64_t seed) {
+  sched::MissionSpec spec;
+  spec.kind = kind;
+  spec.name = std::move(name);
+  spec.lanes = lanes;
+  spec.generations = generations;
+  spec.size = 16;
+  spec.seed = seed;
+  return spec;
+}
+
+/// The wire answer a standalone run of `spec` would produce.
+struct Reference {
+  Fitness fitness = 0;
+  std::string genotype_hash;
+  std::string sim_ns;
+};
+
+Reference standalone_reference(const sched::MissionSpec& spec) {
+  const sched::JobOutcome alone = sched::run_spec_standalone(spec);
+  Reference ref;
+  ref.sim_ns = std::to_string(alone.stats.mission_time);
+  if (spec.kind == sched::MissionKind::kCascade) {
+    ref.fitness = alone.cascade.chain_fitness;
+    std::uint64_t chain_hash = 0;
+    for (const platform::CascadeStageOutcome& stage : alone.cascade.stages) {
+      chain_hash = hash_mix(chain_hash, stage.best.hash());
+    }
+    ref.genotype_hash = hash_hex(chain_hash);
+  } else {
+    ref.fitness = alone.intrinsic.es.best_fitness;
+    ref.genotype_hash = hash_hex(alone.intrinsic.es.best.hash());
+  }
+  return ref;
+}
+
+void expect_result_matches(const Json& result, const Reference& ref) {
+  EXPECT_EQ(result.get_string("status", "?"), "done");
+  EXPECT_EQ(static_cast<Fitness>(result.get_number("best_fitness", 0)),
+            ref.fitness);
+  EXPECT_EQ(result.get_string("genotype_hash", "?"), ref.genotype_hash);
+  EXPECT_EQ(result.get_string("sim_ns", "?"), ref.sim_ns);
+}
+
+// --- protocol payloads ------------------------------------------------------
+
+TEST(SvcProtocol, SpecJsonRoundTrip) {
+  sched::MissionSpec spec;
+  spec.kind = sched::MissionKind::kCascade;
+  spec.name = "rt";
+  spec.lanes = 3;
+  spec.priority = -2;
+  spec.generations = 123;
+  spec.size = 48;
+  spec.noise = 0.25;
+  spec.mutation_rate = 5;
+  spec.lambda = 7;
+  // Above 2^53: a JSON double would round these; they must survive the
+  // wire bit-exactly (they travel as decimal strings).
+  spec.seed = (1ULL << 53) + 3;
+  spec.scene_seed = 0xFFFFFFFFFFFFFFFFULL;
+  spec.two_level = true;
+  spec.merged_fitness = true;
+  spec.interleaved = true;
+
+  // Emit -> dump -> parse -> rebuild must reproduce every field.
+  const std::string wire = spec_to_json(spec).dump();
+  sched::MissionSpec parsed;
+  ASSERT_EQ(spec_from_json(Json::parse(wire), parsed), "");
+  EXPECT_EQ(parsed.kind, spec.kind);
+  EXPECT_EQ(parsed.name, spec.name);
+  EXPECT_EQ(parsed.lanes, spec.lanes);
+  EXPECT_EQ(parsed.priority, spec.priority);
+  EXPECT_EQ(parsed.generations, spec.generations);
+  EXPECT_EQ(parsed.size, spec.size);
+  EXPECT_DOUBLE_EQ(parsed.noise, spec.noise);
+  EXPECT_EQ(parsed.mutation_rate, spec.mutation_rate);
+  EXPECT_EQ(parsed.lambda, spec.lambda);
+  EXPECT_EQ(parsed.seed, spec.seed);
+  EXPECT_EQ(parsed.scene_seed, spec.scene_seed);
+  EXPECT_EQ(parsed.two_level, spec.two_level);
+  EXPECT_EQ(parsed.merged_fitness, spec.merged_fitness);
+  EXPECT_EQ(parsed.interleaved, spec.interleaved);
+}
+
+TEST(SvcProtocol, SpecFromJsonRejectsBadPayloads) {
+  sched::MissionSpec spec;
+  // Same vocabulary and validation as the manifest parser.
+  EXPECT_NE(spec_from_json(Json::parse(R"({"name":"x"})"), spec), "");
+  EXPECT_NE(spec_from_json(
+                Json::parse(R"({"kind":"transmogrify","name":"x"})"), spec),
+            "");
+  EXPECT_NE(spec_from_json(
+                Json::parse(R"({"kind":"denoise","name":"x","lanes":0})"),
+                spec),
+            "");
+  EXPECT_NE(spec_from_json(
+                Json::parse(
+                    R"({"kind":"denoise","name":"x","frobnicate":1})"),
+                spec),
+            "");
+  EXPECT_NE(spec_from_json(
+                Json::parse(R"({"kind":"denoise","name":"x","noise":1.5})"),
+                spec),
+            "");
+  EXPECT_NE(spec_from_json(Json::parse(R"({"kind":"denoise"})"), spec), "");
+  EXPECT_NE(spec_from_json(Json::parse(R"([1,2,3])"), spec), "");
+}
+
+// --- handshake and request validation ---------------------------------------
+
+TEST(SvcServer, HandshakeGreetsAndEnforcesProtocolVersion) {
+  ServerConfig config;
+  config.pool.num_arrays = 1;
+  Server server(config);
+
+  // Greeting frame announces service, protocol and build version.
+  LineChannel channel(Socket::connect_to("127.0.0.1", server.port()));
+  std::string line;
+  ASSERT_TRUE(channel.read_line(line));
+  const Json greeting = Json::parse(line);
+  EXPECT_EQ(greeting.get_string("event", ""), "hello");
+  EXPECT_EQ(greeting.get_string("service", ""), kServiceName);
+  EXPECT_EQ(greeting.get_number("protocol", -1), kProtocolVersion);
+  EXPECT_EQ(greeting.get_string("version", ""), kVersion);
+
+  // Ops before the hello are refused.
+  ASSERT_TRUE(channel.write_line(R"({"op":"list"})"));
+  ASSERT_TRUE(channel.read_line(line));
+  EXPECT_FALSE(Json::parse(line).get_bool("ok", true));
+
+  // A protocol mismatch is rejected and the connection closed.
+  ASSERT_TRUE(channel.write_line(R"({"op":"hello","protocol":99})"));
+  ASSERT_TRUE(channel.read_line(line));
+  const Json rejected = Json::parse(line);
+  EXPECT_FALSE(rejected.get_bool("ok", true));
+  EXPECT_EQ(rejected.get_string("code", ""), "unsupported_protocol");
+  EXPECT_FALSE(channel.read_line(line));  // server hung up
+
+  // The Client class performs the handshake; a fresh one must work.
+  Client client(server.port());
+  EXPECT_EQ(client.server_version(), kVersion);
+  server.stop();
+}
+
+TEST(SvcServer, MalformedAndUnknownRequestsGetErrorsWithEchoedId) {
+  ServerConfig config;
+  config.pool.num_arrays = 1;
+  Server server(config);
+  LineChannel channel(Socket::connect_to("127.0.0.1", server.port()));
+  std::string line;
+  ASSERT_TRUE(channel.read_line(line));  // greeting
+  ASSERT_TRUE(channel.write_line(R"({"op":"hello","protocol":1})"));
+  ASSERT_TRUE(channel.read_line(line));
+  ASSERT_TRUE(Json::parse(line).get_bool("ok", false));
+
+  // Malformed JSON frame: an error response, connection stays usable.
+  ASSERT_TRUE(channel.write_line("this is not json"));
+  ASSERT_TRUE(channel.read_line(line));
+  EXPECT_EQ(Json::parse(line).get_string("code", ""), "bad_request");
+
+  // Unknown op, with the request id echoed back.
+  ASSERT_TRUE(channel.write_line(R"({"op":"transmogrify","id":42})"));
+  ASSERT_TRUE(channel.read_line(line));
+  const Json response = Json::parse(line);
+  EXPECT_EQ(response.get_string("code", ""), "bad_request");
+  EXPECT_EQ(response.get_number("id", -1), 42.0);
+
+  // Submit with a bad spec is rejected, not crashed on.
+  ASSERT_TRUE(channel.write_line(
+      R"({"op":"submit","spec":{"kind":"denoise","name":"x","lanes":0}})"));
+  ASSERT_TRUE(channel.read_line(line));
+  EXPECT_EQ(Json::parse(line).get_string("code", ""), "bad_spec");
+
+  // Lane demand beyond the pool is a spec error too.
+  ASSERT_TRUE(channel.write_line(
+      R"({"op":"submit","spec":{"kind":"denoise","name":"x","lanes":7}})"));
+  ASSERT_TRUE(channel.read_line(line));
+  EXPECT_EQ(Json::parse(line).get_string("code", ""), "bad_spec");
+  server.stop();
+}
+
+// --- end-to-end determinism -------------------------------------------------
+
+TEST(SvcServer, SubmitWatchResultBitIdenticalToStandalone) {
+  ServerConfig config;
+  config.pool.num_arrays = 2;
+  Server server(config);
+  Client client(server.port());
+  Client control(server.port());
+
+  // Gate: an effectively endless 2-lane blocker keeps the real job
+  // queued until the watch subscription is in place, so the test
+  // observes the COMPLETE progress stream deterministically.
+  const Client::Submitted blocker = control.submit(quick_spec(
+      sched::MissionKind::kDenoise, "blocker", 2, 100000000, 1));
+  ASSERT_TRUE(blocker.ok) << blocker.error;
+
+  const sched::MissionSpec spec =
+      quick_spec(sched::MissionKind::kDenoise, "dn", 2, 15, 5);
+  const Client::Submitted submitted = client.submit(spec);
+  ASSERT_TRUE(submitted.ok) << submitted.error;
+  EXPECT_EQ(client.status(submitted.job).get_string("status", "?"),
+            "queued");
+
+  // Watch streams progress events and ends with done. The server
+  // subscribes before acking, so waiting for on_subscribed before
+  // releasing the gate guarantees the COMPLETE stream is observed.
+  std::uint64_t events = 0;
+  std::uint64_t last_waves = 0;
+  std::string status;
+  std::atomic<bool> subscribed{false};
+  std::thread watcher([&] {
+    status = client.watch(
+        submitted.job,
+        [&](std::uint64_t waves) {
+          ++events;
+          EXPECT_GT(waves, last_waves);
+          last_waves = waves;
+        },
+        /*every=*/1, /*on_subscribed=*/[&] { subscribed.store(true); });
+  });
+  while (!subscribed.load()) std::this_thread::yield();
+  ASSERT_TRUE(control.cancel(blocker.job));
+  watcher.join();
+  EXPECT_EQ(status, "done");
+  EXPECT_EQ(events, 15u);  // one per generation, none missed
+
+  const Json result = client.result(submitted.job);
+  ASSERT_TRUE(result.get_bool("ok", false));
+  // One wave per generation for the evolution kinds.
+  EXPECT_EQ(result.get_number("waves", 0),
+            result.get_number("generations", -1));
+  expect_result_matches(result, standalone_reference(spec));
+
+  // status reports the finished job consistently.
+  const Json status_response = client.status(submitted.job);
+  EXPECT_EQ(status_response.get_string("status", "?"), "done");
+  EXPECT_EQ(status_response.get_string("sim_ns", "?"),
+            result.get_string("sim_ns", "!"));
+  server.stop();
+}
+
+TEST(SvcServer, CascadeResultBitIdenticalToStandalone) {
+  ServerConfig config;
+  config.pool.num_arrays = 2;
+  Server server(config);
+  Client client(server.port());
+
+  sched::MissionSpec spec =
+      quick_spec(sched::MissionKind::kCascade, "ca", 2, 6, 11);
+  spec.noise = 0.2;
+  spec.interleaved = true;
+  const Client::Submitted submitted = client.submit(spec);
+  ASSERT_TRUE(submitted.ok) << submitted.error;
+  const Json result = client.result(submitted.job);
+  ASSERT_TRUE(result.get_bool("ok", false));
+  expect_result_matches(result, standalone_reference(spec));
+  // Per-stage payload is present and sized by the lane count.
+  const Json* stages = result.get("stages");
+  ASSERT_NE(stages, nullptr);
+  EXPECT_EQ(stages->as_array().size(), spec.lanes);
+  server.stop();
+}
+
+TEST(SvcServer, ConcurrentClientsAllBitIdenticalToStandalone) {
+  ServerConfig config;
+  config.pool.num_arrays = 8;
+  Server server(config);
+
+  constexpr std::size_t kClients = 4;
+  std::vector<sched::MissionSpec> specs;
+  specs.reserve(kClients);
+  for (std::size_t i = 0; i < kClients; ++i) {
+    // snprintf instead of string concatenation: gcc 12 -O3 trips a
+    // -Wrestrict false positive on operator+(const char*, string&&).
+    char name[8];
+    std::snprintf(name, sizeof name, "c%zu", i);
+    specs.push_back(
+        quick_spec(sched::MissionKind::kDenoise, name, 2, 12, 100 + i));
+  }
+
+  std::vector<Json> results(kClients);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (std::size_t i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      try {
+        Client client(server.port());
+        const Client::Submitted submitted = client.submit(specs[i]);
+        if (!submitted.ok) throw std::runtime_error(submitted.error);
+        results[i] = client.result(submitted.job);
+      } catch (const std::exception&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ASSERT_EQ(failures.load(), 0);
+  for (std::size_t i = 0; i < kClients; ++i) {
+    expect_result_matches(results[i], standalone_reference(specs[i]));
+  }
+
+  // Service accounting saw all of them.
+  Client client(server.port());
+  const Json stats = client.stats();
+  const Json* service = stats.get("service");
+  ASSERT_NE(service, nullptr);
+  EXPECT_EQ(service->get_number("submitted", 0), kClients);
+  const Json* pool = stats.get("pool");
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool->get_number("done", 0), kClients);
+  server.stop();
+}
+
+// --- admission control, cancel, drain ---------------------------------------
+
+TEST(SvcServer, AdmissionControlRejectsQueueFullAndCancelUnblocks) {
+  ServerConfig config;
+  config.pool.num_arrays = 1;
+  config.max_inflight = 1;
+  Server server(config);
+  Client client(server.port());
+
+  // An effectively endless mission occupies the only inflight slot.
+  const sched::MissionSpec long_spec =
+      quick_spec(sched::MissionKind::kDenoise, "long", 1, 100000000, 3);
+  const Client::Submitted first = client.submit(long_spec);
+  ASSERT_TRUE(first.ok) << first.error;
+
+  // Backpressure: the second submit is rejected, not queued.
+  const Client::Submitted second = client.submit(
+      quick_spec(sched::MissionKind::kDenoise, "extra", 1, 5, 4));
+  ASSERT_FALSE(second.ok);
+  EXPECT_EQ(second.code, "queue_full");
+
+  // Cancel the hog from a second connection; watch sees it finish.
+  Client controller(server.port());
+  ASSERT_TRUE(controller.cancel(first.job));
+  const std::string status = client.watch(first.job);
+  EXPECT_EQ(status, "cancelled");
+
+  // The slot freed up: submitting works again.
+  const Client::Submitted third = client.submit(
+      quick_spec(sched::MissionKind::kDenoise, "after", 1, 5, 4));
+  ASSERT_TRUE(third.ok) << third.error;
+  EXPECT_EQ(client.watch(third.job), "done");
+  server.stop();
+}
+
+TEST(SvcServer, DrainFinishesInFlightJobsAndRefusesNewOnes) {
+  ServerConfig config;
+  config.pool.num_arrays = 2;
+  Server server(config);
+  Client submitter(server.port());
+
+  const sched::MissionSpec spec =
+      quick_spec(sched::MissionKind::kDenoise, "inflight", 2, 20, 7);
+  const Client::Submitted submitted = submitter.submit(spec);
+  ASSERT_TRUE(submitted.ok) << submitted.error;
+
+  // Drain from a second connection, waiting for the in-flight job.
+  Client controller(server.port());
+  const Json drained = controller.drain(/*wait=*/true);
+  ASSERT_TRUE(drained.get_bool("ok", false));
+  EXPECT_EQ(drained.get_number("inflight", -1), 0.0);
+  EXPECT_TRUE(server.draining());
+
+  // New submissions are refused with an explicit code...
+  const Client::Submitted rejected = submitter.submit(
+      quick_spec(sched::MissionKind::kDenoise, "late", 1, 5, 8));
+  ASSERT_FALSE(rejected.ok);
+  EXPECT_EQ(rejected.code, "draining");
+
+  // ...while the in-flight job completed normally, bit-identical.
+  const Json result = submitter.result(submitted.job);
+  expect_result_matches(result, standalone_reference(spec));
+
+  server.wait_drained();  // returns immediately: drained and empty
+  server.stop();
+}
+
+TEST(SvcServer, RetentionEvictsOldestFinishedJobsOnly) {
+  ServerConfig config;
+  config.pool.num_arrays = 1;
+  config.max_job_records = 2;
+  Server server(config);
+  Client client(server.port());
+  std::vector<std::uint64_t> jobs;
+  for (int i = 0; i < 3; ++i) {
+    char name[8];
+    std::snprintf(name, sizeof name, "r%d", i);
+    const Client::Submitted submitted = client.submit(quick_spec(
+        sched::MissionKind::kDenoise, name, 1, 5,
+        static_cast<std::uint64_t>(40 + i)));
+    ASSERT_TRUE(submitted.ok) << submitted.error;
+    jobs.push_back(submitted.job);
+    EXPECT_EQ(client.watch(submitted.job), "done");
+  }
+  // The third submit pushed the registry over the cap: the OLDEST
+  // finished job was evicted, the newer ones still resolve.
+  const Json list = client.list();
+  ASSERT_EQ(list.get("jobs")->as_array().size(), 2u);
+  EXPECT_EQ(list.get("jobs")->as_array()[0].get_string("name", ""), "r1");
+  EXPECT_EQ(client.status(jobs[0]).get_string("code", ""), "unknown_job");
+  EXPECT_EQ(client.status(jobs[2]).get_string("status", ""), "done");
+  server.stop();
+}
+
+TEST(SvcServer, ListShowsJobsAcrossConnections) {
+  ServerConfig config;
+  config.pool.num_arrays = 2;
+  Server server(config);
+  Client client(server.port());
+  const Client::Submitted a = client.submit(
+      quick_spec(sched::MissionKind::kEdge, "list-a", 1, 8, 21));
+  const Client::Submitted b = client.submit(
+      quick_spec(sched::MissionKind::kMorphology, "list-b", 1, 8, 22));
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_EQ(client.watch(a.job), "done");
+  EXPECT_EQ(client.watch(b.job), "done");
+
+  Client other(server.port());  // listings are service-wide
+  const Json list = other.list();
+  const Json* jobs = list.get("jobs");
+  ASSERT_NE(jobs, nullptr);
+  ASSERT_EQ(jobs->as_array().size(), 2u);
+  EXPECT_EQ(jobs->as_array()[0].get_string("name", ""), "list-a");
+  EXPECT_EQ(jobs->as_array()[0].get_string("status", ""), "done");
+  EXPECT_EQ(jobs->as_array()[1].get_string("kind", ""), "morphology");
+
+  // Jobs are addressable by name as well as id.
+  Json by_name = Json::object();
+  by_name.set("op", "status");
+  by_name.set("job", "list-b");
+  EXPECT_EQ(other.request(by_name).get_number("job", 0),
+            static_cast<double>(b.job));
+  server.stop();
+}
+
+}  // namespace
+}  // namespace ehw::svc

@@ -15,11 +15,22 @@
 //             [--cache N] [--sequential]         heterogeneous missions
 //                                                concurrently on one
 //                                                scheduler ArrayPool
+//   serve     [--port N] [--arrays N] ...        run the mission service
+//                                                daemon over one pool
+//   submit    --port N <kind> <name> [k=v ...]   submit a mission to a
+//                                                daemon and stream it
+//   ps        --port N                           list daemon jobs + stats
+//   cancel    --port N --job ID|NAME             cancel a daemon job
+//   drain     --port N [--wait]                  drain the daemon (finish
+//                                                jobs, refuse new ones)
 //   demo      [--size N] [--noise D]             end-to-end synthetic demo
+//   version                                      build version + protocol
 //
 // Every run is deterministic for a given --seed; batch results are
-// bit-identical whether jobs are multiplexed or run --sequential.
+// bit-identical whether jobs are multiplexed or run --sequential, and
+// service results are bit-identical to standalone runs of the same spec.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -30,6 +41,7 @@
 #include "ehw/analysis/report.hpp"
 #include "ehw/common/cli.hpp"
 #include "ehw/common/table.hpp"
+#include "ehw/common/version.hpp"
 #include "ehw/evo/serialize.hpp"
 #include "ehw/img/metrics.hpp"
 #include "ehw/img/noise.hpp"
@@ -41,6 +53,8 @@
 #include "ehw/resources/model.hpp"
 #include "ehw/sched/array_pool.hpp"
 #include "ehw/sched/missions.hpp"
+#include "ehw/svc/client.hpp"
+#include "ehw/svc/server.hpp"
 
 namespace {
 
@@ -60,15 +74,28 @@ constexpr const char* kCampaignUsage =
 constexpr const char* kBatchUsage =
     "mpa batch --manifest jobs.txt [--arrays N] [--cache N] [--max-jobs N] "
     "[--sequential]";
+constexpr const char* kServeUsage =
+    "mpa serve [--port N] [--address A] [--arrays N] [--cache N] "
+    "[--max-jobs N] [--max-inflight N]";
+constexpr const char* kSubmitUsage =
+    "mpa submit --port N [--address A] <kind> <name> [key=value ...] "
+    "[--detach] [--quiet]";
+constexpr const char* kPsUsage = "mpa ps --port N [--address A]";
+constexpr const char* kCancelUsage =
+    "mpa cancel --port N [--address A] --job ID|NAME";
+constexpr const char* kDrainUsage =
+    "mpa drain --port N [--address A] [--wait]";
 constexpr const char* kDemoUsage = "mpa demo [--size N] [--noise D] [--seed N]";
 
 void print_usage(std::FILE* out) {
   std::fprintf(out,
-               "usage: mpa <info|evolve|filter|schematic|campaign|batch|demo> "
-               "[options]\n"
-               "  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n",
+               "usage: mpa <info|evolve|filter|schematic|campaign|batch|serve|"
+               "submit|ps|cancel|drain|demo|version> [options]\n"
+               "  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n"
+               "  %s\n  %s\n  mpa version\n",
                kInfoUsage, kEvolveUsage, kFilterUsage, kSchematicUsage,
-               kCampaignUsage, kBatchUsage, kDemoUsage);
+               kCampaignUsage, kBatchUsage, kServeUsage, kSubmitUsage,
+               kPsUsage, kCancelUsage, kDrainUsage, kDemoUsage);
 }
 
 int usage() {
@@ -304,6 +331,237 @@ int cmd_batch(const Cli& cli) {
   return 0;
 }
 
+int cmd_version() {
+  std::printf("mpa %s (service protocol %d)\n", kVersion,
+              svc::kProtocolVersion);
+  return 0;
+}
+
+std::uint16_t require_port(const Cli& cli, const char* cmd_usage) {
+  const std::int64_t port = cli.get_int("port", 0);
+  if (port <= 0 || port > 65535) {
+    fail("missing or invalid --port", cmd_usage);
+  }
+  return static_cast<std::uint16_t>(port);
+}
+
+svc::Client make_client(const Cli& cli, const char* cmd_usage) {
+  return svc::Client(require_port(cli, cmd_usage),
+                     cli.get("address", "127.0.0.1"));
+}
+
+/// Boolean-flag lookup that catches the Cli parser's bare-flag hazard: a
+/// `--flag` directly followed by a non-flag token swallows that token as
+/// its value ("--quiet lanes=4" silently drops lanes=4 from the spec).
+/// Fail loudly instead of submitting a corrupted mission.
+bool bare_flag(const Cli& cli, const std::string& flag,
+               const char* cmd_usage) {
+  if (!cli.has(flag)) return false;
+  if (!cli.get(flag, "").empty()) {
+    fail("--" + flag + " takes no value (it swallowed '" +
+             cli.get(flag, "") + "' — place flags after the spec)",
+         cmd_usage);
+  }
+  return true;
+}
+
+int cmd_serve(const Cli& cli) {
+  svc::ServerConfig config;
+  config.address = cli.get("address", "127.0.0.1");
+  const std::int64_t port = cli.get_int("port", 0);
+  if (port < 0 || port > 65535) {
+    fail("invalid --port (0 = ephemeral, else 1-65535)", kServeUsage);
+  }
+  config.port = static_cast<std::uint16_t>(port);
+  config.pool.num_arrays = static_cast<std::size_t>(cli.get_int("arrays", 8));
+  config.pool.cache_capacity =
+      static_cast<std::size_t>(cli.get_int("cache", 512));
+  config.pool.max_concurrent_jobs =
+      static_cast<std::size_t>(cli.get_int("max-jobs", 0));
+  config.max_inflight =
+      static_cast<std::size_t>(cli.get_int("max-inflight", 0));
+  ThreadPool host_pool;
+  config.pool.host_pool = &host_pool;
+
+  svc::Server server(std::move(config));
+  std::printf("mpa serve: listening on %s:%u (%zu arrays, protocol %d, "
+              "version %s)\n",
+              server.config().address.c_str(),
+              static_cast<unsigned>(server.port()),
+              server.pool().num_arrays(), svc::kProtocolVersion, kVersion);
+  std::printf("mpa serve: submit with `mpa submit --port %u <kind> <name> "
+              "[key=value ...]`, stop with `mpa drain --port %u --wait`\n",
+              static_cast<unsigned>(server.port()),
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);  // scripts parse the port from this line
+
+  server.wait_drained();
+  server.stop();
+
+  const svc::ServiceStats service = server.service_stats();
+  const sched::ArrayPool::PoolStats pool = server.pool().pool_stats();
+  const sched::CacheStats cache = server.pool().cache_stats();
+  std::printf(
+      "mpa serve: drained after %llu missions (%llu done, %llu failed, "
+      "%llu cancelled, %llu rejected) over %llu connections | cache %.1f%% "
+      "hit rate\n",
+      static_cast<unsigned long long>(service.submitted),
+      static_cast<unsigned long long>(pool.done),
+      static_cast<unsigned long long>(pool.failed),
+      static_cast<unsigned long long>(pool.cancelled),
+      static_cast<unsigned long long>(service.rejected),
+      static_cast<unsigned long long>(service.connections),
+      100.0 * cache.hit_rate());
+  return pool.failed == 0 ? 0 : 1;
+}
+
+int cmd_submit(const Cli& cli) {
+  // The Cli treats the subcommand word as argv[0], so positionals start
+  // at the mission kind: mpa submit --port N <kind> <name> [key=value...]
+  const std::vector<std::string>& args = cli.positional();
+  if (args.size() < 2) fail("missing mission kind and name", kSubmitUsage);
+  sched::MissionSpec spec;
+  if (!sched::parse_kind(args[0], spec.kind)) {
+    fail("unknown mission kind '" + args[0] + "'", kSubmitUsage);
+  }
+  spec.name = args[1];
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    const std::size_t eq = args[i].find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == args[i].size()) {
+      fail("expected key=value, got '" + args[i] + "'", kSubmitUsage);
+    }
+    const std::string error = sched::apply_spec_option(
+        spec, args[i].substr(0, eq), args[i].substr(eq + 1));
+    if (!error.empty()) fail(error, kSubmitUsage);
+  }
+  const std::string invalid = sched::validate_spec(spec);
+  if (!invalid.empty()) fail(invalid, kSubmitUsage);
+  const bool detach = bare_flag(cli, "detach", kSubmitUsage);
+
+  svc::Client client = make_client(cli, kSubmitUsage);
+  const svc::Client::Submitted submitted = client.submit(spec);
+  if (!submitted.ok) {
+    std::fprintf(stderr, "mpa submit: rejected: %s\n",
+                 submitted.error.c_str());
+    return 1;
+  }
+  std::printf("submitted job %llu (%s %s) to service %s\n",
+              static_cast<unsigned long long>(submitted.job),
+              sched::kind_name(spec.kind), spec.name.c_str(),
+              client.server_version().c_str());
+  if (detach) return 0;
+
+  const bool quiet = bare_flag(cli, "quiet", kSubmitUsage);
+  // ~10 progress lines regardless of the mission's budget.
+  const std::uint64_t every =
+      std::max<std::uint64_t>(1, spec.generations / 10);
+  const std::string status = client.watch(
+      submitted.job,
+      [&](std::uint64_t waves) {
+        if (quiet) return;
+        std::fprintf(stderr, "job %llu: %llu waves\n",
+                     static_cast<unsigned long long>(submitted.job),
+                     static_cast<unsigned long long>(waves));
+      },
+      every);
+  const Json result = client.result(submitted.job);
+  std::printf("job %llu %s: ", static_cast<unsigned long long>(submitted.job),
+              status.c_str());
+  if (status == "done") {
+    std::printf("fitness %llu, genotype %s, %llu generations, %.3f sim s, "
+                "cache %.1f%%\n",
+                static_cast<unsigned long long>(
+                    result.get_number("best_fitness", 0)),
+                result.get_string("genotype_hash", "?").c_str(),
+                static_cast<unsigned long long>(
+                    result.get_number("generations", 0)),
+                result.get_number("sim_s", 0.0),
+                100.0 * result.get_number("cache_hits", 0) /
+                    std::max(1.0, result.get_number("cache_hits", 0) +
+                                      result.get_number("cache_misses", 0)));
+    return 0;
+  }
+  std::printf("%s\n", result.get_string("error", "(no error detail)").c_str());
+  return 1;
+}
+
+int cmd_ps(const Cli& cli) {
+  svc::Client client = make_client(cli, kPsUsage);
+  const Json list = client.list();
+  const Json stats = client.stats();
+  Table table({"job", "name", "kind", "lanes", "status", "waves"});
+  const Json* jobs = list.get("jobs");
+  if (jobs != nullptr && jobs->is_array()) {
+    for (const Json& entry : jobs->as_array()) {
+      table.add_row(
+          {Table::integer(
+               static_cast<std::uint64_t>(entry.get_number("job", 0))),
+           entry.get_string("name", "?"), entry.get_string("kind", "?"),
+           Table::integer(
+               static_cast<std::uint64_t>(entry.get_number("lanes", 0))),
+           entry.get_string("status", "?"),
+           Table::integer(
+               static_cast<std::uint64_t>(entry.get_number("waves", 0)))});
+    }
+  }
+  table.print(std::cout);
+  const Json* pool = stats.get("pool");
+  const Json* service = stats.get("service");
+  if (pool != nullptr && service != nullptr) {
+    std::printf(
+        "pool: %llu arrays (%llu free) | running %llu, queued %llu | "
+        "inflight %llu/%llu%s | submitted %llu, rejected %llu\n",
+        static_cast<unsigned long long>(pool->get_number("arrays", 0)),
+        static_cast<unsigned long long>(pool->get_number("free_arrays", 0)),
+        static_cast<unsigned long long>(pool->get_number("running", 0)),
+        static_cast<unsigned long long>(pool->get_number("queued", 0)),
+        static_cast<unsigned long long>(service->get_number("inflight", 0)),
+        static_cast<unsigned long long>(
+            service->get_number("max_inflight", 0)),
+        service->get_bool("draining", false) ? " (draining)" : "",
+        static_cast<unsigned long long>(service->get_number("submitted", 0)),
+        static_cast<unsigned long long>(service->get_number("rejected", 0)));
+  }
+  return 0;
+}
+
+int cmd_cancel(const Cli& cli) {
+  const std::string job = require(cli, "job", kCancelUsage);
+  svc::Client client = make_client(cli, kCancelUsage);
+  Json request = Json::object();
+  request.set("op", "cancel");
+  if (job.find_first_not_of("0123456789") == std::string::npos) {
+    request.set("job", static_cast<std::uint64_t>(std::stoull(job)));
+  } else {
+    request.set("job", job);  // by name
+  }
+  const Json response = client.request(request);
+  if (!response.get_bool("ok", false)) {
+    std::fprintf(stderr, "mpa cancel: %s\n",
+                 response.get_string("error", "unknown error").c_str());
+    return 1;
+  }
+  std::printf("cancel requested for job %llu (status %s)\n",
+              static_cast<unsigned long long>(response.get_number("job", 0)),
+              response.get_string("status", "?").c_str());
+  return 0;
+}
+
+int cmd_drain(const Cli& cli) {
+  const bool wait = bare_flag(cli, "wait", kDrainUsage);
+  svc::Client client = make_client(cli, kDrainUsage);
+  const Json response = client.drain(wait);
+  if (!response.get_bool("ok", false)) {
+    std::fprintf(stderr, "mpa drain: %s\n",
+                 response.get_string("error", "unknown error").c_str());
+    return 1;
+  }
+  std::printf("service draining; %llu missions still in flight\n",
+              static_cast<unsigned long long>(
+                  response.get_number("inflight", 0)));
+  return 0;
+}
+
 int cmd_demo(const Cli& cli) {
   const auto size = static_cast<std::size_t>(cli.get_int("size", 64));
   const double noise = cli.get_double("noise", 0.3);
@@ -335,6 +593,9 @@ int main(int argc, char** argv) {
     print_usage(stdout);
     return 0;
   }
+  if (cmd == "version" || cmd == "--version" || cmd == "-V") {
+    return cmd_version();
+  }
   const Cli cli(argc - 1, argv + 1);
   try {
     if (cmd == "info") return cmd_info(cli);
@@ -343,6 +604,11 @@ int main(int argc, char** argv) {
     if (cmd == "schematic") return cmd_schematic(cli);
     if (cmd == "campaign") return cmd_campaign(cli);
     if (cmd == "batch") return cmd_batch(cli);
+    if (cmd == "serve") return cmd_serve(cli);
+    if (cmd == "submit") return cmd_submit(cli);
+    if (cmd == "ps") return cmd_ps(cli);
+    if (cmd == "cancel") return cmd_cancel(cli);
+    if (cmd == "drain") return cmd_drain(cli);
     if (cmd == "demo") return cmd_demo(cli);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mpa %s: %s\n", cmd.c_str(), e.what());

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# End-to-end mission-service smoke test, exercising the real binaries the
+# way an operator would: start `mpa serve` on an ephemeral loopback port,
+# submit a mission with `mpa submit` from another process, inspect it
+# with `mpa ps`, then gracefully drain the daemon and check it exits
+# cleanly having completed the mission.
+#
+# Usage: service_smoke.sh /path/to/mpa [workdir]
+set -u
+
+MPA=${1:?usage: service_smoke.sh /path/to/mpa [workdir]}
+WORKDIR=${2:-.}
+LOG="$WORKDIR/service_smoke_serve.log"
+SUBMIT_OUT="$WORKDIR/service_smoke_submit.log"
+
+fail() {
+  echo "service_smoke: $*" >&2
+  [ -n "${SERVER_PID:-}" ] && kill "$SERVER_PID" 2>/dev/null
+  exit 1
+}
+
+rm -f "$LOG" "$SUBMIT_OUT"
+"$MPA" serve --arrays 2 --max-inflight 4 >"$LOG" 2>&1 &
+SERVER_PID=$!
+
+# The daemon prints its (ephemeral) port on the first line; wait for it.
+PORT=
+for _ in $(seq 1 300); do
+  PORT=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "$LOG" 2>/dev/null | head -1)
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || fail "daemon died: $(cat "$LOG" 2>/dev/null)"
+  sleep 0.1
+done
+[ -n "$PORT" ] || fail "daemon never reported its port"
+
+"$MPA" submit --port "$PORT" denoise smoke lanes=1 generations=8 size=16 \
+  >"$SUBMIT_OUT" 2>&1 || fail "submit failed: $(cat "$SUBMIT_OUT")"
+grep -q "done: fitness" "$SUBMIT_OUT" || fail "no result in: $(cat "$SUBMIT_OUT")"
+
+"$MPA" ps --port "$PORT" | grep -q "smoke.*done" || fail "ps does not show the finished job"
+
+"$MPA" cancel --port "$PORT" --job 999 >/dev/null 2>&1 && fail "cancel of unknown job must exit non-zero"
+
+"$MPA" drain --port "$PORT" --wait || fail "drain failed"
+wait "$SERVER_PID" || fail "daemon exited non-zero after drain"
+grep -q "drained after 1 missions (1 done" "$LOG" || fail "unexpected drain summary: $(cat "$LOG")"
+
+echo "service_smoke: OK (port $PORT)"
