@@ -13,8 +13,10 @@
 #include <thread>
 #include <vector>
 
+#include "ehw/common/work_steal.hpp"
 #include "ehw/evo/batch.hpp"
 #include "ehw/evo/fitness.hpp"
+#include "ehw/evo/fitness_memo.hpp"
 #include "ehw/evo/mutation.hpp"
 #include "ehw/img/filters.hpp"
 #include "ehw/evo/offspring.hpp"
@@ -75,7 +77,7 @@ void BM_FilterFrame(benchmark::State& state) {
   img::Image dst(size, size);
   for (auto _ : state) {
     compiled.filter_into(src, dst, nullptr);
-    benchmark::DoNotOptimize(dst.data());
+    benchmark::DoNotOptimize(dst.row(0));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(size * size));
@@ -155,6 +157,89 @@ void BM_InnerRowParallel(benchmark::State& state) {
                           static_cast<std::int64_t>(count * 128 * 128));
 }
 BENCHMARK(BM_InnerRowParallel)->Arg(9)->Arg(16);
+
+void BM_DefectiveRowKernel(benchmark::State& state) {
+  // The defective-cell row path: same mesh as BM_FitnessAgainst but with
+  // two dummy PEs injected, so the vectorized SplitMix64 lane kernel
+  // (pe/simd.hpp defective_row) carries part of every row.
+  const auto size = static_cast<std::size_t>(state.range(0));
+  pe::SystolicArray mesh = bench_genotype().to_array();
+  pe::CellConfig dead;
+  dead.defective = true;
+  dead.defect_seed = 0xD00D;
+  mesh.set_cell(0, 1, dead);
+  dead.defect_seed = 0xBEEF;
+  mesh.set_cell(2, 2, dead);
+  const pe::CompiledArray compiled(mesh);
+  const img::Image src = img::make_scene(size, size, 3);
+  const img::Image ref = img::make_scene(size, size, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiled.fitness_against(src, ref));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size * size));
+}
+BENCHMARK(BM_DefectiveRowKernel)->Arg(64)->Arg(256);
+
+void BM_FitnessMemoWarmReplay(benchmark::State& state) {
+  // A warm identical population wave served from the FitnessMemo: what a
+  // replayed mission pays per candidate instead of streaming the frame.
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const std::vector<evo::Genotype> population = bench_population(count);
+  const img::Image src = img::make_scene(128, 128, 3);
+  const img::Image ref = img::make_scene(128, 128, 4);
+  evo::FitnessMemo memo(1 << 12);
+  const evo::BatchEvaluator evaluator(src, ref, nullptr, &memo);
+  benchmark::DoNotOptimize(evaluator.evaluate_genotypes(population));  // warm
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.evaluate_genotypes(population));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count * 128 * 128));
+  state.counters["memo_hit_rate"] = memo.stats().hit_rate();
+}
+BENCHMARK(BM_FitnessMemoWarmReplay)->Arg(9)->Arg(16);
+
+void BM_WorkStealDispatch(benchmark::State& state) {
+  // Dispatch cost of the shared execution core: N no-op job bodies
+  // through submit + drain. Compare BM_ThreadPerJobDispatch for what the
+  // scheduler paid per job before the work-stealing rewrite.
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  WorkStealPool pool(2);
+  for (auto _ : state) {
+    std::atomic<std::size_t> done{0};
+    for (std::size_t j = 0; j < jobs; ++j) {
+      pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+    while (done.load(std::memory_order_relaxed) != jobs) {
+      std::this_thread::yield();
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(jobs));
+  state.counters["steals"] =
+      static_cast<double>(pool.stats().stolen);
+}
+BENCHMARK(BM_WorkStealDispatch)->Arg(64);
+
+void BM_ThreadPerJobDispatch(benchmark::State& state) {
+  // The pre-PR-5 execution model: one host thread created and joined per
+  // job body.
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    std::atomic<std::size_t> done{0};
+    std::vector<std::thread> threads;
+    threads.reserve(jobs);
+    for (std::size_t j = 0; j < jobs; ++j) {
+      threads.emplace_back(
+          [&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(jobs));
+}
+BENCHMARK(BM_ThreadPerJobDispatch)->Arg(64);
 
 void BM_AggregatedMae(benchmark::State& state) {
   const img::Image a = img::make_scene(128, 128, 5);

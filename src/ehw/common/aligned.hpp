@@ -1,0 +1,45 @@
+#pragma once
+// Minimal aligned allocator so std::vector can back cache-line-aligned
+// buffers (image rows, kernel scratch) without losing value semantics.
+// C++17 aligned operator new/delete do the heavy lifting.
+
+#include <cstddef>
+#include <new>
+
+namespace ehw {
+
+template <typename T, std::size_t Align>
+struct AlignedAllocator {
+  static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
+                "alignment must be a power of two covering alignof(T)");
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Align}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Align});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// Cache-line alignment used by the SIMD row kernels: rows that start on
+/// a 64-byte boundary never split a cache line under any vector width up
+/// to AVX-512.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+}  // namespace ehw

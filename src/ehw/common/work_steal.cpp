@@ -1,0 +1,147 @@
+#include "ehw/common/work_steal.hpp"
+
+#include <algorithm>
+
+namespace ehw {
+namespace {
+
+/// Which pool (and which of its workers) the current thread is, so
+/// submit() can route a worker's own submissions to its own deque.
+thread_local WorkStealPool* tls_pool = nullptr;
+thread_local std::size_t tls_worker = 0;
+
+}  // namespace
+
+WorkStealPool::WorkStealPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(
+        2, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+WorkStealPool::~WorkStealPool() {
+  {
+    std::lock_guard lock(idle_mutex_);
+    stop_ = true;
+  }
+  idle_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkStealPool::submit(Task task) {
+  const std::size_t target =
+      tls_pool == this
+          ? tls_worker
+          : next_external_.fetch_add(1, std::memory_order_relaxed) %
+                workers_.size();
+  {
+    std::lock_guard lock(workers_[target]->mutex);
+    workers_[target]->deque.push_back(std::move(task));
+  }
+  {
+    std::lock_guard lock(idle_mutex_);
+    ++queued_;
+  }
+  idle_cv_.notify_one();
+  {
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.submitted;
+  }
+}
+
+WorkStealPool::Task WorkStealPool::steal_from(std::size_t self,
+                                              std::size_t victim) {
+  // Raid up to half the victim's queue, oldest first; the first raided
+  // task runs immediately, the rest refill our own deque in order.
+  std::vector<Task> raided;
+  {
+    std::lock_guard lock(workers_[victim]->mutex);
+    auto& q = workers_[victim]->deque;
+    if (q.empty()) return nullptr;
+    const std::size_t take = (q.size() + 1) / 2;
+    raided.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      raided.push_back(std::move(q.front()));
+      q.pop_front();
+    }
+  }
+  Task first = std::move(raided.front());
+  if (raided.size() > 1) {
+    std::lock_guard lock(workers_[self]->mutex);
+    auto& own = workers_[self]->deque;
+    for (std::size_t i = 1; i < raided.size(); ++i) {
+      own.push_back(std::move(raided[i]));
+    }
+  }
+  {
+    std::lock_guard lock(stats_mutex_);
+    stats_.stolen += raided.size();
+    ++stats_.steal_batches;
+  }
+  return first;
+}
+
+void WorkStealPool::worker_loop(std::size_t self) {
+  tls_pool = this;
+  tls_worker = self;
+  const std::size_t n = workers_.size();
+  for (;;) {
+    Task task;
+    {
+      // Own deque first, back first: the task this worker queued last
+      // (typically the job admitted when its previous job finished) is
+      // the cache-warm one.
+      std::lock_guard lock(workers_[self]->mutex);
+      auto& own = workers_[self]->deque;
+      if (!own.empty()) {
+        task = std::move(own.back());
+        own.pop_back();
+      }
+    }
+    if (!task) {
+      for (std::size_t k = 1; k < n && !task; ++k) {
+        task = steal_from(self, (self + k) % n);
+      }
+    }
+    if (task) {
+      {
+        std::lock_guard lock(idle_mutex_);
+        --queued_;
+      }
+      task();
+      {
+        std::lock_guard lock(stats_mutex_);
+        ++stats_.executed;
+      }
+      continue;
+    }
+    std::unique_lock lock(idle_mutex_);
+    if (stop_ && queued_ == 0) return;
+    // queued_ > 0 means a task landed between our scan and the lock:
+    // rescan instead of sleeping (queued_ only moves under this mutex,
+    // so the wakeup cannot be lost).
+    if (queued_ == 0) {
+      idle_cv_.wait(lock, [this] { return queued_ > 0 || stop_; });
+    }
+  }
+}
+
+WorkStealPool::Stats WorkStealPool::stats() const {
+  std::lock_guard lock(stats_mutex_);
+  return stats_;
+}
+
+WorkStealPool& WorkStealPool::shared() {
+  static WorkStealPool pool;
+  return pool;
+}
+
+}  // namespace ehw

@@ -1,0 +1,104 @@
+#pragma once
+// WorkStealPool — the shared task-execution core the multi-mission
+// scheduler and the service daemon run job bodies on.
+//
+// Why not thread-per-job: a daemon under swarm load used to create (and
+// destroy) one host thread per admitted mission. Thread churn is pure
+// overhead at tens of missions per second, and an adversarial burst can
+// exhaust the process thread limit. Why not the fork/join ThreadPool: job
+// bodies are long-running, independent tasks, not data-parallel chunks
+// with a barrier — the right shape is a task pool whose workers keep
+// running whatever is available.
+//
+// Structure (the classic work-stealing deque arrangement, cf. the
+// FPGA-cluster dispatchers of arXiv:1412.5384):
+//   * one deque per worker; a worker pushes and pops its OWN deque at the
+//     back (LIFO — a job admitted by a finishing job runs immediately,
+//     cache-warm, on the same worker);
+//   * an idle worker STEALS from the FRONT of a victim's deque (FIFO —
+//     the oldest queued task migrates first), taking HALF the victim's
+//     queue in one raid so a burst submitted to one worker rebalances in
+//     O(log n) steals instead of n;
+//   * external (non-worker) submits distribute round-robin.
+// Deques are small-mutex-guarded rather than lock-free: queue operations
+// are nanoseconds against multi-millisecond mission bodies, and the
+// mutexes keep the pool trivially TSan-clean.
+//
+// Workers are bounded by hardware concurrency (never fewer than 2, so a
+// long-running task cannot serialize a single-core host). Tasks must not
+// BLOCK on other tasks' completion — job-to-job waits belong in the
+// ArrayPool admission layer, which only submits runnable bodies.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ehw {
+
+class WorkStealPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// Creates `threads` workers; 0 means
+  /// max(2, std::thread::hardware_concurrency()).
+  explicit WorkStealPool(std::size_t threads = 0);
+  /// Finishes every queued task, then joins the workers.
+  ~WorkStealPool();
+
+  WorkStealPool(const WorkStealPool&) = delete;
+  WorkStealPool& operator=(const WorkStealPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task: onto the calling worker's own deque when invoked
+  /// from inside this pool (the admission-chain fast path), round-robin
+  /// across workers otherwise. Completion is observed by the caller's own
+  /// bookkeeping (e.g. ArrayPool's pending-job counter) — the pool
+  /// deliberately has no per-task futures on this path.
+  void submit(Task task);
+
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t executed = 0;
+    /// Tasks that ran on a different worker than they were queued on.
+    std::uint64_t stolen = 0;
+    /// Steal raids (each migrates up to half a victim's deque).
+    std::uint64_t steal_batches = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Process-wide pool sized to the machine; what every ArrayPool and
+  /// service daemon uses unless given a dedicated instance.
+  static WorkStealPool& shared();
+
+ private:
+  struct Worker {
+    mutable std::mutex mutex;
+    std::deque<Task> deque;
+  };
+
+  void worker_loop(std::size_t self);
+  /// Moves up to half of `victim`'s queue (front first) onto `self`'s
+  /// deque and returns the first raided task to run immediately; null
+  /// when the victim was empty.
+  Task steal_from(std::size_t self, std::size_t victim);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+  std::size_t queued_ = 0;  // tasks sitting in deques (guarded by idle_mutex_)
+  bool stop_ = false;       // guarded by idle_mutex_
+  std::atomic<std::uint64_t> next_external_{0};
+  mutable std::mutex stats_mutex_;
+  Stats stats_;
+};
+
+}  // namespace ehw

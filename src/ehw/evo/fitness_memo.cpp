@@ -1,0 +1,53 @@
+#include "ehw/evo/fitness_memo.hpp"
+
+namespace ehw::evo {
+
+bool FitnessMemo::lookup(std::uint64_t key, Fitness* fitness) {
+  std::lock_guard lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  *fitness = it->second.fitness;
+  return true;
+}
+
+void FitnessMemo::store(std::uint64_t key, Fitness fitness) {
+  if (capacity_ == 0) return;
+  std::lock_guard lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Deterministic evaluation: a concurrent mission already stored the
+    // same value. Refresh recency only.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return;
+  }
+  while (index_.size() >= capacity_) {
+    index_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(key);
+  index_.emplace(key, Entry{fitness, lru_.begin()});
+}
+
+std::size_t FitnessMemo::size() const {
+  std::lock_guard lock(mutex_);
+  return index_.size();
+}
+
+FitnessMemoStats FitnessMemo::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+void FitnessMemo::clear() {
+  std::lock_guard lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace ehw::evo

@@ -1,0 +1,97 @@
+#pragma once
+// FitnessMemo — pool-wide fitness memoization.
+//
+// Evolutionary search revisits candidates constantly: neutral drift walks
+// back over earlier genotypes, (1+lambda) waves duplicate mutations, and
+// replayed/recovery missions re-evaluate entire populations. The fitness
+// of a candidate is a pure function of (candidate configuration,
+// evaluation frames), so identical candidates re-encountered on the same
+// frame set — within one mission or across every mission sharing an
+// ArrayPool — can skip frame streaming entirely.
+//
+// Key = hash_mix(frame-set id, candidate key):
+//   * the frame-set id is a content hash over the (input, reference)
+//     image pair (img::Image::content_hash), so it identifies WHAT is
+//     being measured, independent of which mission asked;
+//   * the candidate key is the platform configuration fingerprint mixed
+//     with the genotype hash on the intrinsic path (defect map included —
+//     a damaged candidate never shares an entry with its healthy twin),
+//     or the genotype content hash on the extrinsic BatchEvaluator path.
+// Keys are 64-bit content hashes: two distinct (candidate, frames) pairs
+// collide with ~2^-64 probability, the same bound the compiled-array
+// cache already accepts.
+//
+// Memoized values are exactly the fitnesses the evaluation engine would
+// recompute (evaluation is deterministic), so memo-on and memo-off runs
+// are bit-identical — the equivalence suite asserts this, concurrently.
+//
+// Thread safety: one mutex around an LRU index of plain u64 -> Fitness
+// entries. Lookups copy the value out under the lock; there is no
+// compile-outside-the-lock phase (values are 8 bytes, not compiled
+// programs), which keeps the critical section tens of nanoseconds.
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "ehw/common/types.hpp"
+
+namespace ehw::evo {
+
+/// Hit/miss tally of one memoized wave (or an accumulation of many);
+/// what per-mission counters are built from.
+struct BatchMemoStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+struct FitnessMemoStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class FitnessMemo {
+ public:
+  /// `capacity` is the entry cap (LRU eviction beyond it); 0 disables the
+  /// memo (every lookup misses, nothing is stored).
+  explicit FitnessMemo(std::size_t capacity) : capacity_(capacity) {}
+
+  FitnessMemo(const FitnessMemo&) = delete;
+  FitnessMemo& operator=(const FitnessMemo&) = delete;
+
+  /// True (and fills `fitness`) when `key` is memoized. Counts the
+  /// hit/miss and refreshes LRU recency on hit.
+  [[nodiscard]] bool lookup(std::uint64_t key, Fitness* fitness);
+
+  /// Records an evaluated fitness (no-op when disabled). Overwrites an
+  /// existing entry with the identical value — evaluation is
+  /// deterministic, so a key can never map to two fitnesses.
+  void store(std::uint64_t key, Fitness fitness);
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] FitnessMemoStats stats() const;
+  void clear();
+
+ private:
+  struct Entry {
+    Fitness fitness = kInvalidFitness;
+    std::list<std::uint64_t>::iterator lru_pos;
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<std::uint64_t> lru_;  // front = most recently used
+  std::unordered_map<std::uint64_t, Entry> index_;
+  FitnessMemoStats stats_;
+};
+
+}  // namespace ehw::evo

@@ -2,11 +2,22 @@
 // 8-bit grayscale image container. This is the only data format the
 // evolvable arrays process: the paper's system streams 8-bit pixels from
 // flash/camera through 3x3 sliding windows into the arrays.
+//
+// Storage: row-major with the row stride padded up to a 64-byte multiple
+// and the buffer allocated 64-byte aligned, so every row starts on its
+// own cache line and the SIMD row kernels never issue a load that splits
+// one. Padding bytes are kept at zero (and are never part of equality or
+// content_hash), so images stay value-comparable. There is deliberately
+// no flat data() accessor — iterate rows via row(y); the stride is an
+// implementation detail callers must not bake in.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
+#include "ehw/common/aligned.hpp"
 #include "ehw/common/assert.hpp"
+#include "ehw/common/rng.hpp"
 #include "ehw/common/types.hpp"
 
 namespace ehw::img {
@@ -17,24 +28,32 @@ class Image {
 
   /// Creates a width x height image filled with `fill`.
   Image(std::size_t width, std::size_t height, Pixel fill = 0)
-      : width_(width), height_(height), data_(width * height, fill) {
+      : width_(width),
+        height_(height),
+        stride_((width + kCacheLineBytes - 1) & ~(kCacheLineBytes - 1)),
+        data_(stride_ * height) {
     EHW_REQUIRE(width > 0 && height > 0, "image dimensions must be positive");
+    if (fill != 0) this->fill(fill);
   }
 
   [[nodiscard]] std::size_t width() const noexcept { return width_; }
   [[nodiscard]] std::size_t height() const noexcept { return height_; }
+  /// Logical pixels (padding excluded).
   [[nodiscard]] std::size_t pixel_count() const noexcept {
     return width_ * height_;
   }
+  /// Bytes from one row's first pixel to the next row's (>= width; a
+  /// 64-byte multiple). Exposed for kernels that walk rows by pointer.
+  [[nodiscard]] std::size_t stride() const noexcept { return stride_; }
   [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
 
   [[nodiscard]] Pixel at(std::size_t x, std::size_t y) const {
     EHW_ASSERT(x < width_ && y < height_, "pixel out of bounds");
-    return data_[y * width_ + x];
+    return data_[y * stride_ + x];
   }
   void set(std::size_t x, std::size_t y, Pixel v) {
     EHW_ASSERT(x < width_ && y < height_, "pixel out of bounds");
-    data_[y * width_ + x] = v;
+    data_[y * stride_ + x] = v;
   }
 
   /// Border-replicated ("clamp to edge") access; how the window FIFOs in
@@ -42,30 +61,68 @@ class Image {
   [[nodiscard]] Pixel at_clamped(std::ptrdiff_t x, std::ptrdiff_t y) const {
     const auto cx = clamp_index(x, width_);
     const auto cy = clamp_index(y, height_);
-    return data_[cy * width_ + cx];
+    return data_[cy * stride_ + cx];
   }
 
-  /// Row-major backing store (for fast kernels and I/O).
-  [[nodiscard]] const Pixel* data() const noexcept { return data_.data(); }
-  [[nodiscard]] Pixel* data() noexcept { return data_.data(); }
+  /// Row pointers (64-byte aligned; width() valid pixels each).
   [[nodiscard]] const Pixel* row(std::size_t y) const {
     EHW_ASSERT(y < height_, "row out of bounds");
-    return data_.data() + y * width_;
+    return data_.data() + y * stride_;
   }
   [[nodiscard]] Pixel* row(std::size_t y) {
     EHW_ASSERT(y < height_, "row out of bounds");
-    return data_.data() + y * width_;
+    return data_.data() + y * stride_;
   }
 
   void fill(Pixel v) noexcept {
-    for (auto& p : data_) p = v;
+    // Row spans only: inter-row padding stays zero so equality and
+    // content_hash remain content-only.
+    for (std::size_t y = 0; y < height_; ++y) {
+      Pixel* r = data_.data() + y * stride_;
+      for (std::size_t x = 0; x < width_; ++x) r[x] = v;
+    }
   }
 
   [[nodiscard]] bool same_shape(const Image& other) const noexcept {
     return width_ == other.width_ && height_ == other.height_;
   }
 
+  /// Stable 64-bit content hash over the shape and every pixel (row-major,
+  /// padding excluded; SplitMix64-chained like evo::Genotype::hash). The
+  /// fitness memo uses this as the frame-set identity, so equal images
+  /// must hash equally on every host and build.
+  [[nodiscard]] std::uint64_t content_hash() const noexcept {
+    std::uint64_t h = 0x696D670000000001ULL;  // 'img' tag, arbitrary
+    const auto mix = [&h](std::uint64_t v) noexcept {
+      std::uint64_t s = h ^ (v * 0x9E3779B97F4A7C15ULL);
+      h = splitmix64(s);
+    };
+    mix(width_);
+    mix(height_);
+    for (std::size_t y = 0; y < height_; ++y) {
+      const Pixel* r = data_.data() + y * stride_;
+      std::size_t x = 0;
+      for (; x + 8 <= width_; x += 8) {
+        std::uint64_t word = 0;
+        for (std::size_t b = 0; b < 8; ++b) {
+          word |= static_cast<std::uint64_t>(r[x + b]) << (8 * b);
+        }
+        mix(word);
+      }
+      if (x < width_) {
+        std::uint64_t tail = 0;
+        for (std::size_t b = 0; x + b < width_; ++b) {
+          tail |= static_cast<std::uint64_t>(r[x + b]) << (8 * b);
+        }
+        mix(tail ^ (static_cast<std::uint64_t>(width_ - x) << 56));
+      }
+    }
+    return h;
+  }
+
   friend bool operator==(const Image& a, const Image& b) noexcept {
+    // Padding is zero on both sides by construction, so the raw buffers
+    // compare equal iff the visible pixels do.
     return a.width_ == b.width_ && a.height_ == b.height_ &&
            a.data_ == b.data_;
   }
@@ -79,7 +136,8 @@ class Image {
 
   std::size_t width_ = 0;
   std::size_t height_ = 0;
-  std::vector<Pixel> data_;
+  std::size_t stride_ = 0;
+  std::vector<Pixel, AlignedAllocator<Pixel, kCacheLineBytes>> data_;
 };
 
 /// Gathers the 3x3 border-replicated window centred on (x, y) into `out`

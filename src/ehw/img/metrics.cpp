@@ -9,11 +9,12 @@ namespace ehw::img {
 Fitness aggregated_mae(const Image& a, const Image& b) {
   EHW_REQUIRE(a.same_shape(b), "images must have the same shape");
   Fitness acc = 0;
-  const Pixel* pa = a.data();
-  const Pixel* pb = b.data();
-  const std::size_t n = a.pixel_count();
-  for (std::size_t i = 0; i < n; ++i) {
-    acc += static_cast<Fitness>(std::abs(int{pa[i]} - int{pb[i]}));
+  for (std::size_t y = 0; y < a.height(); ++y) {
+    const Pixel* pa = a.row(y);
+    const Pixel* pb = b.row(y);
+    for (std::size_t x = 0; x < a.width(); ++x) {
+      acc += static_cast<Fitness>(std::abs(int{pa[x]} - int{pb[x]}));
+    }
   }
   return acc;
 }
@@ -26,13 +27,15 @@ double mean_absolute_error(const Image& a, const Image& b) {
 double psnr(const Image& a, const Image& b) {
   EHW_REQUIRE(a.same_shape(b), "images must have the same shape");
   double mse = 0.0;
-  const std::size_t n = a.pixel_count();
-  for (std::size_t i = 0; i < n; ++i) {
-    const double d =
-        static_cast<double>(a.data()[i]) - static_cast<double>(b.data()[i]);
-    mse += d * d;
+  for (std::size_t y = 0; y < a.height(); ++y) {
+    const Pixel* pa = a.row(y);
+    const Pixel* pb = b.row(y);
+    for (std::size_t x = 0; x < a.width(); ++x) {
+      const double d = static_cast<double>(pa[x]) - static_cast<double>(pb[x]);
+      mse += d * d;
+    }
   }
-  mse /= static_cast<double>(n);
+  mse /= static_cast<double>(a.pixel_count());
   if (mse == 0.0) return std::numeric_limits<double>::infinity();
   return 10.0 * std::log10(255.0 * 255.0 / mse);
 }
@@ -40,8 +43,12 @@ double psnr(const Image& a, const Image& b) {
 int max_abs_difference(const Image& a, const Image& b) {
   EHW_REQUIRE(a.same_shape(b), "images must have the same shape");
   int worst = 0;
-  for (std::size_t i = 0; i < a.pixel_count(); ++i) {
-    worst = std::max(worst, std::abs(int{a.data()[i]} - int{b.data()[i]}));
+  for (std::size_t y = 0; y < a.height(); ++y) {
+    const Pixel* pa = a.row(y);
+    const Pixel* pb = b.row(y);
+    for (std::size_t x = 0; x < a.width(); ++x) {
+      worst = std::max(worst, std::abs(int{pa[x]} - int{pb[x]}));
+    }
   }
   return worst;
 }

@@ -38,8 +38,13 @@ Image morph_gradient3x3(const Image& src) {
   const Image lo = erode3x3(src);
   const Image hi = dilate3x3(src);
   Image out(src.width(), src.height());
-  for (std::size_t i = 0; i < out.pixel_count(); ++i) {
-    out.data()[i] = static_cast<Pixel>(hi.data()[i] - lo.data()[i]);
+  for (std::size_t y = 0; y < out.height(); ++y) {
+    const Pixel* ph = hi.row(y);
+    const Pixel* pl = lo.row(y);
+    Pixel* po = out.row(y);
+    for (std::size_t x = 0; x < out.width(); ++x) {
+      po[x] = static_cast<Pixel>(ph[x] - pl[x]);
+    }
   }
   return out;
 }

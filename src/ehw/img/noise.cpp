@@ -8,9 +8,12 @@ namespace ehw::img {
 Image add_salt_pepper(const Image& src, double density, Rng& rng) {
   EHW_REQUIRE(density >= 0.0 && density <= 1.0, "density must be in [0,1]");
   Image out = src;
-  for (std::size_t i = 0; i < out.pixel_count(); ++i) {
-    if (rng.chance(density)) {
-      out.data()[i] = rng.chance(0.5) ? Pixel{255} : Pixel{0};
+  for (std::size_t y = 0; y < out.height(); ++y) {
+    Pixel* r = out.row(y);
+    for (std::size_t x = 0; x < out.width(); ++x) {
+      if (rng.chance(density)) {
+        r[x] = rng.chance(0.5) ? Pixel{255} : Pixel{0};
+      }
     }
   }
   return out;
@@ -19,14 +22,17 @@ Image add_salt_pepper(const Image& src, double density, Rng& rng) {
 Image add_gaussian(const Image& src, double sigma, Rng& rng) {
   EHW_REQUIRE(sigma >= 0.0, "sigma must be non-negative");
   Image out = src;
-  for (std::size_t i = 0; i < out.pixel_count(); ++i) {
-    // Box-Muller; one draw per pixel is plenty for 8-bit noise.
-    const double u1 = std::max(rng.uniform(), 1e-12);
-    const double u2 = rng.uniform();
-    const double n =
-        std::sqrt(-2.0 * std::log(u1)) * std::cos(6.28318530717958647692 * u2);
-    const double v = static_cast<double>(out.data()[i]) + sigma * n;
-    out.data()[i] = static_cast<Pixel>(std::clamp(v, 0.0, 255.0));
+  for (std::size_t y = 0; y < out.height(); ++y) {
+    Pixel* r = out.row(y);
+    for (std::size_t x = 0; x < out.width(); ++x) {
+      // Box-Muller; one draw per pixel is plenty for 8-bit noise.
+      const double u1 = std::max(rng.uniform(), 1e-12);
+      const double u2 = rng.uniform();
+      const double n = std::sqrt(-2.0 * std::log(u1)) *
+                       std::cos(6.28318530717958647692 * u2);
+      const double v = static_cast<double>(r[x]) + sigma * n;
+      r[x] = static_cast<Pixel>(std::clamp(v, 0.0, 255.0));
+    }
   }
   return out;
 }
@@ -34,8 +40,11 @@ Image add_gaussian(const Image& src, double sigma, Rng& rng) {
 Image add_impulse(const Image& src, double density, Rng& rng) {
   EHW_REQUIRE(density >= 0.0 && density <= 1.0, "density must be in [0,1]");
   Image out = src;
-  for (std::size_t i = 0; i < out.pixel_count(); ++i) {
-    if (rng.chance(density)) out.data()[i] = rng.byte();
+  for (std::size_t y = 0; y < out.height(); ++y) {
+    Pixel* r = out.row(y);
+    for (std::size_t x = 0; x < out.width(); ++x) {
+      if (rng.chance(density)) r[x] = rng.byte();
+    }
   }
   return out;
 }
@@ -43,8 +52,12 @@ Image add_impulse(const Image& src, double density, Rng& rng) {
 double differing_fraction(const Image& a, const Image& b) {
   EHW_REQUIRE(a.same_shape(b), "images must have the same shape");
   std::size_t diff = 0;
-  for (std::size_t i = 0; i < a.pixel_count(); ++i) {
-    diff += a.data()[i] != b.data()[i] ? 1 : 0;
+  for (std::size_t y = 0; y < a.height(); ++y) {
+    const Pixel* pa = a.row(y);
+    const Pixel* pb = b.row(y);
+    for (std::size_t x = 0; x < a.width(); ++x) {
+      diff += pa[x] != pb[x] ? 1 : 0;
+    }
   }
   return static_cast<double>(diff) / static_cast<double>(a.pixel_count());
 }

@@ -35,8 +35,11 @@ std::size_t read_header_number(std::istream& is) {
 void write_pgm(const Image& image, std::ostream& os) {
   os << "P5\n"
      << image.width() << ' ' << image.height() << "\n255\n";
-  os.write(reinterpret_cast<const char*>(image.data()),
-           static_cast<std::streamsize>(image.pixel_count()));
+  // Rows are stride-padded in memory; the file format is dense.
+  for (std::size_t y = 0; y < image.height(); ++y) {
+    os.write(reinterpret_cast<const char*>(image.row(y)),
+             static_cast<std::streamsize>(image.width()));
+  }
   if (!os) throw std::runtime_error("pgm: write failed");
 }
 
@@ -62,18 +65,23 @@ Image read_pgm(std::istream& is) {
   Image image(w, h);
   if (magic == "P5") {
     is.get();  // single whitespace after maxval
-    is.read(reinterpret_cast<char*>(image.data()),
-            static_cast<std::streamsize>(image.pixel_count()));
-    if (is.gcount() != static_cast<std::streamsize>(image.pixel_count())) {
-      throw std::runtime_error("pgm: truncated pixel data");
+    for (std::size_t y = 0; y < h; ++y) {
+      is.read(reinterpret_cast<char*>(image.row(y)),
+              static_cast<std::streamsize>(w));
+      if (is.gcount() != static_cast<std::streamsize>(w)) {
+        throw std::runtime_error("pgm: truncated pixel data");
+      }
     }
   } else {
-    for (std::size_t i = 0; i < image.pixel_count(); ++i) {
-      unsigned v = 0;
-      if (!(is >> v) || v > maxval) {
-        throw std::runtime_error("pgm: malformed ascii pixel");
+    for (std::size_t y = 0; y < h; ++y) {
+      Pixel* r = image.row(y);
+      for (std::size_t x = 0; x < w; ++x) {
+        unsigned v = 0;
+        if (!(is >> v) || v > maxval) {
+          throw std::runtime_error("pgm: malformed ascii pixel");
+        }
+        r[x] = static_cast<Pixel>(v);
       }
-      image.data()[i] = static_cast<Pixel>(v);
     }
   }
   return image;

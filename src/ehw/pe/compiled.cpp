@@ -1,9 +1,11 @@
 #include "ehw/pe/compiled.hpp"
 
+#include <algorithm>
 #include <atomic>
-#include <cstdlib>
 #include <cstring>
 #include <numeric>
+
+#include "ehw/pe/simd.hpp"
 
 namespace ehw::pe {
 namespace {
@@ -90,17 +92,6 @@ void apply_op_row(PeOp op, const Pixel* w, const Pixel* n, Pixel* out,
       }
       break;
   }
-}
-
-/// Sum of |a[i] - b[i]| over a row span.
-Fitness row_abs_error(const Pixel* a, const Pixel* b,
-                      std::size_t len) noexcept {
-  Fitness acc = 0;
-  for (std::size_t i = 0; i < len; ++i) {
-    const int d = static_cast<int>(a[i]) - static_cast<int>(b[i]);
-    acc += static_cast<Fitness>(d < 0 ? -d : d);
-  }
-  return acc;
 }
 
 }  // namespace
@@ -212,89 +203,92 @@ Fitness CompiledArray::process_rows(const img::Image& src, img::Image* dst,
   const std::size_t w = src.width();
   const std::size_t h = src.height();
   Fitness total = 0;
-  Pixel win[kWindowTaps];
-  const auto scalar_span = [&](std::size_t y, std::size_t x_lo,
-                               std::size_t x_hi) {
-    for (std::size_t x = x_lo; x < x_hi; ++x) {
-      img::gather_window3x3(src, x, y, win);
-      const Pixel out = evaluate(win, x, y);
-      if (dst != nullptr) dst->set(x, y, out);
-      if (reference != nullptr) {
-        total += static_cast<Fitness>(
-            std::abs(static_cast<int>(out) -
-                     static_cast<int>(reference->at(x, y))));
-      }
+
+  // Padded line ring: the three clamp-replicated source rows around y,
+  // each with one duplicated pixel on either side, so EVERY pixel of the
+  // frame — borders and degenerate 1-to-2-pixel-wide frames included — is
+  // an interior pixel of the padded rows and flows through the vector
+  // kernels (the software analogue of the platform's 3-line FIFOs, which
+  // replicate at the frame edges the same way). Source row r lives in
+  // ring slot r % 3; the rows needed for consecutive y overlap 2-of-3, so
+  // sliding down the frame copies one new row per step.
+  const std::size_t padded = (w + 2 + kCacheLineBytes - 1) &
+                             ~(kCacheLineBytes - 1);
+  std::vector<Pixel, AlignedAllocator<Pixel, kCacheLineBytes>> ring(3 *
+                                                                    padded);
+  std::size_t loaded[3] = {h, h, h};  // h = "nothing loaded"
+  const auto clamp_row = [h](std::size_t y, std::ptrdiff_t dy) {
+    const auto r = static_cast<std::ptrdiff_t>(y) + dy;
+    if (r < 0) return std::size_t{0};
+    if (static_cast<std::size_t>(r) >= h) return h - 1;
+    return static_cast<std::size_t>(r);
+  };
+  const auto load_row = [&](std::size_t r) -> const Pixel* {
+    Pixel* p = ring.data() + (r % 3) * padded;
+    if (loaded[r % 3] != r) {
+      std::memcpy(p + 1, src.row(r), w);
+      p[0] = p[1];
+      p[w + 1] = p[w];
+      loaded[r % 3] = r;
     }
+    return p;
   };
 
-  if (w < 3) {  // no interior columns: everything is border
-    for (std::size_t y = y0; y < y1; ++y) scalar_span(y, 0, w);
-    return total;
-  }
-
-  // Row workspace. Slot read pointers rp[] cover the whole value buffer:
-  // tap slots [0, 9) point straight into the three source rows around y
-  // (re-aimed every row, like the platform's line FIFOs sliding down the
-  // frame); cell slots point at backing rows in `storage`, written by the
-  // steps. The interior span covers x in [1, w-2].
-  const std::size_t span = w - 2;
+  // Fused block workspace: every surviving step runs over one kFuseBlock
+  // span before the next block starts, so a step's intermediate row never
+  // leaves L1 before its consumers read it — adjacent steps compose in
+  // one pass over the row triple instead of materializing a full
+  // frame-width row each. Read pointers rp[] cover the whole value
+  // buffer: tap slots [0, 9) aim into the padded ring (re-aimed per
+  // block), cell slots at their fixed storage blocks.
   const std::size_t cell_slots = buffer_size_ - kWindowTaps;
-  std::vector<Pixel> storage(cell_slots * span);
+  std::vector<Pixel, AlignedAllocator<Pixel, kCacheLineBytes>> storage(
+      cell_slots * kFuseBlock);
   std::vector<const Pixel*> rp(buffer_size_, nullptr);
   for (std::size_t s = 0; s < cell_slots; ++s) {
-    rp[kWindowTaps + s] = storage.data() + s * span;
+    rp[kWindowTaps + s] = storage.data() + s * kFuseBlock;
   }
   for (const SlotConst& sc : consts_) {
-    if (sc.slot >= kWindowTaps) {
-      std::memset(storage.data() + (sc.slot - kWindowTaps) * span, sc.value,
-                  span);
-    }
+    // Tap slots are never constant; see the constructor.
+    std::memset(storage.data() + (sc.slot - kWindowTaps) * kFuseBlock,
+                sc.value, kFuseBlock);
   }
 
   for (std::size_t y = y0; y < y1; ++y) {
-    if (y == 0 || y + 1 >= h) {  // boundary rows replicate: scalar path
-      scalar_span(y, 0, w);
-      continue;
-    }
-    scalar_span(y, 0, 1);  // west border pixel
-    for (std::size_t t = 0; t < kWindowTaps; ++t) {
-      rp[t] = src.row(y + t / 3 - 1) + t % 3;
-    }
-    for (const Step& s : steps_) {
-      Pixel* out =
-          storage.data() + (s.out_index - kWindowTaps) * span;
-      if (s.defective) {
-        const Pixel* ws = rp[s.w_index];
-        const Pixel* ns = rp[s.n_index];
-        for (std::size_t i = 0; i < span; ++i) {
-          out[i] = defective_output(s.defect_seed, i + 1, y, ws[i], ns[i]);
+    const Pixel* tap_rows[3] = {load_row(clamp_row(y, -1)), load_row(y),
+                                load_row(clamp_row(y, +1))};
+    for (std::size_t b0 = 0; b0 < w; b0 += kFuseBlock) {
+      const std::size_t len = std::min(kFuseBlock, w - b0);
+      for (std::size_t t = 0; t < kWindowTaps; ++t) {
+        rp[t] = tap_rows[t / 3] + t % 3 + b0;
+      }
+      for (const Step& s : steps_) {
+        Pixel* out =
+            storage.data() + (s.out_index - kWindowTaps) * kFuseBlock;
+        if (s.defective) {
+          defective_row(s.defect_seed, b0, y, rp[s.w_index], rp[s.n_index],
+                        out, len);
+        } else {
+          apply_op_row(static_cast<PeOp>(s.op), rp[s.w_index], rp[s.n_index],
+                       out, len);
         }
-      } else {
-        apply_op_row(static_cast<PeOp>(s.op), rp[s.w_index], rp[s.n_index],
-                     out, span);
       }
-    }
-    if (dst != nullptr) {
-      Pixel* drow = dst->row(y) + 1;
-      if (output_const_ >= 0) {
-        std::memset(drow, static_cast<Pixel>(output_const_), span);
-      } else {
-        std::memcpy(drow, rp[output_index_], span);
-      }
-    }
-    if (reference != nullptr) {
-      const Pixel* rrow = reference->row(y) + 1;
-      if (output_const_ >= 0) {
-        const auto cv = static_cast<Pixel>(output_const_);
-        for (std::size_t i = 0; i < span; ++i) {
-          const int d = static_cast<int>(cv) - static_cast<int>(rrow[i]);
-          total += static_cast<Fitness>(d < 0 ? -d : d);
+      if (dst != nullptr) {
+        Pixel* drow = dst->row(y) + b0;
+        if (output_const_ >= 0) {
+          std::memset(drow, static_cast<Pixel>(output_const_), len);
+        } else {
+          std::memcpy(drow, rp[output_index_], len);
         }
-      } else {
-        total += row_abs_error(rp[output_index_], rrow, span);
+      }
+      if (reference != nullptr) {
+        const Pixel* rrow = reference->row(y) + b0;
+        total += output_const_ >= 0
+                     ? abs_error_const_block(
+                           static_cast<Pixel>(output_const_), rrow, len)
+                     : abs_error_block(rp[output_index_], rrow, len);
       }
     }
-    scalar_span(y, w - 1, w);  // east border pixel
   }
   return total;
 }

@@ -18,13 +18,16 @@
 // bit-exact and never touches defective cells (their pseudo-random output
 // depends on position and inputs).
 //
-// Whole-frame evaluation runs a ROW-VECTORIZED kernel: the step loop is
-// hoisted outside the pixel loop and every step is applied across a whole
-// row of window slots at once. Interior pixels read the 9 window taps
-// straight from three source-image rows (the software analogue of the
-// platform's 3-line FIFOs, cf. platform/line_fifo.hpp); border pixels fall
-// back to the per-window scalar path. Outputs are bit-identical to the
-// scalar evaluator in all cases, including defective cells.
+// Whole-frame evaluation runs a FUSED SIMD kernel (see pe/simd.hpp for
+// the lane configuration): the 9 window taps read from a padded
+// 3-row line ring whose clamp-replicated edge pixels make every frame
+// pixel — borders and 1-pixel-wide frames included — an interior pixel of
+// the kernel, and the surviving steps execute block-by-block over
+// cache-line-sized spans so adjacent steps compose in L1 instead of
+// materializing a frame-width intermediate row each (step fusion).
+// Defective cells run through the vectorized defective_row lane kernel.
+// Outputs are bit-identical to the scalar evaluator in all cases,
+// including defective cells — defects are never folded or fused away.
 
 #include <cstdint>
 #include <vector>

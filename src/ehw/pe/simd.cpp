@@ -1,0 +1,34 @@
+#include "ehw/pe/simd.hpp"
+
+#include "ehw/pe/array.hpp"
+
+namespace ehw::pe {
+
+void defective_row(std::uint64_t defect_seed, std::size_t x0, std::size_t y,
+                   const Pixel* w, const Pixel* n, Pixel* out,
+                   std::size_t len) noexcept {
+  if constexpr (kSimdLanes) {
+    // The SplitMix64 finalizer unrolled into a u64 lane loop: shifts,
+    // xors and 64-bit multiplies only, so the whole pipeline vectorizes
+    // (AVX-512 natively; AVX2/NEON via the compiler's 32x32 multiply
+    // decomposition). XOR associativity lets the (seed, y) half of the
+    // state hoist out of the loop.
+    const std::uint64_t base =
+        defect_seed ^ static_cast<std::uint64_t>(y);
+    for (std::size_t i = 0; i < len; ++i) {
+      std::uint64_t z = base ^ (static_cast<std::uint64_t>(x0 + i) << 32) ^
+                        ((static_cast<std::uint64_t>(w[i]) << 8) | n[i]);
+      z += 0x9E3779B97F4A7C15ULL;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      z ^= z >> 31;
+      out[i] = static_cast<Pixel>(z >> 56);
+    }
+  } else {
+    for (std::size_t i = 0; i < len; ++i) {
+      out[i] = defective_output(defect_seed, x0 + i, y, w[i], n[i]);
+    }
+  }
+}
+
+}  // namespace ehw::pe

@@ -1,0 +1,93 @@
+#pragma once
+// Compile-time SIMD configuration and the portable lane kernels the fused
+// row evaluator is built from.
+//
+// All kernels are written as fixed-width lane loops over plain byte/u64
+// arrays — no intrinsics — so any modern compiler auto-vectorizes them
+// for whatever ISA the build targets. Selection happens at compile time:
+//   * default            — portable lane loops sized for 128/256-bit
+//                          vector units (SSE2/NEON/AVX2 baselines);
+//   * EHW_NATIVE_ARCH=ON — the CMake option adds -march=native and wider
+//                          blocks so the same loops compile to the
+//                          build host's widest vector ISA;
+//   * EHW_SCALAR_KERNELS=ON (defines EHW_SIMD_FORCE_SCALAR) — the scalar
+//                          reference fallback: straightforward per-pixel
+//                          loops, no lane structure.
+// Every path is BIT-IDENTICAL: lanes only change how the exact integer
+// arithmetic is scheduled, never its results. The scalar fallback is the
+// reference the randomized equivalence suite pins the others against.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ehw/common/aligned.hpp"
+#include "ehw/common/types.hpp"
+
+namespace ehw::pe {
+
+#if defined(EHW_SIMD_FORCE_SCALAR)
+/// Scalar reference fallback: no lane blocking.
+inline constexpr bool kSimdLanes = false;
+inline constexpr std::size_t kFuseBlock = 64;
+#elif defined(EHW_NATIVE_ARCH) || defined(__AVX2__)
+inline constexpr bool kSimdLanes = true;
+inline constexpr std::size_t kFuseBlock = 256;
+#else
+// 128-bit baseline vector units (SSE2 on x86-64, NEON on aarch64).
+inline constexpr bool kSimdLanes = true;
+inline constexpr std::size_t kFuseBlock = 128;
+#endif
+
+static_assert(kFuseBlock % kCacheLineBytes == 0,
+              "fused blocks must be whole cache lines");
+
+/// Sum of |a[i] - b[i]| over at most kFuseBlock bytes (the per-block
+/// error reduction of the fitness path). Caller guarantees
+/// len <= kFuseBlock so the 32-bit lane accumulators cannot overflow
+/// (255 * kFuseBlock << 2^32).
+[[nodiscard]] inline std::uint32_t abs_error_block(const Pixel* a,
+                                                   const Pixel* b,
+                                                   std::size_t len) noexcept {
+  if constexpr (kSimdLanes) {
+    // Fixed-width lanes: 8-bit |a-b| (exact in u8), widened into u32
+    // accumulators. GCC/Clang turn this into psadbw/uabal-style code.
+    std::uint32_t acc = 0;
+    for (std::size_t i = 0; i < len; ++i) {
+      const Pixel d = a[i] > b[i] ? static_cast<Pixel>(a[i] - b[i])
+                                  : static_cast<Pixel>(b[i] - a[i]);
+      acc += d;
+    }
+    return acc;
+  } else {
+    std::uint32_t acc = 0;
+    for (std::size_t i = 0; i < len; ++i) {
+      const int d = static_cast<int>(a[i]) - static_cast<int>(b[i]);
+      acc += static_cast<std::uint32_t>(d < 0 ? -d : d);
+    }
+    return acc;
+  }
+}
+
+/// As abs_error_block with a constant left operand (folded-constant
+/// output circuits).
+[[nodiscard]] inline std::uint32_t abs_error_const_block(
+    Pixel c, const Pixel* b, std::size_t len) noexcept {
+  std::uint32_t acc = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    const Pixel d =
+        c > b[i] ? static_cast<Pixel>(c - b[i]) : static_cast<Pixel>(b[i] - c);
+    acc += d;
+  }
+  return acc;
+}
+
+/// Defective-cell row kernel: the SplitMix64-derived pseudo-random output
+/// of a dummy PE for every pixel of a block, vectorized over the u64
+/// lane pipeline. Bit-identical to calling pe::defective_output(seed,
+/// x0+i, y, w[i], n[i]) per pixel (the scalar fallback does exactly
+/// that).
+void defective_row(std::uint64_t defect_seed, std::size_t x0, std::size_t y,
+                   const Pixel* w, const Pixel* n, Pixel* out,
+                   std::size_t len) noexcept;
+
+}  // namespace ehw::pe

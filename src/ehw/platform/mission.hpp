@@ -65,6 +65,19 @@ struct MissionStats {
                       : static_cast<double>(cache_hits) /
                             static_cast<double>(total);
   }
+  /// Fitness-memo traffic of this mission's evaluation waves (filled by
+  /// the scheduler when the pool's FitnessMemo is enabled; both stay 0
+  /// otherwise). Execution statistics like the cache counters: a hit
+  /// means the candidate's fitness was served without streaming the
+  /// frame, with bit-identical mission results either way.
+  std::uint64_t memo_hits = 0;
+  std::uint64_t memo_misses = 0;
+  [[nodiscard]] double memo_hit_rate() const {
+    const std::uint64_t total = memo_hits + memo_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(memo_hits) /
+                            static_cast<double>(total);
+  }
 };
 
 class MissionController {

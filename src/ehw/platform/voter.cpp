@@ -36,25 +36,30 @@ PixelVoteResult PixelVoter::vote(const img::Image& a, const img::Image& b,
               "voter inputs must share a shape");
   PixelVoteResult result;
   result.majority = img::Image(a.width(), a.height());
-  const std::size_t n = a.pixel_count();
-  for (std::size_t i = 0; i < n; ++i) {
-    const Pixel pa = a.data()[i];
-    const Pixel pb = b.data()[i];
-    const Pixel pc = c.data()[i];
-    Pixel out;
-    if (pa == pb || pa == pc) {
-      out = pa;
-    } else if (pb == pc) {
-      out = pb;
-    } else {
-      // No exact majority: emit the median of the three values.
-      out = std::max(std::min(pa, pb), std::min(std::max(pa, pb), pc));
-      ++result.no_majority;
+  for (std::size_t y = 0; y < a.height(); ++y) {
+    const Pixel* ra = a.row(y);
+    const Pixel* rb = b.row(y);
+    const Pixel* rc = c.row(y);
+    Pixel* rm = result.majority.row(y);
+    for (std::size_t x = 0; x < a.width(); ++x) {
+      const Pixel pa = ra[x];
+      const Pixel pb = rb[x];
+      const Pixel pc = rc[x];
+      Pixel out;
+      if (pa == pb || pa == pc) {
+        out = pa;
+      } else if (pb == pc) {
+        out = pb;
+      } else {
+        // No exact majority: emit the median of the three values.
+        out = std::max(std::min(pa, pb), std::min(std::max(pa, pb), pc));
+        ++result.no_majority;
+      }
+      rm[x] = out;
+      if (pa != out) ++result.outvoted[0];
+      if (pb != out) ++result.outvoted[1];
+      if (pc != out) ++result.outvoted[2];
     }
-    result.majority.data()[i] = out;
-    if (pa != out) ++result.outvoted[0];
-    if (pb != out) ++result.outvoted[1];
-    if (pc != out) ++result.outvoted[2];
   }
   return result;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ehw/common/rng.hpp"
 #include "ehw/evo/batch.hpp"
 
 namespace ehw::platform {
@@ -12,14 +13,15 @@ WaveOutcome evaluate_offspring_wave(EvolvablePlatform& platform,
                                     const img::Image& input,
                                     const img::Image& compare,
                                     sim::SimTime barrier,
-                                    const WaveCompileFn& compile) {
+                                    const WaveCompileFn& compile,
+                                    WaveMemo* memo) {
   EHW_REQUIRE(lanes.size() == offspring.size(),
               "one evaluation lane per offspring");
 
   // Phase 1 (sequential): configure each candidate, compile its decoded
   // view before the next configuration overwrites the lane, and book the
   // R/F spans — identical timeline bookkeeping to evaluating in place.
-  std::vector<std::shared_ptr<const pe::CompiledArray>> compiled;
+  std::vector<CompiledLane> compiled;
   compiled.reserve(offspring.size());
   std::vector<sim::Interval> spans(offspring.size());
   for (std::size_t i = 0; i < offspring.size(); ++i) {
@@ -33,13 +35,30 @@ WaveOutcome evaluate_offspring_wave(EvolvablePlatform& platform,
   }
 
   // Phase 2 (parallel): whole candidates fan out across the host pool —
-  // one candidate per worker, like one per physical array.
+  // one candidate per worker, like one per physical array. With a memo
+  // attached, candidates already measured on this frame set skip the
+  // fan-out entirely (their simulated R/F spans above are booked either
+  // way — memoization is a host-speed optimization, never a simulated
+  // one).
   std::vector<const pe::CompiledArray*> views;
   views.reserve(compiled.size());
-  for (const auto& c : compiled) views.push_back(c.get());
+  for (const auto& c : compiled) views.push_back(c.array.get());
   WaveOutcome outcome;
-  outcome.fitness =
-      evo::batch_fitness(views, input, compare, platform.pool());
+  if (memo != nullptr && memo->memo != nullptr && memo->frame_set_id != 0) {
+    std::vector<std::uint64_t> keys(compiled.size(), 0);
+    for (std::size_t i = 0; i < compiled.size(); ++i) {
+      if (compiled[i].memo_key != 0) {
+        keys[i] = hash_mix(memo->frame_set_id, compiled[i].memo_key);
+      }
+    }
+    outcome.fitness =
+        evo::batch_fitness(views, keys, memo->memo, input, compare,
+                           platform.pool(), &memo->stats);
+  } else {
+    if (memo != nullptr) memo->stats.misses += views.size();
+    outcome.fitness =
+        evo::batch_fitness(views, input, compare, platform.pool());
+  }
 
   // Phase 3 (sequential): publish fitnesses in evaluation order and
   // select the survivor.
@@ -64,8 +83,9 @@ WaveOutcome evaluate_offspring_wave(EvolvablePlatform& platform,
   return evaluate_offspring_wave(
       platform, offspring, lanes, input, compare, barrier,
       [&platform](std::size_t lane) {
-        return std::make_shared<const pe::CompiledArray>(
-            platform.compile_array(lane));
+        return CompiledLane{std::make_shared<const pe::CompiledArray>(
+                                platform.compile_array(lane)),
+                            0};
       });
 }
 

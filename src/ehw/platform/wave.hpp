@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "ehw/evo/fitness_memo.hpp"
 #include "ehw/evo/offspring.hpp"
 #include "ehw/platform/platform.hpp"
 
@@ -33,11 +34,30 @@ struct WaveOutcome {
   Fitness best_fitness = kInvalidFitness;
 };
 
+/// What compiling one lane's candidate yields: the evaluable array plus
+/// the candidate's identity key for fitness memoization (the platform
+/// configuration fingerprint mixed with the genotype hash on the
+/// scheduler path; 0 = unkeyed, never memoized).
+struct CompiledLane {
+  std::shared_ptr<const pe::CompiledArray> array;
+  std::uint64_t memo_key = 0;
+};
+
 /// Compiles the candidate currently configured on `lane`. Returning a
 /// shared pointer lets implementations serve cached instances (the
 /// scheduler's genotype-keyed LRU) instead of recompiling.
-using WaveCompileFn =
-    std::function<std::shared_ptr<const pe::CompiledArray>(std::size_t lane)>;
+using WaveCompileFn = std::function<CompiledLane(std::size_t lane)>;
+
+/// Fitness-memo hookup for one wave: the shared memo, the frame-set
+/// identity of the (input, compare) pair, and the wave's hit/miss tally
+/// (accumulated across calls — hand the same instance to every wave of a
+/// mission). A null memo or zero frame id disables memoization for the
+/// wave; results are bit-identical either way.
+struct WaveMemo {
+  evo::FitnessMemo* memo = nullptr;
+  std::uint64_t frame_set_id = 0;
+  evo::BatchMemoStats stats;
+};
 
 /// Evaluates one offspring wave on the platform. `lanes[i]` is the array
 /// that evaluates offspring[i]; every R starts no earlier than `barrier`.
@@ -47,14 +67,16 @@ using WaveCompileFn =
     const img::Image& compare, sim::SimTime barrier);
 
 /// As above, with candidate compilation delegated to `compile` (the
-/// scheduler's cache hook). Configuration and R/F span bookkeeping are
-/// unchanged, so outcomes are bit-identical as long as `compile` returns
-/// an array behaviourally equal to platform.compile_array(lane).
+/// scheduler's cache hook) and optional fitness memoization (`memo` may
+/// be null). Configuration and R/F span bookkeeping are unchanged, so
+/// outcomes are bit-identical as long as `compile` returns an array
+/// behaviourally equal to platform.compile_array(lane) — memo hits only
+/// skip the host-side frame streaming, never the simulated bookkeeping.
 [[nodiscard]] WaveOutcome evaluate_offspring_wave(
     EvolvablePlatform& platform, const std::vector<evo::Candidate>& offspring,
     const std::vector<std::size_t>& lanes, const img::Image& input,
     const img::Image& compare, sim::SimTime barrier,
-    const WaveCompileFn& compile);
+    const WaveCompileFn& compile, WaveMemo* memo = nullptr);
 
 /// What an evolution driver needs from whoever owns the arrays: a platform
 /// to configure/measure on, the set of evaluation lanes it was granted,

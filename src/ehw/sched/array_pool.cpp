@@ -4,6 +4,8 @@
 #include <queue>
 #include <tuple>
 
+#include "ehw/evo/batch.hpp"
+
 namespace ehw::sched {
 
 // --- MissionRunner ----------------------------------------------------------
@@ -88,8 +90,9 @@ void MissionRunner::notify_wave() {
 
 MissionContext::MissionContext(JobConfig job, const PoolConfig& pool_config,
                                CompiledArrayCache* cache,
-                               MissionRunner* runner)
+                               evo::FitnessMemo* memo, MissionRunner* runner)
     : job_(std::move(job)), cache_(cache), runner_(runner) {
+  wave_memo_.memo = memo;
   platform::PlatformConfig pc;
   pc.num_arrays = job_.lanes;
   pc.shape = pool_config.shape;
@@ -109,23 +112,24 @@ void MissionContext::check_cancelled() const {
   }
 }
 
-std::shared_ptr<const pe::CompiledArray> MissionContext::compile_cached(
-    std::size_t lane) {
-  if (cache_ == nullptr) {
-    ++misses_;
-    return std::make_shared<const pe::CompiledArray>(
-        platform_->compile_array(lane));
-  }
+platform::CompiledLane MissionContext::compile_cached(std::size_t lane) {
   // Key = genotype content hash x fabric fingerprint: the fingerprint
   // already covers the genotype as materialized (plus the defect map and
   // ACB registers); mixing the genotype's own hash keeps the key robust
   // even for hypothetical fabrics whose memory image underdetermines the
-  // written genes.
+  // written genes. The same key doubles as the candidate half of the
+  // fitness-memo key (the wave mixes the frame-set id in).
   const std::optional<evo::Genotype>& configured =
       platform_->configured_genotype(lane);
   const std::uint64_t key =
       hash_mix(platform_->configuration_fingerprint(lane),
                configured.has_value() ? configured->hash() : 0);
+  if (cache_ == nullptr) {
+    ++misses_;
+    return {std::make_shared<const pe::CompiledArray>(
+                platform_->compile_array(lane)),
+            key};
+  }
   bool hit = false;
   auto compiled = cache_->get_or_compile(
       key, [this, lane] { return platform_->compile_array(lane); }, &hit);
@@ -134,7 +138,7 @@ std::shared_ptr<const pe::CompiledArray> MissionContext::compile_cached(
   } else {
     ++misses_;
   }
-  return compiled;
+  return {std::move(compiled), key};
 }
 
 platform::WaveOutcome MissionContext::run_wave(
@@ -142,9 +146,16 @@ platform::WaveOutcome MissionContext::run_wave(
     const std::vector<std::size_t>& wave_lanes, const img::Image& input,
     const img::Image& compare, sim::SimTime barrier) {
   check_cancelled();
+  // The frame-set id is recomputed per wave from the actual frame
+  // contents (cascade stages swap inputs mid-mission); hashing two
+  // frames costs a fraction of evaluating lambda candidates on them.
+  if (wave_memo_.memo != nullptr) {
+    wave_memo_.frame_set_id = evo::frame_set_id(input, compare);
+  }
   platform::WaveOutcome outcome = platform::evaluate_offspring_wave(
       *platform_, offspring, wave_lanes, input, compare, barrier,
-      [this](std::size_t lane) { return compile_cached(lane); });
+      [this](std::size_t lane) { return compile_cached(lane); },
+      &wave_memo_);
   if (runner_ != nullptr) runner_->notify_wave();
   return outcome;
 }
@@ -153,7 +164,10 @@ platform::WaveOutcome MissionContext::run_wave(
 
 ArrayPool::ArrayPool(PoolConfig config)
     : config_(config),
+      workers_(config.workers != nullptr ? config.workers
+                                         : &WorkStealPool::shared()),
       cache_(config.cache_capacity),
+      memo_(config.fitness_memo_capacity),
       free_arrays_(config.num_arrays) {
   EHW_REQUIRE(config_.num_arrays > 0, "pool needs at least one array");
 }
@@ -191,24 +205,31 @@ void ArrayPool::admit_locked(std::vector<FailedStart>& failures) {
     Job* job = jobs_.at(ticket->id).get();
     free_arrays_ -= job->config.lanes;
     ++running_;
+    ++pending_tasks_;
     {
       std::lock_guard rlock(job->runner->mutex_);
       job->runner->status_ = JobStatus::kRunning;
     }
     try {
-      job->thread = std::thread([this, job] { run_job(job); });
-    } catch (const std::system_error& e) {
-      // Thread exhaustion must not strand the lease (hanging wait_all)
-      // or escape into std::terminate: roll back and fail the job. The
-      // runner's finish() — and with it any subscribed observers — is
-      // deferred to the caller, outside the pool lock.
+      // No thread is created here: the body becomes a task on the
+      // shared work-stealing core. A job admitted from a finishing
+      // job's worker lands on that worker's own deque and runs next,
+      // cache-warm; idle workers steal it otherwise.
+      workers_->submit([this, job] { run_job(job); });
+    } catch (const std::exception& e) {
+      // Dispatch failure (allocation) must not strand the lease
+      // (hanging wait_all) or escape into std::terminate: roll back and
+      // fail the job. The runner's finish() — and with it any
+      // subscribed observers — is deferred to the caller, outside the
+      // pool lock.
       free_arrays_ += job->config.lanes;
       --running_;
+      --pending_tasks_;
       job->finished = true;
       ++failed_;
       failures.push_back(FailedStart{
           job->runner,
-          std::string("failed to start job thread: ") + e.what()});
+          std::string("failed to dispatch job body: ") + e.what()});
       cv_.notify_all();
     }
   }
@@ -224,9 +245,10 @@ void ArrayPool::finish_failed(std::vector<FailedStart>& failures) {
 }
 
 void ArrayPool::run_job(Job* job) {
-  MissionContext context(job->config, config_,
-                         config_.cache_capacity > 0 ? &cache_ : nullptr,
-                         job->runner.get());
+  MissionContext context(
+      job->config, config_, config_.cache_capacity > 0 ? &cache_ : nullptr,
+      config_.fitness_memo_capacity > 0 ? &memo_ : nullptr,
+      job->runner.get());
   JobOutcome outcome;
   JobStatus status = JobStatus::kDone;
   try {
@@ -245,6 +267,8 @@ void ArrayPool::run_job(Job* job) {
   // mission results.
   outcome.stats.cache_hits = context.cache_hits();
   outcome.stats.cache_misses = context.cache_misses();
+  outcome.stats.memo_hits = context.memo_hits();
+  outcome.stats.memo_misses = context.memo_misses();
   const sim::SimTime duration = context.platform().now();
   job->runner->finish(status, std::move(outcome), duration);
   std::vector<FailedStart> failures;
@@ -262,42 +286,36 @@ void ArrayPool::run_job(Job* job) {
     free_arrays_ += job->config.lanes;
     --running_;
     admit_locked(failures);
+    --pending_tasks_;  // last: nothing after this section touches *this
     cv_.notify_all();  // under the lock: wait_all may destroy the pool next
   }
+  // finish_failed is static and touches only the failure records'
+  // runners (kept alive by their shared_ptrs), never the pool.
   finish_failed(failures);
 }
 
 void ArrayPool::wait_all() {
-  std::vector<std::thread> to_join;
-  {
-    std::unique_lock lock(mutex_);
-    cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
-    for (const auto& [id, job] : jobs_) {
-      if (job->thread.joinable()) to_join.push_back(std::move(job->thread));
-    }
-  }
-  for (std::thread& t : to_join) t.join();
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [this] {
+    return queue_.empty() && running_ == 0 && pending_tasks_ == 0;
+  });
 }
 
 std::size_t ArrayPool::reap_finished() {
-  std::vector<std::unique_ptr<Job>> reaped;
-  {
-    std::lock_guard lock(mutex_);
-    for (auto it = jobs_.begin(); it != jobs_.end();) {
-      if (it->second->finished) {
-        reaped.push_back(std::move(it->second));
-        it = jobs_.erase(it);
-      } else {
-        ++it;
-      }
+  std::lock_guard lock(mutex_);
+  std::size_t reaped = 0;
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    // A `finished` job's run_job task is past every access to the
+    // record (finished flips in its final critical section), so the
+    // record can be freed under the same mutex.
+    if (it->second->finished) {
+      it = jobs_.erase(it);
+      ++reaped;
+    } else {
+      ++it;
     }
   }
-  // Joining happens outside the lock; a `finished` job's thread is past
-  // its final critical section and exits promptly.
-  for (const auto& job : reaped) {
-    if (job->thread.joinable()) job->thread.join();
-  }
-  return reaped.size();
+  return reaped;
 }
 
 std::size_t ArrayPool::jobs_in_flight() const {

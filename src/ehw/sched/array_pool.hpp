@@ -17,12 +17,15 @@
 // results BIT-IDENTICAL to standalone runs regardless of host
 // interleaving: no simulated state is shared between jobs.
 //
-// What IS shared: the host worker threads (each job body runs on its own
-// thread; pixel kernels may additionally fan out over PoolConfig
-// .host_pool), and the compiled-array cache — keyed by configuration
-// fingerprint (genotype + defect map), so identical candidates across
-// missions and generations never recompile. Cache warmth affects host
-// speed only, never simulated results.
+// What IS shared: the host execution core (job bodies run as tasks on a
+// work-stealing WorkStealPool bounded by hardware concurrency — no
+// thread is created or destroyed per job; pixel kernels may additionally
+// fan out over PoolConfig.host_pool), the compiled-array cache — keyed
+// by configuration fingerprint (genotype + defect map), so identical
+// candidates across missions and generations never recompile — and the
+// fitness memo, which skips frame streaming entirely for (candidate,
+// frame-set) pairs any mission already measured. Cache and memo warmth
+// affect host speed only, never simulated results.
 //
 // Unit of work: the PR-2 wave protocol. Drivers hold a
 // platform::WaveExecutor; the pool's MissionContext implements it by
@@ -45,10 +48,11 @@
 #include <mutex>
 #include <stdexcept>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "ehw/common/thread_pool.hpp"
+#include "ehw/common/work_steal.hpp"
+#include "ehw/evo/fitness_memo.hpp"
 #include "ehw/platform/cascade_evolution.hpp"
 #include "ehw/platform/evolution_driver.hpp"
 #include "ehw/platform/mission.hpp"
@@ -67,6 +71,10 @@ struct PoolConfig {
   std::size_t line_width = 128;
   /// Compiled-array cache entries shared by every mission (0 disables).
   std::size_t cache_capacity = 512;
+  /// Fitness-memo entries shared by every mission (0 disables): identical
+  /// candidates re-encountered on the same frame set — within or across
+  /// missions — skip frame streaming entirely (see evo::FitnessMemo).
+  std::size_t fitness_memo_capacity = 1 << 16;
   /// Host thread pool handed to each mission's platform for intra-wave
   /// candidate fan-out. nullptr keeps candidate evaluation
   /// single-threaded inside each mission — mission-level concurrency
@@ -76,6 +84,11 @@ struct PoolConfig {
   ThreadPool* host_pool = nullptr;
   /// Cap on simultaneously running jobs; 0 = bounded by arrays only.
   std::size_t max_concurrent_jobs = 0;
+  /// Execution core job bodies run on; nullptr = the process-shared
+  /// WorkStealPool::shared(). Both the scheduler CLI and the service
+  /// daemon hand their pools the same instance, so a host never runs
+  /// more job threads than cores no matter how many pools front it.
+  WorkStealPool* workers = nullptr;
 };
 
 struct JobConfig {
@@ -220,14 +233,20 @@ class MissionContext final : public platform::WaveExecutor {
   [[nodiscard]] std::uint64_t cache_misses() const noexcept {
     return misses_;
   }
+  [[nodiscard]] std::uint64_t memo_hits() const noexcept {
+    return wave_memo_.stats.hits;
+  }
+  [[nodiscard]] std::uint64_t memo_misses() const noexcept {
+    return wave_memo_.stats.misses;
+  }
 
  private:
   friend class ArrayPool;
   MissionContext(JobConfig job, const PoolConfig& pool_config,
-                 CompiledArrayCache* cache, MissionRunner* runner);
+                 CompiledArrayCache* cache, evo::FitnessMemo* memo,
+                 MissionRunner* runner);
 
-  [[nodiscard]] std::shared_ptr<const pe::CompiledArray> compile_cached(
-      std::size_t lane);
+  [[nodiscard]] platform::CompiledLane compile_cached(std::size_t lane);
 
   JobConfig job_;
   std::unique_ptr<platform::EvolvablePlatform> platform_;
@@ -236,6 +255,9 @@ class MissionContext final : public platform::WaveExecutor {
   MissionRunner* runner_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  /// Shared memo + accumulated per-mission hit/miss tally; the frame-set
+  /// id is refreshed per wave (cascade stages change frames mid-mission).
+  platform::WaveMemo wave_memo_;
 };
 
 class ArrayPool {
@@ -262,16 +284,21 @@ class ArrayPool {
   /// Blocks until every job submitted so far has finished.
   void wait_all();
 
-  /// Releases the pool-side records of FINISHED jobs — thread handles,
-  /// job-body closures and the pool's reference to runner/outcome —
-  /// so a long-running service that submits forever stays bounded
-  /// (callers keep results alive through their own MissionRunner
-  /// handles). Reaped jobs no longer appear in simulated_schedule().
-  /// Returns the number of records released.
+  /// Releases the pool-side records of FINISHED jobs — job-body closures
+  /// and the pool's reference to runner/outcome — so a long-running
+  /// service that submits forever stays bounded (callers keep results
+  /// alive through their own MissionRunner handles). Reaped jobs no
+  /// longer appear in simulated_schedule(). Returns the number of
+  /// records released.
   std::size_t reap_finished();
 
   /// Shared compiled-array cache traffic (all missions).
   [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
+
+  /// Shared fitness-memo traffic (all missions).
+  [[nodiscard]] evo::FitnessMemoStats memo_stats() const {
+    return memo_.stats();
+  }
 
   /// Currently running + queued job counts (snapshot).
   [[nodiscard]] std::size_t jobs_in_flight() const;
@@ -335,19 +362,19 @@ class ArrayPool {
     JobBody body;
     std::shared_ptr<MissionRunner> runner;
     std::uint64_t id = 0;
-    std::thread thread;          // set at admission; joined by wait_all
     bool finished = false;       // guarded by pool mutex
     sim::SimTime sim_duration = 0;
   };
-  /// A job whose thread could not start: its finish() must be fired
-  /// AFTER mutex_ is released (observers may lock arbitrary caller
-  /// state; never invoke them under the pool lock).
+  /// A job whose body could not be dispatched to the execution core:
+  /// its finish() must be fired AFTER mutex_ is released (observers may
+  /// lock arbitrary caller state; never invoke them under the pool
+  /// lock).
   struct FailedStart {
     std::shared_ptr<MissionRunner> runner;
     std::string error;
   };
 
-  /// Admits queued jobs while capacity allows, appending thread-start
+  /// Admits queued jobs while capacity allows, appending dispatch
   /// failures for the caller to finish outside the lock. Caller holds
   /// mutex_.
   void admit_locked(std::vector<FailedStart>& failures);
@@ -355,7 +382,9 @@ class ArrayPool {
   void run_job(Job* job);
 
   PoolConfig config_;
+  WorkStealPool* workers_;  // resolved: config_.workers or the shared core
   CompiledArrayCache cache_;
+  evo::FitnessMemo memo_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   JobQueue queue_;
@@ -365,6 +394,11 @@ class ArrayPool {
   std::uint64_t submitted_ = 0;  // survives reaping, unlike jobs_.size()
   std::size_t free_arrays_;
   std::size_t running_ = 0;
+  /// Job tasks handed to the execution core whose run_job has not yet
+  /// reached its final critical section; wait_all (and therefore the
+  /// destructor) waits for zero, so no worker can still be inside a
+  /// run_job that references this pool when it is torn down.
+  std::size_t pending_tasks_ = 0;
   // Terminal-status tallies (guarded by mutex_).
   std::uint64_t done_ = 0;
   std::uint64_t failed_ = 0;

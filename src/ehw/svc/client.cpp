@@ -76,6 +76,44 @@ Client::Submitted Client::submit(const sched::MissionSpec& spec) {
   return submitted;
 }
 
+Client::BatchSubmitted Client::submit_batch(
+    const std::vector<sched::MissionSpec>& specs) {
+  Json payload = Json::array();
+  for (const sched::MissionSpec& spec : specs) {
+    payload.push_back(spec_to_json(spec));
+  }
+  Json request = Json::object();
+  request.set("op", "submit_batch");
+  request.set("specs", std::move(payload));
+  const Json response = roundtrip(request);
+  BatchSubmitted submitted;
+  submitted.ok = response.get_bool("ok", false);
+  if (!submitted.ok) {
+    submitted.error = response.get_string("error", "unknown error");
+    submitted.code = response.get_string("code", "");
+    return submitted;
+  }
+  const Json* jobs = response.get("jobs");
+  if (jobs != nullptr && jobs->is_array()) {
+    submitted.jobs.reserve(jobs->as_array().size());
+    for (const Json& entry : jobs->as_array()) {
+      submitted.jobs.push_back(
+          static_cast<std::uint64_t>(entry.get_number("job", 0)));
+    }
+  }
+  // Callers index jobs[i] per spec; never hand them a short array from a
+  // malformed ok-response.
+  if (submitted.jobs.size() != specs.size()) {
+    submitted.ok = false;
+    submitted.error = "server acknowledged " +
+                      std::to_string(submitted.jobs.size()) + " of " +
+                      std::to_string(specs.size()) + " batch specs";
+    submitted.code = "bad_response";
+    submitted.jobs.clear();
+  }
+  return submitted;
+}
+
 Json Client::job_op(const char* op, std::uint64_t job) {
   Json request = Json::object();
   request.set("op", op);

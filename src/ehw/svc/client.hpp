@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "ehw/svc/protocol.hpp"
 #include "ehw/svc/socket.hpp"
@@ -39,6 +40,19 @@ class Client {
     std::string code;   // machine tag: queue_full, draining, bad_spec...
   };
   [[nodiscard]] Submitted submit(const sched::MissionSpec& spec);
+
+  /// One submit_batch round trip: every spec accepted (job ids in spec
+  /// order) or the whole batch rejected — admission is atomic
+  /// server-side. Swarm clients submit a whole manifest in one request
+  /// instead of one round trip per mission.
+  struct BatchSubmitted {
+    bool ok = false;
+    std::vector<std::uint64_t> jobs;  // spec order; empty when !ok
+    std::string error;
+    std::string code;
+  };
+  [[nodiscard]] BatchSubmitted submit_batch(
+      const std::vector<sched::MissionSpec>& specs);
 
   /// Raw request/response round trip (adds nothing to `request`).
   [[nodiscard]] Json request(const Json& request);

@@ -71,9 +71,13 @@ Json spec_to_json(const sched::MissionSpec& spec) {
   return payload;
 }
 
-std::string spec_from_json(const Json& payload, sched::MissionSpec& spec) {
+namespace {
+
+/// Applies one payload object's keys onto `spec` (no final validation);
+/// `saw_kind` accumulates across calls so defaults may supply the kind.
+std::string apply_spec_json(const Json& payload, sched::MissionSpec& spec,
+                            bool& saw_kind) {
   if (!payload.is_object()) return "spec must be a JSON object";
-  bool saw_kind = false;
   for (const auto& [key, value] : payload.as_object()) {
     if (key == "kind") {
       if (!value.is_string() || !sched::parse_kind(value.as_string(),
@@ -95,8 +99,59 @@ std::string spec_from_json(const Json& payload, sched::MissionSpec& spec) {
     const std::string error = sched::apply_spec_option(spec, key, text);
     if (!error.empty()) return error;
   }
+  return {};
+}
+
+}  // namespace
+
+std::string spec_from_json(const Json& payload, sched::MissionSpec& spec) {
+  bool saw_kind = false;
+  const std::string error = apply_spec_json(payload, spec, saw_kind);
+  if (!error.empty()) return error;
   if (!saw_kind) return "spec is missing 'kind'";
   return sched::validate_spec(spec);
+}
+
+std::string batch_specs_from_json(const Json& request,
+                                  std::vector<sched::MissionSpec>& specs) {
+  const Json* specs_field = request.get("specs");
+  if (specs_field == nullptr || !specs_field->is_array()) {
+    return "submit_batch needs a 'specs' array";
+  }
+  if (specs_field->as_array().empty()) return "'specs' must not be empty";
+
+  // The shared half of every spec (the common frame: kind, size,
+  // scene-seed, noise...), applied before each spec's own options.
+  sched::MissionSpec base;
+  bool base_kind = false;
+  if (const Json* defaults = request.get("defaults")) {
+    const std::string error = apply_spec_json(*defaults, base, base_kind);
+    if (!error.empty()) return "defaults: " + error;
+  }
+
+  specs.clear();
+  specs.reserve(specs_field->as_array().size());
+  std::size_t index = 0;
+  for (const Json& payload : specs_field->as_array()) {
+    sched::MissionSpec spec = base;
+    bool saw_kind = base_kind;
+    const auto fail = [&index](const std::string& what) {
+      return "spec " + std::to_string(index) + ": " + what;
+    };
+    std::string error = apply_spec_json(payload, spec, saw_kind);
+    if (!error.empty()) return fail(error);
+    if (!saw_kind) return fail("missing 'kind'");
+    error = sched::validate_spec(spec);
+    if (!error.empty()) return fail(error);
+    for (const sched::MissionSpec& earlier : specs) {
+      if (earlier.name == spec.name) {
+        return fail("duplicate mission name '" + spec.name + "'");
+      }
+    }
+    specs.push_back(std::move(spec));
+    ++index;
+  }
+  return {};
 }
 
 Json outcome_to_json(sched::MissionKind kind, sched::JobStatus status,
@@ -106,6 +161,8 @@ Json outcome_to_json(sched::MissionKind kind, sched::JobStatus status,
   if (!outcome.error.empty()) result.set("error", outcome.error);
   result.set("cache_hits", outcome.stats.cache_hits);
   result.set("cache_misses", outcome.stats.cache_misses);
+  result.set("memo_hits", outcome.stats.memo_hits);
+  result.set("memo_misses", outcome.stats.memo_misses);
   if (status != sched::JobStatus::kDone) return result;
 
   result.set("sim_ns",

@@ -15,9 +15,9 @@
 // was requested), "bad_spec", "unknown_job", "bad_request",
 // "unsupported_protocol".
 //
-// Ops: hello, submit, status, result (blocks until the job finishes),
-// cancel, list, stats, watch (streams {"event":"progress"|"done"} frames
-// after its ok-response), drain.
+// Ops: hello, submit, submit_batch, status, result (blocks until the job
+// finishes), cancel, list, stats, watch (streams
+// {"event":"progress"|"done"} frames after its ok-response), drain.
 //
 // Submit payloads reuse the batch-manifest vocabulary: {"op":"submit",
 // "spec":{"kind":"denoise","name":"dn0","lanes":2,"generations":300,...}}
@@ -28,6 +28,16 @@
 // strings: genotype hashes as 16-digit hex, simulated durations as
 // decimal nanoseconds ("sim_ns"), seeds as decimal strings in submit
 // payloads (JSON numbers round at 2^53).
+//
+// submit_batch carries MANY mission specs in one round trip so swarm
+// clients amortize connection latency: {"op":"submit_batch","specs":
+// [{...},...],"defaults":{...}} — "defaults" (optional) is applied to
+// every spec first (the shared frame: kind, size, scene-seed, noise...),
+// each spec then overrides per-mission options and must end up with a
+// kind and a batch-unique name. Admission is atomic: either every spec
+// is accepted ({"ok":true,"jobs":[{"job":id,"name":...},...]} in spec
+// order) or the whole batch is rejected (one bad spec names its index;
+// "queue_full" when the batch doesn't fit the inflight cap).
 
 #include <string>
 
@@ -53,6 +63,12 @@ inline constexpr const char* kServiceName = "mpa-ehw-mission-service";
 /// an error message (unknown key, bad value, failed validation).
 [[nodiscard]] std::string spec_from_json(const Json& payload,
                                          sched::MissionSpec& spec);
+
+/// Builds the spec list of a submit_batch request ("specs" array +
+/// optional "defaults" object, batch-unique names enforced); returns ""
+/// on success or an error message naming the offending spec index.
+[[nodiscard]] std::string batch_specs_from_json(
+    const Json& request, std::vector<sched::MissionSpec>& specs);
 
 /// Result payload for a finished job. Carries status + error always;
 /// fitness/genotype-hash/duration fields only when the job completed

@@ -185,6 +185,7 @@ std::optional<Json> Server::handle_request(Session& session,
                       "bad_request");
   }
   if (op == "submit") return handle_submit(request);
+  if (op == "submit_batch") return handle_submit_batch(request);
   if (op == "status") return handle_status(request);
   if (op == "result") return handle_result(request);
   if (op == "cancel") return handle_cancel(request);
@@ -232,19 +233,27 @@ Json Server::handle_submit(const Json& request) {
     ++submitted_;
     record->id = next_job_id_++;
   }
+  launch_job(record);
+  Json response = make_ok();
+  response.set("job", record->id);
+  response.set("name", spec.name);
+  return response;
+}
+
+void Server::launch_job(const std::shared_ptr<JobRecord>& record) {
   // Pool submission happens OUTSIDE state_mutex_: admit_locked's
-  // thread-exhaustion path synchronously fires a queued job's kFinished
+  // dispatch-failure path synchronously fires a queued job's kFinished
   // observer, which locks state_mutex_ on this thread.
-  record->runner =
-      pool_->submit(sched::make_job_config(spec), sched::make_job_body(spec));
+  record->runner = pool_->submit(sched::make_job_config(record->spec),
+                                 sched::make_job_body(record->spec));
   {
     std::lock_guard lock(state_mutex_);
     jobs_.emplace(record->id, record);
     prune_finished_locked();
   }
-  // The pool's own record of finished jobs (thread handle, body,
-  // outcome reference) is redundant once the service holds the runner —
-  // reap it so daemon memory stays bounded over long uptimes.
+  // The pool's own record of finished jobs (body closure, outcome
+  // reference) is redundant once the service holds the runner — reap it
+  // so daemon memory stays bounded over long uptimes.
   static_cast<void>(pool_->reap_finished());
   // Also outside state_mutex_: an already-finished job fires the
   // callback immediately on THIS thread.
@@ -256,9 +265,63 @@ Json Server::handle_submit(const Json& request) {
     }
     state_cv_.notify_all();
   });
+}
+
+Json Server::handle_submit_batch(const Json& request) {
+  std::vector<sched::MissionSpec> specs;
+  const std::string parse_error = batch_specs_from_json(request, specs);
+  if (!parse_error.empty()) return make_error(parse_error, "bad_spec");
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (specs[i].lanes > pool_->num_arrays()) {
+      return make_error("spec " + std::to_string(i) + ": lanes=" +
+                            std::to_string(specs[i].lanes) +
+                            " exceeds the pool's " +
+                            std::to_string(pool_->num_arrays()) + " arrays",
+                        "bad_spec");
+    }
+  }
+
+  // Atomic admission: the batch reserves all its inflight slots or none,
+  // so a swarm client never has to unpick a half-accepted manifest.
+  std::vector<std::shared_ptr<JobRecord>> records;
+  records.reserve(specs.size());
+  {
+    std::lock_guard lock(state_mutex_);
+    if (draining_.load(std::memory_order_relaxed)) {
+      rejected_ += specs.size();
+      return make_error("service is draining; not accepting new missions",
+                        "draining");
+    }
+    if (inflight_ + specs.size() > max_inflight_) {
+      rejected_ += specs.size();
+      Json response = make_error(
+          "rejected: batch of " + std::to_string(specs.size()) +
+              " does not fit (" + std::to_string(inflight_) +
+              " missions in flight, cap " + std::to_string(max_inflight_) +
+              ")",
+          "queue_full");
+      response.set("rejected", "queue_full");
+      return response;
+    }
+    inflight_ += specs.size();
+    submitted_ += specs.size();
+    for (sched::MissionSpec& spec : specs) {
+      auto record = std::make_shared<JobRecord>();
+      record->spec = std::move(spec);
+      record->id = next_job_id_++;
+      records.push_back(std::move(record));
+    }
+  }
+  Json jobs = Json::array();
+  for (const std::shared_ptr<JobRecord>& record : records) {
+    launch_job(record);
+    Json entry = Json::object();
+    entry.set("job", record->id);
+    entry.set("name", record->spec.name);
+    jobs.push_back(std::move(entry));
+  }
   Json response = make_ok();
-  response.set("job", record->id);
-  response.set("name", spec.name);
+  response.set("jobs", std::move(jobs));
   return response;
 }
 
@@ -396,6 +459,13 @@ Json Server::handle_stats() {
   cache.set("evictions", cache_stats.evictions);
   cache.set("hit_rate", cache_stats.hit_rate());
 
+  const evo::FitnessMemoStats memo_stats = pool_->memo_stats();
+  Json memo = Json::object();
+  memo.set("hits", memo_stats.hits);
+  memo.set("misses", memo_stats.misses);
+  memo.set("evictions", memo_stats.evictions);
+  memo.set("hit_rate", memo_stats.hit_rate());
+
   Json svc = Json::object();
   svc.set("protocol", kProtocolVersion);
   svc.set("version", kVersion);
@@ -410,6 +480,7 @@ Json Server::handle_stats() {
   Json response = make_ok();
   response.set("pool", std::move(pool));
   response.set("cache", std::move(cache));
+  response.set("memo", std::move(memo));
   response.set("service", std::move(svc));
   return response;
 }

@@ -125,6 +125,11 @@ class Server {
   [[nodiscard]] std::optional<Json> handle_request(Session& session,
                                                    const Json& request);
   [[nodiscard]] Json handle_submit(const Json& request);
+  [[nodiscard]] Json handle_submit_batch(const Json& request);
+  /// Registers one admitted job: pool submission, record registry,
+  /// inflight bookkeeping subscription. Caller already reserved the
+  /// inflight slot. Runs OUTSIDE state_mutex_ (see handle_submit).
+  void launch_job(const std::shared_ptr<JobRecord>& record);
   [[nodiscard]] Json handle_status(const Json& request);
   [[nodiscard]] Json handle_result(const Json& request);
   [[nodiscard]] Json handle_cancel(const Json& request);

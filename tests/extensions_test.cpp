@@ -20,9 +20,11 @@ TEST(Morphology, ErodeDilateOrdering) {
   const img::Image src = img::make_scene(24, 24, 1);
   const img::Image lo = img::erode3x3(src);
   const img::Image hi = img::dilate3x3(src);
-  for (std::size_t i = 0; i < src.pixel_count(); ++i) {
-    EXPECT_LE(lo.data()[i], src.data()[i]);
-    EXPECT_GE(hi.data()[i], src.data()[i]);
+  for (std::size_t y = 0; y < src.height(); ++y) {
+    for (std::size_t x = 0; x < src.width(); ++x) {
+      EXPECT_LE(lo.at(x, y), src.at(x, y));
+      EXPECT_GE(hi.at(x, y), src.at(x, y));
+    }
   }
 }
 
@@ -51,8 +53,8 @@ TEST(Morphology, ClosingRemovesDarkImpulse) {
 TEST(Morphology, GradientZeroOnFlatPositiveOnEdge) {
   const img::Image flat = img::make_constant(8, 8, 90);
   const img::Image g1 = img::morph_gradient3x3(flat);
-  for (std::size_t i = 0; i < g1.pixel_count(); ++i) {
-    EXPECT_EQ(g1.data()[i], 0);
+  for (std::size_t y = 0; y < g1.height(); ++y) {
+    for (std::size_t x = 0; x < g1.width(); ++x) EXPECT_EQ(g1.at(x, y), 0);
   }
   const img::Image board = img::make_checkerboard(8, 8, 4, 0, 255);
   const img::Image g2 = img::morph_gradient3x3(board);
@@ -63,13 +65,17 @@ TEST(Morphology, DualityErodeDilate) {
   // dilate(x) == 255 - erode(255 - x): the classic duality.
   const img::Image src = img::make_scene(16, 16, 2);
   img::Image inverted(src.width(), src.height());
-  for (std::size_t i = 0; i < src.pixel_count(); ++i) {
-    inverted.data()[i] = static_cast<Pixel>(255 - src.data()[i]);
+  for (std::size_t y = 0; y < src.height(); ++y) {
+    for (std::size_t x = 0; x < src.width(); ++x) {
+      inverted.set(x, y, static_cast<Pixel>(255 - src.at(x, y)));
+    }
   }
   const img::Image lhs = img::dilate3x3(src);
   const img::Image rhs_inner = img::erode3x3(inverted);
-  for (std::size_t i = 0; i < src.pixel_count(); ++i) {
-    EXPECT_EQ(lhs.data()[i], 255 - rhs_inner.data()[i]);
+  for (std::size_t y = 0; y < src.height(); ++y) {
+    for (std::size_t x = 0; x < src.width(); ++x) {
+      EXPECT_EQ(lhs.at(x, y), 255 - rhs_inner.at(x, y));
+    }
   }
 }
 

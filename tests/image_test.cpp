@@ -95,9 +95,11 @@ TEST(Synthetic, SceneIsDeterministicInSeed) {
 TEST(Synthetic, SceneHasDynamicRange) {
   const Image s = make_scene(64, 64, 3);
   Pixel lo = 255, hi = 0;
-  for (std::size_t i = 0; i < s.pixel_count(); ++i) {
-    lo = std::min(lo, s.data()[i]);
-    hi = std::max(hi, s.data()[i]);
+  for (std::size_t y = 0; y < s.height(); ++y) {
+    for (std::size_t x = 0; x < s.width(); ++x) {
+      lo = std::min(lo, s.at(x, y));
+      hi = std::max(hi, s.at(x, y));
+    }
   }
   EXPECT_GT(hi - lo, 80);  // edges + blobs guarantee real contrast
 }
@@ -130,9 +132,11 @@ TEST(Noise, SaltPepperDensity) {
   const double frac = differing_fraction(clean, noisy);
   EXPECT_NEAR(frac, 0.3, 0.03);
   // Corrupted pixels are exactly 0 or 255.
-  for (std::size_t i = 0; i < noisy.pixel_count(); ++i) {
-    const Pixel p = noisy.data()[i];
-    EXPECT_TRUE(p == 128 || p == 0 || p == 255);
+  for (std::size_t y = 0; y < noisy.height(); ++y) {
+    for (std::size_t x = 0; x < noisy.width(); ++x) {
+      const Pixel p = noisy.at(x, y);
+      EXPECT_TRUE(p == 128 || p == 0 || p == 255);
+    }
   }
 }
 
@@ -185,7 +189,9 @@ TEST(Filters, GaussianPreservesConstant) {
 TEST(Filters, SobelZeroOnFlat) {
   const Image im = make_constant(8, 8, 91);
   const Image e = sobel_magnitude(im);
-  for (std::size_t i = 0; i < e.pixel_count(); ++i) EXPECT_EQ(e.data()[i], 0);
+  for (std::size_t y = 0; y < e.height(); ++y) {
+    for (std::size_t x = 0; x < e.width(); ++x) EXPECT_EQ(e.at(x, y), 0);
+  }
 }
 
 TEST(Filters, SobelRespondsToEdge) {

@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <sstream>
 #include <thread>
 
@@ -275,6 +276,87 @@ TEST(ArrayPool, CacheHitRateAboveZeroOnRepeatedGenotypeWorkload) {
   EXPECT_GT(pool.cache_stats().hits, 0u);
   // And the warm run's mission results are still bit-identical.
   expect_same_outcome(first->result(), second->result());
+}
+
+TEST(ArrayPool, FitnessMemoWarmReplayHitsAndStaysBitIdentical) {
+  MissionSpec spec;
+  spec.kind = MissionKind::kDenoise;
+  spec.name = "memo";
+  spec.lanes = 2;
+  spec.size = 24;
+  spec.generations = 20;
+  spec.seed = 33;
+
+  // Memo-enabled pool, identical mission twice (serialized so the warm
+  // replay is deterministic).
+  PoolConfig with_memo;
+  with_memo.num_arrays = 2;
+  with_memo.max_concurrent_jobs = 1;
+  ArrayPool pool(with_memo);
+  const auto cold = pool.submit(make_job_config(spec), make_job_body(spec));
+  const auto warm = pool.submit(make_job_config(spec), make_job_body(spec));
+  pool.wait_all();
+  ASSERT_EQ(cold->status(), JobStatus::kDone);
+  ASSERT_EQ(warm->status(), JobStatus::kDone);
+
+  // Same missions with the memo disabled.
+  PoolConfig no_memo = with_memo;
+  no_memo.fitness_memo_capacity = 0;
+  ArrayPool off_pool(no_memo);
+  const auto off_cold =
+      off_pool.submit(make_job_config(spec), make_job_body(spec));
+  const auto off_warm =
+      off_pool.submit(make_job_config(spec), make_job_body(spec));
+  off_pool.wait_all();
+
+  // Bit-identity: memo-on == memo-off == standalone, cold and warm.
+  expect_same_outcome(cold->result(), off_cold->result());
+  expect_same_outcome(warm->result(), off_warm->result());
+  expect_same_outcome(warm->result(), run_spec_standalone(spec));
+
+  // The warm replay re-encounters every candidate on the same frames.
+  const platform::MissionStats& warm_stats = warm->result().stats;
+  EXPECT_GT(warm_stats.memo_hits, 0u);
+  EXPECT_GT(warm_stats.memo_hit_rate(), 0.5);
+  EXPECT_GT(pool.memo_stats().hits, 0u);
+  // Disabled memo never counts traffic.
+  EXPECT_EQ(off_warm->result().stats.memo_hits, 0u);
+  EXPECT_EQ(off_pool.memo_stats().hits, 0u);
+}
+
+TEST(ArrayPool, ConcurrentIdenticalMissionsShareMemoBitIdentically) {
+  // Several copies of one mission racing on a shared memo: every result
+  // must equal the memo-off standalone run no matter which mission
+  // populated which entry first.
+  MissionSpec spec;
+  spec.kind = MissionKind::kEdge;
+  spec.name = "race";
+  spec.lanes = 1;
+  spec.size = 16;
+  spec.generations = 15;
+  spec.seed = 77;
+  const JobOutcome reference = run_spec_standalone(spec);
+
+  PoolConfig config;
+  config.num_arrays = 4;
+  ArrayPool pool(config);
+  std::vector<std::shared_ptr<MissionRunner>> runners;
+  for (int j = 0; j < 4; ++j) {
+    // snprintf: gcc 12 -Wrestrict false positive on const char* + string&&.
+    char name[8];
+    std::snprintf(name, sizeof name, "race%d", j);
+    spec.name = name;
+    runners.push_back(pool.submit(make_job_config(spec),
+                                  make_job_body(spec)));
+  }
+  pool.wait_all();
+  for (const auto& runner : runners) {
+    ASSERT_EQ(runner->status(), JobStatus::kDone);
+    expect_same_outcome(runner->result(), reference);
+  }
+  // Identical candidate streams on identical frames: the memo collapses
+  // the duplicate evaluations.
+  EXPECT_GT(pool.memo_stats().hits, 0u);
 }
 
 TEST(ArrayPool, CancelStopsMissionAtWaveBoundary) {

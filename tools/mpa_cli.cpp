@@ -79,7 +79,8 @@ constexpr const char* kServeUsage =
     "[--max-jobs N] [--max-inflight N]";
 constexpr const char* kSubmitUsage =
     "mpa submit --port N [--address A] <kind> <name> [key=value ...] "
-    "[--detach] [--quiet]";
+    "[--detach] [--quiet] | mpa submit --port N --manifest jobs.txt "
+    "[--detach]";
 constexpr const char* kPsUsage = "mpa ps --port N [--address A]";
 constexpr const char* kCancelUsage =
     "mpa cancel --port N [--address A] --job ID|NAME";
@@ -415,7 +416,53 @@ int cmd_serve(const Cli& cli) {
   return pool.failed == 0 ? 0 : 1;
 }
 
+/// mpa submit --manifest: the whole job file goes up in ONE submit_batch
+/// round trip (atomic admission), then results are collected per job.
+int cmd_submit_manifest(const Cli& cli, const std::string& manifest_path) {
+  std::ifstream manifest(manifest_path);
+  if (!manifest) fail("cannot open manifest " + manifest_path, kSubmitUsage);
+  const std::vector<sched::MissionSpec> specs =
+      sched::parse_manifest(manifest);
+  if (specs.empty()) fail("manifest has no jobs: " + manifest_path);
+  const bool detach = bare_flag(cli, "detach", kSubmitUsage);
+
+  svc::Client client = make_client(cli, kSubmitUsage);
+  const svc::Client::BatchSubmitted submitted = client.submit_batch(specs);
+  if (!submitted.ok) {
+    std::fprintf(stderr, "mpa submit: batch rejected: %s\n",
+                 submitted.error.c_str());
+    return 1;
+  }
+  std::printf("submitted %zu jobs in one batch to service %s\n",
+              submitted.jobs.size(), client.server_version().c_str());
+  if (detach) return 0;
+
+  Table table({"job", "name", "kind", "status", "fitness", "sim s",
+               "memo hit%"});
+  bool all_done = true;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const Json result = client.result(submitted.jobs[i]);
+    const std::string status = result.get_string("status", "?");
+    all_done = all_done && status == "done";
+    const double memo_total = result.get_number("memo_hits", 0) +
+                              result.get_number("memo_misses", 0);
+    table.add_row(
+        {Table::integer(submitted.jobs[i]), specs[i].name,
+         sched::kind_name(specs[i].kind), status,
+         Table::integer(
+             static_cast<std::uint64_t>(result.get_number("best_fitness", 0))),
+         Table::num(result.get_number("sim_s", 0.0), 3),
+         Table::num(100.0 * result.get_number("memo_hits", 0) /
+                        std::max(1.0, memo_total),
+                    1)});
+  }
+  table.print(std::cout);
+  return all_done ? 0 : 1;
+}
+
 int cmd_submit(const Cli& cli) {
+  const std::string manifest_path = cli.get("manifest", "");
+  if (!manifest_path.empty()) return cmd_submit_manifest(cli, manifest_path);
   // The Cli treats the subcommand word as argv[0], so positionals start
   // at the mission kind: mpa submit --port N <kind> <name> [key=value...]
   const std::vector<std::string>& args = cli.positional();
