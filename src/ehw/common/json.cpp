@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 
 namespace ehw {
 namespace {
@@ -426,6 +427,74 @@ Json& Json::set(std::string key, Json value) {
 Json& Json::push_back(Json value) {
   as_array().push_back(std::move(value));
   return *this;
+}
+
+Json json_u64(std::uint64_t value) { return Json(std::to_string(value)); }
+
+Json json_i64(std::int64_t value) { return Json(std::to_string(value)); }
+
+namespace {
+
+/// Strict decimal parse: every character consumed, no sign/whitespace,
+/// overflow rejected. Keeps journal/checkpoint parsing unambiguous.
+bool parse_u64_digits(const std::string& text, std::uint64_t& out) {
+  if (text.empty() || text.size() > 20) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+      return false;
+    }
+    value = value * 10 + digit;
+  }
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+bool json_read_u64(const Json* field, std::uint64_t& out) {
+  if (field == nullptr) return false;
+  if (field->is_string()) return parse_u64_digits(field->as_string(), out);
+  if (field->is_number()) {
+    const double n = field->as_number();
+    if (n < 0 || !json_number_is_exact_int(n)) return false;
+    out = static_cast<std::uint64_t>(n);
+    return true;
+  }
+  return false;
+}
+
+bool json_read_i64(const Json* field, std::int64_t& out) {
+  if (field == nullptr) return false;
+  if (field->is_string()) {
+    const std::string& text = field->as_string();
+    const bool negative = !text.empty() && text.front() == '-';
+    std::uint64_t magnitude = 0;
+    if (!parse_u64_digits(negative ? text.substr(1) : text, magnitude)) {
+      return false;
+    }
+    const auto limit =
+        static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max());
+    if (negative) {
+      if (magnitude > limit + 1) return false;
+      out = magnitude == limit + 1
+                ? std::numeric_limits<std::int64_t>::min()
+                : -static_cast<std::int64_t>(magnitude);
+    } else {
+      if (magnitude > limit) return false;
+      out = static_cast<std::int64_t>(magnitude);
+    }
+    return true;
+  }
+  if (field->is_number()) {
+    const double n = field->as_number();
+    if (!json_number_is_exact_int(n)) return false;
+    out = static_cast<std::int64_t>(n);
+    return true;
+  }
+  return false;
 }
 
 }  // namespace ehw

@@ -135,4 +135,18 @@ class Json {
 /// representable without loss (|n| < 2^53).
 [[nodiscard]] bool json_number_is_exact_int(double n) noexcept;
 
+/// 64-bit-exact integer transport: JSON numbers round at 2^53, so fields
+/// that must survive a round trip bit-exactly (hashes, RNG words, sim
+/// timestamps, fitness values) travel as decimal strings. These helpers
+/// are the one codec the checkpoint files, the mission journal and the
+/// service protocol share.
+[[nodiscard]] Json json_u64(std::uint64_t value);
+[[nodiscard]] Json json_i64(std::int64_t value);
+
+/// Parses a u64 transported as a decimal string (also accepts an exact
+/// non-negative integer number for hand-written inputs). Returns false —
+/// leaving `out` untouched — on nullptr, wrong type, or overflow.
+[[nodiscard]] bool json_read_u64(const Json* field, std::uint64_t& out);
+[[nodiscard]] bool json_read_i64(const Json* field, std::int64_t& out);
+
 }  // namespace ehw

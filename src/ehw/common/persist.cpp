@@ -1,0 +1,97 @@
+#include "ehw/common/persist.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace ehw {
+namespace {
+
+std::string errno_message(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+std::string ensure_directory(const std::string& path) {
+  if (path.empty()) return "ensure_directory: empty path";
+  // Walk the path component by component, creating as we go.
+  std::string prefix;
+  std::size_t pos = 0;
+  while (pos <= path.size()) {
+    const std::size_t slash = path.find('/', pos);
+    const std::size_t end = slash == std::string::npos ? path.size() : slash;
+    prefix.assign(path, 0, end);
+    pos = end + 1;
+    if (prefix.empty()) continue;  // leading '/' of an absolute path
+    if (::mkdir(prefix.c_str(), 0777) == 0 || errno == EEXIST) continue;
+    return errno_message("mkdir", prefix);
+  }
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    return "ensure_directory: not a directory: " + path;
+  }
+  return "";
+}
+
+std::string atomic_write_file(const std::string& path,
+                              const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0666);
+  if (fd < 0) return errno_message("open", tmp);
+  std::size_t written = 0;
+  while (written < contents.size()) {
+    const ::ssize_t n =
+        ::write(fd, contents.data() + written, contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string err = errno_message("write", tmp);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return err;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  // fsync before rename: rename is atomic but only durable if the data it
+  // points to has reached the disk first.
+  if (::fsync(fd) != 0) {
+    const std::string err = errno_message("fsync", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return err;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string err = errno_message("rename", path);
+    ::unlink(tmp.c_str());
+    return err;
+  }
+  return "";
+}
+
+std::string read_file_text(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "read " + path + ": cannot open";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return "read " + path + ": I/O error";
+  out = buffer.str();
+  return "";
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+bool remove_file(const std::string& path) {
+  return ::unlink(path.c_str()) == 0 || errno == ENOENT;
+}
+
+}  // namespace ehw

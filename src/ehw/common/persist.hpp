@@ -1,0 +1,34 @@
+#pragma once
+// Small durable-file primitives shared by the mission journal and the
+// checkpoint store: create-directory-on-demand, atomic whole-file
+// replacement (write temp + fsync + rename), and slurp-to-string.
+//
+// All functions report failure through a returned error string ("" on
+// success) instead of throwing: callers are daemons that must degrade
+// gracefully when the journal volume misbehaves.
+
+#include <string>
+
+namespace ehw {
+
+/// mkdir -p equivalent; succeeds if the directory already exists.
+[[nodiscard]] std::string ensure_directory(const std::string& path);
+
+/// Atomically replaces `path` with `contents`: writes `path.tmp`, fsyncs
+/// it, then rename(2)s over the target so readers never observe a torn
+/// file — the property checkpoint restore depends on after a kill -9.
+[[nodiscard]] std::string atomic_write_file(const std::string& path,
+                                            const std::string& contents);
+
+/// Reads a whole file into `out`. Missing file is an error (callers that
+/// treat absence as "no checkpoint yet" check with file_exists first).
+[[nodiscard]] std::string read_file_text(const std::string& path,
+                                         std::string& out);
+
+[[nodiscard]] bool file_exists(const std::string& path);
+
+/// Best-effort unlink; returns false only when the file existed but could
+/// not be removed.
+bool remove_file(const std::string& path);
+
+}  // namespace ehw

@@ -98,6 +98,17 @@ class Rng {
     return Rng(splitmix64(sm));
   }
 
+  /// The raw xoshiro256** state, for checkpoint/restore: a stream resumed
+  /// via set_state continues the exact draw sequence it was saved at.
+  using State = std::array<std::uint64_t, 4>;
+  [[nodiscard]] const State& state() const noexcept { return state_; }
+  void set_state(const State& state) noexcept {
+    EHW_ASSERT(state[0] != 0 || state[1] != 0 || state[2] != 0 ||
+                   state[3] != 0,
+               "all-zero xoshiro state is a fixed point");
+    state_ = state;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t v, int k) noexcept {
     return (v << k) | (v >> (64 - k));

@@ -1,0 +1,130 @@
+#include "ehw/evo/checkpoint.hpp"
+
+#include <cstdio>
+
+#include "ehw/evo/serialize.hpp"
+
+namespace ehw::evo {
+namespace {
+
+Json history_to_json(const std::vector<HistoryPoint>& history) {
+  Json points = Json::array();
+  for (const HistoryPoint& p : history) {
+    points.push_back(Json::Object{{"g", json_u64(p.generation)},
+                                  {"f", json_u64(p.fitness)}});
+  }
+  return points;
+}
+
+std::string history_from_json(const Json* field,
+                              std::vector<HistoryPoint>& out) {
+  out.clear();
+  if (field == nullptr) return "missing history";
+  if (!field->is_array()) return "history is not an array";
+  for (const Json& entry : field->as_array()) {
+    HistoryPoint p;
+    if (!json_read_u64(entry.get("g"), p.generation) ||
+        !json_read_u64(entry.get("f"), p.fitness)) {
+      return "malformed history point";
+    }
+    out.push_back(p);
+  }
+  return "";
+}
+
+std::string genotype_from_json(const Json* field, Genotype& out) {
+  if (field == nullptr || !field->is_string()) return "missing genotype line";
+  try {
+    out = deserialize_genotype(field->as_string());
+  } catch (const std::exception& e) {
+    return std::string("bad genotype line: ") + e.what();
+  }
+  return "";
+}
+
+}  // namespace
+
+Json rng_word_to_json(std::uint64_t word) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(word));
+  return Json(std::string(buf));
+}
+
+bool rng_word_from_json(const Json* field, std::uint64_t& out) {
+  if (field == nullptr || !field->is_string()) return false;
+  const std::string& text = field->as_string();
+  if (text.size() != 16) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint64_t>(c - 'a') + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | digit;
+  }
+  out = value;
+  return true;
+}
+
+Json es_checkpoint_to_json(const EsCheckpoint& ckpt) {
+  Json rng = Json::array();
+  for (const std::uint64_t word : ckpt.rng_state) {
+    rng.push_back(rng_word_to_json(word));
+  }
+  return Json(Json::Object{
+      {"next_generation", json_u64(ckpt.next_generation)},
+      {"parent", Json(serialize_genotype(ckpt.parent))},
+      {"parent_fitness", json_u64(ckpt.parent_fitness)},
+      {"best", Json(serialize_genotype(ckpt.es.best))},
+      {"best_fitness", json_u64(ckpt.es.best_fitness)},
+      {"generations_run", json_u64(ckpt.es.generations_run)},
+      {"history", history_to_json(ckpt.es.history)},
+      {"rng", std::move(rng)},
+  });
+}
+
+std::string es_checkpoint_from_json(const Json& json, EsCheckpoint& out) {
+  if (!json.is_object()) return "ES checkpoint is not an object";
+  if (!json_read_u64(json.get("next_generation"), out.next_generation)) {
+    return "missing next_generation";
+  }
+  if (std::string err = genotype_from_json(json.get("parent"), out.parent);
+      !err.empty()) {
+    return "parent: " + err;
+  }
+  if (!json_read_u64(json.get("parent_fitness"), out.parent_fitness)) {
+    return "missing parent_fitness";
+  }
+  if (std::string err = genotype_from_json(json.get("best"), out.es.best);
+      !err.empty()) {
+    return "best: " + err;
+  }
+  if (!json_read_u64(json.get("best_fitness"), out.es.best_fitness)) {
+    return "missing best_fitness";
+  }
+  if (!json_read_u64(json.get("generations_run"), out.es.generations_run)) {
+    return "missing generations_run";
+  }
+  if (std::string err = history_from_json(json.get("history"), out.es.history);
+      !err.empty()) {
+    return err;
+  }
+  const Json* rng = json.get("rng");
+  if (rng == nullptr || !rng->is_array() ||
+      rng->as_array().size() != out.rng_state.size()) {
+    return "rng must be an array of 4 hex words";
+  }
+  for (std::size_t i = 0; i < out.rng_state.size(); ++i) {
+    if (!rng_word_from_json(&rng->as_array()[i], out.rng_state[i])) {
+      return "bad rng word";
+    }
+  }
+  return "";
+}
+
+}  // namespace ehw::evo

@@ -1,0 +1,44 @@
+#pragma once
+// Checkpoint record for a running (1 + lambda) ES: everything needed to
+// resume the search mid-run with a bit-identical continuation — the
+// current parent, the accumulated result (best/history), and the raw
+// xoshiro256** state of the mutation stream. Serialized through the
+// shared JSON value type; 64-bit-exact fields travel as decimal strings
+// and RNG words as 16-digit hex (see common/json.hpp).
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "ehw/common/json.hpp"
+#include "ehw/common/types.hpp"
+#include "ehw/evo/es.hpp"
+#include "ehw/evo/genotype.hpp"
+
+namespace ehw::evo {
+
+struct EsCheckpoint {
+  /// First generation the resumed loop will run (the saved generation + 1).
+  Generation next_generation = 1;
+  /// Current parent and its measured fitness.
+  Genotype parent;
+  Fitness parent_fitness = kInvalidFitness;
+  /// Result accumulated so far (best genotype, best fitness, history).
+  EsResult es;
+  /// Raw state of the mutation Rng at the generation boundary.
+  std::array<std::uint64_t, 4> rng_state{};
+};
+
+/// Hex codec for RNG state words: 16 lowercase hex digits, fixed width,
+/// so checkpoint diffs line up and parsing is unambiguous.
+[[nodiscard]] Json rng_word_to_json(std::uint64_t word);
+[[nodiscard]] bool rng_word_from_json(const Json* field, std::uint64_t& out);
+
+[[nodiscard]] Json es_checkpoint_to_json(const EsCheckpoint& ckpt);
+
+/// Fills `out` from `json`. Returns "" on success, else a description of
+/// the first malformed field (out is unspecified on failure).
+[[nodiscard]] std::string es_checkpoint_from_json(const Json& json,
+                                                  EsCheckpoint& out);
+
+}  // namespace ehw::evo

@@ -50,4 +50,35 @@ void FitnessMemo::clear() {
   index_.clear();
 }
 
+std::vector<std::pair<std::uint64_t, Fitness>> FitnessMemo::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::pair<std::uint64_t, Fitness>> entries;
+  entries.reserve(index_.size());
+  for (const std::uint64_t key : lru_) {
+    entries.emplace_back(key, index_.at(key).fitness);
+  }
+  return entries;
+}
+
+void FitnessMemo::preload(
+    const std::vector<std::pair<std::uint64_t, Fitness>>& entries) {
+  if (capacity_ == 0) return;
+  std::lock_guard lock(mutex_);
+  // Oldest-first insertion reproduces the snapshot's recency order; the
+  // store path's eviction loop then keeps only the newest `capacity_`.
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    const auto found = index_.find(it->first);
+    if (found != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, found->second.lru_pos);
+      continue;
+    }
+    while (index_.size() >= capacity_) {
+      index_.erase(lru_.back());
+      lru_.pop_back();
+    }
+    lru_.push_front(it->first);
+    index_.emplace(it->first, Entry{it->second, lru_.begin()});
+  }
+}
+
 }  // namespace ehw::evo

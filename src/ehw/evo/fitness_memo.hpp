@@ -34,6 +34,8 @@
 #include <list>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "ehw/common/types.hpp"
 
@@ -80,6 +82,18 @@ class FitnessMemo {
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] FitnessMemoStats stats() const;
   void clear();
+
+  /// Entries in LRU order (most recent first), for warm-state
+  /// persistence: keys are content hashes, so a snapshot taken on one
+  /// daemon incarnation is valid for the next.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, Fitness>> snapshot()
+      const;
+
+  /// Seeds the memo from a prior snapshot. Inserted oldest-first so the
+  /// resulting LRU order matches the snapshot's; entries beyond capacity
+  /// (and all entries when disabled) are dropped. Does not count as
+  /// hits/misses.
+  void preload(const std::vector<std::pair<std::uint64_t, Fitness>>& entries);
 
  private:
   struct Entry {

@@ -32,25 +32,67 @@ struct Stage {
 CascadeResult evolve_cascade_mission(WaveExecutor& executor,
                                      const img::Image& train,
                                      const img::Image& reference,
-                                     const CascadeConfig& config) {
+                                     const CascadeConfig& config,
+                                     const CheckpointPolicy* checkpoint) {
   EvolvablePlatform& platform = executor.platform();
   const std::vector<std::size_t>& arrays = executor.lanes();
   EHW_REQUIRE(!arrays.empty(), "cascade needs at least one stage");
   EHW_REQUIRE(train.same_shape(reference), "train/reference shape mismatch");
   const std::size_t n = arrays.size();
-  const sim::SimTime t_start = platform.now();
+  const MissionCheckpoint* resume =
+      checkpoint != nullptr ? checkpoint->resume : nullptr;
 
-  // Initialize one chromosome per stage and configure it.
   Rng master_rng(config.es.seed);
   std::vector<Stage> stages(n);
+  // Accumulators carried across preemptions (see evolution_driver.cpp).
+  sim::SimTime elapsed_base = 0;
+  std::uint64_t writes_base = 0;
+  std::size_t first_stage = 0;
+  Generation first_gen = 0;
+
+  if (resume != nullptr) {
+    EHW_REQUIRE(resume->kind == MissionCheckpoint::Kind::kCascade,
+                "checkpoint kind mismatch (expected cascade)");
+    EHW_REQUIRE(resume->stages.size() == n,
+                "checkpoint stage count does not match the granted slice");
+    EHW_REQUIRE(resume->lane_genotypes.size() == n,
+                "checkpoint lane count does not match the granted slice");
+    // Rebuild the fabric at the saved boundary, then reanchor the clock;
+    // the restore writes were charged before the save.
+    for (std::size_t s = 0; s < n; ++s) {
+      if (resume->lane_genotypes[s].has_value()) {
+        (void)platform.configure_array(arrays[s], *resume->lane_genotypes[s],
+                                       0);
+      }
+    }
+    platform.reset_time();
+    for (std::size_t s = 0; s < n; ++s) {
+      stages[s].parent = resume->stages[s].parent;
+      stages[s].parent_fitness = resume->stages[s].parent_fitness;
+      stages[s].rng.set_state(resume->stages[s].rng_state);
+    }
+    first_stage = resume->next_stage;
+    first_gen = resume->next_generation;
+    elapsed_base = resume->elapsed;
+    writes_base = resume->pe_writes;
+  }
+
+  const sim::SimTime t_start = platform.now();
+  const std::uint64_t writes_start = platform.engine_stats().pe_writes;
   sim::SimTime barrier = t_start;
-  for (std::size_t s = 0; s < n; ++s) {
-    stages[s].rng = master_rng.split(s + 1);
-    stages[s].parent =
-        evo::Genotype::random(platform.config().shape, stages[s].rng);
-    const sim::Interval conf =
-        platform.configure_array(arrays[s], stages[s].parent, barrier);
-    barrier = std::max(barrier, conf.end);
+
+  if (resume == nullptr) {
+    // Initialize one chromosome per stage and configure it.
+    for (std::size_t s = 0; s < n; ++s) {
+      stages[s].rng = master_rng.split(s + 1);
+      stages[s].parent =
+          evo::Genotype::random(platform.config().shape, stages[s].rng);
+      const sim::Interval conf =
+          platform.configure_array(arrays[s], stages[s].parent, barrier);
+      barrier = std::max(barrier, conf.end);
+    }
+  } else {
+    barrier = t_start + resume->barrier;
   }
 
   // Stage inputs under the current parents; inputs[0] is the train image.
@@ -72,7 +114,13 @@ CascadeResult evolve_cascade_mission(WaveExecutor& executor,
       if (s + 1 < n) stream = platform.filter_array(arrays[s], stream);
     }
   };
+  // Input recomputation is pure in the configured parents, so a restored
+  // fabric reproduces the saved inputs exactly; only the staleness
+  // markers carry checkpoint state.
   refresh_inputs_from(0);
+  if (resume != nullptr) {
+    for (std::size_t s = 0; s < n; ++s) dirty[s] = resume->stages[s].dirty;
+  }
 
   // Seeds parent fitness for every stage under the current chain state.
   const auto measure_parent = [&](std::size_t s) {
@@ -151,24 +199,77 @@ CascadeResult evolve_cascade_mission(WaveExecutor& executor,
     return changed;
   };
 
+  // Checkpoint bookkeeping: one "step" is one per-stage generation.
+  // Returns true when the run must preempt. `next_*` are the loop
+  // cursors the resumed run continues from.
+  Generation steps_done = 0;
+  const auto maybe_checkpoint = [&](std::size_t next_stage,
+                                    Generation next_gen) -> bool {
+    if (checkpoint == nullptr || !checkpoint->active()) return false;
+    ++steps_done;
+    const bool cadence =
+        checkpoint->every != 0 && steps_done % checkpoint->every == 0;
+    const bool preempt = checkpoint->preempt_after != 0 &&
+                         steps_done >= checkpoint->preempt_after;
+    if ((cadence || preempt) && checkpoint->sink) {
+      MissionCheckpoint ckpt;
+      ckpt.kind = MissionCheckpoint::Kind::kCascade;
+      ckpt.barrier = barrier - t_start;
+      ckpt.elapsed = std::max(platform.now() - t_start, elapsed_base);
+      ckpt.pe_writes =
+          writes_base + (platform.engine_stats().pe_writes - writes_start);
+      ckpt.lane_genotypes.reserve(n);
+      for (const std::size_t a : arrays) {
+        ckpt.lane_genotypes.push_back(platform.configured_genotype(a));
+      }
+      ckpt.stages.resize(n);
+      for (std::size_t s = 0; s < n; ++s) {
+        ckpt.stages[s].parent = stages[s].parent;
+        ckpt.stages[s].parent_fitness = stages[s].parent_fitness;
+        ckpt.stages[s].rng_state = stages[s].rng.state();
+        ckpt.stages[s].dirty = dirty[s];
+      }
+      ckpt.next_stage = next_stage;
+      ckpt.next_generation = next_gen;
+      checkpoint->sink(ckpt);
+    }
+    return preempt;
+  };
+
+  bool preempted = false;
   if (config.schedule == CascadeSchedule::kSequential) {
-    for (std::size_t s = 0; s < n; ++s) {
-      for (Generation g = 0; g < config.es.generations; ++g) {
+    for (std::size_t s = first_stage; s < n && !preempted; ++s) {
+      const Generation g0 = s == first_stage ? first_gen : 0;
+      for (Generation g = g0; g < config.es.generations; ++g) {
         if (stages[s].parent_fitness <= config.es.target) break;
         one_generation(s);
+        if (maybe_checkpoint(s, g + 1)) {
+          preempted = true;
+          break;
+        }
       }
-      if (s + 1 < n) refresh_inputs_from(s + 1);
+      if (!preempted && s + 1 < n) refresh_inputs_from(s + 1);
     }
   } else {
-    for (Generation g = 0; g < config.es.generations; ++g) {
-      for (std::size_t s = 0; s < n; ++s) {
+    for (Generation g = first_gen; g < config.es.generations && !preempted;
+         ++g) {
+      const std::size_t s0 = g == first_gen ? first_stage : 0;
+      for (std::size_t s = s0; s < n; ++s) {
         const bool changed = one_generation(s);
         if (changed && s + 1 < n) refresh_inputs_from(s + 1);
+        // Cursor: next stage this generation, or generation+1, stage 0.
+        if (maybe_checkpoint(s + 1 < n ? s + 1 : 0,
+                             s + 1 < n ? g : g + 1)) {
+          preempted = true;
+          break;
+        }
       }
     }
   }
 
   // Final pass: leave every parent configured, record per-stage outcomes.
+  // (After a preemption this reports the chain as it stands — the caller
+  // treats the emitted checkpoint, not this value, as the continuation.)
   CascadeResult result;
   result.stages.resize(n);
   refresh_inputs_from(0);
@@ -179,7 +280,7 @@ CascadeResult evolve_cascade_mission(WaveExecutor& executor,
   }
   const img::Image chain_out = chain_filter(platform, arrays, 0, train);
   result.chain_fitness = img::aggregated_mae(chain_out, reference);
-  result.duration = platform.now() - t_start;
+  result.duration = std::max(platform.now() - t_start, elapsed_base);
   return result;
 }
 
@@ -187,9 +288,11 @@ CascadeResult evolve_cascade(EvolvablePlatform& platform,
                              const std::vector<std::size_t>& arrays,
                              const img::Image& train,
                              const img::Image& reference,
-                             const CascadeConfig& config) {
+                             const CascadeConfig& config,
+                             const CheckpointPolicy* checkpoint) {
   DirectWaveExecutor executor(platform, arrays);
-  return evolve_cascade_mission(executor, train, reference, config);
+  return evolve_cascade_mission(executor, train, reference, config,
+                                checkpoint);
 }
 
 }  // namespace ehw::platform

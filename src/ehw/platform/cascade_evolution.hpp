@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "ehw/evo/es.hpp"
+#include "ehw/platform/checkpoint.hpp"
 #include "ehw/platform/wave.hpp"
 
 namespace ehw::platform {
@@ -55,10 +56,15 @@ struct CascadeResult {
 /// `train` onto `reference`, submitting every per-stage offspring wave to
 /// the executor. The best chromosome of every stage is left configured,
 /// so the platform is ready for cascaded mission mode on return.
-CascadeResult evolve_cascade_mission(WaveExecutor& executor,
-                                     const img::Image& train,
-                                     const img::Image& reference,
-                                     const CascadeConfig& config);
+///
+/// `checkpoint` (optional) enables save/resume/preempt exactly as in
+/// evolve_mission — one "step" of the cadence/preempt counters is one
+/// per-stage generation. A resumed cascade continues the per-stage RNG
+/// streams and loop cursors and yields bit-identical final results.
+CascadeResult evolve_cascade_mission(
+    WaveExecutor& executor, const img::Image& train,
+    const img::Image& reference, const CascadeConfig& config,
+    const CheckpointPolicy* checkpoint = nullptr);
 
 /// Standalone entry point: runs evolve_cascade_mission through a
 /// DirectWaveExecutor over the given arrays of a caller-owned platform.
@@ -66,6 +72,7 @@ CascadeResult evolve_cascade(EvolvablePlatform& platform,
                              const std::vector<std::size_t>& arrays,
                              const img::Image& train,
                              const img::Image& reference,
-                             const CascadeConfig& config);
+                             const CascadeConfig& config,
+                             const CheckpointPolicy* checkpoint = nullptr);
 
 }  // namespace ehw::platform

@@ -1,0 +1,156 @@
+#include "ehw/platform/checkpoint.hpp"
+
+#include "ehw/evo/serialize.hpp"
+
+namespace ehw::platform {
+namespace {
+
+constexpr const char* kFormatTag = "mpa-ckpt-v1";
+
+std::string genotype_from_json(const Json* field, evo::Genotype& out) {
+  if (field == nullptr || !field->is_string()) return "missing genotype line";
+  try {
+    out = evo::deserialize_genotype(field->as_string());
+  } catch (const std::exception& e) {
+    return std::string("bad genotype line: ") + e.what();
+  }
+  return "";
+}
+
+std::string rng_state_from_json(const Json* field,
+                                std::array<std::uint64_t, 4>& out) {
+  if (field == nullptr || !field->is_array() ||
+      field->as_array().size() != out.size()) {
+    return "rng must be an array of 4 hex words";
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (!evo::rng_word_from_json(&field->as_array()[i], out[i])) {
+      return "bad rng word";
+    }
+  }
+  return "";
+}
+
+Json rng_state_to_json(const std::array<std::uint64_t, 4>& state) {
+  Json words = Json::array();
+  for (const std::uint64_t w : state) {
+    words.push_back(evo::rng_word_to_json(w));
+  }
+  return words;
+}
+
+}  // namespace
+
+Json mission_checkpoint_to_json(const MissionCheckpoint& ckpt) {
+  Json lanes = Json::array();
+  for (const auto& genotype : ckpt.lane_genotypes) {
+    lanes.push_back(genotype.has_value()
+                        ? Json(evo::serialize_genotype(*genotype))
+                        : Json(nullptr));
+  }
+  Json json(Json::Object{
+      {"format", Json(kFormatTag)},
+      {"kind", Json(ckpt.kind == MissionCheckpoint::Kind::kEvolve
+                        ? "evolve"
+                        : "cascade")},
+      {"barrier", json_i64(ckpt.barrier)},
+      {"elapsed", json_i64(ckpt.elapsed)},
+      {"pe_writes", json_u64(ckpt.pe_writes)},
+      {"lanes", std::move(lanes)},
+  });
+  if (ckpt.kind == MissionCheckpoint::Kind::kEvolve) {
+    json.set("es", evo::es_checkpoint_to_json(ckpt.es));
+  } else {
+    Json stages = Json::array();
+    for (const CascadeStageState& stage : ckpt.stages) {
+      stages.push_back(Json::Object{
+          {"parent", Json(evo::serialize_genotype(stage.parent))},
+          {"parent_fitness", json_u64(stage.parent_fitness)},
+          {"rng", rng_state_to_json(stage.rng_state)},
+          {"dirty", Json(stage.dirty)},
+      });
+    }
+    json.set("stages", std::move(stages));
+    json.set("next_stage", json_u64(ckpt.next_stage));
+    json.set("next_generation", json_u64(ckpt.next_generation));
+  }
+  return json;
+}
+
+std::string mission_checkpoint_from_json(const Json& json,
+                                         MissionCheckpoint& out) {
+  if (!json.is_object()) return "checkpoint is not an object";
+  if (json.get_string("format", "") != kFormatTag) {
+    return "unknown checkpoint format (want " + std::string(kFormatTag) + ")";
+  }
+  const std::string kind = json.get_string("kind", "");
+  if (kind == "evolve") {
+    out.kind = MissionCheckpoint::Kind::kEvolve;
+  } else if (kind == "cascade") {
+    out.kind = MissionCheckpoint::Kind::kCascade;
+  } else {
+    return "unknown checkpoint kind: " + kind;
+  }
+  if (!json_read_i64(json.get("barrier"), out.barrier)) {
+    return "missing barrier";
+  }
+  if (!json_read_i64(json.get("elapsed"), out.elapsed)) {
+    return "missing elapsed";
+  }
+  if (!json_read_u64(json.get("pe_writes"), out.pe_writes)) {
+    return "missing pe_writes";
+  }
+  const Json* lanes = json.get("lanes");
+  if (lanes == nullptr || !lanes->is_array()) return "missing lanes";
+  out.lane_genotypes.clear();
+  for (const Json& lane : lanes->as_array()) {
+    if (lane.is_null()) {
+      out.lane_genotypes.emplace_back(std::nullopt);
+      continue;
+    }
+    evo::Genotype genotype;
+    if (std::string err = genotype_from_json(&lane, genotype); !err.empty()) {
+      return "lane: " + err;
+    }
+    out.lane_genotypes.emplace_back(std::move(genotype));
+  }
+  if (out.kind == MissionCheckpoint::Kind::kEvolve) {
+    const Json* es = json.get("es");
+    if (es == nullptr) return "missing es";
+    return evo::es_checkpoint_from_json(*es, out.es);
+  }
+  const Json* stages = json.get("stages");
+  if (stages == nullptr || !stages->is_array()) return "missing stages";
+  out.stages.clear();
+  for (const Json& entry : stages->as_array()) {
+    CascadeStageState stage;
+    if (std::string err =
+            genotype_from_json(entry.get("parent"), stage.parent);
+        !err.empty()) {
+      return "stage parent: " + err;
+    }
+    if (!json_read_u64(entry.get("parent_fitness"), stage.parent_fitness)) {
+      return "missing stage parent_fitness";
+    }
+    if (std::string err = rng_state_from_json(entry.get("rng"),
+                                              stage.rng_state);
+        !err.empty()) {
+      return "stage " + err;
+    }
+    const Json* dirty = entry.get("dirty");
+    if (dirty == nullptr || !dirty->is_bool()) return "missing stage dirty";
+    stage.dirty = dirty->as_bool();
+    out.stages.push_back(std::move(stage));
+  }
+  std::uint64_t next_stage = 0;
+  if (!json_read_u64(json.get("next_stage"), next_stage)) {
+    return "missing next_stage";
+  }
+  out.next_stage = static_cast<std::size_t>(next_stage);
+  if (!json_read_u64(json.get("next_generation"), out.next_generation)) {
+    return "missing next_generation";
+  }
+  return "";
+}
+
+}  // namespace ehw::platform

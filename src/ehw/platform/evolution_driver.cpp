@@ -9,7 +9,8 @@ namespace ehw::platform {
 IntrinsicResult evolve_mission(WaveExecutor& executor, const img::Image& train,
                                const img::Image& reference,
                                const evo::EsConfig& config,
-                               const evo::Genotype* initial) {
+                               const evo::Genotype* initial,
+                               const CheckpointPolicy* checkpoint) {
   EvolvablePlatform& platform = executor.platform();
   const std::vector<std::size_t>& arrays = executor.lanes();
   EHW_REQUIRE(!arrays.empty(), "need at least one evaluation lane");
@@ -17,20 +18,53 @@ IntrinsicResult evolve_mission(WaveExecutor& executor, const img::Image& train,
   for (const std::size_t a : arrays) {
     EHW_REQUIRE(a < platform.num_arrays(), "lane array out of range");
   }
+  const MissionCheckpoint* resume =
+      checkpoint != nullptr ? checkpoint->resume : nullptr;
+
+  Rng rng(config.seed);
+  evo::Genotype parent;
+  Fitness parent_fitness = kInvalidFitness;
+  IntrinsicResult result;
+  Generation first_gen = 1;
+  // Accumulators carried across preemptions: the duration and DPR writes
+  // spent before the checkpoint this run resumes from.
+  sim::SimTime elapsed_base = 0;
+  std::uint64_t writes_base = 0;
+
+  if (resume != nullptr) {
+    EHW_REQUIRE(resume->kind == MissionCheckpoint::Kind::kEvolve,
+                "checkpoint kind mismatch (expected evolve)");
+    EHW_REQUIRE(resume->lane_genotypes.size() == arrays.size(),
+                "checkpoint lane count does not match the granted slice");
+    // Rebuild the fabric exactly as it was at the boundary (so the first
+    // resumed wave's DPR diffs replay bit-identically), then reanchor the
+    // clock: the restore writes were already paid for before the save and
+    // are carried in elapsed/pe_writes.
+    for (std::size_t i = 0; i < arrays.size(); ++i) {
+      if (resume->lane_genotypes[i].has_value()) {
+        (void)platform.configure_array(arrays[i], *resume->lane_genotypes[i],
+                                       0);
+      }
+    }
+    platform.reset_time();
+    rng.set_state(resume->es.rng_state);
+    parent = resume->es.parent;
+    parent_fitness = resume->es.parent_fitness;
+    result.es = resume->es.es;
+    first_gen = resume->es.next_generation;
+    elapsed_base = resume->elapsed;
+    writes_base = resume->pe_writes;
+  }
 
   const sim::SimTime t_start = platform.now();
   const std::uint64_t writes_start = platform.engine_stats().pe_writes;
-  Rng rng(config.seed);
 
-  evo::Genotype parent =
-      initial != nullptr
-          ? *initial
-          : evo::Genotype::random(platform.config().shape, rng);
+  if (resume == nullptr) {
+    parent = initial != nullptr
+                 ? *initial
+                 : evo::Genotype::random(platform.config().shape, rng);
 
-  IntrinsicResult result;
-
-  // Generation 0: configure and evaluate the initial parent on lane 0.
-  {
+    // Generation 0: configure and evaluate the initial parent on lane 0.
     const sim::Interval conf =
         platform.configure_array(arrays[0], parent, t_start);
     const EvaluationResult ev =
@@ -38,13 +72,20 @@ IntrinsicResult evolve_mission(WaveExecutor& executor, const img::Image& train,
     result.es.best = parent;
     result.es.best_fitness = ev.fitness;
     if (config.record_history) result.es.history.push_back({0, ev.fitness});
+    parent_fitness = result.es.best_fitness;
   }
-  Fitness parent_fitness = result.es.best_fitness;
 
   const std::size_t lanes = arrays.size();
-  sim::SimTime barrier = platform.now();
+  // At every generation boundary ALL resource bookings end at or before
+  // the barrier, so the post-boundary schedule depends only on its value
+  // — the property that makes checkpoint/resume bit-identical. On resume
+  // t_start is 0 (reset_time), so the saved t_start-relative barrier is
+  // already absolute.
+  sim::SimTime barrier =
+      resume != nullptr ? t_start + resume->barrier : platform.now();
+  Generation steps_done = 0;
 
-  for (Generation gen = 1; gen <= config.generations; ++gen) {
+  for (Generation gen = first_gen; gen <= config.generations; ++gen) {
     if (result.es.best_fitness <= config.target) break;
 
     // Mutation happens in software while the previous wave evaluates:
@@ -81,10 +122,43 @@ IntrinsicResult evolve_mission(WaveExecutor& executor, const img::Image& train,
         result.es.history.push_back({gen, best_fit});
       }
     }
+
+    if (checkpoint != nullptr && checkpoint->active()) {
+      ++steps_done;
+      const bool cadence =
+          checkpoint->every != 0 && gen % checkpoint->every == 0;
+      const bool preempt = checkpoint->preempt_after != 0 &&
+                           steps_done >= checkpoint->preempt_after;
+      if ((cadence || preempt) && checkpoint->sink) {
+        MissionCheckpoint ckpt;
+        ckpt.kind = MissionCheckpoint::Kind::kEvolve;
+        ckpt.barrier = barrier - t_start;
+        // now() - t_start already spans the pre-resume portion (bookings
+        // continue from the saved absolute barrier); the max only guards
+        // the degenerate zero-progress save.
+        ckpt.elapsed = std::max(platform.now() - t_start, elapsed_base);
+        ckpt.pe_writes = writes_base +
+                         (platform.engine_stats().pe_writes - writes_start);
+        ckpt.lane_genotypes.reserve(arrays.size());
+        for (const std::size_t a : arrays) {
+          ckpt.lane_genotypes.push_back(platform.configured_genotype(a));
+        }
+        ckpt.es.next_generation = gen + 1;
+        ckpt.es.parent = parent;
+        ckpt.es.parent_fitness = parent_fitness;
+        ckpt.es.es = result.es;
+        ckpt.es.rng_state = rng.state();
+        checkpoint->sink(ckpt);
+      }
+      if (preempt) break;
+    }
   }
 
-  result.duration = platform.now() - t_start;
-  result.pe_writes = platform.engine_stats().pe_writes - writes_start;
+  // max() covers the zero-work resume: no new booking means now() stays
+  // at 0, but the mission already consumed `elapsed_base`.
+  result.duration = std::max(platform.now() - t_start, elapsed_base);
+  result.pe_writes =
+      writes_base + (platform.engine_stats().pe_writes - writes_start);
   return result;
 }
 
@@ -93,9 +167,11 @@ IntrinsicResult evolve_on_platform(EvolvablePlatform& platform,
                                    const img::Image& train,
                                    const img::Image& reference,
                                    const evo::EsConfig& config,
-                                   const evo::Genotype* initial) {
+                                   const evo::Genotype* initial,
+                                   const CheckpointPolicy* checkpoint) {
   DirectWaveExecutor executor(platform, arrays);
-  return evolve_mission(executor, train, reference, config, initial);
+  return evolve_mission(executor, train, reference, config, initial,
+                        checkpoint);
 }
 
 }  // namespace ehw::platform

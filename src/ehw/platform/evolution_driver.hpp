@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "ehw/evo/es.hpp"
+#include "ehw/platform/checkpoint.hpp"
 #include "ehw/platform/wave.hpp"
 
 namespace ehw::platform {
@@ -45,10 +46,18 @@ struct IntrinsicResult {
 /// scheduler pool. The filter evolves to map `train` onto `reference`,
 /// starting from a random parent drawn from config.seed, or from
 /// `initial` when given.
+///
+/// `checkpoint` (optional) enables durable runs: emit state at generation
+/// boundaries, resume from a prior MissionCheckpoint, and/or preempt
+/// after a step budget — see platform/checkpoint.hpp. Resuming requires a
+/// lane count equal to the checkpoint's and reanchors the platform clock
+/// via reset_time(), so the caller must own the platform exclusively.
+/// A nullptr / inactive policy is byte-identical to the historical path.
 IntrinsicResult evolve_mission(WaveExecutor& executor, const img::Image& train,
                                const img::Image& reference,
                                const evo::EsConfig& config,
-                               const evo::Genotype* initial = nullptr);
+                               const evo::Genotype* initial = nullptr,
+                               const CheckpointPolicy* checkpoint = nullptr);
 
 /// Standalone entry point: runs evolve_mission through a
 /// DirectWaveExecutor over the given arrays of a caller-owned platform
@@ -59,6 +68,7 @@ IntrinsicResult evolve_on_platform(EvolvablePlatform& platform,
                                    const img::Image& train,
                                    const img::Image& reference,
                                    const evo::EsConfig& config,
-                                   const evo::Genotype* initial = nullptr);
+                                   const evo::Genotype* initial = nullptr,
+                                   const CheckpointPolicy* checkpoint = nullptr);
 
 }  // namespace ehw::platform

@@ -50,6 +50,7 @@
 #include <string>
 #include <vector>
 
+#include "ehw/common/json.hpp"
 #include "ehw/common/thread_pool.hpp"
 #include "ehw/common/work_steal.hpp"
 #include "ehw/evo/fitness_memo.hpp"
@@ -299,6 +300,26 @@ class ArrayPool {
   [[nodiscard]] evo::FitnessMemoStats memo_stats() const {
     return memo_.stats();
   }
+
+  // --- warm-state persistence ---------------------------------------------
+  /// Serializes the shared fitness memo and the rebuild recipes of the
+  /// resident compiled-array entries ("mpa-warm-v1"). Cache and memo
+  /// warmth affect host speed only, never simulated results, so this is
+  /// purely a restart accelerator.
+  [[nodiscard]] Json export_warm_state() const;
+
+  struct WarmLoadStats {
+    std::size_t memo_loaded = 0;
+    std::size_t cache_loaded = 0;
+    /// Recipes whose recomputed key did not match (different platform
+    /// seed or fabric), were malformed, or referenced an out-of-range
+    /// lane — dropped, never trusted.
+    std::size_t cache_skipped = 0;
+  };
+  /// Rehydrates from a prior export: memo entries are preloaded verbatim
+  /// (content-hash keyed); cache recipes are recompiled on a scratch
+  /// platform slice and admitted only when the re-derived key matches.
+  WarmLoadStats import_warm_state(const Json& state);
 
   /// Currently running + queued job counts (snapshot).
   [[nodiscard]] std::size_t jobs_in_flight() const;

@@ -1,0 +1,54 @@
+#include "ehw/sched/checkpoint_store.hpp"
+
+#include "ehw/common/persist.hpp"
+
+namespace ehw::sched {
+
+namespace {
+constexpr const char* kFileFormatTag = "mpa-checkpoint-v1";
+}  // namespace
+
+std::string save_mission_checkpoint(
+    const std::string& path, const MissionSpec& spec,
+    const platform::MissionCheckpoint& checkpoint) {
+  Json doc(Json::Object{
+      {"format", Json(kFileFormatTag)},
+      {"spec", Json(spec_to_manifest_line(spec))},
+      {"checkpoint", platform::mission_checkpoint_to_json(checkpoint)},
+  });
+  return atomic_write_file(path, doc.dump() + "\n");
+}
+
+std::string load_mission_checkpoint(const std::string& path,
+                                    MissionSpec& spec,
+                                    platform::MissionCheckpoint& checkpoint) {
+  std::string text;
+  if (std::string err = read_file_text(path, text); !err.empty()) return err;
+  Json doc;
+  try {
+    doc = Json::parse(text);
+  } catch (const JsonError& e) {
+    return std::string("bad checkpoint JSON: ") + e.what();
+  }
+  if (!doc.is_object() || doc.get_string("format", "") != kFileFormatTag) {
+    return "not an " + std::string(kFileFormatTag) + " file";
+  }
+  const Json* spec_line = doc.get("spec");
+  if (spec_line == nullptr || !spec_line->is_string()) {
+    return "missing spec line";
+  }
+  if (std::string err = spec_from_manifest_line(spec_line->as_string(), spec);
+      !err.empty()) {
+    return "bad spec: " + err;
+  }
+  const Json* payload = doc.get("checkpoint");
+  if (payload == nullptr) return "missing checkpoint payload";
+  if (std::string err = platform::mission_checkpoint_from_json(*payload,
+                                                               checkpoint);
+      !err.empty()) {
+    return "bad checkpoint: " + err;
+  }
+  return "";
+}
+
+}  // namespace ehw::sched

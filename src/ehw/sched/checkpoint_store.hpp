@@ -1,0 +1,33 @@
+#pragma once
+// Durable mission-checkpoint files: one JSON document pairing a mission
+// spec (as a manifest line — the sched vocabulary, deliberately not the
+// service protocol's JSON) with a platform::MissionCheckpoint.
+//
+//   {"format": "mpa-checkpoint-v1",
+//    "spec":   "denoise dn0 lanes=2 ...",
+//    "checkpoint": { mpa-ckpt-v1 payload }}
+//
+// Files are written atomically (temp + fsync + rename), so a kill -9 at
+// any instant leaves either the previous or the new checkpoint on disk,
+// never a torn one.
+
+#include <string>
+
+#include "ehw/platform/checkpoint.hpp"
+#include "ehw/sched/missions.hpp"
+
+namespace ehw::sched {
+
+/// Serializes (spec, checkpoint) to `path` atomically. Returns "" on
+/// success, else the I/O error.
+[[nodiscard]] std::string save_mission_checkpoint(
+    const std::string& path, const MissionSpec& spec,
+    const platform::MissionCheckpoint& checkpoint);
+
+/// Loads a checkpoint file; fills both outputs. Returns "" on success,
+/// else a description (missing file, bad JSON, malformed spec/payload).
+[[nodiscard]] std::string load_mission_checkpoint(
+    const std::string& path, MissionSpec& spec,
+    platform::MissionCheckpoint& checkpoint);
+
+}  // namespace ehw::sched

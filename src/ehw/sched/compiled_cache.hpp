@@ -19,7 +19,9 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "ehw/pe/compiled.hpp"
 
@@ -35,6 +37,17 @@ struct CacheStats {
                ? 0.0
                : static_cast<double>(hits) / static_cast<double>(total);
   }
+};
+
+/// How to rebuild one cached compiled array on a fresh pool: the
+/// slice-local lane it was compiled for and the genotype line configured
+/// there. The key is re-derived (never trusted) on import — a recipe
+/// whose recomputed key differs (different platform seed, damaged lane)
+/// is silently dropped, so warm-state files can never poison results.
+struct CacheRecipe {
+  std::uint64_t key = 0;
+  std::size_t lane = 0;
+  std::string genotype;  // serialize_genotype line
 };
 
 class CompiledArrayCache {
@@ -59,10 +72,31 @@ class CompiledArrayCache {
   [[nodiscard]] CacheStats stats() const;
   void clear();
 
+  /// Records the rebuild recipe for `key` (called by the compile path on
+  /// a miss). Recipes ride along with entries: evicting the entry drops
+  /// its recipe.
+  void note_recipe(std::uint64_t key, std::size_t lane,
+                   std::string genotype_line);
+
+  /// Recipes of the currently resident entries, most recently used first
+  /// — the persistable image of the cache.
+  [[nodiscard]] std::vector<CacheRecipe> recipes() const;
+
+  /// Inserts a pre-compiled value (warm-state import). Counts neither a
+  /// hit nor a miss; no-op when caching is disabled or the key is
+  /// already resident.
+  void warm_insert(std::uint64_t key, std::size_t lane,
+                   std::string genotype_line,
+                   std::shared_ptr<const pe::CompiledArray> value);
+
  private:
   struct Entry {
     std::shared_ptr<const pe::CompiledArray> value;
     std::list<std::uint64_t>::iterator lru_pos;
+    /// Rebuild recipe; `genotype` empty when never recorded (direct
+    /// get_or_compile callers that don't persist).
+    std::size_t lane = 0;
+    std::string genotype;
   };
 
   std::size_t capacity_;

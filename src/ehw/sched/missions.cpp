@@ -1,5 +1,6 @@
 #include "ehw/sched/missions.hpp"
 
+#include <cstdio>
 #include <istream>
 #include <map>
 #include <sstream>
@@ -212,9 +213,55 @@ JobConfig make_job_config(const MissionSpec& spec) {
   return job;
 }
 
+std::string spec_to_manifest_line(const MissionSpec& spec) {
+  std::ostringstream line;
+  line << kind_name(spec.kind) << ' ' << spec.name;
+  line << " lanes=" << spec.lanes;
+  line << " priority=" << spec.priority;
+  line << " generations=" << spec.generations;
+  line << " size=" << spec.size;
+  // %.17g round-trips every double exactly through std::stod.
+  char noise[64];
+  std::snprintf(noise, sizeof(noise), "%.17g", spec.noise);
+  line << " noise=" << noise;
+  line << " rate=" << spec.mutation_rate;
+  line << " lambda=" << spec.lambda;
+  line << " seed=" << spec.seed;
+  line << " scene-seed=" << spec.scene_seed;
+  line << " two-level=" << (spec.two_level ? 1 : 0);
+  line << " merged=" << (spec.merged_fitness ? 1 : 0);
+  line << " interleaved=" << (spec.interleaved ? 1 : 0);
+  return line.str();
+}
+
+std::string spec_from_manifest_line(const std::string& line,
+                                    MissionSpec& spec) {
+  try {
+    std::istringstream in(line);
+    std::vector<MissionSpec> specs = parse_manifest(in);
+    if (specs.size() != 1) return "expected exactly one manifest line";
+    spec = std::move(specs.front());
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  return "";
+}
+
 void run_spec(platform::WaveExecutor& executor, const MissionSpec& spec,
               JobOutcome& outcome) {
+  run_spec(executor, spec, outcome, MissionCheckpointing{});
+}
+
+void run_spec(platform::WaveExecutor& executor, const MissionSpec& spec,
+              JobOutcome& outcome, const MissionCheckpointing& ck) {
   const MissionImages images = make_mission_images(spec);
+  platform::CheckpointPolicy policy;
+  policy.every = ck.every;
+  policy.preempt_after = ck.preempt_after;
+  policy.sink = ck.sink;
+  policy.resume = ck.resume.get();
+  const platform::CheckpointPolicy* checkpoint =
+      ck.active() ? &policy : nullptr;
   if (spec.kind == MissionKind::kCascade) {
     platform::CascadeConfig config;
     config.es = es_config(spec);
@@ -224,24 +271,34 @@ void run_spec(platform::WaveExecutor& executor, const MissionSpec& spec,
                           ? platform::CascadeSchedule::kInterleaved
                           : platform::CascadeSchedule::kSequential;
     outcome.cascade = platform::evolve_cascade_mission(
-        executor, images.train, images.reference, config);
+        executor, images.train, images.reference, config, checkpoint);
     outcome.stats.mission_time = outcome.cascade.duration;
   } else {
-    outcome.intrinsic = platform::evolve_mission(
-        executor, images.train, images.reference, es_config(spec));
+    outcome.intrinsic =
+        platform::evolve_mission(executor, images.train, images.reference,
+                                 es_config(spec), nullptr, checkpoint);
     outcome.stats.mission_time = outcome.intrinsic.duration;
   }
 }
 
 ArrayPool::JobBody make_job_body(MissionSpec spec) {
-  return [spec = std::move(spec)](MissionContext& context,
-                                  JobOutcome& outcome) {
-    run_spec(context, spec, outcome);
+  return make_job_body(std::move(spec), MissionCheckpointing{});
+}
+
+ArrayPool::JobBody make_job_body(MissionSpec spec, MissionCheckpointing ck) {
+  return [spec = std::move(spec), ck = std::move(ck)](
+             MissionContext& context, JobOutcome& outcome) {
+    run_spec(context, spec, outcome, ck);
   };
 }
 
 JobOutcome run_spec_standalone(const MissionSpec& spec,
                                ThreadPool* host_pool) {
+  return run_spec_standalone(spec, host_pool, MissionCheckpointing{});
+}
+
+JobOutcome run_spec_standalone(const MissionSpec& spec, ThreadPool* host_pool,
+                               const MissionCheckpointing& ck) {
   platform::PlatformConfig pc;
   pc.num_arrays = spec.lanes;
   // Leave shape/clock/line_width/seed at their defaults — the same values
@@ -253,7 +310,7 @@ JobOutcome run_spec_standalone(const MissionSpec& spec,
   for (std::size_t i = 0; i < lanes.size(); ++i) lanes[i] = i;
   platform::DirectWaveExecutor executor(platform, lanes);
   JobOutcome outcome;
-  run_spec(executor, spec, outcome);
+  run_spec(executor, spec, outcome, ck);
   return outcome;
 }
 

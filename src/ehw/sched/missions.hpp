@@ -88,19 +88,58 @@ struct MissionImages {
 };
 [[nodiscard]] MissionImages make_mission_images(const MissionSpec& spec);
 
+/// Re-emits a spec as one manifest line ("<kind> <name> key=value ...",
+/// every key explicit). parse_manifest of the line reproduces the spec
+/// exactly; checkpoint files embed specs in this vocabulary so the sched
+/// layer needs no knowledge of the service protocol.
+[[nodiscard]] std::string spec_to_manifest_line(const MissionSpec& spec);
+
+/// Parses one manifest line into `spec`. Returns "" on success, else the
+/// parse error (never throws — callers are recovery paths).
+[[nodiscard]] std::string spec_from_manifest_line(const std::string& line,
+                                                  MissionSpec& spec);
+
+/// Durability options for a mission run: checkpoint cadence/preemption
+/// and an optional saved state to resume from (see
+/// platform/checkpoint.hpp for the underlying policy semantics). The
+/// shared_ptr keeps the resume state alive for the lifetime of a
+/// deferred job body.
+struct MissionCheckpointing {
+  Generation every = 0;
+  Generation preempt_after = 0;
+  std::function<void(const platform::MissionCheckpoint&)> sink;
+  std::shared_ptr<const platform::MissionCheckpoint> resume;
+
+  [[nodiscard]] bool active() const noexcept {
+    return every != 0 || preempt_after != 0 || resume != nullptr ||
+           static_cast<bool>(sink);
+  }
+};
+
 /// Pool submission helpers.
 [[nodiscard]] JobConfig make_job_config(const MissionSpec& spec);
 [[nodiscard]] ArrayPool::JobBody make_job_body(MissionSpec spec);
+/// As above, but with durability: the body checkpoints per `ck` and
+/// resumes from ck.resume when set.
+[[nodiscard]] ArrayPool::JobBody make_job_body(MissionSpec spec,
+                                               MissionCheckpointing ck);
 
 /// Drives the spec through any wave executor (a pool lease or a direct
 /// one); fills the outcome like the pool job body does (minus the cache
 /// counters, which belong to the pool).
 void run_spec(platform::WaveExecutor& executor, const MissionSpec& spec,
               JobOutcome& outcome);
+/// Durable variant.
+void run_spec(platform::WaveExecutor& executor, const MissionSpec& spec,
+              JobOutcome& outcome, const MissionCheckpointing& ck);
 
 /// Reference run on a dedicated standalone platform (the pre-scheduler
 /// behaviour): the bit-identical baseline for multiplexed runs.
 [[nodiscard]] JobOutcome run_spec_standalone(const MissionSpec& spec,
                                              ThreadPool* host_pool = nullptr);
+/// Durable variant (used by `mpa checkpoint` / `mpa restore`).
+[[nodiscard]] JobOutcome run_spec_standalone(const MissionSpec& spec,
+                                             ThreadPool* host_pool,
+                                             const MissionCheckpointing& ck);
 
 }  // namespace ehw::sched

@@ -1,0 +1,106 @@
+#include "ehw/svc/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "ehw/common/persist.hpp"
+
+namespace ehw::svc {
+
+namespace {
+
+std::string journal_file(const std::string& dir) {
+  return dir + "/journal.jsonl";
+}
+
+}  // namespace
+
+MissionJournal::MissionJournal(std::string dir) : dir_(std::move(dir)) {
+  if (std::string err = ensure_directory(dir_); !err.empty()) {
+    throw std::runtime_error("journal dir: " + err);
+  }
+  const std::string path = journal_file(dir_);
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("journal open " + path + ": " +
+                             std::strerror(errno));
+  }
+}
+
+MissionJournal::~MissionJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool MissionJournal::append(const Json& record) {
+  const std::string line = record.dump() + "\n";
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return false;
+  std::size_t written = 0;
+  while (written < line.size()) {
+    const ssize_t n =
+        ::write(fd_, line.data() + written, line.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  ::fsync(fd_);
+  ++appended_;
+  return true;
+}
+
+std::uint64_t MissionJournal::appended() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return appended_;
+}
+
+std::string MissionJournal::checkpoint_path(std::uint64_t job_id) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "/job-%llu.ckpt",
+                static_cast<unsigned long long>(job_id));
+  return dir_ + name;
+}
+
+std::string MissionJournal::warm_path() const { return dir_ + "/warm.json"; }
+
+MissionJournal::Replay MissionJournal::replay(const std::string& dir) {
+  Replay out;
+  std::string text;
+  if (std::string err = read_file_text(journal_file(dir), text); !err.empty()) {
+    return out;  // fresh journal
+  }
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t last_bad_index = 0;
+  bool last_was_bad = false;
+  std::size_t nonempty = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    ++nonempty;
+    try {
+      Json record = Json::parse(line);
+      out.records.push_back(std::move(record));
+      last_was_bad = false;
+    } catch (const JsonError&) {
+      ++out.corrupt;
+      last_was_bad = true;
+      last_bad_index = nonempty;
+    }
+  }
+  // A torn final line is the expected wound of a kill -9 mid-append;
+  // distinguish it from interior corruption so callers can report it.
+  if (last_was_bad && last_bad_index == nonempty && out.corrupt > 0) {
+    out.truncated_tail = true;
+    --out.corrupt;
+  }
+  return out;
+}
+
+}  // namespace ehw::svc

@@ -1,8 +1,11 @@
 #include "ehw/svc/server.hpp"
 
 #include <algorithm>
+#include <map>
 
+#include "ehw/common/persist.hpp"
 #include "ehw/common/version.hpp"
+#include "ehw/sched/checkpoint_store.hpp"
 
 namespace ehw::svc {
 namespace {
@@ -16,18 +19,175 @@ Json greeting_frame() {
   return frame;
 }
 
+/// Exact non-negative integer out of a record field, or nullopt.
+std::optional<std::uint64_t> record_id(const Json& record, const char* key) {
+  const Json* field = record.get(key);
+  if (field == nullptr || !field->is_number()) return std::nullopt;
+  const double value = field->as_number();
+  if (!json_number_is_exact_int(value) || value < 0) return std::nullopt;
+  return static_cast<std::uint64_t>(value);
+}
+
 }  // namespace
 
 Server::Server(ServerConfig config) : config_(std::move(config)) {
   max_inflight_ = config_.max_inflight != 0 ? config_.max_inflight
                                             : 2 * config_.pool.num_arrays;
   pool_ = std::make_unique<sched::ArrayPool>(config_.pool);
+  // Replay before the listener exists: clients connecting to the fresh
+  // incarnation already see every surviving job, and resumed missions
+  // are back in flight before the first new submit competes for lanes.
+  replay_journal();
   listener_ = std::make_unique<Listener>(config_.address, config_.port);
   port_ = listener_->port();
   acceptor_ = std::thread([this] { accept_loop(); });
 }
 
 Server::~Server() { stop(); }
+
+void Server::replay_journal() {
+  if (config_.journal_dir.empty()) return;
+  const MissionJournal::Replay replay =
+      MissionJournal::replay(config_.journal_dir);
+  journal_ = std::make_unique<MissionJournal>(config_.journal_dir);
+  replayed_records_ = replay.records.size();
+  journal_corrupt_ = replay.corrupt;
+  journal_truncated_tail_ = replay.truncated_tail;
+
+  // Warm state first, so resumed missions hit the warmed memo/cache.
+  if (config_.persist_warm) {
+    std::string text;
+    if (read_file_text(journal_->warm_path(), text).empty()) {
+      try {
+        const sched::ArrayPool::WarmLoadStats warm =
+            pool_->import_warm_state(Json::parse(text));
+        warm_memo_loaded_ = warm.memo_loaded;
+        warm_cache_loaded_ = warm.cache_loaded;
+      } catch (const JsonError&) {
+        // A corrupt warm file costs only recomputation, never recovery.
+      }
+    }
+  }
+
+  // Fold the record stream into per-job final states. "submitted" is the
+  // write-ahead anchor: a job with no "finished" record is resubmitted
+  // whether or not it ever "started" (the crash may have landed between
+  // the ack and the launch).
+  struct ReplayedJob {
+    sched::MissionSpec spec;
+    bool have_spec = false;
+    bool finished = false;
+    std::string status;
+    std::uint64_t waves = 0;
+    Json result;
+  };
+  std::map<std::uint64_t, ReplayedJob> by_id;
+  for (const Json& record : replay.records) {
+    const std::string rec = record.get_string("rec", "");
+    const std::optional<std::uint64_t> id = record_id(record, "job");
+    if (!id.has_value()) {
+      ++journal_corrupt_;
+      continue;
+    }
+    ReplayedJob& job = by_id[*id];
+    if (rec == "submitted") {
+      const Json* spec_field = record.get("spec");
+      if (spec_field == nullptr ||
+          !spec_from_json(*spec_field, job.spec).empty()) {
+        ++journal_corrupt_;
+        by_id.erase(*id);
+        continue;
+      }
+      job.have_spec = true;
+    } else if (rec == "started") {
+      // Informational; resubmission keys off "finished" alone.
+    } else if (rec == "finished") {
+      job.finished = true;
+      job.status = record.get_string("status", "failed");
+      job.waves = record_id(record, "waves").value_or(0);
+      if (const Json* result = record.get("result")) job.result = *result;
+    } else {
+      ++journal_corrupt_;
+    }
+  }
+  if (!by_id.empty()) next_job_id_ = by_id.rbegin()->first + 1;
+
+  for (auto& [id, job] : by_id) {
+    if (!job.have_spec) {
+      // A finished/started orphan (its submitted record was the torn
+      // line). Nothing actionable without a spec.
+      ++journal_corrupt_;
+      continue;
+    }
+    auto record = std::make_shared<JobRecord>();
+    record->id = id;
+    record->spec = job.spec;
+    if (job.finished) {
+      record->journaled = std::move(job.result);
+      record->journal_status =
+          job.status.empty() ? std::string("failed") : job.status;
+      record->journal_waves = job.waves;
+      ++replayed_finished_;
+      std::lock_guard lock(state_mutex_);
+      jobs_.emplace(id, std::move(record));
+      continue;
+    }
+    // Unfinished across the crash: lane demand is re-validated against
+    // THIS pool (a restart may have shrunk it).
+    if (record->spec.lanes > pool_->num_arrays()) {
+      Json body = Json::object();
+      body.set("status", status_name(sched::JobStatus::kFailed));
+      body.set("error",
+               "recovery: lanes=" + std::to_string(record->spec.lanes) +
+                   " exceeds the pool's " +
+                   std::to_string(pool_->num_arrays()) + " arrays");
+      Json rec = Json::object();
+      rec.set("rec", "finished");
+      rec.set("job", id);
+      rec.set("status", status_name(sched::JobStatus::kFailed));
+      rec.set("waves", static_cast<std::uint64_t>(0));
+      rec.set("result", body);
+      static_cast<void>(journal_->append(rec));
+      record->journaled = std::move(body);
+      record->journal_status = status_name(sched::JobStatus::kFailed);
+      ++replayed_finished_;
+      std::lock_guard lock(state_mutex_);
+      jobs_.emplace(id, std::move(record));
+      continue;
+    }
+    const std::string ckpt_path = journal_->checkpoint_path(id);
+    if (file_exists(ckpt_path)) {
+      sched::MissionSpec saved_spec;
+      auto checkpoint = std::make_shared<platform::MissionCheckpoint>();
+      if (sched::load_mission_checkpoint(ckpt_path, saved_spec, *checkpoint)
+              .empty()) {
+        record->resume = std::move(checkpoint);
+        ++resumed_from_checkpoint_;
+      }
+      // A bad checkpoint file is dropped: a from-scratch rerun is still
+      // bit-identical, just slower.
+    }
+    {
+      std::lock_guard lock(state_mutex_);
+      // Recovery may momentarily exceed max_inflight_: work admitted
+      // before the crash takes precedence over fresh submissions.
+      ++inflight_;
+      ++submitted_;
+    }
+    ++resumed_;
+    launch_job(record);
+  }
+}
+
+void Server::journal_submitted(const JobRecord& record) {
+  if (journal_ == nullptr) return;
+  Json rec = Json::object();
+  rec.set("rec", "submitted");
+  rec.set("v", static_cast<std::uint64_t>(1));
+  rec.set("job", record.id);
+  rec.set("spec", spec_to_json(record.spec));
+  static_cast<void>(journal_->append(rec));
+}
 
 void Server::drain() {
   {
@@ -71,6 +231,12 @@ void Server::stop() {
   }
   // A session may have submitted between the first wait and its join.
   pool_->wait_all();
+  // Durable daemons snapshot memo + cache recipes on the way out; the
+  // next incarnation preloads them (pure optimization, loss is benign).
+  if (journal_ != nullptr && config_.persist_warm) {
+    static_cast<void>(atomic_write_file(
+        journal_->warm_path(), pool_->export_warm_state().dump() + "\n"));
+  }
   stopped_ = true;
 }
 
@@ -91,6 +257,26 @@ ServiceStats Server::service_stats() const {
   stats.draining = draining_.load(std::memory_order_relaxed);
   stats.submitted = submitted_;
   stats.rejected = rejected_;
+  return stats;
+}
+
+JournalStats Server::journal_stats() const {
+  JournalStats stats;
+  if (journal_ == nullptr) return stats;
+  // Replay-time fields are constants after the constructor; only the
+  // counters below move.
+  stats.enabled = true;
+  stats.replayed_records = replayed_records_;
+  stats.replayed_finished = replayed_finished_;
+  stats.resumed = resumed_;
+  stats.resumed_from_checkpoint = resumed_from_checkpoint_;
+  stats.corrupt = journal_corrupt_;
+  stats.truncated_tail = journal_truncated_tail_;
+  stats.warm_memo_loaded = warm_memo_loaded_;
+  stats.warm_cache_loaded = warm_cache_loaded_;
+  stats.checkpoints_written =
+      checkpoints_written_.load(std::memory_order_relaxed);
+  stats.appended = journal_->appended();
   return stats;
 }
 
@@ -233,6 +419,10 @@ Json Server::handle_submit(const Json& request) {
     ++submitted_;
     record->id = next_job_id_++;
   }
+  // Write-ahead: the "submitted" record lands before the launch (and
+  // before the ack), so a crash anywhere after this line still
+  // resubmits the mission on restart.
+  journal_submitted(*record);
   launch_job(record);
   Json response = make_ok();
   response.set("job", record->id);
@@ -241,11 +431,39 @@ Json Server::handle_submit(const Json& request) {
 }
 
 void Server::launch_job(const std::shared_ptr<JobRecord>& record) {
+  if (journal_ != nullptr) {
+    Json rec = Json::object();
+    rec.set("rec", "started");
+    rec.set("job", record->id);
+    static_cast<void>(journal_->append(rec));
+  }
+  // Journaled jobs checkpoint their evolution state to a per-job sidecar
+  // (atomic replace, latest wins) and resume from any state recovered at
+  // replay. Non-journaled daemons keep the exact pre-durable job body.
+  sched::MissionCheckpointing checkpointing;
+  if (journal_ != nullptr) {
+    checkpointing.every = config_.checkpoint_every;
+    checkpointing.resume = record->resume;
+    if (config_.checkpoint_every != 0) {
+      const std::string path = journal_->checkpoint_path(record->id);
+      const sched::MissionSpec spec = record->spec;
+      std::atomic<std::uint64_t>* written = &checkpoints_written_;
+      checkpointing.sink =
+          [path, spec, written](const platform::MissionCheckpoint& state) {
+            if (sched::save_mission_checkpoint(path, spec, state).empty()) {
+              written->fetch_add(1, std::memory_order_relaxed);
+            }
+          };
+    }
+  }
   // Pool submission happens OUTSIDE state_mutex_: admit_locked's
   // dispatch-failure path synchronously fires a queued job's kFinished
   // observer, which locks state_mutex_ on this thread.
-  record->runner = pool_->submit(sched::make_job_config(record->spec),
-                                 sched::make_job_body(record->spec));
+  record->runner =
+      pool_->submit(sched::make_job_config(record->spec),
+                    checkpointing.active()
+                        ? sched::make_job_body(record->spec, checkpointing)
+                        : sched::make_job_body(record->spec));
   {
     std::lock_guard lock(state_mutex_);
     jobs_.emplace(record->id, record);
@@ -257,8 +475,23 @@ void Server::launch_job(const std::shared_ptr<JobRecord>& record) {
   static_cast<void>(pool_->reap_finished());
   // Also outside state_mutex_: an already-finished job fires the
   // callback immediately on THIS thread.
-  record->runner->subscribe([this](const sched::MissionEvent& event) {
+  record->runner->subscribe([this, record](const sched::MissionEvent& event) {
     if (event.kind != sched::MissionEvent::Kind::kFinished) return;
+    if (journal_ != nullptr) {
+      // Safe here: MissionRunner::finish stores the outcome before it
+      // fires kFinished observers. This append is the commit point —
+      // after it, replay re-serves the result instead of re-running.
+      const sched::JobOutcome& outcome = record->runner->result();
+      Json rec = Json::object();
+      rec.set("rec", "finished");
+      rec.set("job", record->id);
+      rec.set("status", status_name(event.status));
+      rec.set("waves", event.waves);
+      rec.set("result",
+              outcome_to_json(record->spec.kind, event.status, outcome));
+      static_cast<void>(journal_->append(rec));
+      static_cast<void>(remove_file(journal_->checkpoint_path(record->id)));
+    }
     {
       std::lock_guard lock(state_mutex_);
       --inflight_;
@@ -314,6 +547,7 @@ Json Server::handle_submit_batch(const Json& request) {
   }
   Json jobs = Json::array();
   for (const std::shared_ptr<JobRecord>& record : records) {
+    journal_submitted(*record);
     launch_job(record);
     Json entry = Json::object();
     entry.set("job", record->id);
@@ -329,11 +563,14 @@ void Server::prune_finished_locked() {
   if (config_.max_job_records == 0) return;
   auto it = jobs_.begin();
   while (jobs_.size() > config_.max_job_records && it != jobs_.end()) {
-    const sched::JobStatus status = it->second->runner->status();
-    if (status == sched::JobStatus::kQueued ||
-        status == sched::JobStatus::kRunning) {
-      ++it;  // never evict live jobs, whatever their age
-      continue;
+    // Replayed-finished records (no runner) are finished by definition.
+    if (it->second->runner != nullptr) {
+      const sched::JobStatus status = it->second->runner->status();
+      if (status == sched::JobStatus::kQueued ||
+          status == sched::JobStatus::kRunning) {
+        ++it;  // never evict live jobs, whatever their age
+        continue;
+      }
     }
     it = jobs_.erase(it);
   }
@@ -380,6 +617,16 @@ Json Server::handle_status(const Json& request) {
   response.set("name", record->spec.name);
   response.set("kind", sched::kind_name(record->spec.kind));
   response.set("lanes", static_cast<std::uint64_t>(record->spec.lanes));
+  if (record->runner == nullptr) {
+    // Re-served from the journal of a previous daemon incarnation.
+    response.set("status", record->journal_status);
+    response.set("waves", record->journal_waves);
+    if (const Json* sim_ns = record->journaled.get("sim_ns")) {
+      response.set("sim_ns", *sim_ns);
+    }
+    response.set("replayed", true);
+    return response;
+  }
   const sched::JobStatus status = record->runner->status();
   response.set("status", status_name(status));
   response.set("waves", record->runner->waves_completed());
@@ -394,6 +641,22 @@ Json Server::handle_result(const Json& request) {
   std::string error;
   const std::shared_ptr<JobRecord> record = find_job(request, error);
   if (record == nullptr) return make_error(error, "unknown_job");
+  if (record->runner == nullptr) {
+    // Re-served verbatim from the journal: the body IS the result frame
+    // a client of the previous incarnation would have received.
+    Json response =
+        record->journaled.is_object() ? record->journaled : Json::object();
+    if (response.get("status") == nullptr) {
+      response.set("status", record->journal_status);
+    }
+    response.set("ok", true);
+    response.set("job", record->id);
+    response.set("name", record->spec.name);
+    response.set("kind", sched::kind_name(record->spec.kind));
+    response.set("waves", record->journal_waves);
+    response.set("replayed", true);
+    return response;
+  }
   // Blocks this session thread until the job leaves the running set; the
   // connection is dedicated to the wait (use another for control ops).
   const sched::JobOutcome& outcome = record->runner->result();
@@ -411,9 +674,13 @@ Json Server::handle_cancel(const Json& request) {
   std::string error;
   const std::shared_ptr<JobRecord> record = find_job(request, error);
   if (record == nullptr) return make_error(error, "unknown_job");
-  record->runner->cancel();
   Json response = make_ok();
   response.set("job", record->id);
+  if (record->runner == nullptr) {  // replayed: long finished, no-op
+    response.set("status", record->journal_status);
+    return response;
+  }
+  record->runner->cancel();
   response.set("status", status_name(record->runner->status()));
   return response;
 }
@@ -428,8 +695,13 @@ Json Server::handle_list() {
       entry.set("name", record->spec.name);
       entry.set("kind", sched::kind_name(record->spec.kind));
       entry.set("lanes", static_cast<std::uint64_t>(record->spec.lanes));
-      entry.set("status", status_name(record->runner->status()));
-      entry.set("waves", record->runner->waves_completed());
+      if (record->runner != nullptr) {
+        entry.set("status", status_name(record->runner->status()));
+        entry.set("waves", record->runner->waves_completed());
+      } else {
+        entry.set("status", record->journal_status);
+        entry.set("waves", record->journal_waves);
+      }
       jobs.push_back(std::move(entry));
     }
   }
@@ -482,6 +754,23 @@ Json Server::handle_stats() {
   response.set("cache", std::move(cache));
   response.set("memo", std::move(memo));
   response.set("service", std::move(svc));
+  if (journal_ != nullptr) {
+    const JournalStats js = journal_stats();
+    Json journal = Json::object();
+    journal.set("dir", journal_->dir());
+    journal.set("appended", js.appended);
+    journal.set("replayed_records", js.replayed_records);
+    journal.set("replayed_finished", js.replayed_finished);
+    journal.set("resumed", js.resumed);
+    journal.set("resumed_from_checkpoint", js.resumed_from_checkpoint);
+    journal.set("corrupt", js.corrupt);
+    journal.set("truncated_tail", js.truncated_tail);
+    journal.set("checkpoints_written", js.checkpoints_written);
+    journal.set("checkpoint_every", config_.checkpoint_every);
+    journal.set("warm_memo_loaded", js.warm_memo_loaded);
+    journal.set("warm_cache_loaded", js.warm_cache_loaded);
+    response.set("journal", std::move(journal));
+  }
   return response;
 }
 
@@ -499,6 +788,18 @@ std::optional<Json> Server::handle_watch(Session& session,
   ack.set("job", record->id);
   ack.set("watching", record->spec.name);
   if (const Json* id = request.get("id")) ack.set("id", *id);
+  if (record->runner == nullptr) {
+    // Replayed-finished: ack, then an immediate synthesized done frame
+    // (exactly what a live watch on a finished job delivers).
+    static_cast<void>(session.channel->write_line(ack.dump()));
+    Json frame = Json::object();
+    frame.set("event", "done");
+    frame.set("job", record->id);
+    frame.set("status", record->journal_status);
+    frame.set("waves", record->journal_waves);
+    static_cast<void>(session.channel->write_line(frame.dump()));
+    return std::nullopt;
+  }
   const std::shared_ptr<LineChannel> channel = session.channel;
   const std::uint64_t job_id = record->id;
   // Subscribe BEFORE writing the ack: once the client has the ack it

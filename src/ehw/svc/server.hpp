@@ -24,6 +24,14 @@
 // Results delivered through the service are computed by the exact same
 // pool/job-body path as `mpa batch`, so they inherit the scheduler's
 // guarantee: bit-identical to a standalone run of the same spec.
+//
+// Durability (optional, ServerConfig::journal_dir): every admitted job
+// is journaled write-ahead ("submitted" before launch, "finished" with
+// the full result body after), running jobs checkpoint their evolution
+// state every `checkpoint_every` generations, and a restarting daemon
+// replays the journal — finished missions are re-served from the log
+// without recomputation, unfinished ones are resubmitted and resume
+// from their latest checkpoint, landing on bit-identical results.
 
 #include <atomic>
 #include <condition_variable>
@@ -36,6 +44,7 @@
 #include <thread>
 #include <vector>
 
+#include "ehw/svc/journal.hpp"
 #include "ehw/svc/protocol.hpp"
 #include "ehw/svc/socket.hpp"
 
@@ -57,6 +66,33 @@ struct ServerConfig {
   /// frame over long uptimes; live jobs are never evicted. 0 = keep
   /// everything.
   std::size_t max_job_records = 4096;
+  /// Journal directory; empty = no durability (the pre-durable daemon).
+  /// When set, the daemon appends a write-ahead job journal there,
+  /// checkpoints running missions, and replays everything on startup.
+  std::string journal_dir;
+  /// Checkpoint cadence for journaled jobs, in generations. 0 disables
+  /// checkpointing (recovery then restarts missions from scratch, still
+  /// bit-identical — just slower).
+  std::uint64_t checkpoint_every = 25;
+  /// Persist the FitnessMemo + compiled-array cache to warm.json on
+  /// graceful stop and preload them on startup (journaled daemons only).
+  bool persist_warm = true;
+};
+
+/// Journal/recovery counters (the "stats" op's journal section). All
+/// fixed at replay time except checkpoints/appends, which grow.
+struct JournalStats {
+  bool enabled = false;
+  std::uint64_t replayed_records = 0;  // parseable records read at start
+  std::uint64_t replayed_finished = 0;  // missions re-served from the log
+  std::uint64_t resumed = 0;            // unfinished missions resubmitted
+  std::uint64_t resumed_from_checkpoint = 0;
+  std::uint64_t corrupt = 0;  // unparsable interior lines
+  bool truncated_tail = false;  // torn final line (crash mid-append)
+  std::uint64_t warm_memo_loaded = 0;
+  std::uint64_t warm_cache_loaded = 0;
+  std::uint64_t checkpoints_written = 0;  // this incarnation
+  std::uint64_t appended = 0;             // this incarnation
 };
 
 /// Point-in-time service counters (the "stats" op's service section).
@@ -100,12 +136,22 @@ class Server {
   void stop();
 
   [[nodiscard]] ServiceStats service_stats() const;
+  [[nodiscard]] JournalStats journal_stats() const;
 
  private:
   struct JobRecord {
     std::uint64_t id = 0;
     sched::MissionSpec spec;
+    /// Live execution handle; nullptr for a mission replayed from the
+    /// journal as already finished — then the journal_* fields below are
+    /// the record of truth and every handler answers from them.
     std::shared_ptr<sched::MissionRunner> runner;
+    Json journaled;              // replayed "finished" result body
+    std::string journal_status;  // replayed terminal status name
+    std::uint64_t journal_waves = 0;
+    /// Saved state a resubmitted mission resumes from (loaded from its
+    /// job-<id>.ckpt sidecar during replay).
+    std::shared_ptr<const platform::MissionCheckpoint> resume;
   };
   struct Session {
     explicit Session(Socket socket)
@@ -143,10 +189,29 @@ class Server {
   /// Evicts the oldest finished jobs beyond max_job_records. Caller
   /// holds state_mutex_.
   void prune_finished_locked();
+  /// Opens the journal, replays its records (re-registering finished
+  /// missions, resubmitting unfinished ones) and preloads warm state.
+  /// Runs from the constructor, before the listener exists.
+  void replay_journal();
+  void journal_submitted(const JobRecord& record);
 
   ServerConfig config_;
   std::size_t max_inflight_ = 0;
   std::uint16_t port_ = 0;
+
+  // Durability. The journal is written from job threads (finished
+  // records) until pool_ is destroyed, so it is declared before pool_
+  // to be destroyed after it.
+  std::unique_ptr<MissionJournal> journal_;
+  std::uint64_t replayed_records_ = 0;  // replay-time constants
+  std::uint64_t replayed_finished_ = 0;
+  std::uint64_t resumed_ = 0;
+  std::uint64_t resumed_from_checkpoint_ = 0;
+  std::uint64_t journal_corrupt_ = 0;
+  bool journal_truncated_tail_ = false;
+  std::uint64_t warm_memo_loaded_ = 0;
+  std::uint64_t warm_cache_loaded_ = 0;
+  std::atomic<std::uint64_t> checkpoints_written_{0};
 
   // Service state. Declared before the pool/listener/threads so it is
   // destroyed last (job-finished callbacks lock state_mutex_).

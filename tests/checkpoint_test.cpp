@@ -1,0 +1,476 @@
+// Tests for mission checkpoint/restore: the JSON round trips of the
+// checkpoint vocabulary, and — above all — the bit-identity contract: a
+// run that is preempted, serialized to JSON, and resumed on a FRESH
+// platform must land on exactly the result (genotype hash, fitness,
+// history, simulated duration, DPR writes) of an uninterrupted run.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ehw/common/persist.hpp"
+#include "ehw/common/rng.hpp"
+#include "ehw/evo/checkpoint.hpp"
+#include "ehw/evo/serialize.hpp"
+#include "ehw/platform/cascade_evolution.hpp"
+#include "ehw/platform/checkpoint.hpp"
+#include "ehw/platform/evolution_driver.hpp"
+#include "ehw/sched/checkpoint_store.hpp"
+#include "ehw/sched/missions.hpp"
+#include "test_util.hpp"
+
+namespace ehw::platform {
+namespace {
+
+evo::EsConfig quick_es(Generation generations, std::uint64_t seed,
+                       std::size_t k = 3, bool two_level = false) {
+  evo::EsConfig cfg;
+  cfg.lambda = 9;
+  cfg.mutation_rate = k;
+  cfg.two_level = two_level;
+  cfg.generations = generations;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Serialize then parse — resumes in these tests always go through the
+/// wire format, so a field missing from the JSON codec fails loudly.
+MissionCheckpoint json_round_trip(const MissionCheckpoint& ckpt) {
+  MissionCheckpoint out;
+  const std::string error =
+      mission_checkpoint_from_json(mission_checkpoint_to_json(ckpt), out);
+  EXPECT_EQ(error, "");
+  return out;
+}
+
+void expect_same_intrinsic(const IntrinsicResult& a,
+                           const IntrinsicResult& b) {
+  EXPECT_EQ(a.es.best, b.es.best);
+  EXPECT_EQ(a.es.best_fitness, b.es.best_fitness);
+  EXPECT_EQ(a.es.generations_run, b.es.generations_run);
+  ASSERT_EQ(a.es.history.size(), b.es.history.size());
+  for (std::size_t i = 0; i < a.es.history.size(); ++i) {
+    EXPECT_EQ(a.es.history[i].generation, b.es.history[i].generation);
+    EXPECT_EQ(a.es.history[i].fitness, b.es.history[i].fitness);
+  }
+  EXPECT_EQ(a.duration, b.duration);
+  EXPECT_EQ(a.pe_writes, b.pe_writes);
+}
+
+void expect_same_cascade(const CascadeResult& a, const CascadeResult& b) {
+  ASSERT_EQ(a.stages.size(), b.stages.size());
+  for (std::size_t s = 0; s < a.stages.size(); ++s) {
+    EXPECT_EQ(a.stages[s].best, b.stages[s].best) << "stage " << s;
+    EXPECT_EQ(a.stages[s].stage_fitness, b.stages[s].stage_fitness)
+        << "stage " << s;
+  }
+  EXPECT_EQ(a.chain_fitness, b.chain_fitness);
+  EXPECT_EQ(a.duration, b.duration);
+}
+
+// --- serialization ----------------------------------------------------------
+
+TEST(Checkpoint, RngStateRoundTrip) {
+  Rng rng(0xFACE);
+  for (int i = 0; i < 17; ++i) static_cast<void>(rng());
+  const Rng::State state = rng.state();
+  Rng clone(1);
+  clone.set_state(state);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(clone(), rng());
+}
+
+TEST(Checkpoint, RngWordHexCodec) {
+  for (const std::uint64_t word :
+       {std::uint64_t{0}, std::uint64_t{0xDEADBEEF},
+        ~std::uint64_t{0}}) {
+    std::uint64_t back = 1;
+    const Json json = evo::rng_word_to_json(word);
+    ASSERT_TRUE(evo::rng_word_from_json(&json, back));
+    EXPECT_EQ(back, word);
+  }
+  std::uint64_t back = 0;
+  const Json short_word("abc");
+  EXPECT_FALSE(evo::rng_word_from_json(&short_word, back));
+  const Json upper("00000000DEADBEEF");
+  EXPECT_FALSE(evo::rng_word_from_json(&upper, back));
+  EXPECT_FALSE(evo::rng_word_from_json(nullptr, back));
+}
+
+TEST(Checkpoint, EsCheckpointJsonRoundTrip) {
+  evo::EsCheckpoint ckpt;
+  ckpt.next_generation = 42;
+  ckpt.parent = test::identity_genotype();
+  ckpt.parent_fitness = 777;
+  ckpt.es.best = test::identity_genotype();
+  ckpt.es.best_fitness = 777;
+  ckpt.es.generations_run = 41;
+  ckpt.es.history = {{1, 900}, {7, 801}, {40, 777}};
+  Rng rng(5);
+  static_cast<void>(rng());
+  ckpt.rng_state = rng.state();
+
+  evo::EsCheckpoint back;
+  ASSERT_EQ(evo::es_checkpoint_from_json(evo::es_checkpoint_to_json(ckpt),
+                                         back),
+            "");
+  EXPECT_EQ(back.next_generation, ckpt.next_generation);
+  EXPECT_EQ(back.parent, ckpt.parent);
+  EXPECT_EQ(back.parent_fitness, ckpt.parent_fitness);
+  EXPECT_EQ(back.es.best, ckpt.es.best);
+  EXPECT_EQ(back.es.best_fitness, ckpt.es.best_fitness);
+  EXPECT_EQ(back.es.generations_run, ckpt.es.generations_run);
+  ASSERT_EQ(back.es.history.size(), ckpt.es.history.size());
+  EXPECT_EQ(back.es.history[2].generation, 40u);
+  EXPECT_EQ(back.es.history[2].fitness, 777u);
+  EXPECT_EQ(back.rng_state, ckpt.rng_state);
+}
+
+TEST(Checkpoint, MissionCheckpointJsonRoundTrip) {
+  MissionCheckpoint ckpt;
+  ckpt.kind = MissionCheckpoint::Kind::kCascade;
+  ckpt.barrier = 123456789;
+  ckpt.elapsed = 987654321;
+  ckpt.pe_writes = 4242;
+  ckpt.lane_genotypes = {test::identity_genotype(), std::nullopt,
+                         test::identity_genotype()};
+  ckpt.next_stage = 2;
+  ckpt.next_generation = 9;
+  CascadeStageState stage;
+  stage.parent = test::identity_genotype();
+  stage.parent_fitness = 55;
+  Rng rng(9);
+  stage.rng_state = rng.state();
+  stage.dirty = false;
+  ckpt.stages = {stage, stage};
+  ckpt.stages[1].dirty = true;
+  ckpt.stages[1].parent_fitness = kInvalidFitness;
+
+  const MissionCheckpoint back = json_round_trip(ckpt);
+  EXPECT_EQ(back.kind, ckpt.kind);
+  EXPECT_EQ(back.barrier, ckpt.barrier);
+  EXPECT_EQ(back.elapsed, ckpt.elapsed);
+  EXPECT_EQ(back.pe_writes, ckpt.pe_writes);
+  ASSERT_EQ(back.lane_genotypes.size(), 3u);
+  EXPECT_TRUE(back.lane_genotypes[0].has_value());
+  EXPECT_FALSE(back.lane_genotypes[1].has_value());
+  EXPECT_EQ(*back.lane_genotypes[0], test::identity_genotype());
+  ASSERT_EQ(back.stages.size(), 2u);
+  EXPECT_EQ(back.stages[0].parent_fitness, 55u);
+  EXPECT_FALSE(back.stages[0].dirty);
+  EXPECT_TRUE(back.stages[1].dirty);
+  EXPECT_EQ(back.stages[1].parent_fitness, kInvalidFitness);
+  EXPECT_EQ(back.stages[0].rng_state, stage.rng_state);
+  EXPECT_EQ(back.next_stage, 2u);
+  EXPECT_EQ(back.next_generation, 9u);
+}
+
+TEST(Checkpoint, MissionCheckpointRejectsMalformed) {
+  MissionCheckpoint out;
+  EXPECT_NE(mission_checkpoint_from_json(Json("nope"), out), "");
+  Json wrong_tag = Json::object();
+  wrong_tag.set("format", "mpa-ckpt-v999");
+  EXPECT_NE(mission_checkpoint_from_json(wrong_tag, out), "");
+}
+
+// --- evolve resume bit-identity ---------------------------------------------
+
+/// Runs the workload uninterrupted; then preempted + resumed (through the
+/// JSON wire format, on a fresh platform); asserts identical results.
+void check_evolve_resume(std::size_t arrays, Generation generations,
+                         Generation preempt_after, bool two_level) {
+  const auto w = test::make_denoise_workload(32, 0.2, 31);
+  std::vector<std::size_t> lanes(arrays);
+  for (std::size_t a = 0; a < arrays; ++a) lanes[a] = a;
+  const evo::EsConfig es = quick_es(generations, 11, 3, two_level);
+
+  EvolvablePlatform uninterrupted(test::small_platform_config(arrays));
+  const IntrinsicResult reference =
+      evolve_on_platform(uninterrupted, lanes, w.noisy, w.clean, es);
+
+  MissionCheckpoint saved;
+  bool have_saved = false;
+  CheckpointPolicy preempt;
+  preempt.preempt_after = preempt_after;
+  preempt.sink = [&](const MissionCheckpoint& ckpt) {
+    saved = ckpt;
+    have_saved = true;
+  };
+  EvolvablePlatform first(test::small_platform_config(arrays));
+  const IntrinsicResult partial = evolve_on_platform(
+      first, lanes, w.noisy, w.clean, es, nullptr, &preempt);
+  ASSERT_TRUE(have_saved);
+  EXPECT_EQ(partial.es.generations_run, preempt_after);
+  EXPECT_LT(partial.es.generations_run, reference.es.generations_run);
+
+  const MissionCheckpoint restored = json_round_trip(saved);
+  CheckpointPolicy resume;
+  resume.resume = &restored;
+  EvolvablePlatform second(test::small_platform_config(arrays));
+  const IntrinsicResult final_result = evolve_on_platform(
+      second, lanes, w.noisy, w.clean, es, nullptr, &resume);
+
+  expect_same_intrinsic(final_result, reference);
+}
+
+TEST(Checkpoint, EvolveResumeBitIdenticalSingleLane) {
+  check_evolve_resume(1, 30, 13, false);
+}
+
+TEST(Checkpoint, EvolveResumeBitIdenticalParallelLanes) {
+  check_evolve_resume(3, 30, 7, false);
+}
+
+TEST(Checkpoint, EvolveResumeBitIdenticalTwoLevel) {
+  check_evolve_resume(2, 24, 11, true);
+}
+
+TEST(Checkpoint, EvolveResumableFromEveryCadencePoint) {
+  const auto w = test::make_denoise_workload(32, 0.2, 32);
+  const evo::EsConfig es = quick_es(20, 12);
+
+  EvolvablePlatform uninterrupted(test::small_platform_config(2));
+  const IntrinsicResult reference =
+      evolve_on_platform(uninterrupted, {0, 1}, w.noisy, w.clean, es);
+
+  std::vector<MissionCheckpoint> cadence;
+  CheckpointPolicy every;
+  every.every = 5;
+  every.sink = [&](const MissionCheckpoint& ckpt) {
+    cadence.push_back(ckpt);
+  };
+  EvolvablePlatform run(test::small_platform_config(2));
+  const IntrinsicResult full = evolve_on_platform(run, {0, 1}, w.noisy,
+                                                  w.clean, es, nullptr,
+                                                  &every);
+  expect_same_intrinsic(full, reference);  // checkpointing must not perturb
+  ASSERT_EQ(cadence.size(), 4u);           // generations 5, 10, 15, 20
+
+  for (const MissionCheckpoint& point : cadence) {
+    const MissionCheckpoint restored = json_round_trip(point);
+    CheckpointPolicy resume;
+    resume.resume = &restored;
+    EvolvablePlatform fresh(test::small_platform_config(2));
+    const IntrinsicResult resumed = evolve_on_platform(
+        fresh, {0, 1}, w.noisy, w.clean, es, nullptr, &resume);
+    expect_same_intrinsic(resumed, reference);
+  }
+}
+
+TEST(Checkpoint, EvolveZeroWorkResume) {
+  // A checkpoint taken at the FINAL generation boundary resumes into a
+  // loop that runs zero generations; accounting must still match.
+  const auto w = test::make_denoise_workload(32, 0.2, 33);
+  const evo::EsConfig es = quick_es(12, 13);
+
+  EvolvablePlatform uninterrupted(test::small_platform_config(1));
+  const IntrinsicResult reference =
+      evolve_on_platform(uninterrupted, {0}, w.noisy, w.clean, es);
+
+  MissionCheckpoint saved;
+  CheckpointPolicy preempt;
+  preempt.preempt_after = 12;  // == generations: preempted at the end
+  preempt.sink = [&](const MissionCheckpoint& ckpt) { saved = ckpt; };
+  EvolvablePlatform run(test::small_platform_config(1));
+  static_cast<void>(evolve_on_platform(run, {0}, w.noisy, w.clean, es,
+                                       nullptr, &preempt));
+
+  const MissionCheckpoint restored = json_round_trip(saved);
+  CheckpointPolicy resume;
+  resume.resume = &restored;
+  EvolvablePlatform fresh(test::small_platform_config(1));
+  const IntrinsicResult resumed = evolve_on_platform(
+      fresh, {0}, w.noisy, w.clean, es, nullptr, &resume);
+  expect_same_intrinsic(resumed, reference);
+}
+
+// --- cascade resume bit-identity --------------------------------------------
+
+void check_cascade_resume(CascadeSchedule schedule, CascadeFitness fitness,
+                          Generation preempt_after) {
+  const auto w = test::make_denoise_workload(32, 0.25, 34);
+  CascadeConfig cfg;
+  cfg.es = quick_es(6, 14);
+  cfg.schedule = schedule;
+  cfg.fitness = fitness;
+
+  EvolvablePlatform uninterrupted(test::small_platform_config(3));
+  const CascadeResult reference =
+      evolve_cascade(uninterrupted, {0, 1, 2}, w.noisy, w.clean, cfg);
+
+  MissionCheckpoint saved;
+  bool have_saved = false;
+  CheckpointPolicy preempt;
+  preempt.preempt_after = preempt_after;
+  preempt.sink = [&](const MissionCheckpoint& ckpt) {
+    saved = ckpt;
+    have_saved = true;
+  };
+  EvolvablePlatform first(test::small_platform_config(3));
+  static_cast<void>(
+      evolve_cascade(first, {0, 1, 2}, w.noisy, w.clean, cfg, &preempt));
+  ASSERT_TRUE(have_saved);
+  EXPECT_EQ(saved.kind, MissionCheckpoint::Kind::kCascade);
+
+  const MissionCheckpoint restored = json_round_trip(saved);
+  CheckpointPolicy resume;
+  resume.resume = &restored;
+  EvolvablePlatform second(test::small_platform_config(3));
+  const CascadeResult resumed =
+      evolve_cascade(second, {0, 1, 2}, w.noisy, w.clean, cfg, &resume);
+
+  expect_same_cascade(resumed, reference);
+}
+
+TEST(Checkpoint, CascadeSequentialResumeMidStage) {
+  // 3 stages x 6 generations; preempting after 8 steps lands inside
+  // stage 1 — the restore must pick up mid-cascade, mid-stage.
+  check_cascade_resume(CascadeSchedule::kSequential,
+                       CascadeFitness::kSeparate, 8);
+}
+
+TEST(Checkpoint, CascadeInterleavedResume) {
+  // Interleaved rotation: step 8 is mid-rotation (stage 2 of round 3).
+  check_cascade_resume(CascadeSchedule::kInterleaved,
+                       CascadeFitness::kSeparate, 8);
+}
+
+TEST(Checkpoint, CascadeMergedResume) {
+  check_cascade_resume(CascadeSchedule::kSequential, CascadeFitness::kMerged,
+                       7);
+}
+
+TEST(Checkpoint, CascadeInterleavedMergedResume) {
+  check_cascade_resume(CascadeSchedule::kInterleaved,
+                       CascadeFitness::kMerged, 10);
+}
+
+}  // namespace
+}  // namespace ehw::platform
+
+// --- sched layer: spec lines, checkpoint files, run_spec durability ---------
+
+namespace ehw::sched {
+namespace {
+
+TEST(CheckpointStore, SpecManifestLineRoundTrip) {
+  MissionSpec spec;
+  spec.kind = MissionKind::kCascade;
+  spec.name = "rt";
+  spec.lanes = 3;
+  spec.priority = -2;
+  spec.generations = 77;
+  spec.size = 24;
+  spec.noise = 0.125;
+  spec.mutation_rate = 4;
+  spec.lambda = 7;
+  spec.seed = 99;
+  spec.scene_seed = 12;
+  spec.two_level = true;
+  spec.merged_fitness = true;
+  spec.interleaved = true;
+
+  MissionSpec back;
+  ASSERT_EQ(spec_from_manifest_line(spec_to_manifest_line(spec), back), "");
+  EXPECT_EQ(back.kind, spec.kind);
+  EXPECT_EQ(back.name, spec.name);
+  EXPECT_EQ(back.lanes, spec.lanes);
+  EXPECT_EQ(back.priority, spec.priority);
+  EXPECT_EQ(back.generations, spec.generations);
+  EXPECT_EQ(back.size, spec.size);
+  EXPECT_EQ(back.noise, spec.noise);
+  EXPECT_EQ(back.mutation_rate, spec.mutation_rate);
+  EXPECT_EQ(back.lambda, spec.lambda);
+  EXPECT_EQ(back.seed, spec.seed);
+  EXPECT_EQ(back.scene_seed, spec.scene_seed);
+  EXPECT_EQ(back.two_level, spec.two_level);
+  EXPECT_EQ(back.merged_fitness, spec.merged_fitness);
+  EXPECT_EQ(back.interleaved, spec.interleaved);
+
+  MissionSpec bad;
+  EXPECT_NE(spec_from_manifest_line("not a kind x", bad), "");
+  EXPECT_NE(spec_from_manifest_line("", bad), "");
+}
+
+TEST(CheckpointStore, FileRoundTripAndErrors) {
+  const std::string dir = testing::TempDir() + "ehw_ckpt_store";
+  ASSERT_EQ(ensure_directory(dir), "");
+  const std::string path = dir + "/mission.ckpt";
+
+  MissionSpec spec;
+  spec.name = "stored";
+  spec.lanes = 2;
+  spec.generations = 40;
+  platform::MissionCheckpoint ckpt;
+  ckpt.barrier = 5555;
+  ckpt.pe_writes = 66;
+  ckpt.es.next_generation = 21;
+  ckpt.es.parent = ehw::test::identity_genotype();
+  ckpt.es.es.best = ehw::test::identity_genotype();
+  ASSERT_EQ(save_mission_checkpoint(path, spec, ckpt), "");
+
+  MissionSpec spec_back;
+  platform::MissionCheckpoint ckpt_back;
+  ASSERT_EQ(load_mission_checkpoint(path, spec_back, ckpt_back), "");
+  EXPECT_EQ(spec_back.name, "stored");
+  EXPECT_EQ(spec_back.lanes, 2u);
+  EXPECT_EQ(ckpt_back.barrier, 5555);
+  EXPECT_EQ(ckpt_back.pe_writes, 66u);
+  EXPECT_EQ(ckpt_back.es.next_generation, 21u);
+
+  // Missing file, torn JSON, wrong format tag: descriptive errors, no
+  // throws.
+  EXPECT_NE(load_mission_checkpoint(dir + "/absent.ckpt", spec_back,
+                                    ckpt_back),
+            "");
+  ASSERT_EQ(atomic_write_file(path, "{\"format\":\"mpa-checkpoint-v1\","),
+            "");
+  EXPECT_NE(load_mission_checkpoint(path, spec_back, ckpt_back), "");
+  ASSERT_EQ(atomic_write_file(path, "{\"format\":\"other\"}"), "");
+  EXPECT_NE(load_mission_checkpoint(path, spec_back, ckpt_back), "");
+}
+
+TEST(CheckpointStore, RunSpecStandaloneCheckpointRestore) {
+  // The CLI-facing path: run a spec preempted + checkpointed to a file,
+  // then restore from the file and compare with an uninterrupted run.
+  MissionSpec spec;
+  spec.kind = MissionKind::kDenoise;
+  spec.name = "durable";
+  spec.lanes = 2;
+  spec.generations = 24;
+  spec.size = 16;
+  spec.seed = 3;
+
+  const JobOutcome reference = run_spec_standalone(spec);
+
+  const std::string dir = testing::TempDir() + "ehw_ckpt_runspec";
+  ASSERT_EQ(ensure_directory(dir), "");
+  const std::string path = dir + "/durable.ckpt";
+  MissionCheckpointing preempt;
+  preempt.every = 5;
+  preempt.preempt_after = 9;
+  preempt.sink = [&](const platform::MissionCheckpoint& state) {
+    ASSERT_EQ(save_mission_checkpoint(path, spec, state), "");
+  };
+  static_cast<void>(run_spec_standalone(spec, nullptr, preempt));
+
+  MissionSpec loaded_spec;
+  auto loaded = std::make_shared<platform::MissionCheckpoint>();
+  ASSERT_EQ(load_mission_checkpoint(path, loaded_spec, *loaded), "");
+  EXPECT_EQ(loaded_spec.name, "durable");
+  MissionCheckpointing resume;
+  resume.resume = loaded;
+  const JobOutcome restored = run_spec_standalone(loaded_spec, nullptr,
+                                                  resume);
+
+  EXPECT_EQ(restored.intrinsic.es.best, reference.intrinsic.es.best);
+  EXPECT_EQ(restored.intrinsic.es.best_fitness,
+            reference.intrinsic.es.best_fitness);
+  EXPECT_EQ(restored.intrinsic.es.generations_run,
+            reference.intrinsic.es.generations_run);
+  EXPECT_EQ(restored.stats.mission_time, reference.stats.mission_time);
+}
+
+}  // namespace
+}  // namespace ehw::sched

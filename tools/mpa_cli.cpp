@@ -16,25 +16,37 @@
 //                                                concurrently on one
 //                                                scheduler ArrayPool
 //   serve     [--port N] [--arrays N] ...        run the mission service
-//                                                daemon over one pool
+//             [--journal DIR]                    daemon over one pool;
+//             [--checkpoint-every N] [--no-warm] --journal makes it durable
 //   submit    --port N <kind> <name> [k=v ...]   submit a mission to a
 //                                                daemon and stream it
+//   result    --port N --job ID|NAME             fetch (block for) one
+//                                                job's final result
 //   ps        --port N                           list daemon jobs + stats
 //   cancel    --port N --job ID|NAME             cancel a daemon job
 //   drain     --port N [--wait]                  drain the daemon (finish
 //                                                jobs, refuse new ones)
+//   checkpoint <kind> <name> [k=v ...]           run a mission standalone,
+//             --out ck.json [--every N]          checkpointing to a file
+//             [--preempt G]                      (optionally stop early)
+//   restore   --from ck.json                     resume a checkpointed
+//                                                mission to completion
 //   demo      [--size N] [--noise D]             end-to-end synthetic demo
 //   version                                      build version + protocol
 //
 // Every run is deterministic for a given --seed; batch results are
 // bit-identical whether jobs are multiplexed or run --sequential, and
 // service results are bit-identical to standalone runs of the same spec.
+// A preempted + restored run lands on the bit-identical result of an
+// uninterrupted one — `mpa checkpoint --preempt` then `mpa restore`
+// prints the same result line as `mpa checkpoint` run to completion.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "ehw/analysis/campaign.hpp"
@@ -52,6 +64,7 @@
 #include "ehw/resources/floorplan.hpp"
 #include "ehw/resources/model.hpp"
 #include "ehw/sched/array_pool.hpp"
+#include "ehw/sched/checkpoint_store.hpp"
 #include "ehw/sched/missions.hpp"
 #include "ehw/svc/client.hpp"
 #include "ehw/svc/server.hpp"
@@ -76,27 +89,36 @@ constexpr const char* kBatchUsage =
     "[--sequential]";
 constexpr const char* kServeUsage =
     "mpa serve [--port N] [--address A] [--arrays N] [--cache N] "
-    "[--max-jobs N] [--max-inflight N]";
+    "[--max-jobs N] [--max-inflight N] [--journal DIR] "
+    "[--checkpoint-every N] [--no-warm]";
 constexpr const char* kSubmitUsage =
     "mpa submit --port N [--address A] <kind> <name> [key=value ...] "
     "[--detach] [--quiet] | mpa submit --port N --manifest jobs.txt "
     "[--detach]";
+constexpr const char* kResultUsage =
+    "mpa result --port N [--address A] --job ID|NAME";
 constexpr const char* kPsUsage = "mpa ps --port N [--address A]";
 constexpr const char* kCancelUsage =
     "mpa cancel --port N [--address A] --job ID|NAME";
 constexpr const char* kDrainUsage =
     "mpa drain --port N [--address A] [--wait]";
+constexpr const char* kCheckpointUsage =
+    "mpa checkpoint <kind> <name> [key=value ...] --out ck.json "
+    "[--every N] [--preempt G]";
+constexpr const char* kRestoreUsage = "mpa restore --from ck.json";
 constexpr const char* kDemoUsage = "mpa demo [--size N] [--noise D] [--seed N]";
 
 void print_usage(std::FILE* out) {
   std::fprintf(out,
                "usage: mpa <info|evolve|filter|schematic|campaign|batch|serve|"
-               "submit|ps|cancel|drain|demo|version> [options]\n"
+               "submit|result|ps|cancel|drain|checkpoint|restore|demo|version>"
+               " [options]\n"
                "  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n"
-               "  %s\n  %s\n  mpa version\n",
+               "  %s\n  %s\n  %s\n  %s\n  %s\n  mpa version\n",
                kInfoUsage, kEvolveUsage, kFilterUsage, kSchematicUsage,
                kCampaignUsage, kBatchUsage, kServeUsage, kSubmitUsage,
-               kPsUsage, kCancelUsage, kDrainUsage, kDemoUsage);
+               kResultUsage, kPsUsage, kCancelUsage, kDrainUsage,
+               kCheckpointUsage, kRestoreUsage, kDemoUsage);
 }
 
 int usage() {
@@ -381,6 +403,13 @@ int cmd_serve(const Cli& cli) {
       static_cast<std::size_t>(cli.get_int("max-jobs", 0));
   config.max_inflight =
       static_cast<std::size_t>(cli.get_int("max-inflight", 0));
+  config.journal_dir = cli.get("journal", "");
+  const std::int64_t checkpoint_every = cli.get_int("checkpoint-every", 25);
+  if (checkpoint_every < 0) {
+    fail("invalid --checkpoint-every (generations, 0 = off)", kServeUsage);
+  }
+  config.checkpoint_every = static_cast<std::uint64_t>(checkpoint_every);
+  config.persist_warm = !bare_flag(cli, "no-warm", kServeUsage);
   ThreadPool host_pool;
   config.pool.host_pool = &host_pool;
 
@@ -390,6 +419,18 @@ int cmd_serve(const Cli& cli) {
               server.config().address.c_str(),
               static_cast<unsigned>(server.port()),
               server.pool().num_arrays(), svc::kProtocolVersion, kVersion);
+  if (!server.config().journal_dir.empty()) {
+    const svc::JournalStats journal = server.journal_stats();
+    std::printf(
+        "mpa serve: journal %s | replayed %llu records (%llu finished "
+        "re-served, %llu resumed, %llu from checkpoint)%s\n",
+        server.config().journal_dir.c_str(),
+        static_cast<unsigned long long>(journal.replayed_records),
+        static_cast<unsigned long long>(journal.replayed_finished),
+        static_cast<unsigned long long>(journal.resumed),
+        static_cast<unsigned long long>(journal.resumed_from_checkpoint),
+        journal.truncated_tail ? " [truncated tail]" : "");
+  }
   std::printf("mpa serve: submit with `mpa submit --port %u <kind> <name> "
               "[key=value ...]`, stop with `mpa drain --port %u --wait`\n",
               static_cast<unsigned>(server.port()),
@@ -460,29 +501,35 @@ int cmd_submit_manifest(const Cli& cli, const std::string& manifest_path) {
   return all_done ? 0 : 1;
 }
 
-int cmd_submit(const Cli& cli) {
-  const std::string manifest_path = cli.get("manifest", "");
-  if (!manifest_path.empty()) return cmd_submit_manifest(cli, manifest_path);
-  // The Cli treats the subcommand word as argv[0], so positionals start
-  // at the mission kind: mpa submit --port N <kind> <name> [key=value...]
+/// Builds a mission spec from positionals: <kind> <name> [key=value ...]
+/// (the Cli treats the subcommand word as argv[0], so positionals start
+/// at the mission kind). Shared by submit and checkpoint.
+sched::MissionSpec spec_from_args(const Cli& cli, const char* cmd_usage) {
   const std::vector<std::string>& args = cli.positional();
-  if (args.size() < 2) fail("missing mission kind and name", kSubmitUsage);
+  if (args.size() < 2) fail("missing mission kind and name", cmd_usage);
   sched::MissionSpec spec;
   if (!sched::parse_kind(args[0], spec.kind)) {
-    fail("unknown mission kind '" + args[0] + "'", kSubmitUsage);
+    fail("unknown mission kind '" + args[0] + "'", cmd_usage);
   }
   spec.name = args[1];
   for (std::size_t i = 2; i < args.size(); ++i) {
     const std::size_t eq = args[i].find('=');
     if (eq == std::string::npos || eq == 0 || eq + 1 == args[i].size()) {
-      fail("expected key=value, got '" + args[i] + "'", kSubmitUsage);
+      fail("expected key=value, got '" + args[i] + "'", cmd_usage);
     }
     const std::string error = sched::apply_spec_option(
         spec, args[i].substr(0, eq), args[i].substr(eq + 1));
-    if (!error.empty()) fail(error, kSubmitUsage);
+    if (!error.empty()) fail(error, cmd_usage);
   }
   const std::string invalid = sched::validate_spec(spec);
-  if (!invalid.empty()) fail(invalid, kSubmitUsage);
+  if (!invalid.empty()) fail(invalid, cmd_usage);
+  return spec;
+}
+
+int cmd_submit(const Cli& cli) {
+  const std::string manifest_path = cli.get("manifest", "");
+  if (!manifest_path.empty()) return cmd_submit_manifest(cli, manifest_path);
+  const sched::MissionSpec spec = spec_from_args(cli, kSubmitUsage);
   const bool detach = bare_flag(cli, "detach", kSubmitUsage);
 
   svc::Client client = make_client(cli, kSubmitUsage);
@@ -532,6 +579,132 @@ int cmd_submit(const Cli& cli) {
   return 1;
 }
 
+/// Job reference fields: all-digits means an id, anything else a name.
+void set_job_field(Json& request, const std::string& job) {
+  if (!job.empty() &&
+      job.find_first_not_of("0123456789") == std::string::npos) {
+    request.set("job", static_cast<std::uint64_t>(std::stoull(job)));
+  } else {
+    request.set("job", job);
+  }
+}
+
+int cmd_result(const Cli& cli) {
+  const std::string job = require(cli, "job", kResultUsage);
+  svc::Client client = make_client(cli, kResultUsage);
+  Json request = Json::object();
+  request.set("op", "result");
+  set_job_field(request, job);
+  const Json response = client.request(request);
+  if (!response.get_bool("ok", false)) {
+    std::fprintf(stderr, "mpa result: %s\n",
+                 response.get_string("error", "unknown error").c_str());
+    return 1;
+  }
+  const std::string status = response.get_string("status", "?");
+  const auto id =
+      static_cast<unsigned long long>(response.get_number("job", 0));
+  if (status != "done") {
+    std::printf("job %llu %s: %s\n", id, status.c_str(),
+                response.get_string("error", "(no error detail)").c_str());
+    return 1;
+  }
+  std::printf(
+      "job %llu done%s: fitness %llu, genotype %s, %llu generations, "
+      "%.3f sim s\n",
+      id, response.get_bool("replayed", false) ? " (replayed)" : "",
+      static_cast<unsigned long long>(
+          response.get_number("best_fitness", 0)),
+      response.get_string("genotype_hash", "?").c_str(),
+      static_cast<unsigned long long>(response.get_number("generations", 0)),
+      response.get_number("sim_s", 0.0));
+  return 0;
+}
+
+/// Final line of a standalone checkpoint/restore run. The fields are the
+/// bit-identity contract: a restored run prints the same fitness and
+/// genotype hash as the uninterrupted run of the same spec.
+int report_standalone_outcome(const char* verb,
+                              const sched::MissionSpec& spec,
+                              const sched::JobOutcome& outcome) {
+  if (!outcome.error.empty()) {
+    std::fprintf(stderr, "mpa %s: mission failed: %s\n", verb,
+                 outcome.error.c_str());
+    return 1;
+  }
+  const Json body =
+      svc::outcome_to_json(spec.kind, sched::JobStatus::kDone, outcome);
+  std::printf(
+      "mpa %s: %s %s fitness %llu genotype %s generations %llu "
+      "sim %.3f s\n",
+      verb, sched::kind_name(spec.kind), spec.name.c_str(),
+      static_cast<unsigned long long>(body.get_number("best_fitness", 0)),
+      body.get_string("genotype_hash", "?").c_str(),
+      static_cast<unsigned long long>(body.get_number("generations", 0)),
+      body.get_number("sim_s", 0.0));
+  return 0;
+}
+
+int cmd_checkpoint(const Cli& cli) {
+  const sched::MissionSpec spec = spec_from_args(cli, kCheckpointUsage);
+  const std::string out_path = require(cli, "out", kCheckpointUsage);
+  const std::int64_t every = cli.get_int("every", 25);
+  const std::int64_t preempt = cli.get_int("preempt", 0);
+  if (every < 0 || preempt < 0) {
+    fail("--every and --preempt must be >= 0", kCheckpointUsage);
+  }
+
+  sched::MissionCheckpointing ck;
+  ck.every = static_cast<Generation>(every);
+  ck.preempt_after = static_cast<Generation>(preempt);
+  std::uint64_t written = 0;
+  std::string sink_error;
+  // One file, atomically replaced each time: the latest checkpoint wins.
+  ck.sink = [&](const platform::MissionCheckpoint& state) {
+    const std::string error =
+        sched::save_mission_checkpoint(out_path, spec, state);
+    if (error.empty()) {
+      ++written;
+    } else {
+      sink_error = error;
+    }
+  };
+  ThreadPool host_pool;
+  const sched::JobOutcome outcome =
+      sched::run_spec_standalone(spec, &host_pool, ck);
+  if (!sink_error.empty()) fail("checkpoint write failed: " + sink_error);
+  if (preempt != 0) {
+    std::printf("mpa checkpoint: preempted %s %s after %llu generations; "
+                "%llu checkpoints -> %s\n"
+                "mpa checkpoint: resume with `mpa restore --from %s`\n",
+                sched::kind_name(spec.kind), spec.name.c_str(),
+                static_cast<unsigned long long>(preempt),
+                static_cast<unsigned long long>(written), out_path.c_str(),
+                out_path.c_str());
+    return 0;
+  }
+  std::printf("mpa checkpoint: %llu checkpoints -> %s\n",
+              static_cast<unsigned long long>(written), out_path.c_str());
+  return report_standalone_outcome("checkpoint", spec, outcome);
+}
+
+int cmd_restore(const Cli& cli) {
+  const std::string from = require(cli, "from", kRestoreUsage);
+  sched::MissionSpec spec;
+  auto resume = std::make_shared<platform::MissionCheckpoint>();
+  if (const std::string error =
+          sched::load_mission_checkpoint(from, spec, *resume);
+      !error.empty()) {
+    fail("cannot load " + from + ": " + error, kRestoreUsage);
+  }
+  sched::MissionCheckpointing ck;
+  ck.resume = std::move(resume);
+  ThreadPool host_pool;
+  const sched::JobOutcome outcome =
+      sched::run_spec_standalone(spec, &host_pool, ck);
+  return report_standalone_outcome("restore", spec, outcome);
+}
+
 int cmd_ps(const Cli& cli) {
   svc::Client client = make_client(cli, kPsUsage);
   const Json list = client.list();
@@ -568,6 +741,25 @@ int cmd_ps(const Cli& cli) {
         service->get_bool("draining", false) ? " (draining)" : "",
         static_cast<unsigned long long>(service->get_number("submitted", 0)),
         static_cast<unsigned long long>(service->get_number("rejected", 0)));
+  }
+  const Json* journal = stats.get("journal");
+  if (journal != nullptr) {
+    std::printf(
+        "journal: %s | %llu appended, %llu replayed (%llu re-served, "
+        "%llu resumed, %llu from checkpoint), %llu checkpoints written%s\n",
+        journal->get_string("dir", "?").c_str(),
+        static_cast<unsigned long long>(journal->get_number("appended", 0)),
+        static_cast<unsigned long long>(
+            journal->get_number("replayed_records", 0)),
+        static_cast<unsigned long long>(
+            journal->get_number("replayed_finished", 0)),
+        static_cast<unsigned long long>(journal->get_number("resumed", 0)),
+        static_cast<unsigned long long>(
+            journal->get_number("resumed_from_checkpoint", 0)),
+        static_cast<unsigned long long>(
+            journal->get_number("checkpoints_written", 0)),
+        journal->get_bool("truncated_tail", false) ? " [truncated tail]"
+                                                   : "");
   }
   return 0;
 }
@@ -653,9 +845,12 @@ int main(int argc, char** argv) {
     if (cmd == "batch") return cmd_batch(cli);
     if (cmd == "serve") return cmd_serve(cli);
     if (cmd == "submit") return cmd_submit(cli);
+    if (cmd == "result") return cmd_result(cli);
     if (cmd == "ps") return cmd_ps(cli);
     if (cmd == "cancel") return cmd_cancel(cli);
     if (cmd == "drain") return cmd_drain(cli);
+    if (cmd == "checkpoint") return cmd_checkpoint(cli);
+    if (cmd == "restore") return cmd_restore(cli);
     if (cmd == "demo") return cmd_demo(cli);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mpa %s: %s\n", cmd.c_str(), e.what());

@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke test — the durability gate run by CI and ctest.
+#
+# Scenario: start a durable daemon (`mpa serve --journal`), submit a
+# long mission, kill -9 the daemon mid-flight, restart it on the same
+# journal, and assert the recovered mission lands on the BIT-IDENTICAL
+# result (fitness + genotype hash) of an uninterrupted run of the same
+# spec — resumed from its latest checkpoint, not merely restarted.
+#
+# Usage: recovery_smoke.sh /path/to/mpa [workdir]
+set -u
+
+MPA=${1:?usage: recovery_smoke.sh /path/to/mpa [workdir]}
+WORKDIR=${2:-.}
+JDIR="$WORKDIR/recovery_journal"
+LOG1="$WORKDIR/recovery_serve1.log"
+LOG2="$WORKDIR/recovery_serve2.log"
+
+# Whatever happens (fail, set -u abort, harness timeout), take the
+# daemon down with the script — never leak an orphaned server.
+SERVER_PID=
+cleanup() {
+  if [ -n "${SERVER_PID:-}" ]; then
+    kill "$SERVER_PID" 2>/dev/null
+    wait "$SERVER_PID" 2>/dev/null
+  fi
+}
+trap cleanup EXIT
+
+fail() {
+  echo "recovery_smoke: $*" >&2
+  exit 1
+}
+
+# Waits for "listening on A:P" in $1 while pid $2 stays alive; echoes P.
+wait_port() {
+  local log=$1 pid=$2 port=
+  for _ in $(seq 1 300); do
+    port=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "$log" 2>/dev/null | head -1)
+    if [ -n "$port" ]; then
+      echo "$port"
+      return 0
+    fi
+    kill -0 "$pid" 2>/dev/null || return 1
+    sleep 0.1
+  done
+  return 1
+}
+
+rm -rf "$JDIR"
+rm -f "$LOG1" "$LOG2"
+
+# ---- incarnation 1: durable daemon, long mission, kill -9 mid-flight ----
+"$MPA" serve --arrays 2 --journal "$JDIR" --checkpoint-every 3 >"$LOG1" 2>&1 &
+SERVER_PID=$!
+PORT=$(wait_port "$LOG1" "$SERVER_PID") \
+  || fail "daemon 1 never reported its port: $(cat "$LOG1" 2>/dev/null)"
+
+"$MPA" submit --port "$PORT" denoise rec lanes=2 generations=400 size=32 --detach \
+  || fail "submit failed"
+
+# Wait for a checkpoint sidecar so recovery genuinely RESUMES mid-mission
+# (a from-scratch rerun would also be bit-identical, but would not
+# exercise the restore path).
+CKPT_SEEN=0
+for _ in $(seq 1 600); do
+  if ls "$JDIR"/job-*.ckpt >/dev/null 2>&1; then
+    CKPT_SEEN=1
+    break
+  fi
+  kill -0 "$SERVER_PID" 2>/dev/null || fail "daemon 1 died early: $(cat "$LOG1")"
+  sleep 0.05
+done
+[ "$CKPT_SEEN" = 1 ] || echo "recovery_smoke: warning: no checkpoint before the kill (mission may have finished; journal will re-serve)"
+
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null
+SERVER_PID=
+
+# ---- incarnation 2: same journal; the mission resumes and finishes -----
+"$MPA" serve --arrays 2 --journal "$JDIR" --checkpoint-every 3 >"$LOG2" 2>&1 &
+SERVER_PID=$!
+PORT2=$(wait_port "$LOG2" "$SERVER_PID") \
+  || fail "daemon 2 never reported its port: $(cat "$LOG2" 2>/dev/null)"
+grep -q "journal $JDIR" "$LOG2" || fail "daemon 2 did not report its journal: $(cat "$LOG2")"
+
+RECOVERED=$("$MPA" result --port "$PORT2" --job rec) \
+  || fail "result after recovery failed: $RECOVERED"
+REC_LINE=$(echo "$RECOVERED" | sed -n 's/.*\(fitness [0-9]*, genotype [0-9a-fx]*\).*/\1/p' | head -1)
+[ -n "$REC_LINE" ] || fail "cannot parse recovered result: $RECOVERED"
+
+# ---- reference: the identical spec, uninterrupted, same daemon ---------
+# Deliberately the SAME mission name: daemons must tolerate duplicate
+# names across restarts (lookup by name resolves to the latest id).
+REFERENCE=$("$MPA" submit --port "$PORT2" denoise rec lanes=2 generations=400 size=32 --quiet) \
+  || fail "reference submit failed: $REFERENCE"
+REF_LINE=$(echo "$REFERENCE" | sed -n 's/.*\(fitness [0-9]*, genotype [0-9a-fx]*\).*/\1/p' | head -1)
+[ -n "$REF_LINE" ] || fail "cannot parse reference result: $REFERENCE"
+
+[ "$REC_LINE" = "$REF_LINE" ] \
+  || fail "recovered result differs from uninterrupted run: recovered='$REC_LINE' reference='$REF_LINE'"
+
+"$MPA" ps --port "$PORT2" | grep -q "journal: " || fail "ps does not show the journal"
+
+"$MPA" drain --port "$PORT2" --wait || fail "drain failed"
+wait "$SERVER_PID" || fail "daemon 2 exited non-zero after drain"
+SERVER_PID=
+
+[ -f "$JDIR/warm.json" ] || fail "graceful stop did not persist warm state"
+ls "$JDIR"/job-*.ckpt >/dev/null 2>&1 && fail "checkpoint sidecars not cleaned up after finish"
+
+echo "recovery_smoke: OK ($REC_LINE, checkpoint_seen=$CKPT_SEEN)"

@@ -13,9 +13,19 @@ WORKDIR=${2:-.}
 LOG="$WORKDIR/service_smoke_serve.log"
 SUBMIT_OUT="$WORKDIR/service_smoke_submit.log"
 
+# The daemon dies with the script on ANY exit path (fail, set -u abort,
+# test-harness timeout sending TERM) — never leak an orphaned server.
+SERVER_PID=
+cleanup() {
+  if [ -n "${SERVER_PID:-}" ]; then
+    kill "$SERVER_PID" 2>/dev/null
+    wait "$SERVER_PID" 2>/dev/null
+  fi
+}
+trap cleanup EXIT
+
 fail() {
   echo "service_smoke: $*" >&2
-  [ -n "${SERVER_PID:-}" ] && kill "$SERVER_PID" 2>/dev/null
   exit 1
 }
 
@@ -43,6 +53,7 @@ grep -q "done: fitness" "$SUBMIT_OUT" || fail "no result in: $(cat "$SUBMIT_OUT"
 
 "$MPA" drain --port "$PORT" --wait || fail "drain failed"
 wait "$SERVER_PID" || fail "daemon exited non-zero after drain"
+SERVER_PID=  # exited cleanly; nothing left for the trap
 grep -q "drained after 1 missions (1 done" "$LOG" || fail "unexpected drain summary: $(cat "$LOG")"
 
 echo "service_smoke: OK (port $PORT)"
