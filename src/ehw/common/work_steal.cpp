@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ehw/common/fault.hpp"
+
 namespace ehw {
 namespace {
 
@@ -116,10 +118,20 @@ void WorkStealPool::worker_loop(std::size_t self) {
         std::lock_guard lock(idle_mutex_);
         --queued_;
       }
-      task();
+      fault::maybe_stall(fault::Site::kTaskDelay);
+      bool threw = false;
+      try {
+        task();
+      } catch (...) {
+        // A throwing task must never terminate the worker (and with it
+        // the daemon). The task's owner is responsible for surfacing the
+        // failure; here it is contained and counted.
+        threw = true;
+      }
       {
         std::lock_guard lock(stats_mutex_);
         ++stats_.executed;
+        if (threw) ++stats_.task_exceptions;
       }
       continue;
     }

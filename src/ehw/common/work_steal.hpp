@@ -71,6 +71,11 @@ class WorkStealPool {
     std::uint64_t stolen = 0;
     /// Steal raids (each migrates up to half a victim's deque).
     std::uint64_t steal_batches = 0;
+    /// Tasks that escaped with an exception. Task bodies own their error
+    /// handling (ArrayPool maps mission failures to failed results); a
+    /// throw reaching the worker is a task bug — counted and contained
+    /// here so it can never take the process down.
+    std::uint64_t task_exceptions = 0;
   };
   [[nodiscard]] Stats stats() const;
 

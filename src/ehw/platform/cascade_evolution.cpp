@@ -54,9 +54,10 @@ CascadeResult evolve_cascade_mission(WaveExecutor& executor,
     EHW_REQUIRE(resume->kind == MissionCheckpoint::Kind::kCascade,
                 "checkpoint kind mismatch (expected cascade)");
     EHW_REQUIRE(resume->stages.size() == n,
-                "checkpoint stage count does not match the granted slice");
+                "cascade checkpoint needs a slice exactly as wide as its "
+                "stage count (stages are physical chain positions)");
     EHW_REQUIRE(resume->lane_genotypes.size() == n,
-                "checkpoint lane count does not match the granted slice");
+                "cascade checkpoint lane count must equal the granted slice");
     // Rebuild the fabric at the saved boundary, then reanchor the clock;
     // the restore writes were charged before the save.
     for (std::size_t s = 0; s < n; ++s) {
@@ -209,8 +210,10 @@ CascadeResult evolve_cascade_mission(WaveExecutor& executor,
     ++steps_done;
     const bool cadence =
         checkpoint->every != 0 && steps_done % checkpoint->every == 0;
-    const bool preempt = checkpoint->preempt_after != 0 &&
-                         steps_done >= checkpoint->preempt_after;
+    const bool preempt =
+        (checkpoint->preempt_after != 0 &&
+         steps_done >= checkpoint->preempt_after) ||
+        (checkpoint->should_preempt && checkpoint->should_preempt());
     if ((cadence || preempt) && checkpoint->sink) {
       MissionCheckpoint ckpt;
       ckpt.kind = MissionCheckpoint::Kind::kCascade;
@@ -281,6 +284,7 @@ CascadeResult evolve_cascade_mission(WaveExecutor& executor,
   const img::Image chain_out = chain_filter(platform, arrays, 0, train);
   result.chain_fitness = img::aggregated_mae(chain_out, reference);
   result.duration = std::max(platform.now() - t_start, elapsed_base);
+  result.preempted = preempted;
   return result;
 }
 

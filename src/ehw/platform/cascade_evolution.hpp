@@ -50,6 +50,9 @@ struct CascadeResult {
   /// MAE of the full chain output against the reference.
   Fitness chain_fitness = kInvalidFitness;
   sim::SimTime duration = 0;
+  /// True when the run stopped early on a preemption request (budget or
+  /// should_preempt); the final checkpoint went through the sink.
+  bool preempted = false;
 };
 
 /// Evolves the chain formed by the executor's lanes (in order) to map
@@ -61,6 +64,10 @@ struct CascadeResult {
 /// evolve_mission — one "step" of the cadence/preempt counters is one
 /// per-stage generation. A resumed cascade continues the per-stage RNG
 /// streams and loop cursors and yields bit-identical final results.
+/// Unlike evolve_mission, a cascade's stage count IS its structure (one
+/// physical array per chain stage), so resuming requires a slice exactly
+/// as wide as the checkpoint's — cascades migrate only between
+/// equal-width slices.
 CascadeResult evolve_cascade_mission(
     WaveExecutor& executor, const img::Image& train,
     const img::Image& reference, const CascadeConfig& config,

@@ -89,10 +89,15 @@ struct CheckpointPolicy {
   /// the driver returns its partial result. This is how a mission is
   /// migrated off its slice without killing the process.
   Generation preempt_after = 0;
+  /// Asynchronous preemption: polled at every generation boundary; when
+  /// it returns true the driver emits a final checkpoint (sink set) and
+  /// returns its partial result with `preempted` set. This is how the
+  /// scheduler pulls a running mission off a quarantined slice.
+  std::function<bool()> should_preempt;
 
   [[nodiscard]] bool active() const noexcept {
     return every != 0 || resume != nullptr || preempt_after != 0 ||
-           static_cast<bool>(sink);
+           static_cast<bool>(sink) || static_cast<bool>(should_preempt);
   }
 };
 

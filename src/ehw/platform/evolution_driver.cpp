@@ -34,16 +34,19 @@ IntrinsicResult evolve_mission(WaveExecutor& executor, const img::Image& train,
   if (resume != nullptr) {
     EHW_REQUIRE(resume->kind == MissionCheckpoint::Kind::kEvolve,
                 "checkpoint kind mismatch (expected evolve)");
-    EHW_REQUIRE(resume->lane_genotypes.size() == arrays.size(),
-                "checkpoint lane count does not match the granted slice");
+    EHW_REQUIRE(!resume->lane_genotypes.empty(),
+                "checkpoint carries no lane state");
     // Rebuild the fabric exactly as it was at the boundary (so the first
     // resumed wave's DPR diffs replay bit-identically), then reanchor the
     // clock: the restore writes were already paid for before the save and
-    // are carried in elapsed/pe_writes.
-    for (std::size_t i = 0; i < arrays.size(); ++i) {
+    // are carried in elapsed/pe_writes. Logical lane i lands on physical
+    // array i % granted — ascending order, so when several logical lanes
+    // share an array the highest-numbered one owns the fabric, exactly
+    // the state the previous run's last wave left behind on that array.
+    for (std::size_t i = 0; i < resume->lane_genotypes.size(); ++i) {
       if (resume->lane_genotypes[i].has_value()) {
-        (void)platform.configure_array(arrays[i], *resume->lane_genotypes[i],
-                                       0);
+        (void)platform.configure_array(arrays[i % arrays.size()],
+                                       *resume->lane_genotypes[i], 0);
       }
     }
     platform.reset_time();
@@ -75,7 +78,12 @@ IntrinsicResult evolve_mission(WaveExecutor& executor, const img::Image& train,
     parent_fitness = result.es.best_fitness;
   }
 
-  const std::size_t lanes = arrays.size();
+  // LOGICAL lane count: the width the search was born with. It drives
+  // offspring distribution, RNG consumption and per-lane timing, so a
+  // resumed mission keeps the checkpoint's width even when the granted
+  // physical slice is narrower or wider (migration across slices).
+  const std::size_t lanes =
+      resume != nullptr ? resume->lane_genotypes.size() : arrays.size();
   // At every generation boundary ALL resource bookings end at or before
   // the barrier, so the post-boundary schedule depends only on its value
   // — the property that makes checkpoint/resume bit-identical. On resume
@@ -97,10 +105,12 @@ IntrinsicResult evolve_mission(WaveExecutor& executor, const img::Image& train,
                          : evo::classic_offspring(parent, config.lambda, lanes,
                                                   config.mutation_rate, rng);
 
-    // Candidate i evaluates on the array backing its lane.
+    // Candidate i evaluates on the array backing its LOGICAL lane; with
+    // fewer physical arrays than logical lanes, lanes wrap (j % granted)
+    // and candidates sharing an array serialize on its resource timeline.
     std::vector<std::size_t> wave_lanes(offspring.size());
     for (std::size_t i = 0; i < offspring.size(); ++i) {
-      wave_lanes[i] = arrays[offspring[i].lane];
+      wave_lanes[i] = arrays[offspring[i].lane % arrays.size()];
     }
     const WaveOutcome wave = executor.run_wave(offspring, wave_lanes, train,
                                                reference, barrier);
@@ -127,8 +137,10 @@ IntrinsicResult evolve_mission(WaveExecutor& executor, const img::Image& train,
       ++steps_done;
       const bool cadence =
           checkpoint->every != 0 && gen % checkpoint->every == 0;
-      const bool preempt = checkpoint->preempt_after != 0 &&
-                           steps_done >= checkpoint->preempt_after;
+      const bool preempt =
+          (checkpoint->preempt_after != 0 &&
+           steps_done >= checkpoint->preempt_after) ||
+          (checkpoint->should_preempt && checkpoint->should_preempt());
       if ((cadence || preempt) && checkpoint->sink) {
         MissionCheckpoint ckpt;
         ckpt.kind = MissionCheckpoint::Kind::kEvolve;
@@ -139,9 +151,13 @@ IntrinsicResult evolve_mission(WaveExecutor& executor, const img::Image& train,
         ckpt.elapsed = std::max(platform.now() - t_start, elapsed_base);
         ckpt.pe_writes = writes_base +
                          (platform.engine_stats().pe_writes - writes_start);
-        ckpt.lane_genotypes.reserve(arrays.size());
-        for (const std::size_t a : arrays) {
-          ckpt.lane_genotypes.push_back(platform.configured_genotype(a));
+        // Save LOGICAL lanes: slot j records the fabric of the array that
+        // backs lane j, so a future restore — onto any slice width —
+        // replays the same DPR diffs.
+        ckpt.lane_genotypes.reserve(lanes);
+        for (std::size_t j = 0; j < lanes; ++j) {
+          ckpt.lane_genotypes.push_back(
+              platform.configured_genotype(arrays[j % arrays.size()]));
         }
         ckpt.es.next_generation = gen + 1;
         ckpt.es.parent = parent;
@@ -150,7 +166,10 @@ IntrinsicResult evolve_mission(WaveExecutor& executor, const img::Image& train,
         ckpt.es.rng_state = rng.state();
         checkpoint->sink(ckpt);
       }
-      if (preempt) break;
+      if (preempt) {
+        result.preempted = true;
+        break;
+      }
     }
   }
 

@@ -31,6 +31,10 @@ struct IntrinsicResult {
   sim::SimTime duration = 0;
   /// DPR writes performed during the run.
   std::uint64_t pe_writes = 0;
+  /// True when the run stopped early because the checkpoint policy asked
+  /// for preemption (preempt_after budget or should_preempt). The final
+  /// checkpoint has already been emitted through the sink.
+  bool preempted = false;
   /// Average simulated time per generation (duration / generations).
   [[nodiscard]] double seconds_per_generation() const {
     return es.generations_run == 0
@@ -49,10 +53,17 @@ struct IntrinsicResult {
 ///
 /// `checkpoint` (optional) enables durable runs: emit state at generation
 /// boundaries, resume from a prior MissionCheckpoint, and/or preempt
-/// after a step budget — see platform/checkpoint.hpp. Resuming requires a
-/// lane count equal to the checkpoint's and reanchors the platform clock
-/// via reset_time(), so the caller must own the platform exclusively.
-/// A nullptr / inactive policy is byte-identical to the historical path.
+/// after a step budget — see platform/checkpoint.hpp. Resuming reanchors
+/// the platform clock via reset_time(), so the caller must own the
+/// platform exclusively. The checkpoint's LOGICAL lane count (which
+/// drives offspring distribution, RNG consumption and per-lane timing)
+/// need not match the granted slice: logical lane j maps onto physical
+/// array j % granted. With granted >= logical the resumed run is
+/// bit-identical to the uninterrupted one including simulated time (the
+/// surplus arrays are never booked); with granted < logical fitness,
+/// genotypes and RNG stream stay bit-identical while the simulated
+/// timeline honestly dilates (lanes share arrays). A nullptr / inactive
+/// policy is byte-identical to the historical path.
 IntrinsicResult evolve_mission(WaveExecutor& executor, const img::Image& train,
                                const img::Image& reference,
                                const evo::EsConfig& config,

@@ -4,6 +4,7 @@
 #include <queue>
 #include <tuple>
 
+#include "ehw/common/fault.hpp"
 #include "ehw/evo/batch.hpp"
 #include "ehw/evo/serialize.hpp"
 
@@ -91,8 +92,13 @@ void MissionRunner::notify_wave() {
 
 MissionContext::MissionContext(JobConfig job, const PoolConfig& pool_config,
                                CompiledArrayCache* cache,
-                               evo::FitnessMemo* memo, MissionRunner* runner)
-    : job_(std::move(job)), cache_(cache), runner_(runner) {
+                               evo::FitnessMemo* memo, MissionRunner* runner,
+                               ArrayPool* pool, std::uint64_t job_id)
+    : job_(std::move(job)),
+      cache_(cache),
+      runner_(runner),
+      pool_(pool),
+      job_id_(job_id) {
   wave_memo_.memo = memo;
   platform::PlatformConfig pc;
   pc.num_arrays = job_.lanes;
@@ -111,6 +117,10 @@ void MissionContext::check_cancelled() const {
   if (runner_ != nullptr && runner_->cancel_requested()) {
     throw MissionCancelled();
   }
+}
+
+bool MissionContext::preempt_requested() const noexcept {
+  return runner_ != nullptr && runner_->preempt_requested();
 }
 
 platform::CompiledLane MissionContext::compile_cached(std::size_t lane) {
@@ -152,6 +162,7 @@ platform::WaveOutcome MissionContext::run_wave(
     const std::vector<std::size_t>& wave_lanes, const img::Image& input,
     const img::Image& compare, sim::SimTime barrier) {
   check_cancelled();
+  if (pool_ != nullptr) pool_->poll_wave_faults(job_id_);
   // The frame-set id is recomputed per wave from the actual frame
   // contents (cascade stages swap inputs mid-mission); hashing two
   // frames costs a fraction of evaluating lambda candidates on them.
@@ -174,11 +185,20 @@ ArrayPool::ArrayPool(PoolConfig config)
                                          : &WorkStealPool::shared()),
       cache_(config.cache_capacity),
       memo_(config.fitness_memo_capacity),
+      slots_(config.num_arrays),
       free_arrays_(config.num_arrays) {
   EHW_REQUIRE(config_.num_arrays > 0, "pool needs at least one array");
 }
 
-ArrayPool::~ArrayPool() { wait_all(); }
+ArrayPool::~ArrayPool() {
+  wait_all();
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+}
 
 std::shared_ptr<MissionRunner> ArrayPool::submit(JobConfig job, JobBody body) {
   EHW_REQUIRE(job.lanes >= 1 && job.lanes <= config_.num_arrays,
@@ -194,10 +214,24 @@ std::shared_ptr<MissionRunner> ArrayPool::submit(JobConfig job, JobBody body) {
     rec->config = std::move(job);
     rec->body = std::move(body);
     rec->runner = runner;
-    queue_.push(JobTicket{rec->id, rec->config.name, rec->config.lanes,
-                          rec->config.priority});
-    jobs_.emplace(rec->id, std::move(rec));
-    admit_locked(failures);
+    if (rec->config.lanes > config_.num_arrays - quarantined_) {
+      // The demand can never fit the healthy capacity: fail now instead
+      // of queueing a job that would wait forever (and hang wait_all).
+      rec->finished = true;
+      ++failed_;
+      failures.push_back(FailedStart{
+          rec->runner, "insufficient healthy arrays (" +
+                           std::to_string(config_.num_arrays - quarantined_) +
+                           " of " + std::to_string(config_.num_arrays) +
+                           " healthy, job needs " +
+                           std::to_string(rec->config.lanes) + ")"});
+      jobs_.emplace(rec->id, std::move(rec));
+    } else {
+      queue_.push(JobTicket{rec->id, rec->config.name, rec->config.lanes,
+                            rec->config.priority});
+      jobs_.emplace(rec->id, std::move(rec));
+      admit_locked(failures);
+    }
   }
   finish_failed(failures);
   return runner;
@@ -209,9 +243,28 @@ void ArrayPool::admit_locked(std::vector<FailedStart>& failures) {
     std::optional<JobTicket> ticket = queue_.pop_admissible(free_arrays_);
     if (!ticket.has_value()) break;
     Job* job = jobs_.at(ticket->id).get();
+    // Lease the first free (healthy) slots by id — deterministic, and
+    // the health report names who holds what.
+    job->leased.clear();
+    for (std::size_t id = 0;
+         id < slots_.size() && job->leased.size() < job->config.lanes; ++id) {
+      if (slots_[id].state == ArrayHealth::State::kFree) {
+        slots_[id].state = ArrayHealth::State::kLeased;
+        slots_[id].job_id = job->id;
+        job->leased.push_back(id);
+      }
+    }
+    EHW_ASSERT(job->leased.size() == job->config.lanes,
+               "free-array count out of sync with slot states");
     free_arrays_ -= job->config.lanes;
     ++running_;
     ++pending_tasks_;
+    if (job->config.deadline_ms > 0) {
+      job->has_deadline = true;
+      job->deadline = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(job->config.deadline_ms);
+      ensure_watchdog_locked();
+    }
     {
       std::lock_guard rlock(job->runner->mutex_);
       job->runner->status_ = JobStatus::kRunning;
@@ -228,6 +281,11 @@ void ArrayPool::admit_locked(std::vector<FailedStart>& failures) {
       // fail the job. The runner's finish() — and with it any
       // subscribed observers — is deferred to the caller, outside the
       // pool lock.
+      for (const std::size_t id : job->leased) {
+        slots_[id].state = ArrayHealth::State::kFree;
+        slots_[id].pending_quarantine = false;
+      }
+      job->leased.clear();
       free_arrays_ += job->config.lanes;
       --running_;
       --pending_tasks_;
@@ -251,16 +309,47 @@ void ArrayPool::finish_failed(std::vector<FailedStart>& failures) {
 }
 
 void ArrayPool::run_job(Job* job) {
-  MissionContext context(
-      job->config, config_, config_.cache_capacity > 0 ? &cache_ : nullptr,
-      config_.fitness_memo_capacity > 0 ? &memo_ : nullptr,
-      job->runner.get());
   JobOutcome outcome;
   JobStatus status = JobStatus::kDone;
+  sim::SimTime duration = 0;
   try {
-    job->body(context, outcome);
-  } catch (const MissionCancelled&) {
-    status = JobStatus::kCancelled;
+    if (fault::should_fire(fault::Site::kTaskThrow)) {
+      throw std::runtime_error("injected task fault");
+    }
+    // Constructed INSIDE the try: platform construction can throw (bad
+    // fabric parameters, allocation), and a poison job must become a
+    // failed result — never an exception escaping into the worker.
+    MissionContext context(
+        job->config, config_, config_.cache_capacity > 0 ? &cache_ : nullptr,
+        config_.fitness_memo_capacity > 0 ? &memo_ : nullptr,
+        job->runner.get(), this, job->id);
+    try {
+      job->body(context, outcome);
+    } catch (const MissionPreempted&) {
+      status = JobStatus::kPreempted;
+    } catch (const MissionCancelled&) {
+      if (job->runner->deadline_exceeded()) {
+        status = JobStatus::kFailed;
+        outcome.error = "deadline exceeded (" +
+                        std::to_string(job->config.deadline_ms) + " ms)";
+      } else {
+        status = JobStatus::kCancelled;
+      }
+    } catch (const std::exception& e) {
+      status = JobStatus::kFailed;
+      outcome.error = e.what();
+    } catch (...) {
+      status = JobStatus::kFailed;
+      outcome.error = "unknown job error";
+    }
+    // Cache traffic is an execution statistic (depends on what other
+    // missions warmed the cache with), layered onto the bit-reproducible
+    // mission results.
+    outcome.stats.cache_hits = context.cache_hits();
+    outcome.stats.cache_misses = context.cache_misses();
+    outcome.stats.memo_hits = context.memo_hits();
+    outcome.stats.memo_misses = context.memo_misses();
+    duration = context.platform().now();
   } catch (const std::exception& e) {
     status = JobStatus::kFailed;
     outcome.error = e.what();
@@ -268,36 +357,50 @@ void ArrayPool::run_job(Job* job) {
     status = JobStatus::kFailed;
     outcome.error = "unknown job error";
   }
-  // Cache traffic is an execution statistic (depends on what other
-  // missions warmed the cache with), layered onto the bit-reproducible
-  // mission results.
-  outcome.stats.cache_hits = context.cache_hits();
-  outcome.stats.cache_misses = context.cache_misses();
-  outcome.stats.memo_hits = context.memo_hits();
-  outcome.stats.memo_misses = context.memo_misses();
-  const sim::SimTime duration = context.platform().now();
-  job->runner->finish(status, std::move(outcome), duration);
   std::vector<FailedStart> failures;
   {
     std::lock_guard lock(mutex_);
     job->sim_duration = duration;
-    job->finished = true;
     switch (status) {
       case JobStatus::kDone: ++done_; break;
       case JobStatus::kFailed: ++failed_; break;
       case JobStatus::kCancelled: ++cancelled_; break;
+      case JobStatus::kPreempted: ++preempted_; break;
       case JobStatus::kQueued:
       case JobStatus::kRunning: break;  // unreachable terminal states
     }
-    free_arrays_ += job->config.lanes;
+    // Release the lease; an array flagged for quarantine mid-flight
+    // leaves service here instead of returning to the free set.
+    for (const std::size_t id : job->leased) {
+      if (slots_[id].pending_quarantine) {
+        slots_[id].state = ArrayHealth::State::kQuarantined;
+        slots_[id].pending_quarantine = false;
+        ++quarantined_;
+      } else {
+        slots_[id].state = ArrayHealth::State::kFree;
+        ++free_arrays_;
+      }
+    }
+    job->leased.clear();
     --running_;
+    evict_unsatisfiable_locked(failures);
     admit_locked(failures);
-    --pending_tasks_;  // last: nothing after this section touches *this
-    cv_.notify_all();  // under the lock: wait_all may destroy the pool next
   }
+  // Wake result() waiters only after the pool's books reflect the job —
+  // a caller returning from result() may immediately read pool_stats()
+  // or array_health() and must see the completed state, not a snapshot
+  // from mid-teardown. finish() is called outside mutex_ (it takes the
+  // runner's own lock and may run user completion paths).
+  job->runner->finish(status, std::move(outcome), duration);
   // finish_failed is static and touches only the failure records'
   // runners (kept alive by their shared_ptrs), never the pool.
   finish_failed(failures);
+  {
+    std::lock_guard lock(mutex_);
+    job->finished = true;
+    --pending_tasks_;  // last: nothing after this section touches *this
+    cv_.notify_all();  // under the lock: wait_all may destroy the pool next
+  }
 }
 
 void ArrayPool::wait_all() {
@@ -329,17 +432,179 @@ std::size_t ArrayPool::jobs_in_flight() const {
   return queue_.size() + running_;
 }
 
+// --- quarantine and the deadline watchdog -----------------------------------
+
+void ArrayPool::quarantine_locked(std::size_t id,
+                                  std::vector<FailedStart>& failures) {
+  if (id >= slots_.size()) return;
+  ArraySlot& slot = slots_[id];
+  switch (slot.state) {
+    case ArrayHealth::State::kFree:
+      slot.state = ArrayHealth::State::kQuarantined;
+      --free_arrays_;
+      ++quarantined_;
+      break;
+    case ArrayHealth::State::kLeased: {
+      // Can't pull a live lease out from under its platform slice:
+      // flag it, preempt the owner (it checkpoints at its next
+      // generation boundary), and quarantine on release.
+      if (!slot.pending_quarantine) {
+        slot.pending_quarantine = true;
+        auto it = jobs_.find(slot.job_id);
+        if (it != jobs_.end() && it->second->runner != nullptr) {
+          it->second->runner->request_preempt();
+        }
+      }
+      break;
+    }
+    case ArrayHealth::State::kQuarantined:
+      break;
+  }
+  evict_unsatisfiable_locked(failures);
+}
+
+void ArrayPool::evict_unsatisfiable_locked(
+    std::vector<FailedStart>& failures) {
+  // Pending quarantines count against future capacity too: the lease
+  // holding them will release into quarantine.
+  std::size_t pending = 0;
+  for (const ArraySlot& slot : slots_) {
+    if (slot.pending_quarantine) ++pending;
+  }
+  const std::size_t healthy = config_.num_arrays - quarantined_ - pending;
+  for (JobTicket& ticket : queue_.evict_wider_than(healthy)) {
+    Job* job = jobs_.at(ticket.id).get();
+    job->finished = true;
+    ++failed_;
+    failures.push_back(FailedStart{
+        job->runner, "insufficient healthy arrays (" +
+                         std::to_string(healthy) + " of " +
+                         std::to_string(config_.num_arrays) +
+                         " healthy, job needs " +
+                         std::to_string(job->config.lanes) + ")"});
+  }
+  if (!failures.empty()) cv_.notify_all();
+}
+
+void ArrayPool::quarantine_array(std::size_t id) {
+  std::vector<FailedStart> failures;
+  {
+    std::lock_guard lock(mutex_);
+    quarantine_locked(id, failures);
+  }
+  finish_failed(failures);
+}
+
+bool ArrayPool::heal_array(std::size_t id) {
+  std::vector<FailedStart> failures;
+  bool healed = false;
+  {
+    std::lock_guard lock(mutex_);
+    if (id < slots_.size()) {
+      ArraySlot& slot = slots_[id];
+      if (slot.state == ArrayHealth::State::kQuarantined) {
+        slot.state = ArrayHealth::State::kFree;
+        ++free_arrays_;
+        --quarantined_;
+        healed = true;
+        admit_locked(failures);
+      } else if (slot.pending_quarantine) {
+        slot.pending_quarantine = false;
+        healed = true;
+      }
+    }
+  }
+  finish_failed(failures);
+  return healed;
+}
+
+std::size_t ArrayPool::healthy_arrays() const {
+  std::lock_guard lock(mutex_);
+  return config_.num_arrays - quarantined_;
+}
+
+std::vector<ArrayPool::ArrayHealth> ArrayPool::array_health() const {
+  std::lock_guard lock(mutex_);
+  std::vector<ArrayHealth> report(slots_.size());
+  for (std::size_t id = 0; id < slots_.size(); ++id) {
+    report[id].id = id;
+    report[id].state = slots_[id].state;
+    report[id].pending_quarantine = slots_[id].pending_quarantine;
+    if (slots_[id].state == ArrayHealth::State::kLeased) {
+      auto it = jobs_.find(slots_[id].job_id);
+      if (it != jobs_.end()) report[id].job = it->second->config.name;
+    }
+  }
+  return report;
+}
+
+void ArrayPool::poll_wave_faults(std::uint64_t job_id) {
+  if (!fault::should_fire(fault::Site::kLaneSeu)) return;
+  std::vector<FailedStart> failures;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = jobs_.find(job_id);
+    if (it == jobs_.end() || it->second->leased.empty()) return;
+    // Deterministic victim: the job's first leased array.
+    quarantine_locked(it->second->leased.front(), failures);
+  }
+  finish_failed(failures);
+}
+
+void ArrayPool::ensure_watchdog_locked() {
+  if (watchdog_.joinable()) {
+    watchdog_cv_.notify_all();
+    return;
+  }
+  watchdog_ = std::thread([this] { watchdog_loop(); });
+}
+
+void ArrayPool::watchdog_loop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (stopping_) return;
+    // Nearest pending deadline among running jobs.
+    bool any = false;
+    std::chrono::steady_clock::time_point next{};
+    const auto now = std::chrono::steady_clock::now();
+    for (auto& [id, job] : jobs_) {
+      if (job->finished || !job->has_deadline || job->deadline_fired ||
+          job->leased.empty()) {
+        continue;
+      }
+      if (job->deadline <= now) {
+        job->deadline_fired = true;
+        ++deadline_expired_;
+        job->runner->expire();
+        continue;
+      }
+      if (!any || job->deadline < next) {
+        any = true;
+        next = job->deadline;
+      }
+    }
+    if (any) {
+      watchdog_cv_.wait_until(lock, next);
+    } else {
+      watchdog_cv_.wait(lock);
+    }
+  }
+}
+
 ArrayPool::PoolStats ArrayPool::pool_stats() const {
   std::lock_guard lock(mutex_);
   PoolStats stats;
   stats.num_arrays = config_.num_arrays;
   stats.free_arrays = free_arrays_;
+  stats.quarantined = quarantined_;
   stats.running = running_;
   stats.queued = queue_.size();
   stats.submitted = submitted_;
   stats.done = done_;
   stats.failed = failed_;
   stats.cancelled = cancelled_;
+  stats.preempted = preempted_;
+  stats.deadline_expired = deadline_expired_;
   return stats;
 }
 

@@ -40,6 +40,7 @@
 // thread interleaving. See simulated_schedule().
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -48,6 +49,7 @@
 #include <mutex>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ehw/common/json.hpp"
@@ -103,6 +105,10 @@ struct JobConfig {
   /// of the same mission see identical hardware.
   std::uint64_t platform_seed = 0x13572468ACE02468ULL;
   bool enable_trace = false;
+  /// Wall-clock budget once RUNNING (0 = none). A job past its deadline
+  /// is expired by the pool watchdog at its next wave boundary and
+  /// finishes kFailed with a "deadline exceeded" error.
+  std::uint64_t deadline_ms = 0;
 };
 
 enum class JobStatus : std::uint8_t {
@@ -111,6 +117,10 @@ enum class JobStatus : std::uint8_t {
   kDone,
   kFailed,
   kCancelled,
+  /// Stopped at a generation boundary by a preemption request (lane
+  /// quarantine / migration); the job's latest checkpoint carries its
+  /// state, and the submitter decides whether to resubmit it elsewhere.
+  kPreempted,
 };
 
 /// Everything a finished job hands back. Which members are meaningful
@@ -130,6 +140,14 @@ struct JobOutcome {
 class MissionCancelled : public std::runtime_error {
  public:
   MissionCancelled() : std::runtime_error("mission cancelled") {}
+};
+
+/// Thrown by job bodies that stopped at a generation boundary in answer
+/// to MissionRunner::request_preempt() (after emitting their checkpoint);
+/// the pool catches it and marks the job kPreempted.
+class MissionPreempted : public std::runtime_error {
+ public:
+  MissionPreempted() : std::runtime_error("mission preempted") {}
 };
 
 class ArrayPool;
@@ -158,6 +176,23 @@ class MissionRunner {
   /// boundary (or MissionContext::check_cancelled call). No-op once the
   /// job finished.
   void cancel() noexcept { cancel_.store(true, std::memory_order_relaxed); }
+
+  /// Requests cooperative preemption: the job body stops at its next
+  /// GENERATION boundary (after emitting a checkpoint, when it has a
+  /// sink) and finishes kPreempted. Unlike cancel(), the job's evolved
+  /// state survives — the submitter can resume it on a different slice.
+  void request_preempt() noexcept {
+    preempt_.store(true, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool preempt_requested() const noexcept {
+    return preempt_.load(std::memory_order_relaxed);
+  }
+
+  /// True once the pool watchdog expired this job's deadline (the
+  /// cancellation that follows is reported kFailed, not kCancelled).
+  [[nodiscard]] bool deadline_exceeded() const noexcept {
+    return deadline_exceeded_.load(std::memory_order_relaxed);
+  }
 
   /// Blocks until the job left the running set (done/failed/cancelled).
   void wait() const;
@@ -191,12 +226,19 @@ class MissionRunner {
   [[nodiscard]] bool cancel_requested() const noexcept {
     return cancel_.load(std::memory_order_relaxed);
   }
+  /// Watchdog path: flags the deadline, then cancels cooperatively.
+  void expire() noexcept {
+    deadline_exceeded_.store(true, std::memory_order_relaxed);
+    cancel();
+  }
   void finish(JobStatus status, JobOutcome outcome, sim::SimTime duration);
   /// Counts one completed wave and fires progress observers.
   void notify_wave();
 
   std::string name_;
   std::atomic<bool> cancel_{false};
+  std::atomic<bool> preempt_{false};
+  std::atomic<bool> deadline_exceeded_{false};
   std::atomic<std::uint64_t> waves_{0};
   mutable std::mutex mutex_;
   mutable std::condition_variable cv_;
@@ -241,11 +283,16 @@ class MissionContext final : public platform::WaveExecutor {
     return wave_memo_.stats.misses;
   }
 
+  /// True when the owning runner was asked to preempt; job bodies poll
+  /// this at generation boundaries (via CheckpointPolicy.should_preempt).
+  [[nodiscard]] bool preempt_requested() const noexcept;
+
  private:
   friend class ArrayPool;
   MissionContext(JobConfig job, const PoolConfig& pool_config,
                  CompiledArrayCache* cache, evo::FitnessMemo* memo,
-                 MissionRunner* runner);
+                 MissionRunner* runner, ArrayPool* pool = nullptr,
+                 std::uint64_t job_id = 0);
 
   [[nodiscard]] platform::CompiledLane compile_cached(std::size_t lane);
 
@@ -254,6 +301,8 @@ class MissionContext final : public platform::WaveExecutor {
   std::vector<std::size_t> lanes_;
   CompiledArrayCache* cache_;  // nullptr-safe (uncached)
   MissionRunner* runner_;
+  ArrayPool* pool_;        // nullptr-safe (no SEU polling)
+  std::uint64_t job_id_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   /// Shared memo + accumulated per-mission hit/miss tally; the frame-set
@@ -293,6 +342,37 @@ class ArrayPool {
   /// records released.
   std::size_t reap_finished();
 
+  // --- lane quarantine ----------------------------------------------------
+  /// Takes array `id` out of the schedulable capacity. A free array is
+  /// quarantined immediately; a leased one is flagged and its job is
+  /// asked to preempt (it quarantines when the lease is released).
+  /// Queued jobs whose lane demand can never fit the remaining healthy
+  /// capacity are failed rather than left waiting forever.
+  void quarantine_array(std::size_t id);
+
+  /// Returns a quarantined array to service (or clears a pending
+  /// quarantine on a leased one). False when `id` was already healthy.
+  bool heal_array(std::size_t id);
+
+  /// Arrays not quarantined (the degraded schedulable capacity).
+  [[nodiscard]] std::size_t healthy_arrays() const;
+
+  struct ArrayHealth {
+    std::size_t id = 0;
+    enum class State : std::uint8_t { kFree, kLeased, kQuarantined };
+    State state = State::kFree;
+    bool pending_quarantine = false;
+    /// Name of the leasing job (kLeased only).
+    std::string job;
+  };
+  [[nodiscard]] std::vector<ArrayHealth> array_health() const;
+
+  /// Wave-boundary hook called from MissionContext::run_wave: when the
+  /// lane-SEU fault site fires, one of the calling job's leased arrays is
+  /// quarantined (which preempts that job at its next generation
+  /// boundary).
+  void poll_wave_faults(std::uint64_t job_id);
+
   /// Shared compiled-array cache traffic (all missions).
   [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
 
@@ -329,14 +409,20 @@ class ArrayPool {
   struct PoolStats {
     std::size_t num_arrays = 0;
     std::size_t free_arrays = 0;
+    std::size_t quarantined = 0;
     std::size_t running = 0;
     std::size_t queued = 0;
     std::uint64_t submitted = 0;
     std::uint64_t done = 0;
     std::uint64_t failed = 0;
     std::uint64_t cancelled = 0;
+    std::uint64_t preempted = 0;
+    std::uint64_t deadline_expired = 0;
+    [[nodiscard]] std::size_t healthy() const noexcept {
+      return num_arrays - quarantined;
+    }
     [[nodiscard]] std::uint64_t finished() const noexcept {
-      return done + failed + cancelled;
+      return done + failed + cancelled + preempted;
     }
   };
   [[nodiscard]] PoolStats pool_stats() const;
@@ -385,6 +471,19 @@ class ArrayPool {
     std::uint64_t id = 0;
     bool finished = false;       // guarded by pool mutex
     sim::SimTime sim_duration = 0;
+    /// Array ids leased while running (guarded by pool mutex; empty when
+    /// queued or released).
+    std::vector<std::size_t> leased;
+    bool has_deadline = false;
+    bool deadline_fired = false;
+    std::chrono::steady_clock::time_point deadline{};
+  };
+  /// Per-array identity and health; free_arrays_ always equals the
+  /// number of kFree slots.
+  struct ArraySlot {
+    ArrayHealth::State state = ArrayHealth::State::kFree;
+    bool pending_quarantine = false;
+    std::uint64_t job_id = 0;  // meaningful while kLeased
   };
   /// A job whose body could not be dispatched to the execution core:
   /// its finish() must be fired AFTER mutex_ is released (observers may
@@ -401,6 +500,13 @@ class ArrayPool {
   void admit_locked(std::vector<FailedStart>& failures);
   static void finish_failed(std::vector<FailedStart>& failures);
   void run_job(Job* job);
+  /// Quarantines `id` (see quarantine_array); caller holds mutex_ and
+  /// finishes `failures` outside it.
+  void quarantine_locked(std::size_t id, std::vector<FailedStart>& failures);
+  /// Fails queued jobs that can never fit the healthy capacity.
+  void evict_unsatisfiable_locked(std::vector<FailedStart>& failures);
+  void ensure_watchdog_locked();
+  void watchdog_loop();
 
   PoolConfig config_;
   WorkStealPool* workers_;  // resolved: config_.workers or the shared core
@@ -413,7 +519,9 @@ class ArrayPool {
   std::map<std::uint64_t, std::unique_ptr<Job>> jobs_;
   std::uint64_t next_job_id_ = 0;
   std::uint64_t submitted_ = 0;  // survives reaping, unlike jobs_.size()
+  std::vector<ArraySlot> slots_;  // one per array, guarded by mutex_
   std::size_t free_arrays_;
+  std::size_t quarantined_ = 0;
   std::size_t running_ = 0;
   /// Job tasks handed to the execution core whose run_job has not yet
   /// reached its final critical section; wait_all (and therefore the
@@ -424,6 +532,13 @@ class ArrayPool {
   std::uint64_t done_ = 0;
   std::uint64_t failed_ = 0;
   std::uint64_t cancelled_ = 0;
+  std::uint64_t preempted_ = 0;
+  std::uint64_t deadline_expired_ = 0;
+  // Deadline watchdog: started lazily with the first deadline job,
+  // woken on admissions and shutdown (guarded by mutex_ / watchdog_cv_).
+  std::thread watchdog_;
+  std::condition_variable watchdog_cv_;
+  bool stopping_ = false;
 };
 
 }  // namespace ehw::sched

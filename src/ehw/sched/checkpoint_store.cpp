@@ -1,5 +1,6 @@
 #include "ehw/sched/checkpoint_store.hpp"
 
+#include "ehw/common/fault.hpp"
 #include "ehw/common/persist.hpp"
 
 namespace ehw::sched {
@@ -11,6 +12,9 @@ constexpr const char* kFileFormatTag = "mpa-checkpoint-v1";
 std::string save_mission_checkpoint(
     const std::string& path, const MissionSpec& spec,
     const platform::MissionCheckpoint& checkpoint) {
+  if (fault::should_fire(fault::Site::kCheckpointIo)) {
+    return "injected checkpoint I/O fault";
+  }
   Json doc(Json::Object{
       {"format", Json(kFileFormatTag)},
       {"spec", Json(spec_to_manifest_line(spec))},

@@ -53,4 +53,17 @@ std::optional<JobTicket> JobQueue::pop_admissible(std::size_t free_arrays) {
   return admitted;
 }
 
+std::vector<JobTicket> JobQueue::evict_wider_than(std::size_t max_lanes) {
+  std::vector<JobTicket> evicted;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->ticket.lanes > max_lanes) {
+      evicted.push_back(std::move(it->ticket));
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
 }  // namespace ehw::sched

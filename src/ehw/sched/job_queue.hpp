@@ -53,6 +53,13 @@ class JobQueue {
   [[nodiscard]] std::optional<JobTicket> pop_admissible(
       std::size_t free_arrays);
 
+  /// Removes and returns every pending ticket whose lane demand exceeds
+  /// `max_lanes`. Used when quarantine shrinks the pool's healthy
+  /// capacity below what a queued job needs: such a ticket could wait
+  /// forever, so the pool fails it cleanly instead.
+  [[nodiscard]] std::vector<JobTicket> evict_wider_than(
+      std::size_t max_lanes);
+
   /// Effective priority a ticket currently queued would be ranked with
   /// (exposed for tests and schedule introspection).
   [[nodiscard]] int effective_priority(const JobTicket& ticket,

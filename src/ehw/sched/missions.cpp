@@ -124,6 +124,9 @@ std::string apply_spec_option(MissionSpec& spec, const std::string& key,
     spec.merged_fitness = value != "0";
   } else if (key == "interleaved") {
     spec.interleaved = value != "0";
+  } else if (key == "deadline-ms") {
+    if (!parse_u64(value, u64)) return bad_value();
+    spec.deadline_ms = u64;
   } else {
     return "unknown key '" + key + "'";
   }
@@ -210,6 +213,7 @@ JobConfig make_job_config(const MissionSpec& spec) {
   job.name = spec.name;
   job.lanes = spec.lanes;
   job.priority = spec.priority;
+  job.deadline_ms = spec.deadline_ms;
   return job;
 }
 
@@ -231,6 +235,7 @@ std::string spec_to_manifest_line(const MissionSpec& spec) {
   line << " two-level=" << (spec.two_level ? 1 : 0);
   line << " merged=" << (spec.merged_fitness ? 1 : 0);
   line << " interleaved=" << (spec.interleaved ? 1 : 0);
+  line << " deadline-ms=" << spec.deadline_ms;
   return line.str();
 }
 
@@ -260,6 +265,7 @@ void run_spec(platform::WaveExecutor& executor, const MissionSpec& spec,
   policy.preempt_after = ck.preempt_after;
   policy.sink = ck.sink;
   policy.resume = ck.resume.get();
+  policy.should_preempt = ck.should_preempt;
   const platform::CheckpointPolicy* checkpoint =
       ck.active() ? &policy : nullptr;
   if (spec.kind == MissionKind::kCascade) {
@@ -288,7 +294,19 @@ ArrayPool::JobBody make_job_body(MissionSpec spec) {
 ArrayPool::JobBody make_job_body(MissionSpec spec, MissionCheckpointing ck) {
   return [spec = std::move(spec), ck = std::move(ck)](
              MissionContext& context, JobOutcome& outcome) {
-    run_spec(context, spec, outcome, ck);
+    // Fold the pool's preemption request (lane quarantine pulling the
+    // mission off its slice) into the driver's boundary poll, so every
+    // pooled mission is migratable — not only those the caller configured.
+    MissionCheckpointing durable = ck;
+    const std::function<bool()> upstream = durable.should_preempt;
+    durable.should_preempt = [&context, upstream] {
+      return context.preempt_requested() || (upstream && upstream());
+    };
+    run_spec(context, spec, outcome, durable);
+    const bool preempted = spec.kind == MissionKind::kCascade
+                               ? outcome.cascade.preempted
+                               : outcome.intrinsic.preempted;
+    if (preempted) throw MissionPreempted();
   };
 }
 

@@ -12,7 +12,7 @@
 // Manifest format (one job per line; '#' starts a comment):
 //   <kind> <name> [key=value ...]
 // keys: lanes, priority, generations, size, noise, rate, lambda, seed,
-//       scene-seed, two-level, merged, interleaved
+//       scene-seed, two-level, merged, interleaved, deadline-ms
 // e.g.
 //   denoise dn0 lanes=3 generations=300 noise=0.3 seed=5
 //   cascade ca0 lanes=3 generations=80 interleaved=1
@@ -56,6 +56,9 @@ struct MissionSpec {
   /// Cascade options (ignored by the other kinds).
   bool merged_fitness = false;
   bool interleaved = false;
+  /// Host wall-clock deadline in milliseconds (0 = none): a pooled job
+  /// still running past it is cancelled and reported failed.
+  std::uint64_t deadline_ms = 0;
 };
 
 /// True when `word` names a mission kind (and sets `kind`).
@@ -64,7 +67,7 @@ struct MissionSpec {
 
 /// Applies one option from the manifest key vocabulary (lanes, priority,
 /// generations, size, noise, rate, lambda, seed, scene-seed, two-level,
-/// merged, interleaved) to the spec. Returns "" on success, otherwise an
+/// merged, interleaved, deadline-ms) to the spec. Returns "" on success, otherwise an
 /// error message (unknown key, unparsable or out-of-range value). Shared
 /// by the manifest parser and the svc submit payload so every entry point
 /// speaks the same vocabulary with the same validation.
@@ -109,10 +112,13 @@ struct MissionCheckpointing {
   Generation preempt_after = 0;
   std::function<void(const platform::MissionCheckpoint&)> sink;
   std::shared_ptr<const platform::MissionCheckpoint> resume;
+  /// Polled at generation boundaries; true asks the driver to emit a
+  /// final checkpoint and stop (see CheckpointPolicy::should_preempt).
+  std::function<bool()> should_preempt;
 
   [[nodiscard]] bool active() const noexcept {
     return every != 0 || preempt_after != 0 || resume != nullptr ||
-           static_cast<bool>(sink);
+           static_cast<bool>(sink) || static_cast<bool>(should_preempt);
   }
 };
 

@@ -1,6 +1,8 @@
 #include "ehw/svc/client.hpp"
 
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 
 namespace ehw::svc {
 namespace {
@@ -17,10 +19,23 @@ Json parse_frame(const std::string& line) {
   return frame;
 }
 
+/// Timeouts must land on the raw socket before LineChannel takes
+/// ownership — the channel has no fd accessor by design.
+Socket connect_with_timeout(const std::string& address, std::uint16_t port,
+                            int io_timeout_ms) {
+  Socket socket = Socket::connect_to(address, port);
+  if (io_timeout_ms > 0) {
+    socket.set_recv_timeout(io_timeout_ms);
+    socket.set_send_timeout(io_timeout_ms);
+  }
+  return socket;
+}
+
 }  // namespace
 
-Client::Client(std::uint16_t port, const std::string& address)
-    : channel_(Socket::connect_to(address, port)) {
+Client::Client(std::uint16_t port, const std::string& address,
+               int io_timeout_ms)
+    : channel_(connect_with_timeout(address, port, io_timeout_ms)) {
   std::string line;
   if (!channel_.read_line(line)) connection_lost();
   const Json greeting = parse_frame(line);
@@ -121,9 +136,24 @@ Json Client::job_op(const char* op, std::uint64_t job) {
   return roundtrip(request);
 }
 
+Json Client::named_op(const char* op, const std::string& name) {
+  Json request = Json::object();
+  request.set("op", op);
+  request.set("job", name);
+  return roundtrip(request);
+}
+
 Json Client::status(std::uint64_t job) { return job_op("status", job); }
 
+Json Client::status_by_name(const std::string& name) {
+  return named_op("status", name);
+}
+
 Json Client::result(std::uint64_t job) { return job_op("result", job); }
+
+Json Client::result_by_name(const std::string& name) {
+  return named_op("result", name);
+}
 
 bool Client::cancel(std::uint64_t job) {
   return job_op("cancel", job).get_bool("ok", false);
@@ -186,6 +216,67 @@ std::string Client::watch(
     if (finished) return final_status;
   }
   connection_lost();
+}
+
+Json with_retry(std::uint16_t port, const std::string& address,
+                const RetryPolicy& policy,
+                const std::function<Json(Client&)>& op) {
+  const int attempts = policy.retries >= 0 ? policy.retries + 1 : 1;
+  int delay_ms = policy.backoff_ms > 0 ? policy.backoff_ms : 100;
+  std::string last_error = "no attempt made";
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt != 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      if (delay_ms < 60'000) delay_ms *= 2;  // cap the exponential climb
+    }
+    try {
+      Client client(port, address, policy.io_timeout_ms);
+      return op(client);
+    } catch (const std::exception& e) {
+      last_error = e.what();
+    }
+  }
+  throw std::runtime_error("mission service unreachable after " +
+                           std::to_string(attempts) +
+                           " attempt(s): " + last_error);
+}
+
+IdempotentSubmit submit_idempotent(std::uint16_t port,
+                                   const std::string& address,
+                                   const sched::MissionSpec& spec,
+                                   const RetryPolicy& policy) {
+  IdempotentSubmit out;
+  try {
+    const Json response =
+        with_retry(port, address, policy, [&spec](Client& client) -> Json {
+          // Probe first: if any incarnation of the daemon (including one
+          // that just restarted and replayed its journal) already knows
+          // this mission name, the earlier submit landed — a second
+          // submit would double-run it.
+          Json known = client.status_by_name(spec.name);
+          if (known.get_bool("ok", false)) {
+            known.set("already_known", true);
+            return known;
+          }
+          Json request = Json::object();
+          request.set("op", "submit");
+          request.set("spec", spec_to_json(spec));
+          return client.request(request);
+        });
+    out.ok = response.get_bool("ok", false);
+    out.already_known = response.get_bool("already_known", false);
+    if (out.ok) {
+      out.job = static_cast<std::uint64_t>(response.get_number("job", 0));
+    } else {
+      out.error = response.get_string("error", "unknown error");
+      out.code = response.get_string("code", "");
+    }
+  } catch (const std::exception& e) {
+    out.ok = false;
+    out.error = e.what();
+    out.code = "unreachable";
+  }
+  return out;
 }
 
 }  // namespace ehw::svc

@@ -24,9 +24,14 @@ class Client {
  public:
   /// Connects and performs the versioned handshake. Throws
   /// std::runtime_error on connection failure, a non-service peer, or a
-  /// protocol version mismatch.
+  /// protocol version mismatch. `io_timeout_ms` (0 = none) bounds every
+  /// socket read AND write (SO_RCVTIMEO/SO_SNDTIMEO), so a stalled or
+  /// dead daemon surfaces as a lost connection instead of a hang — note
+  /// it also bounds the blocking `result` wait, so pair it with ops that
+  /// poll (status) or with with_retry for long missions.
   explicit Client(std::uint16_t port,
-                  const std::string& address = "127.0.0.1");
+                  const std::string& address = "127.0.0.1",
+                  int io_timeout_ms = 0);
 
   /// Server build version reported in the handshake.
   [[nodiscard]] const std::string& server_version() const noexcept {
@@ -58,9 +63,14 @@ class Client {
   [[nodiscard]] Json request(const Json& request);
 
   [[nodiscard]] Json status(std::uint64_t job);
+  /// Status looked up by mission name (latest submission wins) — the
+  /// idempotency probe: a name the service already knows (live registry
+  /// or replayed journal) must not be submitted again.
+  [[nodiscard]] Json status_by_name(const std::string& name);
   /// Blocks until the job finishes server-side; returns the full result
   /// payload (status, best_fitness, genotype_hash, sim_ns, ...).
   [[nodiscard]] Json result(std::uint64_t job);
+  [[nodiscard]] Json result_by_name(const std::string& name);
   [[nodiscard]] bool cancel(std::uint64_t job);
   [[nodiscard]] Json list();
   [[nodiscard]] Json stats();
@@ -81,9 +91,47 @@ class Client {
  private:
   [[nodiscard]] Json roundtrip(const Json& request);
   [[nodiscard]] Json job_op(const char* op, std::uint64_t job);
+  [[nodiscard]] Json named_op(const char* op, const std::string& name);
 
   LineChannel channel_;
   std::string server_version_;
 };
+
+/// Reconnect policy for the retrying helpers below.
+struct RetryPolicy {
+  /// Additional connection attempts after the first (0 = fail fast).
+  int retries = 0;
+  /// Delay before the first retry; doubles on each subsequent attempt.
+  int backoff_ms = 100;
+  /// Per-connection socket read/write bound (see Client ctor).
+  int io_timeout_ms = 0;
+};
+
+/// Runs `op` against a fresh connection, reconnecting with exponential
+/// backoff when the daemon is unreachable or the connection is lost
+/// mid-call (including io_timeout_ms expiries). `op` MUST be idempotent:
+/// after a lost ack it runs again against a new connection. Throws
+/// std::runtime_error once every attempt is exhausted.
+[[nodiscard]] Json with_retry(std::uint16_t port, const std::string& address,
+                              const RetryPolicy& policy,
+                              const std::function<Json(Client&)>& op);
+
+/// At-most-once submit across reconnects AND daemon restarts: each
+/// attempt first resolves the mission by name (status_by_name) and only
+/// submits when the service does not know it — so a resubmit after a
+/// lost ack, or against a restarted daemon that replayed its journal,
+/// never double-runs the mission.
+struct IdempotentSubmit {
+  bool ok = false;
+  std::uint64_t job = 0;
+  /// The name already resolved server-side; no new mission was started.
+  bool already_known = false;
+  std::string error;  // server/transport message when !ok
+  std::string code;   // machine tag (queue_full, draining, ...)
+};
+[[nodiscard]] IdempotentSubmit submit_idempotent(std::uint16_t port,
+                                                 const std::string& address,
+                                                 const sched::MissionSpec& spec,
+                                                 const RetryPolicy& policy);
 
 }  // namespace ehw::svc

@@ -9,6 +9,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "ehw/common/fault.hpp"
 #include "ehw/common/persist.hpp"
 
 namespace ehw::svc {
@@ -51,7 +52,8 @@ bool MissionJournal::append(const Json& record) {
     }
     written += static_cast<std::size_t>(n);
   }
-  ::fsync(fd_);
+  if (fault::should_fire(fault::Site::kJournalFsync)) return false;
+  if (::fsync(fd_) != 0) return false;
   ++appended_;
   return true;
 }

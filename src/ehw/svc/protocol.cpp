@@ -38,6 +38,7 @@ const char* status_name(sched::JobStatus status) noexcept {
     case sched::JobStatus::kDone: return "done";
     case sched::JobStatus::kFailed: return "failed";
     case sched::JobStatus::kCancelled: return "cancelled";
+    case sched::JobStatus::kPreempted: return "preempted";
   }
   return "?";
 }

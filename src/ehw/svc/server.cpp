@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "ehw/common/fault.hpp"
 #include "ehw/common/persist.hpp"
 #include "ehw/common/version.hpp"
 #include "ehw/sched/checkpoint_store.hpp"
@@ -127,6 +128,7 @@ void Server::replay_journal() {
       record->journal_status =
           job.status.empty() ? std::string("failed") : job.status;
       record->journal_waves = job.waves;
+      record->replayed_from_journal = true;
       ++replayed_finished_;
       std::lock_guard lock(state_mutex_);
       jobs_.emplace(id, std::move(record));
@@ -150,6 +152,7 @@ void Server::replay_journal() {
       static_cast<void>(journal_->append(rec));
       record->journaled = std::move(body);
       record->journal_status = status_name(sched::JobStatus::kFailed);
+      record->replayed_from_journal = true;
       ++replayed_finished_;
       std::lock_guard lock(state_mutex_);
       jobs_.emplace(id, std::move(record));
@@ -257,6 +260,7 @@ ServiceStats Server::service_stats() const {
   stats.draining = draining_.load(std::memory_order_relaxed);
   stats.submitted = submitted_;
   stats.rejected = rejected_;
+  stats.migrations = migrations_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -377,6 +381,7 @@ std::optional<Json> Server::handle_request(Session& session,
   if (op == "cancel") return handle_cancel(request);
   if (op == "list") return handle_list();
   if (op == "stats") return handle_stats();
+  if (op == "health") return handle_health();
   if (op == "watch") return handle_watch(session, request);
   if (op == "drain") return handle_drain(request);
   return make_error("unknown op '" + op + "'", "bad_request");
@@ -437,51 +442,71 @@ void Server::launch_job(const std::shared_ptr<JobRecord>& record) {
     rec.set("job", record->id);
     static_cast<void>(journal_->append(rec));
   }
-  // Journaled jobs checkpoint their evolution state to a per-job sidecar
-  // (atomic replace, latest wins) and resume from any state recovered at
-  // replay. Non-journaled daemons keep the exact pre-durable job body.
+  // Every job checkpoints through a sink that keeps its latest boundary
+  // state in memory — that state is what a lane-quarantine migration
+  // restores, journal or not. Journaled daemons additionally persist to
+  // the per-job sidecar (atomic replace, latest wins) on the configured
+  // cadence and resume from any state recovered at replay.
   sched::MissionCheckpointing checkpointing;
-  if (journal_ != nullptr) {
+  checkpointing.resume = record->resume;
+  std::string sidecar;
+  if (journal_ != nullptr && config_.checkpoint_every != 0) {
     checkpointing.every = config_.checkpoint_every;
-    checkpointing.resume = record->resume;
-    if (config_.checkpoint_every != 0) {
-      const std::string path = journal_->checkpoint_path(record->id);
-      const sched::MissionSpec spec = record->spec;
-      std::atomic<std::uint64_t>* written = &checkpoints_written_;
-      checkpointing.sink =
-          [path, spec, written](const platform::MissionCheckpoint& state) {
-            if (sched::save_mission_checkpoint(path, spec, state).empty()) {
-              written->fetch_add(1, std::memory_order_relaxed);
-            }
-          };
-    }
+    sidecar = journal_->checkpoint_path(record->id);
   }
+  {
+    const sched::MissionSpec spec = record->spec;
+    std::atomic<std::uint64_t>* written = &checkpoints_written_;
+    checkpointing.sink = [this, record, spec, sidecar,
+                          written](const platform::MissionCheckpoint& state) {
+      auto holder = std::make_shared<platform::MissionCheckpoint>(state);
+      {
+        std::lock_guard lock(state_mutex_);
+        record->latest = std::move(holder);
+      }
+      if (!sidecar.empty() &&
+          sched::save_mission_checkpoint(sidecar, spec, state).empty()) {
+        written->fetch_add(1, std::memory_order_relaxed);
+      }
+    };
+  }
+  sched::JobConfig config = sched::make_job_config(record->spec);
+  if (record->grant_lanes != 0) config.lanes = record->grant_lanes;
   // Pool submission happens OUTSIDE state_mutex_: admit_locked's
   // dispatch-failure path synchronously fires a queued job's kFinished
   // observer, which locks state_mutex_ on this thread.
-  record->runner =
-      pool_->submit(sched::make_job_config(record->spec),
-                    checkpointing.active()
-                        ? sched::make_job_body(record->spec, checkpointing)
-                        : sched::make_job_body(record->spec));
+  const std::shared_ptr<sched::MissionRunner> runner = pool_->submit(
+      config, sched::make_job_body(record->spec, checkpointing));
+  std::vector<std::function<void(const sched::MissionEvent&)>> watchers;
   {
     std::lock_guard lock(state_mutex_);
+    record->runner = runner;
     jobs_.emplace(record->id, record);
     prune_finished_locked();
+    watchers = record->watchers;
   }
+  // Result waiters poll record->runner; a migration just swapped it.
+  state_cv_.notify_all();
   // The pool's own record of finished jobs (body closure, outcome
   // reference) is redundant once the service holds the runner — reap it
   // so daemon memory stays bounded over long uptimes.
   static_cast<void>(pool_->reap_finished());
   // Also outside state_mutex_: an already-finished job fires the
   // callback immediately on THIS thread.
-  record->runner->subscribe([this, record](const sched::MissionEvent& event) {
+  runner->subscribe([this, record, runner](const sched::MissionEvent& event) {
     if (event.kind != sched::MissionEvent::Kind::kFinished) return;
+    if (event.status == sched::JobStatus::kPreempted) {
+      // The slice is being pulled out from under the mission (lane
+      // quarantine): hop to a healthy slice instead of finishing. The
+      // inflight slot stays held across the hop.
+      migrate_job(record);
+      return;
+    }
     if (journal_ != nullptr) {
       // Safe here: MissionRunner::finish stores the outcome before it
       // fires kFinished observers. This append is the commit point —
       // after it, replay re-serves the result instead of re-running.
-      const sched::JobOutcome& outcome = record->runner->result();
+      const sched::JobOutcome& outcome = runner->result();
       Json rec = Json::object();
       rec.set("rec", "finished");
       rec.set("job", record->id);
@@ -498,6 +523,85 @@ void Server::launch_job(const std::shared_ptr<JobRecord>& record) {
     }
     state_cv_.notify_all();
   });
+  // Watch streams survive migrations: re-attach them to this incarnation.
+  for (const auto& watcher : watchers) runner->subscribe(watcher);
+}
+
+void Server::migrate_job(const std::shared_ptr<JobRecord>& record) {
+  std::shared_ptr<const platform::MissionCheckpoint> resume;
+  std::uint64_t waves = 0;
+  {
+    std::lock_guard lock(state_mutex_);
+    resume = record->latest;
+    if (record->runner != nullptr) waves = record->runner->waves_completed();
+  }
+  const std::size_t healthy = pool_->healthy_arrays();
+  std::string error;
+  if (resume == nullptr) {
+    // Preempted before any generation boundary emitted state — nothing
+    // to restore (the driver emits a final checkpoint through the sink
+    // whenever it honors a preempt, so this is the zero-progress case).
+    error = "preempted with no checkpoint to migrate from";
+  } else if (healthy == 0) {
+    error = "no healthy arrays left";
+  } else if (record->spec.kind == sched::MissionKind::kCascade &&
+             record->spec.lanes > healthy) {
+    // A cascade's width IS its structure (one array per chain stage):
+    // it only migrates onto an equally wide healthy slice.
+    error = "cascade needs " + std::to_string(record->spec.lanes) +
+            " stages but only " + std::to_string(healthy) +
+            " arrays are healthy";
+  }
+  if (!error.empty()) {
+    finish_unmigratable(record, waves, error);
+    return;
+  }
+  {
+    std::lock_guard lock(state_mutex_);
+    record->resume = resume;
+    // Evolve missions shrink onto whatever is left (the checkpoint's
+    // logical lane count keeps fitness/genotype bit-identical; wider
+    // grants than the logical width would idle, so cap at spec.lanes).
+    record->grant_lanes = std::min(record->spec.lanes, healthy);
+  }
+  migrations_.fetch_add(1, std::memory_order_relaxed);
+  launch_job(record);
+}
+
+void Server::finish_unmigratable(const std::shared_ptr<JobRecord>& record,
+                                 std::uint64_t waves,
+                                 const std::string& error) {
+  Json body = Json::object();
+  body.set("status", status_name(sched::JobStatus::kFailed));
+  body.set("error", "migration failed: " + error);
+  if (journal_ != nullptr) {
+    Json rec = Json::object();
+    rec.set("rec", "finished");
+    rec.set("job", record->id);
+    rec.set("status", status_name(sched::JobStatus::kFailed));
+    rec.set("waves", waves);
+    rec.set("result", body);
+    static_cast<void>(journal_->append(rec));
+    static_cast<void>(remove_file(journal_->checkpoint_path(record->id)));
+  }
+  std::vector<std::function<void(const sched::MissionEvent&)>> watchers;
+  {
+    std::lock_guard lock(state_mutex_);
+    record->journaled = body;
+    record->journal_status = status_name(sched::JobStatus::kFailed);
+    record->journal_waves = waves;
+    record->runner = nullptr;  // journal_* fields are now the truth
+    watchers = record->watchers;
+    --inflight_;
+  }
+  state_cv_.notify_all();
+  // Watchers saw the kPreempted finish suppressed (migration pending);
+  // deliver the actual terminal event.
+  sched::MissionEvent done;
+  done.kind = sched::MissionEvent::Kind::kFinished;
+  done.status = sched::JobStatus::kFailed;
+  done.waves = waves;
+  for (const auto& watcher : watchers) watcher(done);
 }
 
 Json Server::handle_submit_batch(const Json& request) {
@@ -567,8 +671,11 @@ void Server::prune_finished_locked() {
     if (it->second->runner != nullptr) {
       const sched::JobStatus status = it->second->runner->status();
       if (status == sched::JobStatus::kQueued ||
-          status == sched::JobStatus::kRunning) {
-        ++it;  // never evict live jobs, whatever their age
+          status == sched::JobStatus::kRunning ||
+          status == sched::JobStatus::kPreempted) {
+        // Never evict live jobs, whatever their age. kPreempted is live
+        // too: the mission is mid-migration onto a new slice.
+        ++it;
         continue;
       }
     }
@@ -617,22 +724,30 @@ Json Server::handle_status(const Json& request) {
   response.set("name", record->spec.name);
   response.set("kind", sched::kind_name(record->spec.kind));
   response.set("lanes", static_cast<std::uint64_t>(record->spec.lanes));
-  if (record->runner == nullptr) {
-    // Re-served from the journal of a previous daemon incarnation.
-    response.set("status", record->journal_status);
-    response.set("waves", record->journal_waves);
-    if (const Json* sim_ns = record->journaled.get("sim_ns")) {
-      response.set("sim_ns", *sim_ns);
+  std::shared_ptr<sched::MissionRunner> runner;
+  {
+    // Snapshot under the lock: migration swaps the runner (and the
+    // terminal-failure path rewrites the journal_* fields) on job
+    // threads.
+    std::lock_guard lock(state_mutex_);
+    runner = record->runner;
+    if (runner == nullptr) {
+      response.set("status", record->journal_status);
+      response.set("waves", record->journal_waves);
+      if (const Json* sim_ns = record->journaled.get("sim_ns")) {
+        response.set("sim_ns", *sim_ns);
+      }
+      if (record->replayed_from_journal) response.set("replayed", true);
+      return response;
     }
-    response.set("replayed", true);
-    return response;
   }
-  const sched::JobStatus status = record->runner->status();
+  const sched::JobStatus status = runner->status();
   response.set("status", status_name(status));
-  response.set("waves", record->runner->waves_completed());
+  response.set("waves", runner->waves_completed());
   if (status != sched::JobStatus::kQueued &&
-      status != sched::JobStatus::kRunning) {
-    response.set("sim_ns", std::to_string(record->runner->sim_duration()));
+      status != sched::JobStatus::kRunning &&
+      status != sched::JobStatus::kPreempted) {
+    response.set("sim_ns", std::to_string(runner->sim_duration()));
   }
   return response;
 }
@@ -641,33 +756,48 @@ Json Server::handle_result(const Json& request) {
   std::string error;
   const std::shared_ptr<JobRecord> record = find_job(request, error);
   if (record == nullptr) return make_error(error, "unknown_job");
-  if (record->runner == nullptr) {
-    // Re-served verbatim from the journal: the body IS the result frame
-    // a client of the previous incarnation would have received.
-    Json response =
-        record->journaled.is_object() ? record->journaled : Json::object();
-    if (response.get("status") == nullptr) {
-      response.set("status", record->journal_status);
+  for (;;) {
+    std::shared_ptr<sched::MissionRunner> runner;
+    {
+      std::lock_guard lock(state_mutex_);
+      runner = record->runner;
+      if (runner == nullptr) {
+        // Re-served verbatim from the journal (previous incarnation) or
+        // from the terminal-failure record of a failed migration.
+        Json response = record->journaled.is_object() ? record->journaled
+                                                      : Json::object();
+        if (response.get("status") == nullptr) {
+          response.set("status", record->journal_status);
+        }
+        response.set("ok", true);
+        response.set("job", record->id);
+        response.set("name", record->spec.name);
+        response.set("kind", sched::kind_name(record->spec.kind));
+        response.set("waves", record->journal_waves);
+        if (record->replayed_from_journal) response.set("replayed", true);
+        return response;
+      }
     }
+    // Blocks this session thread until the job leaves the running set;
+    // the connection is dedicated to the wait (use another for control
+    // ops).
+    const sched::JobOutcome& outcome = runner->result();
+    if (runner->status() == sched::JobStatus::kPreempted) {
+      // Mid-migration: the mission continues on a new slice. Wait for
+      // the record to move past this incarnation, then wait on that one.
+      std::unique_lock lock(state_mutex_);
+      state_cv_.wait(lock, [&] { return record->runner != runner; });
+      continue;
+    }
+    Json response =
+        outcome_to_json(record->spec.kind, runner->status(), outcome);
     response.set("ok", true);
     response.set("job", record->id);
     response.set("name", record->spec.name);
     response.set("kind", sched::kind_name(record->spec.kind));
-    response.set("waves", record->journal_waves);
-    response.set("replayed", true);
+    response.set("waves", runner->waves_completed());
     return response;
   }
-  // Blocks this session thread until the job leaves the running set; the
-  // connection is dedicated to the wait (use another for control ops).
-  const sched::JobOutcome& outcome = record->runner->result();
-  Json response =
-      outcome_to_json(record->spec.kind, record->runner->status(), outcome);
-  response.set("ok", true);
-  response.set("job", record->id);
-  response.set("name", record->spec.name);
-  response.set("kind", sched::kind_name(record->spec.kind));
-  response.set("waves", record->runner->waves_completed());
-  return response;
 }
 
 Json Server::handle_cancel(const Json& request) {
@@ -676,12 +806,17 @@ Json Server::handle_cancel(const Json& request) {
   if (record == nullptr) return make_error(error, "unknown_job");
   Json response = make_ok();
   response.set("job", record->id);
-  if (record->runner == nullptr) {  // replayed: long finished, no-op
-    response.set("status", record->journal_status);
-    return response;
+  std::shared_ptr<sched::MissionRunner> runner;
+  {
+    std::lock_guard lock(state_mutex_);
+    runner = record->runner;
+    if (runner == nullptr) {  // replayed/terminal: long finished, no-op
+      response.set("status", record->journal_status);
+      return response;
+    }
   }
-  record->runner->cancel();
-  response.set("status", status_name(record->runner->status()));
+  runner->cancel();
+  response.set("status", status_name(runner->status()));
   return response;
 }
 
@@ -724,6 +859,11 @@ Json Server::handle_stats() {
   pool.set("done", pool_stats.done);
   pool.set("failed", pool_stats.failed);
   pool.set("cancelled", pool_stats.cancelled);
+  pool.set("quarantined",
+           static_cast<std::uint64_t>(pool_stats.quarantined));
+  pool.set("healthy", static_cast<std::uint64_t>(pool_stats.healthy()));
+  pool.set("preempted", pool_stats.preempted);
+  pool.set("deadline_expired", pool_stats.deadline_expired);
 
   Json cache = Json::object();
   cache.set("hits", cache_stats.hits);
@@ -748,6 +888,7 @@ Json Server::handle_stats() {
   svc.set("draining", service.draining);
   svc.set("submitted", service.submitted);
   svc.set("rejected", service.rejected);
+  svc.set("migrations", service.migrations);
 
   Json response = make_ok();
   response.set("pool", std::move(pool));
@@ -774,6 +915,50 @@ Json Server::handle_stats() {
   return response;
 }
 
+Json Server::handle_health() {
+  Json arrays = Json::array();
+  for (const sched::ArrayPool::ArrayHealth& health : pool_->array_health()) {
+    Json entry = Json::object();
+    entry.set("array", static_cast<std::uint64_t>(health.id));
+    const char* state = "free";
+    if (health.state == sched::ArrayPool::ArrayHealth::State::kLeased) {
+      state = "leased";
+    } else if (health.state ==
+               sched::ArrayPool::ArrayHealth::State::kQuarantined) {
+      state = "quarantined";
+    }
+    entry.set("state", state);
+    if (health.pending_quarantine) entry.set("pending_quarantine", true);
+    if (!health.job.empty()) entry.set("job", health.job);
+    arrays.push_back(std::move(entry));
+  }
+  const sched::ArrayPool::PoolStats stats = pool_->pool_stats();
+  Json response = make_ok();
+  response.set("arrays", std::move(arrays));
+  response.set("healthy", static_cast<std::uint64_t>(stats.healthy()));
+  response.set("quarantined",
+               static_cast<std::uint64_t>(stats.quarantined));
+  response.set("preempted", stats.preempted);
+  response.set("deadline_expired", stats.deadline_expired);
+  response.set("migrations", migrations_.load(std::memory_order_relaxed));
+  Json faults = Json::object();
+  faults.set("active", fault::active());
+  if (fault::active()) {
+    Json sites = Json::object();
+    for (std::size_t s = 0; s < fault::kSiteCount; ++s) {
+      const auto site = static_cast<fault::Site>(s);
+      if (fault::hits(site) == 0) continue;
+      Json counts = Json::object();
+      counts.set("hits", fault::hits(site));
+      counts.set("fired", fault::fired(site));
+      sites.set(fault::site_name(site), std::move(counts));
+    }
+    faults.set("sites", std::move(sites));
+  }
+  response.set("faults", std::move(faults));
+  return response;
+}
+
 std::optional<Json> Server::handle_watch(Session& session,
                                          const Json& request) {
   std::string error;
@@ -788,8 +973,41 @@ std::optional<Json> Server::handle_watch(Session& session,
   ack.set("job", record->id);
   ack.set("watching", record->spec.name);
   if (const Json* id = request.get("id")) ack.set("id", *id);
-  if (record->runner == nullptr) {
-    // Replayed-finished: ack, then an immediate synthesized done frame
+  const std::shared_ptr<LineChannel> channel = session.channel;
+  const std::uint64_t job_id = record->id;
+  const auto observer = [channel, job_id,
+                         every](const sched::MissionEvent& event) {
+    Json frame = Json::object();
+    if (event.kind == sched::MissionEvent::Kind::kProgress) {
+      if (event.waves % every != 0) return;
+      frame.set("event", "progress");
+      frame.set("job", job_id);
+      frame.set("waves", event.waves);
+    } else {
+      // A kPreempted finish is not the end of the mission — it is about
+      // to migrate; this watcher gets re-attached to the new incarnation
+      // (or receives a synthesized failed event if migration cannot go).
+      if (event.status == sched::JobStatus::kPreempted) return;
+      frame.set("event", "done");
+      frame.set("job", job_id);
+      frame.set("status", status_name(event.status));
+      frame.set("waves", event.waves);
+    }
+    // Dead channels fail silently; the subscription just goes quiet.
+    static_cast<void>(channel->write_line(frame.dump()));
+  };
+  std::shared_ptr<sched::MissionRunner> runner;
+  {
+    // Snapshot + register in ONE critical section: a migration either
+    // swaps the runner before this (we subscribe to the new incarnation
+    // below) or copies record->watchers after it (launch_job re-attaches
+    // us) — either way no event window is lost.
+    std::lock_guard lock(state_mutex_);
+    runner = record->runner;
+    if (runner != nullptr) record->watchers.push_back(observer);
+  }
+  if (runner == nullptr) {
+    // Replayed/terminal: ack, then an immediate synthesized done frame
     // (exactly what a live watch on a finished job delivers).
     static_cast<void>(session.channel->write_line(ack.dump()));
     Json frame = Json::object();
@@ -800,29 +1018,11 @@ std::optional<Json> Server::handle_watch(Session& session,
     static_cast<void>(session.channel->write_line(frame.dump()));
     return std::nullopt;
   }
-  const std::shared_ptr<LineChannel> channel = session.channel;
-  const std::uint64_t job_id = record->id;
   // Subscribe BEFORE writing the ack: once the client has the ack it
   // must be guaranteed to observe every subsequent wave (the client
   // handles events that land ahead of the ack). The write lock keeps
   // the frames themselves from interleaving.
-  record->runner->subscribe(
-      [channel, job_id, every](const sched::MissionEvent& event) {
-        Json frame = Json::object();
-        if (event.kind == sched::MissionEvent::Kind::kProgress) {
-          if (event.waves % every != 0) return;
-          frame.set("event", "progress");
-          frame.set("job", job_id);
-          frame.set("waves", event.waves);
-        } else {
-          frame.set("event", "done");
-          frame.set("job", job_id);
-          frame.set("status", status_name(event.status));
-          frame.set("waves", event.waves);
-        }
-        // Dead channels fail silently; the subscription just goes quiet.
-        static_cast<void>(channel->write_line(frame.dump()));
-      });
+  runner->subscribe(observer);
   static_cast<void>(session.channel->write_line(ack.dump()));
   return std::nullopt;
 }

@@ -104,6 +104,7 @@ struct ServiceStats {
   bool draining = false;
   std::uint64_t submitted = 0;
   std::uint64_t rejected = 0;  // queue_full + draining rejections
+  std::uint64_t migrations = 0;  // preempted missions relaunched elsewhere
 };
 
 class Server {
@@ -143,15 +144,31 @@ class Server {
     std::uint64_t id = 0;
     sched::MissionSpec spec;
     /// Live execution handle; nullptr for a mission replayed from the
-    /// journal as already finished — then the journal_* fields below are
-    /// the record of truth and every handler answers from them.
+    /// journal as already finished (or failed terminally during a
+    /// migration) — then the journal_* fields below are the record of
+    /// truth and every handler answers from them. Swapped under
+    /// state_mutex_ when a preempted mission migrates to a new slice.
     std::shared_ptr<sched::MissionRunner> runner;
     Json journaled;              // replayed "finished" result body
     std::string journal_status;  // replayed terminal status name
     std::uint64_t journal_waves = 0;
+    bool replayed_from_journal = false;
     /// Saved state a resubmitted mission resumes from (loaded from its
-    /// job-<id>.ckpt sidecar during replay).
+    /// job-<id>.ckpt sidecar during replay, or taken from `latest` when
+    /// migrating off a quarantined slice).
     std::shared_ptr<const platform::MissionCheckpoint> resume;
+    /// Latest generation-boundary checkpoint, held in memory for every
+    /// running job (journaled or not) — the state a migration restores.
+    /// Guarded by state_mutex_.
+    std::shared_ptr<const platform::MissionCheckpoint> latest;
+    /// Lease width override for a migrated incarnation (0 = spec.lanes).
+    /// An evolve mission preempted off its slice relaunches on
+    /// min(spec.lanes, healthy) arrays; the checkpoint's logical lane
+    /// count keeps results bit-identical either way.
+    std::size_t grant_lanes = 0;
+    /// Watch subscriptions, re-attached to each new incarnation's runner
+    /// so progress streams survive a migration. Guarded by state_mutex_.
+    std::vector<std::function<void(const sched::MissionEvent&)>> watchers;
   };
   struct Session {
     explicit Session(Socket socket)
@@ -181,6 +198,7 @@ class Server {
   [[nodiscard]] Json handle_cancel(const Json& request);
   [[nodiscard]] Json handle_list();
   [[nodiscard]] Json handle_stats();
+  [[nodiscard]] Json handle_health();
   [[nodiscard]] std::optional<Json> handle_watch(Session& session,
                                                  const Json& request);
   [[nodiscard]] Json handle_drain(const Json& request);
@@ -194,6 +212,16 @@ class Server {
   /// Runs from the constructor, before the listener exists.
   void replay_journal();
   void journal_submitted(const JobRecord& record);
+  /// Relaunches a preempted mission from its latest checkpoint onto the
+  /// healthy remainder of the pool (runs on the job thread that just
+  /// preempted; inflight_ stays held across the hop). Falls through to
+  /// finish_unmigratable when nothing can host the mission.
+  void migrate_job(const std::shared_ptr<JobRecord>& record);
+  /// Terminal failure for a mission that cannot be migrated: journals a
+  /// failed result, releases the inflight slot and makes the journal_*
+  /// fields the record of truth (runner = nullptr).
+  void finish_unmigratable(const std::shared_ptr<JobRecord>& record,
+                           std::uint64_t waves, const std::string& error);
 
   ServerConfig config_;
   std::size_t max_inflight_ = 0;
@@ -223,6 +251,7 @@ class Server {
   std::uint64_t submitted_ = 0;
   std::uint64_t rejected_ = 0;
   std::uint64_t connections_ = 0;
+  std::atomic<std::uint64_t> migrations_{0};
   std::atomic<bool> draining_{false};
   std::atomic<bool> stopping_{false};
   bool stopped_ = false;  // stop() ran to completion (main thread only)

@@ -11,6 +11,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "ehw/common/fault.hpp"
+
 namespace ehw::svc {
 namespace {
 
@@ -42,6 +44,11 @@ Socket& Socket::operator=(Socket&& other) noexcept {
 }
 
 long Socket::recv_some(char* data, std::size_t size) noexcept {
+  fault::maybe_stall(fault::Site::kSockReadStall);
+  if (fault::should_fire(fault::Site::kSockReadError)) {
+    errno = EIO;
+    return -1;
+  }
   for (;;) {
     const ssize_t n = ::recv(fd_, data, size, 0);
     if (n >= 0) return static_cast<long>(n);
@@ -50,6 +57,11 @@ long Socket::recv_some(char* data, std::size_t size) noexcept {
 }
 
 bool Socket::send_all(const char* data, std::size_t size) noexcept {
+  fault::maybe_stall(fault::Site::kSockWriteStall);
+  if (fault::should_fire(fault::Site::kSockWriteError)) {
+    errno = EIO;
+    return false;
+  }
   std::size_t sent = 0;
   while (sent < size) {
     const ssize_t n =
@@ -68,6 +80,13 @@ void Socket::set_send_timeout(int timeout_ms) noexcept {
   tv.tv_sec = timeout_ms / 1000;
   tv.tv_usec = (timeout_ms % 1000) * 1000;
   ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+void Socket::set_recv_timeout(int timeout_ms) noexcept {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
 }
 
 void Socket::shutdown_both() noexcept {
@@ -89,15 +108,33 @@ Socket Socket::connect_to(const std::string& address, std::uint16_t port) {
   // latency here.
   const int one = 1;
   ::setsockopt(socket.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-  for (;;) {
-    if (::connect(socket.fd(), reinterpret_cast<const sockaddr*>(&addr),
-                  sizeof addr) == 0) {
-      return socket;
-    }
-    if (errno != EINTR) {
-      throw_errno("connect to " + address + ":" + std::to_string(port));
-    }
+  if (::connect(socket.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) == 0) {
+    return socket;
   }
+  if (errno != EINTR) {
+    throw_errno("connect to " + address + ":" + std::to_string(port));
+  }
+  // A connect interrupted by a signal keeps completing asynchronously;
+  // re-calling connect() would race it (EALREADY/EISCONN). Wait for
+  // writability, then read the real outcome from SO_ERROR.
+  for (;;) {
+    pollfd pfd{socket.fd(), POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, -1);
+    if (ready > 0) break;
+    if (ready < 0 && errno == EINTR) continue;
+    throw_errno("connect to " + address + ":" + std::to_string(port));
+  }
+  int soerr = 0;
+  socklen_t len = sizeof soerr;
+  if (::getsockopt(socket.fd(), SOL_SOCKET, SO_ERROR, &soerr, &len) != 0) {
+    throw_errno("connect to " + address + ":" + std::to_string(port));
+  }
+  if (soerr != 0) {
+    errno = soerr;
+    throw_errno("connect to " + address + ":" + std::to_string(port));
+  }
+  return socket;
 }
 
 // --- Listener ---------------------------------------------------------------
@@ -137,7 +174,8 @@ Listener::Listener(const std::string& address, std::uint16_t port) {
 std::optional<Socket> Listener::accept_one(int timeout_ms) {
   if (fd_ < 0) return std::nullopt;
   pollfd pfd{fd_, POLLIN, 0};
-  const int ready = ::poll(&pfd, 1, timeout_ms);
+  int ready = ::poll(&pfd, 1, timeout_ms);
+  while (ready < 0 && errno == EINTR) ready = ::poll(&pfd, 1, timeout_ms);
   if (ready <= 0) return std::nullopt;  // timeout, or closed under us
   const int client = ::accept(fd_, nullptr, nullptr);
   if (client < 0) return std::nullopt;

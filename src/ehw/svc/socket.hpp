@@ -44,6 +44,12 @@ class Socket {
   /// job threads, which must never be wedged by one stalled client.
   void set_send_timeout(int timeout_ms) noexcept;
 
+  /// Bounds how long a recv may block on a silent peer (SO_RCVTIMEO);
+  /// after the timeout recv_some fails and read_line returns false.
+  /// Client-side this keeps a stalled daemon from hanging `mpa submit`
+  /// forever. 0 disables the bound.
+  void set_recv_timeout(int timeout_ms) noexcept;
+
   /// Shuts down both directions, unblocking any reader on this fd.
   void shutdown_both() noexcept;
   void close() noexcept;

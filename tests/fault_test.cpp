@@ -1,0 +1,160 @@
+// Tests for the deterministic fault-injection layer: the plan grammar,
+// the after/every/count/prob trigger rules, determinism of the seeded
+// per-hit coin across reinstalls, counter observability and the
+// zero-cost (one relaxed load) disabled path.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "ehw/common/fault.hpp"
+
+namespace ehw::fault {
+namespace {
+
+/// Every test leaves the process with no plan installed — the suite
+/// shares one process with every other fault-armed test.
+class FaultTest : public testing::Test {
+ protected:
+  void TearDown() override { uninstall(); }
+};
+
+TEST_F(FaultTest, SiteNamesRoundTrip) {
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    const auto site = static_cast<Site>(i);
+    Site parsed{};
+    ASSERT_TRUE(parse_site(site_name(site), parsed)) << site_name(site);
+    EXPECT_EQ(parsed, site);
+  }
+  // The fsync shorthand maps to the journal site.
+  Site alias{};
+  ASSERT_TRUE(parse_site("fsync", alias));
+  EXPECT_EQ(alias, Site::kJournalFsync);
+  EXPECT_FALSE(parse_site("no_such_site", alias));
+}
+
+TEST_F(FaultTest, ParsePlanGrammar) {
+  FaultPlan plan;
+  // Bare site = fire on every hit; rule clauses tune the trigger; the
+  // global clauses set seed and stall duration.
+  ASSERT_EQ(parse_plan("sock_read_stall;fsync=after:1,count:1;"
+                       "lane_seu=after:10,every:2,prob:0.5;"
+                       "stall-ms=200;seed=42",
+                       plan),
+            "");
+  EXPECT_TRUE(plan.rule(Site::kSockReadStall).armed);
+  EXPECT_EQ(plan.rule(Site::kSockReadStall).after, 0u);
+  EXPECT_EQ(plan.rule(Site::kSockReadStall).every, 1u);
+  EXPECT_TRUE(plan.rule(Site::kJournalFsync).armed);
+  EXPECT_EQ(plan.rule(Site::kJournalFsync).after, 1u);
+  EXPECT_EQ(plan.rule(Site::kJournalFsync).count, 1u);
+  EXPECT_TRUE(plan.rule(Site::kLaneSeu).armed);
+  EXPECT_EQ(plan.rule(Site::kLaneSeu).after, 10u);
+  EXPECT_EQ(plan.rule(Site::kLaneSeu).every, 2u);
+  EXPECT_DOUBLE_EQ(plan.rule(Site::kLaneSeu).prob, 0.5);
+  EXPECT_FALSE(plan.rule(Site::kSockWriteError).armed);
+  EXPECT_EQ(plan.stall_ms, 200u);
+  EXPECT_EQ(plan.seed, 42u);
+
+  // Whitespace around clauses and empty clauses are tolerated.
+  ASSERT_EQ(parse_plan(" task_throw ;; checkpoint_io=count:3 ", plan), "");
+  EXPECT_TRUE(plan.rule(Site::kTaskThrow).armed);
+  EXPECT_EQ(plan.rule(Site::kCheckpointIo).count, 3u);
+
+  // An empty spec is a valid (never-firing) plan.
+  ASSERT_EQ(parse_plan("", plan), "");
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    EXPECT_FALSE(plan.rules[i].armed);
+  }
+}
+
+TEST_F(FaultTest, ParsePlanRejectsBadSpecs) {
+  FaultPlan plan;
+  EXPECT_NE(parse_plan("transmogrifier", plan), "");
+  EXPECT_NE(parse_plan("task_throw=frobnicate:1", plan), "");
+  EXPECT_NE(parse_plan("task_throw=after", plan), "");       // no colon
+  EXPECT_NE(parse_plan("task_throw=after:x", plan), "");     // not a number
+  EXPECT_NE(parse_plan("task_throw=every:0", plan), "");     // every >= 1
+  EXPECT_NE(parse_plan("task_throw=prob:1.5", plan), "");    // prob in 0..1
+  EXPECT_NE(parse_plan("seed=abc", plan), "");
+  EXPECT_NE(parse_plan("stall-ms=9999999", plan), "");       // capped
+}
+
+TEST_F(FaultTest, DisabledSitesNeverFireAndCostNothingToQuery) {
+  uninstall();
+  EXPECT_FALSE(active());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(should_fire(Site::kTaskThrow));
+  }
+  // Hits are not even counted while no plan is installed.
+  install(FaultPlan{});
+  EXPECT_EQ(hits(Site::kTaskThrow), 0u);
+  uninstall();
+}
+
+TEST_F(FaultTest, AfterEveryCountRuleSequencing) {
+  FaultPlan plan;
+  ASSERT_EQ(parse_plan("task_throw=after:3,every:2,count:2", plan), "");
+  install(plan);
+  // Hits 1-3 skipped (after), then every 2nd eligible hit fires, capped
+  // at 2 fires: hits 4 and 6 fire, nothing else ever.
+  std::vector<int> fired_hits;
+  for (int hit = 1; hit <= 20; ++hit) {
+    if (should_fire(Site::kTaskThrow)) fired_hits.push_back(hit);
+  }
+  EXPECT_EQ(fired_hits, (std::vector<int>{4, 6}));
+  EXPECT_EQ(hits(Site::kTaskThrow), 20u);
+  EXPECT_EQ(fired(Site::kTaskThrow), 2u);
+}
+
+TEST_F(FaultTest, ProbabilisticFiringIsDeterministicPerPlanSeed) {
+  const auto pattern = [](std::uint64_t seed) {
+    FaultPlan plan;
+    plan.rule(Site::kLaneSeu).armed = true;
+    plan.rule(Site::kLaneSeu).prob = 0.3;
+    plan.seed = seed;
+    install(plan);
+    std::vector<bool> fires;
+    fires.reserve(200);
+    for (int i = 0; i < 200; ++i) {
+      fires.push_back(should_fire(Site::kLaneSeu));
+    }
+    uninstall();
+    return fires;
+  };
+  const std::vector<bool> first = pattern(7);
+  // Same seed: the identical hit-indexed coin sequence, every reinstall.
+  EXPECT_EQ(pattern(7), first);
+  // Different seed: a different sequence (with p=0.3 over 200 draws the
+  // odds of a collision are negligible).
+  EXPECT_NE(pattern(8), first);
+  // The coin actually discriminates: some fire, most don't.
+  const auto fires =
+      static_cast<std::size_t>(std::count(first.begin(), first.end(), true));
+  EXPECT_GT(fires, 0u);
+  EXPECT_LT(fires, 200u);
+}
+
+TEST_F(FaultTest, InstallResetsCountersAndScopedPlanUninstalls) {
+  {
+    ScopedPlan scoped("task_delay");
+    EXPECT_TRUE(active());
+    EXPECT_TRUE(should_fire(Site::kTaskDelay));
+    EXPECT_EQ(hits(Site::kTaskDelay), 1u);
+  }
+  EXPECT_FALSE(active());
+  ScopedPlan again("task_delay=after:1");
+  // Reinstalling reset the counters: hit 1 is again the skipped one.
+  EXPECT_FALSE(should_fire(Site::kTaskDelay));
+  EXPECT_EQ(hits(Site::kTaskDelay), 1u);
+  EXPECT_TRUE(should_fire(Site::kTaskDelay));
+}
+
+TEST_F(FaultTest, ScopedPlanRejectsBadSpecByAsserting) {
+  EXPECT_THROW(ScopedPlan bad("not_a_site"), std::exception);
+}
+
+}  // namespace
+}  // namespace ehw::fault

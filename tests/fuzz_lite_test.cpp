@@ -1,0 +1,176 @@
+// Fuzz-lite: seeded random mutation of untrusted inputs — the wire JSON
+// parser and the mission-manifest parser — entirely stdlib + the
+// in-repo Rng, so it runs as an ordinary ctest case. The properties:
+//
+//   * no crash: every mutant either parses or reports an error (throws
+//     JsonError / manifest runtime_error, or returns an error string) —
+//     never UB, never an abort;
+//   * no silent acceptance: structurally broken inputs are rejected;
+//   * round-trip stability: whatever PARSES must dump/re-emit to a form
+//     that parses again to the same value (so a daemon replaying its own
+//     journal can never choke on what it wrote).
+//
+// Deterministic for a fixed seed — a failure reproduces exactly.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ehw/common/json.hpp"
+#include "ehw/common/rng.hpp"
+#include "ehw/sched/missions.hpp"
+
+namespace ehw {
+namespace {
+
+/// One random structural mutation: flip, insert, delete, truncate, or
+/// splice a duplicated slice. Never returns the input unchanged unless
+/// it is empty.
+std::string mutate(const std::string& input, Rng& rng) {
+  std::string out = input;
+  if (out.empty()) return std::string(1, static_cast<char>(rng.range(0, 255)));
+  const std::size_t at =
+      static_cast<std::size_t>(rng.range(0, static_cast<std::int64_t>(out.size()) - 1));
+  switch (rng.range(0, 4)) {
+    case 0:  // flip a byte (often into a control char or quote)
+      out[at] = static_cast<char>(rng.range(0, 255));
+      break;
+    case 1:  // insert a structural character
+      out.insert(at, 1, "{}[]\",:x0\\\n"[static_cast<std::size_t>(
+                            rng.range(0, 10))]);
+      break;
+    case 2:  // delete a byte
+      out.erase(at, 1);
+      break;
+    case 3:  // truncate (torn write)
+      out.resize(at);
+      break;
+    default:  // duplicate a slice (repeated key / doubled token)
+      out.insert(at, out.substr(at / 2, (out.size() - at / 2) / 2));
+      break;
+  }
+  return out;
+}
+
+const char* const kJsonCorpus[] = {
+    R"({"op":"submit","spec":{"kind":"denoise","name":"dn","lanes":2,)"
+    R"("generations":100,"seed":"18014398509481987","noise":0.3}})",
+    R"({"ok":true,"job":42,"status":"done","best_fitness":123456,)"
+    R"("genotype_hash":"00ff00ff00ff00ff","sim_ns":"123456789"})",
+    R"({"rec":"finished","job":7,"waves":100,)"
+    R"("result":{"status":"done","stages":[{"fitness":1},{"fitness":2}]}})",
+    R"([1,2.5,-3,1e10,true,false,null,"\u0041\n\"esc\\"])",
+    R"({"nested":{"a":{"b":{"c":[{}]}},"empty":[],"s":""}})",
+};
+
+TEST(FuzzLite, JsonParserNeverCrashesAndRoundTripsWhatItAccepts) {
+  Rng rng(0xF022ED5EEDULL);
+  std::uint64_t parsed_ok = 0;
+  std::uint64_t rejected = 0;
+  for (const char* seed_input : kJsonCorpus) {
+    std::string current = seed_input;
+    for (int round = 0; round < 600; ++round) {
+      // Walk away from the corpus: mutate the previous mutant half the
+      // time, the pristine seed otherwise (keeps inputs near-valid,
+      // where parser bugs live).
+      current = mutate(rng.chance(0.5) ? current : seed_input, rng);
+      try {
+        const Json value = Json::parse(current);
+        ++parsed_ok;
+        // Round-trip: the emitter's output must re-parse to an equal
+        // dump (dump is deterministic, so dump-equality is
+        // value-equality).
+        const std::string emitted = value.dump();
+        EXPECT_EQ(Json::parse(emitted).dump(), emitted)
+            << "round-trip diverged for mutant: " << current;
+      } catch (const std::exception&) {
+        ++rejected;  // rejection is a correct outcome for a mutant
+      }
+    }
+  }
+  // The mutator must actually exercise both paths.
+  EXPECT_GT(parsed_ok, 0u);
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST(FuzzLite, JsonParserRejectsStructurallyBrokenInputs) {
+  const char* const kBroken[] = {
+      "",      "{",        "}",           "[1,",       R"({"a")",
+      R"({"a":})", "tru",  "nul",         R"("unterminated)",
+      R"({"a":1,})", "[1 2]", R"({"a" 1})", "\"\\q\"",
+  };
+  for (const char* input : kBroken) {
+    EXPECT_THROW(static_cast<void>(Json::parse(input)), std::exception)
+        << "silently accepted: " << input;
+  }
+}
+
+const char* const kManifestCorpus[] = {
+    "denoise dn0 lanes=3 generations=300 noise=0.3 seed=5",
+    "cascade ca0 lanes=3 generations=80 interleaved=1 merged=1",
+    "edge ed0 lanes=2 size=64 rate=4 lambda=9 priority=-2\n"
+    "morphology mo0 lanes=1 deadline-ms=5000 # trailing comment",
+    "# full-line comment\n\ndenoise dn1 scene-seed=18446744073709551615",
+};
+
+TEST(FuzzLite, ManifestParserNeverCrashesOnMutants) {
+  Rng rng(0xF022ED0CA7ULL);
+  std::uint64_t parsed_ok = 0;
+  std::uint64_t rejected = 0;
+  for (const char* seed_input : kManifestCorpus) {
+    std::string current = seed_input;
+    for (int round = 0; round < 400; ++round) {
+      current = mutate(rng.chance(0.5) ? current : seed_input, rng);
+      std::istringstream in(current);
+      try {
+        const std::vector<sched::MissionSpec> specs =
+            sched::parse_manifest(in);
+        ++parsed_ok;
+        // Anything accepted must survive the spec -> line -> spec
+        // round trip (the journal stores specs in this vocabulary).
+        for (const sched::MissionSpec& spec : specs) {
+          sched::MissionSpec reparsed;
+          ASSERT_EQ(sched::spec_from_manifest_line(
+                        sched::spec_to_manifest_line(spec), reparsed),
+                    "")
+              << "re-emitted line unparsable for mutant: " << current;
+          EXPECT_EQ(reparsed.name, spec.name);
+          EXPECT_EQ(reparsed.lanes, spec.lanes);
+          EXPECT_EQ(reparsed.generations, spec.generations);
+          EXPECT_EQ(reparsed.seed, spec.seed);
+          EXPECT_DOUBLE_EQ(reparsed.noise, spec.noise);
+          EXPECT_EQ(reparsed.deadline_ms, spec.deadline_ms);
+        }
+      } catch (const std::exception&) {
+        ++rejected;  // named-line manifest errors are the contract
+      }
+    }
+  }
+  EXPECT_GT(parsed_ok, 0u);
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST(FuzzLite, ManifestParserRejectsBrokenLinesLoudly) {
+  const char* const kBroken[] = {
+      "transmogrify x",             // unknown kind
+      "denoise",                    // missing name
+      "denoise dn lanes=0",         // out-of-range value
+      "denoise dn lanes=-1",        // negative unsigned
+      "denoise dn lanes",           // not key=value
+      "denoise dn frobnicate=1",    // unknown key
+      "denoise dn noise=2.0",       // out-of-range noise
+      "denoise dup\ndenoise dup",   // duplicate mission name
+      "denoise dn deadline-ms=x",   // unparsable deadline
+  };
+  for (const char* input : kBroken) {
+    std::istringstream in(input);
+    EXPECT_THROW(static_cast<void>(sched::parse_manifest(in)),
+                 std::runtime_error)
+        << "silently accepted: " << input;
+  }
+}
+
+}  // namespace
+}  // namespace ehw

@@ -1,0 +1,153 @@
+#!/usr/bin/env bash
+# Chaos smoke test — the self-healing gate run by CI and ctest.
+#
+# Scenario: start a daemon with a hostile deterministic fault plan
+# (socket stalls and severed connections, injected task throws, lane
+# SEUs that quarantine arrays mid-flight, journal fsync and checkpoint
+# I/O faults), drive a fleet of missions through the retrying client,
+# and require that EVERY mission reaches a terminal state — done, or a
+# clean reported failure — with the daemon alive throughout. A hang, a
+# daemon crash, or a client giving up with "unreachable" all fail the
+# gate. `mpa health` must report the degraded pool and the fired fault
+# counters while the storm is still armed.
+#
+# Usage: chaos_smoke.sh /path/to/mpa [workdir]
+set -u
+
+MPA=${1:?usage: chaos_smoke.sh /path/to/mpa [workdir]}
+WORKDIR=${2:-.}
+JDIR="$WORKDIR/chaos_journal"
+LOG="$WORKDIR/chaos_serve.log"
+
+# Sequenced triggers, seeded coins: the same storm every run. Socket
+# faults keep firing forever; task throws and SEUs are capped so the
+# pool degrades but never collapses (4 arrays, at most 2 quarantined).
+PLAN='sock_read_stall=after:5,every:6;sock_write_stall=after:7,every:8;'
+PLAN+='sock_read_error=after:12,every:9;task_throw=after:1,every:3,count:3;'
+PLAN+='lane_seu=after:25,every:40,count:2;fsync=every:3;'
+PLAN+='checkpoint_io=every:5;stall-ms=100;seed=99'
+
+SERVER_PID=
+cleanup() {
+  if [ -n "${SERVER_PID:-}" ]; then
+    kill "$SERVER_PID" 2>/dev/null
+    wait "$SERVER_PID" 2>/dev/null
+  fi
+}
+trap cleanup EXIT
+
+fail() {
+  echo "chaos_smoke: $*" >&2
+  exit 1
+}
+
+# Waits for "listening on A:P" in $1 while pid $2 stays alive; echoes P.
+wait_port() {
+  local log=$1 pid=$2 port=
+  for _ in $(seq 1 300); do
+    port=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "$log" 2>/dev/null | head -1)
+    if [ -n "$port" ]; then
+      echo "$port"
+      return 0
+    fi
+    kill -0 "$pid" 2>/dev/null || return 1
+    sleep 0.1
+  done
+  return 1
+}
+
+rm -rf "$JDIR"
+rm -f "$LOG"
+
+# ---- daemon with the storm armed ---------------------------------------
+"$MPA" serve --arrays 4 --journal "$JDIR" --checkpoint-every 3 \
+  --fault-plan "$PLAN" >"$LOG" 2>&1 &
+SERVER_PID=$!
+PORT=$(wait_port "$LOG" "$SERVER_PID") \
+  || fail "daemon never reported its port: $(cat "$LOG" 2>/dev/null)"
+grep -q "FAULT PLAN ARMED" "$LOG" || fail "daemon did not arm the fault plan"
+
+# ---- a fleet of missions through the retrying client -------------------
+# --retries reconnects through severed connections with backoff and
+# resubmits idempotently (dedup by mission name); --timeout-ms unsticks
+# reads held by injected stalls.
+SUBMIT_FLAGS="--retries 8 --timeout-ms 4000 --detach"
+"$MPA" submit --port "$PORT" denoise    ch1 lanes=2 generations=120 size=16 $SUBMIT_FLAGS \
+  || fail "submit ch1 failed"
+"$MPA" submit --port "$PORT" edge       ch2 lanes=2 generations=100 size=16 $SUBMIT_FLAGS \
+  || fail "submit ch2 failed"
+"$MPA" submit --port "$PORT" morphology ch3 lanes=1 generations=100 size=16 $SUBMIT_FLAGS \
+  || fail "submit ch3 failed"
+"$MPA" submit --port "$PORT" denoise    ch4 lanes=2 generations=120 size=16 $SUBMIT_FLAGS \
+  || fail "submit ch4 failed"
+
+# Every mission must land: done, or a failure the service REPORTS. The
+# client exhausting its retries ("unreachable") or a dead daemon is a
+# robustness bug, not an acceptable outcome.
+DONE_COUNT=0
+for name in ch1 ch2 ch3 ch4; do
+  OUT=$("$MPA" result --port "$PORT" --job "$name" --retries 8 --timeout-ms 4000 2>&1)
+  STATUS=$?
+  kill -0 "$SERVER_PID" 2>/dev/null || fail "daemon died during $name: $(cat "$LOG")"
+  if [ "$STATUS" -eq 0 ]; then
+    DONE_COUNT=$((DONE_COUNT + 1))
+    echo "chaos_smoke: $name done ($OUT)"
+  else
+    case "$OUT" in
+      *unreachable*) fail "$name: client gave up: $OUT" ;;
+      *) echo "chaos_smoke: $name failed cleanly ($OUT)" ;;
+    esac
+  fi
+done
+[ "$DONE_COUNT" -ge 1 ] \
+  || fail "no mission survived the storm — retry/migration path is dead"
+
+# ---- health under fire -------------------------------------------------
+HEALTH=
+for _ in $(seq 1 8); do
+  HEALTH=$("$MPA" health --port "$PORT" --timeout-ms 4000 2>&1) && break
+  HEALTH=
+  sleep 0.2
+done
+[ -n "$HEALTH" ] || fail "health op never succeeded"
+echo "$HEALTH" | grep -q "healthy " || fail "health misses pool summary: $HEALTH"
+echo "$HEALTH" | grep -q "fault plan ACTIVE:" \
+  || fail "health does not report the armed fault plan: $HEALTH"
+
+# ---- the service core still serves -------------------------------------
+# After the storm's capped faults are spent the daemon must still take
+# and finish new work on its degraded (but non-empty) pool.
+"$MPA" submit --port "$PORT" denoise aftermath lanes=1 generations=60 size=16 $SUBMIT_FLAGS \
+  || fail "post-storm submit failed"
+AFTER=$("$MPA" result --port "$PORT" --job aftermath --retries 8 --timeout-ms 4000 2>&1)
+STATUS=$?
+if [ "$STATUS" -ne 0 ]; then
+  case "$AFTER" in
+    *unreachable*) fail "post-storm client gave up: $AFTER" ;;
+    *"injected task fault"*) echo "chaos_smoke: aftermath ate a leftover injected fault ($AFTER)" ;;
+    *) fail "post-storm mission failed: $AFTER" ;;
+  esac
+else
+  echo "chaos_smoke: aftermath done ($AFTER)"
+fi
+
+# ---- graceful exit through the persistent socket faults ----------------
+DRAINED=0
+for _ in $(seq 1 8); do
+  if "$MPA" drain --port "$PORT" --wait --timeout-ms 4000 2>/dev/null; then
+    DRAINED=1
+    break
+  fi
+  kill -0 "$SERVER_PID" 2>/dev/null || { DRAINED=1; break; }  # already down
+  sleep 0.2
+done
+[ "$DRAINED" = 1 ] || fail "drain never got through"
+# `mpa serve` exits 1 when missions failed during its lifetime — expected
+# under an armed fault plan. Anything else (aborts, signals land >128)
+# means the daemon did not survive the storm intact.
+wait "$SERVER_PID"
+SERVE_EXIT=$?
+[ "$SERVE_EXIT" -le 1 ] || fail "daemon crashed (exit $SERVE_EXIT): $(cat "$LOG")"
+SERVER_PID=
+
+echo "chaos_smoke: OK (done=$DONE_COUNT/4 + aftermath, plan: $PLAN)"

@@ -29,8 +29,12 @@
 //   checkpoint <kind> <name> [k=v ...]           run a mission standalone,
 //             --out ck.json [--every N]          checkpointing to a file
 //             [--preempt G]                      (optionally stop early)
-//   restore   --from ck.json                     resume a checkpointed
+//   restore   --from ck.json [--lanes N]         resume a checkpointed
 //                                                mission to completion
+//                                                (optionally on a
+//                                                different lane count)
+//   health    --port N                           per-array health, fault
+//                                                counters + migrations
 //   demo      [--size N] [--noise D]             end-to-end synthetic demo
 //   version                                      build version + protocol
 //
@@ -40,10 +44,17 @@
 // A preempted + restored run lands on the bit-identical result of an
 // uninterrupted one — `mpa checkpoint --preempt` then `mpa restore`
 // prints the same result line as `mpa checkpoint` run to completion.
+//
+// Fault injection: `mpa serve --fault-plan SPEC` (or the EHW_FAULT_PLAN
+// environment variable) arms the deterministic fault layer for chaos
+// testing — see common/fault.hpp for the plan grammar. `mpa submit
+// --retries N [--timeout-ms M]` turns the client into a reconnecting one
+// with idempotent resubmit keyed by mission name.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -52,6 +63,7 @@
 #include "ehw/analysis/campaign.hpp"
 #include "ehw/analysis/report.hpp"
 #include "ehw/common/cli.hpp"
+#include "ehw/common/fault.hpp"
 #include "ehw/common/table.hpp"
 #include "ehw/common/version.hpp"
 #include "ehw/evo/serialize.hpp"
@@ -90,13 +102,14 @@ constexpr const char* kBatchUsage =
 constexpr const char* kServeUsage =
     "mpa serve [--port N] [--address A] [--arrays N] [--cache N] "
     "[--max-jobs N] [--max-inflight N] [--journal DIR] "
-    "[--checkpoint-every N] [--no-warm]";
+    "[--checkpoint-every N] [--no-warm] [--fault-plan SPEC]";
 constexpr const char* kSubmitUsage =
     "mpa submit --port N [--address A] <kind> <name> [key=value ...] "
-    "[--detach] [--quiet] | mpa submit --port N --manifest jobs.txt "
-    "[--detach]";
+    "[--detach] [--quiet] [--retries N] [--timeout-ms N] | "
+    "mpa submit --port N --manifest jobs.txt [--detach]";
 constexpr const char* kResultUsage =
-    "mpa result --port N [--address A] --job ID|NAME";
+    "mpa result --port N [--address A] --job ID|NAME "
+    "[--retries N] [--timeout-ms N]";
 constexpr const char* kPsUsage = "mpa ps --port N [--address A]";
 constexpr const char* kCancelUsage =
     "mpa cancel --port N [--address A] --job ID|NAME";
@@ -105,20 +118,22 @@ constexpr const char* kDrainUsage =
 constexpr const char* kCheckpointUsage =
     "mpa checkpoint <kind> <name> [key=value ...] --out ck.json "
     "[--every N] [--preempt G]";
-constexpr const char* kRestoreUsage = "mpa restore --from ck.json";
+constexpr const char* kRestoreUsage =
+    "mpa restore --from ck.json [--lanes N]";
+constexpr const char* kHealthUsage = "mpa health --port N [--address A]";
 constexpr const char* kDemoUsage = "mpa demo [--size N] [--noise D] [--seed N]";
 
 void print_usage(std::FILE* out) {
   std::fprintf(out,
                "usage: mpa <info|evolve|filter|schematic|campaign|batch|serve|"
-               "submit|result|ps|cancel|drain|checkpoint|restore|demo|version>"
-               " [options]\n"
+               "submit|result|ps|cancel|drain|checkpoint|restore|health|demo|"
+               "version> [options]\n"
                "  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n"
-               "  %s\n  %s\n  %s\n  %s\n  %s\n  mpa version\n",
+               "  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n  mpa version\n",
                kInfoUsage, kEvolveUsage, kFilterUsage, kSchematicUsage,
                kCampaignUsage, kBatchUsage, kServeUsage, kSubmitUsage,
                kResultUsage, kPsUsage, kCancelUsage, kDrainUsage,
-               kCheckpointUsage, kRestoreUsage, kDemoUsage);
+               kCheckpointUsage, kRestoreUsage, kHealthUsage, kDemoUsage);
 }
 
 int usage() {
@@ -269,6 +284,7 @@ const char* status_name(sched::JobStatus status) {
     case sched::JobStatus::kDone: return "done";
     case sched::JobStatus::kFailed: return "FAILED";
     case sched::JobStatus::kCancelled: return "cancelled";
+    case sched::JobStatus::kPreempted: return "preempted";
   }
   return "?";
 }
@@ -370,7 +386,16 @@ std::uint16_t require_port(const Cli& cli, const char* cmd_usage) {
 
 svc::Client make_client(const Cli& cli, const char* cmd_usage) {
   return svc::Client(require_port(cli, cmd_usage),
-                     cli.get("address", "127.0.0.1"));
+                     cli.get("address", "127.0.0.1"),
+                     static_cast<int>(cli.get_int("timeout-ms", 0)));
+}
+
+/// Reconnect policy from the shared --retries / --timeout-ms flags.
+svc::RetryPolicy retry_policy_from_cli(const Cli& cli) {
+  svc::RetryPolicy policy;
+  policy.retries = static_cast<int>(cli.get_int("retries", 0));
+  policy.io_timeout_ms = static_cast<int>(cli.get_int("timeout-ms", 0));
+  return policy;
 }
 
 /// Boolean-flag lookup that catches the Cli parser's bare-flag hazard: a
@@ -388,7 +413,28 @@ bool bare_flag(const Cli& cli, const std::string& flag,
   return true;
 }
 
+/// Installs the process-wide fault plan from --fault-plan or, when the
+/// flag is absent, the EHW_FAULT_PLAN environment variable. Serving with
+/// an armed plan is how the chaos suite exercises the self-healing
+/// paths; production runs simply never pass either.
+void arm_fault_plan(const Cli& cli) {
+  std::string spec = cli.get("fault-plan", "");
+  if (spec.empty()) {
+    const char* env = std::getenv("EHW_FAULT_PLAN");
+    if (env != nullptr) spec = env;
+  }
+  if (spec.empty()) return;
+  fault::FaultPlan plan;
+  const std::string error = fault::parse_plan(spec, plan);
+  if (!error.empty()) fail("bad fault plan: " + error, kServeUsage);
+  fault::install(plan);
+  std::printf("mpa serve: FAULT PLAN ARMED (%s) — runs are for chaos "
+              "testing only\n",
+              spec.c_str());
+}
+
 int cmd_serve(const Cli& cli) {
+  arm_fault_plan(cli);
   svc::ServerConfig config;
   config.address = cli.get("address", "127.0.0.1");
   const std::int64_t port = cli.get_int("port", 0);
@@ -526,11 +572,70 @@ sched::MissionSpec spec_from_args(const Cli& cli, const char* cmd_usage) {
   return spec;
 }
 
+/// Shared result-response printer (cmd_result and the retrying submit).
+int print_result_response(const Json& response) {
+  if (!response.get_bool("ok", false)) {
+    std::fprintf(stderr, "mpa result: %s\n",
+                 response.get_string("error", "unknown error").c_str());
+    return 1;
+  }
+  const std::string status = response.get_string("status", "?");
+  const auto id =
+      static_cast<unsigned long long>(response.get_number("job", 0));
+  if (status != "done") {
+    std::printf("job %llu %s: %s\n", id, status.c_str(),
+                response.get_string("error", "(no error detail)").c_str());
+    return 1;
+  }
+  std::printf(
+      "job %llu done%s: fitness %llu, genotype %s, %llu generations, "
+      "%.3f sim s\n",
+      id, response.get_bool("replayed", false) ? " (replayed)" : "",
+      static_cast<unsigned long long>(
+          response.get_number("best_fitness", 0)),
+      response.get_string("genotype_hash", "?").c_str(),
+      static_cast<unsigned long long>(response.get_number("generations", 0)),
+      response.get_number("sim_s", 0.0));
+  return 0;
+}
+
+/// --retries path: at-most-once submit keyed by the mission name, then a
+/// blocking result fetch — every op reconnects with exponential backoff,
+/// so the mission survives daemon restarts (journal replay re-serves the
+/// name) without ever double-running. Note --timeout-ms also bounds the
+/// blocking result read; size it to the mission or leave it at 0.
+int cmd_submit_retrying(const Cli& cli, const sched::MissionSpec& spec,
+                        bool detach) {
+  const svc::RetryPolicy policy = retry_policy_from_cli(cli);
+  const std::uint16_t port = require_port(cli, kSubmitUsage);
+  const std::string address = cli.get("address", "127.0.0.1");
+  const svc::IdempotentSubmit submitted =
+      svc::submit_idempotent(port, address, spec, policy);
+  if (!submitted.ok) {
+    std::fprintf(stderr, "mpa submit: rejected: %s\n",
+                 submitted.error.c_str());
+    return 1;
+  }
+  std::printf("submitted job %llu (%s %s)%s\n",
+              static_cast<unsigned long long>(submitted.job),
+              sched::kind_name(spec.kind), spec.name.c_str(),
+              submitted.already_known ? " [already known, not resubmitted]"
+                                      : "");
+  if (detach) return 0;
+  const Json response = svc::with_retry(
+      port, address, policy,
+      [&spec](svc::Client& client) { return client.result_by_name(spec.name); });
+  return print_result_response(response);
+}
+
 int cmd_submit(const Cli& cli) {
   const std::string manifest_path = cli.get("manifest", "");
   if (!manifest_path.empty()) return cmd_submit_manifest(cli, manifest_path);
   const sched::MissionSpec spec = spec_from_args(cli, kSubmitUsage);
   const bool detach = bare_flag(cli, "detach", kSubmitUsage);
+  if (cli.get_int("retries", 0) > 0) {
+    return cmd_submit_retrying(cli, spec, detach);
+  }
 
   svc::Client client = make_client(cli, kSubmitUsage);
   const svc::Client::Submitted submitted = client.submit(spec);
@@ -591,34 +696,21 @@ void set_job_field(Json& request, const std::string& job) {
 
 int cmd_result(const Cli& cli) {
   const std::string job = require(cli, "job", kResultUsage);
-  svc::Client client = make_client(cli, kResultUsage);
   Json request = Json::object();
   request.set("op", "result");
   set_job_field(request, job);
-  const Json response = client.request(request);
-  if (!response.get_bool("ok", false)) {
-    std::fprintf(stderr, "mpa result: %s\n",
-                 response.get_string("error", "unknown error").c_str());
-    return 1;
+  if (cli.get_int("retries", 0) > 0) {
+    // Result is idempotent (a pure read), so a lost connection just
+    // re-asks a fresh one — the restarted daemon re-serves finished
+    // results from its journal.
+    const Json response = svc::with_retry(
+        require_port(cli, kResultUsage), cli.get("address", "127.0.0.1"),
+        retry_policy_from_cli(cli),
+        [&request](svc::Client& client) { return client.request(request); });
+    return print_result_response(response);
   }
-  const std::string status = response.get_string("status", "?");
-  const auto id =
-      static_cast<unsigned long long>(response.get_number("job", 0));
-  if (status != "done") {
-    std::printf("job %llu %s: %s\n", id, status.c_str(),
-                response.get_string("error", "(no error detail)").c_str());
-    return 1;
-  }
-  std::printf(
-      "job %llu done%s: fitness %llu, genotype %s, %llu generations, "
-      "%.3f sim s\n",
-      id, response.get_bool("replayed", false) ? " (replayed)" : "",
-      static_cast<unsigned long long>(
-          response.get_number("best_fitness", 0)),
-      response.get_string("genotype_hash", "?").c_str(),
-      static_cast<unsigned long long>(response.get_number("generations", 0)),
-      response.get_number("sim_s", 0.0));
-  return 0;
+  svc::Client client = make_client(cli, kResultUsage);
+  return print_result_response(client.request(request));
 }
 
 /// Final line of a standalone checkpoint/restore run. The fields are the
@@ -697,6 +789,14 @@ int cmd_restore(const Cli& cli) {
       !error.empty()) {
     fail("cannot load " + from + ": " + error, kRestoreUsage);
   }
+  // --lanes resumes onto a different physical slice width (migration in
+  // miniature): the checkpoint's logical lane count still drives the
+  // evolution, so fitness/genotype stay bit-identical; with fewer lanes
+  // than logical the simulated time honestly dilates. Cascades refuse a
+  // mismatch (stage count is structure).
+  const std::int64_t lanes = cli.get_int("lanes", 0);
+  if (lanes < 0) fail("--lanes must be >= 1", kRestoreUsage);
+  if (lanes > 0) spec.lanes = static_cast<std::size_t>(lanes);
   sched::MissionCheckpointing ck;
   ck.resume = std::move(resume);
   ThreadPool host_pool;
@@ -801,6 +901,57 @@ int cmd_drain(const Cli& cli) {
   return 0;
 }
 
+int cmd_health(const Cli& cli) {
+  svc::Client client = make_client(cli, kHealthUsage);
+  Json request = Json::object();
+  request.set("op", "health");
+  const Json response = client.request(request);
+  if (!response.get_bool("ok", false)) {
+    std::fprintf(stderr, "mpa health: %s\n",
+                 response.get_string("error", "unknown error").c_str());
+    return 1;
+  }
+  Table table({"array", "state", "job"});
+  const Json* arrays = response.get("arrays");
+  if (arrays != nullptr && arrays->is_array()) {
+    for (const Json& entry : arrays->as_array()) {
+      std::string state = entry.get_string("state", "?");
+      if (entry.get_bool("pending_quarantine", false)) {
+        state += " (quarantine pending)";
+      }
+      table.add_row(
+          {Table::integer(
+               static_cast<std::uint64_t>(entry.get_number("array", 0))),
+           state, entry.get_string("job", "")});
+    }
+  }
+  table.print(std::cout);
+  std::printf(
+      "healthy %llu, quarantined %llu | preempted %llu, migrated %llu, "
+      "deadline-expired %llu\n",
+      static_cast<unsigned long long>(response.get_number("healthy", 0)),
+      static_cast<unsigned long long>(response.get_number("quarantined", 0)),
+      static_cast<unsigned long long>(response.get_number("preempted", 0)),
+      static_cast<unsigned long long>(response.get_number("migrations", 0)),
+      static_cast<unsigned long long>(
+          response.get_number("deadline_expired", 0)));
+  const Json* faults = response.get("faults");
+  if (faults != nullptr && faults->get_bool("active", false)) {
+    std::printf("fault plan ACTIVE:\n");
+    const Json* sites = faults->get("sites");
+    if (sites != nullptr && sites->is_object()) {
+      for (const auto& [site, counters] : sites->as_object()) {
+        std::printf("  %-16s %llu hits, %llu fired\n", site.c_str(),
+                    static_cast<unsigned long long>(
+                        counters.get_number("hits", 0)),
+                    static_cast<unsigned long long>(
+                        counters.get_number("fired", 0)));
+      }
+    }
+  }
+  return 0;
+}
+
 int cmd_demo(const Cli& cli) {
   const auto size = static_cast<std::size_t>(cli.get_int("size", 64));
   const double noise = cli.get_double("noise", 0.3);
@@ -851,6 +1002,7 @@ int main(int argc, char** argv) {
     if (cmd == "drain") return cmd_drain(cli);
     if (cmd == "checkpoint") return cmd_checkpoint(cli);
     if (cmd == "restore") return cmd_restore(cli);
+    if (cmd == "health") return cmd_health(cli);
     if (cmd == "demo") return cmd_demo(cli);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mpa %s: %s\n", cmd.c_str(), e.what());
