@@ -7,6 +7,7 @@
 #include "ehw/common/fault.hpp"
 #include "ehw/evo/batch.hpp"
 #include "ehw/evo/serialize.hpp"
+#include "ehw/sched/missions.hpp"
 
 namespace ehw::sched {
 
@@ -123,6 +124,10 @@ bool MissionContext::preempt_requested() const noexcept {
   return runner_ != nullptr && runner_->preempt_requested();
 }
 
+MissionImagesCache* MissionContext::images_cache() noexcept {
+  return pool_ != nullptr ? pool_->images_cache() : nullptr;
+}
+
 platform::CompiledLane MissionContext::compile_cached(std::size_t lane) {
   // Key = genotype content hash x fabric fingerprint: the fingerprint
   // already covers the genotype as materialized (plus the defect map and
@@ -185,9 +190,14 @@ ArrayPool::ArrayPool(PoolConfig config)
                                          : &WorkStealPool::shared()),
       cache_(config.cache_capacity),
       memo_(config.fitness_memo_capacity),
+      images_cache_(config.mission_images_capacity != 0
+                        ? std::make_unique<MissionImagesCache>(
+                              config.mission_images_capacity)
+                        : nullptr),
       slots_(config.num_arrays),
       free_arrays_(config.num_arrays) {
   EHW_REQUIRE(config_.num_arrays > 0, "pool needs at least one array");
+  publish_stats_locked();  // no concurrency yet; seed the mirrors
 }
 
 ArrayPool::~ArrayPool() {
@@ -232,6 +242,7 @@ std::shared_ptr<MissionRunner> ArrayPool::submit(JobConfig job, JobBody body) {
       jobs_.emplace(rec->id, std::move(rec));
       admit_locked(failures);
     }
+    publish_stats_locked();
   }
   finish_failed(failures);
   return runner;
@@ -385,6 +396,7 @@ void ArrayPool::run_job(Job* job) {
     --running_;
     evict_unsatisfiable_locked(failures);
     admit_locked(failures);
+    publish_stats_locked();
   }
   // Wake result() waiters only after the pool's books reflect the job —
   // a caller returning from result() may immediately read pool_stats()
@@ -491,6 +503,7 @@ void ArrayPool::quarantine_array(std::size_t id) {
   {
     std::lock_guard lock(mutex_);
     quarantine_locked(id, failures);
+    publish_stats_locked();
   }
   finish_failed(failures);
 }
@@ -513,6 +526,7 @@ bool ArrayPool::heal_array(std::size_t id) {
         healed = true;
       }
     }
+    publish_stats_locked();
   }
   finish_failed(failures);
   return healed;
@@ -547,6 +561,7 @@ void ArrayPool::poll_wave_faults(std::uint64_t job_id) {
     if (it == jobs_.end() || it->second->leased.empty()) return;
     // Deterministic victim: the job's first leased array.
     quarantine_locked(it->second->leased.front(), failures);
+    publish_stats_locked();
   }
   finish_failed(failures);
 }
@@ -583,6 +598,7 @@ void ArrayPool::watchdog_loop() {
         next = job->deadline;
       }
     }
+    publish_stats_locked();  // deadline_expired_ may have advanced
     if (any) {
       watchdog_cv_.wait_until(lock, next);
     } else {
@@ -605,6 +621,36 @@ ArrayPool::PoolStats ArrayPool::pool_stats() const {
   stats.cancelled = cancelled_;
   stats.preempted = preempted_;
   stats.deadline_expired = deadline_expired_;
+  return stats;
+}
+
+void ArrayPool::publish_stats_locked() const noexcept {
+  mirror_.free_arrays.store(free_arrays_, std::memory_order_relaxed);
+  mirror_.quarantined.store(quarantined_, std::memory_order_relaxed);
+  mirror_.running.store(running_, std::memory_order_relaxed);
+  mirror_.queued.store(queue_.size(), std::memory_order_relaxed);
+  mirror_.submitted.store(submitted_, std::memory_order_relaxed);
+  mirror_.done.store(done_, std::memory_order_relaxed);
+  mirror_.failed.store(failed_, std::memory_order_relaxed);
+  mirror_.cancelled.store(cancelled_, std::memory_order_relaxed);
+  mirror_.preempted.store(preempted_, std::memory_order_relaxed);
+  mirror_.deadline_expired.store(deadline_expired_, std::memory_order_relaxed);
+}
+
+ArrayPool::PoolStats ArrayPool::quick_stats() const noexcept {
+  PoolStats stats;
+  stats.num_arrays = config_.num_arrays;
+  stats.free_arrays = mirror_.free_arrays.load(std::memory_order_relaxed);
+  stats.quarantined = mirror_.quarantined.load(std::memory_order_relaxed);
+  stats.running = mirror_.running.load(std::memory_order_relaxed);
+  stats.queued = mirror_.queued.load(std::memory_order_relaxed);
+  stats.submitted = mirror_.submitted.load(std::memory_order_relaxed);
+  stats.done = mirror_.done.load(std::memory_order_relaxed);
+  stats.failed = mirror_.failed.load(std::memory_order_relaxed);
+  stats.cancelled = mirror_.cancelled.load(std::memory_order_relaxed);
+  stats.preempted = mirror_.preempted.load(std::memory_order_relaxed);
+  stats.deadline_expired =
+      mirror_.deadline_expired.load(std::memory_order_relaxed);
   return stats;
 }
 

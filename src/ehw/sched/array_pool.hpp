@@ -78,6 +78,10 @@ struct PoolConfig {
   /// candidates re-encountered on the same frame set — within or across
   /// missions — skip frame streaming entirely (see evo::FitnessMemo).
   std::size_t fitness_memo_capacity = 1 << 16;
+  /// Mission image pairs kept warm per pool (0 disables): repeat specs
+  /// skip scene synthesis + degradation (see MissionImagesCache). Frames
+  /// are pure functions of the spec, so hits are bit-identical.
+  std::size_t mission_images_capacity = 8;
   /// Host thread pool handed to each mission's platform for intra-wave
   /// candidate fan-out. nullptr keeps candidate evaluation
   /// single-threaded inside each mission — mission-level concurrency
@@ -151,6 +155,8 @@ class MissionPreempted : public std::runtime_error {
 };
 
 class ArrayPool;
+class MissionImagesCache;  // missions.hpp (a layer above): pool-owned so
+                           // warm frames follow placement affinity
 
 /// One observation of a job's life, delivered to MissionRunner
 /// subscribers: a wave completed (kProgress) or the job left the running
@@ -287,6 +293,10 @@ class MissionContext final : public platform::WaveExecutor {
   /// this at generation boundaries (via CheckpointPolicy.should_preempt).
   [[nodiscard]] bool preempt_requested() const noexcept;
 
+  /// The pool's warm mission-frame cache (nullptr for poolless contexts
+  /// or when the pool disabled it).
+  [[nodiscard]] MissionImagesCache* images_cache() noexcept;
+
  private:
   friend class ArrayPool;
   MissionContext(JobConfig job, const PoolConfig& pool_config,
@@ -381,6 +391,11 @@ class ArrayPool {
     return memo_.stats();
   }
 
+  /// The pool's warm mission-frame cache; nullptr when disabled.
+  [[nodiscard]] MissionImagesCache* images_cache() noexcept {
+    return images_cache_.get();
+  }
+
   // --- warm-state persistence ---------------------------------------------
   /// Serializes the shared fitness memo and the rebuild recipes of the
   /// resident compiled-array entries ("mpa-warm-v1"). Cache and memo
@@ -426,6 +441,14 @@ class ArrayPool {
     }
   };
   [[nodiscard]] PoolStats pool_stats() const;
+
+  /// Lock-free snapshot from atomic mirrors published at the end of every
+  /// guarded state transition. Each counter is individually exact, but
+  /// the set is not a single consistent point in time the way
+  /// pool_stats() is — built for high-rate pollers (PoolGroup::stats,
+  /// the forwarder's placement loop, `mpa stats`) that must never
+  /// serialize against job bookkeeping under mutex_.
+  [[nodiscard]] PoolStats quick_stats() const noexcept;
 
   // --- pool-level simulated schedule -------------------------------------
   struct ScheduleEntry {
@@ -507,11 +530,18 @@ class ArrayPool {
   void evict_unsatisfiable_locked(std::vector<FailedStart>& failures);
   void ensure_watchdog_locked();
   void watchdog_loop();
+  /// Copies the guarded counters into the atomic mirrors that
+  /// quick_stats() reads. Caller holds mutex_ (the constructor calls it
+  /// before any concurrency exists).
+  void publish_stats_locked() const noexcept;
 
   PoolConfig config_;
   WorkStealPool* workers_;  // resolved: config_.workers or the shared core
   CompiledArrayCache cache_;
   evo::FitnessMemo memo_;
+  /// unique_ptr: MissionImagesCache lives a layer above (missions.hpp),
+  /// only forward-declared here; nullptr when capacity is 0.
+  std::unique_ptr<MissionImagesCache> images_cache_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   JobQueue queue_;
@@ -539,6 +569,21 @@ class ArrayPool {
   std::thread watchdog_;
   std::condition_variable watchdog_cv_;
   bool stopping_ = false;
+  /// Relaxed-atomic mirrors of the guarded counters, republished at the
+  /// end of every mutating critical section (see publish_stats_locked).
+  struct StatMirror {
+    std::atomic<std::size_t> free_arrays{0};
+    std::atomic<std::size_t> quarantined{0};
+    std::atomic<std::size_t> running{0};
+    std::atomic<std::size_t> queued{0};
+    std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> done{0};
+    std::atomic<std::uint64_t> failed{0};
+    std::atomic<std::uint64_t> cancelled{0};
+    std::atomic<std::uint64_t> preempted{0};
+    std::atomic<std::uint64_t> deadline_expired{0};
+  };
+  mutable StatMirror mirror_;
 };
 
 }  // namespace ehw::sched

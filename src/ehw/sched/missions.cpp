@@ -1,6 +1,7 @@
 #include "ehw/sched/missions.hpp"
 
 #include <cstdio>
+#include <cstring>
 #include <istream>
 #include <map>
 #include <sstream>
@@ -208,6 +209,54 @@ MissionImages make_mission_images(const MissionSpec& spec) {
   return images;
 }
 
+MissionImagesCache::MissionImagesCache(std::size_t capacity)
+    : capacity_(capacity) {}
+
+MissionImagesCache::Key MissionImagesCache::key_of(const MissionSpec& spec) {
+  std::uint64_t noise_bits = 0;
+  static_assert(sizeof(noise_bits) == sizeof(spec.noise));
+  std::memcpy(&noise_bits, &spec.noise, sizeof(noise_bits));
+  return {static_cast<int>(spec.kind), spec.size, spec.scene_seed, noise_bits,
+          spec.seed};
+}
+
+std::shared_ptr<const MissionImages> MissionImagesCache::get_or_make(
+    const MissionSpec& spec) {
+  const Key key = key_of(spec);
+  if (capacity_ != 0) {
+    std::lock_guard lock(mutex_);
+    const auto found = entries_.find(key);
+    if (found != entries_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, found->second.lru_pos);
+      return found->second.images;
+    }
+    ++stats_.misses;
+  }
+  // Synthesis happens OUTSIDE the lock: a miss must not stall every other
+  // mission's warm lookup behind a multi-millisecond scene build.
+  auto images = std::make_shared<const MissionImages>(
+      make_mission_images(spec));
+  if (capacity_ != 0) {
+    std::lock_guard lock(mutex_);
+    if (entries_.find(key) == entries_.end()) {
+      lru_.push_front(key);
+      entries_.emplace(key, Entry{images, lru_.begin()});
+      while (entries_.size() > capacity_) {
+        entries_.erase(lru_.back());
+        lru_.pop_back();
+        ++stats_.evictions;
+      }
+    }
+  }
+  return images;
+}
+
+MissionImagesCacheStats MissionImagesCache::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
 JobConfig make_job_config(const MissionSpec& spec) {
   JobConfig job;
   job.name = spec.name;
@@ -258,8 +307,15 @@ void run_spec(platform::WaveExecutor& executor, const MissionSpec& spec,
 }
 
 void run_spec(platform::WaveExecutor& executor, const MissionSpec& spec,
-              JobOutcome& outcome, const MissionCheckpointing& ck) {
-  const MissionImages images = make_mission_images(spec);
+              JobOutcome& outcome, const MissionCheckpointing& ck,
+              MissionImagesCache* images_cache) {
+  // The shared_ptr keeps the frames alive for the whole mission; cached
+  // frames are bit-identical to fresh ones (pure function of the spec).
+  const std::shared_ptr<const MissionImages> frames =
+      images_cache != nullptr ? images_cache->get_or_make(spec)
+                              : std::make_shared<const MissionImages>(
+                                    make_mission_images(spec));
+  const MissionImages& images = *frames;
   platform::CheckpointPolicy policy;
   policy.every = ck.every;
   policy.preempt_after = ck.preempt_after;
@@ -302,7 +358,7 @@ ArrayPool::JobBody make_job_body(MissionSpec spec, MissionCheckpointing ck) {
     durable.should_preempt = [&context, upstream] {
       return context.preempt_requested() || (upstream && upstream());
     };
-    run_spec(context, spec, outcome, durable);
+    run_spec(context, spec, outcome, durable, context.images_cache());
     const bool preempted = spec.kind == MissionKind::kCascade
                                ? outcome.cascade.preempted
                                : outcome.intrinsic.preempted;

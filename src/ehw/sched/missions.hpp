@@ -22,7 +22,12 @@
 // asserts the two produce bit-identical results.
 
 #include <iosfwd>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "ehw/sched/array_pool.hpp"
@@ -91,6 +96,48 @@ struct MissionImages {
 };
 [[nodiscard]] MissionImages make_mission_images(const MissionSpec& spec);
 
+struct MissionImagesCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+};
+
+/// Pool-local LRU over make_mission_images: frames are a pure function of
+/// the frame-shaping spec fields (kind, size, scene seed, noise, seed),
+/// so repeat fingerprints skip scene synthesis + degradation entirely —
+/// the third kind of warm state (after the fitness memo and the compiled
+/// cache) that placement affinity keeps co-located. Entries are shared
+/// read-only snapshots; a hit serves bit-identical frames by
+/// construction. Thread-safe; capacity 0 disables.
+class MissionImagesCache {
+ public:
+  explicit MissionImagesCache(std::size_t capacity);
+
+  /// The spec's frames, from cache when warm (computing and inserting on
+  /// miss). Never returns nullptr.
+  [[nodiscard]] std::shared_ptr<const MissionImages> get_or_make(
+      const MissionSpec& spec);
+
+  [[nodiscard]] MissionImagesCacheStats stats() const;
+
+ private:
+  /// Every field make_mission_images reads, compared exactly (noise by
+  /// bit pattern) — no hashing, so no collision risk.
+  using Key = std::tuple<int, std::size_t, std::uint64_t, std::uint64_t,
+                         std::uint64_t>;
+  [[nodiscard]] static Key key_of(const MissionSpec& spec);
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  struct Entry {
+    std::shared_ptr<const MissionImages> images;
+    std::list<Key>::iterator lru_pos;
+  };
+  std::map<Key, Entry> entries_;
+  std::list<Key> lru_;  // front = most recently used
+  MissionImagesCacheStats stats_;
+};
+
 /// Re-emits a spec as one manifest line ("<kind> <name> key=value ...",
 /// every key explicit). parse_manifest of the line reproduces the spec
 /// exactly; checkpoint files embed specs in this vocabulary so the sched
@@ -135,9 +182,11 @@ struct MissionCheckpointing {
 /// counters, which belong to the pool).
 void run_spec(platform::WaveExecutor& executor, const MissionSpec& spec,
               JobOutcome& outcome);
-/// Durable variant.
+/// Durable variant. `images` (optional) serves the mission's frames from
+/// a shared cache — bit-identical to computing them fresh.
 void run_spec(platform::WaveExecutor& executor, const MissionSpec& spec,
-              JobOutcome& outcome, const MissionCheckpointing& ck);
+              JobOutcome& outcome, const MissionCheckpointing& ck,
+              MissionImagesCache* images = nullptr);
 
 /// Reference run on a dedicated standalone platform (the pre-scheduler
 /// behaviour): the bit-identical baseline for multiplexed runs.

@@ -1,0 +1,131 @@
+#pragma once
+// PlacementPolicy — scores candidate pools (or federated backends) for a
+// mission and remembers where each mission *fingerprint* last ran.
+//
+// Both scale-out layers route through this one abstraction: PoolGroup
+// places submits across its in-process ArrayPools, and svc::Forwarder
+// places them across backend daemons using exactly the same scoring fed
+// by stats/health polls. Two signals matter:
+//
+//   * free capacity — a pool with idle arrays starts the mission now; a
+//     busy pool queues it. Quarantined lanes shrink a pool's usable
+//     capacity and push fresh work elsewhere.
+//   * cache locality — ArrayPool shares a FitnessMemo keyed by frame-set
+//     content id and a compiled-array cache keyed by configuration
+//     fingerprint + genotype hash. Re-running a mission whose frames and
+//     candidate stream a pool has already measured skips frame streaming
+//     (memo hits) and recompilation (cache hits) entirely. The policy
+//     keys that warmth by a *fingerprint*: a content hash over every
+//     spec field that determines the frame set and the candidate stream
+//     (kind, size, scene seed, noise, ES parameters, seeds — NOT the
+//     mission name), so repeat missions land where their warm state
+//     lives.
+//
+// Warmth affects host speed only, never simulated results — the
+// scheduler's bit-identity guarantee holds wherever a mission is placed,
+// which is what makes this policy free to chase throughput.
+//
+// Determinism: scoring is pure arithmetic over the target snapshots; no
+// randomness, no clocks. Ties break toward the target hosting the fewest
+// warm fingerprints (then the lowest index), so cold keys spread their
+// working sets across identical-looking targets instead of piling onto
+// index 0. Thread-safe (one mutex around the affinity table).
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ehw/sched/missions.hpp"
+
+namespace ehw::sched {
+
+/// One candidate pool/backend as the policy sees it: a cheap counter
+/// snapshot (ArrayPool::quick_stats for in-process pools, the last
+/// stats/health poll for federated backends).
+struct PlacementTarget {
+  std::size_t total_arrays = 0;
+  std::size_t free_arrays = 0;
+  std::size_t quarantined = 0;
+  /// Jobs admitted but not yet holding arrays.
+  std::size_t queued = 0;
+  std::size_t running = 0;
+  /// Federation: the backend answered its last poll. Unreachable targets
+  /// are never chosen.
+  bool reachable = true;
+
+  [[nodiscard]] std::size_t healthy() const noexcept {
+    return total_arrays > quarantined ? total_arrays - quarantined : 0;
+  }
+};
+
+class PlacementPolicy {
+ public:
+  /// `affinity_capacity` caps the fingerprint table (LRU eviction past
+  /// it); 0 disables locality tracking (pure capacity scoring).
+  explicit PlacementPolicy(std::size_t affinity_capacity = 4096);
+
+  PlacementPolicy(const PlacementPolicy&) = delete;
+  PlacementPolicy& operator=(const PlacementPolicy&) = delete;
+
+  /// Content fingerprint of the warm state a spec's mission builds:
+  /// every field that shapes the frame set or the candidate stream.
+  /// Identical fingerprints hit each other's memo/cache entries;
+  /// the mission name deliberately does not participate.
+  [[nodiscard]] static std::uint64_t fingerprint(const MissionSpec& spec);
+
+  struct Decision {
+    bool ok = false;
+    std::size_t target = 0;
+    double score = 0.0;
+    /// The chosen target is where this fingerprint last ran.
+    bool affinity_hit = false;
+    /// The fingerprint had a warm target but capacity pushed the mission
+    /// elsewhere (the affinity moves with it).
+    bool spilled = false;
+    std::string error;  // when !ok
+  };
+
+  /// Picks the best target for a mission needing `lanes` arrays and
+  /// records the placement against `key` (= fingerprint(spec)).
+  /// Targets that are unreachable or whose healthy capacity cannot ever
+  /// hold `lanes` are skipped; if nothing remains, ok=false.
+  [[nodiscard]] Decision place(std::uint64_t key, std::size_t lanes,
+                               const std::vector<PlacementTarget>& targets);
+
+  /// Drops every affinity pointing at `target` (a backend died — its
+  /// warm state is gone; do not steer repeats at the corpse).
+  void forget_target(std::size_t target);
+
+  struct Stats {
+    std::uint64_t placed = 0;
+    std::uint64_t affinity_hits = 0;
+    std::uint64_t spills = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Score one target for a `lanes`-wide mission; `warm` marks the
+  /// target as the fingerprint's remembered home. Exposed for tests and
+  /// the placement micro-bench; place() is this plus argmax + recording.
+  [[nodiscard]] static double score(const PlacementTarget& target,
+                                    std::size_t lanes, bool warm);
+
+ private:
+  std::size_t affinity_capacity_;
+  mutable std::mutex mutex_;
+  /// fingerprint -> (target index, LRU position).
+  struct Entry {
+    std::size_t target = 0;
+    std::list<std::uint64_t>::iterator lru_pos;
+  };
+  std::list<std::uint64_t> lru_;  // front = most recently placed
+  /// Warm fingerprints currently bound per target (tie-break metric);
+  /// grown on demand to the largest target vector seen.
+  std::vector<std::size_t> bound_;
+  std::unordered_map<std::uint64_t, Entry> affinity_;
+  Stats stats_;
+};
+
+}  // namespace ehw::sched

@@ -1,0 +1,178 @@
+#include "ehw/sched/pool_group.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace ehw::sched {
+namespace {
+
+constexpr const char* kGroupWarmFormatTag = "mpa-warm-group-v1";
+
+void accumulate(ArrayPool::PoolStats& total,
+                const ArrayPool::PoolStats& pool) {
+  total.num_arrays += pool.num_arrays;
+  total.free_arrays += pool.free_arrays;
+  total.quarantined += pool.quarantined;
+  total.running += pool.running;
+  total.queued += pool.queued;
+  total.submitted += pool.submitted;
+  total.done += pool.done;
+  total.failed += pool.failed;
+  total.cancelled += pool.cancelled;
+  total.preempted += pool.preempted;
+  total.deadline_expired += pool.deadline_expired;
+}
+
+}  // namespace
+
+PoolGroup::PoolGroup(PoolGroupConfig config) : config_(std::move(config)) {
+  if (config_.pools == 0) {
+    throw std::invalid_argument("PoolGroup needs at least one pool");
+  }
+  pools_.reserve(config_.pools);
+  for (std::size_t i = 0; i < config_.pools; ++i) {
+    pools_.push_back(std::make_unique<ArrayPool>(config_.pool));
+  }
+}
+
+PoolGroup::Placed PoolGroup::submit(const MissionSpec& spec, JobConfig config,
+                                    ArrayPool::JobBody body) {
+  Placed placed;
+  if (pools_.size() == 1) {
+    // Single-pool groups skip scoring but still record the fingerprint
+    // so placement stats stay meaningful across a later scale-up.
+    std::vector<PlacementTarget> targets(1);
+    targets[0].total_arrays = config_.pool.num_arrays;
+    targets[0].free_arrays = config_.pool.num_arrays;
+    const PlacementPolicy::Decision decision =
+        placement_.place(PlacementPolicy::fingerprint(spec), config.lanes,
+                         targets);
+    placed.affinity_hit = decision.affinity_hit;
+    placed.runner = pools_[0]->submit(std::move(config), std::move(body));
+    return placed;
+  }
+  std::vector<PlacementTarget> targets(pools_.size());
+  for (std::size_t i = 0; i < pools_.size(); ++i) {
+    const ArrayPool::PoolStats stats = pools_[i]->quick_stats();
+    targets[i].total_arrays = stats.num_arrays;
+    targets[i].free_arrays = stats.free_arrays;
+    targets[i].quarantined = stats.quarantined;
+    targets[i].queued = stats.queued;
+    targets[i].running = stats.running;
+  }
+  const PlacementPolicy::Decision decision = placement_.place(
+      PlacementPolicy::fingerprint(spec), config.lanes, targets);
+  if (decision.ok) {
+    placed.pool = decision.target;
+    placed.affinity_hit = decision.affinity_hit;
+  } else {
+    // Nothing healthy enough: hand the job to the least-degraded pool,
+    // whose unsatisfiable-eviction path fails it with the same error a
+    // single pool would give.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < pools_.size(); ++i) {
+      if (targets[i].healthy() > targets[best].healthy()) best = i;
+    }
+    placed.pool = best;
+  }
+  placed.runner =
+      pools_[placed.pool]->submit(std::move(config), std::move(body));
+  return placed;
+}
+
+void PoolGroup::wait_all() {
+  for (const auto& pool : pools_) pool->wait_all();
+}
+
+std::size_t PoolGroup::reap_finished() {
+  std::size_t reaped = 0;
+  for (const auto& pool : pools_) reaped += pool->reap_finished();
+  return reaped;
+}
+
+std::size_t PoolGroup::max_healthy_arrays() const {
+  std::size_t best = 0;
+  for (const auto& pool : pools_) {
+    best = std::max(best, pool->healthy_arrays());
+  }
+  return best;
+}
+
+PoolGroup::GroupStats PoolGroup::stats() const {
+  GroupStats stats;
+  stats.per_pool.reserve(pools_.size());
+  for (const auto& pool : pools_) {
+    stats.per_pool.push_back(pool->quick_stats());
+    accumulate(stats.total, stats.per_pool.back());
+  }
+  return stats;
+}
+
+CacheStats PoolGroup::cache_stats() const {
+  CacheStats total;
+  for (const auto& pool : pools_) {
+    const CacheStats stats = pool->cache_stats();
+    total.hits += stats.hits;
+    total.misses += stats.misses;
+    total.evictions += stats.evictions;
+  }
+  return total;
+}
+
+evo::FitnessMemoStats PoolGroup::memo_stats() const {
+  evo::FitnessMemoStats total;
+  for (const auto& pool : pools_) {
+    const evo::FitnessMemoStats stats = pool->memo_stats();
+    total.hits += stats.hits;
+    total.misses += stats.misses;
+    total.evictions += stats.evictions;
+  }
+  return total;
+}
+
+std::vector<PoolGroup::GroupArrayHealth> PoolGroup::array_health() const {
+  std::vector<GroupArrayHealth> all;
+  all.reserve(total_arrays());
+  for (std::size_t i = 0; i < pools_.size(); ++i) {
+    for (const ArrayPool::ArrayHealth& health : pools_[i]->array_health()) {
+      all.push_back(GroupArrayHealth{i, health});
+    }
+  }
+  return all;
+}
+
+Json PoolGroup::export_warm_state() const {
+  Json pools = Json::array();
+  for (const auto& pool : pools_) {
+    pools.push_back(pool->export_warm_state());
+  }
+  Json state = Json::object();
+  state.set("format", kGroupWarmFormatTag);
+  state.set("pools", std::move(pools));
+  return state;
+}
+
+ArrayPool::WarmLoadStats PoolGroup::import_warm_state(const Json& state) {
+  ArrayPool::WarmLoadStats total;
+  if (!state.is_object()) return total;
+  const std::string format = state.get_string("format", "");
+  if (format == kGroupWarmFormatTag) {
+    const Json* pools = state.get("pools");
+    if (pools == nullptr || !pools->is_array()) return total;
+    const std::size_t count =
+        std::min(pools->as_array().size(), pools_.size());
+    for (std::size_t i = 0; i < count; ++i) {
+      const ArrayPool::WarmLoadStats loaded =
+          pools_[i]->import_warm_state(pools->as_array()[i]);
+      total.memo_loaded += loaded.memo_loaded;
+      total.cache_loaded += loaded.cache_loaded;
+      total.cache_skipped += loaded.cache_skipped;
+    }
+    return total;
+  }
+  // Single-pool format from a pre-group daemon: seed pool 0.
+  return pools_[0]->import_warm_state(state);
+}
+
+}  // namespace ehw::sched

@@ -1,0 +1,120 @@
+#pragma once
+// PoolGroup — N ArrayPools behind one submit surface, routed by a
+// PlacementPolicy.
+//
+// Why shard at all: one ArrayPool serializes every submit, admission and
+// finish through a single mutex, and shares ONE FitnessMemo + compiled
+// cache across every mission it hosts — a working set bigger than those
+// caches thrashes them cyclically. A group gives each pool its own
+// queue, its own locks and its own warm state, and the placement policy
+// keeps repeat mission fingerprints on the pool that already holds
+// their memo/cache entries. Simulated results never depend on placement
+// (ArrayPool's bit-identity guarantee), so routing is free to chase
+// capacity and warmth.
+//
+// The group is also the in-process twin of the federated deployment:
+// svc::Forwarder routes the same PlacementTarget snapshots across
+// backend daemons; PoolGroup routes them across in-process pools. One
+// policy, two radii.
+//
+// Stats: stats() aggregates ArrayPool::quick_stats (lock-free atomic
+// mirrors) — high-rate pollers (the forwarder, `mpa stats`) never
+// serialize against job bookkeeping under the pool mutexes.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ehw/sched/array_pool.hpp"
+#include "ehw/sched/placement.hpp"
+
+namespace ehw::sched {
+
+struct PoolGroupConfig {
+  /// Member pools; each is built from `pool` (so `pool.num_arrays` is
+  /// the per-pool array count, and the group's total capacity is
+  /// pools * num_arrays).
+  std::size_t pools = 1;
+  PoolConfig pool;
+};
+
+class PoolGroup {
+ public:
+  explicit PoolGroup(PoolGroupConfig config);
+
+  PoolGroup(const PoolGroup&) = delete;
+  PoolGroup& operator=(const PoolGroup&) = delete;
+
+  [[nodiscard]] std::size_t pool_count() const noexcept {
+    return pools_.size();
+  }
+  [[nodiscard]] ArrayPool& pool(std::size_t index) { return *pools_[index]; }
+  [[nodiscard]] const ArrayPool& pool(std::size_t index) const {
+    return *pools_[index];
+  }
+  /// Lane cap for any single mission (a lease never spans pools — the
+  /// slice must be one platform with one timeline).
+  [[nodiscard]] std::size_t arrays_per_pool() const noexcept {
+    return config_.pool.num_arrays;
+  }
+  [[nodiscard]] std::size_t total_arrays() const noexcept {
+    return pools_.size() * config_.pool.num_arrays;
+  }
+
+  struct Placed {
+    std::shared_ptr<MissionRunner> runner;
+    std::size_t pool = 0;
+    bool affinity_hit = false;
+  };
+  /// Places `spec` (the fingerprint source) on the best pool and submits
+  /// `config`/`body` there. `config.lanes` governs capacity (it may be a
+  /// migration grant narrower than spec.lanes). When no pool's healthy
+  /// capacity can hold the lease, the least-degraded pool still takes
+  /// the job so ArrayPool's unsatisfiable-eviction path fails it with
+  /// its normal error — group and single-pool semantics stay identical.
+  Placed submit(const MissionSpec& spec, JobConfig config,
+                ArrayPool::JobBody body);
+
+  void wait_all();
+  std::size_t reap_finished();
+
+  /// Largest healthy capacity any single pool offers (migration sizing).
+  [[nodiscard]] std::size_t max_healthy_arrays() const;
+
+  struct GroupStats {
+    ArrayPool::PoolStats total;
+    std::vector<ArrayPool::PoolStats> per_pool;
+  };
+  /// Aggregated + per-pool counters from the pools' lock-free stat
+  /// mirrors — never takes a pool mutex.
+  [[nodiscard]] GroupStats stats() const;
+
+  [[nodiscard]] CacheStats cache_stats() const;
+  [[nodiscard]] evo::FitnessMemoStats memo_stats() const;
+
+  struct GroupArrayHealth {
+    std::size_t pool = 0;
+    ArrayPool::ArrayHealth health;
+  };
+  [[nodiscard]] std::vector<GroupArrayHealth> array_health() const;
+
+  /// Warm-state round trip: {"format":"mpa-warm-group-v1","pools":[...]}
+  /// with one ArrayPool warm object per pool. import accepts the group
+  /// format (per-index, extra entries dropped when the group shrank) and
+  /// the single-pool "mpa-warm-v1" format (loaded into pool 0), so a
+  /// daemon upgraded from one pool keeps its warmth.
+  [[nodiscard]] Json export_warm_state() const;
+  ArrayPool::WarmLoadStats import_warm_state(const Json& state);
+
+  [[nodiscard]] PlacementPolicy::Stats placement_stats() const {
+    return placement_.stats();
+  }
+  [[nodiscard]] PlacementPolicy& placement() noexcept { return placement_; }
+
+ private:
+  PoolGroupConfig config_;
+  std::vector<std::unique_ptr<ArrayPool>> pools_;
+  PlacementPolicy placement_;
+};
+
+}  // namespace ehw::sched

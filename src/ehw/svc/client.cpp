@@ -186,6 +186,23 @@ std::string Client::watch(
   request.set("op", "watch");
   request.set("job", job);
   request.set("every", every);
+  return watch_request(std::move(request), on_progress, on_subscribed);
+}
+
+std::string Client::watch_by_name(
+    const std::string& name,
+    const std::function<void(std::uint64_t waves)>& on_progress,
+    std::uint64_t every, const std::function<void()>& on_subscribed) {
+  Json request = Json::object();
+  request.set("op", "watch");
+  request.set("job", name);
+  request.set("every", every);
+  return watch_request(std::move(request), on_progress, on_subscribed);
+}
+
+std::string Client::watch_request(
+    Json request, const std::function<void(std::uint64_t waves)>& on_progress,
+    const std::function<void()>& on_subscribed) {
   if (!channel_.write_line(request.dump())) connection_lost();
   // The server subscribes before acking, so event frames may arrive
   // ahead of the ok-response; handle both in any order.
@@ -277,6 +294,42 @@ IdempotentSubmit submit_idempotent(std::uint16_t port,
     out.code = "unreachable";
   }
   return out;
+}
+
+std::string watch_mission(
+    std::uint16_t port, const std::string& address, const std::string& name,
+    const RetryPolicy& policy,
+    const std::function<void(std::uint64_t waves)>& on_progress,
+    std::uint64_t every) {
+  const int attempts = policy.retries >= 0 ? policy.retries + 1 : 1;
+  int remaining = attempts;
+  int delay_ms = policy.backoff_ms > 0 ? policy.backoff_ms : 100;
+  std::string last_error = "no attempt made";
+  for (;;) {
+    bool subscribed = false;
+    try {
+      Client client(port, address, policy.io_timeout_ms);
+      return client.watch_by_name(name, on_progress, every,
+                                  [&subscribed] { subscribed = true; });
+    } catch (const std::exception& e) {
+      last_error = e.what();
+    }
+    if (subscribed) {
+      // The daemon was alive and streaming before the drop — this is a
+      // restart/failover window, not a dead endpoint. Refill the budget:
+      // retries bound consecutive failed reconnects, not mission length.
+      remaining = attempts;
+      delay_ms = policy.backoff_ms > 0 ? policy.backoff_ms : 100;
+    } else {
+      --remaining;
+    }
+    if (remaining <= 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    if (delay_ms < 60'000) delay_ms *= 2;
+  }
+  throw std::runtime_error("watch '" + name + "' lost after " +
+                           std::to_string(attempts) +
+                           " attempt(s): " + last_error);
 }
 
 }  // namespace ehw::svc

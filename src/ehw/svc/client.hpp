@@ -88,10 +88,22 @@ class Client {
       std::uint64_t every = 1,
       const std::function<void()>& on_subscribed = {});
 
+  /// watch keyed by mission name (latest submission with that name wins
+  /// server-side) — the form that survives the job id changing across a
+  /// daemon restart or a forwarder failover.
+  [[nodiscard]] std::string watch_by_name(
+      const std::string& name,
+      const std::function<void(std::uint64_t waves)>& on_progress = {},
+      std::uint64_t every = 1,
+      const std::function<void()>& on_subscribed = {});
+
  private:
   [[nodiscard]] Json roundtrip(const Json& request);
   [[nodiscard]] Json job_op(const char* op, std::uint64_t job);
   [[nodiscard]] Json named_op(const char* op, const std::string& name);
+  [[nodiscard]] std::string watch_request(
+      Json request, const std::function<void(std::uint64_t waves)>& on_progress,
+      const std::function<void()>& on_subscribed);
 
   LineChannel channel_;
   std::string server_version_;
@@ -133,5 +145,19 @@ struct IdempotentSubmit {
                                                  const std::string& address,
                                                  const sched::MissionSpec& spec,
                                                  const RetryPolicy& policy);
+
+/// Watches a mission BY NAME across reconnects: when the event stream
+/// drops mid-mission (daemon restart, forwarder failover, socket
+/// timeout), a fresh connection re-resolves the name and re-subscribes,
+/// so `mpa submit --wait` rides through transparently. A successful
+/// re-subscription refills the retry budget — `policy.retries` bounds
+/// consecutive FAILED reconnects, not the mission's lifetime. Returns
+/// the final status name; throws std::runtime_error once the budget is
+/// exhausted without a terminal status.
+[[nodiscard]] std::string watch_mission(
+    std::uint16_t port, const std::string& address, const std::string& name,
+    const RetryPolicy& policy,
+    const std::function<void(std::uint64_t waves)>& on_progress = {},
+    std::uint64_t every = 1);
 
 }  // namespace ehw::svc

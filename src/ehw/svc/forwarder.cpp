@@ -1,0 +1,1073 @@
+#include "ehw/svc/forwarder.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "ehw/common/persist.hpp"
+#include "ehw/common/version.hpp"
+#include "ehw/sched/checkpoint_store.hpp"
+#include "ehw/svc/journal.hpp"
+
+namespace ehw::svc {
+namespace {
+
+Json greeting_frame() {
+  Json frame = Json::object();
+  frame.set("event", "hello");
+  frame.set("service", kServiceName);
+  frame.set("protocol", kProtocolVersion);
+  frame.set("version", kVersion);
+  frame.set("role", "forwarder");
+  return frame;
+}
+
+/// Sums one numeric field of a backend's cached "pool" section into an
+/// aggregate object (missing fields count 0).
+void sum_field(Json& total, const Json& pool, const char* key) {
+  total.set(key, total.get_number(key, 0) + pool.get_number(key, 0));
+}
+
+constexpr const char* kPoolFields[] = {
+    "arrays",    "free_arrays", "running",   "queued",
+    "submitted", "done",        "failed",    "cancelled",
+    "quarantined", "healthy",   "preempted", "deadline_expired"};
+
+}  // namespace
+
+Forwarder::Forwarder(ForwarderConfig config) : config_(std::move(config)) {
+  if (config_.backends.empty()) {
+    throw std::runtime_error("forwarder needs at least one backend");
+  }
+  if (config_.poll_ms <= 0) config_.poll_ms = 250;
+  if (config_.down_after <= 0) config_.down_after = 1;
+  backends_.resize(config_.backends.size());
+  // One synchronous poll round before the listener exists: the first
+  // submit already has real capacity snapshots to place against, and
+  // backends that are down at boot start down (no first-poll grace).
+  for (std::size_t i = 0; i < backends_.size(); ++i) poll_backend(i);
+  listener_ = std::make_unique<Listener>(config_.address, config_.port);
+  port_ = listener_->port();
+  acceptor_ = std::thread([this] { accept_loop(); });
+  poller_ = std::thread([this] { poll_loop(); });
+}
+
+Forwarder::~Forwarder() { stop(); }
+
+void Forwarder::drain() {
+  draining_.store(true, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    bool reachable;
+    {
+      std::lock_guard lock(state_mutex_);
+      reachable = backends_[i].target.reachable;
+    }
+    if (!reachable) continue;
+    try {
+      Client client = quick_client(i);
+      static_cast<void>(client.drain(/*wait=*/false));
+    } catch (const std::exception&) {
+      // A backend that just died is already not accepting anything.
+    }
+  }
+  state_cv_.notify_all();
+}
+
+void Forwarder::stop() {
+  if (stopped_) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(poll_mutex_);
+  }
+  poll_cv_.notify_all();
+  if (poller_.joinable()) poller_.join();
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listener_ != nullptr) listener_->close();
+  std::vector<std::unique_ptr<Session>> to_join;
+  {
+    std::lock_guard lock(sessions_mutex_);
+    to_join.swap(sessions_);
+  }
+  for (const auto& session : to_join) session->channel->shutdown();
+  state_cv_.notify_all();
+  for (const auto& session : to_join) {
+    if (session->thread.joinable()) session->thread.join();
+  }
+  stopped_ = true;
+}
+
+ForwarderStats Forwarder::forwarder_stats() const {
+  ForwarderStats stats;
+  std::lock_guard lock(state_mutex_);
+  stats.submitted = submitted_;
+  stats.rejected = rejected_;
+  stats.failovers = failovers_;
+  stats.failover_resumed = failover_resumed_;
+  stats.routes = routes_.size();
+  for (const BackendState& backend : backends_) {
+    if (backend.target.reachable) ++stats.backends_up;
+  }
+  stats.draining = draining_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+Client Forwarder::quick_client(std::size_t backend) const {
+  const BackendConfig& config = config_.backends[backend];
+  return Client(config.port, config.address, config_.io_timeout_ms);
+}
+
+// --- liveness + placement ---------------------------------------------------
+
+void Forwarder::poll_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    {
+      std::unique_lock lock(poll_mutex_);
+      poll_cv_.wait_for(lock, std::chrono::milliseconds(config_.poll_ms), [this] {
+        return stopping_.load(std::memory_order_relaxed);
+      });
+    }
+    if (stopping_.load(std::memory_order_relaxed)) return;
+    for (std::size_t i = 0; i < backends_.size(); ++i) poll_backend(i);
+  }
+}
+
+void Forwarder::poll_backend(std::size_t index) {
+  Json stats;
+  bool ok = false;
+  try {
+    Client client = quick_client(index);
+    stats = client.stats();
+    ok = stats.get_bool("ok", false);
+  } catch (const std::exception&) {
+    ok = false;
+  }
+  std::vector<std::shared_ptr<Route>> orphans;
+  {
+    std::lock_guard lock(state_mutex_);
+    BackendState& backend = backends_[index];
+    ++backend.polls;
+    if (ok) {
+      backend.failures = 0;
+      backend.target.reachable = true;
+      // The poll is the truth: whatever the backend accepted is in its
+      // own counters now, so the optimistic layer starts over.
+      backend.opt_lanes = 0;
+      backend.opt_jobs = 0;
+      if (const Json* pool = stats.get("pool"); pool != nullptr) {
+        backend.pool_json = *pool;
+        backend.target.total_arrays =
+            static_cast<std::size_t>(pool->get_number("arrays", 0));
+        backend.target.free_arrays =
+            static_cast<std::size_t>(pool->get_number("free_arrays", 0));
+        backend.target.quarantined =
+            static_cast<std::size_t>(pool->get_number("quarantined", 0));
+        backend.target.queued =
+            static_cast<std::size_t>(pool->get_number("queued", 0));
+        backend.target.running =
+            static_cast<std::size_t>(pool->get_number("running", 0));
+      }
+    } else {
+      ++backend.failures;
+      if (backend.failures >= config_.down_after &&
+          backend.target.reachable) {
+        orphans = take_down_locked(index);
+      }
+    }
+  }
+  for (const std::shared_ptr<Route>& route : orphans) {
+    failover_route(route, index);
+  }
+}
+
+std::vector<std::shared_ptr<Forwarder::Route>> Forwarder::take_down_locked(
+    std::size_t index) {
+  backends_[index].target.reachable = false;
+  // The dead backend's memo/cache died with it: steering repeats at the
+  // corpse would burn the down-detection window for nothing.
+  placement_.forget_target(index);
+  std::vector<std::shared_ptr<Route>> orphans;
+  for (const auto& [id, route] : routes_) {
+    if (!route->finished && route->backend == index) {
+      orphans.push_back(route);
+    }
+  }
+  return orphans;
+}
+
+void Forwarder::mark_backend_down(std::size_t index) {
+  if (index >= backends_.size()) return;
+  std::vector<std::shared_ptr<Route>> orphans;
+  {
+    std::lock_guard lock(state_mutex_);
+    BackendState& backend = backends_[index];
+    backend.failures = std::max(backend.failures, config_.down_after);
+    if (backend.target.reachable) orphans = take_down_locked(index);
+  }
+  for (const std::shared_ptr<Route>& route : orphans) {
+    failover_route(route, index);
+  }
+}
+
+sched::PlacementPolicy::Decision Forwarder::place_locked(
+    const sched::MissionSpec& spec) {
+  std::vector<sched::PlacementTarget> targets(backends_.size());
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    const BackendState& backend = backends_[i];
+    targets[i] = backend.target;
+    // Overlay the optimistic layer: submits placed since the last poll
+    // that haven't been seen finishing yet still hold their lanes.
+    targets[i].free_arrays -=
+        std::min(targets[i].free_arrays, backend.opt_lanes);
+    targets[i].running += backend.opt_jobs;
+  }
+  const sched::PlacementPolicy::Decision decision = placement_.place(
+      sched::PlacementPolicy::fingerprint(spec), spec.lanes, targets);
+  if (decision.ok) {
+    // Optimistic bump: polls refresh the truth, but a burst of submits
+    // between polls must not all pile onto the same snapshot.
+    BackendState& winner = backends_[decision.target];
+    winner.opt_lanes += spec.lanes;
+    ++winner.opt_jobs;
+  }
+  return decision;
+}
+
+void Forwarder::release_route_locked(Route& route) {
+  if (route.capacity_released) return;
+  route.capacity_released = true;
+  if (route.backend >= backends_.size()) return;
+  BackendState& backend = backends_[route.backend];
+  backend.opt_lanes -= std::min(backend.opt_lanes, route.spec.lanes);
+  if (backend.opt_jobs > 0) --backend.opt_jobs;
+}
+
+// --- failover ---------------------------------------------------------------
+
+void Forwarder::failover_route(const std::shared_ptr<Route>& route,
+                               std::size_t dead_backend) {
+  // The backend's journal holds the mission's latest generation-boundary
+  // checkpoint (job-<id>.ckpt sidecar). Reading it is what turns "the
+  // machine died" into "the mission hopped hosts mid-flight".
+  Json resume;
+  bool have_resume = false;
+  const std::string& dir = config_.backends[dead_backend].journal_dir;
+  std::uint64_t backend_job = 0;
+  {
+    std::lock_guard lock(state_mutex_);
+    backend_job = route->backend_job;
+  }
+  if (!dir.empty()) {
+    const std::string path =
+        MissionJournal::checkpoint_path_in(dir, backend_job);
+    if (file_exists(path)) {
+      sched::MissionSpec saved_spec;
+      platform::MissionCheckpoint checkpoint;
+      if (sched::load_mission_checkpoint(path, saved_spec, checkpoint)
+              .empty() &&
+          saved_spec.name == route->spec.name) {
+        resume = platform::mission_checkpoint_to_json(checkpoint);
+        have_resume = true;
+      }
+      // Mismatched or unreadable state is dropped: a from-scratch rerun
+      // is still bit-identical, resuming someone else's state is not.
+    }
+  }
+  sched::PlacementPolicy::Decision decision;
+  {
+    std::lock_guard lock(state_mutex_);
+    decision = place_locked(route->spec);
+  }
+  if (!decision.ok) {
+    finish_route_failed(route, "no surviving backend can host " +
+                                   std::to_string(route->spec.lanes) +
+                                   " lane(s): " + decision.error);
+    return;
+  }
+  try {
+    Client client = quick_client(decision.target);
+    Json request = Json::object();
+    request.set("op", "submit");
+    request.set("spec", spec_to_json(route->spec));
+    if (have_resume) request.set("resume", resume);
+    const Json response = client.request(request);
+    if (!response.get_bool("ok", false)) {
+      finish_route_failed(
+          route, "failover submit rejected: " +
+                     response.get_string("error", "unknown error"));
+      return;
+    }
+    {
+      std::lock_guard lock(state_mutex_);
+      route->backend = decision.target;
+      route->backend_job =
+          static_cast<std::uint64_t>(response.get_number("job", 0));
+      ++route->generation;
+      ++route->failovers;
+      ++failovers_;
+      if (have_resume) ++failover_resumed_;
+    }
+    state_cv_.notify_all();
+  } catch (const std::exception& e) {
+    finish_route_failed(route,
+                        std::string("failover submit failed: ") + e.what());
+  }
+}
+
+void Forwarder::finish_route_failed(const std::shared_ptr<Route>& route,
+                                    const std::string& error) {
+  Json body = Json::object();
+  body.set("ok", true);
+  body.set("status", status_name(sched::JobStatus::kFailed));
+  body.set("error", "failover failed: " + error);
+  {
+    std::lock_guard lock(state_mutex_);
+    body.set("job", route->id);
+    body.set("name", route->spec.name);
+    body.set("kind", sched::kind_name(route->spec.kind));
+    route->finished = true;
+    route->final_status = status_name(sched::JobStatus::kFailed);
+    route->final_result = std::move(body);
+    release_route_locked(*route);
+    ++route->generation;
+  }
+  state_cv_.notify_all();
+}
+
+// --- northbound service loop ------------------------------------------------
+
+void Forwarder::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    std::optional<Socket> socket = listener_->accept_one(/*timeout_ms=*/100);
+    if (!socket.has_value()) continue;
+    socket->set_send_timeout(/*timeout_ms=*/10000);
+    auto session = std::make_unique<Session>(std::move(*socket));
+    Session* raw = session.get();
+    {
+      std::lock_guard lock(sessions_mutex_);
+      auto alive = sessions_.begin();
+      for (auto& existing : sessions_) {
+        if (existing->done.load(std::memory_order_acquire) &&
+            existing->thread.joinable()) {
+          existing->thread.join();
+          continue;
+        }
+        *alive++ = std::move(existing);
+      }
+      sessions_.erase(alive, sessions_.end());
+      sessions_.push_back(std::move(session));
+    }
+    {
+      std::lock_guard lock(state_mutex_);
+      ++connections_;
+    }
+    raw->thread = std::thread([this, raw] { session_loop(raw); });
+  }
+}
+
+void Forwarder::session_loop(Session* session) {
+  LineChannel& channel = *session->channel;
+  if (channel.write_line(greeting_frame().dump())) {
+    std::string line;
+    while (channel.read_line(line)) {
+      Json request;
+      try {
+        request = Json::parse(line);
+        if (!request.is_object()) {
+          throw JsonError("request must be a JSON object", 0);
+        }
+      } catch (const JsonError& e) {
+        const Json response = make_error(
+            std::string("malformed request: ") + e.what(), "bad_request");
+        if (!channel.write_line(response.dump())) break;
+        continue;
+      }
+      std::optional<Json> response = handle_request(*session, request);
+      if (response.has_value()) {
+        if (const Json* id = request.get("id")) response->set("id", *id);
+        if (!channel.write_line(response->dump())) break;
+      }
+      if (session->close_after_reply) break;
+    }
+  }
+  channel.shutdown();
+  session->done.store(true, std::memory_order_release);
+}
+
+std::optional<Json> Forwarder::handle_request(Session& session,
+                                              const Json& request) {
+  const Json* op_field = request.get("op");
+  if (op_field == nullptr || !op_field->is_string()) {
+    return make_error("request is missing string member 'op'", "bad_request");
+  }
+  const std::string& op = op_field->as_string();
+  if (op == "hello") {
+    const double protocol = request.get_number("protocol", -1);
+    if (protocol != static_cast<double>(kProtocolVersion)) {
+      session.close_after_reply = true;
+      return make_error("unsupported protocol version (server speaks " +
+                            std::to_string(kProtocolVersion) + ")",
+                        "unsupported_protocol");
+    }
+    session.greeted = true;
+    Json response = make_ok();
+    response.set("service", kServiceName);
+    response.set("protocol", kProtocolVersion);
+    response.set("version", kVersion);
+    response.set("role", "forwarder");
+    return response;
+  }
+  if (!session.greeted) {
+    return make_error("handshake required: send {\"op\":\"hello\","
+                      "\"protocol\":" +
+                          std::to_string(kProtocolVersion) + "} first",
+                      "bad_request");
+  }
+  if (op == "submit") return handle_submit(request);
+  if (op == "submit_batch") return handle_submit_batch(request);
+  if (op == "status") return handle_status(request);
+  if (op == "result") return handle_result(request);
+  if (op == "cancel") return handle_cancel(request);
+  if (op == "list") return handle_list();
+  if (op == "stats") return handle_stats();
+  if (op == "health") return handle_health();
+  if (op == "watch") return handle_watch(session, request);
+  if (op == "drain") return handle_drain(request);
+  return make_error("unknown op '" + op + "'", "bad_request");
+}
+
+Json Forwarder::handle_submit(const Json& request) {
+  const Json* spec_field = request.get("spec");
+  if (spec_field == nullptr) {
+    return make_error("submit needs a 'spec' object", "bad_request");
+  }
+  sched::MissionSpec spec;
+  const std::string spec_error = spec_from_json(*spec_field, spec);
+  if (!spec_error.empty()) return make_error(spec_error, "bad_spec");
+
+  sched::PlacementPolicy::Decision decision;
+  {
+    std::lock_guard lock(state_mutex_);
+    if (draining_.load(std::memory_order_relaxed)) {
+      ++rejected_;
+      return make_error("cluster is draining; not accepting new missions",
+                        "draining");
+    }
+    decision = place_locked(spec);
+    if (!decision.ok) {
+      ++rejected_;
+      return make_error("no backend can take the mission: " + decision.error,
+                        "no_backend");
+    }
+  }
+  // Southbound submit OUTSIDE the lock (network IO).
+  Client::Submitted submitted;
+  try {
+    Client client = quick_client(decision.target);
+    submitted = client.submit(spec);
+  } catch (const std::exception& e) {
+    std::lock_guard lock(state_mutex_);
+    ++rejected_;
+    return make_error("backend " + std::to_string(decision.target) +
+                          " unreachable: " + e.what(),
+                      "no_backend");
+  }
+  if (!submitted.ok) {
+    std::lock_guard lock(state_mutex_);
+    ++rejected_;
+    Json response = make_error(submitted.error, submitted.code);
+    return response;
+  }
+  auto route = std::make_shared<Route>();
+  route->spec = spec;
+  route->backend = decision.target;
+  route->backend_job = submitted.job;
+  Json response = make_ok();
+  {
+    std::lock_guard lock(state_mutex_);
+    route->id = next_id_++;
+    routes_.emplace(route->id, route);
+    ++submitted_;
+    response.set("job", route->id);
+  }
+  response.set("name", spec.name);
+  response.set("backend", static_cast<std::uint64_t>(decision.target));
+  if (decision.affinity_hit) response.set("affinity", true);
+  return response;
+}
+
+Json Forwarder::handle_submit_batch(const Json& request) {
+  std::vector<sched::MissionSpec> specs;
+  const std::string parse_error = batch_specs_from_json(request, specs);
+  if (!parse_error.empty()) return make_error(parse_error, "bad_spec");
+  if (draining_.load(std::memory_order_relaxed)) {
+    std::lock_guard lock(state_mutex_);
+    rejected_ += specs.size();
+    return make_error("cluster is draining; not accepting new missions",
+                      "draining");
+  }
+  // Cluster batches are placed per-spec and submitted per-backend.
+  // Admission is atomic WITHIN each backend but not across the cluster:
+  // on a partial failure the already-accepted specs are best-effort
+  // cancelled and the batch reports the failure.
+  std::vector<std::size_t> placement(specs.size());
+  {
+    std::lock_guard lock(state_mutex_);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const sched::PlacementPolicy::Decision decision =
+          place_locked(specs[i]);
+      if (!decision.ok) {
+        rejected_ += specs.size();
+        return make_error("spec " + std::to_string(i) +
+                              ": no backend can take the mission: " +
+                              decision.error,
+                          "no_backend");
+      }
+      placement[i] = decision.target;
+    }
+  }
+  // Group by backend, preserving spec order within each group.
+  std::map<std::size_t, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    groups[placement[i]].push_back(i);
+  }
+  struct Accepted {
+    std::size_t backend = 0;
+    std::uint64_t backend_job = 0;
+  };
+  std::vector<std::optional<Accepted>> accepted(specs.size());
+  std::string error;
+  std::string code;
+  for (const auto& [backend, indices] : groups) {
+    std::vector<sched::MissionSpec> group_specs;
+    group_specs.reserve(indices.size());
+    for (const std::size_t i : indices) group_specs.push_back(specs[i]);
+    Client::BatchSubmitted batch;
+    try {
+      Client client = quick_client(backend);
+      batch = client.submit_batch(group_specs);
+    } catch (const std::exception& e) {
+      batch.ok = false;
+      batch.error =
+          "backend " + std::to_string(backend) + " unreachable: " + e.what();
+      batch.code = "no_backend";
+    }
+    if (!batch.ok) {
+      error = batch.error;
+      code = batch.code.empty() ? "no_backend" : batch.code;
+      break;
+    }
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      accepted[indices[k]] = Accepted{backend, batch.jobs[k]};
+    }
+  }
+  if (!error.empty()) {
+    // Unwind what landed: cancel accepted missions on their backends.
+    for (const std::optional<Accepted>& entry : accepted) {
+      if (!entry.has_value()) continue;
+      try {
+        Client client = quick_client(entry->backend);
+        static_cast<void>(client.cancel(entry->backend_job));
+      } catch (const std::exception&) {
+        // The cancel is advisory; the mission just runs to completion.
+      }
+    }
+    std::lock_guard lock(state_mutex_);
+    rejected_ += specs.size();
+    return make_error(error, code);
+  }
+  Json jobs = Json::array();
+  {
+    std::lock_guard lock(state_mutex_);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      auto route = std::make_shared<Route>();
+      route->id = next_id_++;
+      route->spec = specs[i];
+      route->backend = accepted[i]->backend;
+      route->backend_job = accepted[i]->backend_job;
+      routes_.emplace(route->id, route);
+      ++submitted_;
+      Json entry = Json::object();
+      entry.set("job", route->id);
+      entry.set("name", specs[i].name);
+      entry.set("backend", static_cast<std::uint64_t>(accepted[i]->backend));
+      jobs.push_back(std::move(entry));
+    }
+  }
+  Json response = make_ok();
+  response.set("jobs", std::move(jobs));
+  return response;
+}
+
+std::shared_ptr<Forwarder::Route> Forwarder::find_route(
+    const Json& request, std::string& error) const {
+  const Json* job_field = request.get("job");
+  if (job_field == nullptr) {
+    error = "request is missing 'job' (id or name)";
+    return nullptr;
+  }
+  std::lock_guard lock(state_mutex_);
+  if (job_field->is_number()) {
+    const double id = job_field->as_number();
+    const auto it = json_number_is_exact_int(id) && id >= 0
+                        ? routes_.find(static_cast<std::uint64_t>(id))
+                        : routes_.end();
+    if (it == routes_.end()) {
+      error = "no such job id " + job_field->dump();
+      return nullptr;
+    }
+    return it->second;
+  }
+  if (job_field->is_string()) {
+    const std::string& name = job_field->as_string();
+    for (auto it = routes_.rbegin(); it != routes_.rend(); ++it) {
+      if (it->second->spec.name == name) return it->second;
+    }
+    error = "no job named '" + name + "'";
+    return nullptr;
+  }
+  error = "'job' must be an id number or a name string";
+  return nullptr;
+}
+
+Json Forwarder::handle_status(const Json& request) {
+  std::string error;
+  const std::shared_ptr<Route> route = find_route(request, error);
+  if (route == nullptr) return make_error(error, "unknown_job");
+  std::size_t backend;
+  std::uint64_t backend_job;
+  {
+    std::lock_guard lock(state_mutex_);
+    if (route->finished) {
+      Json response = make_ok();
+      response.set("job", route->id);
+      response.set("name", route->spec.name);
+      response.set("kind", sched::kind_name(route->spec.kind));
+      response.set("status", route->final_status);
+      return response;
+    }
+    backend = route->backend;
+    backend_job = route->backend_job;
+  }
+  try {
+    Client client = quick_client(backend);
+    Json response = client.status(backend_job);
+    const std::string status = response.get_string("status", "");
+    if (status != "queued" && status != "running" && status != "preempted" &&
+        response.get_bool("ok", false)) {
+      std::lock_guard lock(state_mutex_);
+      if (route->backend == backend) release_route_locked(*route);
+    }
+    response.set("job", route->id);  // clients see the front id
+    response.set("backend", static_cast<std::uint64_t>(backend));
+    return response;
+  } catch (const std::exception& e) {
+    return make_error("backend " + std::to_string(backend) +
+                          " unreachable: " + e.what(),
+                      "backend_down");
+  }
+}
+
+Json Forwarder::handle_result(const Json& request) {
+  std::string error;
+  const std::shared_ptr<Route> route = find_route(request, error);
+  if (route == nullptr) return make_error(error, "unknown_job");
+  for (;;) {
+    std::size_t backend;
+    std::uint64_t backend_job;
+    std::uint64_t generation;
+    {
+      std::lock_guard lock(state_mutex_);
+      if (route->finished) return route->final_result;
+      backend = route->backend;
+      backend_job = route->backend_job;
+      generation = route->generation;
+    }
+    bool got = false;
+    Json response;
+    try {
+      // Unbounded IO: this wait follows the mission. A dying backend
+      // resets the connection; an in-process failover moves the route's
+      // generation and this incarnation's answer is discarded below.
+      const BackendConfig& target = config_.backends[backend];
+      Client client(target.port, target.address, /*io_timeout_ms=*/0);
+      response = client.result(backend_job);
+      got = true;
+    } catch (const std::exception&) {
+      got = false;
+    }
+    std::unique_lock lock(state_mutex_);
+    if (route->finished) return route->final_result;
+    if (route->generation != generation) continue;  // re-resolve and rewait
+    if (got) {
+      release_route_locked(*route);  // terminal southbound: lanes are free
+      response.set("job", route->id);
+      response.set("name", route->spec.name);
+      response.set("backend", static_cast<std::uint64_t>(backend));
+      return response;
+    }
+    // Connection lost with the route still on this incarnation: wait for
+    // the poller to declare the backend down and fail the route over (or
+    // for a transient blip to pass), then try again.
+    state_cv_.wait_for(lock, std::chrono::milliseconds(250), [&] {
+      return route->finished || route->generation != generation ||
+             stopping_.load(std::memory_order_relaxed);
+    });
+    if (stopping_.load(std::memory_order_relaxed) && !route->finished &&
+        route->generation == generation) {
+      return make_error("forwarder stopping", "backend_down");
+    }
+  }
+}
+
+Json Forwarder::handle_cancel(const Json& request) {
+  std::string error;
+  const std::shared_ptr<Route> route = find_route(request, error);
+  if (route == nullptr) return make_error(error, "unknown_job");
+  std::size_t backend;
+  std::uint64_t backend_job;
+  {
+    std::lock_guard lock(state_mutex_);
+    if (route->finished) {
+      Json response = make_ok();
+      response.set("job", route->id);
+      response.set("status", route->final_status);
+      return response;
+    }
+    backend = route->backend;
+    backend_job = route->backend_job;
+  }
+  try {
+    Client client = quick_client(backend);
+    Json cancel = Json::object();
+    cancel.set("op", "cancel");
+    cancel.set("job", backend_job);
+    Json response = client.request(cancel);
+    response.set("job", route->id);
+    return response;
+  } catch (const std::exception& e) {
+    return make_error("backend " + std::to_string(backend) +
+                          " unreachable: " + e.what(),
+                      "backend_down");
+  }
+}
+
+Json Forwarder::handle_list() {
+  struct Row {
+    std::shared_ptr<Route> route;
+    std::size_t backend = 0;
+    std::uint64_t backend_job = 0;
+    bool finished = false;
+    std::string status;
+    std::uint64_t waves = 0;
+  };
+  std::vector<Row> rows;
+  {
+    std::lock_guard lock(state_mutex_);
+    rows.reserve(routes_.size());
+    for (const auto& [id, route] : routes_) {
+      Row row;
+      row.route = route;
+      row.backend = route->backend;
+      row.backend_job = route->backend_job;
+      row.finished = route->finished;
+      if (route->finished) row.status = route->final_status;
+      rows.push_back(std::move(row));
+    }
+  }
+  // One southbound connection per backend per list call, reused across
+  // that backend's rows.
+  std::map<std::size_t, std::unique_ptr<Client>> clients;
+  for (Row& row : rows) {
+    if (row.finished) continue;
+    try {
+      auto it = clients.find(row.backend);
+      if (it == clients.end()) {
+        it = clients
+                 .emplace(row.backend, std::make_unique<Client>(
+                                           config_.backends[row.backend].port,
+                                           config_.backends[row.backend].address,
+                                           config_.io_timeout_ms))
+                 .first;
+      }
+      const Json status = it->second->status(row.backend_job);
+      row.status = status.get_string("status", "unknown");
+      row.waves = static_cast<std::uint64_t>(status.get_number("waves", 0));
+    } catch (const std::exception&) {
+      clients.erase(row.backend);
+      row.status = "unreachable";
+    }
+  }
+  Json jobs = Json::array();
+  for (const Row& row : rows) {
+    Json entry = Json::object();
+    entry.set("job", row.route->id);
+    entry.set("name", row.route->spec.name);
+    entry.set("kind", sched::kind_name(row.route->spec.kind));
+    entry.set("lanes", static_cast<std::uint64_t>(row.route->spec.lanes));
+    entry.set("status", row.status);
+    entry.set("waves", row.waves);
+    entry.set("backend", static_cast<std::uint64_t>(row.backend));
+    jobs.push_back(std::move(entry));
+  }
+  Json response = make_ok();
+  response.set("jobs", std::move(jobs));
+  response.set("cluster", true);
+  return response;
+}
+
+Json Forwarder::handle_stats() {
+  Json backends = Json::array();
+  Json pool = Json::object();
+  std::size_t backends_up = 0;
+  {
+    std::lock_guard lock(state_mutex_);
+    for (std::size_t i = 0; i < backends_.size(); ++i) {
+      const BackendState& backend = backends_[i];
+      Json entry = Json::object();
+      entry.set("backend", static_cast<std::uint64_t>(i));
+      entry.set("address", config_.backends[i].address);
+      entry.set("port", static_cast<std::uint64_t>(config_.backends[i].port));
+      entry.set("reachable", backend.target.reachable);
+      entry.set("polls", backend.polls);
+      if (backend.target.reachable) ++backends_up;
+      if (backend.pool_json.is_object()) {
+        for (const char* field : kPoolFields) {
+          entry.set(field, backend.pool_json.get_number(field, 0));
+          if (backend.target.reachable) {
+            sum_field(pool, backend.pool_json, field);
+          }
+        }
+      }
+      backends.push_back(std::move(entry));
+    }
+  }
+  const sched::PlacementPolicy::Stats placement_stats = placement_.stats();
+  Json placement = Json::object();
+  placement.set("backends",
+                static_cast<std::uint64_t>(config_.backends.size()));
+  placement.set("placed", placement_stats.placed);
+  placement.set("affinity_hits", placement_stats.affinity_hits);
+  placement.set("spills", placement_stats.spills);
+
+  const ForwarderStats stats = forwarder_stats();
+  Json fwd = Json::object();
+  fwd.set("protocol", kProtocolVersion);
+  fwd.set("version", kVersion);
+  fwd.set("submitted", stats.submitted);
+  fwd.set("rejected", stats.rejected);
+  fwd.set("failovers", stats.failovers);
+  fwd.set("failover_resumed", stats.failover_resumed);
+  fwd.set("routes", static_cast<std::uint64_t>(stats.routes));
+  fwd.set("backends_up", static_cast<std::uint64_t>(backends_up));
+  fwd.set("draining", stats.draining);
+
+  Json cluster = Json::object();
+  cluster.set("backends", std::move(backends));
+
+  Json response = make_ok();
+  response.set("role", "forwarder");
+  response.set("pool", std::move(pool));  // aggregate, generic tooling
+  response.set("placement", std::move(placement));
+  response.set("forwarder", std::move(fwd));
+  response.set("cluster", std::move(cluster));
+  return response;
+}
+
+Json Forwarder::handle_health() {
+  Json backends = Json::array();
+  double healthy = 0;
+  double quarantined = 0;
+  std::size_t unreachable = 0;
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    bool reachable;
+    {
+      std::lock_guard lock(state_mutex_);
+      reachable = backends_[i].target.reachable;
+    }
+    Json entry = Json::object();
+    entry.set("backend", static_cast<std::uint64_t>(i));
+    entry.set("address", config_.backends[i].address);
+    entry.set("port", static_cast<std::uint64_t>(config_.backends[i].port));
+    if (reachable) {
+      try {
+        Client client = quick_client(i);
+        Json request = Json::object();
+        request.set("op", "health");
+        const Json health = client.request(request);
+        entry.set("reachable", true);
+        entry.set("healthy", health.get_number("healthy", 0));
+        entry.set("quarantined", health.get_number("quarantined", 0));
+        entry.set("preempted", health.get_number("preempted", 0));
+        entry.set("migrations", health.get_number("migrations", 0));
+        healthy += health.get_number("healthy", 0);
+        quarantined += health.get_number("quarantined", 0);
+      } catch (const std::exception&) {
+        reachable = false;
+      }
+    }
+    if (!reachable) {
+      entry.set("reachable", false);
+      ++unreachable;
+    }
+    backends.push_back(std::move(entry));
+  }
+  Json response = make_ok();
+  response.set("cluster", true);
+  response.set("backends", std::move(backends));
+  response.set("healthy", healthy);
+  response.set("quarantined", quarantined);
+  response.set("unreachable", static_cast<std::uint64_t>(unreachable));
+  return response;
+}
+
+std::optional<Json> Forwarder::handle_watch(Session& session,
+                                            const Json& request) {
+  std::string error;
+  const std::shared_ptr<Route> route = find_route(request, error);
+  if (route == nullptr) return make_error(error, "unknown_job");
+  const double every_field = request.get_number("every", 1);
+  const std::uint64_t every =
+      json_number_is_exact_int(every_field) && every_field >= 1
+          ? static_cast<std::uint64_t>(every_field)
+          : 1;
+  const std::shared_ptr<LineChannel> channel = session.channel;
+  std::uint64_t front_id;
+  {
+    std::lock_guard lock(state_mutex_);
+    front_id = route->id;
+  }
+  Json ack = make_ok();
+  ack.set("job", front_id);
+  {
+    std::lock_guard lock(state_mutex_);
+    ack.set("watching", route->spec.name);
+  }
+  if (const Json* id = request.get("id")) ack.set("id", *id);
+  bool acked = false;
+  const auto send_ack = [&] {
+    if (acked) return;
+    acked = true;
+    static_cast<void>(channel->write_line(ack.dump()));
+  };
+  for (;;) {
+    std::size_t backend;
+    std::uint64_t backend_job;
+    std::uint64_t generation;
+    {
+      std::lock_guard lock(state_mutex_);
+      if (route->finished) {
+        send_ack();
+        Json frame = Json::object();
+        frame.set("event", "done");
+        frame.set("job", front_id);
+        frame.set("status", route->final_status);
+        frame.set("waves", static_cast<std::uint64_t>(0));
+        static_cast<void>(channel->write_line(frame.dump()));
+        return std::nullopt;
+      }
+      backend = route->backend;
+      backend_job = route->backend_job;
+      generation = route->generation;
+    }
+    std::string final_status;
+    bool got = false;
+    try {
+      // Unbounded IO, same as result: the stream follows the mission.
+      const BackendConfig& target = config_.backends[backend];
+      Client client(target.port, target.address, /*io_timeout_ms=*/0);
+      final_status = client.watch(
+          backend_job,
+          [&](std::uint64_t waves) {
+            send_ack();  // subscribed southbound -> northbound is live
+            Json frame = Json::object();
+            frame.set("event", "progress");
+            frame.set("job", front_id);
+            frame.set("waves", waves);
+            static_cast<void>(channel->write_line(frame.dump()));
+          },
+          every, [&] { send_ack(); });
+      got = true;
+    } catch (const std::exception&) {
+      got = false;
+    }
+    std::unique_lock lock(state_mutex_);
+    if (route->generation != generation) continue;  // moved: re-subscribe
+    if (route->finished) continue;  // serve the terminal frame above
+    if (got) {
+      release_route_locked(*route);  // watch ended terminal southbound
+      lock.unlock();
+      send_ack();
+      Json frame = Json::object();
+      frame.set("event", "done");
+      frame.set("job", front_id);
+      frame.set("status", final_status);
+      static_cast<void>(channel->write_line(frame.dump()));
+      return std::nullopt;
+    }
+    state_cv_.wait_for(lock, std::chrono::milliseconds(250), [&] {
+      return route->finished || route->generation != generation ||
+             stopping_.load(std::memory_order_relaxed);
+    });
+    if (stopping_.load(std::memory_order_relaxed) && !route->finished &&
+        route->generation == generation) {
+      return make_error("forwarder stopping", "backend_down");
+    }
+  }
+}
+
+Json Forwarder::handle_drain(const Json& request) {
+  drain();
+  if (request.get_bool("wait", false)) wait_routes_idle();
+  Json response = make_ok();
+  response.set("draining", true);
+  return response;
+}
+
+void Forwarder::wait_routes_idle() {
+  // Wait until every route is terminal on its backend (a forwarder keeps
+  // no pool of its own; "drained" means the backends are).
+  for (;;) {
+    std::vector<std::pair<std::size_t, std::uint64_t>> live;
+    {
+      std::lock_guard lock(state_mutex_);
+      for (const auto& [id, route] : routes_) {
+        if (!route->finished) {
+          live.emplace_back(route->backend, route->backend_job);
+        }
+      }
+    }
+    bool any_running = false;
+    for (const auto& [backend, backend_job] : live) {
+      try {
+        Client client = quick_client(backend);
+        const std::string status =
+            client.status(backend_job).get_string("status", "");
+        if (status == "queued" || status == "running" ||
+            status == "preempted") {
+          any_running = true;
+          break;
+        }
+      } catch (const std::exception&) {
+        // Unreachable backend: the poller will fail the route over or
+        // finish it; keep waiting.
+        any_running = true;
+        break;
+      }
+    }
+    if (!any_running || stopping_.load(std::memory_order_relaxed)) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+}
+
+void Forwarder::wait_drained() {
+  {
+    std::unique_lock lock(state_mutex_);
+    state_cv_.wait(lock, [this] {
+      return draining_.load(std::memory_order_relaxed) ||
+             stopping_.load(std::memory_order_relaxed);
+    });
+  }
+  wait_routes_idle();
+}
+
+}  // namespace ehw::svc

@@ -1,0 +1,244 @@
+#pragma once
+// svc::Forwarder — the federation front daemon: speaks the mission
+// service protocol northbound to clients and southbound (as a plain
+// svc::Client) to a set of backend daemons, so a cluster of `mpa serve`
+// processes looks like one big service.
+//
+// Routing reuses the exact PlacementPolicy that PoolGroup uses for
+// in-process shards: each backend is a PlacementTarget refreshed by a
+// background stats poll, and repeat mission fingerprints are steered to
+// the backend whose FitnessMemo / compiled-array cache is already warm
+// with their frames and candidates. Placement is a speed decision only —
+// every backend computes bit-identical results for the same spec.
+//
+// Liveness and failover: a backend that misses `down_after` consecutive
+// polls is declared down. Its placement affinities are dropped (the warm
+// state died with it) and every unfinished mission routed there fails
+// over: the forwarder reads the mission's latest checkpoint from the
+// backend's journal directory (when configured and visible from this
+// host — loopback or shared-filesystem deployments), re-places it among
+// the survivors, and resubmits with the protocol's additive "resume"
+// field so the mission continues from its last generation boundary
+// instead of restarting. No checkpoint → a from-scratch resubmit, still
+// bit-identical, just slower. No surviving backend → the route finishes
+// "failed" with the reason, served locally.
+//
+// Watch/result northbound ops survive failover: they track the route's
+// incarnation (generation counter) and re-attach southbound when it
+// moves, exactly like Server re-attaches watchers across an in-process
+// migration.
+//
+// The forwarder keeps no journal of its own: durability lives in the
+// backends. Its route table (front job id -> backend job) is in-memory;
+// clients that must survive a forwarder restart key their waits by
+// mission NAME (watch_mission / submit_idempotent), which any backend
+// resolves from its journal.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ehw/sched/placement.hpp"
+#include "ehw/svc/client.hpp"
+#include "ehw/svc/protocol.hpp"
+#include "ehw/svc/socket.hpp"
+
+namespace ehw::svc {
+
+struct BackendConfig {
+  std::string address = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// The backend's journal directory AS VISIBLE FROM THIS HOST; "" means
+  /// no checkpoint access (failover restarts missions from scratch).
+  std::string journal_dir;
+};
+
+struct ForwarderConfig {
+  /// Northbound bind address/port (0 = ephemeral, see Forwarder::port()).
+  std::string address = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::vector<BackendConfig> backends;
+  /// Backend stats-poll cadence (placement freshness + liveness).
+  int poll_ms = 250;
+  /// Consecutive failed polls before a backend is declared down.
+  int down_after = 2;
+  /// Socket IO bound for quick southbound ops (submit/status/stats/...).
+  /// Blocking ops (result/watch) always run unbounded and rely on the
+  /// peer's death resetting the connection.
+  int io_timeout_ms = 5000;
+};
+
+/// Point-in-time forwarder counters (the "stats" op's cluster.forwarder
+/// section).
+struct ForwarderStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t failovers = 0;
+  /// Failovers that carried a checkpoint (vs from-scratch resubmits).
+  std::uint64_t failover_resumed = 0;
+  std::size_t routes = 0;
+  std::size_t backends_up = 0;
+  bool draining = false;
+};
+
+class Forwarder {
+ public:
+  /// Polls every backend once (so the first submit has placement data),
+  /// then binds and serves. Throws std::runtime_error when the endpoint
+  /// cannot be bound or no backends are configured.
+  explicit Forwarder(ForwarderConfig config);
+  ~Forwarder();
+
+  Forwarder(const Forwarder&) = delete;
+  Forwarder& operator=(const Forwarder&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] const ForwarderConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Stops accepting new missions here AND fans the drain out to every
+  /// reachable backend.
+  void drain();
+
+  /// Blocks until a northbound drain arrives and every routed mission is
+  /// terminal on its backend — the serve loop of `mpa forward`.
+  void wait_drained();
+
+  /// Graceful shutdown: refuse new connections, unblock sessions, join
+  /// all threads. Sessions blocked in result/watch follow their backend
+  /// mission to completion first (the forwarder never abandons a wait).
+  void stop();
+
+  [[nodiscard]] ForwarderStats forwarder_stats() const;
+
+  /// Chaos/test hook: treat backend `index` as dead NOW — the same path
+  /// a real death takes after `down_after` missed polls (affinity drop +
+  /// failover of its routes). A later successful poll resurrects it.
+  void mark_backend_down(std::size_t index);
+
+ private:
+  struct Route {
+    std::uint64_t id = 0;  // front id clients see
+    sched::MissionSpec spec;
+    std::size_t backend = 0;
+    std::uint64_t backend_job = 0;
+    /// Bumped on every failover; watch/result waiters re-resolve when it
+    /// moves past their snapshot. Guarded by state_mutex_.
+    std::uint64_t generation = 0;
+    std::uint64_t failovers = 0;
+    /// Terminal state recorded HERE (failover dead end) — the backends
+    /// no longer own this mission's answer. Guarded by state_mutex_.
+    bool finished = false;
+    std::string final_status;
+    Json final_result;
+    /// The optimistic capacity bump for this route was handed back (the
+    /// route was seen terminal southbound). Guarded by state_mutex_.
+    bool capacity_released = false;
+  };
+  struct BackendState {
+    int failures = 0;
+    std::uint64_t polls = 0;
+    sched::PlacementTarget target;  // reachable=false until a good poll
+    Json pool_json;                 // last good poll's "pool" section
+    /// Lanes/jobs optimistically placed since the last good poll. Kept
+    /// OUTSIDE `target` so a poll resets them wholesale and a route seen
+    /// finishing between polls hands its share back immediately — without
+    /// either correction fighting the other. Guarded by state_mutex_.
+    std::size_t opt_lanes = 0;
+    std::size_t opt_jobs = 0;
+  };
+  struct Session {
+    explicit Session(Socket socket)
+        : channel(std::make_shared<LineChannel>(std::move(socket))) {}
+    std::shared_ptr<LineChannel> channel;
+    std::thread thread;
+    std::atomic<bool> done{false};
+    bool greeted = false;            // session-thread only
+    bool close_after_reply = false;  // session-thread only
+  };
+
+  void accept_loop();
+  void session_loop(Session* session);
+  [[nodiscard]] std::optional<Json> handle_request(Session& session,
+                                                   const Json& request);
+  [[nodiscard]] Json handle_submit(const Json& request);
+  [[nodiscard]] Json handle_submit_batch(const Json& request);
+  [[nodiscard]] Json handle_status(const Json& request);
+  [[nodiscard]] Json handle_result(const Json& request);
+  [[nodiscard]] Json handle_cancel(const Json& request);
+  [[nodiscard]] Json handle_list();
+  [[nodiscard]] Json handle_stats();
+  [[nodiscard]] Json handle_health();
+  [[nodiscard]] std::optional<Json> handle_watch(Session& session,
+                                                 const Json& request);
+  [[nodiscard]] Json handle_drain(const Json& request);
+  /// Polls until no route is queued/running on its backend (drain-wait).
+  void wait_routes_idle();
+  [[nodiscard]] std::shared_ptr<Route> find_route(const Json& request,
+                                                  std::string& error) const;
+
+  /// Quick southbound connection (io_timeout-bounded).
+  [[nodiscard]] Client quick_client(std::size_t backend) const;
+
+  void poll_loop();
+  /// One liveness/stats probe; on the reachable->down edge collects the
+  /// backend's unfinished routes and fails them over.
+  void poll_backend(std::size_t index);
+  /// Caller holds state_mutex_. Flips the backend down, drops its
+  /// affinities and returns the routes needing failover.
+  [[nodiscard]] std::vector<std::shared_ptr<Route>> take_down_locked(
+      std::size_t index);
+  /// Re-places one orphaned route (checkpoint read -> resume submit).
+  void failover_route(const std::shared_ptr<Route>& route,
+                      std::size_t dead_backend);
+  /// Terminal local failure for a route no backend can continue.
+  void finish_route_failed(const std::shared_ptr<Route>& route,
+                           const std::string& error);
+  /// Caller holds state_mutex_: placement over the current target
+  /// snapshots, with an optimistic capacity bump on the winner so a
+  /// burst of submits between polls spreads out.
+  [[nodiscard]] sched::PlacementPolicy::Decision place_locked(
+      const sched::MissionSpec& spec);
+  /// Caller holds state_mutex_. Returns the route's optimistic bump to
+  /// its backend the first time the route is observed terminal, so a
+  /// repeat submit right after a result doesn't see a stale "full"
+  /// snapshot and spill off its warm backend.
+  void release_route_locked(Route& route);
+
+  ForwarderConfig config_;
+  std::uint16_t port_ = 0;
+
+  mutable std::mutex state_mutex_;
+  std::condition_variable state_cv_;
+  std::vector<BackendState> backends_;
+  std::map<std::uint64_t, std::shared_ptr<Route>> routes_;  // by front id
+  std::uint64_t next_id_ = 1;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t failovers_ = 0;
+  std::uint64_t failover_resumed_ = 0;
+  std::uint64_t connections_ = 0;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopping_{false};
+  bool stopped_ = false;  // stop() ran to completion (main thread only)
+
+  sched::PlacementPolicy placement_;
+
+  std::unique_ptr<Listener> listener_;
+  std::thread acceptor_;
+  std::thread poller_;
+  std::mutex poll_mutex_;
+  std::condition_variable poll_cv_;
+  mutable std::mutex sessions_mutex_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+};
+
+}  // namespace ehw::svc

@@ -64,10 +64,15 @@ std::uint64_t MissionJournal::appended() const {
 }
 
 std::string MissionJournal::checkpoint_path(std::uint64_t job_id) const {
+  return checkpoint_path_in(dir_, job_id);
+}
+
+std::string MissionJournal::checkpoint_path_in(const std::string& dir,
+                                               std::uint64_t job_id) {
   char name[32];
   std::snprintf(name, sizeof(name), "/job-%llu.ckpt",
                 static_cast<unsigned long long>(job_id));
-  return dir_ + name;
+  return dir + name;
 }
 
 std::string MissionJournal::warm_path() const { return dir_ + "/warm.json"; }

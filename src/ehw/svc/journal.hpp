@@ -56,6 +56,12 @@ class MissionJournal {
   /// Sidecar paths inside the journal directory.
   [[nodiscard]] std::string checkpoint_path(std::uint64_t job_id) const;
   [[nodiscard]] std::string warm_path() const;
+  /// Same sidecar naming without opening the journal — how the forwarder
+  /// reads a DEAD backend's checkpoint for failover (the backend's
+  /// journal dir must be readable from the forwarder host; loopback or
+  /// shared-filesystem deployments).
+  [[nodiscard]] static std::string checkpoint_path_in(const std::string& dir,
+                                                      std::uint64_t job_id);
 
   /// Everything read back from a journal directory.
   struct Replay {

@@ -20,6 +20,25 @@ Json greeting_frame() {
   return frame;
 }
 
+/// One pool-counters object (the "pool" aggregate and each "pools" row
+/// share the shape).
+Json pool_stats_json(const sched::ArrayPool::PoolStats& stats) {
+  Json pool = Json::object();
+  pool.set("arrays", static_cast<std::uint64_t>(stats.num_arrays));
+  pool.set("free_arrays", static_cast<std::uint64_t>(stats.free_arrays));
+  pool.set("running", static_cast<std::uint64_t>(stats.running));
+  pool.set("queued", static_cast<std::uint64_t>(stats.queued));
+  pool.set("submitted", stats.submitted);
+  pool.set("done", stats.done);
+  pool.set("failed", stats.failed);
+  pool.set("cancelled", stats.cancelled);
+  pool.set("quarantined", static_cast<std::uint64_t>(stats.quarantined));
+  pool.set("healthy", static_cast<std::uint64_t>(stats.healthy()));
+  pool.set("preempted", stats.preempted);
+  pool.set("deadline_expired", stats.deadline_expired);
+  return pool;
+}
+
 /// Exact non-negative integer out of a record field, or nullopt.
 std::optional<std::uint64_t> record_id(const Json& record, const char* key) {
   const Json* field = record.get(key);
@@ -32,9 +51,14 @@ std::optional<std::uint64_t> record_id(const Json& record, const char* key) {
 }  // namespace
 
 Server::Server(ServerConfig config) : config_(std::move(config)) {
-  max_inflight_ = config_.max_inflight != 0 ? config_.max_inflight
-                                            : 2 * config_.pool.num_arrays;
-  pool_ = std::make_unique<sched::ArrayPool>(config_.pool);
+  if (config_.pools == 0) config_.pools = 1;
+  max_inflight_ = config_.max_inflight != 0
+                      ? config_.max_inflight
+                      : 2 * config_.pools * config_.pool.num_arrays;
+  sched::PoolGroupConfig group_config;
+  group_config.pools = config_.pools;
+  group_config.pool = config_.pool;
+  group_ = std::make_unique<sched::PoolGroup>(group_config);
   // Replay before the listener exists: clients connecting to the fresh
   // incarnation already see every surviving job, and resumed missions
   // are back in flight before the first new submit competes for lanes.
@@ -61,7 +85,7 @@ void Server::replay_journal() {
     if (read_file_text(journal_->warm_path(), text).empty()) {
       try {
         const sched::ArrayPool::WarmLoadStats warm =
-            pool_->import_warm_state(Json::parse(text));
+            group_->import_warm_state(Json::parse(text));
         warm_memo_loaded_ = warm.memo_loaded;
         warm_cache_loaded_ = warm.cache_loaded;
       } catch (const JsonError&) {
@@ -135,14 +159,15 @@ void Server::replay_journal() {
       continue;
     }
     // Unfinished across the crash: lane demand is re-validated against
-    // THIS pool (a restart may have shrunk it).
-    if (record->spec.lanes > pool_->num_arrays()) {
+    // THIS pool layout (a restart may have shrunk it). Lanes are capped
+    // per pool — a lease never spans pools.
+    if (record->spec.lanes > group_->arrays_per_pool()) {
       Json body = Json::object();
       body.set("status", status_name(sched::JobStatus::kFailed));
       body.set("error",
                "recovery: lanes=" + std::to_string(record->spec.lanes) +
                    " exceeds the pool's " +
-                   std::to_string(pool_->num_arrays()) + " arrays");
+                   std::to_string(group_->arrays_per_pool()) + " arrays");
       Json rec = Json::object();
       rec.set("rec", "finished");
       rec.set("job", id);
@@ -228,17 +253,17 @@ void Server::stop() {
   for (const auto& session : to_join) session->channel->shutdown();
   // Let in-flight jobs finish first: sessions blocked in a "result" op
   // only unblock when their job does.
-  pool_->wait_all();
+  group_->wait_all();
   for (const auto& session : to_join) {
     if (session->thread.joinable()) session->thread.join();
   }
   // A session may have submitted between the first wait and its join.
-  pool_->wait_all();
+  group_->wait_all();
   // Durable daemons snapshot memo + cache recipes on the way out; the
   // next incarnation preloads them (pure optimization, loss is benign).
   if (journal_ != nullptr && config_.persist_warm) {
     static_cast<void>(atomic_write_file(
-        journal_->warm_path(), pool_->export_warm_state().dump() + "\n"));
+        journal_->warm_path(), group_->export_warm_state().dump() + "\n"));
   }
   stopped_ = true;
 }
@@ -395,14 +420,31 @@ Json Server::handle_submit(const Json& request) {
   sched::MissionSpec spec;
   const std::string spec_error = spec_from_json(*spec_field, spec);
   if (!spec_error.empty()) return make_error(spec_error, "bad_spec");
-  if (spec.lanes > pool_->num_arrays()) {
+  if (spec.lanes > group_->arrays_per_pool()) {
     return make_error("lanes=" + std::to_string(spec.lanes) +
                           " exceeds the pool's " +
-                          std::to_string(pool_->num_arrays()) + " arrays",
+                          std::to_string(group_->arrays_per_pool()) +
+                          " arrays",
                       "bad_spec");
+  }
+  // Optional resume state (protocol v1, additive): a checkpoint emitted
+  // by a previous incarnation of this mission — how the forwarder fails
+  // a half-run mission over to a surviving backend without losing its
+  // generations. Malformed state rejects the submit; silently starting
+  // from scratch would hide the data loss.
+  std::shared_ptr<platform::MissionCheckpoint> resume;
+  if (const Json* resume_field = request.get("resume")) {
+    resume = std::make_shared<platform::MissionCheckpoint>();
+    const std::string resume_error =
+        platform::mission_checkpoint_from_json(*resume_field, *resume);
+    if (!resume_error.empty()) {
+      return make_error("bad resume checkpoint: " + resume_error,
+                        "bad_request");
+    }
   }
   auto record = std::make_shared<JobRecord>();
   record->spec = spec;
+  record->resume = std::move(resume);
   {
     std::lock_guard lock(state_mutex_);
     if (draining_.load(std::memory_order_relaxed)) {
@@ -474,13 +516,16 @@ void Server::launch_job(const std::shared_ptr<JobRecord>& record) {
   if (record->grant_lanes != 0) config.lanes = record->grant_lanes;
   // Pool submission happens OUTSIDE state_mutex_: admit_locked's
   // dispatch-failure path synchronously fires a queued job's kFinished
-  // observer, which locks state_mutex_ on this thread.
-  const std::shared_ptr<sched::MissionRunner> runner = pool_->submit(
-      config, sched::make_job_body(record->spec, checkpointing));
+  // observer, which locks state_mutex_ on this thread. The group places
+  // the job by the spec's fingerprint (capacity + cache locality).
+  const sched::PoolGroup::Placed placed = group_->submit(
+      record->spec, config, sched::make_job_body(record->spec, checkpointing));
+  const std::shared_ptr<sched::MissionRunner> runner = placed.runner;
   std::vector<std::function<void(const sched::MissionEvent&)>> watchers;
   {
     std::lock_guard lock(state_mutex_);
     record->runner = runner;
+    record->pool_index = placed.pool;
     jobs_.emplace(record->id, record);
     prune_finished_locked();
     watchers = record->watchers;
@@ -490,7 +535,7 @@ void Server::launch_job(const std::shared_ptr<JobRecord>& record) {
   // The pool's own record of finished jobs (body closure, outcome
   // reference) is redundant once the service holds the runner — reap it
   // so daemon memory stays bounded over long uptimes.
-  static_cast<void>(pool_->reap_finished());
+  static_cast<void>(group_->reap_finished());
   // Also outside state_mutex_: an already-finished job fires the
   // callback immediately on THIS thread.
   runner->subscribe([this, record, runner](const sched::MissionEvent& event) {
@@ -535,7 +580,9 @@ void Server::migrate_job(const std::shared_ptr<JobRecord>& record) {
     resume = record->latest;
     if (record->runner != nullptr) waves = record->runner->waves_completed();
   }
-  const std::size_t healthy = pool_->healthy_arrays();
+  // A migration may land on ANY pool with room — the relaunch goes back
+  // through group placement, so size the grant by the best single pool.
+  const std::size_t healthy = group_->max_healthy_arrays();
   std::string error;
   if (resume == nullptr) {
     // Preempted before any generation boundary emitted state — nothing
@@ -609,11 +656,12 @@ Json Server::handle_submit_batch(const Json& request) {
   const std::string parse_error = batch_specs_from_json(request, specs);
   if (!parse_error.empty()) return make_error(parse_error, "bad_spec");
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    if (specs[i].lanes > pool_->num_arrays()) {
+    if (specs[i].lanes > group_->arrays_per_pool()) {
       return make_error("spec " + std::to_string(i) + ": lanes=" +
                             std::to_string(specs[i].lanes) +
                             " exceeds the pool's " +
-                            std::to_string(pool_->num_arrays()) + " arrays",
+                            std::to_string(group_->arrays_per_pool()) +
+                            " arrays",
                         "bad_spec");
     }
   }
@@ -846,24 +894,28 @@ Json Server::handle_list() {
 }
 
 Json Server::handle_stats() {
-  const sched::ArrayPool::PoolStats pool_stats = pool_->pool_stats();
-  const sched::CacheStats cache_stats = pool_->cache_stats();
+  // Lock-free mirrors, not pool_stats(): a stats poll (the forwarder
+  // hits this a few times a second per backend) must never serialize
+  // against job bookkeeping under the pool mutexes.
+  const sched::PoolGroup::GroupStats group_stats = group_->stats();
+  const sched::CacheStats cache_stats = group_->cache_stats();
   const ServiceStats service = service_stats();
 
-  Json pool = Json::object();
-  pool.set("arrays", static_cast<std::uint64_t>(pool_stats.num_arrays));
-  pool.set("free_arrays", static_cast<std::uint64_t>(pool_stats.free_arrays));
-  pool.set("running", static_cast<std::uint64_t>(pool_stats.running));
-  pool.set("queued", static_cast<std::uint64_t>(pool_stats.queued));
-  pool.set("submitted", pool_stats.submitted);
-  pool.set("done", pool_stats.done);
-  pool.set("failed", pool_stats.failed);
-  pool.set("cancelled", pool_stats.cancelled);
-  pool.set("quarantined",
-           static_cast<std::uint64_t>(pool_stats.quarantined));
-  pool.set("healthy", static_cast<std::uint64_t>(pool_stats.healthy()));
-  pool.set("preempted", pool_stats.preempted);
-  pool.set("deadline_expired", pool_stats.deadline_expired);
+  Json pool = pool_stats_json(group_stats.total);
+  Json pools = Json::array();
+  for (std::size_t i = 0; i < group_stats.per_pool.size(); ++i) {
+    Json row = pool_stats_json(group_stats.per_pool[i]);
+    row.set("pool", static_cast<std::uint64_t>(i));
+    pools.push_back(std::move(row));
+  }
+
+  const sched::PlacementPolicy::Stats placement_stats =
+      group_->placement_stats();
+  Json placement = Json::object();
+  placement.set("pools", static_cast<std::uint64_t>(group_->pool_count()));
+  placement.set("placed", placement_stats.placed);
+  placement.set("affinity_hits", placement_stats.affinity_hits);
+  placement.set("spills", placement_stats.spills);
 
   Json cache = Json::object();
   cache.set("hits", cache_stats.hits);
@@ -871,7 +923,7 @@ Json Server::handle_stats() {
   cache.set("evictions", cache_stats.evictions);
   cache.set("hit_rate", cache_stats.hit_rate());
 
-  const evo::FitnessMemoStats memo_stats = pool_->memo_stats();
+  const evo::FitnessMemoStats memo_stats = group_->memo_stats();
   Json memo = Json::object();
   memo.set("hits", memo_stats.hits);
   memo.set("misses", memo_stats.misses);
@@ -892,6 +944,8 @@ Json Server::handle_stats() {
 
   Json response = make_ok();
   response.set("pool", std::move(pool));
+  response.set("pools", std::move(pools));
+  response.set("placement", std::move(placement));
   response.set("cache", std::move(cache));
   response.set("memo", std::move(memo));
   response.set("service", std::move(svc));
@@ -917,8 +971,11 @@ Json Server::handle_stats() {
 
 Json Server::handle_health() {
   Json arrays = Json::array();
-  for (const sched::ArrayPool::ArrayHealth& health : pool_->array_health()) {
+  for (const sched::PoolGroup::GroupArrayHealth& entry_health :
+       group_->array_health()) {
+    const sched::ArrayPool::ArrayHealth& health = entry_health.health;
     Json entry = Json::object();
+    entry.set("pool", static_cast<std::uint64_t>(entry_health.pool));
     entry.set("array", static_cast<std::uint64_t>(health.id));
     const char* state = "free";
     if (health.state == sched::ArrayPool::ArrayHealth::State::kLeased) {
@@ -932,7 +989,7 @@ Json Server::handle_health() {
     if (!health.job.empty()) entry.set("job", health.job);
     arrays.push_back(std::move(entry));
   }
-  const sched::ArrayPool::PoolStats stats = pool_->pool_stats();
+  const sched::ArrayPool::PoolStats stats = group_->stats().total;
   Json response = make_ok();
   response.set("arrays", std::move(arrays));
   response.set("healthy", static_cast<std::uint64_t>(stats.healthy()));

@@ -1,6 +1,7 @@
 #pragma once
 // svc::Server — the mission service daemon: a loopback TCP front-end
-// over one sched::ArrayPool.
+// over a sched::PoolGroup (one or more ArrayPools behind a placement
+// policy; see pool_group.hpp for why sharding helps a busy daemon).
 //
 // Threading model: one acceptor thread polls the listener; each
 // connection gets a session thread running the request loop. Progress
@@ -44,6 +45,7 @@
 #include <thread>
 #include <vector>
 
+#include "ehw/sched/pool_group.hpp"
 #include "ehw/svc/journal.hpp"
 #include "ehw/svc/protocol.hpp"
 #include "ehw/svc/socket.hpp"
@@ -56,9 +58,13 @@ struct ServerConfig {
   std::string address = "127.0.0.1";
   /// 0 = ephemeral; the chosen port is readable via Server::port().
   std::uint16_t port = 0;
-  /// The scheduler pool the daemon fronts.
+  /// The scheduler pool(s) the daemon fronts. Each of `pools` shards is
+  /// built from `pool` (per-pool queue, locks, cache + memo); submits are
+  /// routed across them by the group's PlacementPolicy (free capacity +
+  /// cache locality). One pool reproduces the pre-sharded daemon exactly.
   sched::PoolConfig pool;
-  /// Submitted-but-unfinished job cap; 0 = 2x pool arrays.
+  std::size_t pools = 1;
+  /// Submitted-but-unfinished job cap; 0 = 2x total arrays.
   std::size_t max_inflight = 0;
   /// Finished-job retention: when the registry exceeds this many
   /// records, the oldest FINISHED jobs are evicted (their ids stop
@@ -121,7 +127,10 @@ class Server {
   [[nodiscard]] const ServerConfig& config() const noexcept {
     return config_;
   }
-  [[nodiscard]] sched::ArrayPool& pool() noexcept { return *pool_; }
+  /// The first (often only) pool — the pre-sharding surface most tests
+  /// and tools poke at.
+  [[nodiscard]] sched::ArrayPool& pool() noexcept { return group_->pool(0); }
+  [[nodiscard]] sched::PoolGroup& group() noexcept { return *group_; }
 
   /// Stops admitting new jobs (running/queued ones finish normally).
   void drain();
@@ -161,6 +170,9 @@ class Server {
     /// running job (journaled or not) — the state a migration restores.
     /// Guarded by state_mutex_.
     std::shared_ptr<const platform::MissionCheckpoint> latest;
+    /// Pool the current incarnation runs on (group placement decision).
+    /// Guarded by state_mutex_.
+    std::size_t pool_index = 0;
     /// Lease width override for a migrated incarnation (0 = spec.lanes).
     /// An evolve mission preempted off its slice relaunches on
     /// min(spec.lanes, healthy) arrays; the checkpoint's logical lane
@@ -228,7 +240,7 @@ class Server {
   std::uint16_t port_ = 0;
 
   // Durability. The journal is written from job threads (finished
-  // records) until pool_ is destroyed, so it is declared before pool_
+  // records) until group_ is destroyed, so it is declared before group_
   // to be destroyed after it.
   std::unique_ptr<MissionJournal> journal_;
   std::uint64_t replayed_records_ = 0;  // replay-time constants
@@ -256,7 +268,7 @@ class Server {
   std::atomic<bool> stopping_{false};
   bool stopped_ = false;  // stop() ran to completion (main thread only)
 
-  std::unique_ptr<sched::ArrayPool> pool_;
+  std::unique_ptr<sched::PoolGroup> group_;
   std::unique_ptr<Listener> listener_;
   std::thread acceptor_;
   mutable std::mutex sessions_mutex_;

@@ -1,0 +1,298 @@
+// Tests for the federation layer: a svc::Forwarder fronting in-process
+// backend daemons through the ordinary client protocol. Covers
+// placement-routed submits (results bit-identical to standalone runs no
+// matter which backend hosts them), batch fan-out, name-keyed ops,
+// watch streaming through the front, cluster stats/health views, drain
+// fan-out, and multi-pool sharded servers behind the front.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ehw/sched/missions.hpp"
+#include "ehw/svc/client.hpp"
+#include "ehw/svc/forwarder.hpp"
+#include "ehw/svc/server.hpp"
+
+namespace ehw::svc {
+namespace {
+
+sched::MissionSpec quick_spec(const std::string& name,
+                              std::uint64_t scene_seed,
+                              Generation generations = 30) {
+  sched::MissionSpec spec;
+  spec.kind = sched::MissionKind::kDenoise;
+  spec.name = name;
+  spec.generations = generations;
+  spec.size = 16;
+  spec.scene_seed = scene_seed;
+  return spec;
+}
+
+ServerConfig backend_config(std::size_t arrays = 2, std::size_t pools = 1) {
+  ServerConfig config;
+  config.pools = pools;
+  config.pool.num_arrays = arrays;
+  config.pool.line_width = 16;
+  return config;
+}
+
+/// Two in-process backends + a forwarder over them, ready to serve.
+struct Cluster {
+  explicit Cluster(std::size_t backends = 2, std::size_t pools = 1) {
+    for (std::size_t i = 0; i < backends; ++i) {
+      servers.push_back(
+          std::make_unique<Server>(backend_config(2, pools)));
+    }
+    ForwarderConfig config;
+    for (const auto& server : servers) {
+      BackendConfig backend;
+      backend.port = server->port();
+      config.backends.push_back(backend);
+    }
+    config.poll_ms = 50;
+    forwarder = std::make_unique<Forwarder>(std::move(config));
+  }
+  ~Cluster() {
+    forwarder->stop();
+    for (const auto& server : servers) server->stop();
+  }
+  [[nodiscard]] Client client() const { return Client(forwarder->port()); }
+
+  std::vector<std::unique_ptr<Server>> servers;
+  std::unique_ptr<Forwarder> forwarder;
+};
+
+void expect_matches_standalone(const Json& result,
+                               const sched::MissionSpec& spec) {
+  const sched::JobOutcome alone = sched::run_spec_standalone(spec);
+  EXPECT_EQ(result.get_string("status", "?"), "done") << spec.name;
+  EXPECT_EQ(static_cast<Fitness>(result.get_number("best_fitness", 0)),
+            alone.intrinsic.es.best_fitness)
+      << spec.name;
+  EXPECT_EQ(result.get_string("genotype_hash", "?"),
+            hash_hex(alone.intrinsic.es.best.hash()))
+      << spec.name;
+  EXPECT_EQ(result.get_string("sim_ns", "?"),
+            std::to_string(alone.stats.mission_time))
+      << spec.name;
+}
+
+// --- routing + bit identity -------------------------------------------------
+
+TEST(Cluster, RoutedResultsAreBitIdenticalToStandalone) {
+  Cluster cluster;
+  Client client = cluster.client();
+  const std::vector<sched::MissionSpec> specs{
+      quick_spec("c0", 3), quick_spec("c1", 4), quick_spec("c2", 5),
+      quick_spec("c3", 6)};
+  std::vector<std::uint64_t> jobs;
+  for (const sched::MissionSpec& spec : specs) {
+    const Client::Submitted submitted = client.submit(spec);
+    ASSERT_TRUE(submitted.ok) << submitted.error;
+    jobs.push_back(submitted.job);
+  }
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    expect_matches_standalone(client.result(jobs[i]), specs[i]);
+  }
+  // The cluster actually used more than one backend for 4 distinct
+  // fingerprints over 2x2 arrays.
+  const ForwarderStats stats = cluster.forwarder->forwarder_stats();
+  EXPECT_EQ(stats.submitted, specs.size());
+  EXPECT_EQ(stats.failovers, 0u);
+}
+
+TEST(Cluster, FrontIdsAreClusterScopedAndNameOpsResolve) {
+  Cluster cluster;
+  Client client = cluster.client();
+  const sched::MissionSpec a = quick_spec("named-a", 3);
+  const sched::MissionSpec b = quick_spec("named-b", 4);
+  const Client::Submitted sa = client.submit(a);
+  const Client::Submitted sb = client.submit(b);
+  ASSERT_TRUE(sa.ok && sb.ok);
+  EXPECT_NE(sa.job, sb.job);  // front ids, not backend ids
+
+  // Name-keyed status/result resolve through the route table.
+  const Json status = client.status_by_name("named-b");
+  EXPECT_TRUE(status.get_bool("ok", false));
+  EXPECT_EQ(static_cast<std::uint64_t>(status.get_number("job", 0)), sb.job);
+  expect_matches_standalone(client.result_by_name("named-a"), a);
+
+  const Json missing = client.status_by_name("never-submitted");
+  EXPECT_FALSE(missing.get_bool("ok", false));
+  EXPECT_EQ(missing.get_string("code", ""), "unknown_job");
+}
+
+TEST(Cluster, BatchSubmitRoutesPerSpecAndPreservesOrder) {
+  Cluster cluster;
+  Client client = cluster.client();
+  const std::vector<sched::MissionSpec> specs{
+      quick_spec("b0", 7), quick_spec("b1", 8), quick_spec("b2", 9)};
+  const Client::BatchSubmitted batch = client.submit_batch(specs);
+  ASSERT_TRUE(batch.ok) << batch.error;
+  ASSERT_EQ(batch.jobs.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    expect_matches_standalone(client.result(batch.jobs[i]), specs[i]);
+  }
+}
+
+TEST(Cluster, WatchStreamsThroughTheFront) {
+  Cluster cluster;
+  Client client = cluster.client();
+  const sched::MissionSpec spec = quick_spec("watched", 3, 40);
+  const Client::Submitted submitted = client.submit(spec);
+  ASSERT_TRUE(submitted.ok);
+
+  std::atomic<std::uint64_t> last_waves{0};
+  std::atomic<int> events{0};
+  const std::string status = client.watch(
+      submitted.job,
+      [&](std::uint64_t waves) {
+        last_waves.store(waves);
+        ++events;
+      },
+      /*every=*/5);
+  EXPECT_EQ(status, "done");
+  EXPECT_GT(events.load(), 0);
+  EXPECT_GT(last_waves.load(), 0u);
+}
+
+TEST(Cluster, RepeatFingerprintsGainAffinity) {
+  Cluster cluster;
+  Client client = cluster.client();
+  // Same fingerprint five times (distinct names): after the first
+  // placement the rest must be affinity hits on the same backend.
+  for (int i = 0; i < 5; ++i) {
+    const Client::Submitted submitted =
+        client.submit(quick_spec("rep-" + std::to_string(i), 21));
+    ASSERT_TRUE(submitted.ok);
+    static_cast<void>(client.result(submitted.job));
+  }
+  Json request = Json::object();
+  request.set("op", "stats");
+  const Json stats = client.request(request);
+  const Json* placement = stats.get("placement");
+  ASSERT_NE(placement, nullptr);
+  EXPECT_GE(placement->get_number("affinity_hits", 0), 4.0);
+}
+
+// --- cluster views ----------------------------------------------------------
+
+TEST(Cluster, StatsExposeClusterAndForwarderSections) {
+  Cluster cluster;
+  Client client = cluster.client();
+  const Client::Submitted submitted = client.submit(quick_spec("sv", 3));
+  ASSERT_TRUE(submitted.ok);
+  static_cast<void>(client.result(submitted.job));
+
+  const Json stats = client.stats();
+  ASSERT_TRUE(stats.get_bool("ok", false));
+  EXPECT_EQ(stats.get_string("role", ""), "forwarder");
+  const Json* cluster_section = stats.get("cluster");
+  ASSERT_NE(cluster_section, nullptr);
+  const Json* backends = cluster_section->get("backends");
+  ASSERT_NE(backends, nullptr);
+  ASSERT_TRUE(backends->is_array());
+  EXPECT_EQ(backends->as_array().size(), 2u);
+  for (const Json& backend : backends->as_array()) {
+    EXPECT_TRUE(backend.get_bool("reachable", false));
+  }
+  const Json* forwarder = stats.get("forwarder");
+  ASSERT_NE(forwarder, nullptr);
+  EXPECT_EQ(forwarder->get_number("submitted", 0), 1.0);
+  EXPECT_EQ(forwarder->get_number("backends_up", 0), 2.0);
+  // The aggregate "pool" section sums backend arrays: generic tooling
+  // (mpa ps) reads the same keys it reads from a daemon.
+  const Json* pool = stats.get("pool");
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool->get_number("arrays", 0), 4.0);
+}
+
+TEST(Cluster, HealthAggregatesBackends) {
+  Cluster cluster;
+  Client client = cluster.client();
+  Json request = Json::object();
+  request.set("op", "health");
+  const Json health = client.request(request);
+  ASSERT_TRUE(health.get_bool("ok", false));
+  EXPECT_TRUE(health.get_bool("cluster", false));
+  const Json* backends = health.get("backends");
+  ASSERT_NE(backends, nullptr);
+  ASSERT_TRUE(backends->is_array());
+  EXPECT_EQ(backends->as_array().size(), 2u);
+  EXPECT_EQ(health.get_number("healthy", 0), 4.0);
+  EXPECT_EQ(health.get_number("unreachable", 0), 0.0);
+}
+
+TEST(Cluster, ListShowsRoutesWithBackends) {
+  Cluster cluster;
+  Client client = cluster.client();
+  const Client::Submitted submitted = client.submit(quick_spec("ls", 3));
+  ASSERT_TRUE(submitted.ok);
+  static_cast<void>(client.result(submitted.job));
+
+  const Json list = client.list();
+  ASSERT_TRUE(list.get_bool("ok", false));
+  const Json* jobs = list.get("jobs");
+  ASSERT_NE(jobs, nullptr);
+  ASSERT_TRUE(jobs->is_array());
+  ASSERT_EQ(jobs->as_array().size(), 1u);
+  const Json& entry = jobs->as_array()[0];
+  EXPECT_EQ(entry.get_string("name", "?"), "ls");
+  EXPECT_EQ(entry.get_string("status", "?"), "done");
+  EXPECT_NE(entry.get("backend"), nullptr);
+}
+
+// --- drain ------------------------------------------------------------------
+
+TEST(Cluster, DrainFansOutAndRefusesNewMissions) {
+  Cluster cluster;
+  Client client = cluster.client();
+  const Json drained = client.drain(/*wait=*/true);
+  EXPECT_TRUE(drained.get_bool("ok", false));
+
+  const Client::Submitted refused = client.submit(quick_spec("late", 3));
+  EXPECT_FALSE(refused.ok);
+  EXPECT_EQ(refused.code, "draining");
+  // The fan-out reached the backends too: a direct submit is refused.
+  Client direct(cluster.servers[0]->port());
+  const Client::Submitted backend_refused =
+      direct.submit(quick_spec("late2", 3));
+  EXPECT_FALSE(backend_refused.ok);
+  EXPECT_EQ(backend_refused.code, "draining");
+}
+
+// --- sharded backends behind the front --------------------------------------
+
+TEST(Cluster, ShardedBackendsServeBitIdenticalResults) {
+  // Each backend daemon itself shards into 2 pools: the two placement
+  // layers (forwarder -> backend, group -> pool) compose without
+  // touching results.
+  Cluster cluster(/*backends=*/2, /*pools=*/2);
+  Client client = cluster.client();
+  const std::vector<sched::MissionSpec> specs{
+      quick_spec("sh0", 31), quick_spec("sh1", 32), quick_spec("sh2", 33)};
+  std::vector<std::uint64_t> jobs;
+  for (const sched::MissionSpec& spec : specs) {
+    const Client::Submitted submitted = client.submit(spec);
+    ASSERT_TRUE(submitted.ok) << submitted.error;
+    jobs.push_back(submitted.job);
+  }
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    expect_matches_standalone(client.result(jobs[i]), specs[i]);
+  }
+  // The backend's stats expose its per-pool rows through the forwarder's
+  // poll (additive daemon sections, satellite of the sharding layer).
+  Client direct(cluster.servers[0]->port());
+  const Json stats = direct.stats();
+  const Json* pools = stats.get("pools");
+  ASSERT_NE(pools, nullptr);
+  ASSERT_TRUE(pools->is_array());
+  EXPECT_EQ(pools->as_array().size(), 2u);
+}
+
+}  // namespace
+}  // namespace ehw::svc

@@ -1,0 +1,323 @@
+// Tests for the scale-out placement layer: PlacementPolicy scoring
+// (locality beats round-robin on repeat fingerprints, degraded pools are
+// deprioritized, full pools spill) and PoolGroup sharding (bit-identical
+// results regardless of pool count, lock-free stats aggregation,
+// warm-state round trips including the single-pool upgrade path).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ehw/sched/missions.hpp"
+#include "ehw/sched/placement.hpp"
+#include "ehw/sched/pool_group.hpp"
+
+namespace ehw::sched {
+namespace {
+
+MissionSpec quick_spec(std::string name, std::uint64_t scene_seed,
+                       Generation generations = 30) {
+  MissionSpec spec;
+  spec.kind = MissionKind::kDenoise;
+  spec.name = std::move(name);
+  spec.size = 16;
+  spec.generations = generations;
+  spec.scene_seed = scene_seed;
+  return spec;
+}
+
+PlacementTarget idle_target(std::size_t arrays) {
+  PlacementTarget target;
+  target.total_arrays = arrays;
+  target.free_arrays = arrays;
+  return target;
+}
+
+// --- fingerprint ------------------------------------------------------------
+
+TEST(PlacementPolicy, FingerprintTracksWarmStateNotIdentity) {
+  const MissionSpec a = quick_spec("alpha", 7);
+  MissionSpec b = quick_spec("beta", 7);
+  // Same frames, same candidate stream, different mission name: the warm
+  // state is shared, so the fingerprint must be too.
+  EXPECT_EQ(PlacementPolicy::fingerprint(a), PlacementPolicy::fingerprint(b));
+
+  b.scene_seed = 8;  // different frames -> different warm state
+  EXPECT_NE(PlacementPolicy::fingerprint(a), PlacementPolicy::fingerprint(b));
+
+  MissionSpec c = quick_spec("alpha", 7);
+  c.seed = 99;  // different candidate stream
+  EXPECT_NE(PlacementPolicy::fingerprint(a), PlacementPolicy::fingerprint(c));
+
+  MissionSpec d = quick_spec("alpha", 7);
+  d.priority = -3;  // scheduling detail, not warm-state content
+  EXPECT_EQ(PlacementPolicy::fingerprint(a), PlacementPolicy::fingerprint(d));
+}
+
+// --- scoring ----------------------------------------------------------------
+
+TEST(PlacementPolicy, RepeatFingerprintStaysOnItsWarmPool) {
+  PlacementPolicy policy;
+  const std::vector<PlacementTarget> targets{idle_target(4), idle_target(4)};
+
+  const PlacementPolicy::Decision first = policy.place(42, 1, targets);
+  ASSERT_TRUE(first.ok);
+  EXPECT_FALSE(first.affinity_hit);
+
+  // A naive round-robin would alternate; locality must pin the repeat to
+  // the pool that already holds the fingerprint's memo/cache entries.
+  for (int repeat = 0; repeat < 4; ++repeat) {
+    const PlacementPolicy::Decision again = policy.place(42, 1, targets);
+    ASSERT_TRUE(again.ok);
+    EXPECT_EQ(again.target, first.target);
+    EXPECT_TRUE(again.affinity_hit);
+  }
+  const PlacementPolicy::Stats stats = policy.stats();
+  EXPECT_EQ(stats.placed, 5u);
+  EXPECT_EQ(stats.affinity_hits, 4u);
+  EXPECT_EQ(stats.spills, 0u);
+}
+
+TEST(PlacementPolicy, ColdKeysSpreadAcrossEqualPools) {
+  PlacementPolicy policy;
+  std::vector<PlacementTarget> targets{idle_target(4), idle_target(4)};
+  const PlacementPolicy::Decision first = policy.place(1, 2, targets);
+  ASSERT_TRUE(first.ok);
+  // Feed the decision back (as live quick_stats would): the busier pool
+  // must lose the next cold placement.
+  targets[first.target].free_arrays -= 2;
+  targets[first.target].running += 1;
+  const PlacementPolicy::Decision second = policy.place(2, 2, targets);
+  ASSERT_TRUE(second.ok);
+  EXPECT_NE(second.target, first.target);
+}
+
+TEST(PlacementPolicy, DegradedPoolsAreDeprioritized) {
+  PlacementPolicy policy;
+  PlacementTarget degraded = idle_target(4);
+  degraded.quarantined = 2;
+  degraded.free_arrays = 2;
+  const std::vector<PlacementTarget> targets{degraded, idle_target(4)};
+  const PlacementPolicy::Decision decision = policy.place(7, 1, targets);
+  ASSERT_TRUE(decision.ok);
+  EXPECT_EQ(decision.target, 1u);
+}
+
+TEST(PlacementPolicy, FullWarmPoolSpillsAndAffinityFollows) {
+  PlacementPolicy policy;
+  std::vector<PlacementTarget> targets{idle_target(4), idle_target(4)};
+  const PlacementPolicy::Decision first = policy.place(9, 1, targets);
+  ASSERT_TRUE(first.ok);
+
+  // The warm pool is saturated: capacity overrides warmth.
+  targets[first.target].free_arrays = 0;
+  targets[first.target].running = 4;
+  targets[first.target].queued = 6;
+  const PlacementPolicy::Decision spilled = policy.place(9, 1, targets);
+  ASSERT_TRUE(spilled.ok);
+  EXPECT_NE(spilled.target, first.target);
+  EXPECT_TRUE(spilled.spilled);
+
+  // The affinity moved with the spill: once both pools are idle again
+  // the fingerprint's home is the spill target.
+  targets[first.target] = idle_target(4);
+  const PlacementPolicy::Decision after = policy.place(9, 1, targets);
+  ASSERT_TRUE(after.ok);
+  EXPECT_EQ(after.target, spilled.target);
+  EXPECT_TRUE(after.affinity_hit);
+}
+
+TEST(PlacementPolicy, UnreachableAndUndersizedTargetsAreSkipped) {
+  PlacementPolicy policy;
+  PlacementTarget down = idle_target(8);
+  down.reachable = false;
+  const std::vector<PlacementTarget> targets{down, idle_target(2)};
+
+  // Only the small pool is eligible; a 2-lane mission fits it.
+  const PlacementPolicy::Decision fits = policy.place(1, 2, targets);
+  ASSERT_TRUE(fits.ok);
+  EXPECT_EQ(fits.target, 1u);
+
+  // 4 lanes can never fit 2 healthy arrays, and the big pool is down.
+  const PlacementPolicy::Decision none = policy.place(2, 4, targets);
+  EXPECT_FALSE(none.ok);
+  EXPECT_FALSE(none.error.empty());
+}
+
+TEST(PlacementPolicy, ForgetTargetDropsItsAffinities) {
+  PlacementPolicy policy;
+  const std::vector<PlacementTarget> targets{idle_target(4), idle_target(4)};
+  const PlacementPolicy::Decision first = policy.place(5, 1, targets);
+  ASSERT_TRUE(first.ok);
+  policy.forget_target(first.target);
+  const PlacementPolicy::Decision again = policy.place(5, 1, targets);
+  ASSERT_TRUE(again.ok);
+  EXPECT_FALSE(again.affinity_hit);  // the corpse's warmth is gone
+}
+
+TEST(PlacementPolicy, ScoreArithmetic) {
+  const PlacementTarget idle = idle_target(4);
+  PlacementTarget busy = idle_target(4);
+  busy.free_arrays = 1;
+  busy.running = 3;
+
+  // Warm-and-fits beats an equally idle cold pool.
+  EXPECT_GT(PlacementPolicy::score(idle, 1, /*warm=*/true),
+            PlacementPolicy::score(idle, 1, /*warm=*/false));
+  // An idle cold pool beats a saturated warm one (spill incentive).
+  PlacementTarget full = idle_target(4);
+  full.free_arrays = 0;
+  full.running = 4;
+  full.queued = 4;
+  EXPECT_GT(PlacementPolicy::score(idle, 1, /*warm=*/false),
+            PlacementPolicy::score(full, 1, /*warm=*/true));
+  // Quarantine damage outweighs mild load.
+  PlacementTarget degraded = idle_target(4);
+  degraded.quarantined = 2;
+  degraded.free_arrays = 2;
+  EXPECT_GT(PlacementPolicy::score(busy, 1, /*warm=*/false),
+            PlacementPolicy::score(degraded, 1, /*warm=*/false));
+}
+
+// --- PoolGroup --------------------------------------------------------------
+
+PoolGroupConfig group_config(std::size_t pools, std::size_t arrays) {
+  PoolGroupConfig config;
+  config.pools = pools;
+  config.pool.num_arrays = arrays;
+  return config;
+}
+
+TEST(PoolGroup, ShardedResultsAreBitIdenticalToStandalone) {
+  const std::vector<MissionSpec> specs{
+      quick_spec("g0", 3), quick_spec("g1", 4), quick_spec("g2", 5),
+      quick_spec("g3", 6)};
+  PoolGroup group(group_config(2, 2));
+  std::vector<PoolGroup::Placed> placed;
+  for (const MissionSpec& spec : specs) {
+    placed.push_back(group.submit(spec, make_job_config(spec),
+                                  make_job_body(spec)));
+  }
+  group.wait_all();
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    ASSERT_EQ(placed[i].runner->status(), JobStatus::kDone) << specs[i].name;
+    const JobOutcome alone = run_spec_standalone(specs[i]);
+    const JobOutcome& pooled = placed[i].runner->result();
+    EXPECT_EQ(pooled.intrinsic.es.best_fitness,
+              alone.intrinsic.es.best_fitness);
+    EXPECT_EQ(pooled.intrinsic.es.best.hash(), alone.intrinsic.es.best.hash());
+    EXPECT_EQ(pooled.stats.mission_time, alone.stats.mission_time);
+  }
+}
+
+TEST(PoolGroup, RepeatMissionsLandOnTheirWarmPool) {
+  PoolGroup group(group_config(2, 2));
+  const MissionSpec hot = quick_spec("hot", 11);
+  std::size_t home = 0;
+  for (int round = 0; round < 3; ++round) {
+    MissionSpec spec = hot;
+    spec.name = "hot-" + std::to_string(round);  // name is not the key
+    const PoolGroup::Placed placed =
+        group.submit(spec, make_job_config(spec), make_job_body(spec));
+    group.wait_all();
+    ASSERT_EQ(placed.runner->status(), JobStatus::kDone);
+    if (round == 0) {
+      home = placed.pool;
+    } else {
+      EXPECT_EQ(placed.pool, home);
+      EXPECT_TRUE(placed.affinity_hit);
+    }
+  }
+  EXPECT_EQ(group.placement_stats().affinity_hits, 2u);
+}
+
+TEST(PoolGroup, StatsAggregateAcrossPools) {
+  PoolGroup group(group_config(2, 2));
+  const std::vector<MissionSpec> specs{quick_spec("s0", 3),
+                                       quick_spec("s1", 4),
+                                       quick_spec("s2", 5)};
+  for (const MissionSpec& spec : specs) {
+    static_cast<void>(
+        group.submit(spec, make_job_config(spec), make_job_body(spec)));
+  }
+  group.wait_all();
+  const PoolGroup::GroupStats stats = group.stats();
+  ASSERT_EQ(stats.per_pool.size(), 2u);
+  EXPECT_EQ(stats.total.num_arrays, 4u);
+  EXPECT_EQ(stats.total.submitted, specs.size());
+  EXPECT_EQ(stats.total.done, specs.size());
+  EXPECT_EQ(stats.per_pool[0].submitted + stats.per_pool[1].submitted,
+            specs.size());
+  // The lock-free mirrors must agree with the mutex-guarded books once
+  // the pools are quiet.
+  for (std::size_t p = 0; p < 2; ++p) {
+    const ArrayPool::PoolStats quick = group.pool(p).quick_stats();
+    const ArrayPool::PoolStats slow = group.pool(p).pool_stats();
+    EXPECT_EQ(quick.submitted, slow.submitted);
+    EXPECT_EQ(quick.done, slow.done);
+    EXPECT_EQ(quick.free_arrays, slow.free_arrays);
+    EXPECT_EQ(quick.queued, slow.queued);
+  }
+}
+
+TEST(PoolGroup, QuarantineDegradedGroupFailsUnsatisfiableLeaseCleanly) {
+  // Every pool loses an array to quarantine: a 2-lane lease fits no
+  // pool's HEALTHY capacity. The group must hand the job to the
+  // least-degraded pool so ArrayPool's unsatisfiable-eviction path fails
+  // it with its normal error — identical to single-pool semantics.
+  PoolGroup group(group_config(2, 2));
+  group.pool(0).quarantine_array(0);
+  group.pool(1).quarantine_array(0);
+  MissionSpec spec = quick_spec("wide", 3);
+  spec.lanes = 2;
+  const PoolGroup::Placed placed =
+      group.submit(spec, make_job_config(spec), make_job_body(spec));
+  group.wait_all();
+  EXPECT_EQ(placed.runner->status(), JobStatus::kFailed);
+  EXPECT_FALSE(placed.runner->result().error.empty());
+}
+
+TEST(PoolGroup, WarmStateRoundTripsInGroupFormat) {
+  PoolGroupConfig config = group_config(2, 2);
+  Json exported;
+  {
+    PoolGroup group(config);
+    const std::vector<MissionSpec> specs{quick_spec("w0", 3),
+                                         quick_spec("w1", 4)};
+    for (const MissionSpec& spec : specs) {
+      static_cast<void>(
+          group.submit(spec, make_job_config(spec), make_job_body(spec)));
+    }
+    group.wait_all();
+    exported = group.export_warm_state();
+  }
+  EXPECT_EQ(exported.get_string("format", "?"), "mpa-warm-group-v1");
+
+  PoolGroup fresh(config);
+  const ArrayPool::WarmLoadStats warm = fresh.import_warm_state(exported);
+  EXPECT_GT(warm.memo_loaded, 0u);
+}
+
+TEST(PoolGroup, ImportAcceptsSinglePoolWarmFormat) {
+  // The upgrade path: a daemon that ran pre-sharded exports
+  // "mpa-warm-v1"; a sharded group must still accept it (into pool 0).
+  PoolConfig solo_config;
+  solo_config.num_arrays = 2;
+  Json exported;
+  {
+    ArrayPool solo(solo_config);
+    const MissionSpec spec = quick_spec("solo", 3);
+    static_cast<void>(solo.submit(make_job_config(spec), make_job_body(spec)));
+    solo.wait_all();
+    exported = solo.export_warm_state();
+  }
+  EXPECT_EQ(exported.get_string("format", "?"), "mpa-warm-v1");
+
+  PoolGroup group(group_config(2, 2));
+  const ArrayPool::WarmLoadStats warm = group.import_warm_state(exported);
+  EXPECT_GT(warm.memo_loaded, 0u);
+}
+
+}  // namespace
+}  // namespace ehw::sched

@@ -23,6 +23,7 @@
 #include "ehw/sched/array_pool.hpp"
 #include "ehw/sched/missions.hpp"
 #include "ehw/svc/client.hpp"
+#include "ehw/svc/forwarder.hpp"
 #include "ehw/svc/server.hpp"
 
 namespace ehw::sched {
@@ -602,6 +603,141 @@ TEST(SvcRobustness, SubmitBatchStaysAllOrNothingUnderInjectedFaults) {
   }
   EXPECT_GT(fault::hits(fault::Site::kJournalFsync), 0u);
   server.stop();
+}
+
+// --- cluster failover -------------------------------------------------------
+
+TEST(SvcRobustness, BackendDeathMidMissionFailsOverFromCheckpoint) {
+  const sched::MissionSpec spec = service_spec("cluster-failover", 200, 1);
+  const sched::JobOutcome alone = sched::run_spec_standalone(spec);
+
+  // Two durable backends; checkpoints every 4 generations give the
+  // forwarder something to resume the mission from.
+  ServerConfig c0 = small_server(2);
+  c0.journal_dir = fresh_dir("ehw_cluster_b0");
+  c0.checkpoint_every = 4;
+  ServerConfig c1 = small_server(2);
+  c1.journal_dir = fresh_dir("ehw_cluster_b1");
+  c1.checkpoint_every = 4;
+  Server b0(c0);
+  Server b1(c1);
+
+  ForwarderConfig fc;
+  BackendConfig e0;
+  e0.port = b0.port();
+  e0.journal_dir = c0.journal_dir;
+  BackendConfig e1;
+  e1.port = b1.port();
+  e1.journal_dir = c1.journal_dir;
+  fc.backends = {e0, e1};
+  // A poll cadence far beyond the test window: the chaos hook marks a
+  // backend dead while its in-process server keeps running, and a
+  // successful poll in between would resurrect it mid-test.
+  fc.poll_ms = 60'000;
+  Forwarder forwarder(std::move(fc));
+  Client client(forwarder.port());
+
+  const Client::Submitted submitted = client.submit(spec);
+  ASSERT_TRUE(submitted.ok) << submitted.error;
+  // Past the third checkpoint: the failover must find a sidecar and
+  // resume, not restart from scratch.
+  wait_for_waves(client, submitted.job, 12);
+  const Json status = client.status(submitted.job);
+  const auto backend =
+      static_cast<std::size_t>(status.get_number("backend", 0));
+
+  forwarder.mark_backend_down(backend);
+
+  // The blocking result ride through the failover: the route moves to
+  // the survivor, resumes from the dead backend's checkpoint, and the
+  // answer is bit-identical to an uninterrupted standalone run.
+  const Json result = client.result(submitted.job);
+  EXPECT_EQ(result.get_string("status", "?"), "done");
+  EXPECT_EQ(static_cast<Fitness>(result.get_number("best_fitness", 0)),
+            alone.intrinsic.es.best_fitness);
+  EXPECT_EQ(result.get_string("genotype_hash", "?"),
+            hash_hex(alone.intrinsic.es.best.hash()));
+  EXPECT_EQ(result.get_string("sim_ns", "?"),
+            std::to_string(alone.stats.mission_time));
+
+  const ForwarderStats stats = forwarder.forwarder_stats();
+  EXPECT_EQ(stats.failovers, 1u);
+  EXPECT_EQ(stats.failover_resumed, 1u);
+  EXPECT_EQ(stats.backends_up, 1u);
+
+  forwarder.stop();
+  b0.stop();
+  b1.stop();
+}
+
+TEST(SvcRobustness, BackendDeathWithoutCheckpointRestartsFromScratch) {
+  // No journal dirs configured at the forwarder: failover cannot read a
+  // checkpoint, so the mission restarts from scratch on the survivor —
+  // slower, but still bit-identical.
+  const sched::MissionSpec spec = service_spec("cluster-rescratch", 80, 1);
+  const sched::JobOutcome alone = sched::run_spec_standalone(spec);
+
+  Server b0(small_server(2));
+  Server b1(small_server(2));
+  ForwarderConfig fc;
+  BackendConfig e0;
+  e0.port = b0.port();
+  BackendConfig e1;
+  e1.port = b1.port();
+  fc.backends = {e0, e1};
+  fc.poll_ms = 60'000;
+  Forwarder forwarder(std::move(fc));
+  Client client(forwarder.port());
+
+  const Client::Submitted submitted = client.submit(spec);
+  ASSERT_TRUE(submitted.ok) << submitted.error;
+  wait_for_waves(client, submitted.job, 4);
+  const Json status = client.status(submitted.job);
+  forwarder.mark_backend_down(
+      static_cast<std::size_t>(status.get_number("backend", 0)));
+
+  const Json result = client.result(submitted.job);
+  EXPECT_EQ(result.get_string("status", "?"), "done");
+  EXPECT_EQ(static_cast<Fitness>(result.get_number("best_fitness", 0)),
+            alone.intrinsic.es.best_fitness);
+  EXPECT_EQ(result.get_string("genotype_hash", "?"),
+            hash_hex(alone.intrinsic.es.best.hash()));
+
+  const ForwarderStats stats = forwarder.forwarder_stats();
+  EXPECT_EQ(stats.failovers, 1u);
+  EXPECT_EQ(stats.failover_resumed, 0u);
+
+  forwarder.stop();
+  b0.stop();
+  b1.stop();
+}
+
+TEST(SvcRobustness, NoSurvivingBackendFailsTheRouteCleanly) {
+  Server b0(small_server(2));
+  ForwarderConfig fc;
+  BackendConfig e0;
+  e0.port = b0.port();
+  fc.backends = {e0};
+  fc.poll_ms = 60'000;
+  Forwarder forwarder(std::move(fc));
+  Client client(forwarder.port());
+
+  const sched::MissionSpec spec = service_spec("cluster-doomed", 200, 1);
+  const Client::Submitted submitted = client.submit(spec);
+  ASSERT_TRUE(submitted.ok) << submitted.error;
+  wait_for_waves(client, submitted.job, 2);
+  forwarder.mark_backend_down(0);
+
+  // The only backend is gone: the route finishes "failed" locally with
+  // the reason, instead of hanging the blocked result forever.
+  const Json result = client.result(submitted.job);
+  EXPECT_EQ(result.get_string("status", "?"), "failed");
+  EXPECT_NE(result.get_string("error", "").find("failover"),
+            std::string::npos);
+  EXPECT_EQ(forwarder.forwarder_stats().failovers, 0u);
+
+  forwarder.stop();
+  b0.stop();
 }
 
 }  // namespace

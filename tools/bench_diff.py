@@ -19,7 +19,8 @@ import json
 import sys
 
 # Prefix-matched: "BM_ServiceThroughput" covers /1, /4, /8.
-DEFAULT_WATCH = ["BM_FitnessAgainst/256", "BM_ServiceThroughput"]
+DEFAULT_WATCH = ["BM_FitnessAgainst/256", "BM_ServiceThroughput",
+                 "BM_ClusterThroughput"]
 
 
 def load_label(path, label):

@@ -16,13 +16,20 @@
 //                                                concurrently on one
 //                                                scheduler ArrayPool
 //   serve     [--port N] [--arrays N] ...        run the mission service
-//             [--journal DIR]                    daemon over one pool;
-//             [--checkpoint-every N] [--no-warm] --journal makes it durable
+//             [--journal DIR] [--pools N]        daemon; --pools shards the
+//             [--arrays-per-pool N]              arrays into N placement-
+//             [--checkpoint-every N] [--no-warm] routed pools; --journal
+//                                                makes it durable
+//   forward   [--port N] [--poll-ms N] ...       run the federation front
+//             host:port[:journal] ...            daemon over backend
+//                                                daemons (same protocol)
 //   submit    --port N <kind> <name> [k=v ...]   submit a mission to a
 //                                                daemon and stream it
 //   result    --port N --job ID|NAME             fetch (block for) one
 //                                                job's final result
-//   ps        --port N                           list daemon jobs + stats
+//   ps        --port N [--cluster]               list daemon jobs + stats
+//   stats     --port N                           per-pool / per-backend
+//                                                capacity + placement rows
 //   cancel    --port N --job ID|NAME             cancel a daemon job
 //   drain     --port N [--wait]                  drain the daemon (finish
 //                                                jobs, refuse new ones)
@@ -79,6 +86,7 @@
 #include "ehw/sched/checkpoint_store.hpp"
 #include "ehw/sched/missions.hpp"
 #include "ehw/svc/client.hpp"
+#include "ehw/svc/forwarder.hpp"
 #include "ehw/svc/server.hpp"
 
 namespace {
@@ -100,9 +108,12 @@ constexpr const char* kBatchUsage =
     "mpa batch --manifest jobs.txt [--arrays N] [--cache N] [--max-jobs N] "
     "[--sequential]";
 constexpr const char* kServeUsage =
-    "mpa serve [--port N] [--address A] [--arrays N] [--cache N] "
-    "[--max-jobs N] [--max-inflight N] [--journal DIR] "
-    "[--checkpoint-every N] [--no-warm] [--fault-plan SPEC]";
+    "mpa serve [--port N] [--address A] [--pools N] [--arrays-per-pool N] "
+    "[--arrays N] [--cache N] [--max-jobs N] [--max-inflight N] "
+    "[--journal DIR] [--checkpoint-every N] [--no-warm] [--fault-plan SPEC]";
+constexpr const char* kForwardUsage =
+    "mpa forward [--port N] [--address A] [--poll-ms N] [--down-after N] "
+    "[--timeout-ms N] host:port[:journal] ...";
 constexpr const char* kSubmitUsage =
     "mpa submit --port N [--address A] <kind> <name> [key=value ...] "
     "[--detach] [--quiet] [--retries N] [--timeout-ms N] | "
@@ -110,7 +121,9 @@ constexpr const char* kSubmitUsage =
 constexpr const char* kResultUsage =
     "mpa result --port N [--address A] --job ID|NAME "
     "[--retries N] [--timeout-ms N]";
-constexpr const char* kPsUsage = "mpa ps --port N [--address A]";
+constexpr const char* kPsUsage =
+    "mpa ps --port N [--address A] [--cluster]";
+constexpr const char* kStatsUsage = "mpa stats --port N [--address A]";
 constexpr const char* kCancelUsage =
     "mpa cancel --port N [--address A] --job ID|NAME";
 constexpr const char* kDrainUsage =
@@ -120,20 +133,23 @@ constexpr const char* kCheckpointUsage =
     "[--every N] [--preempt G]";
 constexpr const char* kRestoreUsage =
     "mpa restore --from ck.json [--lanes N]";
-constexpr const char* kHealthUsage = "mpa health --port N [--address A]";
+constexpr const char* kHealthUsage =
+    "mpa health --port N [--address A] [--cluster]";
 constexpr const char* kDemoUsage = "mpa demo [--size N] [--noise D] [--seed N]";
 
 void print_usage(std::FILE* out) {
   std::fprintf(out,
                "usage: mpa <info|evolve|filter|schematic|campaign|batch|serve|"
-               "submit|result|ps|cancel|drain|checkpoint|restore|health|demo|"
-               "version> [options]\n"
+               "forward|submit|result|ps|stats|cancel|drain|checkpoint|"
+               "restore|health|demo|version> [options]\n"
                "  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n"
-               "  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n  mpa version\n",
+               "  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n"
+               "  mpa version\n",
                kInfoUsage, kEvolveUsage, kFilterUsage, kSchematicUsage,
-               kCampaignUsage, kBatchUsage, kServeUsage, kSubmitUsage,
-               kResultUsage, kPsUsage, kCancelUsage, kDrainUsage,
-               kCheckpointUsage, kRestoreUsage, kHealthUsage, kDemoUsage);
+               kCampaignUsage, kBatchUsage, kServeUsage, kForwardUsage,
+               kSubmitUsage, kResultUsage, kPsUsage, kStatsUsage,
+               kCancelUsage, kDrainUsage, kCheckpointUsage, kRestoreUsage,
+               kHealthUsage, kDemoUsage);
 }
 
 int usage() {
@@ -442,7 +458,14 @@ int cmd_serve(const Cli& cli) {
     fail("invalid --port (0 = ephemeral, else 1-65535)", kServeUsage);
   }
   config.port = static_cast<std::uint16_t>(port);
-  config.pool.num_arrays = static_cast<std::size_t>(cli.get_int("arrays", 8));
+  const std::int64_t pools = cli.get_int("pools", 1);
+  if (pools < 1) fail("invalid --pools (>= 1)", kServeUsage);
+  config.pools = static_cast<std::size_t>(pools);
+  // --arrays-per-pool is the sharded spelling; --arrays stays as the
+  // single-pool spelling (and the per-pool width when both are given
+  // their defaults).
+  config.pool.num_arrays = static_cast<std::size_t>(
+      cli.get_int("arrays-per-pool", cli.get_int("arrays", 8)));
   config.pool.cache_capacity =
       static_cast<std::size_t>(cli.get_int("cache", 512));
   config.pool.max_concurrent_jobs =
@@ -460,11 +483,12 @@ int cmd_serve(const Cli& cli) {
   config.pool.host_pool = &host_pool;
 
   svc::Server server(std::move(config));
-  std::printf("mpa serve: listening on %s:%u (%zu arrays, protocol %d, "
-              "version %s)\n",
+  std::printf("mpa serve: listening on %s:%u (%zu pools x %zu arrays, "
+              "protocol %d, version %s)\n",
               server.config().address.c_str(),
               static_cast<unsigned>(server.port()),
-              server.pool().num_arrays(), svc::kProtocolVersion, kVersion);
+              server.group().pool_count(), server.group().arrays_per_pool(),
+              svc::kProtocolVersion, kVersion);
   if (!server.config().journal_dir.empty()) {
     const svc::JournalStats journal = server.journal_stats();
     std::printf(
@@ -487,8 +511,8 @@ int cmd_serve(const Cli& cli) {
   server.stop();
 
   const svc::ServiceStats service = server.service_stats();
-  const sched::ArrayPool::PoolStats pool = server.pool().pool_stats();
-  const sched::CacheStats cache = server.pool().cache_stats();
+  const sched::ArrayPool::PoolStats pool = server.group().stats().total;
+  const sched::CacheStats cache = server.group().cache_stats();
   std::printf(
       "mpa serve: drained after %llu missions (%llu done, %llu failed, "
       "%llu cancelled, %llu rejected) over %llu connections | cache %.1f%% "
@@ -501,6 +525,180 @@ int cmd_serve(const Cli& cli) {
       static_cast<unsigned long long>(service.connections),
       100.0 * cache.hit_rate());
   return pool.failed == 0 ? 0 : 1;
+}
+
+/// Parses one `host:port[:journal]` backend endpoint (bare `port` means
+/// loopback; the optional journal dir is the backend's --journal path as
+/// visible from THIS host, enabling checkpoint-carrying failover).
+svc::BackendConfig parse_backend(const std::string& arg) {
+  svc::BackendConfig backend;
+  std::string port_text = arg;
+  const std::size_t first = arg.find(':');
+  if (first != std::string::npos) {
+    backend.address = arg.substr(0, first);
+    const std::size_t second = arg.find(':', first + 1);
+    if (second != std::string::npos) {
+      port_text = arg.substr(first + 1, second - first - 1);
+      backend.journal_dir = arg.substr(second + 1);
+    } else {
+      port_text = arg.substr(first + 1);
+    }
+  }
+  char* end = nullptr;
+  const long port = std::strtol(port_text.c_str(), &end, 10);
+  if (end == port_text.c_str() || *end != '\0' || port <= 0 || port > 65535) {
+    fail("bad backend '" + arg + "' (want host:port[:journal])",
+         kForwardUsage);
+  }
+  backend.port = static_cast<std::uint16_t>(port);
+  return backend;
+}
+
+int cmd_forward(const Cli& cli) {
+  svc::ForwarderConfig config;
+  config.address = cli.get("address", "127.0.0.1");
+  const std::int64_t port = cli.get_int("port", 0);
+  if (port < 0 || port > 65535) {
+    fail("invalid --port (0 = ephemeral, else 1-65535)", kForwardUsage);
+  }
+  config.port = static_cast<std::uint16_t>(port);
+  config.poll_ms = static_cast<int>(cli.get_int("poll-ms", 250));
+  config.down_after = static_cast<int>(cli.get_int("down-after", 2));
+  config.io_timeout_ms = static_cast<int>(cli.get_int("timeout-ms", 5000));
+  for (const std::string& arg : cli.positional()) {
+    config.backends.push_back(parse_backend(arg));
+  }
+  if (config.backends.empty()) {
+    fail("no backends given (host:port[:journal] ...)", kForwardUsage);
+  }
+
+  svc::Forwarder forwarder(std::move(config));
+  const svc::ForwarderStats boot = forwarder.forwarder_stats();
+  std::printf("mpa forward: listening on %s:%u (%zu backends, %zu up, "
+              "protocol %d, version %s)\n",
+              forwarder.config().address.c_str(),
+              static_cast<unsigned>(forwarder.port()),
+              forwarder.config().backends.size(), boot.backends_up,
+              svc::kProtocolVersion, kVersion);
+  std::printf("mpa forward: submit with `mpa submit --port %u <kind> <name> "
+              "[key=value ...]`, stop with `mpa drain --port %u --wait`\n",
+              static_cast<unsigned>(forwarder.port()),
+              static_cast<unsigned>(forwarder.port()));
+  std::fflush(stdout);  // scripts parse the port from this line
+
+  forwarder.wait_drained();
+  const svc::ForwarderStats stats = forwarder.forwarder_stats();
+  forwarder.stop();
+  std::printf(
+      "mpa forward: drained after %llu missions (%llu rejected, "
+      "%llu failovers, %llu resumed from checkpoint)\n",
+      static_cast<unsigned long long>(stats.submitted),
+      static_cast<unsigned long long>(stats.rejected),
+      static_cast<unsigned long long>(stats.failovers),
+      static_cast<unsigned long long>(stats.failover_resumed));
+  return 0;
+}
+
+/// One line of placement-policy counters (shared by pool and cluster
+/// stats views).
+void print_placement(const Json* placement, const char* shard_noun) {
+  if (placement == nullptr) return;
+  std::printf(
+      "placement: %llu %s | %llu placed, %llu affinity hits, %llu spills\n",
+      static_cast<unsigned long long>(
+          placement->get_number(shard_noun, 0)),
+      shard_noun,
+      static_cast<unsigned long long>(placement->get_number("placed", 0)),
+      static_cast<unsigned long long>(
+          placement->get_number("affinity_hits", 0)),
+      static_cast<unsigned long long>(placement->get_number("spills", 0)));
+}
+
+int cmd_stats(const Cli& cli) {
+  svc::Client client = make_client(cli, kStatsUsage);
+  const Json stats = client.stats();
+  if (!stats.get_bool("ok", false)) {
+    std::fprintf(stderr, "mpa stats: %s\n",
+                 stats.get_string("error", "unknown error").c_str());
+    return 1;
+  }
+  const auto row_int = [](const Json& row, const char* key) {
+    return Table::integer(static_cast<std::uint64_t>(row.get_number(key, 0)));
+  };
+  if (stats.get_string("role", "") == "forwarder") {
+    Table table({"backend", "endpoint", "up", "arrays", "free", "running",
+                 "queued", "done", "failed"});
+    const Json* cluster = stats.get("cluster");
+    const Json* backends =
+        cluster != nullptr ? cluster->get("backends") : nullptr;
+    if (backends != nullptr && backends->is_array()) {
+      for (const Json& row : backends->as_array()) {
+        table.add_row(
+            {row_int(row, "backend"),
+             row.get_string("address", "?") + ":" +
+                 Table::integer(
+                     static_cast<std::uint64_t>(row.get_number("port", 0))),
+             row.get_bool("reachable", false) ? "yes" : "NO",
+             row_int(row, "arrays"), row_int(row, "free_arrays"),
+             row_int(row, "running"), row_int(row, "queued"),
+             row_int(row, "done"), row_int(row, "failed")});
+      }
+    }
+    table.print(std::cout);
+    print_placement(stats.get("placement"), "backends");
+    if (const Json* fwd = stats.get("forwarder"); fwd != nullptr) {
+      std::printf(
+          "forwarder: %llu submitted, %llu rejected | %llu failovers "
+          "(%llu resumed) | %llu routes, %llu/%llu backends up%s\n",
+          static_cast<unsigned long long>(fwd->get_number("submitted", 0)),
+          static_cast<unsigned long long>(fwd->get_number("rejected", 0)),
+          static_cast<unsigned long long>(fwd->get_number("failovers", 0)),
+          static_cast<unsigned long long>(
+              fwd->get_number("failover_resumed", 0)),
+          static_cast<unsigned long long>(fwd->get_number("routes", 0)),
+          static_cast<unsigned long long>(fwd->get_number("backends_up", 0)),
+          static_cast<unsigned long long>(
+              backends != nullptr ? backends->as_array().size() : 0),
+          fwd->get_bool("draining", false) ? " (draining)" : "");
+    }
+    return 0;
+  }
+  // Daemon view: one row per pool shard plus the aggregate.
+  Table table({"pool", "arrays", "free", "running", "queued", "submitted",
+               "done", "failed", "quarantined"});
+  const auto pool_row = [&](const std::string& label, const Json& row) {
+    table.add_row({label, row_int(row, "arrays"), row_int(row, "free_arrays"),
+                   row_int(row, "running"), row_int(row, "queued"),
+                   row_int(row, "submitted"), row_int(row, "done"),
+                   row_int(row, "failed"), row_int(row, "quarantined")});
+  };
+  const Json* pools = stats.get("pools");
+  if (pools != nullptr && pools->is_array()) {
+    for (const Json& row : pools->as_array()) {
+      pool_row(row_int(row, "pool"), row);
+    }
+  }
+  if (const Json* pool = stats.get("pool"); pool != nullptr) {
+    pool_row("TOTAL", *pool);
+  }
+  table.print(std::cout);
+  print_placement(stats.get("placement"), "pools");
+  const Json* cache = stats.get("cache");
+  const Json* memo = stats.get("memo");
+  if (cache != nullptr && memo != nullptr) {
+    const double cache_total = cache->get_number("hits", 0) +
+                               cache->get_number("misses", 0);
+    const double memo_total =
+        memo->get_number("hits", 0) + memo->get_number("misses", 0);
+    std::printf(
+        "cache: %.1f%% hit rate (%llu evictions) | memo: %.1f%% hit rate "
+        "(%llu entries)\n",
+        100.0 * cache->get_number("hits", 0) / std::max(1.0, cache_total),
+        static_cast<unsigned long long>(cache->get_number("evictions", 0)),
+        100.0 * memo->get_number("hits", 0) / std::max(1.0, memo_total),
+        static_cast<unsigned long long>(memo->get_number("evictions", 0)));
+  }
+  return 0;
 }
 
 /// mpa submit --manifest: the whole job file goes up in ONE submit_batch
@@ -622,6 +820,28 @@ int cmd_submit_retrying(const Cli& cli, const sched::MissionSpec& spec,
               submitted.already_known ? " [already known, not resubmitted]"
                                       : "");
   if (detach) return 0;
+  // Follow the mission BY NAME: watch_mission re-resolves and
+  // re-subscribes across daemon restarts and forwarder failovers (the
+  // job id may change; the name never does), so --wait rides through.
+  const bool quiet = bare_flag(cli, "quiet", kSubmitUsage);
+  const std::uint64_t every =
+      std::max<std::uint64_t>(1, spec.generations / 10);
+  try {
+    const std::string status = svc::watch_mission(
+        port, address, spec.name, policy,
+        [&](std::uint64_t waves) {
+          if (quiet) return;
+          std::fprintf(stderr, "%s: %llu waves\n", spec.name.c_str(),
+                       static_cast<unsigned long long>(waves));
+        },
+        every);
+    if (!quiet) {
+      std::fprintf(stderr, "%s: %s\n", spec.name.c_str(), status.c_str());
+    }
+  } catch (const std::exception& e) {
+    // The stream is a convenience; the result fetch below is the truth.
+    std::fprintf(stderr, "mpa submit: %s\n", e.what());
+  }
   const Json response = svc::with_retry(
       port, address, policy,
       [&spec](svc::Client& client) { return client.result_by_name(spec.name); });
@@ -806,25 +1026,50 @@ int cmd_restore(const Cli& cli) {
 }
 
 int cmd_ps(const Cli& cli) {
+  const bool cluster = bare_flag(cli, "cluster", kPsUsage);
   svc::Client client = make_client(cli, kPsUsage);
   const Json list = client.list();
   const Json stats = client.stats();
-  Table table({"job", "name", "kind", "lanes", "status", "waves"});
+  std::vector<std::string> columns = {"job",    "name",  "kind",
+                                      "lanes",  "status", "waves"};
+  if (cluster) columns.push_back("backend");
+  Table table(columns);
   const Json* jobs = list.get("jobs");
   if (jobs != nullptr && jobs->is_array()) {
     for (const Json& entry : jobs->as_array()) {
-      table.add_row(
-          {Table::integer(
-               static_cast<std::uint64_t>(entry.get_number("job", 0))),
-           entry.get_string("name", "?"), entry.get_string("kind", "?"),
-           Table::integer(
-               static_cast<std::uint64_t>(entry.get_number("lanes", 0))),
-           entry.get_string("status", "?"),
-           Table::integer(
-               static_cast<std::uint64_t>(entry.get_number("waves", 0)))});
+      std::vector<std::string> row = {
+          Table::integer(
+              static_cast<std::uint64_t>(entry.get_number("job", 0))),
+          entry.get_string("name", "?"), entry.get_string("kind", "?"),
+          Table::integer(
+              static_cast<std::uint64_t>(entry.get_number("lanes", 0))),
+          entry.get_string("status", "?"),
+          Table::integer(
+              static_cast<std::uint64_t>(entry.get_number("waves", 0)))};
+      if (cluster) {
+        row.push_back(entry.get("backend") != nullptr
+                          ? Table::integer(static_cast<std::uint64_t>(
+                                entry.get_number("backend", 0)))
+                          : "-");
+      }
+      table.add_row(row);
     }
   }
   table.print(std::cout);
+  if (cluster) {
+    if (const Json* fwd = stats.get("forwarder"); fwd != nullptr) {
+      std::printf(
+          "cluster: %llu submitted, %llu rejected | %llu failovers "
+          "(%llu resumed) | %llu backends up%s\n",
+          static_cast<unsigned long long>(fwd->get_number("submitted", 0)),
+          static_cast<unsigned long long>(fwd->get_number("rejected", 0)),
+          static_cast<unsigned long long>(fwd->get_number("failovers", 0)),
+          static_cast<unsigned long long>(
+              fwd->get_number("failover_resumed", 0)),
+          static_cast<unsigned long long>(fwd->get_number("backends_up", 0)),
+          fwd->get_bool("draining", false) ? " (draining)" : "");
+    }
+  }
   const Json* pool = stats.get("pool");
   const Json* service = stats.get("service");
   if (pool != nullptr && service != nullptr) {
@@ -902,6 +1147,7 @@ int cmd_drain(const Cli& cli) {
 }
 
 int cmd_health(const Cli& cli) {
+  const bool cluster = bare_flag(cli, "cluster", kHealthUsage);
   svc::Client client = make_client(cli, kHealthUsage);
   Json request = Json::object();
   request.set("op", "health");
@@ -911,7 +1157,42 @@ int cmd_health(const Cli& cli) {
                  response.get_string("error", "unknown error").c_str());
     return 1;
   }
-  Table table({"array", "state", "job"});
+  if (cluster) {
+    // Forwarder view: one row per backend daemon.
+    Table table({"backend", "endpoint", "reachable", "healthy",
+                 "quarantined", "preempted", "migrated"});
+    const Json* backends = response.get("backends");
+    if (backends != nullptr && backends->is_array()) {
+      for (const Json& entry : backends->as_array()) {
+        table.add_row(
+            {Table::integer(
+                 static_cast<std::uint64_t>(entry.get_number("backend", 0))),
+             entry.get_string("address", "?") + ":" +
+                 Table::integer(static_cast<std::uint64_t>(
+                     entry.get_number("port", 0))),
+             entry.get_bool("reachable", false) ? "yes" : "NO",
+             Table::integer(
+                 static_cast<std::uint64_t>(entry.get_number("healthy", 0))),
+             Table::integer(static_cast<std::uint64_t>(
+                 entry.get_number("quarantined", 0))),
+             Table::integer(static_cast<std::uint64_t>(
+                 entry.get_number("preempted", 0))),
+             Table::integer(static_cast<std::uint64_t>(
+                 entry.get_number("migrations", 0)))});
+      }
+    }
+    table.print(std::cout);
+    std::printf(
+        "cluster: healthy %llu, quarantined %llu, unreachable backends "
+        "%llu\n",
+        static_cast<unsigned long long>(response.get_number("healthy", 0)),
+        static_cast<unsigned long long>(
+            response.get_number("quarantined", 0)),
+        static_cast<unsigned long long>(
+            response.get_number("unreachable", 0)));
+    return response.get_number("unreachable", 0) == 0 ? 0 : 1;
+  }
+  Table table({"array", "pool", "state", "job"});
   const Json* arrays = response.get("arrays");
   if (arrays != nullptr && arrays->is_array()) {
     for (const Json& entry : arrays->as_array()) {
@@ -922,6 +1203,8 @@ int cmd_health(const Cli& cli) {
       table.add_row(
           {Table::integer(
                static_cast<std::uint64_t>(entry.get_number("array", 0))),
+           Table::integer(
+               static_cast<std::uint64_t>(entry.get_number("pool", 0))),
            state, entry.get_string("job", "")});
     }
   }
@@ -995,9 +1278,11 @@ int main(int argc, char** argv) {
     if (cmd == "campaign") return cmd_campaign(cli);
     if (cmd == "batch") return cmd_batch(cli);
     if (cmd == "serve") return cmd_serve(cli);
+    if (cmd == "forward") return cmd_forward(cli);
     if (cmd == "submit") return cmd_submit(cli);
     if (cmd == "result") return cmd_result(cli);
     if (cmd == "ps") return cmd_ps(cli);
+    if (cmd == "stats") return cmd_stats(cli);
     if (cmd == "cancel") return cmd_cancel(cli);
     if (cmd == "drain") return cmd_drain(cli);
     if (cmd == "checkpoint") return cmd_checkpoint(cli);
