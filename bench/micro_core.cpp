@@ -24,6 +24,8 @@
 #include "ehw/img/metrics.hpp"
 #include "ehw/img/noise.hpp"
 #include "ehw/img/synthetic.hpp"
+#include "ehw/obs/metrics.hpp"
+#include "ehw/obs/trace.hpp"
 #include "ehw/pe/compiled.hpp"
 #include "ehw/platform/platform.hpp"
 #include "ehw/sched/array_pool.hpp"
@@ -515,6 +517,36 @@ void BM_ClusterThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_ClusterThroughput)->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond);
+
+void BM_TelemetryOverhead(benchmark::State& state) {
+  // The telemetry fast path as it sits in the hot loops: one span guard
+  // plus a counter bump and a histogram record per iteration. Arg(0)
+  // runs disarmed — the shape every bench and library embedder pays,
+  // which the 25% bench-diff gate holds near-free — and Arg(1) runs
+  // armed to price the ring writes a live `mpa trace` turns on.
+  const bool armed = state.range(0) != 0;
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (armed) {
+    tracer.arm();
+  } else {
+    tracer.disarm();
+  }
+  obs::Registry registry;
+  obs::Counter& ops = registry.counter("bench_ops_total");
+  obs::Histogram& latency = registry.histogram("bench_latency_ns");
+  std::uint64_t tick = 1;
+  for (auto _ : state) {
+    EHW_TRACE_SPAN("bench_overhead");
+    ops.add();
+    latency.record(tick);
+    benchmark::DoNotOptimize(tick += 7);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["spans_dropped"] = static_cast<double>(tracer.dropped());
+  tracer.disarm();
+  tracer.clear();
+}
+BENCHMARK(BM_TelemetryOverhead)->Arg(0)->Arg(1);
 
 void BM_MedianGolden(benchmark::State& state) {
   const img::Image src = img::make_scene(128, 128, 12);

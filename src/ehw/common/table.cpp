@@ -1,6 +1,7 @@
 #include "ehw/common/table.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -60,6 +61,47 @@ std::string Table::to_string() const {
   std::ostringstream os;
   print(os);
   return os.str();
+}
+
+std::string format_duration_ns(std::uint64_t ns) {
+  char out[32];
+  const auto one_decimal = [&](double value, const char* unit) {
+    std::snprintf(out, sizeof out, "%.1f%s", value, unit);
+    return std::string(out);
+  };
+  if (ns < 1000) return std::to_string(ns) + "ns";
+  if (ns < 1000ULL * 1000) {
+    return one_decimal(static_cast<double>(ns) / 1e3, "us");
+  }
+  if (ns < 1000ULL * 1000 * 1000) {
+    return one_decimal(static_cast<double>(ns) / 1e6, "ms");
+  }
+  const std::uint64_t seconds = ns / 1000000000ULL;
+  if (seconds < 60) {
+    return one_decimal(static_cast<double>(ns) / 1e9, "s");
+  }
+  if (seconds < 3600) {
+    std::snprintf(out, sizeof out, "%llum%02llus",
+                  static_cast<unsigned long long>(seconds / 60),
+                  static_cast<unsigned long long>(seconds % 60));
+    return std::string(out);
+  }
+  if (seconds < 86400) {
+    std::snprintf(out, sizeof out, "%lluh%02llum",
+                  static_cast<unsigned long long>(seconds / 3600),
+                  static_cast<unsigned long long>(seconds % 3600 / 60));
+    return std::string(out);
+  }
+  std::snprintf(out, sizeof out, "%llud%02lluh",
+                static_cast<unsigned long long>(seconds / 86400),
+                static_cast<unsigned long long>(seconds % 86400 / 3600));
+  return std::string(out);
+}
+
+std::string format_duration_ms(std::uint64_t ms) {
+  // Saturate instead of overflowing for absurd inputs (u64 ms * 1e6).
+  constexpr std::uint64_t kMax = ~std::uint64_t{0} / 1000000ULL;
+  return format_duration_ns(ms < kMax ? ms * 1000000ULL : ~std::uint64_t{0});
 }
 
 }  // namespace ehw

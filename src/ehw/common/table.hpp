@@ -4,6 +4,7 @@
 // greppable from bench_output.txt.
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -31,5 +32,14 @@ class Table {
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Human-readable duration, scaled to the leading unit: "815ns",
+/// "12.3us", "45.6ms", "3.2s", "5m12s", "2h03m", "1d04h". Shared by the
+/// mission age columns of `mpa ps`/`mpa stats`/`mpa top` and by trace
+/// summaries, so every view renders time the same way.
+[[nodiscard]] std::string format_duration_ns(std::uint64_t ns);
+
+/// format_duration_ns over milliseconds (the protocol's age fields).
+[[nodiscard]] std::string format_duration_ms(std::uint64_t ms);
 
 }  // namespace ehw

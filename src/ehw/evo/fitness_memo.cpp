@@ -1,8 +1,11 @@
 #include "ehw/evo/fitness_memo.hpp"
 
+#include "ehw/obs/trace.hpp"
+
 namespace ehw::evo {
 
 bool FitnessMemo::lookup(std::uint64_t key, Fitness* fitness) {
+  EHW_TRACE_SPAN("memo_lookup");
   std::lock_guard lock(mutex_);
   const auto it = index_.find(key);
   if (it == index_.end()) {

@@ -1,0 +1,164 @@
+#include "ehw/obs/metrics.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace ehw::obs {
+
+double Histogram::Snapshot::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const std::uint64_t next = seen + buckets[b];
+    if (static_cast<double>(next) >= target) {
+      if (b == 0) return 0.0;
+      // Log-interpolate inside the bucket [2^(b-1), 2^b): the fraction
+      // of the bucket's population below the target picks the point.
+      const double lo = std::ldexp(1.0, static_cast<int>(b) - 1);
+      const double frac =
+          (target - static_cast<double>(seen)) /
+          static_cast<double>(buckets[b]);
+      return lo * (1.0 + frac);
+    }
+    seen = next;
+  }
+  return static_cast<double>(bucket_upper(kBuckets - 1));
+}
+
+Histogram::Snapshot Histogram::snapshot() const noexcept {
+  Snapshot out;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    out.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  out.count = count_.load(std::memory_order_relaxed);
+  out.sum = sum_.load(std::memory_order_relaxed);
+  return out;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+namespace {
+
+/// Base metric name without any {label} suffix (for # TYPE lines).
+std::string base_name(const std::string& name) {
+  const std::size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+/// Splices `extra` into the metric's label set: `name` -> `name{extra}`,
+/// `name{a="b"}` -> `name{a="b",extra}`.
+std::string with_label(const std::string& name, const std::string& extra) {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string::npos) return name + "{" + extra + "}";
+  std::string out = name;
+  out.insert(out.size() - 1, "," + extra);
+  return out;
+}
+
+void type_line(std::ostream& os, const std::string& name, const char* type,
+               std::string& last_base) {
+  const std::string base = base_name(name);
+  if (base == last_base) return;  // one TYPE line per family
+  last_base = base;
+  os << "# TYPE " << base << ' ' << type << '\n';
+}
+
+}  // namespace
+
+std::string Registry::to_prometheus() const {
+  std::ostringstream os;
+  std::lock_guard lock(mutex_);
+  std::string last_base;
+  for (const auto& [name, metric] : counters_) {
+    type_line(os, name, "counter", last_base);
+    os << name << ' ' << metric->value() << '\n';
+  }
+  last_base.clear();
+  for (const auto& [name, metric] : gauges_) {
+    type_line(os, name, "gauge", last_base);
+    os << name << ' ' << metric->value() << '\n';
+  }
+  last_base.clear();
+  for (const auto& [name, metric] : histograms_) {
+    const Histogram::Snapshot snap = metric->snapshot();
+    type_line(os, name, "histogram", last_base);
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      if (snap.buckets[b] == 0) continue;
+      cumulative += snap.buckets[b];
+      os << with_label(name + "_bucket",
+                       "le=\"" + std::to_string(Histogram::bucket_upper(b)) +
+                           "\"")
+         << ' ' << cumulative << '\n';
+    }
+    os << with_label(name + "_bucket", "le=\"+Inf\"") << ' ' << snap.count
+       << '\n';
+    os << name << "_sum " << snap.sum << '\n';
+    os << name << "_count " << snap.count << '\n';
+  }
+  return os.str();
+}
+
+Json Registry::to_json() const {
+  std::lock_guard lock(mutex_);
+  Json counters = Json::object();
+  for (const auto& [name, metric] : counters_) {
+    counters.set(name, json_u64(metric->value()));
+  }
+  Json gauges = Json::object();
+  for (const auto& [name, metric] : gauges_) {
+    gauges.set(name, metric->value());
+  }
+  Json histograms = Json::object();
+  for (const auto& [name, metric] : histograms_) {
+    const Histogram::Snapshot snap = metric->snapshot();
+    Json h = Json::object();
+    h.set("count", json_u64(snap.count));
+    h.set("sum", json_u64(snap.sum));
+    Json buckets = Json::array();
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      if (snap.buckets[b] == 0) continue;
+      Json pair = Json::array();
+      pair.push_back(json_u64(Histogram::bucket_upper(b)));
+      pair.push_back(json_u64(snap.buckets[b]));
+      buckets.push_back(std::move(pair));
+    }
+    h.set("buckets", std::move(buckets));
+    histograms.set(name, std::move(h));
+  }
+  Json out = Json::object();
+  out.set("counters", std::move(counters));
+  out.set("gauges", std::move(gauges));
+  out.set("histograms", std::move(histograms));
+  return out;
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+}  // namespace ehw::obs

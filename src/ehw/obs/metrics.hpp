@@ -1,0 +1,159 @@
+#pragma once
+// obs::Registry — the metrics substrate of the telemetry subsystem:
+// named counters, gauges and log-bucketed histograms that every layer
+// (scheduler, service daemon, forwarder, CLI) records into and that the
+// `mpa serve --metrics-port` endpoint exposes as Prometheus text.
+//
+// Scoping: a Registry is an ordinary object — the service daemon and the
+// forwarder each own one, so two servers in one process (tests, benches,
+// a forwarder in front of in-process backends) never mix their wire
+// stats. Registry::global() is the process-wide instance for code with
+// no natural owner.
+//
+// Cost model (the fault.hpp discipline): metric handles are references
+// resolved ONCE (find-or-create under the registry mutex) and then held;
+// every subsequent record is one relaxed atomic RMW — no locks, no
+// lookups, no allocation on any hot path. Snapshot/exposition readers
+// take relaxed loads, so a scrape racing live mutation sees each metric
+// at some recent value without ever serializing writers (asserted by
+// tests/obs_test.cpp under TSan).
+//
+// Histograms are log-bucketed: bucket b counts values whose bit width is
+// b, i.e. [2^(b-1), 2^b) — 65 fixed buckets cover the full u64 range
+// with one array index per record and exact merges. Quantiles are
+// estimated by log-interpolation inside the winning bucket, which is
+// within 2x of truth by construction (fine for latency triage).
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "ehw/common/json.hpp"
+
+namespace ehw::obs {
+
+/// Monotonically increasing event count. Relaxed-atomic; record cost is
+/// one uncontended RMW.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time level (queue depth, inflight missions, poll age...).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double d) noexcept {
+    value_.fetch_add(d, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log-bucketed histogram over u64 samples (latencies in ns, sizes...).
+class Histogram {
+ public:
+  /// Bucket b counts samples of bit width b: bucket 0 holds the value 0,
+  /// bucket b >= 1 holds [2^(b-1), 2^b - 1]. 65 buckets span all of u64.
+  static constexpr std::size_t kBuckets = 65;
+
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t v) noexcept {
+    return static_cast<std::size_t>(std::bit_width(v));
+  }
+  /// Inclusive upper bound of bucket `b` (the Prometheus `le` edge).
+  [[nodiscard]] static std::uint64_t bucket_upper(std::size_t b) noexcept {
+    if (b == 0) return 0;
+    if (b >= 64) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << b) - 1;
+  }
+
+  void record(std::uint64_t v) noexcept {
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  /// Point-in-time copy. Taken with relaxed loads: concurrent records
+  /// may straddle the copy (a sample in `sum` but not yet its bucket),
+  /// which a scrape tolerates; the copy itself is plain data.
+  struct Snapshot {
+    std::array<std::uint64_t, kBuckets> buckets{};
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+
+    void merge(const Snapshot& other) noexcept {
+      for (std::size_t b = 0; b < kBuckets; ++b) buckets[b] += other.buckets[b];
+      count += other.count;
+      sum += other.sum;
+    }
+    [[nodiscard]] double mean() const noexcept {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum) / static_cast<double>(count);
+    }
+    /// Log-interpolated quantile estimate, q in [0,1].
+    [[nodiscard]] double quantile(double q) const noexcept;
+  };
+  [[nodiscard]] Snapshot snapshot() const noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Named metric index. Metric names follow Prometheus conventions and
+/// may carry a label set verbatim: `mpa_backend_up{backend="2"}` — the
+/// exposition writer splits the base name off for TYPE lines. Handles
+/// returned by counter()/gauge()/histogram() are stable for the
+/// registry's lifetime; resolve once, record forever.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] Histogram& histogram(const std::string& name);
+
+  /// Prometheus text exposition (content-type
+  /// text/plain; version=0.0.4). Histograms emit cumulative
+  /// `_bucket{le=...}` series over their non-empty buckets plus
+  /// `le="+Inf"`, `_sum` and `_count`.
+  [[nodiscard]] std::string to_prometheus() const;
+
+  /// The same data as JSON (for protocol ops and tests):
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,
+  /// "buckets":[[upper,count],...]}}}.
+  [[nodiscard]] Json to_json() const;
+
+  /// Process-wide registry for code with no natural owner.
+  static Registry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  // std::map: deterministic (sorted) exposition order; unique_ptr:
+  // stable addresses across rehash-free inserts.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace ehw::obs

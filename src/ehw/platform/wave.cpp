@@ -4,6 +4,7 @@
 
 #include "ehw/common/rng.hpp"
 #include "ehw/evo/batch.hpp"
+#include "ehw/obs/trace.hpp"
 
 namespace ehw::platform {
 
@@ -43,6 +44,7 @@ WaveOutcome evaluate_offspring_wave(EvolvablePlatform& platform,
   std::vector<const pe::CompiledArray*> views;
   views.reserve(compiled.size());
   for (const auto& c : compiled) views.push_back(c.array.get());
+  EHW_TRACE_SPAN("wave_eval");
   WaveOutcome outcome;
   if (memo != nullptr && memo->memo != nullptr && memo->frame_set_id != 0) {
     std::vector<std::uint64_t> keys(compiled.size(), 0);

@@ -7,6 +7,7 @@
 #include "ehw/common/fault.hpp"
 #include "ehw/evo/batch.hpp"
 #include "ehw/evo/serialize.hpp"
+#include "ehw/obs/trace.hpp"
 #include "ehw/sched/missions.hpp"
 
 namespace ehw::sched {
@@ -142,13 +143,21 @@ platform::CompiledLane MissionContext::compile_cached(std::size_t lane) {
                configured.has_value() ? configured->hash() : 0);
   if (cache_ == nullptr) {
     ++misses_;
+    EHW_TRACE_SPAN("compile");
     return {std::make_shared<const pe::CompiledArray>(
                 platform_->compile_array(lane)),
             key};
   }
   bool hit = false;
   auto compiled = cache_->get_or_compile(
-      key, [this, lane] { return platform_->compile_array(lane); }, &hit);
+      key,
+      [this, lane] {
+        // Span inside the factory: cache hits cost no clock reads, and
+        // the profile's compile phase counts real compilations only.
+        EHW_TRACE_SPAN("compile");
+        return platform_->compile_array(lane);
+      },
+      &hit);
   if (hit) {
     ++hits_;
   } else {
@@ -166,6 +175,7 @@ platform::WaveOutcome MissionContext::run_wave(
     const std::vector<evo::Candidate>& offspring,
     const std::vector<std::size_t>& wave_lanes, const img::Image& input,
     const img::Image& compare, sim::SimTime barrier) {
+  EHW_TRACE_SPAN("wave");
   check_cancelled();
   if (pool_ != nullptr) pool_->poll_wave_faults(job_id_);
   // The frame-set id is recomputed per wave from the actual frame
@@ -220,6 +230,7 @@ std::shared_ptr<MissionRunner> ArrayPool::submit(JobConfig job, JobBody body) {
     std::lock_guard lock(mutex_);
     auto rec = std::make_unique<Job>();
     rec->id = next_job_id_++;
+    rec->submit_ns = obs::Tracer::now_ns();
     ++submitted_;
     rec->config = std::move(job);
     rec->body = std::move(body);
@@ -323,6 +334,21 @@ void ArrayPool::run_job(Job* job) {
   JobOutcome outcome;
   JobStatus status = JobStatus::kDone;
   sim::SimTime duration = 0;
+  // Queue wait: admission to the moment a worker picked the body up. Fed
+  // into the job's profile unconditionally (two clock reads) and into the
+  // trace ring when armed; the span's start is the admission instant, so
+  // the trace shows the wait, not just its length.
+  obs::ProfileCollector profile;
+  {
+    const std::uint64_t picked_ns = obs::Tracer::now_ns();
+    if (picked_ns > job->submit_ns) {
+      const std::uint64_t waited_ns = picked_ns - job->submit_ns;
+      profile.add("queue_wait", waited_ns);
+      if (obs::Tracer::armed()) {
+        obs::Tracer::global().record("queue_wait", job->submit_ns, waited_ns);
+      }
+    }
+  }
   try {
     if (fault::should_fire(fault::Site::kTaskThrow)) {
       throw std::runtime_error("injected task fault");
@@ -334,6 +360,11 @@ void ArrayPool::run_job(Job* job) {
         job->config, config_, config_.cache_capacity > 0 ? &cache_ : nullptr,
         config_.fitness_memo_capacity > 0 ? &memo_ : nullptr,
         job->runner.get(), this, job->id);
+    // The collector rides the worker thread for the body's whole run, so
+    // every EHW_TRACE_SPAN fired below (compile, wave, wave_eval,
+    // memo_lookup, ...) lands in this job's phase table even with the
+    // tracer disarmed.
+    obs::ProfileScope profile_scope(&profile);
     try {
       job->body(context, outcome);
     } catch (const MissionPreempted&) {
@@ -368,6 +399,9 @@ void ArrayPool::run_job(Job* job) {
     status = JobStatus::kFailed;
     outcome.error = "unknown job error";
   }
+  // The collector is off the thread now (scope closed with the try);
+  // snapshotting it here keeps partial profiles for failed/cancelled jobs.
+  if (!profile.empty()) outcome.profile = profile.to_json();
   std::vector<FailedStart> failures;
   {
     std::lock_guard lock(mutex_);

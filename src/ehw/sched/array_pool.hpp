@@ -136,6 +136,11 @@ struct JobOutcome {
   platform::CascadeResult cascade;
   platform::MissionStats stats;
   std::string error;
+  /// Host-time phase breakdown ({"phases":[{"phase","count","total_ns"}]})
+  /// accumulated by the span guards while the job body ran; null when no
+  /// instrumented phase fired. Execution telemetry, not part of the
+  /// bit-reproducible mission result.
+  Json profile;
 };
 
 /// Thrown out of MissionContext wave/cancellation points after
@@ -494,6 +499,9 @@ class ArrayPool {
     std::uint64_t id = 0;
     bool finished = false;       // guarded by pool mutex
     sim::SimTime sim_duration = 0;
+    /// Tracer::now_ns() at admission into the queue; run_job turns the
+    /// difference into the job's queue-wait span/phase.
+    std::uint64_t submit_ns = 0;
     /// Array ids leased while running (guarded by pool mutex; empty when
     /// queued or released).
     std::vector<std::size_t> leased;

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "ehw/obs/trace.hpp"
+
 namespace ehw::svc {
 namespace {
 
@@ -62,6 +64,7 @@ Client::Client(std::uint16_t port, const std::string& address,
 }
 
 Json Client::roundtrip(const Json& request) {
+  EHW_TRACE_SPAN("rpc_roundtrip");
   if (!channel_.write_line(request.dump())) connection_lost();
   std::string line;
   while (channel_.read_line(line)) {

@@ -6,6 +6,7 @@
 
 #include "ehw/common/persist.hpp"
 #include "ehw/common/version.hpp"
+#include "ehw/obs/trace.hpp"
 #include "ehw/sched/checkpoint_store.hpp"
 #include "ehw/svc/journal.hpp"
 
@@ -98,17 +99,46 @@ void Forwarder::stop() {
 
 ForwarderStats Forwarder::forwarder_stats() const {
   ForwarderStats stats;
+  stats.submitted = m_submitted_.value();
+  stats.rejected = m_rejected_.value();
+  stats.failovers = m_failovers_.value();
+  stats.failover_resumed = m_failover_resumed_.value();
   std::lock_guard lock(state_mutex_);
-  stats.submitted = submitted_;
-  stats.rejected = rejected_;
-  stats.failovers = failovers_;
-  stats.failover_resumed = failover_resumed_;
   stats.routes = routes_.size();
   for (const BackendState& backend : backends_) {
     if (backend.target.reachable) ++stats.backends_up;
   }
   stats.draining = draining_.load(std::memory_order_relaxed);
   return stats;
+}
+
+void Forwarder::refresh_gauges() {
+  const std::uint64_t now_ns = obs::Tracer::now_ns();
+  std::lock_guard lock(state_mutex_);
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    const BackendState& backend = backends_[i];
+    const std::string label = "{backend=\"" + std::to_string(i) + "\"}";
+    metrics_.gauge("mpa_backend_up" + label)
+        .set(backend.target.reachable ? 1.0 : 0.0);
+    metrics_.gauge("mpa_backend_polls" + label)
+        .set(static_cast<double>(backend.polls));
+    if (backend.last_good_poll_ns != 0) {
+      metrics_.gauge("mpa_backend_poll_age_ms" + label)
+          .set(static_cast<double>(now_ns - backend.last_good_poll_ns) / 1e6);
+    }
+    metrics_.gauge("mpa_backend_free_arrays" + label)
+        .set(static_cast<double>(backend.target.free_arrays));
+    metrics_.gauge("mpa_backend_queued" + label)
+        .set(static_cast<double>(backend.target.queued));
+    metrics_.gauge("mpa_backend_running" + label)
+        .set(static_cast<double>(backend.target.running));
+  }
+  metrics_.gauge("mpa_routes").set(static_cast<double>(routes_.size()));
+}
+
+std::string Forwarder::metrics_text() {
+  refresh_gauges();
+  return metrics_.to_prometheus();
 }
 
 Client Forwarder::quick_client(std::size_t backend) const {
@@ -149,6 +179,7 @@ void Forwarder::poll_backend(std::size_t index) {
     if (ok) {
       backend.failures = 0;
       backend.target.reachable = true;
+      backend.last_good_poll_ns = obs::Tracer::now_ns();
       // The poll is the truth: whatever the backend accepted is in its
       // own counters now, so the optimistic layer starts over.
       backend.opt_lanes = 0;
@@ -303,9 +334,9 @@ void Forwarder::failover_route(const std::shared_ptr<Route>& route,
           static_cast<std::uint64_t>(response.get_number("job", 0));
       ++route->generation;
       ++route->failovers;
-      ++failovers_;
-      if (have_resume) ++failover_resumed_;
     }
+    m_failovers_.add();
+    if (have_resume) m_failover_resumed_.add();
     state_cv_.notify_all();
   } catch (const std::exception& e) {
     finish_route_failed(route,
@@ -356,10 +387,7 @@ void Forwarder::accept_loop() {
       sessions_.erase(alive, sessions_.end());
       sessions_.push_back(std::move(session));
     }
-    {
-      std::lock_guard lock(state_mutex_);
-      ++connections_;
-    }
+    m_connections_.add();
     raw->thread = std::thread([this, raw] { session_loop(raw); });
   }
 }
@@ -448,13 +476,13 @@ Json Forwarder::handle_submit(const Json& request) {
   {
     std::lock_guard lock(state_mutex_);
     if (draining_.load(std::memory_order_relaxed)) {
-      ++rejected_;
+      m_rejected_.add();
       return make_error("cluster is draining; not accepting new missions",
                         "draining");
     }
     decision = place_locked(spec);
     if (!decision.ok) {
-      ++rejected_;
+      m_rejected_.add();
       return make_error("no backend can take the mission: " + decision.error,
                         "no_backend");
     }
@@ -465,15 +493,13 @@ Json Forwarder::handle_submit(const Json& request) {
     Client client = quick_client(decision.target);
     submitted = client.submit(spec);
   } catch (const std::exception& e) {
-    std::lock_guard lock(state_mutex_);
-    ++rejected_;
+    m_rejected_.add();
     return make_error("backend " + std::to_string(decision.target) +
                           " unreachable: " + e.what(),
                       "no_backend");
   }
   if (!submitted.ok) {
-    std::lock_guard lock(state_mutex_);
-    ++rejected_;
+    m_rejected_.add();
     Json response = make_error(submitted.error, submitted.code);
     return response;
   }
@@ -486,9 +512,9 @@ Json Forwarder::handle_submit(const Json& request) {
     std::lock_guard lock(state_mutex_);
     route->id = next_id_++;
     routes_.emplace(route->id, route);
-    ++submitted_;
     response.set("job", route->id);
   }
+  m_submitted_.add();
   response.set("name", spec.name);
   response.set("backend", static_cast<std::uint64_t>(decision.target));
   if (decision.affinity_hit) response.set("affinity", true);
@@ -500,8 +526,7 @@ Json Forwarder::handle_submit_batch(const Json& request) {
   const std::string parse_error = batch_specs_from_json(request, specs);
   if (!parse_error.empty()) return make_error(parse_error, "bad_spec");
   if (draining_.load(std::memory_order_relaxed)) {
-    std::lock_guard lock(state_mutex_);
-    rejected_ += specs.size();
+    m_rejected_.add(specs.size());
     return make_error("cluster is draining; not accepting new missions",
                       "draining");
   }
@@ -516,7 +541,7 @@ Json Forwarder::handle_submit_batch(const Json& request) {
       const sched::PlacementPolicy::Decision decision =
           place_locked(specs[i]);
       if (!decision.ok) {
-        rejected_ += specs.size();
+        m_rejected_.add(specs.size());
         return make_error("spec " + std::to_string(i) +
                               ": no backend can take the mission: " +
                               decision.error,
@@ -571,8 +596,7 @@ Json Forwarder::handle_submit_batch(const Json& request) {
         // The cancel is advisory; the mission just runs to completion.
       }
     }
-    std::lock_guard lock(state_mutex_);
-    rejected_ += specs.size();
+    m_rejected_.add(specs.size());
     return make_error(error, code);
   }
   Json jobs = Json::array();
@@ -585,7 +609,7 @@ Json Forwarder::handle_submit_batch(const Json& request) {
       route->backend = accepted[i]->backend;
       route->backend_job = accepted[i]->backend_job;
       routes_.emplace(route->id, route);
-      ++submitted_;
+      m_submitted_.add();
       Json entry = Json::object();
       entry.set("job", route->id);
       entry.set("name", specs[i].name);
@@ -819,6 +843,7 @@ Json Forwarder::handle_stats() {
   Json backends = Json::array();
   Json pool = Json::object();
   std::size_t backends_up = 0;
+  const std::uint64_t now_ns = obs::Tracer::now_ns();
   {
     std::lock_guard lock(state_mutex_);
     for (std::size_t i = 0; i < backends_.size(); ++i) {
@@ -829,6 +854,12 @@ Json Forwarder::handle_stats() {
       entry.set("port", static_cast<std::uint64_t>(config_.backends[i].port));
       entry.set("reachable", backend.target.reachable);
       entry.set("polls", backend.polls);
+      // Additive: how old the placement/liveness snapshot is.
+      if (backend.last_good_poll_ns != 0) {
+        entry.set("poll_age_ms",
+                  static_cast<std::uint64_t>(
+                      (now_ns - backend.last_good_poll_ns) / 1000000));
+      }
       if (backend.target.reachable) ++backends_up;
       if (backend.pool_json.is_object()) {
         for (const char* field : kPoolFields) {
@@ -878,16 +909,30 @@ Json Forwarder::handle_health() {
   double healthy = 0;
   double quarantined = 0;
   std::size_t unreachable = 0;
+  std::size_t stale = 0;
+  const std::uint64_t now_ns = obs::Tracer::now_ns();
+  // Reachable but last GOOD poll older than 2x the poll cadence: the
+  // placement snapshot is suspect even though the backend answers. Stale
+  // is a warning, down is a failure — the health op separates them.
+  const std::uint64_t stale_after_ms =
+      2 * static_cast<std::uint64_t>(config_.poll_ms);
   for (std::size_t i = 0; i < backends_.size(); ++i) {
     bool reachable;
+    std::uint64_t last_good_ns;
     {
       std::lock_guard lock(state_mutex_);
       reachable = backends_[i].target.reachable;
+      last_good_ns = backends_[i].last_good_poll_ns;
     }
     Json entry = Json::object();
     entry.set("backend", static_cast<std::uint64_t>(i));
     entry.set("address", config_.backends[i].address);
     entry.set("port", static_cast<std::uint64_t>(config_.backends[i].port));
+    std::uint64_t poll_age_ms = 0;
+    if (last_good_ns != 0) {
+      poll_age_ms = (now_ns - last_good_ns) / 1000000;
+      entry.set("poll_age_ms", poll_age_ms);
+    }
     if (reachable) {
       try {
         Client client = quick_client(i);
@@ -901,6 +946,10 @@ Json Forwarder::handle_health() {
         entry.set("migrations", health.get_number("migrations", 0));
         healthy += health.get_number("healthy", 0);
         quarantined += health.get_number("quarantined", 0);
+        const bool is_stale =
+            last_good_ns == 0 || poll_age_ms > stale_after_ms;
+        entry.set("stale", is_stale);
+        if (is_stale) ++stale;
       } catch (const std::exception&) {
         reachable = false;
       }
@@ -917,6 +966,7 @@ Json Forwarder::handle_health() {
   response.set("healthy", healthy);
   response.set("quarantined", quarantined);
   response.set("unreachable", static_cast<std::uint64_t>(unreachable));
+  response.set("stale", static_cast<std::uint64_t>(stale));
   return response;
 }
 

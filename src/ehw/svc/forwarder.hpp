@@ -45,6 +45,7 @@
 #include <thread>
 #include <vector>
 
+#include "ehw/obs/metrics.hpp"
 #include "ehw/sched/placement.hpp"
 #include "ehw/svc/client.hpp"
 #include "ehw/svc/protocol.hpp"
@@ -119,6 +120,13 @@ class Forwarder {
 
   [[nodiscard]] ForwarderStats forwarder_stats() const;
 
+  /// The forwarder's metric registry (its own, never the backends').
+  [[nodiscard]] obs::Registry& metrics() noexcept { return metrics_; }
+  /// Prometheus text exposition with per-backend labelled gauges
+  /// (up/poll-age/capacity) refreshed at scrape time. Handed to
+  /// MetricsHttp by `mpa forward --metrics-port`.
+  [[nodiscard]] std::string metrics_text();
+
   /// Chaos/test hook: treat backend `index` as dead NOW — the same path
   /// a real death takes after `down_after` missed polls (affinity drop +
   /// failover of its routes). A later successful poll resurrects it.
@@ -146,6 +154,10 @@ class Forwarder {
   struct BackendState {
     int failures = 0;
     std::uint64_t polls = 0;
+    /// Tracer::now_ns() of the last successful poll; 0 = never. Drives
+    /// the per-backend poll-age gauge and the health op's `stale` flag
+    /// (a backend can be reachable but fed by old data — stale != down).
+    std::uint64_t last_good_poll_ns = 0;
     sched::PlacementTarget target;  // reachable=false until a good poll
     Json pool_json;                 // last good poll's "pool" section
     /// Lanes/jobs optimistically placed since the last good poll. Kept
@@ -213,19 +225,29 @@ class Forwarder {
   /// snapshot and spill off its warm backend.
   void release_route_locked(Route& route);
 
+  /// Refreshes the per-backend labelled gauges; called by metrics_text().
+  void refresh_gauges();
+
   ForwarderConfig config_;
   std::uint16_t port_ = 0;
+
+  // Telemetry. Declared before every thread that records into it; the
+  // counter references REPLACE the old guarded tallies (the wire shape
+  // of stats/health is unchanged — the registry is just where the same
+  // numbers now live, labelled for the Prometheus endpoint).
+  obs::Registry metrics_;
+  obs::Counter& m_submitted_ = metrics_.counter("mpa_missions_submitted_total");
+  obs::Counter& m_rejected_ = metrics_.counter("mpa_missions_rejected_total");
+  obs::Counter& m_failovers_ = metrics_.counter("mpa_failovers_total");
+  obs::Counter& m_failover_resumed_ =
+      metrics_.counter("mpa_failovers_resumed_total");
+  obs::Counter& m_connections_ = metrics_.counter("mpa_connections_total");
 
   mutable std::mutex state_mutex_;
   std::condition_variable state_cv_;
   std::vector<BackendState> backends_;
   std::map<std::uint64_t, std::shared_ptr<Route>> routes_;  // by front id
   std::uint64_t next_id_ = 1;
-  std::uint64_t submitted_ = 0;
-  std::uint64_t rejected_ = 0;
-  std::uint64_t failovers_ = 0;
-  std::uint64_t failover_resumed_ = 0;
-  std::uint64_t connections_ = 0;
   std::atomic<bool> draining_{false};
   std::atomic<bool> stopping_{false};
   bool stopped_ = false;  // stop() ran to completion (main thread only)

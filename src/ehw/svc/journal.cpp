@@ -11,6 +11,7 @@
 
 #include "ehw/common/fault.hpp"
 #include "ehw/common/persist.hpp"
+#include "ehw/obs/trace.hpp"
 
 namespace ehw::svc {
 
@@ -53,6 +54,7 @@ bool MissionJournal::append(const Json& record) {
     written += static_cast<std::size_t>(n);
   }
   if (fault::should_fire(fault::Site::kJournalFsync)) return false;
+  EHW_TRACE_SPAN("journal_fsync");
   if (::fsync(fd_) != 0) return false;
   ++appended_;
   return true;

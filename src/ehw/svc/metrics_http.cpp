@@ -1,0 +1,45 @@
+#include "ehw/svc/metrics_http.hpp"
+
+namespace ehw::svc {
+
+MetricsHttp::MetricsHttp(const std::string& address, std::uint16_t port,
+                         std::function<std::string()> producer)
+    : listener_(std::make_unique<Listener>(address, port)),
+      port_(listener_->port()),
+      producer_(std::move(producer)) {
+  thread_ = std::thread([this] { loop(); });
+}
+
+MetricsHttp::~MetricsHttp() { stop(); }
+
+void MetricsHttp::stop() {
+  if (stopping_.exchange(true)) return;
+  if (thread_.joinable()) thread_.join();
+  listener_->close();
+}
+
+void MetricsHttp::loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    std::optional<Socket> socket = listener_->accept_one(/*timeout_ms=*/100);
+    if (!socket.has_value()) continue;
+    // Drain whatever request line the scraper sent (best effort — the
+    // response is the same for every path) without blocking on a silent
+    // peer.
+    socket->set_recv_timeout(/*timeout_ms=*/1000);
+    socket->set_send_timeout(/*timeout_ms=*/5000);
+    char buffer[1024];
+    static_cast<void>(socket->recv_some(buffer, sizeof buffer));
+    const std::string body = producer_ ? producer_() : std::string();
+    const std::string response =
+        "HTTP/1.0 200 OK\r\n"
+        "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+        "Content-Length: " +
+        std::to_string(body.size()) +
+        "\r\n"
+        "Connection: close\r\n\r\n" +
+        body;
+    static_cast<void>(socket->send_all(response.data(), response.size()));
+  }
+}
+
+}  // namespace ehw::svc

@@ -164,6 +164,10 @@ Json outcome_to_json(sched::MissionKind kind, sched::JobStatus status,
   result.set("cache_misses", outcome.stats.cache_misses);
   result.set("memo_hits", outcome.stats.memo_hits);
   result.set("memo_misses", outcome.stats.memo_misses);
+  // Additive: phase-time breakdown from the span guards, when the
+  // scheduler collected one. Present for any terminal status (a failed
+  // mission's partial profile is exactly what an operator wants to see).
+  if (!outcome.profile.is_null()) result.set("profile", outcome.profile);
   if (status != sched::JobStatus::kDone) return result;
 
   result.set("sim_ns",

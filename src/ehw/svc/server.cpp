@@ -6,6 +6,7 @@
 #include "ehw/common/fault.hpp"
 #include "ehw/common/persist.hpp"
 #include "ehw/common/version.hpp"
+#include "ehw/obs/trace.hpp"
 #include "ehw/sched/checkpoint_store.hpp"
 
 namespace ehw::svc {
@@ -200,9 +201,11 @@ void Server::replay_journal() {
       // Recovery may momentarily exceed max_inflight_: work admitted
       // before the crash takes precedence over fresh submissions.
       ++inflight_;
-      ++submitted_;
+      m_inflight_.set(static_cast<double>(inflight_));
     }
+    m_submitted_.add();
     ++resumed_;
+    record->submitted_ns = obs::Tracer::now_ns();
     launch_job(record);
   }
 }
@@ -278,14 +281,18 @@ ServiceStats Server::service_stats() const {
       }
     }
   }
-  std::lock_guard lock(state_mutex_);
-  stats.connections = connections_;
-  stats.inflight = inflight_;
+  {
+    std::lock_guard lock(state_mutex_);
+    stats.inflight = inflight_;
+  }
+  // Counters are registry-backed (relaxed atomics): same numbers the
+  // Prometheus endpoint scrapes, same wire shape as before.
+  stats.connections = m_connections_.value();
   stats.max_inflight = max_inflight_;
   stats.draining = draining_.load(std::memory_order_relaxed);
-  stats.submitted = submitted_;
-  stats.rejected = rejected_;
-  stats.migrations = migrations_.load(std::memory_order_relaxed);
+  stats.submitted = m_submitted_.value();
+  stats.rejected = m_rejected_.value();
+  stats.migrations = m_migrations_.value();
   return stats;
 }
 
@@ -303,8 +310,7 @@ JournalStats Server::journal_stats() const {
   stats.truncated_tail = journal_truncated_tail_;
   stats.warm_memo_loaded = warm_memo_loaded_;
   stats.warm_cache_loaded = warm_cache_loaded_;
-  stats.checkpoints_written =
-      checkpoints_written_.load(std::memory_order_relaxed);
+  stats.checkpoints_written = m_checkpoints_written_.value();
   stats.appended = journal_->appended();
   return stats;
 }
@@ -334,10 +340,7 @@ void Server::accept_loop() {
       sessions_.erase(alive, sessions_.end());
       sessions_.push_back(std::move(session));
     }
-    {
-      std::lock_guard lock(state_mutex_);
-      ++connections_;
-    }
+    m_connections_.add();
     raw->thread = std::thread([this, raw] { session_loop(raw); });
   }
 }
@@ -409,10 +412,13 @@ std::optional<Json> Server::handle_request(Session& session,
   if (op == "health") return handle_health();
   if (op == "watch") return handle_watch(session, request);
   if (op == "drain") return handle_drain(request);
+  if (op == "trace") return handle_trace(request);
   return make_error("unknown op '" + op + "'", "bad_request");
 }
 
 Json Server::handle_submit(const Json& request) {
+  EHW_TRACE_SPAN("submit");
+  const std::uint64_t admit_start_ns = obs::Tracer::now_ns();
   const Json* spec_field = request.get("spec");
   if (spec_field == nullptr) {
     return make_error("submit needs a 'spec' object", "bad_request");
@@ -448,12 +454,12 @@ Json Server::handle_submit(const Json& request) {
   {
     std::lock_guard lock(state_mutex_);
     if (draining_.load(std::memory_order_relaxed)) {
-      ++rejected_;
+      m_rejected_.add();
       return make_error("service is draining; not accepting new missions",
                         "draining");
     }
     if (inflight_ >= max_inflight_) {
-      ++rejected_;
+      m_rejected_.add();
       Json response = make_error(
           "rejected: " + std::to_string(inflight_) +
               " missions in flight (cap " + std::to_string(max_inflight_) +
@@ -463,9 +469,11 @@ Json Server::handle_submit(const Json& request) {
       return response;
     }
     ++inflight_;
-    ++submitted_;
+    m_inflight_.set(static_cast<double>(inflight_));
     record->id = next_job_id_++;
   }
+  m_submitted_.add();
+  record->submitted_ns = admit_start_ns;
   // Write-ahead: the "submitted" record lands before the launch (and
   // before the ack), so a crash anywhere after this line still
   // resubmits the mission on restart.
@@ -474,6 +482,9 @@ Json Server::handle_submit(const Json& request) {
   Json response = make_ok();
   response.set("job", record->id);
   response.set("name", spec.name);
+  // Admission-to-ack latency: spec validation + write-ahead journal +
+  // pool placement. The ack write itself is the session loop's.
+  m_submit_latency_.record(obs::Tracer::now_ns() - admit_start_ns);
   return response;
 }
 
@@ -498,7 +509,7 @@ void Server::launch_job(const std::shared_ptr<JobRecord>& record) {
   }
   {
     const sched::MissionSpec spec = record->spec;
-    std::atomic<std::uint64_t>* written = &checkpoints_written_;
+    obs::Counter* written = &m_checkpoints_written_;
     checkpointing.sink = [this, record, spec, sidecar,
                           written](const platform::MissionCheckpoint& state) {
       auto holder = std::make_shared<platform::MissionCheckpoint>(state);
@@ -506,9 +517,11 @@ void Server::launch_job(const std::shared_ptr<JobRecord>& record) {
         std::lock_guard lock(state_mutex_);
         record->latest = std::move(holder);
       }
-      if (!sidecar.empty() &&
-          sched::save_mission_checkpoint(sidecar, spec, state).empty()) {
-        written->fetch_add(1, std::memory_order_relaxed);
+      if (!sidecar.empty()) {
+        EHW_TRACE_SPAN("checkpoint_write");
+        if (sched::save_mission_checkpoint(sidecar, spec, state).empty()) {
+          written->add();
+        }
       }
     };
   }
@@ -562,9 +575,17 @@ void Server::launch_job(const std::shared_ptr<JobRecord>& record) {
       static_cast<void>(journal_->append(rec));
       static_cast<void>(remove_file(journal_->checkpoint_path(record->id)));
     }
+    // Wall time covers admission to terminal finish (across migrations:
+    // the stamp survives relaunches); sim time is the mission's own
+    // platform makespan. Safe to read here — finish() stored it already.
+    if (record->submitted_ns != 0) {
+      m_mission_wall_.record(obs::Tracer::now_ns() - record->submitted_ns);
+    }
+    m_mission_sim_.record(runner->sim_duration());
     {
       std::lock_guard lock(state_mutex_);
       --inflight_;
+      m_inflight_.set(static_cast<double>(inflight_));
     }
     state_cv_.notify_all();
   });
@@ -611,7 +632,7 @@ void Server::migrate_job(const std::shared_ptr<JobRecord>& record) {
     // grants than the logical width would idle, so cap at spec.lanes).
     record->grant_lanes = std::min(record->spec.lanes, healthy);
   }
-  migrations_.fetch_add(1, std::memory_order_relaxed);
+  m_migrations_.add();
   launch_job(record);
 }
 
@@ -640,6 +661,7 @@ void Server::finish_unmigratable(const std::shared_ptr<JobRecord>& record,
     record->runner = nullptr;  // journal_* fields are now the truth
     watchers = record->watchers;
     --inflight_;
+    m_inflight_.set(static_cast<double>(inflight_));
   }
   state_cv_.notify_all();
   // Watchers saw the kPreempted finish suppressed (migration pending);
@@ -652,6 +674,8 @@ void Server::finish_unmigratable(const std::shared_ptr<JobRecord>& record,
 }
 
 Json Server::handle_submit_batch(const Json& request) {
+  EHW_TRACE_SPAN("submit");
+  const std::uint64_t admit_start_ns = obs::Tracer::now_ns();
   std::vector<sched::MissionSpec> specs;
   const std::string parse_error = batch_specs_from_json(request, specs);
   if (!parse_error.empty()) return make_error(parse_error, "bad_spec");
@@ -673,12 +697,12 @@ Json Server::handle_submit_batch(const Json& request) {
   {
     std::lock_guard lock(state_mutex_);
     if (draining_.load(std::memory_order_relaxed)) {
-      rejected_ += specs.size();
+      m_rejected_.add(specs.size());
       return make_error("service is draining; not accepting new missions",
                         "draining");
     }
     if (inflight_ + specs.size() > max_inflight_) {
-      rejected_ += specs.size();
+      m_rejected_.add(specs.size());
       Json response = make_error(
           "rejected: batch of " + std::to_string(specs.size()) +
               " does not fit (" + std::to_string(inflight_) +
@@ -689,14 +713,16 @@ Json Server::handle_submit_batch(const Json& request) {
       return response;
     }
     inflight_ += specs.size();
-    submitted_ += specs.size();
+    m_inflight_.set(static_cast<double>(inflight_));
     for (sched::MissionSpec& spec : specs) {
       auto record = std::make_shared<JobRecord>();
       record->spec = std::move(spec);
       record->id = next_job_id_++;
+      record->submitted_ns = admit_start_ns;
       records.push_back(std::move(record));
     }
   }
+  m_submitted_.add(records.size());
   Json jobs = Json::array();
   for (const std::shared_ptr<JobRecord>& record : records) {
     journal_submitted(*record);
@@ -708,6 +734,7 @@ Json Server::handle_submit_batch(const Json& request) {
   }
   Json response = make_ok();
   response.set("jobs", std::move(jobs));
+  m_submit_latency_.record(obs::Tracer::now_ns() - admit_start_ns);
   return response;
 }
 
@@ -870,6 +897,7 @@ Json Server::handle_cancel(const Json& request) {
 
 Json Server::handle_list() {
   Json jobs = Json::array();
+  const std::uint64_t now_ns = obs::Tracer::now_ns();
   {
     std::lock_guard lock(state_mutex_);
     for (const auto& [id, record] : jobs_) {
@@ -878,6 +906,12 @@ Json Server::handle_list() {
       entry.set("name", record->spec.name);
       entry.set("kind", sched::kind_name(record->spec.kind));
       entry.set("lanes", static_cast<std::uint64_t>(record->spec.lanes));
+      // Additive: time since this incarnation admitted the job (absent
+      // for journal-replayed records — their admission predates us).
+      if (record->submitted_ns != 0 && now_ns >= record->submitted_ns) {
+        entry.set("age_ms", static_cast<std::uint64_t>(
+                                (now_ns - record->submitted_ns) / 1000000));
+      }
       if (record->runner != nullptr) {
         entry.set("status", status_name(record->runner->status()));
         entry.set("waves", record->runner->waves_completed());
@@ -942,6 +976,24 @@ Json Server::handle_stats() {
   svc.set("rejected", service.rejected);
   svc.set("migrations", service.migrations);
 
+  // Additive: histogram summaries for `mpa top` and operator scripts.
+  // The full bucket data stays on the Prometheus endpoint.
+  const auto hist_summary = [](const obs::Histogram& hist) {
+    const obs::Histogram::Snapshot snap = hist.snapshot();
+    Json out = Json::object();
+    out.set("count", snap.count);
+    out.set("mean_ns", snap.mean());
+    out.set("p50_ns", snap.quantile(0.50));
+    out.set("p90_ns", snap.quantile(0.90));
+    out.set("p99_ns", snap.quantile(0.99));
+    return out;
+  };
+  Json telemetry = Json::object();
+  telemetry.set("submit_ack_latency", hist_summary(m_submit_latency_));
+  telemetry.set("mission_wall_time", hist_summary(m_mission_wall_));
+  telemetry.set("mission_sim_time", hist_summary(m_mission_sim_));
+  telemetry.set("trace_armed", obs::Tracer::armed());
+
   Json response = make_ok();
   response.set("pool", std::move(pool));
   response.set("pools", std::move(pools));
@@ -949,6 +1001,7 @@ Json Server::handle_stats() {
   response.set("cache", std::move(cache));
   response.set("memo", std::move(memo));
   response.set("service", std::move(svc));
+  response.set("telemetry", std::move(telemetry));
   if (journal_ != nullptr) {
     const JournalStats js = journal_stats();
     Json journal = Json::object();
@@ -997,7 +1050,7 @@ Json Server::handle_health() {
                static_cast<std::uint64_t>(stats.quarantined));
   response.set("preempted", stats.preempted);
   response.set("deadline_expired", stats.deadline_expired);
-  response.set("migrations", migrations_.load(std::memory_order_relaxed));
+  response.set("migrations", m_migrations_.value());
   Json faults = Json::object();
   faults.set("active", fault::active());
   if (fault::active()) {
@@ -1082,6 +1135,77 @@ std::optional<Json> Server::handle_watch(Session& session,
   runner->subscribe(observer);
   static_cast<void>(session.channel->write_line(ack.dump()));
   return std::nullopt;
+}
+
+Json Server::handle_trace(const Json& request) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  const std::string mode = request.get_string("mode", "dump");
+  Json response = make_ok();
+  if (mode == "arm") {
+    tracer.arm();
+  } else if (mode == "disarm") {
+    tracer.disarm();
+  } else if (mode == "clear") {
+    tracer.clear();
+  } else if (mode == "dump") {
+    response.set("trace", tracer.export_chrome());
+  } else {
+    return make_error(
+        "unknown trace mode '" + mode + "' (dump|arm|disarm|clear)",
+        "bad_request");
+  }
+  response.set("armed", obs::Tracer::armed());
+  response.set("recorded", tracer.recorded());
+  response.set("dropped", tracer.dropped());
+  return response;
+}
+
+void Server::refresh_gauges() {
+  const sched::ArrayPool::PoolStats pool = group_->stats().total;
+  metrics_.gauge("mpa_queue_depth").set(static_cast<double>(pool.queued));
+  metrics_.gauge("mpa_running_missions").set(static_cast<double>(pool.running));
+  metrics_.gauge("mpa_free_arrays").set(static_cast<double>(pool.free_arrays));
+  metrics_.gauge("mpa_quarantined_arrays")
+      .set(static_cast<double>(pool.quarantined));
+
+  const sched::CacheStats cache = group_->cache_stats();
+  metrics_.gauge("mpa_compiled_cache_hit_rate").set(cache.hit_rate());
+  const evo::FitnessMemoStats memo = group_->memo_stats();
+  metrics_.gauge("mpa_fitness_memo_hit_rate").set(memo.hit_rate());
+
+  const sched::PlacementPolicy::Stats placement = group_->placement_stats();
+  metrics_.gauge("mpa_placement_placed")
+      .set(static_cast<double>(placement.placed));
+  metrics_.gauge("mpa_placement_affinity_hits")
+      .set(static_cast<double>(placement.affinity_hits));
+  metrics_.gauge("mpa_placement_spills")
+      .set(static_cast<double>(placement.spills));
+
+  const WorkStealPool::Stats steal = WorkStealPool::shared().stats();
+  metrics_.gauge("mpa_steal_tasks_executed")
+      .set(static_cast<double>(steal.executed));
+  metrics_.gauge("mpa_steal_tasks_stolen")
+      .set(static_cast<double>(steal.stolen));
+
+  if (fault::active()) {
+    for (std::size_t s = 0; s < fault::kSiteCount; ++s) {
+      const auto site = static_cast<fault::Site>(s);
+      if (fault::hits(site) == 0) continue;
+      metrics_
+          .gauge(std::string("mpa_fault_fired{site=\"") +
+                 fault::site_name(site) + "\"}")
+          .set(static_cast<double>(fault::fired(site)));
+    }
+  }
+
+  const ServiceStats service = service_stats();
+  metrics_.gauge("mpa_sessions_open")
+      .set(static_cast<double>(service.sessions_open));
+}
+
+std::string Server::metrics_text() {
+  refresh_gauges();
+  return metrics_.to_prometheus();
 }
 
 Json Server::handle_drain(const Json& request) {

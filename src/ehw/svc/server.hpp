@@ -45,6 +45,7 @@
 #include <thread>
 #include <vector>
 
+#include "ehw/obs/metrics.hpp"
 #include "ehw/sched/pool_group.hpp"
 #include "ehw/svc/journal.hpp"
 #include "ehw/svc/protocol.hpp"
@@ -148,10 +149,23 @@ class Server {
   [[nodiscard]] ServiceStats service_stats() const;
   [[nodiscard]] JournalStats journal_stats() const;
 
+  /// This daemon's metric registry (counters/gauges/histograms behind
+  /// the stats/health ops and the Prometheus endpoint).
+  [[nodiscard]] obs::Registry& metrics() noexcept { return metrics_; }
+  /// Prometheus text exposition of the registry; refreshes the
+  /// scrape-time gauges (queue depth, steal counts, hit rates, fault
+  /// firings) from the pool group first. Handed to MetricsHttp by
+  /// `mpa serve --metrics-port`.
+  [[nodiscard]] std::string metrics_text();
+
  private:
   struct JobRecord {
     std::uint64_t id = 0;
     sched::MissionSpec spec;
+    /// Tracer::now_ns() at admission; feeds the `age_ms` list field and
+    /// the mission wall-time histogram. 0 for journal-replayed records
+    /// (their admission predates this process).
+    std::uint64_t submitted_ns = 0;
     /// Live execution handle; nullptr for a mission replayed from the
     /// journal as already finished (or failed terminally during a
     /// migration) — then the journal_* fields below are the record of
@@ -211,6 +225,7 @@ class Server {
   [[nodiscard]] Json handle_list();
   [[nodiscard]] Json handle_stats();
   [[nodiscard]] Json handle_health();
+  [[nodiscard]] Json handle_trace(const Json& request);
   [[nodiscard]] std::optional<Json> handle_watch(Session& session,
                                                  const Json& request);
   [[nodiscard]] Json handle_drain(const Json& request);
@@ -235,9 +250,34 @@ class Server {
   void finish_unmigratable(const std::shared_ptr<JobRecord>& record,
                            std::uint64_t waves, const std::string& error);
 
+  /// Refreshes the scrape-time gauges from the pool group; called by
+  /// metrics_text() and cheap enough for every scrape.
+  void refresh_gauges();
+
   ServerConfig config_;
   std::size_t max_inflight_ = 0;
   std::uint16_t port_ = 0;
+
+  // Telemetry. Declared first so every later member — including job
+  // threads holding counter references through the checkpoint sink — is
+  // destroyed before the registry. The references below REPLACE the old
+  // hand-rolled stat members; service_stats()/handle_stats() read them,
+  // so the wire shape is unchanged while the same numbers feed the
+  // Prometheus endpoint for free.
+  obs::Registry metrics_;
+  obs::Counter& m_submitted_ = metrics_.counter("mpa_missions_submitted_total");
+  obs::Counter& m_rejected_ = metrics_.counter("mpa_missions_rejected_total");
+  obs::Counter& m_connections_ = metrics_.counter("mpa_connections_total");
+  obs::Counter& m_migrations_ = metrics_.counter("mpa_migrations_total");
+  obs::Counter& m_checkpoints_written_ =
+      metrics_.counter("mpa_checkpoints_written_total");
+  obs::Gauge& m_inflight_ = metrics_.gauge("mpa_inflight_missions");
+  obs::Histogram& m_submit_latency_ =
+      metrics_.histogram("mpa_submit_ack_latency_ns");
+  obs::Histogram& m_mission_wall_ =
+      metrics_.histogram("mpa_mission_wall_time_ns");
+  obs::Histogram& m_mission_sim_ =
+      metrics_.histogram("mpa_mission_sim_time_ns");
 
   // Durability. The journal is written from job threads (finished
   // records) until group_ is destroyed, so it is declared before group_
@@ -251,7 +291,6 @@ class Server {
   bool journal_truncated_tail_ = false;
   std::uint64_t warm_memo_loaded_ = 0;
   std::uint64_t warm_cache_loaded_ = 0;
-  std::atomic<std::uint64_t> checkpoints_written_{0};
 
   // Service state. Declared before the pool/listener/threads so it is
   // destroyed last (job-finished callbacks lock state_mutex_).
@@ -259,11 +298,10 @@ class Server {
   std::condition_variable state_cv_;
   std::map<std::uint64_t, std::shared_ptr<JobRecord>> jobs_;  // by id
   std::uint64_t next_job_id_ = 1;
-  std::size_t inflight_ = 0;      // submitted, not yet finished
-  std::uint64_t submitted_ = 0;
-  std::uint64_t rejected_ = 0;
-  std::uint64_t connections_ = 0;
-  std::atomic<std::uint64_t> migrations_{0};
+  /// Submitted, not yet finished. Stays a plain guarded integer (the
+  /// admission comparisons need a consistent read under state_mutex_);
+  /// m_inflight_ mirrors it for the scrape path.
+  std::size_t inflight_ = 0;
   std::atomic<bool> draining_{false};
   std::atomic<bool> stopping_{false};
   bool stopped_ = false;  // stop() ran to completion (main thread only)

@@ -20,7 +20,7 @@ import sys
 
 # Prefix-matched: "BM_ServiceThroughput" covers /1, /4, /8.
 DEFAULT_WATCH = ["BM_FitnessAgainst/256", "BM_ServiceThroughput",
-                 "BM_ClusterThroughput"]
+                 "BM_ClusterThroughput", "BM_TelemetryOverhead"]
 
 
 def load_label(path, label):

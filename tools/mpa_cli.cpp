@@ -42,6 +42,14 @@
 //                                                different lane count)
 //   health    --port N                           per-array health, fault
 //                                                counters + migrations
+//   top       --port N [--cluster]               live refreshing terminal
+//             [--interval MS] [--count N]        dashboard over the stats/
+//                                                list/health ops (q quits)
+//   trace     [OUT.json] --port N                dump the daemon's span
+//             [--arm|--disarm] [--clear]         rings as Chrome trace-
+//                                                event JSON (load into
+//                                                chrome://tracing or
+//                                                ui.perfetto.dev)
 //   demo      [--size N] [--noise D]             end-to-end synthetic demo
 //   version                                      build version + protocol
 //
@@ -58,14 +66,21 @@
 // --retries N [--timeout-ms M]` turns the client into a reconnecting one
 // with idempotent resubmit keyed by mission name.
 
+#include <poll.h>
+#include <termios.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "ehw/analysis/campaign.hpp"
 #include "ehw/analysis/report.hpp"
@@ -78,6 +93,7 @@
 #include "ehw/img/noise.hpp"
 #include "ehw/img/pgm_io.hpp"
 #include "ehw/img/synthetic.hpp"
+#include "ehw/obs/trace.hpp"
 #include "ehw/pe/liveness.hpp"
 #include "ehw/platform/evolution_driver.hpp"
 #include "ehw/resources/floorplan.hpp"
@@ -87,6 +103,7 @@
 #include "ehw/sched/missions.hpp"
 #include "ehw/svc/client.hpp"
 #include "ehw/svc/forwarder.hpp"
+#include "ehw/svc/metrics_http.hpp"
 #include "ehw/svc/server.hpp"
 
 namespace {
@@ -110,10 +127,11 @@ constexpr const char* kBatchUsage =
 constexpr const char* kServeUsage =
     "mpa serve [--port N] [--address A] [--pools N] [--arrays-per-pool N] "
     "[--arrays N] [--cache N] [--max-jobs N] [--max-inflight N] "
-    "[--journal DIR] [--checkpoint-every N] [--no-warm] [--fault-plan SPEC]";
+    "[--journal DIR] [--checkpoint-every N] [--no-warm] [--fault-plan SPEC] "
+    "[--metrics-port N]";
 constexpr const char* kForwardUsage =
     "mpa forward [--port N] [--address A] [--poll-ms N] [--down-after N] "
-    "[--timeout-ms N] host:port[:journal] ...";
+    "[--timeout-ms N] [--metrics-port N] host:port[:journal] ...";
 constexpr const char* kSubmitUsage =
     "mpa submit --port N [--address A] <kind> <name> [key=value ...] "
     "[--detach] [--quiet] [--retries N] [--timeout-ms N] | "
@@ -135,21 +153,25 @@ constexpr const char* kRestoreUsage =
     "mpa restore --from ck.json [--lanes N]";
 constexpr const char* kHealthUsage =
     "mpa health --port N [--address A] [--cluster]";
+constexpr const char* kTopUsage =
+    "mpa top --port N [--address A] [--cluster] [--interval MS] [--count N]";
+constexpr const char* kTraceUsage =
+    "mpa trace [OUT.json] --port N [--address A] [--arm|--disarm] [--clear]";
 constexpr const char* kDemoUsage = "mpa demo [--size N] [--noise D] [--seed N]";
 
 void print_usage(std::FILE* out) {
   std::fprintf(out,
                "usage: mpa <info|evolve|filter|schematic|campaign|batch|serve|"
                "forward|submit|result|ps|stats|cancel|drain|checkpoint|"
-               "restore|health|demo|version> [options]\n"
+               "restore|health|top|trace|demo|version> [options]\n"
                "  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n"
-               "  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n"
+               "  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n"
                "  mpa version\n",
                kInfoUsage, kEvolveUsage, kFilterUsage, kSchematicUsage,
                kCampaignUsage, kBatchUsage, kServeUsage, kForwardUsage,
                kSubmitUsage, kResultUsage, kPsUsage, kStatsUsage,
                kCancelUsage, kDrainUsage, kCheckpointUsage, kRestoreUsage,
-               kHealthUsage, kDemoUsage);
+               kHealthUsage, kTopUsage, kTraceUsage, kDemoUsage);
 }
 
 int usage() {
@@ -449,8 +471,30 @@ void arm_fault_plan(const Cli& cli) {
               spec.c_str());
 }
 
+/// Shared --metrics-port handling for serve/forward: binds the
+/// Prometheus endpoint (0 = ephemeral) and prints the scrape URL —
+/// scripts parse the port from that line, like the listening line.
+std::unique_ptr<svc::MetricsHttp> make_metrics_endpoint(
+    const Cli& cli, const char* cmd_usage, const char* daemon,
+    const std::string& address, std::function<std::string()> producer) {
+  if (!cli.has("metrics-port")) return nullptr;
+  const std::int64_t port = cli.get_int("metrics-port", 0);
+  if (port < 0 || port > 65535) {
+    fail("invalid --metrics-port (0 = ephemeral, else 1-65535)", cmd_usage);
+  }
+  auto endpoint = std::make_unique<svc::MetricsHttp>(
+      address, static_cast<std::uint16_t>(port), std::move(producer));
+  std::printf("mpa %s: metrics on http://%s:%u/metrics\n", daemon,
+              address.c_str(), static_cast<unsigned>(endpoint->port()));
+  return endpoint;
+}
+
 int cmd_serve(const Cli& cli) {
   arm_fault_plan(cli);
+  // The daemon always records spans — the per-thread rings are near-free
+  // and `mpa trace` must have data on demand. Benches and library
+  // embedders construct Server directly and stay disarmed.
+  obs::Tracer::global().arm();
   svc::ServerConfig config;
   config.address = cli.get("address", "127.0.0.1");
   const std::int64_t port = cli.get_int("port", 0);
@@ -489,6 +533,9 @@ int cmd_serve(const Cli& cli) {
               static_cast<unsigned>(server.port()),
               server.group().pool_count(), server.group().arrays_per_pool(),
               svc::kProtocolVersion, kVersion);
+  const std::unique_ptr<svc::MetricsHttp> metrics = make_metrics_endpoint(
+      cli, kServeUsage, "serve", server.config().address,
+      [&server] { return server.metrics_text(); });
   if (!server.config().journal_dir.empty()) {
     const svc::JournalStats journal = server.journal_stats();
     std::printf(
@@ -580,6 +627,9 @@ int cmd_forward(const Cli& cli) {
               static_cast<unsigned>(forwarder.port()),
               forwarder.config().backends.size(), boot.backends_up,
               svc::kProtocolVersion, kVersion);
+  const std::unique_ptr<svc::MetricsHttp> metrics = make_metrics_endpoint(
+      cli, kForwardUsage, "forward", forwarder.config().address,
+      [&forwarder] { return forwarder.metrics_text(); });
   std::printf("mpa forward: submit with `mpa submit --port %u <kind> <name> "
               "[key=value ...]`, stop with `mpa drain --port %u --wait`\n",
               static_cast<unsigned>(forwarder.port()),
@@ -612,6 +662,22 @@ void print_placement(const Json* placement, const char* shard_noun) {
       static_cast<unsigned long long>(
           placement->get_number("affinity_hits", 0)),
       static_cast<unsigned long long>(placement->get_number("spills", 0)));
+}
+
+/// "p50 1.2ms / p99 8.4ms" for one histogram summary in the stats
+/// response's telemetry section; "-" while it has no samples.
+std::string hist_brief(const Json* telemetry, const char* key) {
+  const Json* hist = telemetry != nullptr ? telemetry->get(key) : nullptr;
+  if (hist == nullptr ||
+      static_cast<std::uint64_t>(hist->get_number("count", 0)) == 0) {
+    return "-";
+  }
+  return "p50 " +
+         format_duration_ns(
+             static_cast<std::uint64_t>(hist->get_number("p50_ns", 0))) +
+         " / p99 " +
+         format_duration_ns(
+             static_cast<std::uint64_t>(hist->get_number("p99_ns", 0)));
 }
 
 int cmd_stats(const Cli& cli) {
@@ -697,6 +763,11 @@ int cmd_stats(const Cli& cli) {
         static_cast<unsigned long long>(cache->get_number("evictions", 0)),
         100.0 * memo->get_number("hits", 0) / std::max(1.0, memo_total),
         static_cast<unsigned long long>(memo->get_number("evictions", 0)));
+  }
+  if (const Json* telemetry = stats.get("telemetry"); telemetry != nullptr) {
+    std::printf("latency: submit->ack %s | mission wall %s\n",
+                hist_brief(telemetry, "submit_ack_latency").c_str(),
+                hist_brief(telemetry, "mission_wall_time").c_str());
   }
   return 0;
 }
@@ -1030,8 +1101,8 @@ int cmd_ps(const Cli& cli) {
   svc::Client client = make_client(cli, kPsUsage);
   const Json list = client.list();
   const Json stats = client.stats();
-  std::vector<std::string> columns = {"job",    "name",  "kind",
-                                      "lanes",  "status", "waves"};
+  std::vector<std::string> columns = {"job",   "name",   "kind",
+                                      "lanes", "status", "waves", "age"};
   if (cluster) columns.push_back("backend");
   Table table(columns);
   const Json* jobs = list.get("jobs");
@@ -1045,7 +1116,13 @@ int cmd_ps(const Cli& cli) {
               static_cast<std::uint64_t>(entry.get_number("lanes", 0))),
           entry.get_string("status", "?"),
           Table::integer(
-              static_cast<std::uint64_t>(entry.get_number("waves", 0)))};
+              static_cast<std::uint64_t>(entry.get_number("waves", 0))),
+          // Jobs replayed from an older daemon incarnation carry no
+          // admission stamp — age is unknowable, not zero.
+          entry.get("age_ms") != nullptr
+              ? format_duration_ms(static_cast<std::uint64_t>(
+                    entry.get_number("age_ms", 0)))
+              : "-"};
       if (cluster) {
         row.push_back(entry.get("backend") != nullptr
                           ? Table::integer(static_cast<std::uint64_t>(
@@ -1158,9 +1235,11 @@ int cmd_health(const Cli& cli) {
     return 1;
   }
   if (cluster) {
-    // Forwarder view: one row per backend daemon.
-    Table table({"backend", "endpoint", "reachable", "healthy",
-                 "quarantined", "preempted", "migrated"});
+    // Forwarder view: one row per backend daemon. "STALE" flags a
+    // backend that answers but whose last good stats poll is older than
+    // 2x the poll cadence — suspect placement data, not an outage.
+    Table table({"backend", "endpoint", "reachable", "poll age", "stale",
+                 "healthy", "quarantined", "preempted", "migrated"});
     const Json* backends = response.get("backends");
     if (backends != nullptr && backends->is_array()) {
       for (const Json& entry : backends->as_array()) {
@@ -1171,6 +1250,13 @@ int cmd_health(const Cli& cli) {
                  Table::integer(static_cast<std::uint64_t>(
                      entry.get_number("port", 0))),
              entry.get_bool("reachable", false) ? "yes" : "NO",
+             entry.get("poll_age_ms") != nullptr
+                 ? format_duration_ms(static_cast<std::uint64_t>(
+                       entry.get_number("poll_age_ms", 0)))
+                 : "-",
+             entry.get("stale") != nullptr
+                 ? (entry.get_bool("stale", false) ? "STALE" : "no")
+                 : "-",
              Table::integer(
                  static_cast<std::uint64_t>(entry.get_number("healthy", 0))),
              Table::integer(static_cast<std::uint64_t>(
@@ -1183,11 +1269,12 @@ int cmd_health(const Cli& cli) {
     }
     table.print(std::cout);
     std::printf(
-        "cluster: healthy %llu, quarantined %llu, unreachable backends "
-        "%llu\n",
+        "cluster: healthy %llu, quarantined %llu, stale backends %llu, "
+        "unreachable backends %llu\n",
         static_cast<unsigned long long>(response.get_number("healthy", 0)),
         static_cast<unsigned long long>(
             response.get_number("quarantined", 0)),
+        static_cast<unsigned long long>(response.get_number("stale", 0)),
         static_cast<unsigned long long>(
             response.get_number("unreachable", 0)));
     return response.get_number("unreachable", 0) == 0 ? 0 : 1;
@@ -1231,6 +1318,322 @@ int cmd_health(const Cli& cli) {
                         counters.get_number("fired", 0)));
       }
     }
+  }
+  return 0;
+}
+
+/// mpa trace: the `trace` protocol op. Ops run in dump-before-clear
+/// order, so `mpa trace out.json --clear` snapshots the rings and then
+/// resets them — the natural profiling loop.
+int cmd_trace(const Cli& cli) {
+  const bool arm = bare_flag(cli, "arm", kTraceUsage);
+  const bool disarm = bare_flag(cli, "disarm", kTraceUsage);
+  const bool clear = bare_flag(cli, "clear", kTraceUsage);
+  if (arm && disarm) fail("--arm and --disarm conflict", kTraceUsage);
+  const std::vector<std::string>& args = cli.positional();
+  if (args.size() > 1) fail("expected at most one OUT.json", kTraceUsage);
+  const std::string out_path = args.empty() ? "" : args.front();
+  if (out_path.empty() && !arm && !disarm && !clear) {
+    fail("nothing to do (give OUT.json and/or --arm/--disarm/--clear)",
+         kTraceUsage);
+  }
+
+  svc::Client client = make_client(cli, kTraceUsage);
+  const auto trace_op = [&client](const char* mode) -> Json {
+    Json request = Json::object();
+    request.set("op", "trace");
+    request.set("mode", mode);
+    Json response = client.request(request);
+    if (!response.get_bool("ok", false)) {
+      fail("trace " + std::string(mode) + " failed: " +
+           response.get_string("error", "unknown error"));
+    }
+    return response;
+  };
+
+  Json last = Json::object();
+  if (arm) last = trace_op("arm");
+  if (disarm) last = trace_op("disarm");
+  if (!out_path.empty()) {
+    last = trace_op("dump");
+    const Json* trace = last.get("trace");
+    if (trace == nullptr) fail("daemon sent no trace section");
+    std::ofstream out(out_path);
+    if (!out) fail("cannot open " + out_path + " for writing");
+    out << trace->dump() << "\n";
+    out.close();
+    if (!out) fail("short write to " + out_path);
+    const Json* events = trace->get("traceEvents");
+    const std::size_t spans =
+        events != nullptr && events->is_array() ? events->as_array().size()
+                                                : 0;
+    std::printf("mpa trace: wrote %zu spans to %s (load into "
+                "chrome://tracing or ui.perfetto.dev)\n",
+                spans, out_path.c_str());
+  }
+  if (clear) last = trace_op("clear");
+  std::printf("mpa trace: tracer %s | %llu spans in the rings, %llu "
+              "dropped\n",
+              last.get_bool("armed", false) ? "armed" : "disarmed",
+              static_cast<unsigned long long>(
+                  last.get_number("recorded", 0)),
+              static_cast<unsigned long long>(last.get_number("dropped", 0)));
+  return 0;
+}
+
+/// Puts stdin into raw no-echo per-key mode for `mpa top` so a bare `q`
+/// quits; the saved state is restored on destruction (including during
+/// the unwind when the daemon hangs up mid-watch). A non-tty stdin (CI,
+/// pipes) is left alone and top degrades to plain interval sleeps.
+class RawStdin {
+ public:
+  RawStdin() {
+    if (::isatty(STDIN_FILENO) != 1) return;
+    if (::tcgetattr(STDIN_FILENO, &saved_) != 0) return;
+    termios raw = saved_;
+    raw.c_lflag &= ~static_cast<tcflag_t>(ICANON | ECHO);
+    raw.c_cc[VMIN] = 0;
+    raw.c_cc[VTIME] = 0;
+    active_ = ::tcsetattr(STDIN_FILENO, TCSANOW, &raw) == 0;
+  }
+  ~RawStdin() {
+    if (active_) ::tcsetattr(STDIN_FILENO, TCSANOW, &saved_);
+  }
+  RawStdin(const RawStdin&) = delete;
+  RawStdin& operator=(const RawStdin&) = delete;
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+ private:
+  termios saved_{};
+  bool active_ = false;
+};
+
+/// Sleeps up to `ms` between frames; true means the user pressed q.
+/// (Ctrl-C still raises SIGINT — raw mode keeps ISIG.)
+bool top_wait_quit(bool keys, int ms) {
+  if (!keys) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    return false;
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  for (;;) {
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - std::chrono::steady_clock::now())
+            .count();
+    if (left <= 0) return false;
+    pollfd pfd{STDIN_FILENO, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(left));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (ready == 0) return false;  // interval elapsed: next frame
+    char c = 0;
+    if (::read(STDIN_FILENO, &c, 1) == 1 && (c == 'q' || c == 'Q')) {
+      return true;
+    }
+  }
+}
+
+/// "p50 412us / p99 1.3ms" from one of the stats op's telemetry
+/// summaries; "-" until the histogram has samples.
+/// One `mpa top` frame, composed off-screen and emitted as a single
+/// write after the clear escape so the redraw doesn't flicker. `health`
+/// is non-null only for the forwarder view (stale backend flags).
+std::string render_top_frame(const Json& stats, const Json& list,
+                             const Json* health, const std::string& endpoint,
+                             double interval_s, bool keys) {
+  std::string out = "mpa top - " + endpoint + " - every " +
+                    Table::num(interval_s, 1) + "s" +
+                    (keys ? " - q quits" : "") + "\n\n";
+  char line[512];
+  const bool cluster_view = stats.get_string("role", "") == "forwarder";
+  if (cluster_view) {
+    Table table({"backend", "endpoint", "up", "stale", "poll age", "free",
+                 "running", "queued", "done", "failed"});
+    const Json* cluster = stats.get("cluster");
+    const Json* backends =
+        cluster != nullptr ? cluster->get("backends") : nullptr;
+    // The health op's backend rows are index-aligned with the stats
+    // op's (both walk the configured backend list in order).
+    const Json* health_backends =
+        health != nullptr ? health->get("backends") : nullptr;
+    if (backends != nullptr && backends->is_array()) {
+      const auto& rows = backends->as_array();
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Json& row = rows[i];
+        std::string stale = "-";
+        if (health_backends != nullptr && health_backends->is_array() &&
+            i < health_backends->as_array().size()) {
+          const Json& h = health_backends->as_array()[i];
+          if (h.get("stale") != nullptr) {
+            stale = h.get_bool("stale", false) ? "STALE" : "no";
+          }
+        }
+        table.add_row(
+            {Table::integer(
+                 static_cast<std::uint64_t>(row.get_number("backend", 0))),
+             row.get_string("address", "?") + ":" +
+                 Table::integer(static_cast<std::uint64_t>(
+                     row.get_number("port", 0))),
+             row.get_bool("reachable", false) ? "yes" : "NO", stale,
+             row.get("poll_age_ms") != nullptr
+                 ? format_duration_ms(static_cast<std::uint64_t>(
+                       row.get_number("poll_age_ms", 0)))
+                 : "-",
+             Table::integer(static_cast<std::uint64_t>(
+                 row.get_number("free_arrays", 0))),
+             Table::integer(
+                 static_cast<std::uint64_t>(row.get_number("running", 0))),
+             Table::integer(
+                 static_cast<std::uint64_t>(row.get_number("queued", 0))),
+             Table::integer(
+                 static_cast<std::uint64_t>(row.get_number("done", 0))),
+             Table::integer(static_cast<std::uint64_t>(
+                 row.get_number("failed", 0)))});
+      }
+    }
+    out += table.to_string();
+    if (const Json* fwd = stats.get("forwarder"); fwd != nullptr) {
+      std::snprintf(
+          line, sizeof(line),
+          "forwarder: %llu submitted, %llu rejected | %llu failovers "
+          "(%llu resumed) | %llu routes, %llu backends up%s\n",
+          static_cast<unsigned long long>(fwd->get_number("submitted", 0)),
+          static_cast<unsigned long long>(fwd->get_number("rejected", 0)),
+          static_cast<unsigned long long>(fwd->get_number("failovers", 0)),
+          static_cast<unsigned long long>(
+              fwd->get_number("failover_resumed", 0)),
+          static_cast<unsigned long long>(fwd->get_number("routes", 0)),
+          static_cast<unsigned long long>(
+              fwd->get_number("backends_up", 0)),
+          fwd->get_bool("draining", false) ? " (draining)" : "");
+      out += line;
+    }
+  } else {
+    const Json* pool = stats.get("pool");
+    const Json* service = stats.get("service");
+    if (pool != nullptr && service != nullptr) {
+      std::snprintf(
+          line, sizeof(line),
+          "pool: %llu arrays (%llu free) | running %llu, queued %llu | "
+          "inflight %llu/%llu%s | submitted %llu, rejected %llu\n",
+          static_cast<unsigned long long>(pool->get_number("arrays", 0)),
+          static_cast<unsigned long long>(
+              pool->get_number("free_arrays", 0)),
+          static_cast<unsigned long long>(pool->get_number("running", 0)),
+          static_cast<unsigned long long>(pool->get_number("queued", 0)),
+          static_cast<unsigned long long>(
+              service->get_number("inflight", 0)),
+          static_cast<unsigned long long>(
+              service->get_number("max_inflight", 0)),
+          service->get_bool("draining", false) ? " (draining)" : "",
+          static_cast<unsigned long long>(
+              service->get_number("submitted", 0)),
+          static_cast<unsigned long long>(
+              service->get_number("rejected", 0)));
+      out += line;
+    }
+    const Json* telemetry = stats.get("telemetry");
+    out += "latency: submit->ack " +
+           hist_brief(telemetry, "submit_ack_latency") + " | mission wall " +
+           hist_brief(telemetry, "mission_wall_time") + "\n";
+    const Json* cache = stats.get("cache");
+    const Json* memo = stats.get("memo");
+    if (cache != nullptr && memo != nullptr) {
+      const double cache_total =
+          cache->get_number("hits", 0) + cache->get_number("misses", 0);
+      const double memo_total =
+          memo->get_number("hits", 0) + memo->get_number("misses", 0);
+      std::snprintf(line, sizeof(line),
+                    "cache: %.1f%% hit | memo: %.1f%% hit | tracer %s\n",
+                    100.0 * cache->get_number("hits", 0) /
+                        std::max(1.0, cache_total),
+                    100.0 * memo->get_number("hits", 0) /
+                        std::max(1.0, memo_total),
+                    telemetry != nullptr &&
+                            telemetry->get_bool("trace_armed", false)
+                        ? "armed"
+                        : "disarmed");
+      out += line;
+    }
+  }
+  out += "\n";
+  const Json* jobs = list.get("jobs");
+  if (jobs != nullptr && jobs->is_array()) {
+    const auto& rows = jobs->as_array();
+    // Newest page of jobs; older history scrolls off like top(1).
+    constexpr std::size_t kTopJobs = 15;
+    const std::size_t first =
+        rows.size() > kTopJobs ? rows.size() - kTopJobs : 0;
+    std::vector<std::string> columns = {"job",   "name",  "kind",
+                                        "status", "waves", "age"};
+    if (cluster_view) columns.push_back("backend");
+    Table table(columns);
+    for (std::size_t i = first; i < rows.size(); ++i) {
+      const Json& entry = rows[i];
+      std::vector<std::string> row = {
+          Table::integer(
+              static_cast<std::uint64_t>(entry.get_number("job", 0))),
+          entry.get_string("name", "?"), entry.get_string("kind", "?"),
+          entry.get_string("status", "?"),
+          Table::integer(
+              static_cast<std::uint64_t>(entry.get_number("waves", 0))),
+          entry.get("age_ms") != nullptr
+              ? format_duration_ms(static_cast<std::uint64_t>(
+                    entry.get_number("age_ms", 0)))
+              : "-"};
+      if (cluster_view) {
+        row.push_back(entry.get("backend") != nullptr
+                          ? Table::integer(static_cast<std::uint64_t>(
+                                entry.get_number("backend", 0)))
+                          : "-");
+      }
+      table.add_row(row);
+    }
+    if (first > 0) {
+      out += Table::integer(first) + " older jobs not shown\n";
+    }
+    out += table.to_string();
+  }
+  return out;
+}
+
+int cmd_top(const Cli& cli) {
+  const bool cluster = bare_flag(cli, "cluster", kTopUsage);
+  const std::int64_t interval = cli.get_int("interval", 1000);
+  if (interval < 50) fail("--interval must be >= 50 ms", kTopUsage);
+  const std::int64_t count = cli.get_int("count", 0);
+  if (count < 0) fail("--count must be >= 0 (0 = run until q)", kTopUsage);
+  const std::uint16_t port = require_port(cli, kTopUsage);
+  const std::string address = cli.get("address", "127.0.0.1");
+  const std::string endpoint = address + ":" + std::to_string(port);
+  svc::Client client = make_client(cli, kTopUsage);
+  RawStdin keys;
+  for (std::int64_t frame = 0; count == 0 || frame < count; ++frame) {
+    if (frame != 0 &&
+        top_wait_quit(keys.active(), static_cast<int>(interval))) {
+      break;
+    }
+    const Json stats = client.stats();
+    const Json list = client.list();
+    Json health = Json::object();
+    const bool want_health =
+        cluster || stats.get_string("role", "") == "forwarder";
+    if (want_health) {
+      Json request = Json::object();
+      request.set("op", "health");
+      health = client.request(request);
+    }
+    const std::string body =
+        render_top_frame(stats, list, want_health ? &health : nullptr,
+                         endpoint, static_cast<double>(interval) / 1000.0,
+                         keys.active());
+    std::fputs("\x1b[2J\x1b[H", stdout);  // clear screen, cursor home
+    std::fputs(body.c_str(), stdout);
+    std::fflush(stdout);
   }
   return 0;
 }
@@ -1288,6 +1691,8 @@ int main(int argc, char** argv) {
     if (cmd == "checkpoint") return cmd_checkpoint(cli);
     if (cmd == "restore") return cmd_restore(cli);
     if (cmd == "health") return cmd_health(cli);
+    if (cmd == "top") return cmd_top(cli);
+    if (cmd == "trace") return cmd_trace(cli);
     if (cmd == "demo") return cmd_demo(cli);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mpa %s: %s\n", cmd.c_str(), e.what());

@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# End-to-end telemetry smoke test: start `mpa serve` with the Prometheus
+# endpoint on an ephemeral port, submit a mission, scrape /metrics and
+# require the mission counters/histograms to have moved, render one
+# `mpa top` frame, dump the span rings with `mpa trace` and validate the
+# output as Chrome trace-event JSON.
+#
+# Usage: telemetry_smoke.sh /path/to/mpa [workdir]
+set -u
+
+MPA=${1:?usage: telemetry_smoke.sh /path/to/mpa [workdir]}
+WORKDIR=${2:-.}
+LOG="$WORKDIR/telemetry_smoke_serve.log"
+SCRAPE="$WORKDIR/telemetry_smoke_scrape.txt"
+TRACE="$WORKDIR/telemetry_smoke_trace.json"
+TOP="$WORKDIR/telemetry_smoke_top.txt"
+
+SERVER_PID=
+cleanup() {
+  if [ -n "${SERVER_PID:-}" ]; then
+    kill "$SERVER_PID" 2>/dev/null
+    wait "$SERVER_PID" 2>/dev/null
+  fi
+}
+trap cleanup EXIT
+
+fail() {
+  echo "telemetry_smoke: $*" >&2
+  exit 1
+}
+
+# Plain-bash HTTP GET (the CI image need not ship curl): /dev/tcp plus a
+# HTTP/1.0 request; MetricsHttp answers one response and closes.
+scrape_metrics() {
+  local port=$1 out=$2
+  exec 3<>"/dev/tcp/127.0.0.1/$port" || return 1
+  printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3
+  cat <&3 >"$out"
+  exec 3<&- 3>&-
+}
+
+rm -f "$LOG" "$SCRAPE" "$TRACE" "$TOP"
+"$MPA" serve --arrays 2 --max-inflight 4 --metrics-port 0 >"$LOG" 2>&1 &
+SERVER_PID=$!
+
+# The daemon prints the service port and the metrics port; wait for both.
+PORT=
+MPORT=
+for _ in $(seq 1 300); do
+  PORT=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "$LOG" 2>/dev/null | head -1)
+  MPORT=$(sed -n 's/.*metrics on http:\/\/[0-9.]*:\([0-9]*\).*/\1/p' "$LOG" 2>/dev/null | head -1)
+  [ -n "$PORT" ] && [ -n "$MPORT" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || fail "daemon died: $(cat "$LOG" 2>/dev/null)"
+  sleep 0.1
+done
+[ -n "$PORT" ] || fail "daemon never reported its port"
+[ -n "$MPORT" ] || fail "daemon never reported its metrics port"
+
+# Idle scrape: the endpoint answers with zeroed mission counters.
+scrape_metrics "$MPORT" "$SCRAPE" || fail "cannot scrape :$MPORT"
+grep -q "^# TYPE mpa_missions_submitted_total counter" "$SCRAPE" ||
+  fail "no counter TYPE line in idle scrape: $(head -5 "$SCRAPE")"
+grep -q "^mpa_missions_submitted_total 0$" "$SCRAPE" ||
+  fail "idle scrape should report 0 submissions"
+
+"$MPA" submit --port "$PORT" denoise tsmoke lanes=1 generations=8 size=16 \
+  >/dev/null 2>&1 || fail "submit failed"
+
+# Post-mission scrape: counters moved, the latency histogram has samples
+# and the scrape-time gauges are present.
+scrape_metrics "$MPORT" "$SCRAPE" || fail "cannot re-scrape :$MPORT"
+grep -q "^mpa_missions_submitted_total 1$" "$SCRAPE" ||
+  fail "submitted counter did not move: $(grep mpa_missions "$SCRAPE")"
+grep -q "^mpa_submit_ack_latency_ns_count [1-9]" "$SCRAPE" ||
+  fail "submit latency histogram is empty"
+grep -q "^mpa_mission_wall_time_ns_count [1-9]" "$SCRAPE" ||
+  fail "mission wall-time histogram is empty"
+grep -q "^mpa_free_arrays " "$SCRAPE" || fail "no scrape-time gauges"
+grep -q "_bucket{le=\"+Inf\"}" "$SCRAPE" || fail "no +Inf histogram edge"
+
+# One mpa top frame over the same daemon (non-tty stdin: draws and exits).
+"$MPA" top --port "$PORT" --count 1 --interval 100 </dev/null >"$TOP" 2>&1 ||
+  fail "mpa top failed: $(cat "$TOP")"
+grep -q "pool:" "$TOP" || fail "top frame has no pool line: $(cat "$TOP")"
+grep -q "latency:" "$TOP" || fail "top frame has no latency line"
+grep -q "tsmoke" "$TOP" || fail "top frame does not list the job"
+
+# The ps age column rides the new additive age_ms field.
+"$MPA" ps --port "$PORT" | grep -q "age" || fail "ps has no age column"
+
+# Dump the span rings and validate Chrome trace-event JSON shape.
+"$MPA" trace "$TRACE" --port "$PORT" >/dev/null || fail "trace dump failed"
+[ -s "$TRACE" ] || fail "trace dump is empty"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$TRACE" <<'EOF' || fail "trace JSON invalid"
+import json, sys
+with open(sys.argv[1]) as handle:
+    trace = json.load(handle)
+events = trace["traceEvents"]
+assert isinstance(events, list) and events, "no spans recorded"
+names = {e["name"] for e in events}
+for event in events:
+    assert event["ph"] == "X", event
+    assert "ts" in event and "dur" in event and "tid" in event, event
+# The daemon's submit handler must have traced itself.
+assert "submit" in names, sorted(names)
+EOF
+else
+  grep -q '"traceEvents":\[{' "$TRACE" || fail "no spans in trace dump"
+  grep -q '"ph":"X"' "$TRACE" || fail "no complete events in trace dump"
+fi
+
+# --clear resets the rings; an immediate dump is empty.
+"$MPA" trace --clear --port "$PORT" >/dev/null || fail "trace clear failed"
+"$MPA" trace "$TRACE" --port "$PORT" >/dev/null || fail "re-dump failed"
+grep -q '"traceEvents":\[\]' "$TRACE" || fail "clear left spans behind"
+
+"$MPA" drain --port "$PORT" --wait || fail "drain failed"
+wait "$SERVER_PID" || fail "daemon exited non-zero after drain"
+SERVER_PID=
+
+echo "telemetry_smoke: OK (service $PORT, metrics $MPORT)"
