@@ -28,6 +28,7 @@ constexpr const char* kSiteNames[kSiteCount] = {
     "sock_read_error", "sock_read_stall", "sock_write_error",
     "sock_write_stall", "journal_fsync",  "checkpoint_io",
     "task_throw",       "task_delay",     "lane_seu",
+    "poll_error",       "backend_hello",  "oversize_line",
 };
 
 [[nodiscard]] bool parse_u64(std::string_view text, std::uint64_t& out) {
@@ -230,6 +231,8 @@ std::uint64_t fired(Site site) noexcept {
 }
 
 std::uint32_t stall_ms() noexcept { return g_plan.stall_ms; }
+
+std::uint64_t plan_seed() noexcept { return g_plan.seed; }
 
 ScopedPlan::ScopedPlan(std::string_view spec) {
   FaultPlan plan;

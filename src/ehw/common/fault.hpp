@@ -45,6 +45,9 @@ enum class Site : std::uint8_t {
   kTaskThrow,          // a scheduled job task throws on entry
   kTaskDelay,          // a work-steal task delayed by stall_ms
   kLaneSeu,            // a leased array takes an SEU mid-mission
+  kPollError,          // a forwarder backend stats poll fails outright
+  kBackendHello,       // a backend identity probe (hello/epoch) fails
+  kOversizeLine,       // read_line treats the next frame as oversized
   kCount,
 };
 inline constexpr std::size_t kSiteCount = static_cast<std::size_t>(Site::kCount);
@@ -104,6 +107,10 @@ void maybe_stall(Site site) noexcept;
 [[nodiscard]] std::uint64_t hits(Site site) noexcept;
 [[nodiscard]] std::uint64_t fired(Site site) noexcept;
 [[nodiscard]] std::uint32_t stall_ms() noexcept;
+/// Seed of the installed plan (default-plan seed when none is armed).
+/// Consumers that want deterministic jitter under EHW_FAULT_PLAN key
+/// their hash on this.
+[[nodiscard]] std::uint64_t plan_seed() noexcept;
 
 /// RAII install/uninstall for tests.
 class ScopedPlan {

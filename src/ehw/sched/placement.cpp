@@ -130,6 +130,19 @@ PlacementPolicy::Decision PlacementPolicy::place(
   return decision;
 }
 
+bool PlacementPolicy::saturated(const std::vector<PlacementTarget>& targets,
+                                std::size_t lanes) {
+  for (const PlacementTarget& target : targets) {
+    if (!target.reachable) continue;      // cold: can't take anything
+    if (target.healthy() < lanes) continue;  // can never hold the lease
+    // An empty queue means the next submit is at most one mission away
+    // from lanes — running-at-capacity is busy, not saturated. Only a
+    // target that already has work STACKED counts toward brownout.
+    if (target.queued == 0) return false;
+  }
+  return true;
+}
+
 void PlacementPolicy::forget_target(std::size_t target) {
   std::lock_guard lock(mutex_);
   for (auto it = affinity_.begin(); it != affinity_.end();) {

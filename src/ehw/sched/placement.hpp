@@ -112,6 +112,15 @@ class PlacementPolicy {
   [[nodiscard]] static double score(const PlacementTarget& target,
                                     std::size_t lanes, bool warm);
 
+  /// True when every target is unreachable (cold) or already has work
+  /// STACKED in its queue (saturated) — a new `lanes`-wide mission could
+  /// only land behind someone else's backlog. Running at capacity with
+  /// an empty queue is busy, not saturated: those lanes free up on their
+  /// own. Brownout admission sheds low-priority submits while this
+  /// holds.
+  [[nodiscard]] static bool saturated(
+      const std::vector<PlacementTarget>& targets, std::size_t lanes);
+
  private:
   std::size_t affinity_capacity_;
   mutable std::mutex mutex_;

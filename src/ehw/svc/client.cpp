@@ -1,5 +1,6 @@
 #include "ehw/svc/client.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 #include <thread>
@@ -52,6 +53,11 @@ Client::Client(std::uint16_t port, const std::string& address,
         ", this client speaks " + std::to_string(kProtocolVersion));
   }
   server_version_ = greeting.get_string("version", "?");
+  server_instance_id_ = greeting.get_string("instance_id", "");
+  const double epoch = greeting.get_number("epoch", 0);
+  if (epoch >= 0 && json_number_is_exact_int(epoch)) {
+    server_epoch_ = static_cast<std::uint64_t>(epoch);
+  }
 
   Json hello = Json::object();
   hello.set("op", "hello");
@@ -90,6 +96,8 @@ Client::Submitted Client::submit(const sched::MissionSpec& spec) {
   } else {
     submitted.error = response.get_string("error", "unknown error");
     submitted.code = response.get_string("code", "");
+    submitted.retry_after_ms =
+        static_cast<std::uint64_t>(response.get_number("retry_after_ms", 0));
   }
   return submitted;
 }
@@ -244,14 +252,33 @@ Json with_retry(std::uint16_t port, const std::string& address,
   const int attempts = policy.retries >= 0 ? policy.retries + 1 : 1;
   int delay_ms = policy.backoff_ms > 0 ? policy.backoff_ms : 100;
   std::string last_error = "no attempt made";
+  // Serviced-but-rejected queue_full responses with a retry_after_ms
+  // hint wait out the hint and try again: admission was refused, so
+  // nothing ran and the retry is as idempotent as a reconnect. The last
+  // attempt's rejection is returned verbatim so callers see the code.
+  std::uint64_t hint_ms = 0;
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt != 0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      const std::uint64_t wait_ms =
+          std::max<std::uint64_t>(hint_ms, static_cast<std::uint64_t>(delay_ms));
+      std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
       if (delay_ms < 60'000) delay_ms *= 2;  // cap the exponential climb
     }
+    hint_ms = 0;
     try {
       Client client(port, address, policy.io_timeout_ms);
-      return op(client);
+      Json response = op(client);
+      if (!response.get_bool("ok", false) &&
+          response.get_string("code", "") == "queue_full" &&
+          attempt + 1 < attempts) {
+        const double hint = response.get_number("retry_after_ms", 0);
+        if (hint > 0) {
+          hint_ms = static_cast<std::uint64_t>(hint);
+          last_error = response.get_string("error", "queue_full");
+          continue;
+        }
+      }
+      return response;
     } catch (const std::exception& e) {
       last_error = e.what();
     }

@@ -37,12 +37,23 @@ class Client {
   [[nodiscard]] const std::string& server_version() const noexcept {
     return server_version_;
   }
+  /// Membership identity from the greeting: a persistent per-daemon id
+  /// and a restart-bumped epoch (empty/0 against pre-epoch daemons and
+  /// forwarders, which have no single backend identity).
+  [[nodiscard]] const std::string& server_instance_id() const noexcept {
+    return server_instance_id_;
+  }
+  [[nodiscard]] std::uint64_t server_epoch() const noexcept {
+    return server_epoch_;
+  }
 
   struct Submitted {
     bool ok = false;
     std::uint64_t job = 0;
     std::string error;  // server message when !ok
     std::string code;   // machine tag: queue_full, draining, bad_spec...
+    /// Backpressure hint on a queue_full rejection (0 = none given).
+    std::uint64_t retry_after_ms = 0;
   };
   [[nodiscard]] Submitted submit(const sched::MissionSpec& spec);
 
@@ -107,6 +118,8 @@ class Client {
 
   LineChannel channel_;
   std::string server_version_;
+  std::string server_instance_id_;
+  std::uint64_t server_epoch_ = 0;
 };
 
 /// Reconnect policy for the retrying helpers below.
@@ -122,8 +135,12 @@ struct RetryPolicy {
 /// Runs `op` against a fresh connection, reconnecting with exponential
 /// backoff when the daemon is unreachable or the connection is lost
 /// mid-call (including io_timeout_ms expiries). `op` MUST be idempotent:
-/// after a lost ack it runs again against a new connection. Throws
-/// std::runtime_error once every attempt is exhausted.
+/// after a lost ack it runs again against a new connection. A returned
+/// queue_full rejection carrying a `retry_after_ms` hint is also
+/// retried (admission refused = nothing ran = idempotent), sleeping
+/// max(hint, backoff); the final attempt's rejection passes through so
+/// callers still see the code. Throws std::runtime_error once every
+/// attempt is exhausted without reaching the service.
 [[nodiscard]] Json with_retry(std::uint16_t port, const std::string& address,
                               const RetryPolicy& policy,
                               const std::function<Json(Client&)>& op);

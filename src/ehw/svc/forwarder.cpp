@@ -4,7 +4,9 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "ehw/common/fault.hpp"
 #include "ehw/common/persist.hpp"
+#include "ehw/common/rng.hpp"
 #include "ehw/common/version.hpp"
 #include "ehw/obs/trace.hpp"
 #include "ehw/sched/checkpoint_store.hpp"
@@ -42,7 +44,10 @@ Forwarder::Forwarder(ForwarderConfig config) : config_(std::move(config)) {
   }
   if (config_.poll_ms <= 0) config_.poll_ms = 250;
   if (config_.down_after <= 0) config_.down_after = 1;
-  backends_.resize(config_.backends.size());
+  for (const BackendConfig& backend : config_.backends) {
+    backend_configs_.push_back(backend);
+  }
+  backends_.resize(backend_configs_.size());
   // One synchronous poll round before the listener exists: the first
   // submit already has real capacity snapshots to place against, and
   // backends that are down at boot start down (no first-poll grace).
@@ -57,11 +62,16 @@ Forwarder::~Forwarder() { stop(); }
 
 void Forwarder::drain() {
   draining_.store(true, std::memory_order_relaxed);
-  for (std::size_t i = 0; i < backends_.size(); ++i) {
+  std::size_t members = 0;
+  {
+    std::lock_guard lock(state_mutex_);
+    members = backends_.size();
+  }
+  for (std::size_t i = 0; i < members; ++i) {
     bool reachable;
     {
       std::lock_guard lock(state_mutex_);
-      reachable = backends_[i].target.reachable;
+      reachable = backends_[i].target.reachable && !backends_[i].removed;
     }
     if (!reachable) continue;
     try {
@@ -103,10 +113,13 @@ ForwarderStats Forwarder::forwarder_stats() const {
   stats.rejected = m_rejected_.value();
   stats.failovers = m_failovers_.value();
   stats.failover_resumed = m_failover_resumed_.value();
+  stats.fences = m_fences_.value();
+  stats.rejoins = m_rejoins_.value();
+  stats.shed = m_shed_.value();
   std::lock_guard lock(state_mutex_);
   stats.routes = routes_.size();
   for (const BackendState& backend : backends_) {
-    if (backend.target.reachable) ++stats.backends_up;
+    if (!backend.removed && backend.target.reachable) ++stats.backends_up;
   }
   stats.draining = draining_.load(std::memory_order_relaxed);
   return stats;
@@ -132,6 +145,12 @@ void Forwarder::refresh_gauges() {
         .set(static_cast<double>(backend.target.queued));
     metrics_.gauge("mpa_backend_running" + label)
         .set(static_cast<double>(backend.target.running));
+    metrics_.gauge("mpa_backend_epoch" + label)
+        .set(static_cast<double>(backend.epoch));
+    metrics_.gauge("mpa_backend_fences" + label)
+        .set(static_cast<double>(backend.fences));
+    metrics_.gauge("mpa_backend_rejoins" + label)
+        .set(static_cast<double>(backend.rejoins));
   }
   metrics_.gauge("mpa_routes").set(static_cast<double>(routes_.size()));
 }
@@ -142,8 +161,13 @@ std::string Forwarder::metrics_text() {
 }
 
 Client Forwarder::quick_client(std::size_t backend) const {
-  const BackendConfig& config = config_.backends[backend];
+  const BackendConfig config = backend_config(backend);
   return Client(config.port, config.address, config_.io_timeout_ms);
+}
+
+BackendConfig Forwarder::backend_config(std::size_t backend) const {
+  std::lock_guard lock(state_mutex_);
+  return backend_configs_[backend];
 }
 
 // --- liveness + placement ---------------------------------------------------
@@ -157,62 +181,168 @@ void Forwarder::poll_loop() {
       });
     }
     if (stopping_.load(std::memory_order_relaxed)) return;
-    for (std::size_t i = 0; i < backends_.size(); ++i) poll_backend(i);
+    const std::uint64_t now_ns = obs::Tracer::now_ns();
+    std::vector<std::size_t> due;
+    {
+      std::lock_guard lock(state_mutex_);
+      for (std::size_t i = 0; i < backends_.size(); ++i) {
+        const BackendState& backend = backends_[i];
+        if (backend.removed) continue;
+        // Down backends re-poll on a jittered exponential schedule so a
+        // cluster-wide restart doesn't thundering-herd one survivor.
+        if (backend.down && now_ns < backend.next_poll_ns) continue;
+        due.push_back(i);
+      }
+    }
+    for (const std::size_t i : due) poll_backend(i);
   }
 }
 
 void Forwarder::poll_backend(std::size_t index) {
+  BackendConfig endpoint;
+  {
+    std::lock_guard lock(state_mutex_);
+    if (index >= backends_.size() || backends_[index].removed) return;
+    endpoint = backend_configs_[index];
+  }
   Json stats;
   bool ok = false;
+  std::string instance_id;
+  std::uint64_t epoch = 0;
   try {
-    Client client = quick_client(index);
+    if (fault::should_fire(fault::Site::kPollError)) {
+      throw std::runtime_error("injected poll_error fault");
+    }
+    Client client(endpoint.port, endpoint.address, config_.io_timeout_ms);
+    // The greeting doubles as the identity probe: instance_id + epoch.
+    instance_id = client.server_instance_id();
+    epoch = client.server_epoch();
+    if (fault::should_fire(fault::Site::kBackendHello)) {
+      throw std::runtime_error("injected backend_hello fault");
+    }
     stats = client.stats();
     ok = stats.get_bool("ok", false);
   } catch (const std::exception&) {
     ok = false;
   }
   std::vector<std::shared_ptr<Route>> orphans;
+  std::vector<std::string> fence;
+  bool revive = false;
+  bool cold = false;
+  std::uint64_t old_epoch = 0;
   {
     std::lock_guard lock(state_mutex_);
     BackendState& backend = backends_[index];
     ++backend.polls;
-    if (ok) {
-      backend.failures = 0;
-      backend.target.reachable = true;
-      backend.last_good_poll_ns = obs::Tracer::now_ns();
-      // The poll is the truth: whatever the backend accepted is in its
-      // own counters now, so the optimistic layer starts over.
-      backend.opt_lanes = 0;
-      backend.opt_jobs = 0;
-      if (const Json* pool = stats.get("pool"); pool != nullptr) {
-        backend.pool_json = *pool;
-        backend.target.total_arrays =
-            static_cast<std::size_t>(pool->get_number("arrays", 0));
-        backend.target.free_arrays =
-            static_cast<std::size_t>(pool->get_number("free_arrays", 0));
-        backend.target.quarantined =
-            static_cast<std::size_t>(pool->get_number("quarantined", 0));
-        backend.target.queued =
-            static_cast<std::size_t>(pool->get_number("queued", 0));
-        backend.target.running =
-            static_cast<std::size_t>(pool->get_number("running", 0));
-      }
-    } else {
+    if (!ok) {
       ++backend.failures;
-      if (backend.failures >= config_.down_after &&
-          backend.target.reachable) {
+      if (backend.down) {
+        // Still dead: stretch the re-poll schedule.
+        ++backend.backoff_round;
+        backend.next_poll_ns =
+            obs::Tracer::now_ns() +
+            backoff_delay_ns(index, backend.backoff_round);
+      } else if (backend.failures >= config_.down_after) {
         orphans = take_down_locked(index);
       }
+    } else if (backend.down) {
+      // Revival edge: do NOT trust the backend yet. The fence cancels
+      // (missions that failed over elsewhere while it was away) must
+      // land first — they run outside the lock below.
+      revive = true;
+      old_epoch = backend.epoch;
+      cold = backend.epoch != 0 && (epoch != backend.epoch ||
+                                    instance_id != backend.instance_id);
+      fence = backend.fence_names;
     }
   }
-  for (const std::shared_ptr<Route>& route : orphans) {
-    failover_route(route, index);
+  if (!ok) {
+    for (const std::shared_ptr<Route>& route : orphans) {
+      failover_route(route, index);
+    }
+    return;
+  }
+  if (revive && !fence.empty()) {
+    // Split-brain fence: exactly one execution may reach a terminal
+    // result, and the failed-over incarnation already owns each route.
+    // Cancel the zombie's copies BY NAME (names survive restarts and
+    // journal replays; backend job ids do not) before re-admission.
+    try {
+      Client client(endpoint.port, endpoint.address, config_.io_timeout_ms);
+      for (const std::string& name : fence) {
+        Json cancel = Json::object();
+        cancel.set("op", "cancel");
+        cancel.set("job", name);
+        // unknown_job is success too: the revived daemon never knew or
+        // already dropped the mission.
+        static_cast<void>(client.request(cancel));
+      }
+    } catch (const std::exception&) {
+      // The revival didn't hold still long enough to fence. Keep the
+      // names queued and the backend untrusted; the next poll retries.
+      return;
+    }
+  }
+  std::lock_guard lock(state_mutex_);
+  BackendState& backend = backends_[index];
+  if (revive) {
+    ++backend.rejoins;
+    m_rejoins_.add();
+    backend.fences += fence.size();
+    if (!fence.empty()) m_fences_.add(fence.size());
+    backend.fence_names.clear();
+    if (cold) {
+      // Epoch moved: a NEW incarnation (restart). Its memo/cache warmth
+      // is gone — make sure no affinity survived and start it cold.
+      placement_.forget_target(index);
+      backend.last_fence =
+          "cold rejoin: epoch " + std::to_string(old_epoch) + " -> " +
+          std::to_string(epoch) +
+          (fence.empty() ? ""
+                         : ", fenced " + std::to_string(fence.size()) +
+                               " mission(s)");
+    } else {
+      backend.last_fence =
+          fence.empty() ? "warm rejoin (same epoch)"
+                        : "warm rejoin: fenced " +
+                              std::to_string(fence.size()) +
+                              " stalled mission(s)";
+    }
+    backend.down = false;
+    backend.backoff_round = 0;
+    backend.next_poll_ns = 0;
+  }
+  backend.failures = 0;
+  backend.instance_id = instance_id;
+  backend.epoch = epoch;
+  backend.target.reachable = true;
+  backend.last_good_poll_ns = obs::Tracer::now_ns();
+  // The poll is the truth: whatever the backend accepted is in its
+  // own counters now, so the optimistic layer starts over.
+  backend.opt_lanes = 0;
+  backend.opt_jobs = 0;
+  if (const Json* pool = stats.get("pool"); pool != nullptr) {
+    backend.pool_json = *pool;
+    backend.target.total_arrays =
+        static_cast<std::size_t>(pool->get_number("arrays", 0));
+    backend.target.free_arrays =
+        static_cast<std::size_t>(pool->get_number("free_arrays", 0));
+    backend.target.quarantined =
+        static_cast<std::size_t>(pool->get_number("quarantined", 0));
+    backend.target.queued =
+        static_cast<std::size_t>(pool->get_number("queued", 0));
+    backend.target.running =
+        static_cast<std::size_t>(pool->get_number("running", 0));
   }
 }
 
 std::vector<std::shared_ptr<Forwarder::Route>> Forwarder::take_down_locked(
     std::size_t index) {
-  backends_[index].target.reachable = false;
+  BackendState& backend = backends_[index];
+  backend.target.reachable = false;
+  backend.down = true;
+  backend.backoff_round = 0;
+  backend.next_poll_ns = obs::Tracer::now_ns() + backoff_delay_ns(index, 0);
   // The dead backend's memo/cache died with it: steering repeats at the
   // corpse would burn the down-detection window for nothing.
   placement_.forget_target(index);
@@ -220,37 +350,84 @@ std::vector<std::shared_ptr<Forwarder::Route>> Forwarder::take_down_locked(
   for (const auto& [id, route] : routes_) {
     if (!route->finished && route->backend == index) {
       orphans.push_back(route);
+      // The corpse may still be executing this mission (a stall, not a
+      // death). Remember the NAME so a revival is fenced before trust.
+      backend.fence_names.push_back(route->spec.name);
     }
   }
   return orphans;
 }
 
 void Forwarder::mark_backend_down(std::size_t index) {
-  if (index >= backends_.size()) return;
   std::vector<std::shared_ptr<Route>> orphans;
   {
     std::lock_guard lock(state_mutex_);
+    if (index >= backends_.size() || backends_[index].removed) return;
     BackendState& backend = backends_[index];
     backend.failures = std::max(backend.failures, config_.down_after);
-    if (backend.target.reachable) orphans = take_down_locked(index);
+    if (!backend.down) orphans = take_down_locked(index);
   }
   for (const std::shared_ptr<Route>& route : orphans) {
     failover_route(route, index);
   }
 }
 
-sched::PlacementPolicy::Decision Forwarder::place_locked(
-    const sched::MissionSpec& spec) {
+std::vector<sched::PlacementTarget> Forwarder::target_snapshot_locked()
+    const {
   std::vector<sched::PlacementTarget> targets(backends_.size());
   for (std::size_t i = 0; i < backends_.size(); ++i) {
     const BackendState& backend = backends_[i];
     targets[i] = backend.target;
+    if (backend.removed) {
+      targets[i].reachable = false;
+      continue;
+    }
     // Overlay the optimistic layer: submits placed since the last poll
     // that haven't been seen finishing yet still hold their lanes.
     targets[i].free_arrays -=
         std::min(targets[i].free_arrays, backend.opt_lanes);
     targets[i].running += backend.opt_jobs;
   }
+  return targets;
+}
+
+std::uint64_t Forwarder::backoff_delay_ns(int poll_ms, std::uint64_t seed,
+                                          std::size_t index, int round) {
+  const std::uint64_t base_ms = static_cast<std::uint64_t>(poll_ms);
+  const std::uint64_t cap_ms = std::max<std::uint64_t>(base_ms, 10'000);
+  std::uint64_t delay_ms = base_ms << std::min(round, 6);
+  delay_ms = std::min(delay_ms, cap_ms);
+  // Deterministic jitter in [0, delay/2): a stateless hash keyed by the
+  // fault-plan seed, so a seeded chaos run replays the exact schedule.
+  const std::uint64_t draw = hash_mix(seed, static_cast<std::uint64_t>(index),
+                                      static_cast<std::uint64_t>(round)) %
+                             1024;
+  const std::uint64_t jitter_ms = delay_ms * draw / 2048;
+  return (delay_ms + jitter_ms) * 1'000'000ULL;
+}
+
+std::uint64_t Forwarder::backoff_delay_ns(std::size_t index,
+                                          int round) const {
+  return backoff_delay_ns(config_.poll_ms, fault::plan_seed(), index, round);
+}
+
+std::uint64_t Forwarder::shed_retry_after_ms_locked() const {
+  // The next poll refreshes capacity, so the hint starts at one poll
+  // interval and grows with the backlog the shed is protecting.
+  std::uint64_t backlog = 0;
+  for (const BackendState& backend : backends_) {
+    if (backend.removed) continue;
+    backlog += backend.target.queued + backend.opt_jobs;
+  }
+  const std::uint64_t hint =
+      static_cast<std::uint64_t>(config_.poll_ms) + 25 * backlog;
+  return std::clamp<std::uint64_t>(hint, 100, 60'000);
+}
+
+sched::PlacementPolicy::Decision Forwarder::place_locked(
+    const sched::MissionSpec& spec) {
+  const std::vector<sched::PlacementTarget> targets =
+      target_snapshot_locked();
   const sched::PlacementPolicy::Decision decision = placement_.place(
       sched::PlacementPolicy::fingerprint(spec), spec.lanes, targets);
   if (decision.ok) {
@@ -281,7 +458,7 @@ void Forwarder::failover_route(const std::shared_ptr<Route>& route,
   // machine died" into "the mission hopped hosts mid-flight".
   Json resume;
   bool have_resume = false;
-  const std::string& dir = config_.backends[dead_backend].journal_dir;
+  const std::string dir = backend_config(dead_backend).journal_dir;
   std::uint64_t backend_job = 0;
   {
     std::lock_guard lock(state_mutex_);
@@ -332,6 +509,7 @@ void Forwarder::failover_route(const std::shared_ptr<Route>& route,
       route->backend = decision.target;
       route->backend_job =
           static_cast<std::uint64_t>(response.get_number("job", 0));
+      route->placed_epoch = backends_[decision.target].epoch;
       ++route->generation;
       ++route->failovers;
     }
@@ -394,9 +572,34 @@ void Forwarder::accept_loop() {
 
 void Forwarder::session_loop(Session* session) {
   LineChannel& channel = *session->channel;
+  channel.set_max_line(config_.max_line);
+  if (config_.idle_timeout_ms > 0) {
+    channel.set_recv_timeout(config_.idle_timeout_ms);
+  }
   if (channel.write_line(greeting_frame().dump())) {
     std::string line;
-    while (channel.read_line(line)) {
+    for (;;) {
+      const LineChannel::ReadStatus read = channel.read_frame(line);
+      if (read == LineChannel::ReadStatus::kOversize) {
+        // Bounded buffering: the oversize frame was discarded as it
+        // streamed in, never accumulated. Tell the peer why, then hang
+        // up — framing is lost after a dropped line.
+        const Json response = make_error(
+            "frame exceeds the " + std::to_string(channel.max_line()) +
+                " byte line limit",
+            "oversize_frame");
+        static_cast<void>(channel.write_line(response.dump()));
+        break;
+      }
+      if (read == LineChannel::ReadStatus::kTimeout) {
+        const Json response = make_error(
+            "idle timeout: no request within " +
+                std::to_string(config_.idle_timeout_ms) + " ms",
+            "idle_timeout");
+        static_cast<void>(channel.write_line(response.dump()));
+        break;
+      }
+      if (read != LineChannel::ReadStatus::kLine) break;
       Json request;
       try {
         request = Json::parse(line);
@@ -460,6 +663,7 @@ std::optional<Json> Forwarder::handle_request(Session& session,
   if (op == "health") return handle_health();
   if (op == "watch") return handle_watch(session, request);
   if (op == "drain") return handle_drain(request);
+  if (op == "backend") return handle_backend(request);
   return make_error("unknown op '" + op + "'", "bad_request");
 }
 
@@ -479,6 +683,23 @@ Json Forwarder::handle_submit(const Json& request) {
       m_rejected_.add();
       return make_error("cluster is draining; not accepting new missions",
                         "draining");
+    }
+    // Brownout shed: when every backend is saturated or cold, placing a
+    // default-priority mission would only bury it in someone's queue.
+    // Shed it with explicit backpressure instead; missions submitted
+    // with priority > 0 ride through and queue.
+    if (spec.priority <= 0 &&
+        sched::PlacementPolicy::saturated(target_snapshot_locked(),
+                                          spec.lanes)) {
+      m_rejected_.add();
+      m_shed_.add();
+      Json response = make_error(
+          "cluster saturated: every backend is full or down; low-priority "
+          "submit shed",
+          "queue_full");
+      response.set("shed", true);
+      response.set("retry_after_ms", shed_retry_after_ms_locked());
+      return response;
     }
     decision = place_locked(spec);
     if (!decision.ok) {
@@ -511,6 +732,7 @@ Json Forwarder::handle_submit(const Json& request) {
   {
     std::lock_guard lock(state_mutex_);
     route->id = next_id_++;
+    route->placed_epoch = backends_[decision.target].epoch;
     routes_.emplace(route->id, route);
     response.set("job", route->id);
   }
@@ -537,6 +759,27 @@ Json Forwarder::handle_submit_batch(const Json& request) {
   std::vector<std::size_t> placement(specs.size());
   {
     std::lock_guard lock(state_mutex_);
+    // Batch brownout mirrors the single-submit shed: a batch with no
+    // priority>0 spec is refused wholesale when the cluster is saturated
+    // (admission is atomic — shedding part of a batch would be worse
+    // than either outcome).
+    const bool all_low =
+        std::all_of(specs.begin(), specs.end(),
+                    [](const sched::MissionSpec& spec) {
+                      return spec.priority <= 0;
+                    });
+    if (all_low &&
+        sched::PlacementPolicy::saturated(target_snapshot_locked(), 1)) {
+      m_rejected_.add(specs.size());
+      m_shed_.add(specs.size());
+      Json response = make_error(
+          "cluster saturated: every backend is full or down; low-priority "
+          "batch shed",
+          "queue_full");
+      response.set("shed", true);
+      response.set("retry_after_ms", shed_retry_after_ms_locked());
+      return response;
+    }
     for (std::size_t i = 0; i < specs.size(); ++i) {
       const sched::PlacementPolicy::Decision decision =
           place_locked(specs[i]);
@@ -608,6 +851,7 @@ Json Forwarder::handle_submit_batch(const Json& request) {
       route->spec = specs[i];
       route->backend = accepted[i]->backend;
       route->backend_job = accepted[i]->backend_job;
+      route->placed_epoch = backends_[accepted[i]->backend].epoch;
       routes_.emplace(route->id, route);
       m_submitted_.add();
       Json entry = Json::object();
@@ -712,7 +956,7 @@ Json Forwarder::handle_result(const Json& request) {
       // Unbounded IO: this wait follows the mission. A dying backend
       // resets the connection; an in-process failover moves the route's
       // generation and this incarnation's answer is discarded below.
-      const BackendConfig& target = config_.backends[backend];
+      const BackendConfig target = backend_config(backend);
       Client client(target.port, target.address, /*io_timeout_ms=*/0);
       response = client.result(backend_job);
       got = true;
@@ -727,6 +971,13 @@ Json Forwarder::handle_result(const Json& request) {
       response.set("job", route->id);
       response.set("name", route->spec.name);
       response.set("backend", static_cast<std::uint64_t>(backend));
+      // First terminal answer WINS the route: concurrent waiters and any
+      // zombie incarnation that later wakes up all serve this exact
+      // payload, so exactly one execution's result is ever observable.
+      route->finished = true;
+      route->final_status = response.get_string("status", "");
+      route->final_result = response;
+      state_cv_.notify_all();
       return response;
     }
     // Connection lost with the route still on this incarnation: wait for
@@ -780,6 +1031,8 @@ Json Forwarder::handle_list() {
     std::shared_ptr<Route> route;
     std::size_t backend = 0;
     std::uint64_t backend_job = 0;
+    std::uint64_t placed_epoch = 0;
+    std::uint64_t failovers = 0;
     bool finished = false;
     std::string status;
     std::uint64_t waves = 0;
@@ -793,6 +1046,8 @@ Json Forwarder::handle_list() {
       row.route = route;
       row.backend = route->backend;
       row.backend_job = route->backend_job;
+      row.placed_epoch = route->placed_epoch;
+      row.failovers = route->failovers;
       row.finished = route->finished;
       if (route->finished) row.status = route->final_status;
       rows.push_back(std::move(row));
@@ -806,11 +1061,12 @@ Json Forwarder::handle_list() {
     try {
       auto it = clients.find(row.backend);
       if (it == clients.end()) {
+        const BackendConfig endpoint = backend_config(row.backend);
         it = clients
-                 .emplace(row.backend, std::make_unique<Client>(
-                                           config_.backends[row.backend].port,
-                                           config_.backends[row.backend].address,
-                                           config_.io_timeout_ms))
+                 .emplace(row.backend,
+                          std::make_unique<Client>(endpoint.port,
+                                                   endpoint.address,
+                                                   config_.io_timeout_ms))
                  .first;
       }
       const Json status = it->second->status(row.backend_job);
@@ -831,6 +1087,8 @@ Json Forwarder::handle_list() {
     entry.set("status", row.status);
     entry.set("waves", row.waves);
     entry.set("backend", static_cast<std::uint64_t>(row.backend));
+    if (row.placed_epoch != 0) entry.set("epoch", row.placed_epoch);
+    if (row.failovers != 0) entry.set("failovers", row.failovers);
     jobs.push_back(std::move(entry));
   }
   Json response = make_ok();
@@ -843,6 +1101,7 @@ Json Forwarder::handle_stats() {
   Json backends = Json::array();
   Json pool = Json::object();
   std::size_t backends_up = 0;
+  std::size_t members = 0;
   const std::uint64_t now_ns = obs::Tracer::now_ns();
   {
     std::lock_guard lock(state_mutex_);
@@ -850,10 +1109,27 @@ Json Forwarder::handle_stats() {
       const BackendState& backend = backends_[i];
       Json entry = Json::object();
       entry.set("backend", static_cast<std::uint64_t>(i));
-      entry.set("address", config_.backends[i].address);
-      entry.set("port", static_cast<std::uint64_t>(config_.backends[i].port));
+      entry.set("address", backend_configs_[i].address);
+      entry.set("port",
+                static_cast<std::uint64_t>(backend_configs_[i].port));
       entry.set("reachable", backend.target.reachable);
       entry.set("polls", backend.polls);
+      if (backend.removed) {
+        entry.set("removed", true);
+        backends.push_back(std::move(entry));
+        continue;
+      }
+      ++members;
+      // Additive: membership identity + fence history per backend.
+      if (!backend.instance_id.empty()) {
+        entry.set("instance_id", backend.instance_id);
+        entry.set("epoch", backend.epoch);
+      }
+      if (backend.rejoins != 0) entry.set("rejoins", backend.rejoins);
+      if (backend.fences != 0) entry.set("fences", backend.fences);
+      if (!backend.last_fence.empty()) {
+        entry.set("last_fence", backend.last_fence);
+      }
       // Additive: how old the placement/liveness snapshot is.
       if (backend.last_good_poll_ns != 0) {
         entry.set("poll_age_ms",
@@ -874,8 +1150,7 @@ Json Forwarder::handle_stats() {
   }
   const sched::PlacementPolicy::Stats placement_stats = placement_.stats();
   Json placement = Json::object();
-  placement.set("backends",
-                static_cast<std::uint64_t>(config_.backends.size()));
+  placement.set("backends", static_cast<std::uint64_t>(members));
   placement.set("placed", placement_stats.placed);
   placement.set("affinity_hits", placement_stats.affinity_hits);
   placement.set("spills", placement_stats.spills);
@@ -888,6 +1163,9 @@ Json Forwarder::handle_stats() {
   fwd.set("rejected", stats.rejected);
   fwd.set("failovers", stats.failovers);
   fwd.set("failover_resumed", stats.failover_resumed);
+  fwd.set("fences", stats.fences);
+  fwd.set("rejoins", stats.rejoins);
+  fwd.set("shed", stats.shed);
   fwd.set("routes", static_cast<std::uint64_t>(stats.routes));
   fwd.set("backends_up", static_cast<std::uint64_t>(backends_up));
   fwd.set("draining", stats.draining);
@@ -916,26 +1194,63 @@ Json Forwarder::handle_health() {
   // is a warning, down is a failure — the health op separates them.
   const std::uint64_t stale_after_ms =
       2 * static_cast<std::uint64_t>(config_.poll_ms);
-  for (std::size_t i = 0; i < backends_.size(); ++i) {
-    bool reachable;
-    std::uint64_t last_good_ns;
-    {
-      std::lock_guard lock(state_mutex_);
-      reachable = backends_[i].target.reachable;
-      last_good_ns = backends_[i].last_good_poll_ns;
+  struct Probe {
+    std::size_t index = 0;
+    BackendConfig endpoint;
+    bool reachable = false;
+    bool removed = false;
+    std::uint64_t last_good_ns = 0;
+    std::uint64_t epoch = 0;
+    std::string instance_id;
+    std::string last_fence;
+  };
+  std::vector<Probe> probes;
+  {
+    std::lock_guard lock(state_mutex_);
+    probes.reserve(backends_.size());
+    for (std::size_t i = 0; i < backends_.size(); ++i) {
+      Probe probe;
+      probe.index = i;
+      probe.endpoint = backend_configs_[i];
+      probe.reachable = backends_[i].target.reachable;
+      probe.removed = backends_[i].removed;
+      probe.last_good_ns = backends_[i].last_good_poll_ns;
+      probe.epoch = backends_[i].epoch;
+      probe.instance_id = backends_[i].instance_id;
+      probe.last_fence = backends_[i].last_fence;
+      probes.push_back(std::move(probe));
     }
+  }
+  for (const Probe& probe : probes) {
+    bool reachable = probe.reachable;
     Json entry = Json::object();
-    entry.set("backend", static_cast<std::uint64_t>(i));
-    entry.set("address", config_.backends[i].address);
-    entry.set("port", static_cast<std::uint64_t>(config_.backends[i].port));
+    entry.set("backend", static_cast<std::uint64_t>(probe.index));
+    entry.set("address", probe.endpoint.address);
+    entry.set("port", static_cast<std::uint64_t>(probe.endpoint.port));
+    if (probe.removed) {
+      // Tombstones are membership history, not failures: visible but
+      // never probed and not counted unreachable.
+      entry.set("removed", true);
+      entry.set("reachable", false);
+      backends.push_back(std::move(entry));
+      continue;
+    }
+    if (probe.epoch != 0) {
+      entry.set("epoch", probe.epoch);
+      entry.set("instance_id", probe.instance_id);
+    }
+    if (!probe.last_fence.empty()) {
+      entry.set("last_fence", probe.last_fence);
+    }
     std::uint64_t poll_age_ms = 0;
+    const std::uint64_t last_good_ns = probe.last_good_ns;
     if (last_good_ns != 0) {
       poll_age_ms = (now_ns - last_good_ns) / 1000000;
       entry.set("poll_age_ms", poll_age_ms);
     }
     if (reachable) {
       try {
-        Client client = quick_client(i);
+        Client client = quick_client(probe.index);
         Json request = Json::object();
         request.set("op", "health");
         const Json health = client.request(request);
@@ -968,6 +1283,115 @@ Json Forwarder::handle_health() {
   response.set("unreachable", static_cast<std::uint64_t>(unreachable));
   response.set("stale", static_cast<std::uint64_t>(stale));
   return response;
+}
+
+Json Forwarder::handle_backend(const Json& request) {
+  const std::string action = request.get_string("action", "list");
+  if (action == "list") {
+    Json backends = Json::array();
+    std::lock_guard lock(state_mutex_);
+    for (std::size_t i = 0; i < backends_.size(); ++i) {
+      const BackendState& backend = backends_[i];
+      Json entry = Json::object();
+      entry.set("backend", static_cast<std::uint64_t>(i));
+      entry.set("address", backend_configs_[i].address);
+      entry.set("port",
+                static_cast<std::uint64_t>(backend_configs_[i].port));
+      entry.set("reachable", backend.target.reachable);
+      entry.set("removed", backend.removed);
+      if (!backend.instance_id.empty()) {
+        entry.set("instance_id", backend.instance_id);
+        entry.set("epoch", backend.epoch);
+      }
+      entry.set("rejoins", backend.rejoins);
+      entry.set("fences", backend.fences);
+      if (!backend.last_fence.empty()) {
+        entry.set("last_fence", backend.last_fence);
+      }
+      backends.push_back(std::move(entry));
+    }
+    Json response = make_ok();
+    response.set("backends", std::move(backends));
+    return response;
+  }
+  if (action == "add") {
+    const double port_field = request.get_number("port", 0);
+    if (!json_number_is_exact_int(port_field) || port_field <= 0 ||
+        port_field > 65535) {
+      return make_error("backend add needs a 'port' in [1, 65535]",
+                        "bad_request");
+    }
+    BackendConfig endpoint;
+    endpoint.address = request.get_string("address", "127.0.0.1");
+    endpoint.port = static_cast<std::uint16_t>(port_field);
+    endpoint.journal_dir = request.get_string("journal", "");
+    std::size_t index;
+    {
+      std::lock_guard lock(state_mutex_);
+      index = backends_.size();
+      backend_configs_.push_back(endpoint);
+      backends_.emplace_back();
+    }
+    // Immediate poll: the new member is placeable (or visibly failing)
+    // before the add returns, not one poll interval later.
+    poll_backend(index);
+    Json response = make_ok();
+    response.set("backend", static_cast<std::uint64_t>(index));
+    {
+      std::lock_guard lock(state_mutex_);
+      response.set("reachable", backends_[index].target.reachable);
+      if (backends_[index].epoch != 0) {
+        response.set("epoch", backends_[index].epoch);
+      }
+    }
+    return response;
+  }
+  if (action == "remove") {
+    const double index_field = request.get_number("backend", -1);
+    if (!json_number_is_exact_int(index_field) || index_field < 0) {
+      return make_error("backend remove needs a 'backend' index",
+                        "bad_request");
+    }
+    const std::size_t index = static_cast<std::size_t>(index_field);
+    std::vector<std::shared_ptr<Route>> orphans;
+    {
+      std::lock_guard lock(state_mutex_);
+      if (index >= backends_.size()) {
+        return make_error("no backend " + std::to_string(index),
+                          "bad_request");
+      }
+      if (backends_[index].removed) {
+        Json response = make_ok();
+        response.set("backend", static_cast<std::uint64_t>(index));
+        response.set("removed", true);
+        return response;
+      }
+      std::size_t members = 0;
+      for (const BackendState& backend : backends_) {
+        if (!backend.removed) ++members;
+      }
+      if (members <= 1) {
+        return make_error("cannot remove the last backend", "bad_request");
+      }
+      orphans = take_down_locked(index);
+      backends_[index].removed = true;
+      // A tombstone never revives, so there is nothing to fence later.
+      backends_[index].fence_names.clear();
+    }
+    // Evacuate: the removed member's unfinished routes fail over to the
+    // survivors exactly like a death would move them.
+    for (const std::shared_ptr<Route>& route : orphans) {
+      failover_route(route, index);
+    }
+    Json response = make_ok();
+    response.set("backend", static_cast<std::uint64_t>(index));
+    response.set("removed", true);
+    response.set("evacuated", static_cast<std::uint64_t>(orphans.size()));
+    return response;
+  }
+  return make_error(
+      "unknown backend action '" + action + "' (add|remove|list)",
+      "bad_request");
 }
 
 std::optional<Json> Forwarder::handle_watch(Session& session,
@@ -1023,7 +1447,7 @@ std::optional<Json> Forwarder::handle_watch(Session& session,
     bool got = false;
     try {
       // Unbounded IO, same as result: the stream follows the mission.
-      const BackendConfig& target = config_.backends[backend];
+      const BackendConfig target = backend_config(backend);
       Client client(target.port, target.address, /*io_timeout_ms=*/0);
       final_status = client.watch(
           backend_job,

@@ -37,6 +37,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -74,6 +75,10 @@ struct ForwarderConfig {
   /// Blocking ops (result/watch) always run unbounded and rely on the
   /// peer's death resetting the connection.
   int io_timeout_ms = 5000;
+  /// Northbound per-session frame-length bound; 0 = LineChannel default.
+  std::size_t max_line = 0;
+  /// Northbound idle-session bound (ms); 0 = disabled. See ServerConfig.
+  int idle_timeout_ms = 0;
 };
 
 /// Point-in-time forwarder counters (the "stats" op's cluster.forwarder
@@ -84,6 +89,15 @@ struct ForwarderStats {
   std::uint64_t failovers = 0;
   /// Failovers that carried a checkpoint (vs from-scratch resubmits).
   std::uint64_t failover_resumed = 0;
+  /// Split-brain fence cancels issued to reviving backends (missions
+  /// that already failed over elsewhere, cancelled by name before the
+  /// revived backend's state is trusted again).
+  std::uint64_t fences = 0;
+  /// Down->up revival edges observed (cold = epoch moved, or warm).
+  std::uint64_t rejoins = 0;
+  /// Brownout rejections: low-priority submits shed while every backend
+  /// was saturated or cold.
+  std::uint64_t shed = 0;
   std::size_t routes = 0;
   std::size_t backends_up = 0;
   bool draining = false;
@@ -132,6 +146,16 @@ class Forwarder {
   /// failover of its routes). A later successful poll resurrects it.
   void mark_backend_down(std::size_t index);
 
+  /// Jittered exponential re-poll delay for a down backend, as a PURE
+  /// function of (poll cadence, fault-plan seed, backend, round): delay
+  /// doubles per round up to max(poll_ms, 10 s), plus a stateless-hash
+  /// jitter in [0, delay/2). Same seed → the exact same revival
+  /// schedule, which is what makes seeded chaos runs replayable.
+  [[nodiscard]] static std::uint64_t backoff_delay_ns(int poll_ms,
+                                                      std::uint64_t seed,
+                                                      std::size_t index,
+                                                      int round);
+
  private:
   struct Route {
     std::uint64_t id = 0;  // front id clients see
@@ -142,6 +166,12 @@ class Forwarder {
     /// moves past their snapshot. Guarded by state_mutex_.
     std::uint64_t generation = 0;
     std::uint64_t failovers = 0;
+    /// Backend epoch the CURRENT incarnation was placed against (0 =
+    /// identity unknown at placement time). A revived backend with a
+    /// different epoch is a different incarnation of the world; routes
+    /// carry the epoch so membership events are attributable. Guarded by
+    /// state_mutex_.
+    std::uint64_t placed_epoch = 0;
     /// Terminal state recorded HERE (failover dead end) — the backends
     /// no longer own this mission's answer. Guarded by state_mutex_.
     bool finished = false;
@@ -154,6 +184,29 @@ class Forwarder {
   struct BackendState {
     int failures = 0;
     std::uint64_t polls = 0;
+    /// Identity learned from the greeting of each poll connection
+    /// (""/0 until the first good poll, or against pre-epoch daemons).
+    std::string instance_id;
+    std::uint64_t epoch = 0;
+    /// Declared down (take_down_locked ran). Distinct from
+    /// !target.reachable: a boot-time never-polled backend is
+    /// unreachable but not yet *down*.
+    bool down = false;
+    /// Consecutive failed polls since declared down — exponent of the
+    /// jittered re-poll backoff.
+    int backoff_round = 0;
+    /// Down backends are skipped by the poll loop until this deadline.
+    std::uint64_t next_poll_ns = 0;
+    /// Tombstoned by `backend remove`: never polled, never placed, kept
+    /// so route indices stay stable.
+    bool removed = false;
+    /// Mission names that failed over OFF this backend while it was
+    /// down; cancelled by name on revival (split-brain fence) before
+    /// the backend is trusted again.
+    std::vector<std::string> fence_names;
+    std::uint64_t fences = 0;   // fence cancels issued against it
+    std::uint64_t rejoins = 0;  // down->up revival edges
+    std::string last_fence;     // human summary of the last revival/fence
     /// Tracer::now_ns() of the last successful poll; 0 = never. Drives
     /// the per-backend poll-age gauge and the health op's `stale` flag
     /// (a backend can be reachable but fed by old data — stale != down).
@@ -189,6 +242,11 @@ class Forwarder {
   [[nodiscard]] Json handle_list();
   [[nodiscard]] Json handle_stats();
   [[nodiscard]] Json handle_health();
+  /// Live membership: {"op":"backend","action":"add"|"remove"|"list"}.
+  /// add appends a backend and polls it immediately; remove tombstones
+  /// (indices are never reused — routes keep their backend index) and
+  /// fails the victim's unfinished routes over to the survivors.
+  [[nodiscard]] Json handle_backend(const Json& request);
   [[nodiscard]] std::optional<Json> handle_watch(Session& session,
                                                  const Json& request);
   [[nodiscard]] Json handle_drain(const Json& request);
@@ -199,6 +257,9 @@ class Forwarder {
 
   /// Quick southbound connection (io_timeout-bounded).
   [[nodiscard]] Client quick_client(std::size_t backend) const;
+  /// Locked copy of one backend's endpoint config — membership can grow
+  /// concurrently, so nothing may hold a reference across a network op.
+  [[nodiscard]] BackendConfig backend_config(std::size_t backend) const;
 
   void poll_loop();
   /// One liveness/stats probe; on the reachable->down edge collects the
@@ -214,11 +275,22 @@ class Forwarder {
   /// Terminal local failure for a route no backend can continue.
   void finish_route_failed(const std::shared_ptr<Route>& route,
                            const std::string& error);
+  /// Caller holds state_mutex_: the per-backend PlacementTargets with
+  /// the optimistic overlay applied (removed backends unreachable).
+  [[nodiscard]] std::vector<sched::PlacementTarget> target_snapshot_locked()
+      const;
   /// Caller holds state_mutex_: placement over the current target
   /// snapshots, with an optimistic capacity bump on the winner so a
   /// burst of submits between polls spreads out.
   [[nodiscard]] sched::PlacementPolicy::Decision place_locked(
       const sched::MissionSpec& spec);
+  /// The public static backoff over this forwarder's poll cadence and
+  /// the process fault-plan seed.
+  [[nodiscard]] std::uint64_t backoff_delay_ns(std::size_t index,
+                                               int round) const;
+  /// Caller holds state_mutex_: backpressure hint for a brownout shed,
+  /// sized from the poll cadence and the cluster-wide backlog.
+  [[nodiscard]] std::uint64_t shed_retry_after_ms_locked() const;
   /// Caller holds state_mutex_. Returns the route's optimistic bump to
   /// its backend the first time the route is observed terminal, so a
   /// repeat submit right after a result doesn't see a stale "full"
@@ -242,10 +314,18 @@ class Forwarder {
   obs::Counter& m_failover_resumed_ =
       metrics_.counter("mpa_failovers_resumed_total");
   obs::Counter& m_connections_ = metrics_.counter("mpa_connections_total");
+  obs::Counter& m_fences_ = metrics_.counter("mpa_fence_cancels_total");
+  obs::Counter& m_rejoins_ = metrics_.counter("mpa_backend_rejoins_total");
+  obs::Counter& m_shed_ = metrics_.counter("mpa_submits_shed_total");
 
   mutable std::mutex state_mutex_;
   std::condition_variable state_cv_;
-  std::vector<BackendState> backends_;
+  /// Live membership. Deques, not vectors: `backend add` appends while
+  /// sessions hold indices, and deque growth never moves existing
+  /// elements. Both guarded by state_mutex_; config_.backends stays the
+  /// boot-time snapshot.
+  std::deque<BackendConfig> backend_configs_;
+  std::deque<BackendState> backends_;
   std::map<std::uint64_t, std::shared_ptr<Route>> routes_;  // by front id
   std::uint64_t next_id_ = 1;
   std::atomic<bool> draining_{false};

@@ -1,10 +1,14 @@
 #include "ehw/svc/server.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <map>
+#include <random>
 
 #include "ehw/common/fault.hpp"
 #include "ehw/common/persist.hpp"
+#include "ehw/common/rng.hpp"
 #include "ehw/common/version.hpp"
 #include "ehw/obs/trace.hpp"
 #include "ehw/sched/checkpoint_store.hpp"
@@ -12,12 +16,14 @@
 namespace ehw::svc {
 namespace {
 
-Json greeting_frame() {
+Json greeting_frame(const std::string& instance_id, std::uint64_t epoch) {
   Json frame = Json::object();
   frame.set("event", "hello");
   frame.set("service", kServiceName);
   frame.set("protocol", kProtocolVersion);
   frame.set("version", kVersion);
+  frame.set("instance_id", instance_id);
+  frame.set("epoch", epoch);
   return frame;
 }
 
@@ -60,6 +66,9 @@ Server::Server(ServerConfig config) : config_(std::move(config)) {
   group_config.pools = config_.pools;
   group_config.pool = config_.pool;
   group_ = std::make_unique<sched::PoolGroup>(group_config);
+  // Identity first: the greeting/stats of the fresh incarnation must
+  // already carry the bumped epoch when the first client connects.
+  mint_identity();
   // Replay before the listener exists: clients connecting to the fresh
   // incarnation already see every surviving job, and resumed missions
   // are back in flight before the first new submit competes for lanes.
@@ -70,6 +79,62 @@ Server::Server(ServerConfig config) : config_(std::move(config)) {
 }
 
 Server::~Server() { stop(); }
+
+void Server::mint_identity() {
+  // Fresh identity by default (non-durable daemons ARE new instances on
+  // every start — there is no state a peer could mistake for current).
+  std::uint64_t entropy = 0;
+  try {
+    std::random_device rd;
+    entropy = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  } catch (...) {
+    // A throwing random_device leaves the time/pid mix below.
+  }
+  entropy = hash_mix(entropy, obs::Tracer::now_ns(),
+                     static_cast<std::uint64_t>(::getpid()));
+  instance_id_ = hash_hex(entropy);
+  epoch_ = 1;
+  if (config_.journal_dir.empty()) return;
+  static_cast<void>(ensure_directory(config_.journal_dir));
+  const std::string path = config_.journal_dir + "/instance.json";
+  std::string text;
+  if (read_file_text(path, text).empty()) {
+    try {
+      const Json doc = Json::parse(text);
+      const std::string stored = doc.get_string("instance_id", "");
+      const double stored_epoch = doc.get_number("epoch", 0);
+      if (!stored.empty() && stored_epoch >= 1 &&
+          json_number_is_exact_int(stored_epoch)) {
+        instance_id_ = stored;
+        epoch_ = static_cast<std::uint64_t>(stored_epoch) + 1;
+      }
+    } catch (const JsonError&) {
+      // Corrupt identity sidecar: keep the fresh identity — peers see a
+      // brand-new backend, which is the safe direction (cold rejoin).
+    }
+  }
+  Json doc = Json::object();
+  doc.set("instance_id", instance_id_);
+  doc.set("epoch", epoch_);
+  static_cast<void>(atomic_write_file(path, doc.dump() + "\n"));
+}
+
+std::uint64_t Server::retry_after_ms_locked(std::size_t incoming) const {
+  // Expected wait until `incoming` slots free: the backlog that must
+  // terminate first, drained at the pool's parallelism, each taking
+  // about the observed median mission wall time. A cold daemon (no
+  // completed mission yet) hints a flat 100 ms probe.
+  const obs::Histogram::Snapshot wall = m_mission_wall_.snapshot();
+  const double per_mission_ms =
+      wall.count > 0 ? wall.quantile(0.50) / 1e6 : 100.0;
+  const double parallel = static_cast<double>(
+      std::max<std::size_t>(1, config_.pools * config_.pool.num_arrays));
+  const double backlog = static_cast<double>(inflight_) +
+                         static_cast<double>(incoming) -
+                         static_cast<double>(max_inflight_) + 1.0;
+  const double hint = per_mission_ms * std::max(1.0, backlog / parallel);
+  return static_cast<std::uint64_t>(std::clamp(hint, 25.0, 60000.0));
+}
 
 void Server::replay_journal() {
   if (config_.journal_dir.empty()) return;
@@ -293,6 +358,8 @@ ServiceStats Server::service_stats() const {
   stats.submitted = m_submitted_.value();
   stats.rejected = m_rejected_.value();
   stats.migrations = m_migrations_.value();
+  stats.instance_id = instance_id_;
+  stats.epoch = epoch_;
   return stats;
 }
 
@@ -347,9 +414,34 @@ void Server::accept_loop() {
 
 void Server::session_loop(Session* session) {
   LineChannel& channel = *session->channel;
-  if (channel.write_line(greeting_frame().dump())) {
+  channel.set_max_line(config_.max_line);
+  if (config_.idle_timeout_ms > 0) {
+    channel.set_recv_timeout(config_.idle_timeout_ms);
+  }
+  if (channel.write_line(greeting_frame(instance_id_, epoch_).dump())) {
     std::string line;
-    while (channel.read_line(line)) {
+    for (;;) {
+      const LineChannel::ReadStatus read = channel.read_frame(line);
+      if (read == LineChannel::ReadStatus::kOversize) {
+        // Clean protocol error, then close: framing is unrecoverable
+        // past a frame that never ended (and the buffer was dropped, so
+        // memory stayed bounded).
+        const Json response = make_error(
+            "frame exceeds the " + std::to_string(channel.max_line()) +
+                " byte line limit",
+            "oversize_frame");
+        static_cast<void>(channel.write_line(response.dump()));
+        break;
+      }
+      if (read == LineChannel::ReadStatus::kTimeout) {
+        const Json response = make_error(
+            "idle timeout: no request within " +
+                std::to_string(config_.idle_timeout_ms) + " ms",
+            "idle_timeout");
+        static_cast<void>(channel.write_line(response.dump()));
+        break;
+      }
+      if (read != LineChannel::ReadStatus::kLine) break;  // closed
       Json request;
       try {
         request = Json::parse(line);
@@ -394,6 +486,8 @@ std::optional<Json> Server::handle_request(Session& session,
     response.set("service", kServiceName);
     response.set("protocol", kProtocolVersion);
     response.set("version", kVersion);
+    response.set("instance_id", instance_id_);
+    response.set("epoch", epoch_);
     return response;
   }
   if (!session.greeted) {
@@ -466,6 +560,7 @@ Json Server::handle_submit(const Json& request) {
               ")",
           "queue_full");
       response.set("rejected", "queue_full");
+      response.set("retry_after_ms", retry_after_ms_locked(1));
       return response;
     }
     ++inflight_;
@@ -710,6 +805,7 @@ Json Server::handle_submit_batch(const Json& request) {
               ")",
           "queue_full");
       response.set("rejected", "queue_full");
+      response.set("retry_after_ms", retry_after_ms_locked(specs.size()));
       return response;
     }
     inflight_ += specs.size();
@@ -967,6 +1063,8 @@ Json Server::handle_stats() {
   Json svc = Json::object();
   svc.set("protocol", kProtocolVersion);
   svc.set("version", kVersion);
+  svc.set("instance_id", instance_id_);
+  svc.set("epoch", epoch_);
   svc.set("connections", service.connections);
   svc.set("sessions_open", static_cast<std::uint64_t>(service.sessions_open));
   svc.set("inflight", static_cast<std::uint64_t>(service.inflight));
@@ -1044,6 +1142,8 @@ Json Server::handle_health() {
   }
   const sched::ArrayPool::PoolStats stats = group_->stats().total;
   Json response = make_ok();
+  response.set("instance_id", instance_id_);
+  response.set("epoch", epoch_);
   response.set("arrays", std::move(arrays));
   response.set("healthy", static_cast<std::uint64_t>(stats.healthy()));
   response.set("quarantined",
@@ -1133,6 +1233,9 @@ std::optional<Json> Server::handle_watch(Session& session,
   // handles events that land ahead of the ack). The write lock keeps
   // the frames themselves from interleaving.
   runner->subscribe(observer);
+  // A watching session legitimately goes quiet (events flow the other
+  // way) — exempt it from the idle-session bound for its lifetime.
+  session.channel->set_recv_timeout(0);
   static_cast<void>(session.channel->write_line(ack.dump()));
   return std::nullopt;
 }

@@ -84,6 +84,14 @@ struct ServerConfig {
   /// Persist the FitnessMemo + compiled-array cache to warm.json on
   /// graceful stop and preload them on startup (journaled daemons only).
   bool persist_warm = true;
+  /// Per-session frame-length bound; 0 = LineChannel::kMaxLine (1 MiB).
+  /// An oversize frame gets a clean "oversize_frame" error and a close —
+  /// never unbounded buffering.
+  std::size_t max_line = 0;
+  /// Close sessions that send no request for this long (ms). Watch
+  /// streams are exempt once subscribed (they legitimately go quiet).
+  /// 0 disables the bound (library/test default — `mpa serve` arms it).
+  int idle_timeout_ms = 0;
 };
 
 /// Journal/recovery counters (the "stats" op's journal section). All
@@ -112,6 +120,9 @@ struct ServiceStats {
   std::uint64_t submitted = 0;
   std::uint64_t rejected = 0;  // queue_full + draining rejections
   std::uint64_t migrations = 0;  // preempted missions relaunched elsewhere
+  /// Membership identity (see Server::instance_id()/epoch()).
+  std::string instance_id;
+  std::uint64_t epoch = 0;
 };
 
 class Server {
@@ -128,6 +139,15 @@ class Server {
   [[nodiscard]] const ServerConfig& config() const noexcept {
     return config_;
   }
+  /// Membership identity. The instance id is minted once and persisted
+  /// in the journal dir (ephemeral for non-durable daemons); the epoch
+  /// bumps on every restart of the same instance. A forwarder uses the
+  /// pair to tell "restarted, state gone" (epoch moved) from "stalled,
+  /// state intact" (same epoch) when a backend revives.
+  [[nodiscard]] const std::string& instance_id() const noexcept {
+    return instance_id_;
+  }
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
   /// The first (often only) pool — the pre-sharding surface most tests
   /// and tools poke at.
   [[nodiscard]] sched::ArrayPool& pool() noexcept { return group_->pool(0); }
@@ -254,9 +274,20 @@ class Server {
   /// metrics_text() and cheap enough for every scrape.
   void refresh_gauges();
 
+  /// Mints/bumps the persistent instance identity (instance.json in the
+  /// journal dir; ephemeral otherwise). Constructor-only.
+  void mint_identity();
+  /// Backpressure hint for a queue_full rejection: expected ms until
+  /// `incoming` slots free up, from the observed mission wall-time
+  /// distribution and current queue depth. Caller holds state_mutex_.
+  [[nodiscard]] std::uint64_t retry_after_ms_locked(
+      std::size_t incoming) const;
+
   ServerConfig config_;
   std::size_t max_inflight_ = 0;
   std::uint16_t port_ = 0;
+  std::string instance_id_;   // constructor-written, then immutable
+  std::uint64_t epoch_ = 1;   // constructor-written, then immutable
 
   // Telemetry. Declared first so every later member — including job
   // threads holding counter references through the checkpoint sink — is

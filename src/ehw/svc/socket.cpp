@@ -193,18 +193,32 @@ void Listener::close() noexcept {
 
 // --- LineChannel ------------------------------------------------------------
 
-bool LineChannel::read_line(std::string& line) {
+LineChannel::ReadStatus LineChannel::read_frame(std::string& line) {
+  if (fault::should_fire(fault::Site::kOversizeLine)) {
+    buffer_.clear();
+    return ReadStatus::kOversize;
+  }
   for (;;) {
     const std::size_t newline = buffer_.find('\n');
     if (newline != std::string::npos) {
       line.assign(buffer_, 0, newline);
       buffer_.erase(0, newline + 1);
-      return true;
+      return ReadStatus::kLine;
     }
-    if (buffer_.size() > kMaxLine) return false;  // frame too long
+    if (buffer_.size() > max_line_) {
+      // Drop the partial frame so a hostile peer can't pin max_line
+      // bytes per connection after the error reply.
+      buffer_.clear();
+      buffer_.shrink_to_fit();
+      return ReadStatus::kOversize;
+    }
     char chunk[4096];
     const long n = socket_.recv_some(chunk, sizeof chunk);
-    if (n <= 0) return false;  // EOF or error
+    if (n == 0) return ReadStatus::kClosed;  // EOF
+    if (n < 0) {
+      return errno == EAGAIN || errno == EWOULDBLOCK ? ReadStatus::kTimeout
+                                                     : ReadStatus::kClosed;
+    }
     buffer_.append(chunk, static_cast<std::size_t>(n));
   }
 }

@@ -94,15 +94,44 @@ class Listener {
 /// the connection safely.
 class LineChannel {
  public:
-  /// Frames longer than this are treated as a protocol error (bounds
-  /// per-connection memory against hostile peers).
+  /// Default frame-length bound; longer frames are a protocol error
+  /// (bounds per-connection memory against hostile peers).
   static constexpr std::size_t kMaxLine = 1 << 20;
+
+  /// Why a read ended without producing a frame. Sessions use the
+  /// distinction to answer with a *clean* protocol error (oversize,
+  /// idle timeout) instead of silently dropping the connection.
+  enum class ReadStatus {
+    kLine,      // a frame was produced
+    kClosed,    // EOF or hard socket error
+    kOversize,  // peer exceeded max_line without a newline
+    kTimeout,   // SO_RCVTIMEO expired with no (complete) frame
+  };
 
   explicit LineChannel(Socket socket) : socket_(std::move(socket)) {}
 
   /// Next '\n'-terminated frame, without the terminator. False on EOF,
   /// error, or an over-long frame.
-  [[nodiscard]] bool read_line(std::string& line);
+  [[nodiscard]] bool read_line(std::string& line) {
+    return read_frame(line) == ReadStatus::kLine;
+  }
+
+  /// read_line with the failure mode visible.
+  [[nodiscard]] ReadStatus read_frame(std::string& line);
+
+  /// Tightens (or relaxes) the frame-length bound for this channel.
+  /// Oversize detection discards the partial buffer, so memory stays
+  /// bounded by max_line + one recv chunk regardless of peer behavior.
+  void set_max_line(std::size_t max_line) noexcept {
+    max_line_ = max_line == 0 ? kMaxLine : max_line;
+  }
+  [[nodiscard]] std::size_t max_line() const noexcept { return max_line_; }
+
+  /// Arms/disarms an idle bound on reads (delegates to the socket's
+  /// SO_RCVTIMEO); expiry surfaces as ReadStatus::kTimeout.
+  void set_recv_timeout(int timeout_ms) noexcept {
+    socket_.set_recv_timeout(timeout_ms);
+  }
 
   /// Writes `line` + '\n' atomically w.r.t. other writers. False once
   /// the peer is gone (subsequent writes keep returning false).
@@ -114,6 +143,7 @@ class LineChannel {
  private:
   Socket socket_;
   std::string buffer_;       // reader-owned
+  std::size_t max_line_ = kMaxLine;  // reader-owned
   std::mutex write_mutex_;   // serializes write_line
   bool write_failed_ = false;  // guarded by write_mutex_
 };

@@ -8,10 +8,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "ehw/common/persist.hpp"
 #include "ehw/sched/missions.hpp"
 #include "ehw/svc/client.hpp"
 #include "ehw/svc/forwarder.hpp"
@@ -65,6 +69,31 @@ struct Cluster {
   std::vector<std::unique_ptr<Server>> servers;
   std::unique_ptr<Forwarder> forwarder;
 };
+
+/// Polls `pred` until it holds or ~`timeout_ms` elapsed.
+bool wait_until(const std::function<bool()>& pred, int timeout_ms = 15000) {
+  for (int waited = 0; waited < timeout_ms; waited += 5) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
+
+/// Blocks until the routed job reports at least `waves` progress.
+void wait_for_waves(Client& client, std::uint64_t job, std::uint64_t waves) {
+  ASSERT_TRUE(wait_until([&] {
+    return client.status(job).get_number("waves", 0) >=
+           static_cast<double>(waves);
+  })) << "job never reached " << waves << " waves";
+}
+
+/// The {"op":"backend","action":"list"} membership table.
+Json backend_list(Client& client) {
+  Json request = Json::object();
+  request.set("op", "backend");
+  request.set("action", "list");
+  return client.request(request);
+}
 
 void expect_matches_standalone(const Json& result,
                                const sched::MissionSpec& spec) {
@@ -292,6 +321,308 @@ TEST(Cluster, ShardedBackendsServeBitIdenticalResults) {
   ASSERT_NE(pools, nullptr);
   ASSERT_TRUE(pools->is_array());
   EXPECT_EQ(pools->as_array().size(), 2u);
+}
+
+// --- membership armor: epochs, fencing, rejoin, shedding --------------------
+
+TEST(Forwarder, RevivalBackoffIsSeededDeterministicAndBounded) {
+  for (int round = 0; round <= 12; ++round) {
+    for (std::size_t index = 0; index < 3; ++index) {
+      const std::uint64_t delay =
+          Forwarder::backoff_delay_ns(50, 99, index, round);
+      // Pure: replaying the same (seed, backend, round) replays the
+      // exact revival schedule — the chaos-smoke reproducibility
+      // contract.
+      EXPECT_EQ(delay, Forwarder::backoff_delay_ns(50, 99, index, round));
+      // Bounded: exponential base capped at max(poll, 10 s), jitter
+      // strictly under half the base.
+      const std::uint64_t base_ms =
+          std::min<std::uint64_t>(50ULL << std::min(round, 6), 10'000);
+      EXPECT_GE(delay, base_ms * 1'000'000ULL);
+      EXPECT_LT(delay, base_ms * 3 / 2 * 1'000'000ULL + 1'000'000ULL);
+    }
+  }
+  // A different seed decorrelates the fleet's schedule (some round must
+  // draw different jitter — identical across ALL rounds would mean the
+  // seed is ignored).
+  bool diverged = false;
+  for (int round = 0; round <= 12 && !diverged; ++round) {
+    diverged = Forwarder::backoff_delay_ns(50, 99, 0, round) !=
+               Forwarder::backoff_delay_ns(50, 7, 0, round);
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Cluster, SplitBrainFenceCancelsTheStalledIncarnationExactlyOnce) {
+  Cluster cluster;  // poll_ms = 50: revival polls land within the test
+  Client client = cluster.client();
+  // Long enough that the stalled copy is still mid-run when the revival
+  // fence reaches it (the fence poll lands within a few hundred ms).
+  const sched::MissionSpec spec = quick_spec("split-brain", 3, 2000);
+  const Client::Submitted submitted = client.submit(spec);
+  ASSERT_TRUE(submitted.ok) << submitted.error;
+  wait_for_waves(client, submitted.job, 2);
+  const Json status = client.status(submitted.job);
+  const auto victim =
+      static_cast<std::size_t>(status.get_number("backend", 0));
+
+  // Declare the hosting backend dead while its server keeps executing —
+  // the SIGSTOP shape of a split brain. The route fails over; the
+  // "corpse" keeps running its now-orphaned incarnation.
+  cluster.forwarder->mark_backend_down(victim);
+
+  // The poller revives the corpse (same epoch: stalled, not restarted)
+  // and must fence the stalled incarnation BY NAME before trusting it.
+  ASSERT_TRUE(wait_until([&] {
+    return cluster.forwarder->forwarder_stats().rejoins >= 1;
+  })) << "backend never rejoined";
+  const ForwarderStats stats = cluster.forwarder->forwarder_stats();
+  EXPECT_GE(stats.failovers, 1u);
+  EXPECT_GE(stats.fences, 1u);
+
+  // The rejoin implies the fence already ran: the corpse's copy was
+  // cancelled BY NAME, so it can never surface a second answer.
+  Client corpse(cluster.servers[victim]->port());
+  ASSERT_TRUE(wait_until([&] {
+    const Json zombie = corpse.status_by_name("split-brain");
+    const std::string state = zombie.get_string("status", "");
+    return state == "cancelled" || state == "failed";
+  })) << "stalled incarnation was never fenced";
+
+  // Exactly one execution reaches a terminal result: the survivor's —
+  // bit-identical to an uninterrupted standalone run.
+  const Json result = client.result(submitted.job);
+  expect_matches_standalone(result, spec);
+
+  // Repeat reads serve the same cached terminal payload (first wins).
+  EXPECT_EQ(client.result(submitted.job).dump(), result.dump());
+
+  // The fence is visible in the membership table too.
+  const Json members = backend_list(client);
+  ASSERT_TRUE(members.get_bool("ok", false));
+  const Json& row = members.get("backends")->as_array()[victim];
+  EXPECT_GE(row.get_number("rejoins", 0), 1.0);
+  EXPECT_GE(row.get_number("fences", 0), 1.0);
+  EXPECT_NE(row.get_string("last_fence", "").find("fenced"),
+            std::string::npos);
+}
+
+TEST(Cluster, ColdRejoinAfterRestartBumpsEpochAndIsVisible) {
+  // Backend 0 is durable so its identity survives the restart with a
+  // bumped epoch; backend 1 keeps the cluster alive in between.
+  const std::string dir = testing::TempDir() + "ehw_cluster_epoch";
+  static_cast<void>(remove_file(dir + "/instance.json"));
+  static_cast<void>(remove_file(dir + "/journal.jsonl"));
+  static_cast<void>(remove_file(dir + "/warm.json"));
+  ServerConfig c0 = backend_config(2);
+  c0.journal_dir = dir;
+  auto b0 = std::make_unique<Server>(c0);
+  Server b1(backend_config(2));
+
+  ForwarderConfig fc;
+  BackendConfig e0;
+  e0.port = b0->port();
+  BackendConfig e1;
+  e1.port = b1.port();
+  fc.backends = {e0, e1};
+  fc.poll_ms = 50;
+  Forwarder forwarder(std::move(fc));
+  Client client(forwarder.port());
+
+  // The boot poll learned the first incarnation's identity.
+  {
+    const Json members = backend_list(client);
+    ASSERT_TRUE(members.get_bool("ok", false));
+    const Json& row = members.get("backends")->as_array()[0];
+    EXPECT_TRUE(row.get_bool("reachable", false));
+    EXPECT_EQ(row.get_number("epoch", 0), 1.0);
+  }
+
+  const std::uint16_t port = b0->port();
+  b0->stop();
+  ASSERT_TRUE(wait_until([&] {
+    const Json members = backend_list(client);
+    return !members.get("backends")->as_array()[0].get_bool("reachable",
+                                                            true);
+  })) << "dead backend never declared down";
+
+  // Same journal, same port, new process: epoch 1 -> 2. The auto-rejoin
+  // must classify this as a COLD rejoin (warm state gone).
+  c0.port = port;
+  b0 = std::make_unique<Server>(c0);
+  ASSERT_TRUE(wait_until([&] {
+    const Json members = backend_list(client);
+    const Json& row = members.get("backends")->as_array()[0];
+    return row.get_bool("reachable", false) &&
+           row.get_number("epoch", 0) == 2.0;
+  })) << "restarted backend never rejoined with the bumped epoch";
+  {
+    const Json members = backend_list(client);
+    const Json& row = members.get("backends")->as_array()[0];
+    EXPECT_NE(row.get_string("last_fence", "").find("cold rejoin: epoch 1 -> 2"),
+              std::string::npos);
+    EXPECT_GE(row.get_number("rejoins", 0), 1.0);
+  }
+  EXPECT_GE(forwarder.forwarder_stats().rejoins, 1u);
+
+  // The revived member serves missions, bit-identical as ever.
+  const sched::MissionSpec spec = quick_spec("after-rejoin", 9);
+  const Client::Submitted submitted = client.submit(spec);
+  ASSERT_TRUE(submitted.ok) << submitted.error;
+  expect_matches_standalone(client.result(submitted.job), spec);
+
+  forwarder.stop();
+  b0->stop();
+  b1.stop();
+}
+
+TEST(Cluster, BrownoutShedsLowPriorityWhenEveryBackendIsStacked) {
+  // Two 1-array backends. One endless runner each occupies the array;
+  // one queued mission each makes the cluster SATURATED (work stacked
+  // everywhere), which is the brownout admission trigger.
+  std::vector<std::unique_ptr<Server>> servers;
+  for (int i = 0; i < 2; ++i) {
+    ServerConfig config = backend_config(1);
+    config.max_inflight = 8;  // plenty of queue: shedding is the FORWARDER's
+    servers.push_back(std::make_unique<Server>(config));
+  }
+  ForwarderConfig fc;
+  for (const auto& server : servers) {
+    BackendConfig backend;
+    backend.port = server->port();
+    fc.backends.push_back(backend);
+  }
+  fc.poll_ms = 50;
+  Forwarder forwarder(std::move(fc));
+  Client client(forwarder.port());
+
+  std::vector<std::uint64_t> runners;
+  // The hogs never finish on their own; cancel them on EVERY exit path
+  // or the forwarder's drain would wait on them forever.
+  struct CancelRunners {
+    Client& client;
+    std::vector<std::uint64_t>& jobs;
+    ~CancelRunners() {
+      for (const std::uint64_t job : jobs) {
+        static_cast<void>(client.cancel(job));
+      }
+    }
+  } cancel_guard{client, runners};
+  for (int i = 0; i < 2; ++i) {
+    const Client::Submitted hog = client.submit(
+        quick_spec("hog-" + std::to_string(i), 50 + static_cast<unsigned>(i),
+                   100000000));
+    ASSERT_TRUE(hog.ok) << hog.error;
+    runners.push_back(hog.job);
+  }
+  for (int i = 0; i < 2; ++i) {
+    const Client::Submitted stacked = client.submit(quick_spec(
+        "stack-" + std::to_string(i), 60 + static_cast<unsigned>(i), 5));
+    ASSERT_TRUE(stacked.ok) << stacked.error;
+  }
+  // The shed predicate reads polled queue depths; wait for the poll to
+  // see work stacked on every backend.
+  ASSERT_TRUE(wait_until([&] {
+    const Json stats = client.stats();
+    const Json* backends = stats.get("cluster")->get("backends");
+    for (const Json& row : backends->as_array()) {
+      if (row.get_number("queued", 0) < 1.0) return false;
+    }
+    return true;
+  })) << "queues never showed as stacked";
+
+  // Default priority (0) is shed with explicit backpressure...
+  const Client::Submitted shed =
+      client.submit(quick_spec("shed-me", 70, 5));
+  ASSERT_FALSE(shed.ok);
+  EXPECT_EQ(shed.code, "queue_full");
+  EXPECT_GE(shed.retry_after_ms, 100u);
+  EXPECT_GE(forwarder.forwarder_stats().shed, 1u);
+
+  // ...an all-low batch is refused wholesale...
+  const Client::BatchSubmitted batch = client.submit_batch(
+      {quick_spec("shed-b0", 71, 5), quick_spec("shed-b1", 72, 5)});
+  ASSERT_FALSE(batch.ok);
+  EXPECT_EQ(batch.code, "queue_full");
+
+  // ...while priority > 0 rides through the brownout and queues.
+  sched::MissionSpec urgent = quick_spec("urgent", 73, 5);
+  urgent.priority = 1;
+  const Client::Submitted accepted = client.submit(urgent);
+  ASSERT_TRUE(accepted.ok) << accepted.error;
+
+  // Unstack: cancel the hogs; everything queued completes normally.
+  for (const std::uint64_t job : runners) {
+    EXPECT_TRUE(client.cancel(job));
+  }
+  runners.clear();  // the guard's work is done
+  expect_matches_standalone(client.result(accepted.job), urgent);
+
+  forwarder.stop();
+  for (const auto& server : servers) server->stop();
+}
+
+TEST(Cluster, BackendAddAndRemoveReshapeMembershipLive) {
+  Cluster cluster;  // 2 backends
+  Client client = cluster.client();
+  const sched::MissionSpec spec = quick_spec("evacuee", 3, 200);
+  const Client::Submitted submitted = client.submit(spec);
+  ASSERT_TRUE(submitted.ok) << submitted.error;
+  wait_for_waves(client, submitted.job, 2);
+  const auto victim = static_cast<std::size_t>(
+      client.status(submitted.job).get_number("backend", 0));
+
+  // Grow the cluster live: the new member is polled before add returns.
+  Server extra(backend_config(2));
+  Json add = Json::object();
+  add.set("op", "backend");
+  add.set("action", "add");
+  add.set("address", "127.0.0.1");
+  add.set("port", static_cast<std::uint64_t>(extra.port()));
+  const Json added = client.request(add);
+  ASSERT_TRUE(added.get_bool("ok", false))
+      << added.get_string("error", "");
+  EXPECT_EQ(added.get_number("backend", 0), 2.0);
+  EXPECT_TRUE(added.get_bool("reachable", false));
+  EXPECT_EQ(added.get_number("epoch", 0), 1.0);
+
+  // Tombstone the member hosting the running mission: its route must
+  // evacuate to the survivors and still finish bit-identical.
+  Json remove = Json::object();
+  remove.set("op", "backend");
+  remove.set("action", "remove");
+  remove.set("backend", static_cast<std::uint64_t>(victim));
+  const Json removed = client.request(remove);
+  ASSERT_TRUE(removed.get_bool("ok", false))
+      << removed.get_string("error", "");
+  EXPECT_EQ(removed.get_number("evacuated", 0), 1.0);
+  expect_matches_standalone(client.result(submitted.job), spec);
+  EXPECT_GE(cluster.forwarder->forwarder_stats().failovers, 1u);
+
+  // The tombstone stays visible (indices never shift) and is idempotent.
+  const Json members = backend_list(client);
+  EXPECT_TRUE(
+      members.get("backends")->as_array()[victim].get_bool("removed", false));
+  EXPECT_TRUE(client.request(remove).get_bool("ok", false));
+
+  // The last member can never be removed: the cluster must stay placeable.
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (i == victim) continue;
+    Json request = Json::object();
+    request.set("op", "backend");
+    request.set("action", "remove");
+    request.set("backend", static_cast<std::uint64_t>(i));
+    const Json response = client.request(request);
+    if (response.get_bool("ok", false)) continue;
+    EXPECT_NE(response.get_string("error", "").find("last backend"),
+              std::string::npos);
+  }
+  // Exactly one member survived, and it still serves.
+  const sched::MissionSpec after = quick_spec("after-remove", 11);
+  const Client::Submitted last = client.submit(after);
+  ASSERT_TRUE(last.ok) << last.error;
+  expect_matches_standalone(client.result(last.job), after);
+  extra.stop();
 }
 
 }  // namespace

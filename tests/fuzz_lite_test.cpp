@@ -14,13 +14,19 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "ehw/common/json.hpp"
 #include "ehw/common/rng.hpp"
+#include "ehw/common/version.hpp"
 #include "ehw/sched/missions.hpp"
+#include "ehw/svc/client.hpp"
+#include "ehw/svc/protocol.hpp"
+#include "ehw/svc/server.hpp"
+#include "ehw/svc/socket.hpp"
 
 namespace ehw {
 namespace {
@@ -170,6 +176,104 @@ TEST(FuzzLite, ManifestParserRejectsBrokenLinesLoudly) {
                  std::runtime_error)
         << "silently accepted: " << input;
   }
+}
+
+// --- socket-layer frame fuzz -------------------------------------------------
+//
+// The properties at the wire, below the JSON parser: a hostile or broken
+// peer — binary garbage, NUL bytes, torn frames, pathological newline
+// streams, oversized lines, writes split at arbitrary byte boundaries —
+// must draw clean protocol errors or a clean hangup. Never a crash,
+// never a hang, never unbounded buffering, and never collateral damage
+// to well-behaved sessions on the same daemon.
+
+/// One adversarial payload. Several shapes, all deterministic in `rng`.
+std::string frame_garbage(Rng& rng) {
+  switch (rng.range(0, 4)) {
+    case 0: {  // pure binary noise, NULs and control bytes included
+      std::string out;
+      const std::size_t size = static_cast<std::size_t>(rng.range(1, 512));
+      for (std::size_t i = 0; i < size; ++i) {
+        out.push_back(static_cast<char>(rng.range(0, 255)));
+      }
+      return out + "\n";
+    }
+    case 1:  // near-valid request frame, structurally mutated
+      return mutate(R"({"op":"hello","protocol":1})", rng) + "\n";
+    case 2:  // torn frame: valid prefix, no terminator, then hangup
+      return R"({"op":"submit","spec":{"kind":"deno)";
+    case 3:  // well-formed JSON of the wrong shape
+      return "[1,2,3]\n42\nnull\n\"just a string\"\n";
+    default:  // a burst of empty frames
+      return std::string(static_cast<std::size_t>(rng.range(1, 64)), '\n');
+  }
+}
+
+TEST(FuzzLite, SocketLayerShrugsOffFrameGarbageAndStaysServiceable) {
+  svc::ServerConfig config;
+  config.pool.num_arrays = 1;
+  config.max_line = 8192;  // tight bound: the fuzz can actually cross it
+  svc::Server server(config);
+
+  Rng rng(0xF022ED50C2ULL);
+  for (int round = 0; round < 48; ++round) {
+    svc::Socket peer = svc::Socket::connect_to("127.0.0.1", server.port());
+    peer.set_recv_timeout(100);  // the test itself must never hang
+    const std::string payload = frame_garbage(rng);
+    // Split writes at arbitrary boundaries: the channel must reassemble
+    // (or reject) frames identically however the bytes arrive.
+    std::size_t sent = 0;
+    while (sent < payload.size()) {
+      const std::size_t chunk =
+          std::min(static_cast<std::size_t>(rng.range(1, 7)),
+                   payload.size() - sent);
+      if (!peer.send_all(payload.data() + sent, chunk)) break;
+      sent += chunk;
+    }
+    // Drain whatever the server answers (greeting + error frames) until
+    // it hangs up or goes quiet; bounded reads, bounded time.
+    char sink[1024];
+    for (int reads = 0; reads < 64; ++reads) {
+      if (peer.recv_some(sink, sizeof(sink)) <= 0) break;
+    }
+  }
+
+  // After 48 hostile sessions the daemon still serves a clean handshake
+  // and answers requests — no crash, no wedged acceptor, no leak of
+  // session state into healthy connections.
+  svc::Client client(server.port());
+  EXPECT_EQ(client.server_version(), kVersion);
+  EXPECT_TRUE(client.stats().get_bool("ok", false));
+  server.stop();
+}
+
+TEST(FuzzLite, OversizedLinesDrawACleanProtocolErrorNotUnboundedBuffering) {
+  svc::ServerConfig config;
+  config.pool.num_arrays = 1;
+  config.max_line = 4096;
+  svc::Server server(config);
+
+  svc::LineChannel channel(
+      svc::Socket::connect_to("127.0.0.1", server.port()));
+  channel.set_recv_timeout(5000);
+  std::string line;
+  ASSERT_TRUE(channel.read_line(line));  // greeting
+
+  // A "line" three times the bound, never terminated. The server must
+  // reject it the moment the bound is crossed — a clean error frame plus
+  // a hangup — while holding at most max_line + one recv chunk.
+  const std::string flood(3 * config.max_line, 'x');
+  ASSERT_TRUE(channel.write_line(flood));
+  ASSERT_TRUE(channel.read_line(line));
+  const Json error = Json::parse(line);
+  EXPECT_FALSE(error.get_bool("ok", true));
+  EXPECT_EQ(error.get_string("code", ""), "oversize_frame");
+  EXPECT_FALSE(channel.read_line(line));  // connection is gone
+
+  // The rejection is per-session: a fresh client is unaffected.
+  svc::Client client(server.port());
+  EXPECT_TRUE(client.stats().get_bool("ok", false));
+  server.stop();
 }
 
 }  // namespace

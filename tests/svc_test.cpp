@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "ehw/common/persist.hpp"
 #include "ehw/common/version.hpp"
 #include "ehw/sched/missions.hpp"
 #include "ehw/svc/client.hpp"
@@ -584,6 +585,189 @@ TEST(SvcServer, ListShowsJobsAcrossConnections) {
   by_name.set("job", "list-b");
   EXPECT_EQ(other.request(by_name).get_number("job", 0),
             static_cast<double>(b.job));
+  server.stop();
+}
+
+// --- membership identity ----------------------------------------------------
+
+TEST(SvcServer, GreetingCarriesInstanceIdentityAndEphemeralEpochIsOne) {
+  ServerConfig config;
+  config.pool.num_arrays = 1;
+  Server server(config);
+  EXPECT_FALSE(server.instance_id().empty());
+  EXPECT_EQ(server.epoch(), 1u);
+
+  Client client(server.port());
+  EXPECT_EQ(client.server_instance_id(), server.instance_id());
+  EXPECT_EQ(client.server_epoch(), 1u);
+
+  // The identity also rides the stats and health ops (additive fields).
+  const Json stats = client.stats();
+  const Json* service = stats.get("service");
+  ASSERT_NE(service, nullptr);
+  EXPECT_EQ(service->get_string("instance_id", ""), server.instance_id());
+  EXPECT_EQ(service->get_number("epoch", 0), 1.0);
+  Json health_request = Json::object();
+  health_request.set("op", "health");
+  const Json health = client.request(health_request);
+  EXPECT_EQ(health.get_string("instance_id", ""), server.instance_id());
+  EXPECT_EQ(health.get_number("epoch", 0), 1.0);
+  server.stop();
+}
+
+TEST(SvcServer, JournaledIdentityPersistsAndEpochBumpsAcrossRestarts) {
+  const std::string dir = testing::TempDir() + "ehw_svc_identity";
+  static_cast<void>(remove_file(dir + "/instance.json"));
+  static_cast<void>(remove_file(dir + "/journal.jsonl"));
+  static_cast<void>(remove_file(dir + "/warm.json"));
+  ServerConfig config;
+  config.pool.num_arrays = 1;
+  config.journal_dir = dir;
+
+  std::string first_id;
+  {
+    Server first(config);
+    first_id = first.instance_id();
+    EXPECT_FALSE(first_id.empty());
+    EXPECT_EQ(first.epoch(), 1u);
+    first.stop();
+  }
+  {
+    // Same journal, new process incarnation: same instance, epoch + 1 —
+    // the signal a forwarder uses to tell "restarted, volatile state
+    // gone" from "stalled, state intact".
+    Server second(config);
+    EXPECT_EQ(second.instance_id(), first_id);
+    EXPECT_EQ(second.epoch(), 2u);
+    second.stop();
+  }
+  {
+    // A corrupt identity file never wedges startup: fresh identity.
+    ASSERT_TRUE(atomic_write_file(dir + "/instance.json", "{broken").empty());
+    Server third(config);
+    EXPECT_FALSE(third.instance_id().empty());
+    EXPECT_EQ(third.epoch(), 1u);
+    third.stop();
+  }
+}
+
+// --- protocol armor ---------------------------------------------------------
+
+TEST(SvcServer, OversizeFrameGetsCleanErrorAndCloseWithBoundedMemory) {
+  ServerConfig config;
+  config.pool.num_arrays = 1;
+  config.max_line = 4096;
+  Server server(config);
+
+  LineChannel channel(Socket::connect_to("127.0.0.1", server.port()));
+  std::string line;
+  ASSERT_TRUE(channel.read_line(line));  // greeting
+  // A "frame" that never ends, far past the bound. The server must
+  // answer with a clean protocol error and close — never buffer it all.
+  const std::string flood(64 * 1024, 'x');
+  ASSERT_TRUE(channel.write_line(flood));
+  ASSERT_TRUE(channel.read_line(line));
+  const Json error = Json::parse(line);
+  EXPECT_FALSE(error.get_bool("ok", true));
+  EXPECT_EQ(error.get_string("code", ""), "oversize_frame");
+  EXPECT_FALSE(channel.read_line(line));  // server hung up
+
+  // The daemon itself is unharmed: a fresh handshake works.
+  Client client(server.port());
+  EXPECT_TRUE(client.stats().get_bool("ok", false));
+  server.stop();
+}
+
+TEST(SvcServer, IdleSessionsTimeOutWithExplicitError) {
+  ServerConfig config;
+  config.pool.num_arrays = 1;
+  config.idle_timeout_ms = 150;
+  Server server(config);
+
+  LineChannel channel(Socket::connect_to("127.0.0.1", server.port()));
+  std::string line;
+  ASSERT_TRUE(channel.read_line(line));  // greeting
+  // Say nothing. The server must evict this session on its own instead
+  // of holding the fd forever.
+  ASSERT_TRUE(channel.read_line(line));
+  const Json error = Json::parse(line);
+  EXPECT_FALSE(error.get_bool("ok", true));
+  EXPECT_EQ(error.get_string("code", ""), "idle_timeout");
+  EXPECT_FALSE(channel.read_line(line));  // closed
+
+  // Active sessions are untouched by the bound.
+  Client client(server.port());
+  const Client::Submitted submitted = client.submit(
+      quick_spec(sched::MissionKind::kDenoise, "alive", 1, 5, 3));
+  ASSERT_TRUE(submitted.ok) << submitted.error;
+  EXPECT_EQ(client.watch(submitted.job), "done");
+  server.stop();
+}
+
+// --- load shedding hints ----------------------------------------------------
+
+TEST(SvcServer, QueueFullRejectionsCarryRetryAfterHint) {
+  ServerConfig config;
+  config.pool.num_arrays = 1;
+  config.max_inflight = 1;
+  Server server(config);
+  Client client(server.port());
+
+  const Client::Submitted hog = client.submit(
+      quick_spec(sched::MissionKind::kDenoise, "hog", 1, 100000000, 3));
+  ASSERT_TRUE(hog.ok) << hog.error;
+
+  const Client::Submitted rejected = client.submit(
+      quick_spec(sched::MissionKind::kDenoise, "extra", 1, 5, 4));
+  ASSERT_FALSE(rejected.ok);
+  EXPECT_EQ(rejected.code, "queue_full");
+  // The hint is clamped to a sane band so well-behaved clients neither
+  // hammer (>= 25 ms) nor stall for ages (<= 60 s).
+  EXPECT_GE(rejected.retry_after_ms, 25u);
+  EXPECT_LE(rejected.retry_after_ms, 60'000u);
+
+  Client controller(server.port());
+  ASSERT_TRUE(controller.cancel(hog.job));
+  EXPECT_EQ(client.watch(hog.job), "cancelled");
+  server.stop();
+}
+
+TEST(SvcClient, WithRetryWaitsOutQueueFullHintAndLands) {
+  ServerConfig config;
+  config.pool.num_arrays = 1;
+  config.max_inflight = 1;
+  Server server(config);
+  Client client(server.port());
+
+  const Client::Submitted hog = client.submit(
+      quick_spec(sched::MissionKind::kDenoise, "hog2", 1, 100000000, 3));
+  ASSERT_TRUE(hog.ok) << hog.error;
+
+  // Free the slot shortly after the first rejection lands.
+  std::thread unblocker([&server, job = hog.job] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    Client controller(server.port());
+    ASSERT_TRUE(controller.cancel(job));
+  });
+
+  const sched::MissionSpec spec =
+      quick_spec(sched::MissionKind::kDenoise, "patient", 1, 5, 4);
+  RetryPolicy policy;
+  policy.retries = 20;
+  policy.backoff_ms = 50;
+  const Json response = with_retry(
+      server.port(), "127.0.0.1", policy, [&spec](Client& c) -> Json {
+        Json request = Json::object();
+        request.set("op", "submit");
+        request.set("spec", spec_to_json(spec));
+        return c.request(request);
+      });
+  unblocker.join();
+  ASSERT_TRUE(response.get_bool("ok", false))
+      << response.get_string("error", "");
+  EXPECT_EQ(client.watch(static_cast<std::uint64_t>(
+                response.get_number("job", 0))),
+            "done");
   server.stop();
 }
 

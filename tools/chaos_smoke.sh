@@ -11,6 +11,12 @@
 # gate. `mpa health` must report the degraded pool and the fired fault
 # counters while the storm is still armed.
 #
+# A second, federated stage arms the membership-layer fault sites
+# (poll_error, backend_hello, oversize_line) on an `mpa forward` front:
+# injected poll failures and hello corruption churn backends through the
+# down/rejoin path, and injected oversize reads sever frames mid-stream —
+# routed missions must still land and the front must drain cleanly.
+#
 # Usage: chaos_smoke.sh /path/to/mpa [workdir]
 set -u
 
@@ -18,6 +24,9 @@ MPA=${1:?usage: chaos_smoke.sh /path/to/mpa [workdir]}
 WORKDIR=${2:-.}
 JDIR="$WORKDIR/chaos_journal"
 LOG="$WORKDIR/chaos_serve.log"
+JDIR_FB="$WORKDIR/chaos_fed_journal"
+LOG_FB="$WORKDIR/chaos_fed_serve.log"
+LOG_FF="$WORKDIR/chaos_forward.log"
 
 # Sequenced triggers, seeded coins: the same storm every run. Socket
 # faults keep firing forever; task throws and SEUs are capped so the
@@ -28,11 +37,15 @@ PLAN+='lane_seu=after:25,every:40,count:2;fsync=every:3;'
 PLAN+='checkpoint_io=every:5;stall-ms=100;seed=99'
 
 SERVER_PID=
+FED_PID=
+FWD_PID=
 cleanup() {
-  if [ -n "${SERVER_PID:-}" ]; then
-    kill "$SERVER_PID" 2>/dev/null
-    wait "$SERVER_PID" 2>/dev/null
-  fi
+  for pid in "${FWD_PID:-}" "${FED_PID:-}" "${SERVER_PID:-}"; do
+    if [ -n "$pid" ]; then
+      kill "$pid" 2>/dev/null
+      wait "$pid" 2>/dev/null
+    fi
+  done
 }
 trap cleanup EXIT
 
@@ -150,4 +163,74 @@ SERVE_EXIT=$?
 [ "$SERVE_EXIT" -le 1 ] || fail "daemon crashed (exit $SERVE_EXIT): $(cat "$LOG")"
 SERVER_PID=
 
-echo "chaos_smoke: OK (done=$DONE_COUNT/4 + aftermath, plan: $PLAN)"
+# ---- federated storm: the membership layer under injected faults -------
+# A healthy backend behind a front whose OWN fault plan corrupts the
+# membership machinery: capped poll errors and hello corruption churn
+# the backend through down/rejoin, and injected oversize reads sever
+# frames mid-stream. Routed work must still land; the front must stay
+# up and drain cleanly.
+rm -rf "$JDIR_FB"
+rm -f "$LOG_FB" "$LOG_FF"
+FED_PLAN='poll_error=after:2,every:4,count:6;backend_hello=after:3,every:5,count:4;'
+FED_PLAN+='oversize_line=after:6,every:9,count:3;seed=41'
+
+"$MPA" serve --arrays 2 --journal "$JDIR_FB" --checkpoint-every 3 >"$LOG_FB" 2>&1 &
+FED_PID=$!
+PORT_FB=$(wait_port "$LOG_FB" "$FED_PID") \
+  || fail "federated backend never reported its port: $(cat "$LOG_FB" 2>/dev/null)"
+
+"$MPA" forward --poll-ms 100 --down-after 2 --timeout-ms 2000 \
+  --fault-plan "$FED_PLAN" "127.0.0.1:$PORT_FB:$JDIR_FB" >"$LOG_FF" 2>&1 &
+FWD_PID=$!
+PORT_FF=$(wait_port "$LOG_FF" "$FWD_PID") \
+  || fail "front never reported its port: $(cat "$LOG_FF" 2>/dev/null)"
+grep -q "FAULT PLAN ARMED" "$LOG_FF" || fail "front did not arm the fault plan"
+
+# Submit through the storm: injected faults can sever the front's
+# southbound connection mid-submit, which surfaces as a clean rejection.
+# Submits are idempotent by mission name, so the fix is simply to retry.
+for name in fed1 fed2; do
+  SUBMITTED=0
+  for _ in $(seq 1 20); do
+    if "$MPA" submit --port "$PORT_FF" denoise "$name" lanes=1 generations=60 size=16 $SUBMIT_FLAGS; then
+      SUBMITTED=1
+      break
+    fi
+    kill -0 "$FWD_PID" 2>/dev/null || fail "front died submitting $name: $(cat "$LOG_FF")"
+    sleep 0.3
+  done
+  [ "$SUBMITTED" = 1 ] || fail "federated submit $name never got through the storm"
+done
+for name in fed1 fed2; do
+  OUT=$("$MPA" result --port "$PORT_FF" --job "$name" --retries 8 --timeout-ms 4000 2>&1)
+  STATUS=$?
+  kill -0 "$FWD_PID" 2>/dev/null || fail "front died during $name: $(cat "$LOG_FF")"
+  if [ "$STATUS" -eq 0 ]; then
+    echo "chaos_smoke: $name done ($OUT)"
+  else
+    case "$OUT" in
+      *unreachable*) fail "$name: client gave up on the stormed front: $OUT" ;;
+      *) echo "chaos_smoke: $name failed cleanly ($OUT)" ;;
+    esac
+  fi
+done
+
+FED_DRAINED=0
+for _ in $(seq 1 8); do
+  if "$MPA" drain --port "$PORT_FF" --wait --timeout-ms 4000 2>/dev/null; then
+    FED_DRAINED=1
+    break
+  fi
+  kill -0 "$FWD_PID" 2>/dev/null || { FED_DRAINED=1; break; }
+  sleep 0.2
+done
+[ "$FED_DRAINED" = 1 ] || fail "front drain never got through the storm"
+wait "$FWD_PID"
+FWD_EXIT=$?
+[ "$FWD_EXIT" -le 1 ] || fail "front crashed (exit $FWD_EXIT): $(cat "$LOG_FF")"
+FWD_PID=
+kill "$FED_PID" 2>/dev/null
+wait "$FED_PID" 2>/dev/null
+FED_PID=
+
+echo "chaos_smoke: OK (done=$DONE_COUNT/4 + aftermath, plan: $PLAN; federated plan: $FED_PLAN)"

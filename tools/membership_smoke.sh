@@ -1,0 +1,175 @@
+#!/usr/bin/env bash
+# Membership smoke test — the split-brain fencing gate run by CI and ctest.
+#
+# Scenario: two durable backends behind an `mpa forward` front. SIGSTOP
+# (not kill) the backend hosting a long mission: the process is alive
+# but silent — the classic split brain. The front must declare it down
+# past --down-after and fail the mission over to the survivor. When the
+# stopped process is SIGCONT'd it wakes as a STALLED INCARNATION (same
+# epoch, still executing its orphaned copy); the front's auto-rejoin
+# must fence that copy BY NAME before trusting the backend again, so
+# exactly ONE terminal result ever reaches a client — byte-identical to
+# an uninterrupted reference run — and the fence is visible in stats.
+#
+# Usage: membership_smoke.sh /path/to/mpa [workdir]
+set -u
+
+MPA=${1:?usage: membership_smoke.sh /path/to/mpa [workdir]}
+WORKDIR=${2:-.}
+JDIR_A="$WORKDIR/member_journal_a"
+JDIR_B="$WORKDIR/member_journal_b"
+LOG_A="$WORKDIR/member_serve_a.log"
+LOG_B="$WORKDIR/member_serve_b.log"
+LOG_F="$WORKDIR/member_forward.log"
+
+# All three daemons die with the script on ANY exit path. A SIGSTOPped
+# process holds TERM pending until continued, so CONT precedes TERM.
+PID_A=
+PID_B=
+PID_F=
+cleanup() {
+  for pid in "${PID_F:-}" "${PID_A:-}" "${PID_B:-}"; do
+    if [ -n "$pid" ]; then
+      kill -CONT "$pid" 2>/dev/null
+      kill "$pid" 2>/dev/null
+      wait "$pid" 2>/dev/null
+    fi
+  done
+}
+trap cleanup EXIT
+
+fail() {
+  echo "membership_smoke: $*" >&2
+  exit 1
+}
+
+# Waits for "listening on A:P" in $1 while pid $2 stays alive; echoes P.
+wait_port() {
+  local log=$1 pid=$2 port=
+  for _ in $(seq 1 300); do
+    port=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "$log" 2>/dev/null | head -1)
+    if [ -n "$port" ]; then
+      echo "$port"
+      return 0
+    fi
+    kill -0 "$pid" 2>/dev/null || return 1
+    sleep 0.1
+  done
+  return 1
+}
+
+rm -rf "$JDIR_A" "$JDIR_B"
+rm -f "$LOG_A" "$LOG_B" "$LOG_F"
+
+# ---- two durable backends + the federation front -----------------------
+"$MPA" serve --arrays 2 --journal "$JDIR_A" --checkpoint-every 3 >"$LOG_A" 2>&1 &
+PID_A=$!
+"$MPA" serve --arrays 2 --journal "$JDIR_B" --checkpoint-every 3 >"$LOG_B" 2>&1 &
+PID_B=$!
+PORT_A=$(wait_port "$LOG_A" "$PID_A") \
+  || fail "backend A never reported its port: $(cat "$LOG_A" 2>/dev/null)"
+PORT_B=$(wait_port "$LOG_B" "$PID_B") \
+  || fail "backend B never reported its port: $(cat "$LOG_B" 2>/dev/null)"
+
+# A short southbound io timeout keeps down-detection of the silent (but
+# connectable) stopped backend quick: two timed-out polls, not hangs.
+"$MPA" forward --poll-ms 100 --down-after 2 --timeout-ms 1500 \
+  "127.0.0.1:$PORT_A:$JDIR_A" "127.0.0.1:$PORT_B:$JDIR_B" >"$LOG_F" 2>&1 &
+PID_F=$!
+PORT_F=$(wait_port "$LOG_F" "$PID_F") \
+  || fail "front never reported its port: $(cat "$LOG_F" 2>/dev/null)"
+
+# The membership table knows both incarnations from the boot poll.
+"$MPA" backend list --port "$PORT_F" | grep -q "yes" \
+  || fail "backend list shows no reachable member"
+
+# ---- long mission, then freeze its host --------------------------------
+"$MPA" submit --port "$PORT_F" denoise longrun lanes=2 generations=400 size=32 --detach \
+  || fail "long submit failed"
+
+# The journal growing a checkpoint sidecar identifies the hosting
+# backend — and proves the mission is genuinely mid-flight.
+VICTIM_PID=
+VICTIM_PORT=
+for _ in $(seq 1 600); do
+  if ls "$JDIR_A"/job-*.ckpt >/dev/null 2>&1; then
+    VICTIM_PID=$PID_A VICTIM_PORT=$PORT_A
+    break
+  fi
+  if ls "$JDIR_B"/job-*.ckpt >/dev/null 2>&1; then
+    VICTIM_PID=$PID_B VICTIM_PORT=$PORT_B
+    break
+  fi
+  kill -0 "$PID_F" 2>/dev/null || fail "front died early: $(cat "$LOG_F")"
+  sleep 0.05
+done
+[ -n "$VICTIM_PID" ] || fail "no checkpoint appeared in either backend journal"
+
+kill -STOP "$VICTIM_PID" || fail "could not SIGSTOP the victim"
+
+# ---- the failover lands while the corpse is still frozen ---------------
+RECOVERED=$("$MPA" result --port "$PORT_F" --job longrun --retries 5 --timeout-ms 8000) \
+  || fail "result after SIGSTOP failed: $RECOVERED"
+REC_LINE=$(echo "$RECOVERED" | sed -n 's/.*\(fitness [0-9]*, genotype [0-9a-fx]*\).*/\1/p' | head -1)
+[ -n "$REC_LINE" ] || fail "cannot parse failed-over result: $RECOVERED"
+
+REFERENCE=$("$MPA" submit --port "$PORT_F" denoise reference lanes=2 generations=400 size=32 --quiet) \
+  || fail "reference submit failed: $REFERENCE"
+REF_LINE=$(echo "$REFERENCE" | sed -n 's/.*\(fitness [0-9]*, genotype [0-9a-fx]*\).*/\1/p' | head -1)
+[ -n "$REF_LINE" ] || fail "cannot parse reference result: $REFERENCE"
+[ "$REC_LINE" = "$REF_LINE" ] \
+  || fail "failed-over result differs from uninterrupted run: recovered='$REC_LINE' reference='$REF_LINE'"
+
+# First terminal wins: a repeat read serves the identical cached payload.
+AGAIN=$("$MPA" result --port "$PORT_F" --job longrun --retries 5 --timeout-ms 8000) \
+  || fail "repeat result failed: $AGAIN"
+AGAIN_LINE=$(echo "$AGAIN" | sed -n 's/.*\(fitness [0-9]*, genotype [0-9a-fx]*\).*/\1/p' | head -1)
+[ "$AGAIN_LINE" = "$REC_LINE" ] \
+  || fail "repeat result diverged: first='$REC_LINE' repeat='$AGAIN_LINE'"
+
+# ---- thaw the corpse: the stalled incarnation must be fenced -----------
+kill -CONT "$VICTIM_PID" || fail "could not SIGCONT the victim"
+
+FENCES=
+for _ in $(seq 1 60); do
+  STATS=$("$MPA" stats --port "$PORT_F" --timeout-ms 4000 2>/dev/null)
+  FENCES=$(echo "$STATS" | sed -n 's/.*[ (]\([0-9][0-9]*\) fence cancels.*/\1/p' | head -1)
+  if [ -n "$FENCES" ] && [ "$FENCES" -ge 1 ]; then
+    break
+  fi
+  FENCES=
+  kill -0 "$PID_F" 2>/dev/null || fail "front died during rejoin: $(cat "$LOG_F")"
+  sleep 0.3
+done
+[ -n "$FENCES" ] || fail "fence cancel never showed up in stats"
+echo "membership_smoke: fence visible ($FENCES cancel(s))"
+
+# The corpse's own ledger confirms its copy was cancelled BY NAME — it
+# never produced (and can never produce) a second terminal result.
+FENCED=0
+for _ in $(seq 1 60); do
+  if "$MPA" ps --port "$VICTIM_PORT" --timeout-ms 4000 2>/dev/null \
+      | grep -q "longrun.*cancelled"; then
+    FENCED=1
+    break
+  fi
+  sleep 0.3
+done
+[ "$FENCED" = 1 ] || fail "stalled incarnation was never cancelled on the corpse"
+
+# The rejoin + fence are part of the public health story.
+HEALTH=$("$MPA" health --port "$PORT_F" --cluster --timeout-ms 4000) \
+  || fail "health --cluster failed after rejoin: $HEALTH"
+echo "$HEALTH" | grep -qi "rejoin" \
+  || fail "health --cluster does not show the rejoin fence: $HEALTH"
+
+# The revived member is a full citizen again: routed work still lands.
+POST=$("$MPA" submit --port "$PORT_F" denoise postfence lanes=1 generations=8 size=16) \
+  || fail "post-fence submit failed: $POST"
+echo "$POST" | grep -q "done: fitness" || fail "no post-fence result in: $POST"
+
+"$MPA" drain --port "$PORT_F" --wait || fail "front drain failed"
+wait "$PID_F" || fail "front exited non-zero after drain"
+PID_F=
+
+echo "membership_smoke: OK ($REC_LINE, fences=$FENCES)"

@@ -128,10 +128,11 @@ constexpr const char* kServeUsage =
     "mpa serve [--port N] [--address A] [--pools N] [--arrays-per-pool N] "
     "[--arrays N] [--cache N] [--max-jobs N] [--max-inflight N] "
     "[--journal DIR] [--checkpoint-every N] [--no-warm] [--fault-plan SPEC] "
-    "[--metrics-port N]";
+    "[--metrics-port N] [--idle-timeout-ms N] [--max-line BYTES]";
 constexpr const char* kForwardUsage =
     "mpa forward [--port N] [--address A] [--poll-ms N] [--down-after N] "
-    "[--timeout-ms N] [--metrics-port N] host:port[:journal] ...";
+    "[--timeout-ms N] [--metrics-port N] [--idle-timeout-ms N] "
+    "[--max-line BYTES] host:port[:journal] ...";
 constexpr const char* kSubmitUsage =
     "mpa submit --port N [--address A] <kind> <name> [key=value ...] "
     "[--detach] [--quiet] [--retries N] [--timeout-ms N] | "
@@ -153,6 +154,9 @@ constexpr const char* kRestoreUsage =
     "mpa restore --from ck.json [--lanes N]";
 constexpr const char* kHealthUsage =
     "mpa health --port N [--address A] [--cluster]";
+constexpr const char* kBackendUsage =
+    "mpa backend <list|add|remove> --port N [--address A] "
+    "[host:port[:journal]] [--backend INDEX]";
 constexpr const char* kTopUsage =
     "mpa top --port N [--address A] [--cluster] [--interval MS] [--count N]";
 constexpr const char* kTraceUsage =
@@ -163,15 +167,16 @@ void print_usage(std::FILE* out) {
   std::fprintf(out,
                "usage: mpa <info|evolve|filter|schematic|campaign|batch|serve|"
                "forward|submit|result|ps|stats|cancel|drain|checkpoint|"
-               "restore|health|top|trace|demo|version> [options]\n"
+               "restore|health|backend|top|trace|demo|version> [options]\n"
                "  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n"
                "  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n  %s\n"
-               "  mpa version\n",
+               "  %s\n  mpa version\n",
                kInfoUsage, kEvolveUsage, kFilterUsage, kSchematicUsage,
                kCampaignUsage, kBatchUsage, kServeUsage, kForwardUsage,
                kSubmitUsage, kResultUsage, kPsUsage, kStatsUsage,
                kCancelUsage, kDrainUsage, kCheckpointUsage, kRestoreUsage,
-               kHealthUsage, kTopUsage, kTraceUsage, kDemoUsage);
+               kHealthUsage, kBackendUsage, kTopUsage, kTraceUsage,
+               kDemoUsage);
 }
 
 int usage() {
@@ -455,7 +460,8 @@ bool bare_flag(const Cli& cli, const std::string& flag,
 /// flag is absent, the EHW_FAULT_PLAN environment variable. Serving with
 /// an armed plan is how the chaos suite exercises the self-healing
 /// paths; production runs simply never pass either.
-void arm_fault_plan(const Cli& cli) {
+void arm_fault_plan(const Cli& cli, const char* daemon = "serve",
+                    const char* cmd_usage = kServeUsage) {
   std::string spec = cli.get("fault-plan", "");
   if (spec.empty()) {
     const char* env = std::getenv("EHW_FAULT_PLAN");
@@ -464,11 +470,11 @@ void arm_fault_plan(const Cli& cli) {
   if (spec.empty()) return;
   fault::FaultPlan plan;
   const std::string error = fault::parse_plan(spec, plan);
-  if (!error.empty()) fail("bad fault plan: " + error, kServeUsage);
+  if (!error.empty()) fail("bad fault plan: " + error, cmd_usage);
   fault::install(plan);
-  std::printf("mpa serve: FAULT PLAN ARMED (%s) — runs are for chaos "
+  std::printf("mpa %s: FAULT PLAN ARMED (%s) — runs are for chaos "
               "testing only\n",
-              spec.c_str());
+              daemon, spec.c_str());
 }
 
 /// Shared --metrics-port handling for serve/forward: binds the
@@ -523,6 +529,15 @@ int cmd_serve(const Cli& cli) {
   }
   config.checkpoint_every = static_cast<std::uint64_t>(checkpoint_every);
   config.persist_warm = !bare_flag(cli, "no-warm", kServeUsage);
+  // Protocol armor: a served daemon always bounds idle sessions and
+  // frame length (library embedders opt in). 0 disables the idle bound.
+  const std::int64_t idle_ms = cli.get_int("idle-timeout-ms", 300'000);
+  if (idle_ms < 0) fail("invalid --idle-timeout-ms (>= 0)", kServeUsage);
+  config.idle_timeout_ms = static_cast<int>(idle_ms);
+  const std::int64_t max_line = cli.get_int("max-line", 0);
+  if (max_line < 0) fail("invalid --max-line (bytes, 0 = default)",
+                         kServeUsage);
+  config.max_line = static_cast<std::size_t>(max_line);
   ThreadPool host_pool;
   config.pool.host_pool = &host_pool;
 
@@ -602,6 +617,7 @@ svc::BackendConfig parse_backend(const std::string& arg) {
 }
 
 int cmd_forward(const Cli& cli) {
+  arm_fault_plan(cli, "forward", kForwardUsage);
   svc::ForwarderConfig config;
   config.address = cli.get("address", "127.0.0.1");
   const std::int64_t port = cli.get_int("port", 0);
@@ -612,6 +628,13 @@ int cmd_forward(const Cli& cli) {
   config.poll_ms = static_cast<int>(cli.get_int("poll-ms", 250));
   config.down_after = static_cast<int>(cli.get_int("down-after", 2));
   config.io_timeout_ms = static_cast<int>(cli.get_int("timeout-ms", 5000));
+  const std::int64_t idle_ms = cli.get_int("idle-timeout-ms", 300'000);
+  if (idle_ms < 0) fail("invalid --idle-timeout-ms (>= 0)", kForwardUsage);
+  config.idle_timeout_ms = static_cast<int>(idle_ms);
+  const std::int64_t max_line = cli.get_int("max-line", 0);
+  if (max_line < 0) fail("invalid --max-line (bytes, 0 = default)",
+                         kForwardUsage);
+  config.max_line = static_cast<std::size_t>(max_line);
   for (const std::string& arg : cli.positional()) {
     config.backends.push_back(parse_backend(arg));
   }
@@ -640,12 +663,16 @@ int cmd_forward(const Cli& cli) {
   const svc::ForwarderStats stats = forwarder.forwarder_stats();
   forwarder.stop();
   std::printf(
-      "mpa forward: drained after %llu missions (%llu rejected, "
-      "%llu failovers, %llu resumed from checkpoint)\n",
+      "mpa forward: drained after %llu missions (%llu rejected, %llu shed, "
+      "%llu failovers, %llu resumed from checkpoint, %llu fence cancels, "
+      "%llu rejoins)\n",
       static_cast<unsigned long long>(stats.submitted),
       static_cast<unsigned long long>(stats.rejected),
+      static_cast<unsigned long long>(stats.shed),
       static_cast<unsigned long long>(stats.failovers),
-      static_cast<unsigned long long>(stats.failover_resumed));
+      static_cast<unsigned long long>(stats.failover_resumed),
+      static_cast<unsigned long long>(stats.fences),
+      static_cast<unsigned long long>(stats.rejoins));
   return 0;
 }
 
@@ -714,13 +741,17 @@ int cmd_stats(const Cli& cli) {
     print_placement(stats.get("placement"), "backends");
     if (const Json* fwd = stats.get("forwarder"); fwd != nullptr) {
       std::printf(
-          "forwarder: %llu submitted, %llu rejected | %llu failovers "
-          "(%llu resumed) | %llu routes, %llu/%llu backends up%s\n",
+          "forwarder: %llu submitted, %llu rejected (%llu shed) | "
+          "%llu failovers (%llu resumed), %llu fence cancels, %llu rejoins "
+          "| %llu routes, %llu/%llu backends up%s\n",
           static_cast<unsigned long long>(fwd->get_number("submitted", 0)),
           static_cast<unsigned long long>(fwd->get_number("rejected", 0)),
+          static_cast<unsigned long long>(fwd->get_number("shed", 0)),
           static_cast<unsigned long long>(fwd->get_number("failovers", 0)),
           static_cast<unsigned long long>(
               fwd->get_number("failover_resumed", 0)),
+          static_cast<unsigned long long>(fwd->get_number("fences", 0)),
+          static_cast<unsigned long long>(fwd->get_number("rejoins", 0)),
           static_cast<unsigned long long>(fwd->get_number("routes", 0)),
           static_cast<unsigned long long>(fwd->get_number("backends_up", 0)),
           static_cast<unsigned long long>(
@@ -1238,11 +1269,22 @@ int cmd_health(const Cli& cli) {
     // Forwarder view: one row per backend daemon. "STALE" flags a
     // backend that answers but whose last good stats poll is older than
     // 2x the poll cadence — suspect placement data, not an outage.
-    Table table({"backend", "endpoint", "reachable", "poll age", "stale",
-                 "healthy", "quarantined", "preempted", "migrated"});
+    Table table({"backend", "endpoint", "reachable", "epoch", "poll age",
+                 "stale", "healthy", "quarantined", "preempted", "migrated",
+                 "last fence"});
     const Json* backends = response.get("backends");
     if (backends != nullptr && backends->is_array()) {
       for (const Json& entry : backends->as_array()) {
+        if (entry.get_bool("removed", false)) {
+          table.add_row(
+              {Table::integer(static_cast<std::uint64_t>(
+                   entry.get_number("backend", 0))),
+               entry.get_string("address", "?") + ":" +
+                   Table::integer(static_cast<std::uint64_t>(
+                       entry.get_number("port", 0))),
+               "removed", "-", "-", "-", "-", "-", "-", "-", "-"});
+          continue;
+        }
         table.add_row(
             {Table::integer(
                  static_cast<std::uint64_t>(entry.get_number("backend", 0))),
@@ -1250,6 +1292,10 @@ int cmd_health(const Cli& cli) {
                  Table::integer(static_cast<std::uint64_t>(
                      entry.get_number("port", 0))),
              entry.get_bool("reachable", false) ? "yes" : "NO",
+             entry.get("epoch") != nullptr
+                 ? Table::integer(static_cast<std::uint64_t>(
+                       entry.get_number("epoch", 0)))
+                 : "-",
              entry.get("poll_age_ms") != nullptr
                  ? format_duration_ms(static_cast<std::uint64_t>(
                        entry.get_number("poll_age_ms", 0)))
@@ -1264,7 +1310,8 @@ int cmd_health(const Cli& cli) {
              Table::integer(static_cast<std::uint64_t>(
                  entry.get_number("preempted", 0))),
              Table::integer(static_cast<std::uint64_t>(
-                 entry.get_number("migrations", 0)))});
+                 entry.get_number("migrations", 0))),
+             entry.get_string("last_fence", "-")});
       }
     }
     table.print(std::cout);
@@ -1319,6 +1366,94 @@ int cmd_health(const Cli& cli) {
       }
     }
   }
+  return 0;
+}
+
+/// mpa backend: live cluster membership against a forwarder — list the
+/// member table (epochs, fences), add a daemon without restarting, or
+/// tombstone one (its unfinished missions evacuate to the survivors).
+int cmd_backend(const Cli& cli) {
+  const std::vector<std::string>& args = cli.positional();
+  if (args.empty()) fail("missing action (list|add|remove)", kBackendUsage);
+  const std::string& action = args.front();
+  svc::Client client = make_client(cli, kBackendUsage);
+  Json request = Json::object();
+  request.set("op", "backend");
+  request.set("action", action);
+  if (action == "add") {
+    if (args.size() != 2) {
+      fail("backend add needs one host:port[:journal] endpoint",
+           kBackendUsage);
+    }
+    const svc::BackendConfig endpoint = parse_backend(args[1]);
+    request.set("address", endpoint.address);
+    request.set("port", static_cast<std::uint64_t>(endpoint.port));
+    if (!endpoint.journal_dir.empty()) {
+      request.set("journal", endpoint.journal_dir);
+    }
+  } else if (action == "remove") {
+    const std::int64_t index = cli.get_int("backend", -1);
+    if (index < 0) fail("backend remove needs --backend INDEX", kBackendUsage);
+    request.set("backend", static_cast<std::uint64_t>(index));
+  } else if (action != "list") {
+    fail("unknown action '" + action + "' (list|add|remove)", kBackendUsage);
+  }
+  const Json response = client.request(request);
+  if (!response.get_bool("ok", false)) {
+    std::fprintf(stderr, "mpa backend: %s\n",
+                 response.get_string("error", "unknown error").c_str());
+    return 1;
+  }
+  if (action == "add") {
+    std::printf("backend %llu added (%s)\n",
+                static_cast<unsigned long long>(
+                    response.get_number("backend", 0)),
+                response.get_bool("reachable", false)
+                    ? "reachable"
+                    : "NOT reachable yet — it will be polled");
+    return 0;
+  }
+  if (action == "remove") {
+    std::printf("backend %llu removed, %llu mission(s) evacuated\n",
+                static_cast<unsigned long long>(
+                    response.get_number("backend", 0)),
+                static_cast<unsigned long long>(
+                    response.get_number("evacuated", 0)));
+    return 0;
+  }
+  Table table({"backend", "endpoint", "reachable", "epoch", "instance",
+               "rejoins", "fences", "last fence"});
+  const Json* backends = response.get("backends");
+  if (backends != nullptr && backends->is_array()) {
+    for (const Json& entry : backends->as_array()) {
+      const std::string endpoint =
+          entry.get_string("address", "?") + ":" +
+          Table::integer(
+              static_cast<std::uint64_t>(entry.get_number("port", 0)));
+      if (entry.get_bool("removed", false)) {
+        table.add_row(
+            {Table::integer(static_cast<std::uint64_t>(
+                 entry.get_number("backend", 0))),
+             endpoint, "removed", "-", "-", "-", "-", "-"});
+        continue;
+      }
+      table.add_row(
+          {Table::integer(
+               static_cast<std::uint64_t>(entry.get_number("backend", 0))),
+           endpoint, entry.get_bool("reachable", false) ? "yes" : "NO",
+           entry.get("epoch") != nullptr
+               ? Table::integer(static_cast<std::uint64_t>(
+                     entry.get_number("epoch", 0)))
+               : "-",
+           entry.get_string("instance_id", "-"),
+           Table::integer(
+               static_cast<std::uint64_t>(entry.get_number("rejoins", 0))),
+           Table::integer(
+               static_cast<std::uint64_t>(entry.get_number("fences", 0))),
+           entry.get_string("last_fence", "-")});
+    }
+  }
+  table.print(std::cout);
   return 0;
 }
 
@@ -1691,6 +1826,7 @@ int main(int argc, char** argv) {
     if (cmd == "checkpoint") return cmd_checkpoint(cli);
     if (cmd == "restore") return cmd_restore(cli);
     if (cmd == "health") return cmd_health(cli);
+    if (cmd == "backend") return cmd_backend(cli);
     if (cmd == "top") return cmd_top(cli);
     if (cmd == "trace") return cmd_trace(cli);
     if (cmd == "demo") return cmd_demo(cli);
